@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Ablation (Section V): "The tester can be configured so that false
+ * sharing happens more often, which helps expose hidden bugs much
+ * faster than simply running real applications, which are often
+ * designed to avoid false sharing (e.g., by padding data structures to
+ * align to cache block boundaries)."
+ *
+ * This bench arms the LostWriteThrough bug — which requires two
+ * write-throughs racing on ONE cache line — and measures detection
+ * latency as the variable mapping goes from padded (one variable per
+ * line, no false sharing) to maximally dense, across several seeds.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+
+using namespace drf;
+using namespace drf::bench;
+
+namespace
+{
+
+struct Outcome
+{
+    unsigned detected = 0;
+    unsigned runs = 0;
+    std::vector<double> ticks; ///< detection latency per detecting run
+};
+
+Outcome
+sweepSeeds(std::uint64_t addr_range, std::uint32_t normal_vars,
+           const char *label)
+{
+    Outcome outcome;
+    double sharing = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        ApuSystemConfig sys_cfg =
+            makeGpuSystemConfig(CacheSizeClass::Small, 4);
+        sys_cfg.fault = FaultKind::LostWriteThrough;
+        sys_cfg.faultTriggerPct = 100;
+        sys_cfg.faultSeed = seed;
+        ApuSystem sys(sys_cfg);
+
+        GpuTesterConfig cfg = makeGpuTesterConfig(
+            /*actions=*/50, /*episodes=*/60, /*atomic_locs=*/10, seed);
+        cfg.lanes = 8;
+        cfg.episodeGen.lanes = 8;
+        cfg.variables.numNormalVars = normal_vars;
+        cfg.variables.addrRangeBytes = addr_range;
+        GpuTester tester(sys, cfg);
+        TesterResult r = tester.run();
+
+        ++outcome.runs;
+        if (!r.passed) {
+            ++outcome.detected;
+            outcome.ticks.push_back(static_cast<double>(r.ticks));
+        }
+        sharing = tester.variables().falseSharingFraction();
+    }
+
+    double median = 0.0;
+    if (!outcome.ticks.empty()) {
+        std::sort(outcome.ticks.begin(), outcome.ticks.end());
+        median = outcome.ticks[outcome.ticks.size() / 2];
+    }
+    std::printf("%-24s sharing=%5.1f%%  detected %u/%u  median "
+                "detection latency %s\n",
+                label, 100.0 * sharing, outcome.detected, outcome.runs,
+                outcome.ticks.empty()
+                    ? "-" : std::to_string((long long)median).c_str());
+    return outcome;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation — false sharing vs bug-detection latency "
+                "(bug: LostWriteThrough, 5 seeds each)\n\n");
+
+    // 512 variables in every case; only the packing changes.
+    // Padded: one 4-byte variable per 64-byte line (range = 512 lines).
+    sweepSeeds(512ull * 16 * 64, 512, "padded (apps-style)");
+    // Loose: ~2 variables per line on average.
+    sweepSeeds(1 << 14, 512, "loose packing");
+    // Dense: ~8 variables per line.
+    sweepSeeds(1 << 12, 512, "dense packing");
+
+    std::printf("\nthe bug only fires on same-line write races, so the "
+                "padded mapping (what tuned applications look like) "
+                "nearly never exposes it — randomizing variables into "
+                "shared lines is what makes the tester effective.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 4 + Tables I/II: print the event vocabularies and the
+ * reconstructed VIPER transition tables of the GPU L1 and L2 (plus the
+ * directory and CPU core-pair grids this repository adds), exactly as
+ * implemented by the controllers.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "proto/cpu_cache.hh"
+#include "proto/directory.hh"
+#include "proto/gpu_l1.hh"
+#include "proto/gpu_l2.hh"
+
+using namespace drf;
+
+namespace
+{
+
+void
+printSpec(const TransitionSpec &spec)
+{
+    std::printf("\n%s: %zu states x %zu events, %zu defined transitions\n",
+                spec.name().c_str(), spec.numStates(), spec.numEvents(),
+                spec.definedCount());
+    std::printf("%-14s |", "event \\ state");
+    for (const auto &st : spec.states())
+        std::printf(" %-5s |", st.c_str());
+    std::printf("\n");
+    for (std::size_t e = 0; e < spec.numEvents(); ++e) {
+        std::printf("%-14s |", spec.events()[e].c_str());
+        for (std::size_t s = 0; s < spec.numStates(); ++s) {
+            std::printf("  %s  |",
+                        spec.defined(e, s) ? "def" : " U ");
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Fig. 4 / Tables I and II — controller transition "
+                "spaces (reconstructed; see DESIGN.md)\n");
+
+    std::printf("\nTABLE I. GPU L1 cache events:\n");
+    for (const auto &ev : GpuL1Cache::spec().events())
+        std::printf("  %s\n", ev.c_str());
+
+    std::printf("\nTABLE II. GPU L2 cache events:\n");
+    for (const auto &ev : GpuL2Cache::spec().events())
+        std::printf("  %s\n", ev.c_str());
+
+    printSpec(GpuL1Cache::spec());
+    printSpec(GpuL2Cache::spec());
+    printSpec(Directory::spec());
+    printSpec(CpuCache::spec());
+
+    const auto &l2 = GpuL2Cache::spec();
+    std::printf("\nGPU-tester-unreachable (Impsb) GPU L2 cells: %zu "
+                "(the PrbInv column)\n",
+                l2.impossibleCount("gpu_tester"));
+    std::printf("Reachable GPU L2 transitions for the GPU tester: %zu\n",
+                l2.reachableCount("gpu_tester"));
+    std::printf("Reachable GPU L1 transitions for the GPU tester: %zu\n",
+                GpuL1Cache::spec().reachableCount("gpu_tester"));
+    return 0;
+}

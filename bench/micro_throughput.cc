@@ -1,0 +1,99 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the framework's hot paths:
+ * episode generation, event-queue throughput, cache-array lookups, and
+ * a small end-to-end tester run. These quantify why the tester is fast
+ * enough to replace application-based regression testing.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache_array.hh"
+#include "sim/event_queue.hh"
+#include "tester/configs.hh"
+#include "tester/episode.hh"
+#include "tester/gpu_tester.hh"
+
+using namespace drf;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>(i % 97), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    CacheArray array(64 * 1024, 8, 64);
+    for (int i = 0; i < 512; ++i)
+        array.allocate(static_cast<Addr>(i) * 64);
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.findEntry(addr));
+        addr = (addr + 64) % (512 * 64);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_EpisodeGeneration(benchmark::State &state)
+{
+    Random rng(1);
+    VariableMapConfig vcfg;
+    vcfg.numSyncVars = 10;
+    vcfg.numNormalVars = 4096;
+    vcfg.addrRangeBytes = 1 << 20;
+    VariableMap vmap(vcfg, rng);
+    EpisodeGenConfig gcfg;
+    gcfg.actionsPerEpisode = static_cast<unsigned>(state.range(0));
+    gcfg.lanes = 16;
+    EpisodeGenerator gen(vmap, gcfg, rng);
+
+    for (auto _ : state) {
+        Episode e = gen.generate(0);
+        benchmark::DoNotOptimize(e.actions.size());
+        gen.retire(e);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 16);
+}
+BENCHMARK(BM_EpisodeGeneration)->Arg(100)->Arg(200);
+
+void
+BM_TesterEndToEnd(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ApuSystemConfig sys_cfg =
+            makeGpuSystemConfig(CacheSizeClass::Small, 2);
+        ApuSystem sys(sys_cfg);
+        GpuTesterConfig cfg =
+            makeGpuTesterConfig(20, 2, 10, /*seed=*/9);
+        cfg.lanes = 8;
+        cfg.episodeGen.lanes = 8;
+        cfg.variables.numNormalVars = 512;
+        cfg.variables.addrRangeBytes = 1 << 14;
+        GpuTester tester(sys, cfg);
+        TesterResult r = tester.run();
+        if (!r.passed)
+            state.SkipWithError("tester failed");
+        benchmark::DoNotOptimize(r.events);
+    }
+}
+BENCHMARK(BM_TesterEndToEnd)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

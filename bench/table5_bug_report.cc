@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Table V + Section V case study: arm each injected protocol bug, run
+ * the GPU tester against it, and print the autonomous failure reports —
+ * the read-write inconsistency report with its last-reader/last-writer
+ * records (Table V), the duplicate-atomic report, and the watchdog's
+ * deadlock report.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace drf;
+using namespace drf::bench;
+
+namespace
+{
+
+TesterResult
+runWithFault(FaultKind fault, unsigned trigger_pct, std::uint64_t seed,
+             CacheSizeClass cache_class = CacheSizeClass::Small)
+{
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(cache_class, 4);
+    sys_cfg.fault = fault;
+    sys_cfg.faultTriggerPct = trigger_pct;
+    ApuSystem sys(sys_cfg);
+
+    GpuTesterConfig cfg = makeGpuTesterConfig(/*actions=*/50,
+                                              /*episodes=*/40,
+                                              /*atomic_locs=*/10, seed);
+    cfg.lanes = 8;
+    cfg.episodeGen.lanes = 8;
+    cfg.variables.numNormalVars = 512;
+    cfg.variables.addrRangeBytes = 1 << 14;
+    GpuTester tester(sys, cfg);
+    return tester.run();
+}
+
+void
+caseStudy(const char *title, FaultKind fault, unsigned trigger_pct,
+          std::uint64_t seed,
+          CacheSizeClass cache_class = CacheSizeClass::Small)
+{
+    std::printf("\n==== case study: %s (bug: %s, trigger %u%%)\n", title,
+                faultKindName(fault), trigger_pct);
+    TesterResult r = runWithFault(fault, trigger_pct, seed, cache_class);
+    if (r.passed) {
+        std::printf("NOT DETECTED (tester passed) — increase test "
+                    "length\n");
+        return;
+    }
+    std::printf("detected after %llu simulated cycles, %llu loads "
+                "checked, %llu atomics checked\n",
+                (unsigned long long)r.ticks,
+                (unsigned long long)r.loadsChecked,
+                (unsigned long long)r.atomicsChecked);
+    std::printf("---- tester report "
+                "------------------------------------------\n%s\n",
+                r.report.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table V / Section V — autonomous bug detection case "
+                "studies\n");
+
+    caseStudy("read-write inconsistency from racing false-sharing "
+              "write-throughs (Table V)",
+              FaultKind::LostWriteThrough, 100, 5);
+
+    caseStudy("duplicate atomic return values from a non-atomic "
+              "read-modify-write",
+              FaultKind::NonAtomicRmw, 100, 6);
+
+    // Large caches keep stale lines alive, making this bug detectable
+    // fast (a small cache would evict the stale data by luck).
+    caseStudy("stale loads from a dropped acquire invalidation",
+              FaultKind::DropAcquireInvalidate, 100, 7,
+              CacheSizeClass::Large);
+
+    caseStudy("deadlock from a dropped write-completion ack (forward "
+              "progress watchdog)",
+              FaultKind::DropWriteAck, 100, 8);
+
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Heterogeneous APU testing (Section IV.C): one shared system directory
+ * serves both a GPU (VIPER) and CPU core pairs (MSI). The GPU tester
+ * and the CPU tester run against the same system over disjoint address
+ * ranges; their union covers directory transitions neither could reach
+ * alone, and the run double-checks the integrated CPU-GPU protocol
+ * end to end.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "system/apu_system.hh"
+#include "tester/configs.hh"
+#include "tester/cpu_tester.hh"
+#include "tester/gpu_tester.hh"
+
+using namespace drf;
+
+int
+main()
+{
+    // A full APU: 4 CUs + 2 CPU core pairs behind one directory.
+    ApuSystemConfig cfg = makeGpuSystemConfig(CacheSizeClass::Small, 4);
+    cfg.numCpuCaches = 2;
+    cfg.cpu.sizeBytes = 512;
+    cfg.cpu.assoc = 2;
+    ApuSystem sys(cfg);
+
+    // CPU tester on [16M, 16M+2K): small range, heavy contention.
+    CpuTesterConfig cpu_cfg;
+    cpu_cfg.addrBase = 16 << 20;
+    cpu_cfg.addrRangeBytes = 2048;
+    cpu_cfg.targetLoads = 20'000;
+    cpu_cfg.seed = 31;
+    CpuTester cpu_tester(sys, cpu_cfg);
+
+    // GPU tester on [0, 1M).
+    GpuTesterConfig gpu_cfg = makeGpuTesterConfig(
+        /*actions=*/100, /*episodes=*/20, /*atomic_locs=*/10,
+        /*seed=*/32);
+    GpuTester gpu_tester(sys, gpu_cfg);
+
+    std::printf("running the CPU tester on the shared APU...\n");
+    TesterResult cpu_result = cpu_tester.run();
+    std::printf("  %s: %llu loads checked, %llu stores, %.3f s\n",
+                cpu_result.passed ? "PASSED" : "FAILED",
+                (unsigned long long)cpu_result.loadsChecked,
+                (unsigned long long)cpu_result.storesRetired,
+                cpu_result.hostSeconds);
+    if (!cpu_result.passed)
+        std::printf("%s\n", cpu_result.report.c_str());
+
+    std::printf("running the GPU tester on the same APU...\n");
+    TesterResult gpu_result = gpu_tester.run();
+    std::printf("  %s: %llu episodes, %llu loads checked, %.3f s\n",
+                gpu_result.passed ? "PASSED" : "FAILED",
+                (unsigned long long)gpu_result.episodes,
+                (unsigned long long)gpu_result.loadsChecked,
+                gpu_result.hostSeconds);
+    if (!gpu_result.passed)
+        std::printf("%s\n", gpu_result.report.c_str());
+
+    std::printf("\nshared system directory after both testers:\n");
+    sys.directory().coverage().renderClassMap(std::cout, "tester_union");
+    std::printf("\ndirectory transitions active: %zu of %zu defined "
+                "(%.1f%% of the union-reachable set)\n",
+                sys.directory().coverage().activeCount(""),
+                Directory::spec().definedCount(),
+                sys.directory().coverage().coveragePct("tester_union"));
+    std::printf("note: the DMA transitions stay inactive — only "
+                "application-style traffic reaches them (Fig. 10).\n");
+
+    return cpu_result.passed && gpu_result.passed ? 0 : 1;
+}

@@ -1,0 +1,169 @@
+#include "apps/app_runner.hh"
+
+#include <cassert>
+#include <chrono>
+
+namespace drf
+{
+
+AppRunner::AppRunner(ApuSystem &sys, AppTrace trace)
+    : _sys(sys), _trace(std::move(trace))
+{
+    assert(sys.hasGpu() && "applications need a GPU");
+    assert(sys.numCpuCaches() > 0 && "applications need a host CPU");
+
+    DmaConfig dma_cfg;
+    dma_cfg.lineBytes = sys.config().lineBytes;
+    _dma = std::make_unique<DmaEngine>("dma", sys.eventq(), dma_cfg,
+                                       sys.xbar(),
+                                       ApuSystem::dmaEndpoint,
+                                       ApuSystem::dirEndpoint);
+
+    GpuCoreConfig core_cfg;
+    core_cfg.lanes = _trace.profile.lanes;
+    for (unsigned cu = 0; cu < sys.numCus(); ++cu) {
+        _cores.push_back(std::make_unique<GpuCoreModel>(
+            "gpu.core[" + std::to_string(cu) + "]", sys.eventq(),
+            core_cfg, sys.l1(cu),
+            /*requestor_base=*/cu * 100'000));
+    }
+
+    sys.cpuCache(0).bindCoreResponse([this](Packet pkt) {
+        onCpuResponse(std::move(pkt));
+    });
+}
+
+void
+AppRunner::issueCpuOp(unsigned slot)
+{
+    const HostPhase &phase = _trace.hostPhases[_phaseIdx];
+    if (_nextCpuOp >= phase.cpuOps.size()) {
+        if (_cpuInFlight == 0)
+            hostPartDone();
+        return;
+    }
+
+    auto [addr, is_store] = phase.cpuOps[_nextCpuOp++];
+    Packet pkt;
+    pkt.addr = addr;
+    pkt.size = 1;
+    pkt.requestor = slot;
+    pkt.id = (_phaseIdx << 32) | _nextCpuOp;
+    pkt.issueTick = _sys.eventq().curTick();
+    if (is_store) {
+        pkt.type = MsgType::StoreReq;
+        pkt.data = {static_cast<std::uint8_t>(_nextCpuOp)};
+    } else {
+        pkt.type = MsgType::LoadReq;
+    }
+    ++_cpuInFlight;
+    _sys.cpuCache(0).coreRequest(std::move(pkt));
+}
+
+void
+AppRunner::onCpuResponse(Packet pkt)
+{
+    assert(_cpuInFlight > 0);
+    --_cpuInFlight;
+    issueCpuOp(static_cast<unsigned>(pkt.requestor));
+}
+
+void
+AppRunner::hostPartDone()
+{
+    assert(_hostPartsPending > 0);
+    if (--_hostPartsPending > 0)
+        return;
+
+    // Host phase finished; run the kernel that follows it, if any.
+    if (_phaseIdx < _trace.kernels.size()) {
+        startKernel(_phaseIdx);
+    } else {
+        _done = true;
+    }
+}
+
+void
+AppRunner::startPhase(std::size_t phase_idx)
+{
+    _phaseIdx = phase_idx;
+    const HostPhase &phase = _trace.hostPhases[phase_idx];
+
+    // Two host-part streams run concurrently: the CPU op stream (two
+    // logical cores) and the DMA stream.
+    _hostPartsPending = 2;
+    _nextCpuOp = 0;
+    _cpuInFlight = 0;
+
+    if (phase.cpuOps.empty()) {
+        hostPartDone();
+    } else {
+        issueCpuOp(0);
+        if (phase.cpuOps.size() > 1)
+            issueCpuOp(1);
+        if (_cpuInFlight == 0)
+            hostPartDone();
+    }
+
+    if (phase.dmaOps.empty()) {
+        hostPartDone();
+    } else {
+        // Queue everything; completion fires on the final op.
+        for (std::size_t i = 0; i < phase.dmaOps.size(); ++i) {
+            auto [line_addr, is_write] = phase.dmaOps[i];
+            DmaEngine::DoneFunc done;
+            if (i == phase.dmaOps.size() - 1)
+                done = [this] { hostPartDone(); };
+            if (is_write)
+                _dma->writeRange(line_addr, 1, 0xAB, std::move(done));
+            else
+                _dma->readRange(line_addr, 1, std::move(done));
+        }
+    }
+}
+
+void
+AppRunner::startKernel(std::size_t kernel_idx)
+{
+    const auto &kernel = _trace.kernels[kernel_idx];
+    const unsigned wfs_per_cu = _trace.profile.wfsPerCu;
+    unsigned pending_cus = static_cast<unsigned>(_cores.size());
+
+    auto cu_done = std::make_shared<unsigned>(pending_cus);
+    for (unsigned cu = 0; cu < _cores.size(); ++cu) {
+        std::vector<WfTrace> cu_traces;
+        for (unsigned w = 0; w < wfs_per_cu; ++w) {
+            std::size_t idx = cu * wfs_per_cu + w;
+            if (idx < kernel.size())
+                cu_traces.push_back(kernel[idx]);
+        }
+        _cores[cu]->launch(std::move(cu_traces),
+                           [this, cu_done, kernel_idx] {
+                               if (--*cu_done == 0)
+                                   startPhase(kernel_idx + 1);
+                           });
+    }
+}
+
+AppResult
+AppRunner::run()
+{
+    AppResult result;
+    auto t0 = std::chrono::steady_clock::now();
+
+    startPhase(0);
+    // Generous bound; applications always terminate on a correct
+    // protocol.
+    _sys.eventq().run(Tick(4) * 1'000'000'000);
+
+    auto t1 = std::chrono::steady_clock::now();
+    result.completed = _done;
+    result.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    result.ticks = _sys.eventq().curTick();
+    result.events = _sys.eventq().eventsExecuted();
+    for (const auto &core : _cores)
+        result.instructions += core->instructionsExecuted();
+    return result;
+}
+
+} // namespace drf

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Executes one synthetic application on a full APU system: host init
+ * through the CPU caches, DMA copies, GPU kernels through the detailed
+ * core models, host readback — the application-based testing flow of
+ * the paper's Fig. 1 (left).
+ */
+
+#ifndef DRF_APPS_APP_RUNNER_HH
+#define DRF_APPS_APP_RUNNER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_trace.hh"
+#include "apps/dma.hh"
+#include "apps/gpu_core.hh"
+#include "system/apu_system.hh"
+
+namespace drf
+{
+
+/** Outcome of one application run. */
+struct AppResult
+{
+    bool completed = false;
+    Tick ticks = 0;
+    std::uint64_t events = 0;
+    std::uint64_t instructions = 0; ///< dynamic GPU instructions
+    double hostSeconds = 0.0;
+};
+
+/**
+ * Owns the application-side components (core models, DMA engine) and
+ * drives an ApuSystem through one application.
+ */
+class AppRunner
+{
+  public:
+    /**
+     * @param sys System under test; must have a GPU and at least one
+     *            CPU core-pair cache.
+     * @param trace The application to run.
+     */
+    AppRunner(ApuSystem &sys, AppTrace trace);
+
+    /** Run the whole application. */
+    AppResult run();
+
+  private:
+    void startPhase(std::size_t phase_idx);
+    void hostPartDone();
+    void startKernel(std::size_t kernel_idx);
+    void issueCpuOp(unsigned slot);
+    void onCpuResponse(Packet pkt);
+
+    ApuSystem &_sys;
+    AppTrace _trace;
+    std::unique_ptr<DmaEngine> _dma;
+    std::vector<std::unique_ptr<GpuCoreModel>> _cores;
+
+    // Host-phase progress.
+    std::size_t _phaseIdx = 0;
+    std::size_t _nextCpuOp = 0;
+    unsigned _cpuInFlight = 0;
+    unsigned _hostPartsPending = 0; ///< CPU stream + DMA stream
+
+    bool _done = false;
+    std::uint64_t _gpuInstrs = 0;
+};
+
+} // namespace drf
+
+#endif // DRF_APPS_APP_RUNNER_HH

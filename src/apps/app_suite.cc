@@ -1,0 +1,121 @@
+#include "apps/app_suite.hh"
+
+#include <cassert>
+
+namespace drf
+{
+
+namespace
+{
+
+AppProfile
+profile(const char *name, const char *suite, double streaming,
+        double intra, double inter, double mixed, double store_frac,
+        double atomic_frac, unsigned mem_instrs, unsigned alu_per_mem,
+        std::uint64_t working_set, unsigned kernels)
+{
+    AppProfile p;
+    p.name = name;
+    p.suite = suite;
+    p.streamingFrac = streaming;
+    p.intraWfFrac = intra;
+    p.interWfFrac = inter;
+    p.mixedFrac = mixed;
+    p.storeFrac = store_frac;
+    p.atomicFrac = atomic_frac;
+    p.memInstrsPerWf = mem_instrs;
+    p.aluPerMem = alu_per_mem;
+    p.workingSetBytes = working_set;
+    p.kernels = kernels;
+    return p;
+}
+
+} // namespace
+
+std::vector<AppProfile>
+makeAppSuite(std::uint64_t base_seed)
+{
+    std::vector<AppProfile> suite;
+
+    // ---- AMD compute applications ------------------------------------
+    // HACC: N-body; largely streaming particle sweeps with some shared
+    // force accumulation.
+    suite.push_back(profile("HACC", "compute", 0.60, 0.20, 0.10, 0.10,
+                            0.35, 0.00, 220, 12, 128 << 10, 2));
+    // Square: the canonical element-wise kernel; almost pure streaming.
+    suite.push_back(profile("Square", "compute", 0.90, 0.05, 0.03, 0.02,
+                            0.50, 0.00, 160, 4, 64 << 10, 1));
+    // FFT: butterfly exchanges — strong inter-WF reuse.
+    suite.push_back(profile("FFT", "compute", 0.20, 0.25, 0.40, 0.15,
+                            0.45, 0.00, 260, 10, 64 << 10, 3));
+    suite.push_back(profile("LUD", "compute", 0.15, 0.35, 0.30, 0.20,
+                            0.40, 0.00, 240, 14, 48 << 10, 3));
+    suite.push_back(profile("SpMV", "compute", 0.45, 0.15, 0.15, 0.25,
+                            0.20, 0.00, 200, 8, 96 << 10, 1));
+    suite.push_back(profile("BFS", "compute", 0.30, 0.10, 0.20, 0.40,
+                            0.25, 0.01, 180, 8, 96 << 10, 4));
+    suite.push_back(profile("Histogram", "compute", 0.35, 0.10, 0.15,
+                            0.40, 0.55, 0.02, 180, 6, 32 << 10, 1));
+    suite.push_back(profile("Scan", "compute", 0.40, 0.25, 0.25, 0.10,
+                            0.50, 0.00, 200, 6, 64 << 10, 2));
+    suite.push_back(profile("Reduction", "compute", 0.50, 0.20, 0.22,
+                            0.08, 0.35, 0.01, 180, 6, 64 << 10, 2));
+    suite.push_back(profile("MatMul", "compute", 0.25, 0.40, 0.25, 0.10,
+                            0.30, 0.00, 280, 16, 96 << 10, 1));
+
+    // ---- HeteroSync: fine-grained synchronization microbenchmarks ----
+    suite.push_back(profile("HS-Mutex", "heterosync", 0.05, 0.20, 0.30,
+                            0.45, 0.45, 0.20, 160, 4, 16 << 10, 2));
+    suite.push_back(profile("HS-Barrier", "heterosync", 0.05, 0.25, 0.35,
+                            0.35, 0.40, 0.15, 160, 4, 16 << 10, 3));
+    suite.push_back(profile("HS-Semaphore", "heterosync", 0.05, 0.20,
+                            0.30, 0.45, 0.45, 0.18, 160, 4, 16 << 10, 2));
+    suite.push_back(profile("HS-FA", "heterosync", 0.05, 0.15, 0.30,
+                            0.50, 0.40, 0.30, 160, 4, 16 << 10, 2));
+    suite.push_back(profile("HS-Tree", "heterosync", 0.10, 0.25, 0.35,
+                            0.30, 0.40, 0.12, 180, 5, 24 << 10, 3));
+
+    // ---- MI (machine intelligence) suites -----------------------------
+    suite.push_back(profile("DNN-Conv", "mi", 0.35, 0.40, 0.15, 0.10,
+                            0.30, 0.00, 300, 18, 128 << 10, 2));
+    suite.push_back(profile("DNN-Pool", "mi", 0.60, 0.25, 0.10, 0.05,
+                            0.35, 0.00, 200, 8, 96 << 10, 1));
+    suite.push_back(profile("DNN-FC", "mi", 0.40, 0.30, 0.20, 0.10,
+                            0.30, 0.00, 260, 14, 128 << 10, 2));
+    suite.push_back(profile("DNN-ReLU", "mi", 0.85, 0.08, 0.04, 0.03,
+                            0.50, 0.00, 150, 4, 64 << 10, 1));
+    suite.push_back(profile("DNN-BN", "mi", 0.45, 0.20, 0.25, 0.10,
+                            0.45, 0.02, 200, 8, 64 << 10, 2));
+    suite.push_back(profile("DB-GEMM", "mi", 0.25, 0.45, 0.20, 0.10,
+                            0.30, 0.00, 320, 18, 128 << 10, 1));
+    suite.push_back(profile("DB-RNN", "mi", 0.30, 0.30, 0.25, 0.15,
+                            0.35, 0.01, 260, 12, 96 << 10, 4));
+    suite.push_back(profile("MIO-Conv", "mi", 0.35, 0.40, 0.15, 0.10,
+                            0.30, 0.00, 300, 16, 128 << 10, 2));
+    suite.push_back(profile("MIO-Pool", "mi", 0.55, 0.25, 0.12, 0.08,
+                            0.35, 0.00, 200, 8, 96 << 10, 1));
+    // Interac and CM: the atomic-heavy MI applications that dominate the
+    // union coverage in Fig. 9.
+    suite.push_back(profile("Interac", "mi", 0.10, 0.15, 0.30, 0.45,
+                            0.45, 0.25, 220, 6, 32 << 10, 3));
+    suite.push_back(profile("CM", "mi", 0.10, 0.20, 0.30, 0.40, 0.40,
+                            0.22, 220, 6, 32 << 10, 3));
+
+    assert(suite.size() == 26);
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        suite[i].seed = base_seed + 1000 + i;
+    return suite;
+}
+
+AppProfile
+appByName(const std::string &name, std::uint64_t base_seed)
+{
+    for (const auto &p : makeAppSuite(base_seed)) {
+        if (p.name == name)
+            return p;
+    }
+    assert(false && "unknown application name");
+    return AppProfile{};
+}
+
+} // namespace drf

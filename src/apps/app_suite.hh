@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The 26-application suite used for application-based testing
+ * (Table IV of the paper; reconstructed — see DESIGN.md).
+ *
+ * The paper draws its applications from AMD compute apps, HeteroSync,
+ * and the MI suites (DNNMark, DeepBench, MIOpen benchmarks), and names
+ * HACC, Square, FFT, Interac and CM explicitly; Fig. 6 and Fig. 9 show
+ * that the suite spans vastly different locality mixes and that the
+ * atomic-heavy Interac / CM / HeteroSync programs dominate the union
+ * coverage. The profiles below reproduce that structure.
+ */
+
+#ifndef DRF_APPS_APP_SUITE_HH
+#define DRF_APPS_APP_SUITE_HH
+
+#include <vector>
+
+#include "apps/app_trace.hh"
+
+namespace drf
+{
+
+/** All 26 application profiles, in the paper's reporting spirit. */
+std::vector<AppProfile> makeAppSuite(std::uint64_t base_seed = 1);
+
+/** Look up a profile by name (asserts on unknown names). */
+AppProfile appByName(const std::string &name,
+                     std::uint64_t base_seed = 1);
+
+} // namespace drf
+
+#endif // DRF_APPS_APP_SUITE_HH

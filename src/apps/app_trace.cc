@@ -1,0 +1,258 @@
+#include "apps/app_trace.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drf
+{
+
+namespace
+{
+
+/** Per-app region layout derived from the profile. */
+struct Layout
+{
+    Addr syncBase;     ///< a handful of atomic locations
+    Addr controlBase;  ///< host-CPU control block (args, doorbells)
+    Addr interBase;    ///< inter-WF rotation data
+    std::uint64_t interBytes;
+    Addr mixedBase;    ///< mixed-WF uniformly shared data
+    std::uint64_t mixedBytes;
+    Addr privateBase;  ///< per-WF intra-WF data
+    std::uint64_t privateBytesPerWf;
+    Addr streamBase;   ///< fresh lines for streaming accesses
+
+    /** Whole host-visible shared region (inter + mixed halves). */
+    Addr sharedBase() const { return interBase; }
+    std::uint64_t sharedBytes() const { return interBytes + mixedBytes; }
+};
+
+Layout
+makeLayout(const AppProfile &p, unsigned total_wfs, Addr region_base,
+           unsigned line_bytes)
+{
+    Layout l;
+    l.syncBase = region_base;
+    // The host's own control block lives on lines the GPU and DMA never
+    // touch: real launch queues and kernel-argument blocks are not the
+    // GPU's data region. This keeps the host CPU's directory footprint
+    // realistic (CPU-only lines).
+    l.controlBase = region_base + 2 * line_bytes;
+    // The inter-WF rotation and the mixed-WF pool use disjoint halves
+    // of the shared region so the two locality classes stay separable.
+    l.interBase = region_base + 4 * line_bytes;
+    // Large enough that one wavefront's rotation never revisits a line
+    // (revisits would turn inter-WF reuse into mixed-WF reuse).
+    l.interBytes = std::max<std::uint64_t>(
+        p.workingSetBytes / 4,
+        static_cast<std::uint64_t>(p.memInstrsPerWf) * p.kernels *
+            line_bytes);
+    l.mixedBase = l.interBase + l.interBytes;
+    l.mixedBytes = std::max<std::uint64_t>(p.workingSetBytes / 4,
+                                           2 * line_bytes);
+    l.privateBase = l.mixedBase + l.mixedBytes;
+    l.privateBytesPerWf =
+        std::max<std::uint64_t>(p.workingSetBytes / 2 / total_wfs,
+                                2 * line_bytes);
+    l.streamBase = l.privateBase +
+                   static_cast<std::uint64_t>(total_wfs) *
+                       l.privateBytesPerWf;
+    return l;
+}
+
+} // namespace
+
+AppTrace
+generateAppTrace(const AppProfile &profile, unsigned num_cus,
+                 Addr region_base, unsigned line_bytes)
+{
+    Random rng(profile.seed);
+    const unsigned total_wfs = num_cus * profile.wfsPerCu;
+    const Layout layout =
+        makeLayout(profile, total_wfs, region_base, line_bytes);
+
+    AppTrace trace;
+    trace.profile = profile;
+    trace.regionBase = region_base;
+
+    // Per-WF streaming cursors persist across kernels so streamed lines
+    // are globally fresh.
+    std::vector<Addr> stream_cursor(total_wfs);
+    for (unsigned wf = 0; wf < total_wfs; ++wf) {
+        stream_cursor[wf] = layout.streamBase +
+                            static_cast<Addr>(wf) * (1 << 20);
+    }
+
+    const double frac_sum = profile.streamingFrac + profile.intraWfFrac +
+                            profile.interWfFrac + profile.mixedFrac;
+    assert(frac_sum > 0.0);
+
+    for (unsigned k = 0; k < profile.kernels; ++k) {
+        std::vector<WfTrace> wf_traces(total_wfs);
+        for (unsigned wf = 0; wf < total_wfs; ++wf) {
+            WfTrace &wft = wf_traces[wf];
+            Addr wf_private = layout.privateBase +
+                              static_cast<Addr>(wf) *
+                                  layout.privateBytesPerWf;
+
+            // HeteroSync-style kernels wrap their work in acquire /
+            // release synchronization.
+            bool synced = profile.atomicFrac > 0.0;
+            if (synced) {
+                GpuInstr acq;
+                acq.kind = GpuInstr::Kind::Atomic;
+                acq.acquire = true;
+                acq.laneAddrs.assign(1, layout.syncBase +
+                                            4 * rng.below(8));
+                wft.push_back(acq);
+            }
+
+            for (unsigned m = 0; m < profile.memInstrsPerWf; ++m) {
+                // Front-end work between memory instructions.
+                for (unsigned a = 0; a < profile.aluPerMem; ++a)
+                    wft.push_back(GpuInstr{});
+
+                if (rng.real() < profile.atomicFrac) {
+                    GpuInstr instr;
+                    instr.kind = GpuInstr::Kind::Atomic;
+                    instr.laneAddrs.assign(
+                        1, layout.syncBase + 4 * rng.below(8));
+                    wft.push_back(std::move(instr));
+                    continue;
+                }
+
+                GpuInstr instr;
+                instr.kind = rng.real() < profile.storeFrac
+                                 ? GpuInstr::Kind::Store
+                                 : GpuInstr::Kind::Load;
+                instr.laneAddrs.assign(profile.lanes, invalidAddr);
+
+                double roll = rng.real() * frac_sum;
+                if (roll < profile.streamingFrac) {
+                    // Coalesced access to a globally fresh line.
+                    Addr base = stream_cursor[wf];
+                    stream_cursor[wf] += line_bytes;
+                    for (unsigned lane = 0; lane < profile.lanes; ++lane) {
+                        instr.laneAddrs[lane] =
+                            base + (lane * 4) % line_bytes;
+                    }
+                } else if (roll <
+                           profile.streamingFrac + profile.intraWfFrac) {
+                    // Reuse within this WF's private tile.
+                    Addr base = wf_private +
+                                line_bytes *
+                                    rng.below(layout.privateBytesPerWf /
+                                              line_bytes);
+                    for (unsigned lane = 0; lane < profile.lanes; ++lane) {
+                        instr.laneAddrs[lane] =
+                            base + (lane * 4) % line_bytes;
+                    }
+                } else if (roll < profile.streamingFrac +
+                                      profile.intraWfFrac +
+                                      profile.interWfFrac) {
+                    // Rotating slices of the shared region: every WF
+                    // touches a given line about once, many WFs touch
+                    // it. The per-kernel offset keeps later launches
+                    // rotating forward instead of re-touching the same
+                    // slice (which would look like intra-WF reuse).
+                    std::uint64_t lines =
+                        layout.interBytes / line_bytes;
+                    std::uint64_t slice =
+                        (static_cast<std::uint64_t>(wf) + m +
+                         static_cast<std::uint64_t>(k) *
+                             profile.memInstrsPerWf) %
+                        lines;
+                    Addr base = layout.interBase + slice * line_bytes;
+                    for (unsigned lane = 0; lane < profile.lanes; ++lane) {
+                        instr.laneAddrs[lane] =
+                            base + (lane * 4) % line_bytes;
+                    }
+                } else {
+                    // Mixed: uniform over the shared region.
+                    Addr base =
+                        layout.mixedBase +
+                        line_bytes *
+                            rng.below(layout.mixedBytes / line_bytes);
+                    for (unsigned lane = 0; lane < profile.lanes; ++lane) {
+                        instr.laneAddrs[lane] =
+                            base + (lane * 4) % line_bytes;
+                    }
+                }
+                wft.push_back(std::move(instr));
+            }
+
+            if (synced) {
+                GpuInstr rel;
+                rel.kind = GpuInstr::Kind::Atomic;
+                rel.release = true;
+                rel.laneAddrs.assign(1, layout.syncBase +
+                                            4 * rng.below(8));
+                wft.push_back(rel);
+            }
+        }
+        trace.kernels.push_back(std::move(wf_traces));
+    }
+
+    // Host phases. Real GPU applications move their data with DMA bulk
+    // transfers; the host CPU itself touches device-visible memory only
+    // lightly (doorbells, a few result checks). Phase 0 initializes
+    // device data by DMA; between kernels the host re-initializes a
+    // slice of the shared region by DMA — writes to lines the GPU
+    // cached, which is what drives probe-invalidations into the GPU L2;
+    // the final phase reads results back.
+    trace.hostPhases.resize(profile.kernels + 1);
+
+    const unsigned init_lines = static_cast<unsigned>(
+        std::min<std::uint64_t>(layout.sharedBytes() / line_bytes, 64));
+
+    HostPhase &init = trace.hostPhases.front();
+    if (profile.usesDma) {
+        for (unsigned i = 0; i < init_lines; ++i) {
+            init.dmaOps.emplace_back(
+                layout.sharedBase() + static_cast<Addr>(i) * line_bytes,
+                true);
+        }
+    }
+    // A few cacheable host accesses to the control block: argument
+    // setup and one doorbell.
+    for (unsigned i = 0; i < 4; ++i) {
+        Addr addr = layout.controlBase + rng.below(2 * line_bytes);
+        init.cpuOps.emplace_back(addr, /*is_store=*/i == 0);
+    }
+
+    if (profile.hostReinitBetweenKernels) {
+        for (unsigned k = 1; k < profile.kernels; ++k) {
+            HostPhase &phase = trace.hostPhases[k];
+            if (profile.usesDma) {
+                for (unsigned i = 0; i < 12; ++i) {
+                    Addr lineaddr =
+                        layout.sharedBase() +
+                        line_bytes *
+                            rng.below(layout.sharedBytes() / line_bytes);
+                    phase.dmaOps.emplace_back(lineaddr, rng.pct(75));
+                }
+            }
+            // Occasional host peek at the control block between
+            // launches.
+            Addr addr = layout.controlBase + rng.below(2 * line_bytes);
+            phase.cpuOps.emplace_back(addr, rng.pct(25));
+        }
+    }
+
+    HostPhase &readback = trace.hostPhases.back();
+    for (unsigned i = 0; i < 6; ++i) {
+        Addr addr = layout.controlBase + rng.below(2 * line_bytes);
+        readback.cpuOps.emplace_back(addr, false);
+    }
+    if (profile.usesDma) {
+        for (unsigned i = 0; i < init_lines / 2 + 1; ++i) {
+            readback.dmaOps.emplace_back(
+                layout.sharedBase() + static_cast<Addr>(i) * line_bytes,
+                false);
+        }
+    }
+
+    return trace;
+}
+
+} // namespace drf

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Synthetic application traces.
+ *
+ * Stand-in for the paper's 26 real GPU applications (compute apps,
+ * HeteroSync, and the MI suites — DNNMark, DeepBench, MIOpen
+ * benchmarks), which require a ROCm toolchain and GPU binaries this
+ * environment does not have. Each application is characterized by the
+ * properties that matter to the experiments: its data-locality mix in
+ * the Koo et al. taxonomy (streaming / intra-WF / inter-WF / mixed-WF,
+ * Fig. 6), its store and atomic intensity, its working-set size, its
+ * kernel count, and whether the host re-initializes data between kernel
+ * launches (which is what generates CPU and DMA traffic against lines
+ * the GPU cached — the app-only directory and PrbInv transitions).
+ */
+
+#ifndef DRF_APPS_APP_TRACE_HH
+#define DRF_APPS_APP_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/gpu_core.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace drf
+{
+
+/** Workload characterization of one application. */
+struct AppProfile
+{
+    std::string name;
+    std::string suite; ///< "compute", "heterosync", "mi"
+
+    unsigned kernels = 2;        ///< kernel launches
+    unsigned wfsPerCu = 2;
+    unsigned lanes = 16;
+    unsigned memInstrsPerWf = 200; ///< memory instructions per WF/kernel
+    unsigned aluPerMem = 8;        ///< ALU instructions per memory op
+
+    /** Locality mix over memory accesses; should sum to ~1. */
+    double streamingFrac = 0.25;
+    double intraWfFrac = 0.25;
+    double interWfFrac = 0.25;
+    double mixedFrac = 0.25;
+
+    double storeFrac = 0.3;   ///< stores among non-atomic memory ops
+    double atomicFrac = 0.0;  ///< atomics among memory ops
+
+    std::uint64_t workingSetBytes = 64 * 1024;
+    bool hostReinitBetweenKernels = true;
+    bool usesDma = true;
+
+    std::uint64_t seed = 1;
+};
+
+/** Host-side activity around one kernel launch. */
+struct HostPhase
+{
+    /** CPU ops: (byte address, is-store). */
+    std::vector<std::pair<Addr, bool>> cpuOps;
+    /** DMA ops: (line address, is-write). */
+    std::vector<std::pair<Addr, bool>> dmaOps;
+};
+
+/** A complete runnable application. */
+struct AppTrace
+{
+    AppProfile profile;
+    /** kernels x (cus*wfsPerCu) wavefront traces. */
+    std::vector<std::vector<WfTrace>> kernels;
+    /** kernels+1 host phases (before each kernel, plus a final one). */
+    std::vector<HostPhase> hostPhases;
+    /** Base of the app's device data region. */
+    Addr regionBase = 0;
+};
+
+/**
+ * Generate the full trace of @p profile for @p num_cus compute units.
+ *
+ * @param region_base Base address of the app's data region.
+ * @param line_bytes  Cache line size (for DMA ops and region layout).
+ */
+AppTrace generateAppTrace(const AppProfile &profile, unsigned num_cus,
+                          Addr region_base, unsigned line_bytes);
+
+} // namespace drf
+
+#endif // DRF_APPS_APP_TRACE_HH

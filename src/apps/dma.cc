@@ -1,0 +1,95 @@
+#include "apps/dma.hh"
+
+#include <cassert>
+
+namespace drf
+{
+
+DmaEngine::DmaEngine(std::string name, EventQueue &eq,
+                     const DmaConfig &cfg, Crossbar &xbar, int endpoint,
+                     int dir_ep)
+    : SimObject(std::move(name), eq), _cfg(cfg), _xbar(xbar),
+      _endpoint(endpoint), _dirEndpoint(dir_ep), _stats(SimObject::name())
+{
+    xbar.attach(endpoint, *this);
+}
+
+void
+DmaEngine::readRange(Addr base, unsigned lines, DoneFunc on_done)
+{
+    assert(lines > 0);
+    for (unsigned i = 0; i < lines; ++i) {
+        Op op;
+        op.isWrite = false;
+        op.addr = base + static_cast<Addr>(i) * _cfg.lineBytes;
+        if (i == lines - 1)
+            op.onDone = std::move(on_done);
+        _queue.push_back(std::move(op));
+    }
+    pump();
+}
+
+void
+DmaEngine::writeRange(Addr base, unsigned lines, std::uint8_t fill,
+                      DoneFunc on_done)
+{
+    assert(lines > 0);
+    for (unsigned i = 0; i < lines; ++i) {
+        Op op;
+        op.isWrite = true;
+        op.addr = base + static_cast<Addr>(i) * _cfg.lineBytes;
+        op.fill = fill;
+        if (i == lines - 1)
+            op.onDone = std::move(on_done);
+        _queue.push_back(std::move(op));
+    }
+    pump();
+}
+
+void
+DmaEngine::pump()
+{
+    while (_inFlight < _cfg.maxOutstanding && !_queue.empty()) {
+        Op op = std::move(_queue.front());
+        _queue.pop_front();
+
+        Packet pkt;
+        pkt.addr = lineAlign(op.addr, _cfg.lineBytes);
+        pkt.id = _nextId++;
+        pkt.issueTick = curTick();
+        if (op.isWrite) {
+            pkt.type = MsgType::DmaWrite;
+            pkt.data.assign(_cfg.lineBytes, op.fill);
+            pkt.mask.assign(_cfg.lineBytes, 1);
+            _stats.counter("writes").inc();
+        } else {
+            pkt.type = MsgType::DmaRead;
+            _stats.counter("reads").inc();
+        }
+        if (op.onDone)
+            _completions.emplace(pkt.id, std::move(op.onDone));
+        ++_inFlight;
+        _xbar.route(_endpoint, _dirEndpoint, std::move(pkt));
+    }
+}
+
+void
+DmaEngine::recvMsg(Packet pkt)
+{
+    assert(pkt.type == MsgType::DmaReadResp ||
+           pkt.type == MsgType::DmaWriteResp);
+    assert(_inFlight > 0);
+    --_inFlight;
+
+    auto it = _completions.find(pkt.id);
+    if (it != _completions.end()) {
+        DoneFunc fn = std::move(it->second);
+        _completions.erase(it);
+        pump();
+        fn();
+        return;
+    }
+    pump();
+}
+
+} // namespace drf

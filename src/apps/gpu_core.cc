@@ -1,0 +1,138 @@
+#include "apps/gpu_core.hh"
+
+#include <cassert>
+
+namespace drf
+{
+
+GpuCoreModel::GpuCoreModel(std::string name, EventQueue &eq,
+                           const GpuCoreConfig &cfg, GpuL1Cache &l1,
+                           RequestorId requestor_base)
+    : SimObject(std::move(name), eq), _cfg(cfg), _l1(l1),
+      _requestorBase(requestor_base), _stats(SimObject::name())
+{
+    _l1.bindCoreResponse([this](Packet pkt) {
+        onResponse(std::move(pkt));
+    });
+}
+
+void
+GpuCoreModel::launch(std::vector<WfTrace> traces, DoneFunc on_done)
+{
+    assert(_activeWfs == 0 && "core already running a kernel");
+    _onDone = std::move(on_done);
+    _wfs.clear();
+    _wfs.resize(traces.size());
+    _activeWfs = 0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        _wfs[i].trace = std::move(traces[i]);
+        _wfs[i].id = static_cast<unsigned>(i);
+        if (!_wfs[i].trace.empty()) {
+            ++_activeWfs;
+            // Launch skew: wavefronts do not start in the same cycle.
+            scheduleAfter(static_cast<Tick>(i) * _cfg.stageLatency,
+                          [this, i] { step(static_cast<unsigned>(i)); });
+        }
+    }
+    if (_activeWfs == 0 && _onDone) {
+        scheduleAfter(1, [this] {
+            DoneFunc fn = std::move(_onDone);
+            fn();
+        });
+    }
+}
+
+void
+GpuCoreModel::wfFinished()
+{
+    assert(_activeWfs > 0);
+    if (--_activeWfs == 0 && _onDone) {
+        DoneFunc fn = std::move(_onDone);
+        fn();
+    }
+}
+
+void
+GpuCoreModel::step(unsigned wf_idx)
+{
+    WfState &wf = _wfs[wf_idx];
+    if (wf.pc >= wf.trace.size()) {
+        wfFinished();
+        return;
+    }
+
+    const GpuInstr &instr = wf.trace[wf.pc];
+    ++wf.pc;
+    ++_instrs;
+
+    // Every instruction pays the front-end pipeline cost; this is the
+    // structural reason application-based testing is slow.
+    Tick front_end = _cfg.pipelineStages * _cfg.stageLatency;
+
+    if (instr.kind == GpuInstr::Kind::Alu) {
+        _stats.counter("alu_instrs").inc();
+        scheduleAfter(front_end, [this, wf_idx] { step(wf_idx); });
+        return;
+    }
+
+    scheduleAfter(front_end, [this, wf_idx, &instr] {
+        WfState &wf2 = _wfs[wf_idx];
+        wf2.pending = 0;
+        for (unsigned lane = 0;
+             lane < instr.laneAddrs.size() && lane < _cfg.lanes; ++lane) {
+            Addr addr = instr.laneAddrs[lane];
+            if (addr == invalidAddr)
+                continue;
+
+            Packet pkt;
+            pkt.addr = addr;
+            pkt.size = _cfg.accessBytes;
+            pkt.requestor = _requestorBase + wf2.id * _cfg.lanes + lane;
+            pkt.id = _nextId++;
+            pkt.issueTick = curTick();
+            pkt.acquire = instr.acquire;
+            pkt.release = instr.release;
+
+            switch (instr.kind) {
+              case GpuInstr::Kind::Load:
+                pkt.type = MsgType::LoadReq;
+                _stats.counter("loads").inc();
+                break;
+              case GpuInstr::Kind::Store:
+                pkt.type = MsgType::StoreReq;
+                pkt.data.assign(_cfg.accessBytes,
+                                static_cast<std::uint8_t>(pkt.id));
+                _stats.counter("stores").inc();
+                break;
+              case GpuInstr::Kind::Atomic:
+                pkt.type = MsgType::AtomicReq;
+                pkt.atomicOperand = 1;
+                _stats.counter("atomics").inc();
+                break;
+              case GpuInstr::Kind::Alu:
+                assert(false);
+                break;
+            }
+            ++wf2.pending;
+            _l1.coreRequest(std::move(pkt));
+        }
+        if (wf2.pending == 0) {
+            // Fully predicated-off vector op.
+            step(wf_idx);
+        }
+    });
+}
+
+void
+GpuCoreModel::onResponse(Packet pkt)
+{
+    unsigned wf_idx = (pkt.requestor - _requestorBase) / _cfg.lanes;
+    WfState &wf = _wfs.at(wf_idx);
+    assert(wf.pending > 0);
+    if (--wf.pending == 0) {
+        // Lockstep: the vector op completed; move on.
+        step(wf_idx);
+    }
+}
+
+} // namespace drf

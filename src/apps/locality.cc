@@ -1,0 +1,66 @@
+#include "apps/locality.hh"
+
+#include <set>
+#include <unordered_map>
+
+namespace drf
+{
+
+LocalityBreakdown
+profileLocality(const AppTrace &trace, unsigned line_bytes)
+{
+    struct LineUse
+    {
+        std::uint64_t touches = 0;
+        std::uint32_t maxPerWf = 0;
+        std::unordered_map<std::uint32_t, std::uint32_t> perWf;
+    };
+
+    std::unordered_map<Addr, LineUse> lines;
+
+    for (const auto &kernel : trace.kernels) {
+        for (std::uint32_t wf = 0; wf < kernel.size(); ++wf) {
+            // WF identity is stable across kernel launches: wavefront i
+            // reuses wavefront i's tiles, so cross-kernel reuse of a
+            // private tile is still intra-WF locality.
+            std::uint32_t wf_id = wf;
+            for (const auto &instr : kernel[wf]) {
+                if (instr.kind == GpuInstr::Kind::Alu)
+                    continue;
+                // Coalesce: distinct lines touched by this instruction.
+                std::set<Addr> touched;
+                for (Addr addr : instr.laneAddrs) {
+                    if (addr != invalidAddr)
+                        touched.insert(lineAlign(addr, line_bytes));
+                }
+                for (Addr line : touched) {
+                    LineUse &use = lines[line];
+                    ++use.touches;
+                    std::uint32_t &cnt = use.perWf[wf_id];
+                    ++cnt;
+                    if (cnt > use.maxPerWf)
+                        use.maxPerWf = cnt;
+                }
+            }
+        }
+    }
+
+    // Weight each line class by its touch count so the breakdown
+    // reflects where the *accesses* go (a handful of hot shared lines
+    // matters more than it would under a per-line count).
+    LocalityBreakdown breakdown;
+    for (const auto &[line, use] : lines) {
+        if (use.touches == 1) {
+            breakdown.streaming += use.touches;
+        } else if (use.perWf.size() == 1) {
+            breakdown.intraWf += use.touches;
+        } else if (use.maxPerWf == 1) {
+            breakdown.interWf += use.touches;
+        } else {
+            breakdown.mixedWf += use.touches;
+        }
+    }
+    return breakdown;
+}
+
+} // namespace drf

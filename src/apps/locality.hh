@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Data-locality characterization after Koo et al., as used for Fig. 6.
+ *
+ * Cache-line usage between wavefronts is classified as:
+ *  - streaming: the line is touched exactly once (one WF, one access),
+ *  - intra-WF:  reused, but only ever by one wavefront,
+ *  - inter-WF:  reused by several wavefronts, each touching it once,
+ *  - mixed-WF:  reused both within and across wavefronts.
+ *
+ * A coalesced vector access (several lanes of one instruction hitting
+ * one line) counts as a single touch, matching how a GPU actually
+ * presents it to the cache.
+ */
+
+#ifndef DRF_APPS_LOCALITY_HH
+#define DRF_APPS_LOCALITY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "apps/app_trace.hh"
+
+namespace drf
+{
+
+/** Fig. 6 breakdown for one application. */
+struct LocalityBreakdown
+{
+    std::uint64_t streaming = 0;
+    std::uint64_t intraWf = 0;
+    std::uint64_t interWf = 0;
+    std::uint64_t mixedWf = 0;
+
+    std::uint64_t total() const
+    {
+        return streaming + intraWf + interWf + mixedWf;
+    }
+
+    double frac(std::uint64_t part) const
+    {
+        return total() == 0
+            ? 0.0 : static_cast<double>(part) / total();
+    }
+};
+
+/**
+ * Classify every line touched by @p trace's GPU kernels.
+ */
+LocalityBreakdown profileLocality(const AppTrace &trace,
+                                  unsigned line_bytes);
+
+} // namespace drf
+
+#endif // DRF_APPS_LOCALITY_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Coherence state-transition coverage instrumentation.
+ *
+ * Every protocol controller owns a CoverageGrid over its (event, state)
+ * space and reports each transition it takes. The evaluation classifies
+ * cells the way the paper's Fig. 7 does:
+ *
+ *  - Undef:  no transition is defined from the state via the event; if it
+ *            fires anyway the protocol implementation is faulty.
+ *  - Active: a defined transition that was observed during testing.
+ *  - Inact:  a defined transition never observed.
+ *  - Impsb:  a defined transition unreachable for a given test type
+ *            (e.g., PrbInv at the GPU L2 when only the GPU tester runs).
+ *
+ * Coverage = Active / (Defined - Impsb), computed over "reachable"
+ * transitions exactly as in Section IV.B.
+ */
+
+#ifndef DRF_COVERAGE_COVERAGE_HH
+#define DRF_COVERAGE_COVERAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace drf
+{
+
+/** Classification of one (event, state) cell for reporting. */
+enum class CellClass
+{
+    Undef,
+    Inact,
+    Active,
+    Impsb,
+};
+
+/** Printable name of a cell class. */
+const char *cellClassName(CellClass c);
+
+/**
+ * Static description of a controller's transition space: state names,
+ * event names, which cells are defined, and named sets of cells that are
+ * unreachable under particular test types.
+ */
+class TransitionSpec
+{
+  public:
+    TransitionSpec(std::string controller_name,
+                   std::vector<std::string> states,
+                   std::vector<std::string> events);
+
+    const std::string &name() const { return _name; }
+    const std::vector<std::string> &states() const { return _states; }
+    const std::vector<std::string> &events() const { return _events; }
+
+    std::size_t numStates() const { return _states.size(); }
+    std::size_t numEvents() const { return _events.size(); }
+    std::size_t numCells() const { return _states.size() * _events.size(); }
+
+    /** Flat cell index for (event, state). */
+    std::size_t
+    cell(std::size_t event, std::size_t state) const
+    {
+        return event * _states.size() + state;
+    }
+
+    /** Declare (event, state) as a defined transition. */
+    void define(std::size_t event, std::size_t state);
+
+    /** True if the cell has a defined transition. */
+    bool defined(std::size_t event, std::size_t state) const;
+
+    /** Total number of defined cells. */
+    std::size_t definedCount() const;
+
+    /**
+     * Mark (event, state) unreachable under test type @p test_type
+     * (e.g. "gpu_tester", "cpu_tester").
+     */
+    void markImpossible(const std::string &test_type, std::size_t event,
+                        std::size_t state);
+
+    /** True if the cell is unreachable under @p test_type. */
+    bool impossible(const std::string &test_type, std::size_t event,
+                    std::size_t state) const;
+
+    /** Number of impossible cells under @p test_type. */
+    std::size_t impossibleCount(const std::string &test_type) const;
+
+    /** Defined minus impossible: the reachable-transition count. */
+    std::size_t reachableCount(const std::string &test_type) const;
+
+    /** Look up a state index by name. Asserts on unknown names. */
+    std::size_t stateIndex(const std::string &state_name) const;
+
+    /** Look up an event index by name. Asserts on unknown names. */
+    std::size_t eventIndex(const std::string &event_name) const;
+
+  private:
+    std::string _name;
+    std::vector<std::string> _states;
+    std::vector<std::string> _events;
+    std::vector<bool> _defined;
+    std::map<std::string, std::set<std::size_t>> _impossibleSets;
+};
+
+/**
+ * Hit counts over one controller's transition space.
+ */
+class CoverageGrid
+{
+  public:
+    explicit CoverageGrid(const TransitionSpec &spec);
+
+    const TransitionSpec &spec() const { return *_spec; }
+
+    /** Record one activation of (event, state). */
+    void hit(std::size_t event, std::size_t state);
+
+    /** Hit count of one cell. */
+    std::uint64_t count(std::size_t event, std::size_t state) const;
+
+    /** Total transition activations recorded. */
+    std::uint64_t totalHits() const { return _totalHits; }
+
+    /** Merge another grid over the same spec (union coverage). */
+    void merge(const CoverageGrid &other);
+
+    /** Forget all hits. */
+    void reset();
+
+    /** Classify one cell under a test type ("" = nothing impossible). */
+    CellClass classify(std::size_t event, std::size_t state,
+                       const std::string &test_type = "") const;
+
+    /** Number of Active cells under @p test_type. */
+    std::size_t activeCount(const std::string &test_type = "") const;
+
+    /**
+     * Transition coverage in percent: Active / (Defined - Impsb) * 100.
+     */
+    double coveragePct(const std::string &test_type = "") const;
+
+    /**
+     * Render a Fig. 5-style heat map: rows are events, columns states,
+     * shading by log10 of the hit count.
+     */
+    void renderHeatMap(std::ostream &os) const;
+
+    /**
+     * Render a Fig. 7-style classification map using one letter per cell:
+     * 'U'ndef, 'A'ctive, '.' inactive, 'X' impossible.
+     */
+    void renderClassMap(std::ostream &os,
+                        const std::string &test_type = "") const;
+
+  private:
+    const TransitionSpec *_spec;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _totalHits = 0;
+};
+
+} // namespace drf
+
+#endif // DRF_COVERAGE_COVERAGE_HH

@@ -1,0 +1,162 @@
+#include "mem/cache_array.hh"
+
+#include <cassert>
+
+namespace drf
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CacheArray::CacheArray(std::uint64_t size_bytes, unsigned assoc,
+                       unsigned line_bytes)
+    : _assoc(assoc), _lineBytes(line_bytes)
+{
+    assert(isPow2(line_bytes));
+    assert(assoc > 0);
+    assert(size_bytes >= static_cast<std::uint64_t>(assoc) * line_bytes);
+    _numSets = size_bytes / (static_cast<std::uint64_t>(assoc) *
+                             line_bytes);
+    assert(isPow2(_numSets));
+    _entries.resize(_numSets * _assoc);
+    for (auto &entry : _entries) {
+        entry.data.assign(_lineBytes, 0);
+        entry.dirty.assign(_lineBytes, 0);
+    }
+}
+
+std::uint64_t
+CacheArray::setIndex(Addr line_addr) const
+{
+    return (line_addr / _lineBytes) & (_numSets - 1);
+}
+
+CacheEntry *
+CacheArray::setBase(Addr line_addr)
+{
+    return &_entries[setIndex(line_addr) * _assoc];
+}
+
+const CacheEntry *
+CacheArray::setBase(Addr line_addr) const
+{
+    return &_entries[setIndex(line_addr) * _assoc];
+}
+
+CacheEntry *
+CacheArray::findEntry(Addr line_addr)
+{
+    CacheEntry *base = setBase(line_addr);
+    for (unsigned way = 0; way < _assoc; ++way) {
+        if (base[way].valid && base[way].lineAddr == line_addr)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+const CacheEntry *
+CacheArray::findEntry(Addr line_addr) const
+{
+    const CacheEntry *base = setBase(line_addr);
+    for (unsigned way = 0; way < _assoc; ++way) {
+        if (base[way].valid && base[way].lineAddr == line_addr)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+bool
+CacheArray::hasFreeWay(Addr line_addr) const
+{
+    const CacheEntry *base = setBase(line_addr);
+    for (unsigned way = 0; way < _assoc; ++way) {
+        if (!base[way].valid)
+            return true;
+    }
+    return false;
+}
+
+CacheEntry &
+CacheArray::allocate(Addr line_addr)
+{
+    assert(findEntry(line_addr) == nullptr);
+    CacheEntry *base = setBase(line_addr);
+    for (unsigned way = 0; way < _assoc; ++way) {
+        CacheEntry &entry = base[way];
+        if (!entry.valid) {
+            entry.valid = true;
+            entry.lineAddr = line_addr;
+            entry.state = 0;
+            entry.data.assign(_lineBytes, 0);
+            entry.dirty.assign(_lineBytes, 0);
+            touch(entry);
+            return entry;
+        }
+    }
+    assert(false && "allocate called with no free way");
+    return base[0];
+}
+
+CacheEntry &
+CacheArray::victim(Addr line_addr)
+{
+    CacheEntry *base = setBase(line_addr);
+    CacheEntry *lru = nullptr;
+    for (unsigned way = 0; way < _assoc; ++way) {
+        CacheEntry &entry = base[way];
+        if (!entry.valid)
+            continue;
+        if (lru == nullptr || entry.lastUsed < lru->lastUsed)
+            lru = &entry;
+    }
+    assert(lru != nullptr && "victim requested from an empty set");
+    return *lru;
+}
+
+void
+CacheArray::invalidate(CacheEntry &entry)
+{
+    entry.valid = false;
+    entry.lineAddr = invalidAddr;
+    entry.state = 0;
+    entry.clearDirty();
+}
+
+void
+CacheArray::invalidateAll()
+{
+    for (auto &entry : _entries) {
+        if (entry.valid)
+            invalidate(entry);
+    }
+}
+
+std::vector<CacheEntry *>
+CacheArray::setEntries(Addr line_addr)
+{
+    std::vector<CacheEntry *> ways;
+    CacheEntry *base = setBase(line_addr);
+    ways.reserve(_assoc);
+    for (unsigned way = 0; way < _assoc; ++way)
+        ways.push_back(&base[way]);
+    return ways;
+}
+
+std::uint64_t
+CacheArray::validCount() const
+{
+    std::uint64_t count = 0;
+    for (const auto &entry : _entries)
+        count += entry.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace drf

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Set-associative cache data array with LRU replacement and per-byte
+ * dirty masks (VIPER performs stores immediately using per-byte masks).
+ *
+ * The array is protocol-agnostic: controllers store their coherence state
+ * in each entry's integer @c state field and interpret it themselves.
+ */
+
+#ifndef DRF_MEM_CACHE_ARRAY_HH
+#define DRF_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace drf
+{
+
+/** One cache line: tag, controller-defined state, data, dirty mask. */
+struct CacheEntry
+{
+    bool valid = false;
+    Addr lineAddr = invalidAddr;
+    int state = 0;
+    std::vector<std::uint8_t> data;
+    std::vector<std::uint8_t> dirty; ///< per-byte dirty mask (0/1)
+    std::uint64_t lastUsed = 0;      ///< LRU timestamp
+
+    /** Mark every byte clean. */
+    void
+    clearDirty()
+    {
+        dirty.assign(dirty.size(), 0);
+    }
+};
+
+/**
+ * Parametric set-associative array.
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes Total capacity.
+     * @param assoc      Associativity (ways per set).
+     * @param line_bytes Line size (power of two).
+     */
+    CacheArray(std::uint64_t size_bytes, unsigned assoc,
+               unsigned line_bytes);
+
+    unsigned lineBytes() const { return _lineBytes; }
+    unsigned assoc() const { return _assoc; }
+    std::uint64_t numSets() const { return _numSets; }
+    std::uint64_t capacity() const
+    {
+        return _numSets * _assoc * _lineBytes;
+    }
+
+    /** Find the entry holding @p line_addr, or nullptr on a miss. */
+    CacheEntry *findEntry(Addr line_addr);
+    const CacheEntry *findEntry(Addr line_addr) const;
+
+    /** True if the set for @p line_addr has an invalid (free) way. */
+    bool hasFreeWay(Addr line_addr) const;
+
+    /**
+     * Allocate an entry for @p line_addr in a free way.
+     *
+     * @pre hasFreeWay(line_addr) and no existing entry for the line.
+     * @return the freshly initialized entry (valid, zeroed data/dirty).
+     */
+    CacheEntry &allocate(Addr line_addr);
+
+    /**
+     * The least-recently-used valid entry in @p line_addr's set — the
+     * replacement victim when the set is full.
+     *
+     * @pre the set has at least one valid entry.
+     */
+    CacheEntry &victim(Addr line_addr);
+
+    /** Invalidate one entry. */
+    void invalidate(CacheEntry &entry);
+
+    /** Invalidate every valid line (VIPER acquire flash-invalidation). */
+    void invalidateAll();
+
+    /** Record a use of @p entry for LRU bookkeeping. */
+    void touch(CacheEntry &entry) { entry.lastUsed = ++_useClock; }
+
+    /** Number of currently valid entries. */
+    std::uint64_t validCount() const;
+
+    /** All entries (tests and flush walks). */
+    std::vector<CacheEntry> &entries() { return _entries; }
+    const std::vector<CacheEntry> &entries() const { return _entries; }
+
+    /**
+     * Pointers to every way of @p line_addr's set, for controllers that
+     * need custom victim policies (e.g. skipping lines with MSHRs).
+     */
+    std::vector<CacheEntry *> setEntries(Addr line_addr);
+
+  private:
+    std::uint64_t setIndex(Addr line_addr) const;
+    CacheEntry *setBase(Addr line_addr);
+    const CacheEntry *setBase(Addr line_addr) const;
+
+    unsigned _assoc;
+    unsigned _lineBytes;
+    std::uint64_t _numSets;
+    std::uint64_t _useClock = 0;
+    std::vector<CacheEntry> _entries;
+};
+
+} // namespace drf
+
+#endif // DRF_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,83 @@
+#include "mem/memory.hh"
+
+#include <cassert>
+
+#include "sim/logger.hh"
+
+namespace drf
+{
+
+SimpleMemory::SimpleMemory(std::string name, EventQueue &eq,
+                           unsigned line_bytes, Tick latency)
+    : SimObject(std::move(name), eq), _lineBytes(line_bytes),
+      _latency(latency), _stats(SimObject::name())
+{
+}
+
+std::vector<std::uint8_t> &
+SimpleMemory::line(Addr line_addr)
+{
+    auto it = _store.find(line_addr);
+    if (it == _store.end()) {
+        it = _store.emplace(line_addr,
+                            std::vector<std::uint8_t>(_lineBytes, 0))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+SimpleMemory::recvMsg(Packet pkt)
+{
+    assert(_respond && "memory response callback not bound");
+    assert(lineAlign(pkt.addr, _lineBytes) == pkt.addr &&
+           "memory accessed at non-line granularity");
+
+    if (pkt.type == MsgType::MemRead) {
+        _stats.counter("reads").inc();
+        Packet resp = pkt;
+        resp.type = MsgType::MemData;
+        resp.data = line(pkt.addr);
+        scheduleAfter(_latency, [this, resp = std::move(resp)]() mutable {
+            _respond(std::move(resp));
+        });
+    } else if (pkt.type == MsgType::MemWrite) {
+        _stats.counter("writes").inc();
+        auto &stored = line(pkt.addr);
+        assert(pkt.data.size() == _lineBytes);
+        for (unsigned i = 0; i < _lineBytes; ++i) {
+            if (pkt.mask.empty() || pkt.mask[i])
+                stored[i] = pkt.data[i];
+        }
+        Packet resp = pkt;
+        resp.type = MsgType::MemWBAck;
+        resp.data.clear();
+        resp.mask.clear();
+        scheduleAfter(_latency, [this, resp = std::move(resp)]() mutable {
+            _respond(std::move(resp));
+        });
+    } else {
+        assert(false && "unexpected message type at memory");
+    }
+}
+
+std::vector<std::uint8_t>
+SimpleMemory::peekLine(Addr line_addr) const
+{
+    auto it = _store.find(line_addr);
+    if (it == _store.end())
+        return std::vector<std::uint8_t>(_lineBytes, 0);
+    return it->second;
+}
+
+void
+SimpleMemory::pokeBytes(Addr addr, const std::vector<std::uint8_t> &bytes)
+{
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        Addr byte_addr = addr + i;
+        Addr base = lineAlign(byte_addr, _lineBytes);
+        line(base)[lineOffset(byte_addr, _lineBytes)] = bytes[i];
+    }
+}
+
+} // namespace drf

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-latency DRAM model with a sparse backing store.
+ *
+ * Services line-granularity MemRead / MemWrite (with byte masks) from the
+ * directory and responds with MemData / MemWBAck. Uninitialized memory
+ * reads as zero.
+ */
+
+#ifndef DRF_MEM_MEMORY_HH
+#define DRF_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "mem/port.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace drf
+{
+
+/**
+ * Main memory. The response path is a bound callback rather than a port
+ * because exactly one component (the directory) ever talks to DRAM.
+ */
+class SimpleMemory : public SimObject, public MsgReceiver
+{
+  public:
+    using RespFunc = std::function<void(Packet)>;
+
+    /**
+     * @param name       Instance name.
+     * @param eq         Event queue.
+     * @param line_bytes Line size.
+     * @param latency    Access latency in ticks.
+     */
+    SimpleMemory(std::string name, EventQueue &eq, unsigned line_bytes,
+                 Tick latency);
+
+    /** Bind the response callback (the directory's receive path). */
+    void bindResponse(RespFunc fn) { _respond = std::move(fn); }
+
+    /** Handle MemRead / MemWrite. */
+    void recvMsg(Packet pkt) override;
+
+    /**
+     * Debug/bootstrap access: read a full line without timing.
+     */
+    std::vector<std::uint8_t> peekLine(Addr line_addr) const;
+
+    /**
+     * Debug/bootstrap access: write bytes without timing (used to
+     * initialize workload data).
+     */
+    void pokeBytes(Addr addr, const std::vector<std::uint8_t> &bytes);
+
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    std::vector<std::uint8_t> &line(Addr line_addr);
+
+    unsigned _lineBytes;
+    Tick _latency;
+    RespFunc _respond;
+    std::unordered_map<Addr, std::vector<std::uint8_t>> _store;
+    StatGroup _stats;
+};
+
+} // namespace drf
+
+#endif // DRF_MEM_MEMORY_HH

@@ -1,0 +1,65 @@
+#include "mem/msg.hh"
+
+#include <sstream>
+
+namespace drf
+{
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::LoadReq: return "LoadReq";
+      case MsgType::StoreReq: return "StoreReq";
+      case MsgType::AtomicReq: return "AtomicReq";
+      case MsgType::LoadResp: return "LoadResp";
+      case MsgType::StoreAck: return "StoreAck";
+      case MsgType::AtomicResp: return "AtomicResp";
+      case MsgType::RdBlk: return "RdBlk";
+      case MsgType::WrThrough: return "WrThrough";
+      case MsgType::GpuAtomic: return "GpuAtomic";
+      case MsgType::TccAck: return "TccAck";
+      case MsgType::TccAckWB: return "TccAckWB";
+      case MsgType::FetchBlk: return "FetchBlk";
+      case MsgType::WrMem: return "WrMem";
+      case MsgType::DirAtomic: return "DirAtomic";
+      case MsgType::DirData: return "DirData";
+      case MsgType::DirWBAck: return "DirWBAck";
+      case MsgType::AtomicD: return "AtomicD";
+      case MsgType::AtomicND: return "AtomicND";
+      case MsgType::PrbInv: return "PrbInv";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::Gets: return "Gets";
+      case MsgType::Getx: return "Getx";
+      case MsgType::Putx: return "Putx";
+      case MsgType::CpuData: return "CpuData";
+      case MsgType::CpuWBAck: return "CpuWBAck";
+      case MsgType::CpuPrbInv: return "CpuPrbInv";
+      case MsgType::CpuPrbDowngrade: return "CpuPrbDowngrade";
+      case MsgType::CpuInvAck: return "CpuInvAck";
+      case MsgType::DmaRead: return "DmaRead";
+      case MsgType::DmaWrite: return "DmaWrite";
+      case MsgType::DmaReadResp: return "DmaReadResp";
+      case MsgType::DmaWriteResp: return "DmaWriteResp";
+      case MsgType::MemRead: return "MemRead";
+      case MsgType::MemWrite: return "MemWrite";
+      case MsgType::MemData: return "MemData";
+      case MsgType::MemWBAck: return "MemWBAck";
+    }
+    return "Unknown";
+}
+
+std::string
+Packet::describe() const
+{
+    std::ostringstream os;
+    os << msgTypeName(type) << " addr=0x" << std::hex << addr << std::dec
+       << " id=" << id << " req=" << requestor;
+    if (acquire)
+        os << " acq";
+    if (release)
+        os << " rel";
+    return os.str();
+}
+
+} // namespace drf

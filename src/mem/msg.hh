@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Coherence message vocabulary of the whole system.
+ *
+ * One Packet type carries every message class: core-level requests into
+ * the GPU L1, VIPER L1<->L2 traffic (Tables I and II of the paper),
+ * L2<->directory traffic, CPU core-pair<->directory traffic, DMA, and the
+ * directory<->DRAM interface. Using a single flat vocabulary keeps ports
+ * and the crossbar generic, exactly like Ruby's MessageBuffer payloads.
+ */
+
+#ifndef DRF_MEM_MSG_HH
+#define DRF_MEM_MSG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace drf
+{
+
+/** Every message type exchanged in the system. */
+enum class MsgType
+{
+    // Core (tester thread / GPU core model) <-> GPU L1
+    LoadReq,
+    StoreReq,
+    AtomicReq,
+    LoadResp,
+    StoreAck,
+    AtomicResp,
+
+    // GPU L1 <-> GPU L2 (VIPER TCP <-> TCC)
+    RdBlk,        ///< read miss fetch (L2 event RdBlk)
+    WrThrough,    ///< write-through with byte mask (L2 event WrVicBlk)
+    GpuAtomic,    ///< atomic forwarded below L1 (L2 event Atomic)
+    TccAck,       ///< data / atomic response to L1 (L1 event TCC_Ack)
+    TccAckWB,     ///< write-through completion to L1 (L1 event TCC_AckWB)
+
+    // GPU L2 <-> directory
+    FetchBlk,     ///< L2 read miss fetch from directory
+    WrMem,        ///< L2 write-through toward memory
+    DirAtomic,    ///< atomic performed at the directory
+    DirData,      ///< refill data to L2 (L2 event Data)
+    DirWBAck,     ///< write-through completion to L2 (L2 event WBAck)
+    AtomicD,      ///< atomic done, carries old value (L2 event AtomicD)
+    AtomicND,     ///< atomic not done, retry (L2 event AtomicND)
+    PrbInv,       ///< probe-invalidate a remote L2 (L2 event PrbInv)
+    InvAck,       ///< probe completion back to directory
+
+    // CPU core-pair cache <-> directory (MOESI_AMD_Base-like)
+    Gets,             ///< read for shared
+    Getx,             ///< read for exclusive / upgrade
+    Putx,             ///< dirty writeback
+    CpuData,          ///< data grant to CPU cache
+    CpuWBAck,         ///< writeback ack to CPU cache
+    CpuPrbInv,        ///< invalidate probe to CPU cache
+    CpuPrbDowngrade,  ///< downgrade-to-shared probe to CPU cache
+    CpuInvAck,        ///< probe ack (may carry dirty data)
+
+    // DMA engine <-> directory
+    DmaRead,
+    DmaWrite,
+    DmaReadResp,
+    DmaWriteResp,
+
+    // Directory <-> DRAM
+    MemRead,
+    MemWrite,
+    MemData,
+    MemWBAck,
+};
+
+/** Human-readable message type name (for tracing and error reports). */
+const char *msgTypeName(MsgType type);
+
+/**
+ * One message. Line-granularity messages carry a full line of data plus a
+ * byte-enable mask (VIPER's per-byte dirty masks); core-level messages
+ * carry @c size bytes at @c addr.
+ */
+struct Packet
+{
+    MsgType type{MsgType::LoadReq};
+
+    /** Byte address of the access (core level) or line base. */
+    Addr addr = 0;
+
+    /** Access size in bytes for core-level requests. */
+    unsigned size = 0;
+
+    /** Line-sized payload for line messages; access-sized otherwise. */
+    std::vector<std::uint8_t> data;
+
+    /** Byte-enable mask, parallel to a full line (empty => all bytes). */
+    std::vector<std::uint8_t> mask;
+
+    /** Acquire semantics (load-acquire / atomic-acquire). */
+    bool acquire = false;
+
+    /** Release semantics (store-release / atomic-release). */
+    bool release = false;
+
+    /** Fetch-add operand for atomics. */
+    std::uint64_t atomicOperand = 0;
+
+    /** Old value returned by an atomic. */
+    std::uint64_t atomicResult = 0;
+
+    /** Ownership granted with CpuData: 0 = none, 1 = shared, 2 = M. */
+    int grant = 0;
+
+    /** Originating requestor (tester thread, CPU core, DMA engine). */
+    RequestorId requestor = 0;
+
+    /** Unique transaction id, preserved across the request's lifetime. */
+    PacketId id = 0;
+
+    /** Tick at which the original request was issued (watchdog). */
+    Tick issueTick = 0;
+
+    /** Crossbar endpoint that sent this message (for responses). */
+    int srcEndpoint = -1;
+
+    /** Short one-line description for traces. */
+    std::string describe() const;
+};
+
+} // namespace drf
+
+#endif // DRF_MEM_MSG_HH

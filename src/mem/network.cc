@@ -1,0 +1,51 @@
+#include "mem/network.hh"
+
+#include <cassert>
+#include <memory>
+
+namespace drf
+{
+
+Crossbar::Crossbar(std::string name, EventQueue &eq, Tick hop_latency)
+    : SimObject(std::move(name), eq), _hopLatency(hop_latency),
+      _stats(SimObject::name())
+{
+}
+
+int
+Crossbar::attach(int id, MsgReceiver &receiver)
+{
+    assert(_endpoints.find(id) == _endpoints.end() &&
+           "endpoint id already attached");
+    _endpoints[id] = &receiver;
+    return id;
+}
+
+MsgPort &
+Crossbar::channel(int src, int dst)
+{
+    auto key = std::make_pair(src, dst);
+    auto it = _channels.find(key);
+    if (it == _channels.end()) {
+        auto endpoint_it = _endpoints.find(dst);
+        assert(endpoint_it != _endpoints.end() && "unknown destination");
+        auto port = std::make_unique<MsgPort>(
+            name() + ".ch" + std::to_string(src) + "->" +
+                std::to_string(dst),
+            eventq(), _hopLatency);
+        port->bind(*endpoint_it->second);
+        it = _channels.emplace(key, std::move(port)).first;
+    }
+    return *it->second;
+}
+
+void
+Crossbar::route(int src, int dst, Packet pkt, Tick extra_delay)
+{
+    pkt.srcEndpoint = src;
+    ++_routed;
+    _stats.counter("msgs").inc();
+    channel(src, dst).send(std::move(pkt), extra_delay);
+}
+
+} // namespace drf

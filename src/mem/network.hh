@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A simple crossbar interconnect.
+ *
+ * Endpoints register with an integer id; messages are routed by
+ * destination id with a per-(src,dst) FIFO guarantee and a fixed per-hop
+ * latency. This stands in for Ruby's network: rich enough to interleave
+ * traffic from many L1s, the CPU complex, and DMA in front of the shared
+ * controllers, simple enough to be obviously correct.
+ */
+
+#ifndef DRF_MEM_NETWORK_HH
+#define DRF_MEM_NETWORK_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "mem/port.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace drf
+{
+
+/**
+ * Crossbar with per-pair ordered virtual channels.
+ */
+class Crossbar : public SimObject
+{
+  public:
+    /**
+     * @param name        Instance name.
+     * @param eq          Event queue.
+     * @param hop_latency Delivery latency for every message.
+     */
+    Crossbar(std::string name, EventQueue &eq, Tick hop_latency);
+
+    /**
+     * Register @p receiver as endpoint @p id.
+     *
+     * @return id, for caller convenience.
+     */
+    int attach(int id, MsgReceiver &receiver);
+
+    /**
+     * Route @p pkt from endpoint @p src to endpoint @p dst. The packet's
+     * srcEndpoint field is stamped with @p src so the receiver can reply.
+     */
+    void route(int src, int dst, Packet pkt, Tick extra_delay = 0);
+
+    /** Total messages routed. */
+    std::uint64_t routedCount() const { return _routed; }
+
+    /** Per-link statistics. */
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    /** Lazily created ordered channel for a (src,dst) pair. */
+    MsgPort &channel(int src, int dst);
+
+    Tick _hopLatency;
+    std::map<int, MsgReceiver *> _endpoints;
+    std::map<std::pair<int, int>, std::unique_ptr<MsgPort>> _channels;
+    std::uint64_t _routed = 0;
+    StatGroup _stats;
+};
+
+} // namespace drf
+
+#endif // DRF_MEM_NETWORK_HH

@@ -1,0 +1,23 @@
+#include "mem/port.hh"
+
+#include <cassert>
+
+namespace drf
+{
+
+void
+MsgPort::send(Packet pkt, Tick extra_delay)
+{
+    assert(_receiver != nullptr && "send through unbound port");
+    Tick when = _eq.curTick() + _latency + extra_delay;
+    if (when <= _lastDelivery)
+        when = _lastDelivery + 1;
+    _lastDelivery = when;
+    ++_sent;
+    MsgReceiver *receiver = _receiver;
+    _eq.schedule(when, [receiver, pkt = std::move(pkt)]() mutable {
+        receiver->recvMsg(std::move(pkt));
+    });
+}
+
+} // namespace drf

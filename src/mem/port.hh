@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Queued, order-preserving message ports.
+ *
+ * A MsgPort models one direction of a link between two components. Sends
+ * are delivered through the event queue after the port's latency; delivery
+ * order always matches send order even if callers pass varying extra
+ * delays (point-to-point FIFO ordering, which coherence protocols rely
+ * on).
+ */
+
+#ifndef DRF_MEM_PORT_HH
+#define DRF_MEM_PORT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/msg.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace drf
+{
+
+/** Interface implemented by anything that can receive messages. */
+class MsgReceiver
+{
+  public:
+    virtual ~MsgReceiver() = default;
+
+    /** Handle one delivered message. */
+    virtual void recvMsg(Packet pkt) = 0;
+};
+
+/**
+ * One-directional, latency-modelled, order-preserving port.
+ */
+class MsgPort
+{
+  public:
+    /**
+     * @param name    Port name for tracing.
+     * @param eq      Event queue used for delivery.
+     * @param latency Fixed delivery latency in ticks (>= 1 keeps
+     *                request/response phases distinct).
+     */
+    MsgPort(std::string name, EventQueue &eq, Tick latency)
+        : _name(std::move(name)), _eq(eq), _latency(latency)
+    {}
+
+    /** Connect the receiving end. Must be called before any send. */
+    void bind(MsgReceiver &receiver) { _receiver = &receiver; }
+
+    /** True once bound to a receiver. */
+    bool bound() const { return _receiver != nullptr; }
+
+    /**
+     * Send @p pkt; it arrives after the port latency plus @p extra_delay,
+     * but never before any previously sent message (FIFO order).
+     */
+    void send(Packet pkt, Tick extra_delay = 0);
+
+    /** Messages sent through this port so far. */
+    std::uint64_t sentCount() const { return _sent; }
+
+    const std::string &name() const { return _name; }
+    Tick latency() const { return _latency; }
+
+  private:
+    std::string _name;
+    EventQueue &_eq;
+    Tick _latency;
+    MsgReceiver *_receiver = nullptr;
+    Tick _lastDelivery = 0;
+    std::uint64_t _sent = 0;
+};
+
+} // namespace drf
+
+#endif // DRF_MEM_PORT_HH

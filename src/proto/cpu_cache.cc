@@ -1,0 +1,424 @@
+#include "proto/cpu_cache.hh"
+
+#include <cassert>
+
+#include "proto/protocol_error.hh"
+#include "sim/logger.hh"
+
+namespace drf
+{
+
+const TransitionSpec &
+CpuCache::spec()
+{
+    static TransitionSpec s = [] {
+        TransitionSpec spec(
+            "CPU-CorePair", {"I", "S", "M", "IS", "IM", "SM", "MI"},
+            {"Load", "Store", "Repl", "Data", "PrbInv", "PrbDowngrade",
+             "WBAck"});
+        // Core requests: hits, misses, upgrade, and stalls on transients.
+        for (auto st : {StI, StS, StM, StIS, StIM, StSM, StMI}) {
+            spec.define(EvLoad, st);
+            spec.define(EvStore, st);
+        }
+        // Replacement victimizes stable lines only.
+        spec.define(EvRepl, StS);
+        spec.define(EvRepl, StM);
+        // Grants land in the requesting transients.
+        spec.define(EvData, StIS);
+        spec.define(EvData, StIM);
+        spec.define(EvData, StSM);
+        // Probes: stale-sharer probes can find the line in I/IS/IM; a
+        // downgrade targets the precise owner (M, or MI when it crosses a
+        // writeback).
+        for (auto st : {StI, StS, StM, StIS, StIM, StSM, StMI})
+            spec.define(EvPrbInv, st);
+        spec.define(EvPrbDowngrade, StM);
+        spec.define(EvPrbDowngrade, StMI);
+        // Writeback completion (possibly a stale ack after a probe).
+        spec.define(EvWBAck, StMI);
+        return spec;
+    }();
+    return s;
+}
+
+CpuCache::CpuCache(std::string name, EventQueue &eq,
+                   const CpuCacheConfig &cfg, Crossbar &xbar, int endpoint,
+                   int dir_ep)
+    : SimObject(std::move(name), eq), _cfg(cfg), _xbar(xbar),
+      _endpoint(endpoint), _dirEndpoint(dir_ep),
+      _array(cfg.sizeBytes, cfg.assoc, cfg.lineBytes), _coverage(spec()),
+      _stats(SimObject::name())
+{
+    xbar.attach(endpoint, *this);
+}
+
+CpuCache::State
+CpuCache::lineState(Addr line_addr) const
+{
+    auto it = _tbes.find(line_addr);
+    if (it != _tbes.end())
+        return it->second.transient;
+    const CacheEntry *entry = _array.findEntry(line_addr);
+    if (entry == nullptr)
+        return StI;
+    return entry->state == LineM ? StM : StS;
+}
+
+void
+CpuCache::recycle(Packet pkt)
+{
+    _stats.counter("recycles").inc();
+    scheduleAfter(_cfg.recycleLatency,
+                  [this, pkt = std::move(pkt)]() mutable {
+                      coreRequest(std::move(pkt));
+                  });
+}
+
+void
+CpuCache::performLoad(const CacheEntry &entry, const Packet &pkt)
+{
+    Packet resp = pkt;
+    resp.type = MsgType::LoadResp;
+    Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
+    resp.data.assign(entry.data.begin() + off,
+                     entry.data.begin() + off + pkt.size);
+    scheduleAfter(_cfg.hitLatency,
+                  [this, resp = std::move(resp)]() mutable {
+                      _respond(std::move(resp));
+                  });
+}
+
+void
+CpuCache::performStore(CacheEntry &entry, const Packet &pkt)
+{
+    Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
+    assert(pkt.data.size() == pkt.size);
+    for (unsigned i = 0; i < pkt.size; ++i) {
+        entry.data[off + i] = pkt.data[i];
+        entry.dirty[off + i] = 1;
+    }
+    entry.state = LineM;
+    Packet resp = pkt;
+    resp.type = MsgType::StoreAck;
+    resp.data.clear();
+    scheduleAfter(_cfg.hitLatency,
+                  [this, resp = std::move(resp)]() mutable {
+                      _respond(std::move(resp));
+                  });
+}
+
+void
+CpuCache::coreRequest(Packet pkt)
+{
+    assert(_respond && "core response path not bound");
+    switch (pkt.type) {
+      case MsgType::LoadReq:
+        handleLoad(std::move(pkt));
+        break;
+      case MsgType::StoreReq:
+        handleStore(std::move(pkt));
+        break;
+      default:
+        throw ProtocolError(name(), curTick(),
+                            std::string("unexpected core request ") +
+                                msgTypeName(pkt.type));
+    }
+}
+
+void
+CpuCache::handleLoad(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    State st = lineState(line);
+    transition(EvLoad, st);
+
+    switch (st) {
+      case StS:
+      case StM: {
+        CacheEntry *entry = _array.findEntry(line);
+        _array.touch(*entry);
+        _stats.counter("load_hits").inc();
+        performLoad(*entry, pkt);
+        return;
+      }
+      case StI: {
+        _stats.counter("load_misses").inc();
+        Tbe tbe;
+        tbe.transient = StIS;
+        tbe.corePkt = pkt;
+        _tbes.emplace(line, std::move(tbe));
+        Packet req;
+        req.type = MsgType::Gets;
+        req.addr = line;
+        req.id = _nextId++;
+        req.requestor = pkt.requestor;
+        req.issueTick = curTick();
+        _xbar.route(_endpoint, _dirEndpoint, std::move(req));
+        return;
+      }
+      default:
+        recycle(std::move(pkt));
+        return;
+    }
+}
+
+void
+CpuCache::handleStore(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    State st = lineState(line);
+    transition(EvStore, st);
+
+    switch (st) {
+      case StM: {
+        CacheEntry *entry = _array.findEntry(line);
+        _array.touch(*entry);
+        _stats.counter("store_hits").inc();
+        performStore(*entry, pkt);
+        return;
+      }
+      case StS: {
+        // Upgrade: keep the S copy, request exclusivity.
+        _stats.counter("upgrades").inc();
+        Tbe tbe;
+        tbe.transient = StSM;
+        tbe.corePkt = pkt;
+        _tbes.emplace(line, std::move(tbe));
+        Packet req;
+        req.type = MsgType::Getx;
+        req.addr = line;
+        req.id = _nextId++;
+        req.requestor = pkt.requestor;
+        req.issueTick = curTick();
+        _xbar.route(_endpoint, _dirEndpoint, std::move(req));
+        return;
+      }
+      case StI: {
+        _stats.counter("store_misses").inc();
+        Tbe tbe;
+        tbe.transient = StIM;
+        tbe.corePkt = pkt;
+        _tbes.emplace(line, std::move(tbe));
+        Packet req;
+        req.type = MsgType::Getx;
+        req.addr = line;
+        req.id = _nextId++;
+        req.requestor = pkt.requestor;
+        req.issueTick = curTick();
+        _xbar.route(_endpoint, _dirEndpoint, std::move(req));
+        return;
+      }
+      default:
+        recycle(std::move(pkt));
+        return;
+    }
+}
+
+bool
+CpuCache::makeRoom(Addr line_addr)
+{
+    if (_array.findEntry(line_addr) != nullptr ||
+        _array.hasFreeWay(line_addr)) {
+        return true;
+    }
+    // Pick the LRU way whose line has no MSHR (an SM upgrade keeps its S
+    // copy in the array and must not be victimized underneath it).
+    CacheEntry *victim_ptr = nullptr;
+    for (CacheEntry *way : _array.setEntries(line_addr)) {
+        if (!way->valid || _tbes.count(way->lineAddr) > 0)
+            continue;
+        if (victim_ptr == nullptr || way->lastUsed < victim_ptr->lastUsed)
+            victim_ptr = way;
+    }
+    if (victim_ptr == nullptr)
+        return false;
+    CacheEntry &victim = *victim_ptr;
+    if (victim.state == LineM) {
+        transition(EvRepl, StM);
+        _stats.counter("dirty_replacements").inc();
+        Tbe tbe;
+        tbe.transient = StMI;
+        tbe.wbData = victim.data;
+        Addr victim_line = victim.lineAddr;
+        _tbes.emplace(victim_line, std::move(tbe));
+        Packet wb;
+        wb.type = MsgType::Putx;
+        wb.addr = victim_line;
+        wb.id = _nextId++;
+        wb.data = victim.data;
+        wb.issueTick = curTick();
+        _xbar.route(_endpoint, _dirEndpoint, std::move(wb));
+    } else {
+        // Clean copies are dropped silently; the directory's sharer list
+        // goes stale, which is what makes PrbInv-in-I reachable.
+        transition(EvRepl, StS);
+        _stats.counter("clean_replacements").inc();
+    }
+    _array.invalidate(victim);
+    return true;
+}
+
+void
+CpuCache::handleData(Packet pkt)
+{
+    Addr line = pkt.addr;
+    auto it = _tbes.find(line);
+    if (it == _tbes.end() || (it->second.transient != StIS &&
+                              it->second.transient != StIM &&
+                              it->second.transient != StSM)) {
+        throw ProtocolError(name(), curTick(),
+                            "CpuData with no matching request: " +
+                                pkt.describe());
+    }
+    State st = it->second.transient;
+
+    if (st != StSM && _array.findEntry(line) == nullptr &&
+        !_array.hasFreeWay(line)) {
+        // Every way of the set is pinned by an MSHR; retry the fill once
+        // one of them resolves.
+        bool can_fill = false;
+        for (CacheEntry *way : _array.setEntries(line)) {
+            if (way->valid && _tbes.count(way->lineAddr) == 0) {
+                can_fill = true;
+                break;
+            }
+        }
+        if (!can_fill) {
+            _stats.counter("fill_retries").inc();
+            scheduleAfter(_cfg.recycleLatency,
+                          [this, pkt = std::move(pkt)]() mutable {
+                              recvMsg(std::move(pkt));
+                          });
+            return;
+        }
+    }
+
+    transition(EvData, st);
+
+    Tbe tbe = std::move(it->second);
+    _tbes.erase(it);
+
+    CacheEntry *entry = _array.findEntry(line);
+    if (st == StSM) {
+        // We kept our S copy; refresh it with the granted data (another
+        // core may have modified the line while our upgrade waited).
+        assert(entry != nullptr);
+        entry->data = pkt.data;
+    } else {
+        [[maybe_unused]] bool ok = makeRoom(line);
+        assert(ok && "fill room was verified above");
+        entry = &_array.allocate(line);
+        entry->data = pkt.data;
+    }
+    _array.touch(*entry);
+
+    if (tbe.corePkt.type == MsgType::LoadReq) {
+        assert(pkt.grant >= 1);
+        entry->state = LineS;
+        performLoad(*entry, tbe.corePkt);
+    } else {
+        assert(pkt.grant == 2 && "store grant must be exclusive");
+        entry->state = LineM;
+        performStore(*entry, tbe.corePkt);
+    }
+}
+
+void
+CpuCache::handleProbe(Packet pkt, bool downgrade)
+{
+    Addr line = pkt.addr;
+    State st = lineState(line);
+    transition(downgrade ? EvPrbDowngrade : EvPrbInv, st);
+    _stats.counter("probes").inc();
+
+    Packet ack;
+    ack.type = MsgType::CpuInvAck;
+    ack.addr = line;
+    ack.id = pkt.id;
+
+    switch (st) {
+      case StM: {
+        CacheEntry *entry = _array.findEntry(line);
+        ack.data = entry->data;
+        if (downgrade) {
+            entry->state = LineS;
+            entry->clearDirty();
+        } else {
+            _array.invalidate(*entry);
+        }
+        break;
+      }
+      case StS: {
+        assert(!downgrade && "downgrade probe must target the owner");
+        CacheEntry *entry = _array.findEntry(line);
+        _array.invalidate(*entry);
+        break;
+      }
+      case StMI: {
+        // The probe crossed our writeback; hand over the data now. The
+        // in-flight Putx will be acknowledged as stale.
+        auto it = _tbes.find(line);
+        ack.data = it->second.wbData;
+        break;
+      }
+      case StSM: {
+        assert(!downgrade);
+        // Our S copy dies; the pending upgrade becomes a plain store
+        // miss (the directory will grant M with fresh data).
+        CacheEntry *entry = _array.findEntry(line);
+        if (entry != nullptr)
+            _array.invalidate(*entry);
+        _tbes.find(line)->second.transient = StIM;
+        break;
+      }
+      case StI:
+      case StIS:
+      case StIM:
+        // Stale-sharer probe: nothing to invalidate.
+        break;
+      default:
+        break;
+    }
+
+    _xbar.route(_endpoint, _dirEndpoint, std::move(ack));
+}
+
+void
+CpuCache::handleWBAck(Packet pkt)
+{
+    Addr line = pkt.addr;
+    auto it = _tbes.find(line);
+    if (it == _tbes.end() || it->second.transient != StMI) {
+        throw ProtocolError(name(), curTick(),
+                            "CpuWBAck with no writeback in flight: " +
+                                pkt.describe());
+    }
+    transition(EvWBAck, StMI);
+    _tbes.erase(it);
+}
+
+void
+CpuCache::recvMsg(Packet pkt)
+{
+    switch (pkt.type) {
+      case MsgType::CpuData:
+        handleData(std::move(pkt));
+        break;
+      case MsgType::CpuPrbInv:
+        handleProbe(std::move(pkt), false);
+        break;
+      case MsgType::CpuPrbDowngrade:
+        handleProbe(std::move(pkt), true);
+        break;
+      case MsgType::CpuWBAck:
+        handleWBAck(std::move(pkt));
+        break;
+      default:
+        throw ProtocolError(name(), curTick(),
+                            std::string("unexpected message ") +
+                                msgTypeName(pkt.type));
+    }
+}
+
+} // namespace drf

@@ -1,0 +1,833 @@
+#include "proto/directory.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "proto/protocol_error.hh"
+#include "sim/logger.hh"
+
+namespace drf
+{
+
+const TransitionSpec &
+Directory::spec()
+{
+    static TransitionSpec s = [] {
+        TransitionSpec spec(
+            "Directory", {"U", "CS", "CM", "B"},
+            {"GpuFetch", "GpuWrMem", "GpuAtomic", "CpuGets", "CpuGetx",
+             "CpuPutx", "DmaRead", "DmaWrite", "MemData", "MemWBAck",
+             "CpuInvAck", "GpuInvAck"});
+        // Every requestor event is defined in all three stable states and
+        // in B (stall / AtomicND retry); completion events only in B.
+        for (auto ev : {EvGpuFetch, EvGpuWrMem, EvGpuAtomic, EvCpuGets,
+                        EvCpuGetx, EvCpuPutx, EvDmaRead, EvDmaWrite}) {
+            for (auto st : {StU, StCS, StCM, StB})
+                spec.define(ev, st);
+        }
+        for (auto ev : {EvMemData, EvMemWBAck, EvCpuInvAck, EvGpuInvAck})
+            spec.define(ev, StB);
+
+        // A single-GPU tester system has no CPU caches and no DMA
+        // engine: every CPU/DMA-initiated cell, every cell requiring a
+        // CPU-owned state, and the GPU-probe ack are unreachable.
+        for (auto ev : {EvCpuGets, EvCpuGetx, EvCpuPutx, EvDmaRead,
+                        EvDmaWrite}) {
+            for (auto st : {StU, StCS, StCM, StB}) {
+                spec.markImpossible("gpu_tester", ev, st);
+                spec.markImpossible("gpu_tester_multi", ev, st);
+            }
+        }
+        for (auto ev : {EvGpuFetch, EvGpuWrMem, EvGpuAtomic}) {
+            for (auto tt : {"gpu_tester", "gpu_tester_multi"}) {
+                spec.markImpossible(tt, ev, StCS);
+                spec.markImpossible(tt, ev, StCM);
+            }
+        }
+        spec.markImpossible("gpu_tester", EvCpuInvAck, StB);
+        spec.markImpossible("gpu_tester", EvGpuInvAck, StB);
+        // With several GPU L2s the directory probes remote L2s on GPU
+        // writes and atomics, so GpuInvAck becomes reachable.
+        spec.markImpossible("gpu_tester_multi", EvCpuInvAck, StB);
+
+        // A CPU-tester-only system has no GPU and no DMA engine.
+        for (auto ev : {EvGpuFetch, EvGpuWrMem, EvGpuAtomic, EvDmaRead,
+                        EvDmaWrite}) {
+            for (auto st : {StU, StCS, StCM, StB})
+                spec.markImpossible("cpu_tester", ev, st);
+        }
+        spec.markImpossible("cpu_tester", EvGpuInvAck, StB);
+
+        // The union run (GPU tester then CPU tester, Section IV.C) still
+        // never generates DMA traffic or concurrent CPU+GPU sharing.
+        for (auto ev : {EvDmaRead, EvDmaWrite}) {
+            for (auto st : {StU, StCS, StCM, StB})
+                spec.markImpossible("tester_union", ev, st);
+        }
+        for (auto ev : {EvGpuFetch, EvGpuWrMem, EvGpuAtomic}) {
+            spec.markImpossible("tester_union", ev, StCS);
+            spec.markImpossible("tester_union", ev, StCM);
+        }
+        spec.markImpossible("tester_union", EvGpuInvAck, StB);
+        return spec;
+    }();
+    return s;
+}
+
+Directory::Directory(std::string name, EventQueue &eq,
+                     const DirectoryConfig &cfg, Crossbar &xbar,
+                     int endpoint, std::vector<int> gpu_l2_eps,
+                     SimpleMemory &mem, FaultInjector *fault)
+    : SimObject(std::move(name), eq), _cfg(cfg), _xbar(xbar),
+      _endpoint(endpoint), _gpuL2Endpoints(std::move(gpu_l2_eps)),
+      _mem(mem),
+      _memPort(SimObject::name() + ".memport", eq, cfg.memPortLatency),
+      _fault(fault), _coverage(spec()), _stats(SimObject::name())
+{
+    xbar.attach(endpoint, *this);
+    _memPort.bind(mem);
+    mem.bindResponse([this](Packet pkt) { handleMemResp(std::move(pkt)); });
+}
+
+Directory::Line &
+Directory::line(Addr line_addr)
+{
+    return _lines[line_addr];
+}
+
+Directory::State
+Directory::visibleState(const Line &l) const
+{
+    return l.txn != nullptr ? StB : l.stable;
+}
+
+void
+Directory::recycle(Packet pkt)
+{
+    _stats.counter("recycles").inc();
+    scheduleAfter(_cfg.recycleLatency,
+                  [this, pkt = std::move(pkt)]() mutable {
+                      recvMsg(std::move(pkt));
+                  });
+}
+
+Directory::Txn &
+Directory::startTxn(Addr line_addr, Packet origin)
+{
+    Line &l = line(line_addr);
+    assert(l.txn == nullptr && "transaction already in flight");
+    l.txn = std::make_unique<Txn>();
+    l.txn->origin = std::move(origin);
+    return *l.txn;
+}
+
+void
+Directory::finishTxn(Addr line_addr)
+{
+    Line &l = line(line_addr);
+    assert(l.txn != nullptr);
+    l.txn.reset();
+}
+
+void
+Directory::sendCpuProbes(Addr line_addr, const std::vector<int> &targets,
+                         MsgType probe_type)
+{
+    Line &l = line(line_addr);
+    assert(l.txn != nullptr);
+    for (int target : targets) {
+        Packet probe;
+        probe.type = probe_type;
+        probe.addr = line_addr;
+        probe.issueTick = curTick();
+        _xbar.route(_endpoint, target, std::move(probe));
+        ++l.txn->pendingAcks;
+        _stats.counter("cpu_probes").inc();
+    }
+}
+
+unsigned
+Directory::sendGpuProbes(Addr line_addr, int exclude)
+{
+    Line &l = line(line_addr);
+    assert(l.txn != nullptr);
+    unsigned sent = 0;
+    for (auto it = l.gpuSharers.begin(); it != l.gpuSharers.end();) {
+        int target = *it;
+        if (target == exclude) {
+            ++it;
+            continue;
+        }
+        Packet probe;
+        probe.type = MsgType::PrbInv;
+        probe.addr = line_addr;
+        probe.issueTick = curTick();
+        _xbar.route(_endpoint, target, std::move(probe));
+        ++l.txn->pendingAcks;
+        _stats.counter("gpu_probes").inc();
+        ++sent;
+        it = l.gpuSharers.erase(it);
+    }
+    return sent;
+}
+
+void
+Directory::readMem(Addr line_addr)
+{
+    Packet req;
+    req.type = MsgType::MemRead;
+    req.addr = line_addr;
+    req.issueTick = curTick();
+    _memPort.send(std::move(req));
+}
+
+void
+Directory::writeMem(Addr line_addr, const std::vector<std::uint8_t> &data,
+                    const std::vector<std::uint8_t> &mask)
+{
+    Packet req;
+    req.type = MsgType::MemWrite;
+    req.addr = line_addr;
+    req.data = data;
+    req.mask = mask;
+    req.issueTick = curTick();
+    _memPort.send(std::move(req));
+}
+
+std::uint64_t
+Directory::applyAtomic(std::vector<std::uint8_t> &buf, Addr addr,
+                       unsigned size, std::uint64_t operand) const
+{
+    Addr off = lineOffset(addr, _cfg.lineBytes);
+    assert(off + size <= buf.size());
+    std::uint64_t old = 0;
+    for (unsigned i = 0; i < size; ++i)
+        old |= static_cast<std::uint64_t>(buf[off + i]) << (8 * i);
+    std::uint64_t updated = old + operand;
+    for (unsigned i = 0; i < size; ++i)
+        buf[off + i] = static_cast<std::uint8_t>(updated >> (8 * i));
+    return old;
+}
+
+void
+Directory::handleGpuFetch(Packet pkt)
+{
+    Addr la = pkt.addr;
+    Line &l = line(la);
+    State st = visibleState(l);
+    transition(EvGpuFetch, st);
+    if (st == StB) {
+        recycle(std::move(pkt));
+        return;
+    }
+
+    Txn &t = startTxn(la, pkt);
+
+    if (st == StCM) {
+        // Pull the dirty data out of the CPU owner first.
+        int owner = l.owner;
+        t.onAcks = [this, la] {
+            Line &l2 = line(la);
+            Txn &txn = *l2.txn;
+            assert(txn.haveProbeData);
+            std::vector<std::uint8_t> full_mask(_cfg.lineBytes, 1);
+            writeMem(la, txn.probeData, full_mask);
+            txn.onMemWBAck = [this, la] {
+                Line &l3 = line(la);
+                Txn &txn3 = *l3.txn;
+                Packet resp;
+                resp.type = MsgType::DirData;
+                resp.addr = la;
+                resp.id = txn3.origin.id;
+                resp.data = txn3.probeData;
+                int dst = txn3.origin.srcEndpoint;
+                l3.sharers.insert(l3.owner);
+                l3.owner = -1;
+                l3.stable = StCS;
+                l3.gpuSharers.insert(dst);
+                finishTxn(la);
+                _xbar.route(_endpoint, dst, std::move(resp));
+            };
+        };
+        sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
+        return;
+    }
+
+    // U or CS: memory is current.
+    t.onMemData = [this, la](std::vector<std::uint8_t> data) {
+        Line &l2 = line(la);
+        Packet resp;
+        resp.type = MsgType::DirData;
+        resp.addr = la;
+        resp.id = l2.txn->origin.id;
+        resp.data = std::move(data);
+        int dst = l2.txn->origin.srcEndpoint;
+        l2.gpuSharers.insert(dst);
+        finishTxn(la);
+        _xbar.route(_endpoint, dst, std::move(resp));
+    };
+    readMem(la);
+}
+
+void
+Directory::handleGpuWrMem(Packet pkt)
+{
+    Addr la = pkt.addr;
+    Line &l = line(la);
+    State st = visibleState(l);
+    transition(EvGpuWrMem, st);
+    if (st == StB) {
+        recycle(std::move(pkt));
+        return;
+    }
+
+    int requester = pkt.srcEndpoint;
+    startTxn(la, std::move(pkt));
+    Txn &t = *line(la).txn;
+
+    auto do_write_and_ack =
+        [this, la](const std::vector<std::uint8_t> &data,
+                   const std::vector<std::uint8_t> &mask) {
+            Line &l2 = line(la);
+            l2.txn->onMemWBAck = [this, la] {
+                Line &l3 = line(la);
+                Packet resp;
+                resp.type = MsgType::DirWBAck;
+                resp.addr = la;
+                resp.id = l3.txn->origin.id;
+                int dst = l3.txn->origin.srcEndpoint;
+                finishTxn(la);
+                _xbar.route(_endpoint, dst, std::move(resp));
+            };
+            writeMem(la, data, mask);
+        };
+
+    if (st == StCM) {
+        // Invalidate the CPU owner, merge the GPU bytes over its data.
+        int owner = l.owner;
+        t.onAcks = [this, la, do_write_and_ack] {
+            Line &l2 = line(la);
+            Txn &txn = *l2.txn;
+            assert(txn.haveProbeData);
+            std::vector<std::uint8_t> buf = txn.probeData;
+            for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
+                if (txn.origin.mask[i])
+                    buf[i] = txn.origin.data[i];
+            }
+            l2.owner = -1;
+            l2.sharers.clear();
+            l2.stable = StU;
+            do_write_and_ack(buf, std::vector<std::uint8_t>(_cfg.lineBytes,
+                                                            1));
+        };
+        sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
+        sendGpuProbes(la, requester);
+        return;
+    }
+
+    if (st == StCS) {
+        // CPU shared copies would go stale: invalidate them first.
+        std::vector<int> targets(l.sharers.begin(), l.sharers.end());
+        t.onAcks = [this, la, do_write_and_ack] {
+            Line &l2 = line(la);
+            l2.sharers.clear();
+            l2.stable = StU;
+            do_write_and_ack(l2.txn->origin.data, l2.txn->origin.mask);
+        };
+        sendCpuProbes(la, targets, MsgType::CpuPrbInv);
+        sendGpuProbes(la, requester);
+        return;
+    }
+
+    // U: remote GPU L2s may still hold stale clean copies (multi-GPU
+    // systems); invalidate them before the write becomes visible.
+    unsigned probes = sendGpuProbes(la, requester);
+    if (probes > 0) {
+        t.onAcks = [this, la, do_write_and_ack] {
+            Line &l2 = line(la);
+            do_write_and_ack(l2.txn->origin.data, l2.txn->origin.mask);
+        };
+        return;
+    }
+    do_write_and_ack(t.origin.data, t.origin.mask);
+}
+
+void
+Directory::handleGpuAtomic(Packet pkt)
+{
+    Addr la = lineAlign(pkt.addr, _cfg.lineBytes);
+    Line &l = line(la);
+    State st = visibleState(l);
+    transition(EvGpuAtomic, st);
+
+    if (st == StB) {
+        // Atomics are not stalled; the L2 gets a retry nack.
+        Packet nack;
+        nack.type = MsgType::AtomicND;
+        nack.addr = pkt.addr;
+        nack.id = pkt.id;
+        _stats.counter("atomic_nacks").inc();
+        _xbar.route(_endpoint, pkt.srcEndpoint, std::move(nack));
+        return;
+    }
+
+    int requester = pkt.srcEndpoint;
+    // The requesting L2 dropped its own copy before forwarding.
+    l.gpuSharers.erase(requester);
+    startTxn(la, std::move(pkt));
+    Txn &t = *line(la).txn;
+
+    auto rmw = [this, la](std::vector<std::uint8_t> buf) {
+        Line &l2 = line(la);
+        Txn &txn = *l2.txn;
+        std::uint64_t old = applyAtomic(buf, txn.origin.addr,
+                                        txn.origin.size,
+                                        txn.origin.atomicOperand);
+        _stats.counter("atomics").inc();
+
+        Packet resp;
+        resp.type = MsgType::AtomicD;
+        resp.addr = txn.origin.addr;
+        resp.id = txn.origin.id;
+        resp.atomicResult = old;
+        resp.data = buf;
+        int dst = txn.origin.srcEndpoint;
+
+        if (_fault != nullptr && _fault->fire(FaultKind::NonAtomicRmw)) {
+            // The read-modify-write loses its write: memory keeps the old
+            // value, so a racing atomic will observe a duplicate.
+            _stats.counter("injected_lost_atomics").inc();
+            l2.gpuSharers.insert(dst);
+            finishTxn(la);
+            _xbar.route(_endpoint, dst, std::move(resp));
+            return;
+        }
+
+        txn.onMemWBAck = [this, la, resp = std::move(resp),
+                          dst]() mutable {
+            Line &l3 = line(la);
+            l3.gpuSharers.insert(dst); // the L2 caches the result line
+            finishTxn(la);
+            _xbar.route(_endpoint, dst, std::move(resp));
+        };
+        writeMem(la, buf, std::vector<std::uint8_t>(_cfg.lineBytes, 1));
+    };
+
+    if (st == StCM) {
+        int owner = l.owner;
+        t.onAcks = [this, la, rmw] {
+            Line &l2 = line(la);
+            Txn &txn = *l2.txn;
+            assert(txn.haveProbeData);
+            l2.owner = -1;
+            l2.sharers.clear();
+            l2.stable = StU;
+            rmw(txn.probeData);
+        };
+        sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
+        sendGpuProbes(la, requester);
+        return;
+    }
+
+    if (st == StCS) {
+        std::vector<int> targets(l.sharers.begin(), l.sharers.end());
+        t.onAcks = [this, la, rmw] {
+            Line &l2 = line(la);
+            l2.sharers.clear();
+            l2.stable = StU;
+            l2.txn->onMemData = rmw;
+            readMem(la);
+        };
+        sendCpuProbes(la, targets, MsgType::CpuPrbInv);
+        sendGpuProbes(la, requester);
+        return;
+    }
+
+    unsigned probes = sendGpuProbes(la, requester);
+    if (probes > 0) {
+        t.onAcks = [this, la, rmw] {
+            line(la).txn->onMemData = rmw;
+            readMem(la);
+        };
+        return;
+    }
+    t.onMemData = rmw;
+    readMem(la);
+}
+
+void
+Directory::handleCpuGets(Packet pkt)
+{
+    Addr la = pkt.addr;
+    Line &l = line(la);
+    State st = visibleState(l);
+    transition(EvCpuGets, st);
+    if (st == StB) {
+        recycle(std::move(pkt));
+        return;
+    }
+
+    startTxn(la, std::move(pkt));
+    Txn &t = *line(la).txn;
+
+    auto grant_shared = [this, la](std::vector<std::uint8_t> data) {
+        Line &l2 = line(la);
+        Packet resp;
+        resp.type = MsgType::CpuData;
+        resp.addr = la;
+        resp.id = l2.txn->origin.id;
+        resp.grant = 1;
+        resp.data = std::move(data);
+        int dst = l2.txn->origin.srcEndpoint;
+        l2.sharers.insert(dst);
+        l2.stable = StCS;
+        finishTxn(la);
+        _xbar.route(_endpoint, dst, std::move(resp));
+    };
+
+    if (st == StCM) {
+        int owner = l.owner;
+        t.onAcks = [this, la, grant_shared] {
+            Line &l2 = line(la);
+            Txn &txn = *l2.txn;
+            assert(txn.haveProbeData);
+            std::vector<std::uint8_t> data = txn.probeData;
+            l2.sharers.insert(l2.owner);
+            l2.owner = -1;
+            txn.onMemWBAck = [grant_shared, data] {
+                grant_shared(data);
+            };
+            writeMem(la, data, std::vector<std::uint8_t>(_cfg.lineBytes,
+                                                         1));
+        };
+        sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
+        return;
+    }
+
+    t.onMemData = grant_shared;
+    readMem(la);
+}
+
+void
+Directory::handleCpuGetx(Packet pkt)
+{
+    Addr la = pkt.addr;
+    Line &l = line(la);
+    State st = visibleState(l);
+    transition(EvCpuGetx, st);
+    if (st == StB) {
+        recycle(std::move(pkt));
+        return;
+    }
+
+    int requester = pkt.srcEndpoint;
+    startTxn(la, std::move(pkt));
+    Txn &t = *line(la).txn;
+
+    auto grant_exclusive = [this, la](std::vector<std::uint8_t> data) {
+        Line &l2 = line(la);
+        Packet resp;
+        resp.type = MsgType::CpuData;
+        resp.addr = la;
+        resp.id = l2.txn->origin.id;
+        resp.grant = 2;
+        resp.data = std::move(data);
+        int dst = l2.txn->origin.srcEndpoint;
+        l2.sharers.clear();
+        l2.owner = dst;
+        l2.stable = StCM;
+        finishTxn(la);
+        _xbar.route(_endpoint, dst, std::move(resp));
+    };
+
+    bool drop_gpu_probe =
+        !l.gpuSharers.empty() && _fault != nullptr &&
+        _fault->fire(FaultKind::DropGpuProbe);
+    if (drop_gpu_probe) {
+        // The directory forgets the GPU L2s may hold this line.
+        _stats.counter("injected_dropped_probes").inc();
+        l.gpuSharers.clear();
+    }
+
+    if (st == StCM && l.owner != requester) {
+        int owner = l.owner;
+        t.onAcks = [this, la, grant_exclusive] {
+            Line &l2 = line(la);
+            Txn &txn = *l2.txn;
+            assert(txn.haveProbeData);
+            grant_exclusive(txn.probeData);
+        };
+        sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
+        sendGpuProbes(la);
+        return;
+    }
+
+    // U or CS (or degenerate CM-with-owner==requester, which resolves
+    // like U because memory was made current when ownership was granted).
+    std::vector<int> targets;
+    for (int sharer : l.sharers) {
+        if (sharer != requester)
+            targets.push_back(sharer);
+    }
+    t.onAcks = [this, la, grant_exclusive] {
+        line(la).txn->onMemData = grant_exclusive;
+        readMem(la);
+    };
+    sendCpuProbes(la, targets, MsgType::CpuPrbInv);
+    sendGpuProbes(la);
+    if (line(la).txn->pendingAcks == 0)
+        t.onAcks();
+}
+
+void
+Directory::handleCpuPutx(Packet pkt)
+{
+    Addr la = pkt.addr;
+    Line &l = line(la);
+    State st = visibleState(l);
+    transition(EvCpuPutx, st);
+    if (st == StB) {
+        recycle(std::move(pkt));
+        return;
+    }
+
+    if (st != StCM || l.owner != pkt.srcEndpoint) {
+        // Stale writeback: a probe raced past it and took the data. Ack
+        // without touching memory or state.
+        _stats.counter("stale_putx").inc();
+        Packet ack;
+        ack.type = MsgType::CpuWBAck;
+        ack.addr = la;
+        ack.id = pkt.id;
+        _xbar.route(_endpoint, pkt.srcEndpoint, std::move(ack));
+        return;
+    }
+
+    startTxn(la, std::move(pkt));
+    Txn &t = *line(la).txn;
+    t.onMemWBAck = [this, la] {
+        Line &l2 = line(la);
+        Packet ack;
+        ack.type = MsgType::CpuWBAck;
+        ack.addr = la;
+        ack.id = l2.txn->origin.id;
+        int dst = l2.txn->origin.srcEndpoint;
+        l2.owner = -1;
+        l2.stable = StU;
+        finishTxn(la);
+        _xbar.route(_endpoint, dst, std::move(ack));
+    };
+    writeMem(la, t.origin.data,
+             std::vector<std::uint8_t>(_cfg.lineBytes, 1));
+}
+
+void
+Directory::handleDmaRead(Packet pkt)
+{
+    Addr la = pkt.addr;
+    Line &l = line(la);
+    State st = visibleState(l);
+    transition(EvDmaRead, st);
+    if (st == StB) {
+        recycle(std::move(pkt));
+        return;
+    }
+
+    startTxn(la, std::move(pkt));
+    Txn &t = *line(la).txn;
+
+    auto respond = [this, la](std::vector<std::uint8_t> data) {
+        Line &l2 = line(la);
+        Packet resp;
+        resp.type = MsgType::DmaReadResp;
+        resp.addr = la;
+        resp.id = l2.txn->origin.id;
+        resp.data = std::move(data);
+        int dst = l2.txn->origin.srcEndpoint;
+        finishTxn(la);
+        _xbar.route(_endpoint, dst, std::move(resp));
+    };
+
+    if (st == StCM) {
+        int owner = l.owner;
+        t.onAcks = [this, la, respond] {
+            Line &l2 = line(la);
+            Txn &txn = *l2.txn;
+            assert(txn.haveProbeData);
+            std::vector<std::uint8_t> data = txn.probeData;
+            l2.sharers.insert(l2.owner);
+            l2.owner = -1;
+            l2.stable = StCS;
+            txn.onMemWBAck = [respond, data] { respond(data); };
+            writeMem(la, data, std::vector<std::uint8_t>(_cfg.lineBytes,
+                                                         1));
+        };
+        sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
+        return;
+    }
+
+    t.onMemData = respond;
+    readMem(la);
+}
+
+void
+Directory::handleDmaWrite(Packet pkt)
+{
+    Addr la = pkt.addr;
+    Line &l = line(la);
+    State st = visibleState(l);
+    transition(EvDmaWrite, st);
+    if (st == StB) {
+        recycle(std::move(pkt));
+        return;
+    }
+
+    startTxn(la, std::move(pkt));
+    Txn &t = *line(la).txn;
+
+    auto write_and_respond =
+        [this, la](const std::vector<std::uint8_t> &data,
+                   const std::vector<std::uint8_t> &mask) {
+            Line &l2 = line(la);
+            l2.txn->onMemWBAck = [this, la] {
+                Line &l3 = line(la);
+                Packet resp;
+                resp.type = MsgType::DmaWriteResp;
+                resp.addr = la;
+                resp.id = l3.txn->origin.id;
+                int dst = l3.txn->origin.srcEndpoint;
+                finishTxn(la);
+                _xbar.route(_endpoint, dst, std::move(resp));
+            };
+            writeMem(la, data, mask);
+        };
+
+    if (st == StCM) {
+        int owner = l.owner;
+        t.onAcks = [this, la, write_and_respond] {
+            Line &l2 = line(la);
+            Txn &txn = *l2.txn;
+            assert(txn.haveProbeData);
+            std::vector<std::uint8_t> buf = txn.probeData;
+            for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
+                if (txn.origin.mask[i])
+                    buf[i] = txn.origin.data[i];
+            }
+            l2.owner = -1;
+            l2.sharers.clear();
+            l2.stable = StU;
+            write_and_respond(buf,
+                              std::vector<std::uint8_t>(_cfg.lineBytes, 1));
+        };
+        sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
+        sendGpuProbes(la);
+        return;
+    }
+
+    std::vector<int> targets(l.sharers.begin(), l.sharers.end());
+    t.onAcks = [this, la, write_and_respond] {
+        Line &l2 = line(la);
+        l2.sharers.clear();
+        l2.stable = StU;
+        write_and_respond(l2.txn->origin.data, l2.txn->origin.mask);
+    };
+    sendCpuProbes(la, targets, MsgType::CpuPrbInv);
+    sendGpuProbes(la);
+    if (line(la).txn->pendingAcks == 0)
+        t.onAcks();
+}
+
+void
+Directory::handleMemResp(Packet pkt)
+{
+    Line &l = line(pkt.addr);
+    if (l.txn == nullptr) {
+        throw ProtocolError(name(), curTick(),
+                            "memory response with no transaction: " +
+                                pkt.describe());
+    }
+    if (pkt.type == MsgType::MemData) {
+        transition(EvMemData, StB);
+        assert(l.txn->onMemData && "unexpected MemData");
+        auto fn = std::move(l.txn->onMemData);
+        l.txn->onMemData = nullptr;
+        fn(std::move(pkt.data));
+    } else if (pkt.type == MsgType::MemWBAck) {
+        transition(EvMemWBAck, StB);
+        assert(l.txn->onMemWBAck && "unexpected MemWBAck");
+        auto fn = std::move(l.txn->onMemWBAck);
+        l.txn->onMemWBAck = nullptr;
+        fn();
+    } else {
+        throw ProtocolError(name(), curTick(),
+                            "unexpected memory response: " +
+                                pkt.describe());
+    }
+}
+
+void
+Directory::handleInvAck(Packet pkt, bool from_gpu)
+{
+    Line &l = line(pkt.addr);
+    if (l.txn == nullptr) {
+        throw ProtocolError(name(), curTick(),
+                            "probe ack with no transaction: " +
+                                pkt.describe());
+    }
+    transition(from_gpu ? EvGpuInvAck : EvCpuInvAck, StB);
+    Txn &t = *l.txn;
+    if (!pkt.data.empty()) {
+        t.probeData = std::move(pkt.data);
+        t.haveProbeData = true;
+    }
+    assert(t.pendingAcks > 0);
+    if (--t.pendingAcks == 0) {
+        assert(t.onAcks && "acks drained with no continuation");
+        auto fn = std::move(t.onAcks);
+        t.onAcks = nullptr;
+        fn();
+    }
+}
+
+void
+Directory::recvMsg(Packet pkt)
+{
+    switch (pkt.type) {
+      case MsgType::FetchBlk:
+        handleGpuFetch(std::move(pkt));
+        break;
+      case MsgType::WrMem:
+        handleGpuWrMem(std::move(pkt));
+        break;
+      case MsgType::DirAtomic:
+        handleGpuAtomic(std::move(pkt));
+        break;
+      case MsgType::Gets:
+        handleCpuGets(std::move(pkt));
+        break;
+      case MsgType::Getx:
+        handleCpuGetx(std::move(pkt));
+        break;
+      case MsgType::Putx:
+        handleCpuPutx(std::move(pkt));
+        break;
+      case MsgType::DmaRead:
+        handleDmaRead(std::move(pkt));
+        break;
+      case MsgType::DmaWrite:
+        handleDmaWrite(std::move(pkt));
+        break;
+      case MsgType::InvAck:
+        handleInvAck(std::move(pkt), true);
+        break;
+      case MsgType::CpuInvAck:
+        handleInvAck(std::move(pkt), false);
+        break;
+      default:
+        throw ProtocolError(name(), curTick(),
+                            std::string("unexpected message ") +
+                                msgTypeName(pkt.type));
+    }
+}
+
+} // namespace drf

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * APU system directory, shared by the CPU core-pair caches, the GPU L2,
+ * and a DMA engine (Section IV.C of the paper).
+ *
+ * The directory is the ordering point below the GPU L2 and the CPU
+ * caches. It tracks, per line:
+ *
+ *  - U  : memory owns the data (GPU L2 may hold clean copies),
+ *  - CS : one or more CPU caches hold shared clean copies,
+ *  - CM : one CPU cache owns the line dirty,
+ *  - B  : a transaction is in flight (transient; new requests stall,
+ *         except GPU atomics which receive AtomicND retries).
+ *
+ * GPU requests are VIPER write-through traffic; GPU atomics are performed
+ * here, read-modify-write, while the line is held busy — which is what
+ * makes them atomic (and what FaultKind::NonAtomicRmw breaks). A
+ * "gpuMayHave" bit per line tracks whether the GPU L2 may cache a copy so
+ * CPU/DMA writes can probe-invalidate it (the PrbInv transitions of
+ * Table II).
+ */
+
+#ifndef DRF_PROTO_DIRECTORY_HH
+#define DRF_PROTO_DIRECTORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coverage/coverage.hh"
+#include "mem/memory.hh"
+#include "mem/msg.hh"
+#include "mem/network.hh"
+#include "mem/port.hh"
+#include "proto/fault.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace drf
+{
+
+/** Configuration of the directory. */
+struct DirectoryConfig
+{
+    unsigned lineBytes = 64;
+    Tick recycleLatency = 10;
+    Tick memPortLatency = 2;
+};
+
+/**
+ * The shared CPU-GPU system directory (with its DRAM behind it).
+ */
+class Directory : public SimObject, public MsgReceiver
+{
+  public:
+    /** Coverage row indices. */
+    enum Event : std::size_t
+    {
+        EvGpuFetch = 0,
+        EvGpuWrMem,
+        EvGpuAtomic,
+        EvCpuGets,
+        EvCpuGetx,
+        EvCpuPutx,
+        EvDmaRead,
+        EvDmaWrite,
+        EvMemData,
+        EvMemWBAck,
+        EvCpuInvAck,
+        EvGpuInvAck,
+    };
+
+    /** Coverage column indices. */
+    enum State : std::size_t
+    {
+        StU = 0,
+        StCS,
+        StCM,
+        StB,
+    };
+
+    /**
+     * @param name   Instance name.
+     * @param eq     Event queue.
+     * @param cfg    Configuration.
+     * @param xbar   Crossbar shared with L2s / CPU caches / DMA.
+     * @param endpoint The directory's endpoint id.
+     * @param gpu_l2_eps GPU L2 endpoints (for PrbInv); empty = no GPU.
+     *        With more than one L2 (a multi-GPU system, Section III.B)
+     *        the directory also probe-invalidates remote GPU L2s on GPU
+     *        writes and atomics, which is what makes the L2 PrbInv
+     *        transitions reachable by the GPU tester alone.
+     * @param mem    DRAM behind the directory.
+     * @param fault  Optional fault injector.
+     */
+    Directory(std::string name, EventQueue &eq, const DirectoryConfig &cfg,
+              Crossbar &xbar, int endpoint, std::vector<int> gpu_l2_eps,
+              SimpleMemory &mem, FaultInjector *fault = nullptr);
+
+    static const TransitionSpec &spec();
+
+    void recvMsg(Packet pkt) override;
+
+    CoverageGrid &coverage() { return _coverage; }
+    const CoverageGrid &coverage() const { return _coverage; }
+    StatGroup &stats() { return _stats; }
+
+  private:
+    /** In-flight transaction on one line. */
+    struct Txn
+    {
+        Packet origin;
+        int pendingAcks = 0;
+        std::vector<std::uint8_t> probeData;
+        bool haveProbeData = false;
+        std::function<void()> onAcks;
+        std::function<void(std::vector<std::uint8_t>)> onMemData;
+        std::function<void()> onMemWBAck;
+    };
+
+    /** Directory record for one line (absent => U, no sharers). */
+    struct Line
+    {
+        State stable = StU; ///< U / CS / CM
+        std::set<int> sharers;     ///< CPU caches holding the line
+        int owner = -1;            ///< CPU owner when CM
+        std::set<int> gpuSharers;  ///< GPU L2s that may hold the line
+        std::unique_ptr<Txn> txn;
+    };
+
+    Line &line(Addr line_addr);
+    State visibleState(const Line &l) const;
+    void transition(Event ev, State st) { _coverage.hit(ev, st); }
+    void recycle(Packet pkt);
+
+    /** Start a transaction; the line becomes busy. */
+    Txn &startTxn(Addr line_addr, Packet origin);
+    /** Complete the transaction on @p line_addr. */
+    void finishTxn(Addr line_addr);
+
+    /** Issue probes; txn.onAcks runs once every target acked. */
+    void sendCpuProbes(Addr line_addr, const std::vector<int> &targets,
+                       MsgType probe_type);
+
+    /**
+     * Probe-invalidate every GPU L2 that may hold the line, except
+     * @p exclude (the requesting L2, if GPU-initiated). Each probe
+     * counts as one pending ack; the probed L2s are dropped from the
+     * sharer set.
+     *
+     * @return number of probes sent.
+     */
+    unsigned sendGpuProbes(Addr line_addr, int exclude = -1);
+
+    void readMem(Addr line_addr);
+    void writeMem(Addr line_addr, const std::vector<std::uint8_t> &data,
+                  const std::vector<std::uint8_t> &mask);
+
+    void handleGpuFetch(Packet pkt);
+    void handleGpuWrMem(Packet pkt);
+    void handleGpuAtomic(Packet pkt);
+    void handleCpuGets(Packet pkt);
+    void handleCpuGetx(Packet pkt);
+    void handleCpuPutx(Packet pkt);
+    void handleDmaRead(Packet pkt);
+    void handleDmaWrite(Packet pkt);
+    void handleMemResp(Packet pkt);
+    void handleInvAck(Packet pkt, bool from_gpu);
+
+    /** Perform the fetch-add on a line buffer; returns the old value. */
+    std::uint64_t applyAtomic(std::vector<std::uint8_t> &buf, Addr addr,
+                              unsigned size, std::uint64_t operand) const;
+
+    DirectoryConfig _cfg;
+    Crossbar &_xbar;
+    int _endpoint;
+    std::vector<int> _gpuL2Endpoints;
+    SimpleMemory &_mem;
+    MsgPort _memPort;
+    FaultInjector *_fault;
+
+    std::map<Addr, Line> _lines;
+
+    CoverageGrid _coverage;
+    StatGroup _stats;
+};
+
+} // namespace drf
+
+#endif // DRF_PROTO_DIRECTORY_HH

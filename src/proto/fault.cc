@@ -1,0 +1,21 @@
+#include "proto/fault.hh"
+
+namespace drf
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::None: return "None";
+      case FaultKind::LostWriteThrough: return "LostWriteThrough";
+      case FaultKind::NonAtomicRmw: return "NonAtomicRmw";
+      case FaultKind::DropAcquireInvalidate:
+        return "DropAcquireInvalidate";
+      case FaultKind::DropGpuProbe: return "DropGpuProbe";
+      case FaultKind::DropWriteAck: return "DropWriteAck";
+    }
+    return "?";
+}
+
+} // namespace drf

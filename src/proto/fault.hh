@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Protocol fault injection for the Section V case study and for
+ * validating that the tester actually detects bugs.
+ *
+ * Each FaultKind models a realistic implementation bug class. Controllers
+ * consult the injector at the relevant decision points; with no injector
+ * (or kind None) the protocol is correct.
+ */
+
+#ifndef DRF_PROTO_FAULT_HH
+#define DRF_PROTO_FAULT_HH
+
+#include <cstdint>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace drf
+{
+
+/** The injectable bug classes. */
+enum class FaultKind
+{
+    None,
+
+    /**
+     * Case study bug 1 (Table V): two false-sharing write-throughs racing
+     * at the GPU L2 are not serialized correctly — the second write's
+     * bytes are dropped instead of merged, so the store never reaches
+     * memory. Detected as a read-write value inconsistency.
+     */
+    LostWriteThrough,
+
+    /**
+     * Case study bug 2: the directory's atomic read-modify-write is not
+     * atomic — a second racing atomic can observe the same old value.
+     * Detected as duplicate atomic return values.
+     */
+    NonAtomicRmw,
+
+    /**
+     * Acquire fails to flash-invalidate the GPU L1, so later loads can
+     * return stale data. Detected as a value inconsistency.
+     */
+    DropAcquireInvalidate,
+
+    /**
+     * The directory forgets to probe-invalidate the GPU L2 when the CPU
+     * gains exclusive ownership (heterogeneous-protocol bug). Detected by
+     * application-style mixed traffic or a combined run.
+     */
+    DropGpuProbe,
+
+    /**
+     * The GPU L2 occasionally drops a write-completion ack, leaving the
+     * requesting L1 waiting forever. Detected by the forward-progress
+     * watchdog as a deadlock.
+     */
+    DropWriteAck,
+};
+
+/** Printable bug name. */
+const char *faultKindName(FaultKind kind);
+
+/**
+ * Shared fault-injection policy: which bug is armed and how often it
+ * triggers. Deterministic under its seed.
+ */
+class FaultInjector
+{
+  public:
+    /**
+     * @param kind        Armed bug (None disables everything).
+     * @param trigger_pct Probability in percent that an armed site fires.
+     * @param seed        RNG seed.
+     */
+    FaultInjector(FaultKind kind, unsigned trigger_pct, std::uint64_t seed)
+        : _kind(kind), _triggerPct(trigger_pct), _rng(seed)
+    {}
+
+    /** The armed bug. */
+    FaultKind kind() const { return _kind; }
+
+    /**
+     * Ask whether the bug @p kind should fire at this site. Only returns
+     * true when @p kind is armed and the trigger roll succeeds; counts
+     * every actual firing.
+     */
+    bool
+    fire(FaultKind kind)
+    {
+        if (kind != _kind)
+            return false;
+        if (!_rng.pct(_triggerPct))
+            return false;
+        ++_firings;
+        return true;
+    }
+
+    /** Number of times the armed bug actually fired. */
+    std::uint64_t firings() const { return _firings; }
+
+  private:
+    FaultKind _kind;
+    unsigned _triggerPct;
+    Random _rng;
+    std::uint64_t _firings = 0;
+};
+
+} // namespace drf
+
+#endif // DRF_PROTO_FAULT_HH

@@ -1,0 +1,378 @@
+#include "proto/gpu_l1.hh"
+
+#include <cassert>
+
+#include "proto/protocol_error.hh"
+#include "sim/logger.hh"
+
+namespace drf
+{
+
+const TransitionSpec &
+GpuL1Cache::spec()
+{
+    static TransitionSpec s = [] {
+        TransitionSpec spec(
+            "GPU-L1", {"I", "V", "A"},
+            {"Load", "StoreThrough", "Atomic", "TCC_Ack", "TCC_AckWB",
+             "Evict", "Repl"});
+        // Load: miss fetch / hit / stall on pending MSHR.
+        spec.define(EvLoad, StI);
+        spec.define(EvLoad, StV);
+        spec.define(EvLoad, StA);
+        // StoreThrough: write-through from any stable state; stall on A.
+        spec.define(EvStoreThrough, StI);
+        spec.define(EvStoreThrough, StV);
+        spec.define(EvStoreThrough, StA);
+        // Atomic: forwarded below the L1; invalidates a valid copy.
+        spec.define(EvAtomic, StI);
+        spec.define(EvAtomic, StV);
+        spec.define(EvAtomic, StA);
+        // TCC_Ack only ever matches an MSHR.
+        spec.define(EvTccAck, StA);
+        // TCC_AckWB can find the line in any state (no-allocate stores).
+        spec.define(EvTccAckWB, StI);
+        spec.define(EvTccAckWB, StV);
+        spec.define(EvTccAckWB, StA);
+        // Evict (acquire flash-invalidation) sweeps whatever is present.
+        spec.define(EvEvict, StI);
+        spec.define(EvEvict, StV);
+        spec.define(EvEvict, StA);
+        // Repl only ever victimizes a valid clean line.
+        spec.define(EvRepl, StV);
+        return spec;
+    }();
+    return s;
+}
+
+GpuL1Cache::GpuL1Cache(std::string name, EventQueue &eq,
+                       const GpuL1Config &cfg, Crossbar &xbar, int endpoint,
+                       int l2_ep, FaultInjector *fault)
+    : SimObject(std::move(name), eq), _cfg(cfg), _xbar(xbar),
+      _endpoint(endpoint), _l2Endpoint(l2_ep), _fault(fault),
+      _array(cfg.sizeBytes, cfg.assoc, cfg.lineBytes), _coverage(spec()),
+      _stats(SimObject::name())
+{
+    xbar.attach(endpoint, *this);
+}
+
+GpuL1Cache::State
+GpuL1Cache::lineState(Addr line_addr) const
+{
+    if (_tbes.count(line_addr) > 0)
+        return StA;
+    if (_array.findEntry(line_addr) != nullptr)
+        return StV;
+    return StI;
+}
+
+void
+GpuL1Cache::transition(Event ev, State st)
+{
+    _coverage.hit(ev, st);
+}
+
+void
+GpuL1Cache::recycle(Packet pkt)
+{
+    _stats.counter("recycles").inc();
+    scheduleAfter(_cfg.recycleLatency,
+                  [this, pkt = std::move(pkt)]() mutable {
+                      coreRequest(std::move(pkt));
+                  });
+}
+
+void
+GpuL1Cache::coreRequest(Packet pkt)
+{
+    assert(_respond && "core response path not bound");
+
+    // Release semantics: hold the request until every outstanding
+    // write-through has been acknowledged.
+    if (pkt.release && _outstandingWT > 0) {
+        _releaseQueue.push_back(std::move(pkt));
+        return;
+    }
+
+    // Acquire semantics: flash-invalidate before performing the access.
+    if (pkt.acquire) {
+        if (_fault == nullptr ||
+            !_fault->fire(FaultKind::DropAcquireInvalidate)) {
+            flashInvalidate();
+        }
+    }
+
+    switch (pkt.type) {
+      case MsgType::LoadReq:
+        handleLoad(std::move(pkt));
+        break;
+      case MsgType::StoreReq:
+        handleStore(std::move(pkt));
+        break;
+      case MsgType::AtomicReq:
+        handleAtomic(std::move(pkt));
+        break;
+      default:
+        throw ProtocolError(name(), curTick(),
+                            std::string("unexpected core request ") +
+                                msgTypeName(pkt.type));
+    }
+}
+
+void
+GpuL1Cache::handleLoad(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    State st = lineState(line);
+    transition(EvLoad, st);
+
+    if (st == StA) {
+        // A miss or atomic is outstanding for this line: stall.
+        pkt.acquire = false; // the flash-invalidate already happened
+        recycle(std::move(pkt));
+        return;
+    }
+
+    if (st == StV) {
+        CacheEntry *entry = _array.findEntry(line);
+        _array.touch(*entry);
+        _stats.counter("load_hits").inc();
+        Packet resp = pkt;
+        resp.type = MsgType::LoadResp;
+        resp.data.assign(
+            entry->data.begin() + lineOffset(pkt.addr, _cfg.lineBytes),
+            entry->data.begin() + lineOffset(pkt.addr, _cfg.lineBytes) +
+                pkt.size);
+        scheduleAfter(_cfg.hitLatency,
+                      [this, resp = std::move(resp)]() mutable {
+                          _respond(std::move(resp));
+                      });
+        return;
+    }
+
+    // Miss: allocate an MSHR and fetch from the L2.
+    _stats.counter("load_misses").inc();
+    Tbe tbe;
+    tbe.isAtomic = false;
+    tbe.corePkt = pkt;
+    _tbes.emplace(line, std::move(tbe));
+
+    Packet req;
+    req.type = MsgType::RdBlk;
+    req.addr = line;
+    req.id = _nextId++;
+    req.requestor = pkt.requestor;
+    req.issueTick = curTick();
+    _xbar.route(_endpoint, _l2Endpoint, std::move(req));
+}
+
+void
+GpuL1Cache::handleStore(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    State st = lineState(line);
+    transition(EvStoreThrough, st);
+
+    if (st == StA) {
+        // e.g. a store hitting a pending atomic: a rare corner the paper
+        // calls out; the controller stalls it.
+        pkt.acquire = false;
+        recycle(std::move(pkt));
+        return;
+    }
+
+    assert(pkt.data.size() == pkt.size);
+
+    if (st == StV) {
+        // Perform the store locally with per-byte dirty bits, then write
+        // it through.
+        CacheEntry *entry = _array.findEntry(line);
+        _array.touch(*entry);
+        Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
+        for (unsigned i = 0; i < pkt.size; ++i) {
+            entry->data[off + i] = pkt.data[i];
+            entry->dirty[off + i] = 1;
+        }
+    }
+
+    // Build the line-granularity write-through message.
+    Packet wt;
+    wt.type = MsgType::WrThrough;
+    wt.addr = line;
+    wt.id = _nextId++;
+    wt.requestor = pkt.requestor;
+    wt.issueTick = curTick();
+    wt.data.assign(_cfg.lineBytes, 0);
+    wt.mask.assign(_cfg.lineBytes, 0);
+    Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
+    for (unsigned i = 0; i < pkt.size; ++i) {
+        wt.data[off + i] = pkt.data[i];
+        wt.mask[off + i] = 1;
+    }
+
+    _pendingWT.emplace(wt.id, pkt);
+    ++_outstandingWT;
+    _stats.counter("write_throughs").inc();
+    _xbar.route(_endpoint, _l2Endpoint, std::move(wt));
+}
+
+void
+GpuL1Cache::handleAtomic(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    State st = lineState(line);
+    transition(EvAtomic, st);
+
+    if (st == StA) {
+        pkt.acquire = false;
+        recycle(std::move(pkt));
+        return;
+    }
+
+    if (st == StV) {
+        // The atomic is performed below; the local copy becomes stale.
+        CacheEntry *entry = _array.findEntry(line);
+        _array.invalidate(*entry);
+    }
+
+    Tbe tbe;
+    tbe.isAtomic = true;
+    tbe.corePkt = pkt;
+    _tbes.emplace(line, std::move(tbe));
+    _stats.counter("atomics").inc();
+
+    Packet req;
+    req.type = MsgType::GpuAtomic;
+    req.addr = pkt.addr;
+    req.size = pkt.size;
+    req.atomicOperand = pkt.atomicOperand;
+    req.id = _nextId++;
+    req.requestor = pkt.requestor;
+    req.issueTick = curTick();
+    _xbar.route(_endpoint, _l2Endpoint, std::move(req));
+}
+
+void
+GpuL1Cache::flashInvalidate()
+{
+    _stats.counter("flash_invalidates").inc();
+    bool any = false;
+    for (auto &entry : _array.entries()) {
+        if (entry.valid) {
+            transition(EvEvict, StV);
+            _array.invalidate(entry);
+            any = true;
+        }
+    }
+    for ([[maybe_unused]] const auto &[line, tbe] : _tbes) {
+        // In-flight fills are fetched from the L2 at or after the acquire
+        // point, so they are left to complete.
+        transition(EvEvict, StA);
+        any = true;
+    }
+    if (!any) {
+        // Flash invalidation of a cold cache: a defined no-op.
+        transition(EvEvict, StI);
+    }
+}
+
+CacheEntry &
+GpuL1Cache::fillLine(Addr line_addr, const std::vector<std::uint8_t> &data)
+{
+    if (!_array.hasFreeWay(line_addr)) {
+        CacheEntry &victim = _array.victim(line_addr);
+        transition(EvRepl, StV);
+        _stats.counter("replacements").inc();
+        _array.invalidate(victim);
+    }
+    CacheEntry &entry = _array.allocate(line_addr);
+    entry.data = data;
+    return entry;
+}
+
+void
+GpuL1Cache::handleTccAck(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    auto it = _tbes.find(line);
+    if (it == _tbes.end()) {
+        throw ProtocolError(name(), curTick(),
+                            "TCC_Ack with no matching MSHR: " +
+                                pkt.describe());
+    }
+    transition(EvTccAck, StA);
+
+    Tbe tbe = std::move(it->second);
+    _tbes.erase(it);
+
+    Packet resp = tbe.corePkt;
+    if (tbe.isAtomic) {
+        // Atomics are not cached in the L1.
+        resp.type = MsgType::AtomicResp;
+        resp.atomicResult = pkt.atomicResult;
+    } else {
+        assert(pkt.data.size() == _cfg.lineBytes);
+        CacheEntry &entry = fillLine(line, pkt.data);
+        _array.touch(entry);
+        resp.type = MsgType::LoadResp;
+        Addr off = lineOffset(resp.addr, _cfg.lineBytes);
+        resp.data.assign(entry.data.begin() + off,
+                         entry.data.begin() + off + resp.size);
+    }
+    _respond(std::move(resp));
+}
+
+void
+GpuL1Cache::handleTccAckWB(Packet pkt)
+{
+    auto it = _pendingWT.find(pkt.id);
+    if (it == _pendingWT.end()) {
+        throw ProtocolError(name(), curTick(),
+                            "TCC_AckWB with no matching write-through: " +
+                                pkt.describe());
+    }
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    transition(EvTccAckWB, lineState(line));
+
+    Packet resp = it->second;
+    _pendingWT.erase(it);
+    assert(_outstandingWT > 0);
+    --_outstandingWT;
+
+    resp.type = MsgType::StoreAck;
+    resp.data.clear();
+    _respond(std::move(resp));
+
+    tryDrainReleaseQueue();
+}
+
+void
+GpuL1Cache::tryDrainReleaseQueue()
+{
+    while (_outstandingWT == 0 && !_releaseQueue.empty()) {
+        Packet pkt = std::move(_releaseQueue.front());
+        _releaseQueue.pop_front();
+        pkt.release = false; // the WT drain condition is now satisfied
+        coreRequest(std::move(pkt));
+        // coreRequest may have created new write-throughs; re-check.
+    }
+}
+
+void
+GpuL1Cache::recvMsg(Packet pkt)
+{
+    switch (pkt.type) {
+      case MsgType::TccAck:
+        handleTccAck(std::move(pkt));
+        break;
+      case MsgType::TccAckWB:
+        handleTccAckWB(std::move(pkt));
+        break;
+      default:
+        throw ProtocolError(name(), curTick(),
+                            std::string("unexpected message ") +
+                                msgTypeName(pkt.type));
+    }
+}
+
+} // namespace drf

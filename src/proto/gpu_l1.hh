@@ -1,0 +1,172 @@
+/**
+ * @file
+ * VIPER GPU L1 data cache controller ("TCP").
+ *
+ * Write-through, no write-allocate, release-consistency semantics:
+ *
+ *  - Stores are performed immediately using per-byte masks and written
+ *    through to the L2; the L1 never holds the only copy of dirty data
+ *    and never stalls for exclusive permission.
+ *  - An acquire (the atomic that opens a tester episode, or a
+ *    load-acquire) flash-invalidates every valid line so later loads
+ *    cannot see stale data.
+ *  - A release waits for all outstanding write-throughs to complete
+ *    before its atomic is issued, making prior stores globally visible.
+ *  - Atomics are never performed in the L1; they are forwarded below.
+ *
+ * States: I (no copy), V (valid clean copy), A (miss/atomic outstanding
+ * in an MSHR). Events are exactly Table I of the paper. The reconstructed
+ * transition table is documented in DESIGN.md and printed by
+ * bench/fig4_tables.
+ */
+
+#ifndef DRF_PROTO_GPU_L1_HH
+#define DRF_PROTO_GPU_L1_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "coverage/coverage.hh"
+#include "mem/cache_array.hh"
+#include "mem/msg.hh"
+#include "mem/network.hh"
+#include "mem/port.hh"
+#include "proto/fault.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace drf
+{
+
+/** Configuration of one GPU L1. */
+struct GpuL1Config
+{
+    std::uint64_t sizeBytes = 16 * 1024;
+    unsigned assoc = 16;
+    unsigned lineBytes = 64;
+    Tick hitLatency = 4;       ///< core-visible hit latency
+    Tick recycleLatency = 10;  ///< stall retry interval
+};
+
+/**
+ * One per-CU VIPER L1 cache.
+ */
+class GpuL1Cache : public SimObject, public MsgReceiver
+{
+  public:
+    /** Coverage row indices (Table I order). */
+    enum Event : std::size_t
+    {
+        EvLoad = 0,
+        EvStoreThrough,
+        EvAtomic,
+        EvTccAck,
+        EvTccAckWB,
+        EvEvict,
+        EvRepl,
+    };
+
+    /** Coverage column indices. */
+    enum State : std::size_t
+    {
+        StI = 0,
+        StV,
+        StA,
+    };
+
+    using RespFunc = std::function<void(Packet)>;
+
+    /**
+     * @param name     Instance name.
+     * @param eq       Event queue.
+     * @param cfg      Cache geometry and latencies.
+     * @param xbar     Crossbar toward the L2.
+     * @param endpoint This cache's crossbar endpoint id.
+     * @param l2_ep    The L2's endpoint id.
+     * @param fault    Optional fault injector (may be nullptr).
+     */
+    GpuL1Cache(std::string name, EventQueue &eq, const GpuL1Config &cfg,
+               Crossbar &xbar, int endpoint, int l2_ep,
+               FaultInjector *fault = nullptr);
+
+    /** The shared (event, state) spec for all GPU L1 instances. */
+    static const TransitionSpec &spec();
+
+    /** Bind the core-side response path. */
+    void bindCoreResponse(RespFunc fn) { _respond = std::move(fn); }
+
+    /**
+     * Core-side request entry point. Accepts LoadReq, StoreReq and
+     * AtomicReq packets; acquire/release flags carry the synchronization
+     * semantics.
+     */
+    void coreRequest(Packet pkt);
+
+    /** L2-side message delivery (TccAck / TccAckWB). */
+    void recvMsg(Packet pkt) override;
+
+    /** Write-throughs issued but not yet acknowledged. */
+    unsigned outstandingWriteThroughs() const { return _outstandingWT; }
+
+    CoverageGrid &coverage() { return _coverage; }
+    const CoverageGrid &coverage() const { return _coverage; }
+    StatGroup &stats() { return _stats; }
+    const CacheArray &array() const { return _array; }
+
+  private:
+    /** MSHR entry for an outstanding load or atomic. */
+    struct Tbe
+    {
+        bool isAtomic = false;
+        Packet corePkt;
+    };
+
+    /** Line state as seen by the transition table. */
+    State lineState(Addr line_addr) const;
+
+    /** Record one transition activation. */
+    void transition(Event ev, State st);
+
+    /** Retry a stalled core request later. */
+    void recycle(Packet pkt);
+
+    void handleLoad(Packet pkt);
+    void handleStore(Packet pkt);
+    void handleAtomic(Packet pkt);
+    void handleTccAck(Packet pkt);
+    void handleTccAckWB(Packet pkt);
+
+    /** Flash-invalidate all valid lines (acquire semantics). */
+    void flashInvalidate();
+
+    /** Fill a line after TCC_Ack, replacing a victim if needed. */
+    CacheEntry &fillLine(Addr line_addr,
+                         const std::vector<std::uint8_t> &data);
+
+    /** Drain the release queue if no write-throughs remain. */
+    void tryDrainReleaseQueue();
+
+    GpuL1Config _cfg;
+    Crossbar &_xbar;
+    int _endpoint;
+    int _l2Endpoint;
+    FaultInjector *_fault;
+
+    CacheArray _array;
+    std::map<Addr, Tbe> _tbes;              ///< keyed by line address
+    std::map<PacketId, Packet> _pendingWT;  ///< write-throughs in flight
+    std::deque<Packet> _releaseQueue;       ///< releases awaiting WT drain
+    unsigned _outstandingWT = 0;
+    PacketId _nextId = 1;
+
+    RespFunc _respond;
+    CoverageGrid _coverage;
+    StatGroup _stats;
+};
+
+} // namespace drf
+
+#endif // DRF_PROTO_GPU_L1_HH

@@ -1,0 +1,453 @@
+#include "proto/gpu_l2.hh"
+
+#include <cassert>
+
+#include "proto/protocol_error.hh"
+#include "sim/logger.hh"
+
+namespace drf
+{
+
+const TransitionSpec &
+GpuL2Cache::spec()
+{
+    static TransitionSpec s = [] {
+        TransitionSpec spec(
+            "GPU-L2", {"I", "V", "IV", "A"},
+            {"RdBlk", "WrVicBlk", "Atomic", "AtomicD", "AtomicND", "Data",
+             "L2_Repl", "PrbInv", "WBAck"});
+        spec.define(EvRdBlk, StI);
+        spec.define(EvRdBlk, StV);
+        spec.define(EvRdBlk, StIV);  // stall
+        spec.define(EvRdBlk, StA);   // stall
+        spec.define(EvWrVicBlk, StI);
+        spec.define(EvWrVicBlk, StV);
+        spec.define(EvWrVicBlk, StIV); // stall
+        spec.define(EvWrVicBlk, StA);  // stall
+        spec.define(EvAtomic, StI);
+        spec.define(EvAtomic, StV);
+        spec.define(EvAtomic, StIV); // stall
+        spec.define(EvAtomic, StA);  // queued behind the pending atomic
+        spec.define(EvAtomicD, StA);
+        spec.define(EvAtomicND, StA);
+        spec.define(EvData, StIV);
+        spec.define(EvL2Repl, StV);
+        spec.define(EvPrbInv, StI);
+        spec.define(EvPrbInv, StV);
+        spec.define(EvPrbInv, StIV);
+        // A probe can find the line with an atomic outstanding when the
+        // atomic was nacked while a remote L2's write transaction holds
+        // the directory (multi-GPU systems); the local copy is already
+        // gone, so the probe just acks.
+        spec.define(EvPrbInv, StA);
+        spec.define(EvWBAck, StI);
+        spec.define(EvWBAck, StV);
+        spec.define(EvWBAck, StIV);
+        spec.define(EvWBAck, StA);
+
+        // With only the GPU tester attached there is a single L2 and no
+        // CPU, so the directory never probes it (Section IV.B, "Impsb").
+        // In a multi-GPU system ("gpu_tester_multi") every PrbInv cell
+        // becomes reachable by the GPU tester alone.
+        for (auto st : {StI, StV, StIV, StA})
+            spec.markImpossible("gpu_tester", EvPrbInv, st);
+        return spec;
+    }();
+    return s;
+}
+
+GpuL2Cache::GpuL2Cache(std::string name, EventQueue &eq,
+                       const GpuL2Config &cfg, Crossbar &xbar, int endpoint,
+                       int dir_ep, FaultInjector *fault)
+    : SimObject(std::move(name), eq), _cfg(cfg), _xbar(xbar),
+      _endpoint(endpoint), _dirEndpoint(dir_ep), _fault(fault),
+      _array(cfg.sizeBytes, cfg.assoc, cfg.lineBytes), _coverage(spec()),
+      _stats(SimObject::name())
+{
+    xbar.attach(endpoint, *this);
+}
+
+GpuL2Cache::State
+GpuL2Cache::lineState(Addr line_addr) const
+{
+    if (_atomicTbes.count(line_addr) > 0)
+        return StA;
+    if (_fetchTbes.count(line_addr) > 0)
+        return StIV;
+    if (_array.findEntry(line_addr) != nullptr)
+        return StV;
+    return StI;
+}
+
+void
+GpuL2Cache::recycle(Packet pkt)
+{
+    _stats.counter("recycles").inc();
+    scheduleAfter(_cfg.recycleLatency,
+                  [this, pkt = std::move(pkt)]() mutable {
+                      recvMsg(std::move(pkt));
+                  });
+}
+
+void
+GpuL2Cache::respondData(const Packet &req, const CacheEntry &entry)
+{
+    Packet resp;
+    resp.type = MsgType::TccAck;
+    resp.addr = req.addr;
+    resp.id = req.id;
+    resp.requestor = req.requestor;
+    resp.data = entry.data;
+    _xbar.route(_endpoint, req.srcEndpoint, std::move(resp));
+}
+
+void
+GpuL2Cache::handleRdBlk(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    State st = lineState(line);
+    transition(EvRdBlk, st);
+
+    switch (st) {
+      case StV: {
+        CacheEntry *entry = _array.findEntry(line);
+        _array.touch(*entry);
+        _stats.counter("read_hits").inc();
+        respondData(pkt, *entry);
+        break;
+      }
+      case StI: {
+        _stats.counter("read_misses").inc();
+        FetchTbe tbe;
+        tbe.waiters.push_back(pkt);
+        _fetchTbes.emplace(line, std::move(tbe));
+        Packet req;
+        req.type = MsgType::FetchBlk;
+        req.addr = line;
+        req.id = _nextId++;
+        req.requestor = pkt.requestor;
+        req.issueTick = curTick();
+        _xbar.route(_endpoint, _dirEndpoint, std::move(req));
+        break;
+      }
+      case StIV:
+      case StA:
+        recycle(std::move(pkt));
+        break;
+    }
+}
+
+void
+GpuL2Cache::handleWrThrough(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    State st = lineState(line);
+    transition(EvWrVicBlk, st);
+
+    if (st == StIV || st == StA) {
+        recycle(std::move(pkt));
+        return;
+    }
+
+    // Case-study bug 1: two false-sharing write-throughs racing at this
+    // controller are not serialized; the later one is acked but its bytes
+    // never reach the line or memory.
+    bool racing = false;
+    for (const auto &[id, wb] : _pendingWBs) {
+        if (lineAlign(wb.original.addr, _cfg.lineBytes) == line) {
+            racing = true;
+            break;
+        }
+    }
+    if (racing && _fault != nullptr &&
+        _fault->fire(FaultKind::LostWriteThrough)) {
+        _stats.counter("injected_lost_wt").inc();
+        Packet ack;
+        ack.type = MsgType::TccAckWB;
+        ack.addr = pkt.addr;
+        ack.id = pkt.id;
+        ack.requestor = pkt.requestor;
+        _xbar.route(_endpoint, pkt.srcEndpoint, std::move(ack));
+        return;
+    }
+
+    if (st == StV) {
+        // Merge the masked bytes into the local copy.
+        CacheEntry *entry = _array.findEntry(line);
+        _array.touch(*entry);
+        assert(pkt.data.size() == _cfg.lineBytes &&
+               pkt.mask.size() == _cfg.lineBytes);
+        for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
+            if (pkt.mask[i]) {
+                entry->data[i] = pkt.data[i];
+                entry->dirty[i] = 1;
+            }
+        }
+    }
+
+    // Forward toward memory (VIPER keeps memory up to date so a release
+    // can make data globally visible).
+    Packet fwd;
+    fwd.type = MsgType::WrMem;
+    fwd.addr = line;
+    fwd.id = _nextId++;
+    fwd.requestor = pkt.requestor;
+    fwd.issueTick = curTick();
+    fwd.data = pkt.data;
+    fwd.mask = pkt.mask;
+    _pendingWBs.emplace(fwd.id, PendingWB{pkt});
+    _stats.counter("write_throughs").inc();
+    _xbar.route(_endpoint, _dirEndpoint, std::move(fwd));
+}
+
+void
+GpuL2Cache::issueAtomic(Addr line_addr)
+{
+    auto it = _atomicTbes.find(line_addr);
+    assert(it != _atomicTbes.end() && !it->second.queue.empty());
+    const Packet &head = it->second.queue.front();
+
+    Packet req;
+    req.type = MsgType::DirAtomic;
+    req.addr = head.addr;
+    req.size = head.size;
+    req.atomicOperand = head.atomicOperand;
+    req.id = _nextId++;
+    req.requestor = head.requestor;
+    req.issueTick = curTick();
+    _xbar.route(_endpoint, _dirEndpoint, std::move(req));
+}
+
+void
+GpuL2Cache::handleAtomic(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    State st = lineState(line);
+    transition(EvAtomic, st);
+
+    switch (st) {
+      case StIV:
+        recycle(std::move(pkt));
+        return;
+      case StA:
+        // Serialize behind the atomic already in flight.
+        _atomicTbes[line].queue.push_back(std::move(pkt));
+        return;
+      case StV: {
+        // The directory-side atomic makes the local copy stale.
+        CacheEntry *entry = _array.findEntry(line);
+        _array.invalidate(*entry);
+        break;
+      }
+      case StI:
+        break;
+    }
+
+    AtomicTbe tbe;
+    tbe.queue.push_back(std::move(pkt));
+    _atomicTbes.emplace(line, std::move(tbe));
+    _stats.counter("atomics").inc();
+    issueAtomic(line);
+}
+
+void
+GpuL2Cache::handleAtomicD(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    auto it = _atomicTbes.find(line);
+    if (it == _atomicTbes.end()) {
+        throw ProtocolError(name(), curTick(),
+                            "AtomicD with no pending atomic: " +
+                                pkt.describe());
+    }
+    transition(EvAtomicD, StA);
+
+    Packet head = std::move(it->second.queue.front());
+    it->second.queue.pop_front();
+
+    Packet resp;
+    resp.type = MsgType::TccAck;
+    resp.addr = head.addr;
+    resp.id = head.id;
+    resp.requestor = head.requestor;
+    resp.atomicResult = pkt.atomicResult;
+    _xbar.route(_endpoint, head.srcEndpoint, std::move(resp));
+
+    if (!it->second.queue.empty()) {
+        issueAtomic(line);
+        return;
+    }
+
+    _atomicTbes.erase(it);
+    // Cache the post-atomic line contents delivered with the ack.
+    assert(pkt.data.size() == _cfg.lineBytes);
+    fillLine(line, pkt.data);
+}
+
+void
+GpuL2Cache::handleAtomicND(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    auto it = _atomicTbes.find(line);
+    if (it == _atomicTbes.end()) {
+        throw ProtocolError(name(), curTick(),
+                            "AtomicND with no pending atomic: " +
+                                pkt.describe());
+    }
+    transition(EvAtomicND, StA);
+    _stats.counter("atomic_retries").inc();
+    scheduleAfter(_cfg.recycleLatency,
+                  [this, line] { issueAtomic(line); });
+}
+
+CacheEntry &
+GpuL2Cache::fillLine(Addr line_addr, const std::vector<std::uint8_t> &data)
+{
+    if (_array.findEntry(line_addr) != nullptr) {
+        // Refill raced with a write-through that re-validated the line;
+        // keep the merged copy (it is at least as fresh).
+        return *_array.findEntry(line_addr);
+    }
+    if (!_array.hasFreeWay(line_addr)) {
+        CacheEntry &victim = _array.victim(line_addr);
+        transition(EvL2Repl, StV);
+        _stats.counter("replacements").inc();
+        _array.invalidate(victim);
+    }
+    CacheEntry &entry = _array.allocate(line_addr);
+    entry.data = data;
+
+    // Merge the refill *under* the dirty bytes of this controller's own
+    // in-flight write-throughs. The fetched data can predate a write
+    // that is still waiting for its WBAck (the write may be recycled
+    // behind a busy directory line, or racing with a remote L2's
+    // transaction that probed us mid-flight); under DRF no other agent
+    // writes those bytes until our write retires, so our pending bytes
+    // are strictly newer. Found by the tester itself as a read-write
+    // inconsistency — the exact failure mode of the paper's Section V
+    // case study.
+    for (const auto &[id, wb] : _pendingWBs) {
+        if (lineAlign(wb.original.addr, _cfg.lineBytes) != line_addr)
+            continue;
+        for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
+            if (wb.original.mask[i]) {
+                entry.data[i] = wb.original.data[i];
+                entry.dirty[i] = 1;
+            }
+        }
+        _stats.counter("refill_merges").inc();
+    }
+
+    _array.touch(entry);
+    return entry;
+}
+
+void
+GpuL2Cache::handleDirData(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    auto it = _fetchTbes.find(line);
+    if (it == _fetchTbes.end()) {
+        throw ProtocolError(name(), curTick(),
+                            "Data with no refill MSHR: " + pkt.describe());
+    }
+    transition(EvData, StIV);
+
+    FetchTbe tbe = std::move(it->second);
+    _fetchTbes.erase(it);
+
+    CacheEntry &entry = fillLine(line, pkt.data);
+    for (const Packet &waiter : tbe.waiters)
+        respondData(waiter, entry);
+}
+
+void
+GpuL2Cache::handleDirWBAck(Packet pkt)
+{
+    auto it = _pendingWBs.find(pkt.id);
+    if (it == _pendingWBs.end()) {
+        throw ProtocolError(name(), curTick(),
+                            "WBAck with no pending write: " +
+                                pkt.describe());
+    }
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    transition(EvWBAck, lineState(line));
+
+    Packet original = std::move(it->second.original);
+    _pendingWBs.erase(it);
+
+    if (_fault != nullptr && _fault->fire(FaultKind::DropWriteAck)) {
+        // The completion ack never reaches the L1: the system deadlocks
+        // on the next release and the watchdog must catch it.
+        _stats.counter("injected_dropped_acks").inc();
+        return;
+    }
+
+    Packet ack;
+    ack.type = MsgType::TccAckWB;
+    ack.addr = original.addr;
+    ack.id = original.id;
+    ack.requestor = original.requestor;
+    _xbar.route(_endpoint, original.srcEndpoint, std::move(ack));
+}
+
+void
+GpuL2Cache::handlePrbInv(Packet pkt)
+{
+    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    State st = lineState(line);
+    transition(EvPrbInv, st);
+
+    if (st == StV) {
+        CacheEntry *entry = _array.findEntry(line);
+        _array.invalidate(*entry);
+    }
+    // In IV the refill completes later with data ordered before any
+    // subsequent remote write (DRF programs order such accesses with
+    // synchronization anyway); in A the local copy was dropped when the
+    // atomic was issued; in I this is a stale probe. Always ack.
+    _stats.counter("probes").inc();
+
+    Packet ack;
+    ack.type = MsgType::InvAck;
+    ack.addr = line;
+    ack.id = pkt.id;
+    _xbar.route(_endpoint, _dirEndpoint, std::move(ack));
+}
+
+void
+GpuL2Cache::recvMsg(Packet pkt)
+{
+    switch (pkt.type) {
+      case MsgType::RdBlk:
+        handleRdBlk(std::move(pkt));
+        break;
+      case MsgType::WrThrough:
+        handleWrThrough(std::move(pkt));
+        break;
+      case MsgType::GpuAtomic:
+        handleAtomic(std::move(pkt));
+        break;
+      case MsgType::AtomicD:
+        handleAtomicD(std::move(pkt));
+        break;
+      case MsgType::AtomicND:
+        handleAtomicND(std::move(pkt));
+        break;
+      case MsgType::DirData:
+        handleDirData(std::move(pkt));
+        break;
+      case MsgType::DirWBAck:
+        handleDirWBAck(std::move(pkt));
+        break;
+      case MsgType::PrbInv:
+        handlePrbInv(std::move(pkt));
+        break;
+      default:
+        throw ProtocolError(name(), curTick(),
+                            std::string("unexpected message ") +
+                                msgTypeName(pkt.type));
+    }
+}
+
+} // namespace drf

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * VIPER GPU L2 cache controller ("TCC").
+ *
+ * Shared by all CUs. Read misses fetch from the APU directory; GPU
+ * write-throughs are merged (per-byte masks) and forwarded toward memory;
+ * atomics are performed below the L2 at the directory, with AtomicD /
+ * AtomicND completion acks. The directory may probe-invalidate the L2
+ * when the CPU gains exclusive ownership (PrbInv) — the transitions that
+ * are unreachable when only the GPU tester runs.
+ *
+ * States: I, V, IV (refill outstanding), A (atomic outstanding). Events
+ * are exactly Table II of the paper.
+ */
+
+#ifndef DRF_PROTO_GPU_L2_HH
+#define DRF_PROTO_GPU_L2_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coverage/coverage.hh"
+#include "mem/cache_array.hh"
+#include "mem/msg.hh"
+#include "mem/network.hh"
+#include "proto/fault.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+
+namespace drf
+{
+
+/** Configuration of the GPU L2. */
+struct GpuL2Config
+{
+    std::uint64_t sizeBytes = 256 * 1024;
+    unsigned assoc = 16;
+    unsigned lineBytes = 64;
+    Tick recycleLatency = 10;
+};
+
+/**
+ * The shared GPU L2.
+ */
+class GpuL2Cache : public SimObject, public MsgReceiver
+{
+  public:
+    /** Coverage row indices (Table II order). */
+    enum Event : std::size_t
+    {
+        EvRdBlk = 0,
+        EvWrVicBlk,
+        EvAtomic,
+        EvAtomicD,
+        EvAtomicND,
+        EvData,
+        EvL2Repl,
+        EvPrbInv,
+        EvWBAck,
+    };
+
+    /** Coverage column indices. */
+    enum State : std::size_t
+    {
+        StI = 0,
+        StV,
+        StIV,
+        StA,
+    };
+
+    /**
+     * @param name     Instance name.
+     * @param eq       Event queue.
+     * @param cfg      Cache geometry.
+     * @param xbar     Crossbar (toward L1s and the directory).
+     * @param endpoint This cache's endpoint id.
+     * @param dir_ep   The directory's endpoint id.
+     * @param fault    Optional fault injector.
+     */
+    GpuL2Cache(std::string name, EventQueue &eq, const GpuL2Config &cfg,
+               Crossbar &xbar, int endpoint, int dir_ep,
+               FaultInjector *fault = nullptr);
+
+    static const TransitionSpec &spec();
+
+    void recvMsg(Packet pkt) override;
+
+    CoverageGrid &coverage() { return _coverage; }
+    const CoverageGrid &coverage() const { return _coverage; }
+    StatGroup &stats() { return _stats; }
+    const CacheArray &array() const { return _array; }
+
+  private:
+    /** Refill MSHR: requesters waiting for one line. */
+    struct FetchTbe
+    {
+        std::vector<Packet> waiters; ///< original RdBlk packets
+    };
+
+    /** Atomic MSHR: a queue of atomics serialized at this line. */
+    struct AtomicTbe
+    {
+        std::deque<Packet> queue; ///< original GpuAtomic packets
+    };
+
+    /** Pending write-through forwarded toward memory. */
+    struct PendingWB
+    {
+        Packet original; ///< the L1's WrThrough packet
+    };
+
+    State lineState(Addr line_addr) const;
+    void transition(Event ev, State st) { _coverage.hit(ev, st); }
+    void recycle(Packet pkt);
+
+    void handleRdBlk(Packet pkt);
+    void handleWrThrough(Packet pkt);
+    void handleAtomic(Packet pkt);
+    void handleAtomicD(Packet pkt);
+    void handleAtomicND(Packet pkt);
+    void handleDirData(Packet pkt);
+    void handleDirWBAck(Packet pkt);
+    void handlePrbInv(Packet pkt);
+
+    /** Issue the head of an atomic queue to the directory. */
+    void issueAtomic(Addr line_addr);
+
+    /** Fill a line after refill data, replacing a victim if needed. */
+    CacheEntry &fillLine(Addr line_addr,
+                         const std::vector<std::uint8_t> &data);
+
+    /** Reply with a TccAck carrying the line to one RdBlk waiter. */
+    void respondData(const Packet &req, const CacheEntry &entry);
+
+    GpuL2Config _cfg;
+    Crossbar &_xbar;
+    int _endpoint;
+    int _dirEndpoint;
+    FaultInjector *_fault;
+
+    CacheArray _array;
+    std::map<Addr, FetchTbe> _fetchTbes;
+    std::map<Addr, AtomicTbe> _atomicTbes;
+    std::map<PacketId, PendingWB> _pendingWBs;
+    PacketId _nextId = 1;
+
+    CoverageGrid _coverage;
+    StatGroup _stats;
+};
+
+} // namespace drf
+
+#endif // DRF_PROTO_GPU_L2_HH

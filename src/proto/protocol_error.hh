@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Protocol fault reporting.
+ *
+ * An undefined (state, event) firing, a message arriving at a component
+ * that cannot handle it, or any other "this must never happen" condition
+ * raises a ProtocolError carrying enough context for a designer to start
+ * debugging — mirroring Ruby's behaviour of aborting on an invalid
+ * transition.
+ */
+
+#ifndef DRF_PROTO_PROTOCOL_ERROR_HH
+#define DRF_PROTO_PROTOCOL_ERROR_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace drf
+{
+
+/** Fatal protocol-level failure (undefined transition etc.). */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    ProtocolError(const std::string &who, Tick when,
+                  const std::string &what_happened)
+        : std::runtime_error(format(who, when, what_happened)),
+          _who(who), _when(when)
+    {}
+
+    const std::string &who() const { return _who; }
+    Tick when() const { return _when; }
+
+  private:
+    static std::string
+    format(const std::string &who, Tick when, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << "protocol error at tick " << when << " in " << who << ": "
+           << msg;
+        return os.str();
+    }
+
+    std::string _who;
+    Tick _when;
+};
+
+} // namespace drf
+
+#endif // DRF_PROTO_PROTOCOL_ERROR_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * This is the heart of the Ruby-like substrate: every port delivery, cache
+ * controller wakeup, memory response, and tester check runs as an event.
+ * Events scheduled for the same tick execute in scheduling order (a
+ * monotonically increasing sequence number breaks ties), which makes every
+ * simulation bit-for-bit reproducible for a given seed.
+ */
+
+#ifndef DRF_SIM_EVENT_QUEUE_HH
+#define DRF_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace drf
+{
+
+/** Callback type executed when an event fires. */
+using EventFunc = std::function<void()>;
+
+/**
+ * A tick-ordered queue of callbacks with deterministic same-tick ordering.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Number of events executed so far (a proxy for simulation work). */
+    std::uint64_t eventsExecuted() const { return _eventsExecuted; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return _queue.size(); }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @pre when >= curTick(); scheduling in the past is a simulator bug
+     *      and triggers an assertion.
+     */
+    void schedule(Tick when, EventFunc fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, EventFunc fn)
+    {
+        schedule(_curTick + delay, std::move(fn));
+    }
+
+    /**
+     * Run events until the queue drains or @p limit ticks is reached.
+     *
+     * @param limit Absolute tick bound (events at exactly @p limit still
+     *              run).
+     * @return true if the queue drained, false if the limit stopped us.
+     */
+    bool run(Tick limit = maxTick);
+
+    /**
+     * Run at most @p max_events events. Useful for incremental draining in
+     * tests.
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t runEvents(std::uint64_t max_events);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    /** One pending event; (when, seq) totally orders all events. */
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFunc fn;
+
+        /** Min-heap via std::*_heap's max-heap comparisons: invert. */
+        bool
+        operator<(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    /** Pop and execute the earliest event. @pre queue not empty. */
+    void executeNext();
+
+    std::vector<Entry> _queue; ///< binary heap (std::push/pop_heap)
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _eventsExecuted = 0;
+};
+
+} // namespace drf
+
+#endif // DRF_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,107 @@
+#include "sim/logger.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace drf
+{
+
+Logger &
+Logger::get()
+{
+    static Logger instance;
+    return instance;
+}
+
+Logger::Logger()
+{
+    if (const char *env = std::getenv("DRF_DEBUG_FLAGS")) {
+        std::string flags(env);
+        std::size_t start = 0;
+        while (start <= flags.size()) {
+            std::size_t comma = flags.find(',', start);
+            if (comma == std::string::npos)
+                comma = flags.size();
+            if (comma > start)
+                enable(flags.substr(start, comma - start));
+            start = comma + 1;
+        }
+    }
+}
+
+void
+Logger::enable(const std::string &flag)
+{
+    if (flag == "all")
+        _allEnabled = true;
+    else
+        _flags.insert(flag);
+}
+
+void
+Logger::disable(const std::string &flag)
+{
+    if (flag == "all")
+        _allEnabled = false;
+    else
+        _flags.erase(flag);
+}
+
+void
+Logger::disableAll()
+{
+    _allEnabled = false;
+    _flags.clear();
+}
+
+bool
+Logger::enabled(const std::string &flag) const
+{
+    return _allEnabled || _flags.count(flag) > 0;
+}
+
+void
+Logger::record(Tick tick, const std::string &flag, const std::string &who,
+               const std::string &msg)
+{
+    std::string line = std::to_string(tick) + ": " + who + " [" + flag +
+                       "] " + msg;
+    if (_historyDepth > 0) {
+        _history.push_back(line);
+        while (_history.size() > _historyDepth)
+            _history.pop_front();
+    }
+    if (enabled(flag))
+        std::printf("%s\n", line.c_str());
+}
+
+std::vector<std::string>
+Logger::history() const
+{
+    return {_history.begin(), _history.end()};
+}
+
+void
+Logger::dumpHistory() const
+{
+    std::fprintf(stderr, "==== recent transaction history (%zu records)\n",
+                 _history.size());
+    for (const auto &line : _history)
+        std::fprintf(stderr, "  %s\n", line.c_str());
+}
+
+void
+Logger::setHistoryDepth(std::size_t depth)
+{
+    _historyDepth = depth;
+    while (_history.size() > _historyDepth)
+        _history.pop_front();
+}
+
+void
+Logger::clearHistory()
+{
+    _history.clear();
+}
+
+} // namespace drf

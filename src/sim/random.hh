@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seeded pseudo-random source used by the testers and workload generators.
+ *
+ * Every random decision in the framework flows through one Random instance
+ * per top-level component so that a (seed, configuration) pair fully
+ * determines a run — a failing test can always be replayed.
+ */
+
+#ifndef DRF_SIM_RANDOM_HH
+#define DRF_SIM_RANDOM_HH
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace drf
+{
+
+/**
+ * Thin deterministic wrapper around std::mt19937_64 with the helpers the
+ * testers need (ranges, biased coins, choice, shuffling).
+ */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed) : _engine(seed) {}
+
+    /** Uniform integer in [lo, hi], inclusive on both ends. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        assert(lo <= hi);
+        return std::uniform_int_distribution<std::uint64_t>(lo, hi)(_engine);
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0 */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        assert(n > 0);
+        return range(0, n - 1);
+    }
+
+    /** Biased coin: true with probability @p percent / 100. */
+    bool
+    pct(unsigned percent)
+    {
+        return range(0, 99) < percent;
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    real()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(_engine);
+    }
+
+    /** Uniformly choose one element of a non-empty vector. */
+    template <typename T>
+    const T &
+    choice(const std::vector<T> &v)
+    {
+        assert(!v.empty());
+        return v[below(v.size())];
+    }
+
+    /** Fisher-Yates shuffle, deterministic under this engine. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[below(i)]);
+    }
+
+    /** Fork an independent child stream (for per-thread determinism). */
+    Random
+    fork()
+    {
+        return Random(_engine());
+    }
+
+  private:
+    std::mt19937_64 _engine;
+};
+
+} // namespace drf
+
+#endif // DRF_SIM_RANDOM_HH

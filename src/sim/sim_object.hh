@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Base class for named, clocked simulation components.
+ */
+
+#ifndef DRF_SIM_SIM_OBJECT_HH
+#define DRF_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace drf
+{
+
+/**
+ * A named component attached to an event queue. Mirrors gem5's SimObject:
+ * it exists to give every piece of the system a stable name for tracing
+ * and a shared notion of time.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : _name(std::move(name)), _eq(eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Component instance name, e.g. "gpu.l1[3]". */
+    const std::string &name() const { return _name; }
+
+    /** The event queue this component schedules on. */
+    EventQueue &eventq() { return _eq; }
+    const EventQueue &eventq() const { return _eq; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return _eq.curTick(); }
+
+    /** Schedule a member callback @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, EventFunc fn)
+    {
+        _eq.scheduleAfter(delay, std::move(fn));
+    }
+
+  private:
+    std::string _name;
+    EventQueue &_eq;
+};
+
+} // namespace drf
+
+#endif // DRF_SIM_SIM_OBJECT_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fundamental simulator types shared by every module.
+ *
+ * The simulator is tick based: one tick corresponds to one cycle of the
+ * coherence fabric's clock. All addresses are byte addresses in a flat
+ * physical address space, as seen by the Ruby-like memory system.
+ */
+
+#ifndef DRF_SIM_TYPES_HH
+#define DRF_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace drf
+{
+
+/** Simulated time, in cycles of the memory-system clock. */
+using Tick = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Identifier for a requestor (tester thread, CPU core, DMA engine). */
+using RequestorId = std::uint32_t;
+
+/** Monotonically increasing identifier for in-flight transactions. */
+using PacketId = std::uint64_t;
+
+/** A tick value that is never reached; used as "no deadline". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** An address value used as "no address". */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/**
+ * Return the cache-line-aligned base of @p addr for a power-of-two
+ * @p line_size.
+ */
+constexpr Addr
+lineAlign(Addr addr, Addr line_size)
+{
+    return addr & ~(line_size - 1);
+}
+
+/** Return the byte offset of @p addr within its cache line. */
+constexpr Addr
+lineOffset(Addr addr, Addr line_size)
+{
+    return addr & (line_size - 1);
+}
+
+} // namespace drf
+
+#endif // DRF_SIM_TYPES_HH

@@ -1,0 +1,72 @@
+#include "system/apu_system.hh"
+
+#include <cassert>
+
+namespace drf
+{
+
+ApuSystem::ApuSystem(const ApuSystemConfig &cfg) : _cfg(cfg)
+{
+    assert(cfg.l1.lineBytes == cfg.lineBytes &&
+           cfg.l2.lineBytes == cfg.lineBytes &&
+           cfg.cpu.lineBytes == cfg.lineBytes &&
+           cfg.dir.lineBytes == cfg.lineBytes &&
+           "inconsistent line size");
+    assert((cfg.numCus == 0 || cfg.numGpuL2s >= 1) &&
+           cfg.numGpuL2s <= std::max(1u, cfg.numCus) &&
+           "need between 1 and numCus L2 slices");
+
+    if (cfg.fault != FaultKind::None) {
+        _fault = std::make_unique<FaultInjector>(
+            cfg.fault, cfg.faultTriggerPct, cfg.faultSeed);
+    }
+
+    _xbar = std::make_unique<Crossbar>("xbar", _eq, cfg.xbarLatency);
+    _mem = std::make_unique<SimpleMemory>("mem", _eq, cfg.lineBytes,
+                                          cfg.memLatency);
+
+    std::vector<int> l2_endpoints;
+    if (cfg.numCus > 0) {
+        for (unsigned g = 0; g < cfg.numGpuL2s; ++g) {
+            _l2s.push_back(std::make_unique<GpuL2Cache>(
+                "gpu.l2[" + std::to_string(g) + "]", _eq, cfg.l2,
+                *_xbar, l2Endpoint(g), dirEndpoint, _fault.get()));
+            l2_endpoints.push_back(l2Endpoint(g));
+        }
+    }
+    _dir = std::make_unique<Directory>("dir", _eq, cfg.dir, *_xbar,
+                                       dirEndpoint, l2_endpoints, *_mem,
+                                       _fault.get());
+
+    for (unsigned cu = 0; cu < cfg.numCus; ++cu) {
+        unsigned l2_slice = cu * cfg.numGpuL2s / cfg.numCus;
+        _l1s.push_back(std::make_unique<GpuL1Cache>(
+            "gpu.l1[" + std::to_string(cu) + "]", _eq, cfg.l1, *_xbar,
+            l1Endpoint(cu), l2Endpoint(l2_slice), _fault.get()));
+    }
+    for (unsigned i = 0; i < cfg.numCpuCaches; ++i) {
+        _cpus.push_back(std::make_unique<CpuCache>(
+            "cpu.corepair[" + std::to_string(i) + "]", _eq, cfg.cpu,
+            *_xbar, cpuEndpoint(i), dirEndpoint));
+    }
+}
+
+CoverageGrid
+ApuSystem::l1CoverageUnion() const
+{
+    CoverageGrid grid(GpuL1Cache::spec());
+    for (const auto &l1 : _l1s)
+        grid.merge(l1->coverage());
+    return grid;
+}
+
+CoverageGrid
+ApuSystem::l2CoverageUnion() const
+{
+    CoverageGrid grid(GpuL2Cache::spec());
+    for (const auto &l2 : _l2s)
+        grid.merge(l2->coverage());
+    return grid;
+}
+
+} // namespace drf

@@ -1,0 +1,124 @@
+#include "tester/configs.hh"
+
+namespace drf
+{
+
+const char *
+cacheSizeClassName(CacheSizeClass c)
+{
+    switch (c) {
+      case CacheSizeClass::Small: return "small";
+      case CacheSizeClass::Large: return "large";
+      case CacheSizeClass::Mixed: return "mixed";
+    }
+    return "?";
+}
+
+ApuSystemConfig
+makeGpuSystemConfig(CacheSizeClass cache_class, unsigned num_cus)
+{
+    ApuSystemConfig cfg;
+    cfg.numCus = num_cus;
+    cfg.numCpuCaches = 0;
+
+    switch (cache_class) {
+      case CacheSizeClass::Small:
+        cfg.l1.sizeBytes = 256;
+        cfg.l1.assoc = 2;
+        cfg.l2.sizeBytes = 1024;
+        cfg.l2.assoc = 2;
+        break;
+      case CacheSizeClass::Large:
+        cfg.l1.sizeBytes = 256 * 1024;
+        cfg.l1.assoc = 16;
+        cfg.l2.sizeBytes = 1024 * 1024;
+        cfg.l2.assoc = 16;
+        break;
+      case CacheSizeClass::Mixed:
+        cfg.l1.sizeBytes = 256;
+        cfg.l1.assoc = 2;
+        cfg.l2.sizeBytes = 1024 * 1024;
+        cfg.l2.assoc = 16;
+        break;
+    }
+    return cfg;
+}
+
+GpuTesterConfig
+makeGpuTesterConfig(unsigned actions_per_episode, unsigned episodes_per_wf,
+                    unsigned atomic_locs, std::uint64_t seed)
+{
+    GpuTesterConfig cfg;
+    cfg.wfsPerCu = 2;
+    cfg.lanes = 16;
+    cfg.episodesPerWf = episodes_per_wf;
+    cfg.episodeGen.actionsPerEpisode = actions_per_episode;
+    cfg.episodeGen.lanes = cfg.lanes;
+    cfg.variables.numSyncVars = atomic_locs;
+    cfg.variables.numNormalVars = 4096;
+    cfg.variables.addrRangeBytes = 1 << 20;
+    cfg.seed = seed;
+    return cfg;
+}
+
+std::vector<GpuTestPreset>
+makeGpuTestSweep(std::uint64_t base_seed)
+{
+    std::vector<GpuTestPreset> presets;
+    const CacheSizeClass cache_classes[] = {
+        CacheSizeClass::Small, CacheSizeClass::Large,
+        CacheSizeClass::Mixed};
+    const unsigned actions[] = {100, 200};
+    const unsigned episodes[] = {10, 100};
+    const unsigned atomic_locs[] = {10, 100};
+
+    unsigned idx = 0;
+    for (auto cache_class : cache_classes) {
+        for (unsigned a : actions) {
+            for (unsigned e : episodes) {
+                for (unsigned locs : atomic_locs) {
+                    GpuTestPreset preset;
+                    preset.name = "Test " + std::to_string(idx);
+                    preset.cacheClass = cache_class;
+                    preset.system = makeGpuSystemConfig(cache_class);
+                    preset.tester = makeGpuTesterConfig(
+                        a, e, locs, base_seed + idx);
+                    presets.push_back(std::move(preset));
+                    ++idx;
+                }
+            }
+        }
+    }
+    return presets;
+}
+
+std::vector<CpuTestPreset>
+makeCpuTestSweep(std::uint64_t base_seed)
+{
+    std::vector<CpuTestPreset> presets;
+    const unsigned cache_counts[] = {1, 2, 4}; // core pairs: 2/4/8 CPUs
+    const std::uint64_t cache_sizes[] = {512, 256 * 1024};
+    const std::uint64_t lengths[] = {100, 10'000, 100'000};
+
+    unsigned idx = 0;
+    for (unsigned caches : cache_counts) {
+        for (std::uint64_t size : cache_sizes) {
+            for (std::uint64_t loads : lengths) {
+                CpuTestPreset preset;
+                preset.name = "CpuTest " + std::to_string(idx);
+                preset.system.numCus = 0;
+                preset.system.numCpuCaches = caches;
+                preset.system.cpu.sizeBytes = size;
+                preset.system.cpu.assoc = 2;
+                preset.tester.targetLoads = loads;
+                preset.tester.addrRangeBytes = 2048;
+                preset.tester.seed = base_seed + idx;
+                presets.push_back(std::move(preset));
+                ++idx;
+            }
+        }
+    }
+    return presets;
+}
+
+} // namespace drf

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table III configuration presets.
+ *
+ * The GPU tester runs are the 24 permutations of:
+ *   cache size        { small, large, mixed }   (3)
+ * x actions/episode   { 100, 200 }              (2)
+ * x episodes/WF       { 10, 100 }               (2)
+ * x atomic locations  { 10 (small), 100 (large) } (2)
+ *
+ * matching "Test 0, Test 1, ..., Test 23" of the paper. Absolute sizes
+ * are scaled to this repository's simulator (documented in
+ * EXPERIMENTS.md): the paper's 1M regular locations and 16 GB ranges
+ * exercise the same code paths at ~4K locations over a 1 MB range, while
+ * keeping each of the 24 runs in the seconds range.
+ */
+
+#ifndef DRF_TESTER_CONFIGS_HH
+#define DRF_TESTER_CONFIGS_HH
+
+#include <string>
+#include <vector>
+
+#include "system/apu_system.hh"
+#include "tester/cpu_tester.hh"
+#include "tester/gpu_tester.hh"
+
+namespace drf
+{
+
+/** Cache-size classes of Table III. */
+enum class CacheSizeClass
+{
+    Small, ///< 256 B 2-way L1, 1 KB 2-way L2
+    Large, ///< 256 KB 16-way L1, 1 MB 16-way L2
+    Mixed, ///< 256 B L1, 1 MB L2
+};
+
+const char *cacheSizeClassName(CacheSizeClass c);
+
+/** One fully specified GPU tester run. */
+struct GpuTestPreset
+{
+    std::string name;
+    CacheSizeClass cacheClass;
+    ApuSystemConfig system;
+    GpuTesterConfig tester;
+};
+
+/** Build the Table III system config for a cache-size class. */
+ApuSystemConfig makeGpuSystemConfig(CacheSizeClass cache_class,
+                                    unsigned num_cus = 8);
+
+/** Default tester knobs shared by all presets. */
+GpuTesterConfig makeGpuTesterConfig(unsigned actions_per_episode,
+                                    unsigned episodes_per_wf,
+                                    unsigned atomic_locs,
+                                    std::uint64_t seed);
+
+/** The 24 Table III permutations, "Test 0" ... "Test 23". */
+std::vector<GpuTestPreset> makeGpuTestSweep(std::uint64_t base_seed = 1);
+
+/** One fully specified CPU tester run. */
+struct CpuTestPreset
+{
+    std::string name;
+    ApuSystemConfig system;
+    CpuTesterConfig tester;
+};
+
+/**
+ * The CPU tester sweep of Table III: 2/4/8 CPU core pairs, small/large
+ * corepair caches, 100/10K/100K load test lengths.
+ */
+std::vector<CpuTestPreset> makeCpuTestSweep(std::uint64_t base_seed = 1);
+
+} // namespace drf
+
+#endif // DRF_TESTER_CONFIGS_HH

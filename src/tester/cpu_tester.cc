@@ -1,0 +1,195 @@
+#include "tester/cpu_tester.hh"
+
+#include <cassert>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/logger.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+class TesterFailure : public std::runtime_error
+{
+  public:
+    explicit TesterFailure(std::string report)
+        : std::runtime_error(std::move(report))
+    {}
+};
+
+} // namespace
+
+CpuTester::CpuTester(ApuSystem &sys, const CpuTesterConfig &cfg)
+    : _sys(sys), _cfg(cfg), _rng(cfg.seed)
+{
+    assert(sys.numCpuCaches() > 0 && "CPU tester needs CPU caches");
+    for (unsigned i = 0; i < sys.numCpuCaches(); ++i) {
+        sys.cpuCache(i).bindCoreResponse([this, i](Packet pkt) {
+            onCoreResponse(i, std::move(pkt));
+        });
+        for (unsigned c = 0; c < cfg.coresPerCache; ++c) {
+            Core core;
+            core.cacheIdx = i;
+            core.coreId = i * cfg.coresPerCache + c;
+            _cores.push_back(core);
+        }
+    }
+}
+
+void
+CpuTester::fail(const std::string &headline, const std::string &details)
+{
+    std::ostringstream os;
+    os << "CPU tester FAILURE at tick " << _sys.eventq().curTick() << ": "
+       << headline << "\n" << details;
+    throw TesterFailure(os.str());
+}
+
+void
+CpuTester::issueNext(Core &core)
+{
+    if (done())
+        return;
+
+    // Find a location no other core is currently transacting on. The
+    // per-location serialization is what lets a strong model predict
+    // every value; different bytes of one line stay concurrently hot.
+    Addr addr = 0;
+    bool found = false;
+    for (unsigned attempt = 0; attempt < 16; ++attempt) {
+        addr = _cfg.addrBase + _rng.below(_cfg.addrRangeBytes);
+        if (_busyAddrs.count(addr) == 0) {
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        // Everything this core rolled is busy; retry shortly.
+        _sys.eventq().scheduleAfter(
+            10, [this, &core] { issueNext(core); });
+        return;
+    }
+
+    core.busy = true;
+    core.curAddr = addr;
+    core.curIsStore = _rng.pct(_cfg.storePct);
+    core.issuedAt = _sys.eventq().curTick();
+    _busyAddrs[addr] = core.coreId;
+
+    Packet pkt;
+    pkt.addr = addr;
+    pkt.size = 1;
+    pkt.requestor = core.coreId;
+    pkt.id = (static_cast<PacketId>(core.coreId) << 48) |
+             (core.issuedAt & 0xffffffffffffULL);
+    pkt.issueTick = core.issuedAt;
+
+    if (core.curIsStore) {
+        auto it = _expected.find(addr);
+        std::uint8_t next =
+            static_cast<std::uint8_t>((it == _expected.end()
+                                       ? 0 : it->second) + 1);
+        core.curValue = next;
+        pkt.type = MsgType::StoreReq;
+        pkt.data = {next};
+    } else {
+        pkt.type = MsgType::LoadReq;
+    }
+    _sys.cpuCache(core.cacheIdx).coreRequest(std::move(pkt));
+}
+
+void
+CpuTester::onCoreResponse(unsigned cache_idx, Packet pkt)
+{
+    std::uint32_t core_id = pkt.requestor;
+    Core &core = _cores.at(core_id);
+    assert(core.cacheIdx == cache_idx);
+    assert(core.busy && core.curAddr == pkt.addr);
+
+    if (pkt.type == MsgType::LoadResp) {
+        std::uint8_t got = pkt.data.at(0);
+        auto it = _expected.find(pkt.addr);
+        std::uint8_t expected = it == _expected.end() ? 0 : it->second;
+        if (got != expected) {
+            std::ostringstream os;
+            os << "CPU load mismatch at addr 0x" << std::hex << pkt.addr
+               << std::dec << ": loaded " << unsigned(got)
+               << ", expected " << unsigned(expected) << " (core "
+               << core_id << ")\n";
+            fail("CPU load value mismatch", os.str());
+        }
+        ++_loadsChecked;
+    } else if (pkt.type == MsgType::StoreAck) {
+        _expected[pkt.addr] = core.curValue;
+        ++_storesDone;
+    } else {
+        fail("unexpected CPU core response", pkt.describe());
+    }
+
+    core.busy = false;
+    _busyAddrs.erase(pkt.addr);
+    issueNext(core);
+}
+
+void
+CpuTester::watchdogCheck()
+{
+    Tick now = _sys.eventq().curTick();
+    for (const auto &core : _cores) {
+        if (core.busy && now - core.issuedAt > _cfg.deadlockThreshold) {
+            std::ostringstream os;
+            os << "core " << core.coreId << " request to addr 0x"
+               << std::hex << core.curAddr << std::dec
+               << " outstanding for " << (now - core.issuedAt)
+               << " cycles\n";
+            fail("potential CPU-side deadlock", os.str());
+        }
+    }
+    if (!done()) {
+        _sys.eventq().scheduleAfter(_cfg.checkInterval,
+                                    [this] { watchdogCheck(); });
+    }
+}
+
+TesterResult
+CpuTester::run()
+{
+    assert(!_running && "tester already ran");
+    _running = true;
+
+    TesterResult result;
+    auto t0 = std::chrono::steady_clock::now();
+
+    try {
+        for (auto &core : _cores)
+            issueNext(core);
+        _sys.eventq().scheduleAfter(_cfg.checkInterval,
+                                    [this] { watchdogCheck(); });
+        bool drained = _sys.eventq().run(_cfg.runLimit);
+        if (done()) {
+            result.passed = true;
+        } else {
+            result.passed = false;
+            result.report = drained
+                ? "simulation drained before the target load count"
+                : "run limit reached before completion";
+        }
+    } catch (const TesterFailure &failure) {
+        result.passed = false;
+        result.report = failure.what();
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    result.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    result.ticks = _sys.eventq().curTick();
+    result.events = _sys.eventq().eventsExecuted();
+    result.loadsChecked = _loadsChecked;
+    result.storesRetired = _storesDone;
+    return result;
+}
+
+} // namespace drf

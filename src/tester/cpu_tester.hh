@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Random CPU coherence tester, after Wood et al. and gem5's Ruby random
+ * tester (Sections II.B and IV.C).
+ *
+ * The CPU protocol provides write atomicity and per-location ordering,
+ * so — unlike the GPU tester — the CPU tester can rely on issue order to
+ * know every expected value: each byte-sized location carries a counter;
+ * at most one transaction is in flight per location at a time; a load
+ * must return exactly the last completed store's value. Different cores
+ * hammer different bytes of the same cache line concurrently, which is
+ * what produces the false-sharing races that stress the protocol.
+ */
+
+#ifndef DRF_TESTER_CPU_TESTER_HH
+#define DRF_TESTER_CPU_TESTER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "system/apu_system.hh"
+#include "tester/gpu_tester.hh" // TesterResult
+
+namespace drf
+{
+
+/** CPU tester configuration (one Table III column). */
+struct CpuTesterConfig
+{
+    unsigned coresPerCache = 2;      ///< logical cores per core pair
+    std::uint64_t targetLoads = 10'000; ///< test length ("100..1M loads")
+    std::uint64_t addrRangeBytes = 1024; ///< small range => contention
+    Addr addrBase = 0;               ///< start of the tested range
+    unsigned storePct = 50;
+    std::uint64_t seed = 1;
+
+    Tick deadlockThreshold = 1'000'000;
+    Tick checkInterval = 50'000;
+    Tick runLimit = 2'000'000'000;
+};
+
+/**
+ * Drives the CPU core-pair caches of an ApuSystem and checks values
+ * under the strong (SC-per-location) CPU model.
+ */
+class CpuTester
+{
+  public:
+    CpuTester(ApuSystem &sys, const CpuTesterConfig &cfg);
+
+    /** Run until targetLoads checked loads completed, or failure. */
+    TesterResult run();
+
+  private:
+    struct Core
+    {
+        unsigned cacheIdx = 0;
+        std::uint32_t coreId = 0;
+        bool busy = false;
+        Addr curAddr = 0;
+        bool curIsStore = false;
+        std::uint8_t curValue = 0;
+        Tick issuedAt = 0;
+    };
+
+    void issueNext(Core &core);
+    void onCoreResponse(unsigned cache_idx, Packet pkt);
+    void watchdogCheck();
+    [[noreturn]] void fail(const std::string &headline,
+                           const std::string &details);
+    bool done() const { return _loadsChecked >= _cfg.targetLoads; }
+
+    ApuSystem &_sys;
+    CpuTesterConfig _cfg;
+    Random _rng;
+
+    std::vector<Core> _cores;
+    std::map<Addr, std::uint8_t> _expected; ///< absent => 0
+    std::map<Addr, std::uint32_t> _busyAddrs; ///< in-flight locations
+
+    std::uint64_t _loadsChecked = 0;
+    std::uint64_t _storesDone = 0;
+    bool _running = false;
+};
+
+} // namespace drf
+
+#endif // DRF_TESTER_CPU_TESTER_HH

@@ -1,0 +1,121 @@
+#include "tester/episode.hh"
+
+#include <cassert>
+
+namespace drf
+{
+
+EpisodeGenerator::EpisodeGenerator(const VariableMap &vmap,
+                                   const EpisodeGenConfig &cfg,
+                                   Random &rng)
+    : _vmap(&vmap), _cfg(cfg), _rng(&rng),
+      _activeReaders(vmap.numVars(), 0),
+      _activeWriters(vmap.numVars(), 0)
+{
+    assert(vmap.numSyncVars() > 0 && vmap.numNormalVars() > 0);
+}
+
+std::optional<VarId>
+EpisodeGenerator::pickStoreVar(const Episode &episode)
+{
+    for (unsigned attempt = 0; attempt < _cfg.pickAttempts; ++attempt) {
+        VarId var = _vmap->normalVar(static_cast<std::uint32_t>(
+            _rng->below(_vmap->numNormalVars())));
+        // Rule 1 and 2 against other active episodes.
+        if (activeWriters(var) > 0 || activeReaders(var) > 0)
+            continue;
+        // Within the episode: one writer per variable, and never write
+        // what any lane already read (lanes are unordered peers).
+        if (episode.writes.count(var) > 0 || episode.reads.count(var) > 0)
+            continue;
+        return var;
+    }
+    return std::nullopt;
+}
+
+std::optional<VarId>
+EpisodeGenerator::pickLoadVar(const Episode &episode, unsigned lane)
+{
+    for (unsigned attempt = 0; attempt < _cfg.pickAttempts; ++attempt) {
+        VarId var = _vmap->normalVar(static_cast<std::uint32_t>(
+            _rng->below(_vmap->numNormalVars())));
+        // Rule 1 against other active episodes.
+        if (activeWriters(var) > 0)
+            continue;
+        // Within the episode: only the writing lane itself may re-read
+        // its own store (program order makes that deterministic).
+        auto it = episode.writes.find(var);
+        if (it != episode.writes.end() && it->second.lane != lane)
+            continue;
+        return var;
+    }
+    return std::nullopt;
+}
+
+Episode
+EpisodeGenerator::generate(std::uint32_t wavefront_id)
+{
+    Episode episode;
+    episode.id = _nextEpisodeId++;
+    episode.wavefrontId = wavefront_id;
+    episode.syncVar = _vmap->syncVar(static_cast<std::uint32_t>(
+        _rng->below(_vmap->numSyncVars())));
+
+    episode.actions.resize(_cfg.actionsPerEpisode);
+    for (auto &action : episode.actions) {
+        action.lanes.resize(_cfg.lanes);
+        for (unsigned lane = 0; lane < _cfg.lanes; ++lane) {
+            if (!_rng->pct(_cfg.laneActivePct))
+                continue;
+            bool is_store = _rng->pct(_cfg.storePct);
+            if (is_store) {
+                auto var = pickStoreVar(episode);
+                if (!var)
+                    continue; // conflict space exhausted; skip the slot
+                LaneOp op;
+                op.kind = LaneOp::Kind::Store;
+                op.var = *var;
+                op.storeValue = _nextStoreValue++;
+                episode.writes[*var] =
+                    Episode::WriteInfo{lane, op.storeValue, 0};
+                action.lanes[lane] = op;
+            } else {
+                auto var = pickLoadVar(episode, lane);
+                if (!var)
+                    continue;
+                LaneOp op;
+                op.kind = LaneOp::Kind::Load;
+                op.var = *var;
+                episode.reads.insert(*var);
+                action.lanes[lane] = op;
+            }
+        }
+    }
+
+    // Publish the episode's footprint so episodes generated while this
+    // one is active cannot conflict with it.
+    for (const auto &[var, info] : episode.writes)
+        ++_activeWriters[var];
+    for (VarId var : episode.reads)
+        ++_activeReaders[var];
+    ++_activeCount;
+
+    return episode;
+}
+
+void
+EpisodeGenerator::retire(const Episode &episode)
+{
+    for (const auto &[var, info] : episode.writes) {
+        assert(_activeWriters[var] > 0);
+        --_activeWriters[var];
+    }
+    for (VarId var : episode.reads) {
+        assert(_activeReaders[var] > 0);
+        --_activeReaders[var];
+    }
+    assert(_activeCount > 0);
+    --_activeCount;
+}
+
+} // namespace drf

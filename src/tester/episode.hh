@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Episodes: the tester's critical-section-shaped unit of work
+ * (Section III.A, Fig. 3).
+ *
+ * An episode is executed by one wavefront and consists of an atomic
+ * acquire on a synchronization variable, a sequence of vector actions
+ * (each lane performing a load or store on a normal variable), and an
+ * atomic release on the same synchronization variable.
+ *
+ * The generator enforces data-race freedom *by construction* across all
+ * concurrently active episodes and across the lanes of the episode
+ * itself, using the paper's two rules:
+ *
+ *  1. no load or store is generated for a variable being stored by an
+ *     active episode, and
+ *  2. no store is generated for a variable being loaded by an active
+ *     episode,
+ *
+ * where "active" includes the partially generated episode's own other
+ * lanes (lockstep issue does not order memory accesses between lanes).
+ * The only sanctioned read-after-write is a lane re-reading the variable
+ * it wrote itself, which program order makes deterministic.
+ */
+
+#ifndef DRF_TESTER_EPISODE_HH
+#define DRF_TESTER_EPISODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/random.hh"
+#include "tester/variable_map.hh"
+
+namespace drf
+{
+
+/** What one lane does in one vector action. */
+struct LaneOp
+{
+    enum class Kind
+    {
+        Load,
+        Store,
+    };
+
+    Kind kind = Kind::Load;
+    VarId var = 0;
+    std::uint32_t storeValue = 0; ///< globally unique, for stores
+};
+
+/** One lockstep step of a wavefront: an op per participating lane. */
+struct VectorAction
+{
+    /** Index i is lane i's op; disengaged lanes skip the step. */
+    std::vector<std::optional<LaneOp>> lanes;
+};
+
+/** A generated episode. */
+struct Episode
+{
+    std::uint64_t id = 0;
+    std::uint32_t wavefrontId = 0;
+    VarId syncVar = 0;
+    std::vector<VectorAction> actions;
+
+    /** Final value written per variable, and the lane that wrote it. */
+    struct WriteInfo
+    {
+        unsigned lane;
+        std::uint32_t value;
+        Tick completedAt = 0; ///< filled in when the store is acked
+    };
+    std::unordered_map<VarId, WriteInfo> writes;
+
+    /** Variables loaded by the episode (distinct). */
+    std::unordered_set<VarId> reads;
+};
+
+/** Knobs for episode generation. */
+struct EpisodeGenConfig
+{
+    unsigned actionsPerEpisode = 100;
+    unsigned lanes = 16;          ///< wavefront width
+    unsigned storePct = 40;       ///< store probability per lane op
+    unsigned laneActivePct = 75;  ///< probability a lane joins an action
+    unsigned pickAttempts = 16;   ///< rule-satisfying variable search
+};
+
+/**
+ * Generates race-free episodes and tracks the active-episode conflict
+ * sets.
+ */
+class EpisodeGenerator
+{
+  public:
+    EpisodeGenerator(const VariableMap &vmap, const EpisodeGenConfig &cfg,
+                     Random &rng);
+
+    /**
+     * Generate the next episode for @p wavefront_id. The episode is
+     * immediately accounted active; call retire() when its release
+     * completes.
+     */
+    Episode generate(std::uint32_t wavefront_id);
+
+    /** Remove a retired episode from the active conflict sets. */
+    void retire(const Episode &episode);
+
+    /** Episodes generated so far. */
+    std::uint64_t generated() const { return _nextEpisodeId; }
+
+    /** Active (generated, not retired) episode count. */
+    std::uint64_t active() const { return _activeCount; }
+
+    /** Current count of active episodes reading a variable. */
+    std::uint32_t
+    activeReaders(VarId var) const
+    {
+        return _activeReaders[var];
+    }
+
+    /** Current count of active episodes writing a variable. */
+    std::uint32_t
+    activeWriters(VarId var) const
+    {
+        return _activeWriters[var];
+    }
+
+  private:
+    /** Try to pick a variable a store may legally target. */
+    std::optional<VarId> pickStoreVar(const Episode &episode);
+
+    /** Try to pick a variable a load on @p lane may legally target. */
+    std::optional<VarId> pickLoadVar(const Episode &episode,
+                                     unsigned lane);
+
+    const VariableMap *_vmap;
+    EpisodeGenConfig _cfg;
+    Random *_rng;
+
+    /** Indexed by VarId: hot-path conflict lookups are O(1). */
+    std::vector<std::uint32_t> _activeReaders;
+    std::vector<std::uint32_t> _activeWriters;
+    std::uint64_t _activeCount = 0;
+
+    std::uint64_t _nextEpisodeId = 0;
+    std::uint32_t _nextStoreValue = 1;
+};
+
+} // namespace drf
+
+#endif // DRF_TESTER_EPISODE_HH

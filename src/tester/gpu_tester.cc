@@ -1,0 +1,437 @@
+#include "tester/gpu_tester.hh"
+
+#include <cassert>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/logger.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+/** Internal control-flow exception carrying the failure report. */
+class TesterFailure : public std::runtime_error
+{
+  public:
+    explicit TesterFailure(std::string report)
+        : std::runtime_error(std::move(report))
+    {}
+};
+
+/** Little-endian decode of a value payload. */
+std::uint64_t
+decodeValue(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    return v;
+}
+
+/** Little-endian encode of a 32-bit value. */
+std::vector<std::uint8_t>
+encodeValue(std::uint32_t value, unsigned size)
+{
+    std::vector<std::uint8_t> bytes(size);
+    for (unsigned i = 0; i < size; ++i)
+        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    return bytes;
+}
+
+} // namespace
+
+std::string
+GpuTester::Outstanding::describe() const
+{
+    std::ostringstream os;
+    os << msgTypeName(type) << " addr=0x" << std::hex << addr << std::dec
+       << " wf=" << wf << " episode=" << episode;
+    return os.str();
+}
+
+GpuTester::GpuTester(ApuSystem &sys, const GpuTesterConfig &cfg)
+    : _sys(sys), _cfg(cfg), _rng(cfg.seed)
+{
+    assert(sys.numCus() > 0 && "GPU tester needs at least one CU");
+    assert(cfg.episodeGen.lanes == cfg.lanes &&
+           "episode generator must match the wavefront width");
+
+    _vmap = std::make_unique<VariableMap>(cfg.variables, _rng);
+    _refMem = std::make_unique<RefMemory>(*_vmap);
+    _gen = std::make_unique<EpisodeGenerator>(*_vmap, cfg.episodeGen,
+                                              _rng);
+
+    for (unsigned cu = 0; cu < sys.numCus(); ++cu) {
+        sys.l1(cu).bindCoreResponse([this, cu](Packet pkt) {
+            onCoreResponse(cu, std::move(pkt));
+        });
+        for (unsigned w = 0; w < cfg.wfsPerCu; ++w) {
+            Wavefront wf;
+            wf.cu = cu;
+            wf.globalId = cu * cfg.wfsPerCu + w;
+            _wfs.push_back(std::move(wf));
+        }
+    }
+}
+
+bool
+GpuTester::allDone() const
+{
+    for (const auto &wf : _wfs) {
+        if (wf.phase != Phase::Done || wf.episodesDone < _cfg.episodesPerWf)
+            return false;
+    }
+    return true;
+}
+
+void
+GpuTester::traceOp(const OpTrace &op)
+{
+    if (_recentOps.size() < historyDepth) {
+        _recentOps.push_back(op);
+    } else {
+        _recentOps[_recentHead] = op;
+        _recentHead = (_recentHead + 1) % historyDepth;
+    }
+}
+
+std::string
+GpuTester::recentHistory() const
+{
+    std::ostringstream os;
+    os << "  recent transactions (oldest first):\n";
+    for (std::size_t i = 0; i < _recentOps.size(); ++i) {
+        const OpTrace &op =
+            _recentOps[(_recentHead + i) % _recentOps.size()];
+        os << "    " << op.tick << ": " << msgTypeName(op.type)
+           << " addr=0x" << std::hex << op.addr << std::dec
+           << " thread=" << op.thread << " wf=" << op.wf << " episode="
+           << op.episode << " value=" << op.value << "\n";
+    }
+    return os.str();
+}
+
+void
+GpuTester::fail(const std::string &headline, const std::string &details)
+{
+    std::ostringstream os;
+    os << "GPU tester FAILURE at tick " << _sys.eventq().curTick() << ": "
+       << headline << "\n" << details << recentHistory();
+    throw TesterFailure(os.str());
+}
+
+void
+GpuTester::startEpisode(Wavefront &wf)
+{
+    wf.episode = _gen->generate(wf.globalId);
+    wf.actionIdx = 0;
+    wf.pendingResponses = 0;
+    wf.phase = Phase::Acquire;
+    issueAtomic(wf, true);
+}
+
+void
+GpuTester::issueAtomic(Wavefront &wf, bool acquire)
+{
+    // Lane 0 performs the episode's synchronization atomics.
+    Packet pkt;
+    pkt.type = MsgType::AtomicReq;
+    pkt.addr = _vmap->addrOf(wf.episode.syncVar);
+    pkt.size = _vmap->varBytes();
+    pkt.atomicOperand = 1; // always grows: returned values are unique
+    pkt.acquire = acquire;
+    pkt.release = !acquire;
+    pkt.requestor = threadId(wf, 0);
+    pkt.id = _nextPktId++;
+    pkt.issueTick = _sys.eventq().curTick();
+
+    _outstanding.emplace(pkt.id,
+                         Outstanding{pkt.issueTick, pkt.type, pkt.addr,
+                                     wf.globalId, wf.episode.id});
+
+    wf.pendingResponses = 1;
+    if (Logger::get().enabled("Tester")) {
+        DLOG(_sys.eventq(), "Tester", "gpu.tester",
+             (acquire ? "atomic-acquire" : "atomic-release")
+                 << " wf=" << wf.globalId << " episode="
+                 << wf.episode.id << " var=" << wf.episode.syncVar);
+    }
+    _sys.l1(wf.cu).coreRequest(std::move(pkt));
+}
+
+void
+GpuTester::issueAction(Wavefront &wf)
+{
+    // Skip vector actions in which no lane participates.
+    while (wf.actionIdx < wf.episode.actions.size()) {
+        const VectorAction &action = wf.episode.actions[wf.actionIdx];
+        bool any = false;
+        for (const auto &op : action.lanes)
+            any = any || op.has_value();
+        if (any)
+            break;
+        ++wf.actionIdx;
+    }
+
+    if (wf.actionIdx >= wf.episode.actions.size()) {
+        wf.phase = Phase::Release;
+        issueAtomic(wf, false);
+        return;
+    }
+
+    const VectorAction &action = wf.episode.actions[wf.actionIdx];
+    wf.pendingResponses = 0;
+
+    for (unsigned lane = 0; lane < action.lanes.size(); ++lane) {
+        if (!action.lanes[lane].has_value())
+            continue;
+        const LaneOp &op = *action.lanes[lane];
+
+        Packet pkt;
+        pkt.addr = _vmap->addrOf(op.var);
+        pkt.size = _vmap->varBytes();
+        pkt.requestor = threadId(wf, lane);
+        pkt.id = _nextPktId++;
+        pkt.issueTick = _sys.eventq().curTick();
+
+        if (op.kind == LaneOp::Kind::Store) {
+            pkt.type = MsgType::StoreReq;
+            pkt.data = encodeValue(op.storeValue, pkt.size);
+        } else {
+            pkt.type = MsgType::LoadReq;
+        }
+        _outstanding.emplace(pkt.id,
+                             Outstanding{pkt.issueTick, pkt.type,
+                                         pkt.addr, wf.globalId,
+                                         wf.episode.id});
+
+        ++wf.pendingResponses;
+        _sys.l1(wf.cu).coreRequest(std::move(pkt));
+    }
+    assert(wf.pendingResponses > 0);
+}
+
+void
+GpuTester::checkLoad(Wavefront &wf, unsigned lane, const Packet &pkt)
+{
+    // Identify the variable from the address.
+    const VectorAction &action = wf.episode.actions[wf.actionIdx];
+    assert(action.lanes[lane].has_value());
+    const LaneOp &op = *action.lanes[lane];
+    assert(op.kind == LaneOp::Kind::Load);
+    assert(_vmap->addrOf(op.var) == pkt.addr);
+
+    std::uint64_t got = decodeValue(pkt.data);
+
+    // Expected value: the lane's own earlier write in this episode, or
+    // the globally visible (retired) value.
+    std::uint64_t expected;
+    auto wit = wf.episode.writes.find(op.var);
+    if (wit != wf.episode.writes.end()) {
+        assert(wit->second.lane == lane &&
+               "generation rules allow only same-lane read-after-write");
+        expected = wit->second.value;
+    } else {
+        expected = _refMem->value(op.var);
+    }
+
+    AccessRecord reader;
+    reader.threadId = threadId(wf, lane);
+    reader.threadGroupId = wf.globalId;
+    reader.episodeId = wf.episode.id;
+    reader.addr = pkt.addr;
+    reader.cycle = _sys.eventq().curTick();
+    reader.value = got;
+
+    if (got != expected) {
+        std::ostringstream os;
+        os << "read-write inconsistency on var " << op.var << " (addr=0x"
+           << std::hex << pkt.addr << std::dec << "): loaded " << got
+           << ", expected " << expected << "\n";
+        os << "  Last Reader: " << reader.describe() << "\n";
+        const auto &writer = _refMem->lastWriter(op.var);
+        os << "  Last Writer: "
+           << (writer ? writer->describe() : std::string("<none>"))
+           << "\n";
+        fail("load value mismatch", os.str());
+    }
+
+    _refMem->noteRead(op.var, reader);
+    ++_loadsChecked;
+}
+
+void
+GpuTester::checkAtomic(Wavefront &wf, const Packet &pkt)
+{
+    AccessRecord record;
+    record.threadId = threadId(wf, 0);
+    record.threadGroupId = wf.globalId;
+    record.episodeId = wf.episode.id;
+    record.addr = pkt.addr;
+    record.cycle = _sys.eventq().curTick();
+    record.value = pkt.atomicResult;
+
+    auto violation = _refMem->noteAtomicReturn(wf.episode.syncVar, record);
+    if (violation) {
+        std::ostringstream os;
+        os << "duplicate atomic return value " << pkt.atomicResult
+           << " on sync var " << wf.episode.syncVar << " (addr=0x"
+           << std::hex << pkt.addr << std::dec << ")\n";
+        os << "  First:  " << violation->first.describe() << "\n";
+        os << "  Second: " << violation->second.describe() << "\n";
+        fail("atomic lost-update", os.str());
+    }
+    ++_atomicsChecked;
+}
+
+void
+GpuTester::retireEpisode(Wavefront &wf)
+{
+    // The release completed: the episode's writes become globally
+    // visible and enter the reference memory.
+    for (const auto &[var, info] : wf.episode.writes) {
+        AccessRecord record;
+        record.threadId = threadId(wf, info.lane);
+        record.threadGroupId = wf.globalId;
+        record.episodeId = wf.episode.id;
+        record.addr = _vmap->addrOf(var);
+        record.cycle = info.completedAt;
+        record.value = info.value;
+        _refMem->applyWrite(var, record);
+    }
+    _gen->retire(wf.episode);
+    ++_episodesRetired;
+    ++wf.episodesDone;
+
+    if (wf.episodesDone < _cfg.episodesPerWf) {
+        startEpisode(wf);
+    } else {
+        wf.phase = Phase::Done;
+    }
+}
+
+void
+GpuTester::onCoreResponse(unsigned cu, Packet pkt)
+{
+    _outstanding.erase(pkt.id);
+
+    std::uint32_t tid = pkt.requestor;
+    std::uint32_t wf_id = tid / _cfg.lanes;
+    unsigned lane = tid % _cfg.lanes;
+    Wavefront &wf = _wfs.at(wf_id);
+    assert(wf.cu == cu);
+
+    traceOp(OpTrace{pkt.type, pkt.addr, tid, wf_id, wf.episode.id,
+                    pkt.type == MsgType::AtomicResp
+                        ? pkt.atomicResult
+                        : decodeValue(pkt.data),
+                    _sys.eventq().curTick()});
+
+    switch (pkt.type) {
+      case MsgType::LoadResp:
+        assert(wf.phase == Phase::Actions);
+        checkLoad(wf, lane, pkt);
+        break;
+      case MsgType::StoreAck: {
+        assert(wf.phase == Phase::Actions);
+        const LaneOp &op = *wf.episode.actions[wf.actionIdx].lanes[lane];
+        wf.episode.writes[op.var].completedAt = _sys.eventq().curTick();
+        break;
+      }
+      case MsgType::AtomicResp:
+        assert(wf.phase == Phase::Acquire || wf.phase == Phase::Release);
+        checkAtomic(wf, pkt);
+        break;
+      default:
+        fail("unexpected core response", pkt.describe());
+    }
+
+    assert(wf.pendingResponses > 0);
+    if (--wf.pendingResponses > 0)
+        return;
+
+    // Lockstep: the whole wavefront finished its current step.
+    switch (wf.phase) {
+      case Phase::Acquire:
+        wf.phase = Phase::Actions;
+        issueAction(wf);
+        break;
+      case Phase::Actions:
+        ++wf.actionIdx;
+        issueAction(wf);
+        break;
+      case Phase::Release:
+        retireEpisode(wf);
+        break;
+      case Phase::Done:
+        assert(false && "response for a finished wavefront");
+        break;
+    }
+}
+
+void
+GpuTester::watchdogCheck()
+{
+    Tick now = _sys.eventq().curTick();
+    for (const auto &[id, req] : _outstanding) {
+        if (now - req.issued > _cfg.deadlockThreshold) {
+            std::ostringstream os;
+            os << "request outstanding for " << (now - req.issued)
+               << " cycles (threshold " << _cfg.deadlockThreshold
+               << "): " << req.describe() << " issued at " << req.issued
+               << "\n";
+            fail("potential deadlock (no forward progress)", os.str());
+        }
+    }
+    if (!allDone()) {
+        _sys.eventq().scheduleAfter(_cfg.checkInterval,
+                                    [this] { watchdogCheck(); });
+    }
+}
+
+TesterResult
+GpuTester::run()
+{
+    assert(!_running && "tester already ran");
+    _running = true;
+
+    TesterResult result;
+    auto t0 = std::chrono::steady_clock::now();
+
+    try {
+        for (auto &wf : _wfs)
+            startEpisode(wf);
+        _sys.eventq().scheduleAfter(_cfg.checkInterval,
+                                    [this] { watchdogCheck(); });
+        bool drained = _sys.eventq().run(_cfg.runLimit);
+        if (allDone()) {
+            result.passed = true;
+        } else {
+            result.passed = false;
+            result.report = drained
+                ? "simulation drained before all wavefronts finished "
+                  "(lost event / dropped message)"
+                : "run limit reached before completion";
+        }
+    } catch (const TesterFailure &failure) {
+        result.passed = false;
+        result.report = failure.what();
+    }
+
+    auto t1 = std::chrono::steady_clock::now();
+    result.hostSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    result.ticks = _sys.eventq().curTick();
+    result.events = _sys.eventq().eventsExecuted();
+    result.episodes = _episodesRetired;
+    result.loadsChecked = _loadsChecked;
+    result.storesRetired = _refMem->writesRetired();
+    result.atomicsChecked = _atomicsChecked;
+    return result;
+}
+
+} // namespace drf

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The autonomous DRF GPU tester (the paper's core contribution).
+ *
+ * The tester replaces the GPU core model: its wavefronts attach directly
+ * to the per-CU L1 caches and drive them with randomly generated,
+ * data-race-free episode streams (Section III). Lanes of a wavefront run
+ * in lockstep — a wavefront advances to its next vector action only when
+ * every lane's current access completed — mirroring SIMT execution
+ * without paying for a detailed GPU pipeline model.
+ *
+ * Checking is fully autonomous (Section III.C):
+ *  - every load is compared against the deterministic expected value
+ *    (the lane's own earlier write in the episode, or the reference
+ *    memory, updated at episode retirement);
+ *  - every atomic's returned value must be unique per synchronization
+ *    variable (fetch-add of a positive constant only ever grows);
+ *  - a watchdog flags any request outstanding longer than the deadlock
+ *    threshold (default one million cycles).
+ *
+ * On failure the tester produces a Table V-style report identifying the
+ * last reader and last writer of the offending variable plus the recent
+ * transaction history (Section III.D).
+ */
+
+#ifndef DRF_TESTER_GPU_TESTER_HH
+#define DRF_TESTER_GPU_TESTER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "system/apu_system.hh"
+#include "tester/episode.hh"
+#include "tester/ref_memory.hh"
+#include "tester/variable_map.hh"
+
+namespace drf
+{
+
+/** Tester configuration (one Table III column). */
+struct GpuTesterConfig
+{
+    unsigned wfsPerCu = 1;       ///< wavefronts per compute unit
+    unsigned lanes = 16;         ///< threads per wavefront
+    unsigned episodesPerWf = 10; ///< episodes each wavefront executes
+    EpisodeGenConfig episodeGen;
+    VariableMapConfig variables;
+
+    std::uint64_t seed = 1;
+
+    Tick deadlockThreshold = 1'000'000; ///< forward-progress bound
+    Tick checkInterval = 50'000;        ///< watchdog period
+    Tick runLimit = 2'000'000'000;      ///< absolute simulation bound
+};
+
+/** Outcome of one tester run. */
+struct TesterResult
+{
+    bool passed = false;
+    std::string report;          ///< failure details (empty on pass)
+    Tick ticks = 0;              ///< simulated time consumed
+    std::uint64_t events = 0;    ///< simulation events executed
+    std::uint64_t episodes = 0;  ///< episodes retired
+    std::uint64_t loadsChecked = 0;
+    std::uint64_t storesRetired = 0;
+    std::uint64_t atomicsChecked = 0;
+    double hostSeconds = 0.0;    ///< wall-clock testing time
+};
+
+/**
+ * Drives one ApuSystem with the DRF random traffic and checks it.
+ */
+class GpuTester
+{
+  public:
+    /**
+     * @param sys System under test (must have at least one CU).
+     * @param cfg Tester configuration.
+     */
+    GpuTester(ApuSystem &sys, const GpuTesterConfig &cfg);
+
+    /** Run to completion (all wavefronts done) or failure. */
+    TesterResult run();
+
+    const VariableMap &variables() const { return *_vmap; }
+    const RefMemory &refMemory() const { return *_refMem; }
+
+  private:
+    /** Wavefront execution phases. */
+    enum class Phase
+    {
+        Acquire,
+        Actions,
+        Release,
+        Done,
+    };
+
+    struct Wavefront
+    {
+        unsigned cu = 0;
+        std::uint32_t globalId = 0;
+        Phase phase = Phase::Done;
+        Episode episode;
+        std::size_t actionIdx = 0;
+        unsigned pendingResponses = 0;
+        std::uint64_t episodesDone = 0;
+    };
+
+    /** In-flight request registry entry (for the watchdog). */
+    struct Outstanding
+    {
+        Tick issued;
+        MsgType type;
+        Addr addr;
+        std::uint32_t wf;
+        std::uint64_t episode;
+
+        /** Formatted only when a failure is being reported. */
+        std::string describe() const;
+    };
+
+    /**
+     * One completed memory transaction, kept in a fixed ring for the
+     * Section III.D event log. Plain data: recording costs no
+     * allocation; formatting happens only in a failure report.
+     */
+    struct OpTrace
+    {
+        MsgType type;
+        Addr addr;
+        std::uint32_t thread;
+        std::uint32_t wf;
+        std::uint64_t episode;
+        std::uint64_t value;
+        Tick tick;
+    };
+
+    std::uint32_t
+    threadId(const Wavefront &wf, unsigned lane) const
+    {
+        return wf.globalId * _cfg.lanes + lane;
+    }
+
+    void startEpisode(Wavefront &wf);
+    void issueAction(Wavefront &wf);
+    void issueAtomic(Wavefront &wf, bool acquire);
+    void onCoreResponse(unsigned cu, Packet pkt);
+    void checkLoad(Wavefront &wf, unsigned lane, const Packet &pkt);
+    void checkAtomic(Wavefront &wf, const Packet &pkt);
+    void retireEpisode(Wavefront &wf);
+    void watchdogCheck();
+
+    /** Raise a failure: formats a report and aborts the run. */
+    [[noreturn]] void fail(const std::string &headline,
+                           const std::string &details);
+
+    bool allDone() const;
+
+    ApuSystem &_sys;
+    GpuTesterConfig _cfg;
+    Random _rng;
+    std::unique_ptr<VariableMap> _vmap;
+    std::unique_ptr<RefMemory> _refMem;
+    std::unique_ptr<EpisodeGenerator> _gen;
+
+    /** Record a completed transaction in the recent-history ring. */
+    void traceOp(const OpTrace &op);
+
+    /** Format the recent-history ring, oldest first. */
+    std::string recentHistory() const;
+
+    std::vector<Wavefront> _wfs;
+    std::map<PacketId, Outstanding> _outstanding;
+    PacketId _nextPktId = 1;
+
+    static constexpr std::size_t historyDepth = 48;
+    std::vector<OpTrace> _recentOps; ///< ring buffer
+    std::size_t _recentHead = 0;
+
+    std::uint64_t _loadsChecked = 0;
+    std::uint64_t _atomicsChecked = 0;
+    std::uint64_t _episodesRetired = 0;
+    bool _running = false;
+};
+
+} // namespace drf
+
+#endif // DRF_TESTER_GPU_TESTER_HH

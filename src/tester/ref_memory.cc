@@ -1,0 +1,49 @@
+#include "tester/ref_memory.hh"
+
+#include <sstream>
+
+namespace drf
+{
+
+std::string
+AccessRecord::describe() const
+{
+    std::ostringstream os;
+    os << "thread=" << threadId << " group=" << threadGroupId
+       << " episode=" << episodeId << " addr=0x" << std::hex << addr
+       << std::dec << " cycle=" << cycle << " value=" << value;
+    return os.str();
+}
+
+RefMemory::RefMemory(const VariableMap &vmap)
+    : _vmap(&vmap), _values(vmap.numVars(), 0),
+      _lastWriter(vmap.numVars()), _lastReader(vmap.numVars())
+{
+}
+
+void
+RefMemory::applyWrite(VarId var, const AccessRecord &record)
+{
+    _values[var] = static_cast<std::uint32_t>(record.value);
+    _lastWriter[var] = record;
+    ++_writesRetired;
+}
+
+void
+RefMemory::noteRead(VarId var, const AccessRecord &record)
+{
+    _lastReader[var] = record;
+    ++_readsChecked;
+}
+
+std::optional<AtomicViolation>
+RefMemory::noteAtomicReturn(VarId var, const AccessRecord &record)
+{
+    auto &seen = _atomicSeen[var];
+    auto [it, inserted] = seen.emplace(record.value, record);
+    if (!inserted)
+        return AtomicViolation{it->second, record};
+    return std::nullopt;
+}
+
+} // namespace drf

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The tester's reference memory: the autonomously maintained "expected
+ * global view" of every shared variable (Section III.C).
+ *
+ * Under release consistency a value written inside an episode becomes
+ * globally visible when the episode retires (its release completes), so
+ * the reference memory is updated exactly at retirement. Combined with
+ * the generator's data-race-freedom guarantees, the legal value of every
+ * load is deterministic: either the loading episode's own earlier write
+ * (same lane) or the reference value.
+ *
+ * The reference memory also keeps the per-variable last-reader and
+ * last-writer records the failure reports are built from (Table V), and
+ * the per-synchronization-variable atomic-return history used to detect
+ * lost atomic updates (Section V, bug 2).
+ */
+
+#ifndef DRF_TESTER_REF_MEMORY_HH
+#define DRF_TESTER_REF_MEMORY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+#include "tester/variable_map.hh"
+
+namespace drf
+{
+
+/** Who touched a variable, and when: one line of a Table V report. */
+struct AccessRecord
+{
+    std::uint32_t threadId = 0;
+    std::uint32_t threadGroupId = 0; ///< wavefront ("thread group")
+    std::uint64_t episodeId = 0;
+    Addr addr = 0;
+    Tick cycle = 0;
+    std::uint64_t value = 0;
+
+    /** Format one column of a Table V-style report. */
+    std::string describe() const;
+};
+
+/** A detected duplicate atomic return value. */
+struct AtomicViolation
+{
+    AccessRecord first;
+    AccessRecord second;
+};
+
+/**
+ * Expected values plus access history for all tester variables.
+ */
+class RefMemory
+{
+  public:
+    explicit RefMemory(const VariableMap &vmap);
+
+    /** Current globally visible value of a variable. */
+    std::uint32_t value(VarId var) const { return _values[var]; }
+
+    /**
+     * Apply one retired write: the episode's release completed, so
+     * @p record.value becomes the globally visible value.
+     */
+    void applyWrite(VarId var, const AccessRecord &record);
+
+    /** Note a checked load (keeps the last-reader record). */
+    void noteRead(VarId var, const AccessRecord &record);
+
+    /** Last writer of a variable, if any write retired yet. */
+    const std::optional<AccessRecord> &
+    lastWriter(VarId var) const
+    {
+        return _lastWriter[var];
+    }
+
+    /** Last reader of a variable, if any. */
+    const std::optional<AccessRecord> &
+    lastReader(VarId var) const
+    {
+        return _lastReader[var];
+    }
+
+    /**
+     * Record an atomic fetch-add's returned (old) value on a sync
+     * variable and check it for lost-update symptoms: every returned
+     * value must be unique because the values only grow.
+     *
+     * @return the violation if @p record.value was already returned by an
+     *         earlier atomic on this variable.
+     */
+    std::optional<AtomicViolation> noteAtomicReturn(VarId var,
+                                                    const AccessRecord &
+                                                        record);
+
+    /** Number of atomics performed on a sync variable so far. */
+    std::uint64_t
+    atomicCount(VarId var) const
+    {
+        auto it = _atomicSeen.find(var);
+        return it == _atomicSeen.end() ? 0 : it->second.size();
+    }
+
+    /** Total writes retired (for stats). */
+    std::uint64_t writesRetired() const { return _writesRetired; }
+
+    /** Total reads noted (for stats). */
+    std::uint64_t readsChecked() const { return _readsChecked; }
+
+  private:
+    const VariableMap *_vmap;
+    std::vector<std::uint32_t> _values;
+    std::vector<std::optional<AccessRecord>> _lastWriter;
+    std::vector<std::optional<AccessRecord>> _lastReader;
+
+    /** var -> (returned value -> record that returned it). */
+    std::unordered_map<VarId,
+                       std::unordered_map<std::uint64_t, AccessRecord>>
+        _atomicSeen;
+
+    std::uint64_t _writesRetired = 0;
+    std::uint64_t _readsChecked = 0;
+};
+
+} // namespace drf
+
+#endif // DRF_TESTER_REF_MEMORY_HH

@@ -1,0 +1,51 @@
+#include "tester/variable_map.hh"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace drf
+{
+
+VariableMap::VariableMap(const VariableMapConfig &cfg, Random &rng)
+    : _cfg(cfg)
+{
+    const std::uint64_t slots = cfg.addrRangeBytes / cfg.varBytes;
+    assert(slots >= numVars() &&
+           "address range too small for the variable count");
+
+    std::unordered_set<std::uint64_t> used;
+    _addrs.reserve(numVars());
+    for (std::uint32_t v = 0; v < numVars(); ++v) {
+        std::uint64_t slot;
+        do {
+            slot = rng.below(slots);
+        } while (!used.insert(slot).second);
+        Addr addr = slot * cfg.varBytes;
+        _addrs.push_back(addr);
+        _byLine.emplace(lineAlign(addr, cfg.lineBytes), v);
+    }
+}
+
+std::vector<VarId>
+VariableMap::varsInLine(Addr line_addr) const
+{
+    std::vector<VarId> vars;
+    auto [lo, hi] = _byLine.equal_range(line_addr);
+    for (auto it = lo; it != hi; ++it)
+        vars.push_back(it->second);
+    return vars;
+}
+
+double
+VariableMap::falseSharingFraction() const
+{
+    std::uint64_t shared = 0;
+    for (std::uint32_t v = 0; v < numVars(); ++v) {
+        if (varsInLine(lineOf(v)).size() > 1)
+            ++shared;
+    }
+    return numVars() == 0
+        ? 0.0 : static_cast<double>(shared) / numVars();
+}
+
+} // namespace drf

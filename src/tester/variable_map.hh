@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Random mapping between tester variables and physical addresses
+ * (Fig. 2 of the paper).
+ *
+ * The tester works on two kinds of shared variables: synchronization
+ * (atomic) variables and normal (non-synchronization) variables, obeying
+ * the DRF discipline that loads/stores touch only normal variables and
+ * atomics touch only synchronization variables. Variables are scattered
+ * uniformly at random over a configurable byte range, so several
+ * variables — sync and normal alike — co-locate in one cache line. That
+ * false sharing is deliberate: it is a major source of coherence bugs and
+ * the reason the mapping is randomized rather than linear.
+ */
+
+#ifndef DRF_TESTER_VARIABLE_MAP_HH
+#define DRF_TESTER_VARIABLE_MAP_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace drf
+{
+
+/** Index of a tester variable. Sync variables come first. */
+using VarId = std::uint32_t;
+
+/** Configuration of the variable/address mapping. */
+struct VariableMapConfig
+{
+    std::uint32_t numSyncVars = 10;
+    std::uint32_t numNormalVars = 4096;
+    std::uint64_t addrRangeBytes = 1 << 20; ///< mapped address range
+    unsigned lineBytes = 64;
+    unsigned varBytes = 4; ///< every variable is one 32-bit word
+};
+
+/**
+ * The randomized variable-to-address mapping.
+ */
+class VariableMap
+{
+  public:
+    VariableMap(const VariableMapConfig &cfg, Random &rng);
+
+    std::uint32_t numSyncVars() const { return _cfg.numSyncVars; }
+    std::uint32_t numNormalVars() const { return _cfg.numNormalVars; }
+    std::uint32_t numVars() const
+    {
+        return _cfg.numSyncVars + _cfg.numNormalVars;
+    }
+    unsigned varBytes() const { return _cfg.varBytes; }
+
+    /** VarId of the i-th synchronization variable. */
+    VarId syncVar(std::uint32_t i) const { return i; }
+
+    /** VarId of the i-th normal variable. */
+    VarId
+    normalVar(std::uint32_t i) const
+    {
+        return _cfg.numSyncVars + i;
+    }
+
+    bool isSync(VarId var) const { return var < _cfg.numSyncVars; }
+
+    /** Byte address the variable is mapped to. */
+    Addr addrOf(VarId var) const { return _addrs.at(var); }
+
+    /** Cache line the variable lives in. */
+    Addr
+    lineOf(VarId var) const
+    {
+        return lineAlign(_addrs.at(var), _cfg.lineBytes);
+    }
+
+    /** Variables co-located in the given cache line. */
+    std::vector<VarId> varsInLine(Addr line_addr) const;
+
+    /**
+     * Fraction of variables that share their cache line with at least
+     * one other variable — a measure of induced false sharing.
+     */
+    double falseSharingFraction() const;
+
+  private:
+    VariableMapConfig _cfg;
+    std::vector<Addr> _addrs;            ///< varId -> address
+    std::multimap<Addr, VarId> _byLine;  ///< line base -> variables
+};
+
+} // namespace drf
+
+#endif // DRF_TESTER_VARIABLE_MAP_HH

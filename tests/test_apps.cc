@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the application-based testing baseline: trace generation,
+ * the locality profiler, the detailed core model, and full app runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app_runner.hh"
+#include "apps/app_suite.hh"
+#include "apps/locality.hh"
+#include "system/apu_system.hh"
+
+using namespace drf;
+
+namespace
+{
+
+AppProfile
+tinyProfile(const char *name = "tiny")
+{
+    AppProfile p;
+    p.name = name;
+    p.suite = "test";
+    p.kernels = 2;
+    p.wfsPerCu = 1;
+    p.lanes = 4;
+    p.memInstrsPerWf = 20;
+    p.aluPerMem = 2;
+    p.atomicFrac = 0.1;
+    p.workingSetBytes = 8 * 1024;
+    p.seed = 7;
+    return p;
+}
+
+} // namespace
+
+TEST(AppSuite, TwentySixNamedApps)
+{
+    auto suite = makeAppSuite();
+    EXPECT_EQ(suite.size(), 26u);
+    std::set<std::string> names;
+    for (const auto &p : suite) {
+        EXPECT_TRUE(names.insert(p.name).second) << "duplicate name";
+        double sum = p.streamingFrac + p.intraWfFrac + p.interWfFrac +
+                     p.mixedFrac;
+        EXPECT_NEAR(sum, 1.0, 0.01) << p.name;
+    }
+    // The paper's named applications exist.
+    EXPECT_TRUE(names.count("HACC"));
+    EXPECT_TRUE(names.count("Square"));
+    EXPECT_TRUE(names.count("FFT"));
+    EXPECT_TRUE(names.count("Interac"));
+    EXPECT_TRUE(names.count("CM"));
+}
+
+TEST(AppSuite, AtomicHeavyAppsExist)
+{
+    // Interac, CM and HeteroSync stress atomics (Section IV.B).
+    EXPECT_GT(appByName("Interac").atomicFrac, 0.1);
+    EXPECT_GT(appByName("CM").atomicFrac, 0.1);
+    EXPECT_GT(appByName("HS-FA").atomicFrac, 0.1);
+    EXPECT_DOUBLE_EQ(appByName("Square").atomicFrac, 0.0);
+}
+
+TEST(AppTrace, ShapeMatchesProfile)
+{
+    AppProfile p = tinyProfile();
+    AppTrace trace = generateAppTrace(p, /*num_cus=*/2, 0x100000, 64);
+    EXPECT_EQ(trace.kernels.size(), 2u);
+    EXPECT_EQ(trace.kernels[0].size(), 2u); // 2 CUs x 1 WF
+    EXPECT_EQ(trace.hostPhases.size(), 3u);
+
+    // Each WF: acquire + mem/alu instrs + release.
+    const WfTrace &wf = trace.kernels[0][0];
+    EXPECT_EQ(wf.front().kind, GpuInstr::Kind::Atomic);
+    EXPECT_TRUE(wf.front().acquire);
+    EXPECT_EQ(wf.back().kind, GpuInstr::Kind::Atomic);
+    EXPECT_TRUE(wf.back().release);
+}
+
+TEST(AppTrace, AluDensityRespected)
+{
+    AppProfile p = tinyProfile();
+    p.atomicFrac = 0.0;
+    AppTrace trace = generateAppTrace(p, 1, 0x100000, 64);
+    unsigned alu = 0, mem = 0;
+    for (const auto &instr : trace.kernels[0][0]) {
+        if (instr.kind == GpuInstr::Kind::Alu)
+            ++alu;
+        else
+            ++mem;
+    }
+    EXPECT_EQ(mem, p.memInstrsPerWf);
+    EXPECT_EQ(alu, p.memInstrsPerWf * p.aluPerMem);
+}
+
+TEST(AppTrace, DeterministicUnderSeed)
+{
+    AppProfile p = tinyProfile();
+    AppTrace a = generateAppTrace(p, 2, 0x100000, 64);
+    AppTrace b = generateAppTrace(p, 2, 0x100000, 64);
+    ASSERT_EQ(a.kernels[0][0].size(), b.kernels[0][0].size());
+    for (std::size_t i = 0; i < a.kernels[0][0].size(); ++i) {
+        EXPECT_EQ(a.kernels[0][0][i].laneAddrs,
+                  b.kernels[0][0][i].laneAddrs);
+    }
+}
+
+TEST(AppTrace, HostPhasesTouchSharedRegion)
+{
+    AppProfile p = tinyProfile();
+    AppTrace trace = generateAppTrace(p, 1, 0x100000, 64);
+    EXPECT_FALSE(trace.hostPhases.front().cpuOps.empty());
+    EXPECT_FALSE(trace.hostPhases.front().dmaOps.empty());
+    EXPECT_FALSE(trace.hostPhases.back().cpuOps.empty());
+    // Re-init phase exists between the two kernels.
+    EXPECT_FALSE(trace.hostPhases[1].cpuOps.empty());
+}
+
+TEST(Locality, PureStreamingProfile)
+{
+    AppProfile p = tinyProfile();
+    p.streamingFrac = 1.0;
+    p.intraWfFrac = p.interWfFrac = p.mixedFrac = 0.0;
+    p.atomicFrac = 0.0;
+    AppTrace trace = generateAppTrace(p, 2, 0x100000, 64);
+    LocalityBreakdown b = profileLocality(trace, 64);
+    EXPECT_GT(b.total(), 0u);
+    EXPECT_EQ(b.frac(b.streaming), 1.0);
+}
+
+TEST(Locality, PureIntraWfProfile)
+{
+    AppProfile p = tinyProfile();
+    p.intraWfFrac = 1.0;
+    p.streamingFrac = p.interWfFrac = p.mixedFrac = 0.0;
+    p.atomicFrac = 0.0;
+    p.memInstrsPerWf = 100; // enough to guarantee reuse
+    p.workingSetBytes = 2 * 1024;
+    AppTrace trace = generateAppTrace(p, 2, 0x100000, 64);
+    LocalityBreakdown b = profileLocality(trace, 64);
+    EXPECT_GT(b.frac(b.intraWf), 0.8);
+    EXPECT_EQ(b.interWf, 0u);
+    EXPECT_EQ(b.mixedWf, 0u);
+}
+
+TEST(Locality, InterWfDominatedProfile)
+{
+    AppProfile p = tinyProfile();
+    p.interWfFrac = 1.0;
+    p.streamingFrac = p.intraWfFrac = p.mixedFrac = 0.0;
+    p.atomicFrac = 0.0;
+    p.wfsPerCu = 2;
+    AppTrace trace = generateAppTrace(p, 2, 0x100000, 64);
+    LocalityBreakdown b = profileLocality(trace, 64);
+    EXPECT_GT(b.frac(b.interWf) + b.frac(b.mixedWf), 0.5);
+    EXPECT_GT(b.interWf, 0u);
+}
+
+TEST(Locality, MixedProfileProducesMixedLines)
+{
+    AppProfile p = tinyProfile();
+    p.mixedFrac = 1.0;
+    p.streamingFrac = p.intraWfFrac = p.interWfFrac = 0.0;
+    p.atomicFrac = 0.0;
+    p.memInstrsPerWf = 200;
+    p.workingSetBytes = 2 * 1024;
+    p.wfsPerCu = 2;
+    AppTrace trace = generateAppTrace(p, 2, 0x100000, 64);
+    LocalityBreakdown b = profileLocality(trace, 64);
+    EXPECT_GT(b.frac(b.mixedWf), 0.5);
+}
+
+TEST(Locality, HandCraftedClassification)
+{
+    // Build a trace by hand covering all four classes.
+    AppTrace trace;
+    trace.kernels.resize(1);
+    trace.kernels[0].resize(2);
+
+    auto touch = [](WfTrace &wf, Addr addr) {
+        GpuInstr instr;
+        instr.kind = GpuInstr::Kind::Load;
+        instr.laneAddrs = {addr};
+        wf.push_back(instr);
+    };
+    // Line 0x0000: touched once by WF0 -> streaming.
+    touch(trace.kernels[0][0], 0x0000);
+    // Line 0x1000: touched twice by WF0 -> intra-WF.
+    touch(trace.kernels[0][0], 0x1000);
+    touch(trace.kernels[0][0], 0x1004);
+    // Line 0x2000: touched once each by WF0 and WF1 -> inter-WF.
+    touch(trace.kernels[0][0], 0x2000);
+    touch(trace.kernels[0][1], 0x2000);
+    // Line 0x3000: twice by WF0, once by WF1 -> mixed.
+    touch(trace.kernels[0][0], 0x3000);
+    touch(trace.kernels[0][0], 0x3008);
+    touch(trace.kernels[0][1], 0x3000);
+
+    LocalityBreakdown b = profileLocality(trace, 64);
+    // Access-weighted: each class counts its line's touches.
+    EXPECT_EQ(b.streaming, 1u);
+    EXPECT_EQ(b.intraWf, 2u);
+    EXPECT_EQ(b.interWf, 2u);
+    EXPECT_EQ(b.mixedWf, 3u);
+}
+
+TEST(Locality, CoalescedLanesCountOnce)
+{
+    AppTrace trace;
+    trace.kernels.resize(1);
+    trace.kernels[0].resize(1);
+    GpuInstr instr;
+    instr.kind = GpuInstr::Kind::Load;
+    // 16 lanes hitting one line: a single touch -> streaming.
+    for (unsigned lane = 0; lane < 16; ++lane)
+        instr.laneAddrs.push_back(lane * 4);
+    trace.kernels[0][0].push_back(instr);
+    LocalityBreakdown b = profileLocality(trace, 64);
+    EXPECT_EQ(b.streaming, 1u);
+    EXPECT_EQ(b.total(), 1u);
+}
+
+TEST(AppRunner, TinyAppCompletes)
+{
+    ApuSystemConfig cfg;
+    cfg.numCus = 2;
+    cfg.numCpuCaches = 1;
+    ApuSystem sys(cfg);
+
+    AppProfile p = tinyProfile();
+    AppTrace trace = generateAppTrace(p, 2, 0x100000, 64);
+    AppRunner runner(sys, std::move(trace));
+    AppResult r = runner.run();
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(r.instructions, 0u);
+    EXPECT_GT(r.ticks, 0u);
+}
+
+TEST(AppRunner, CoversPrbInvAtGpuL2)
+{
+    // Host re-init between kernels must probe the GPU L2.
+    ApuSystemConfig cfg;
+    cfg.numCus = 2;
+    cfg.numCpuCaches = 1;
+    ApuSystem sys(cfg);
+
+    AppProfile p = tinyProfile();
+    p.intraWfFrac = 0.0;
+    p.mixedFrac = 0.6; // shared-region reuse: L2 caches it
+    p.streamingFrac = 0.2;
+    p.interWfFrac = 0.2;
+    p.memInstrsPerWf = 60;
+    AppTrace trace = generateAppTrace(p, 2, 0x100000, 64);
+    AppRunner runner(sys, std::move(trace));
+    AppResult r = runner.run();
+    ASSERT_TRUE(r.completed);
+
+    std::uint64_t prb = 0;
+    for (auto st : {GpuL2Cache::StI, GpuL2Cache::StV, GpuL2Cache::StIV})
+        prb += sys.l2().coverage().count(GpuL2Cache::EvPrbInv, st);
+    EXPECT_GT(prb, 0u);
+}
+
+TEST(AppRunner, CoversDmaDirectoryTransitions)
+{
+    ApuSystemConfig cfg;
+    cfg.numCus = 1;
+    cfg.numCpuCaches = 1;
+    ApuSystem sys(cfg);
+
+    AppTrace trace = generateAppTrace(tinyProfile(), 1, 0x100000, 64);
+    AppRunner runner(sys, std::move(trace));
+    AppResult r = runner.run();
+    ASSERT_TRUE(r.completed);
+
+    std::uint64_t dma = 0;
+    for (auto st : {Directory::StU, Directory::StCS, Directory::StCM,
+                    Directory::StB}) {
+        dma += sys.directory().coverage().count(Directory::EvDmaRead, st);
+        dma += sys.directory().coverage().count(Directory::EvDmaWrite,
+                                                st);
+    }
+    EXPECT_GT(dma, 0u);
+}
+
+TEST(AppRunner, DeterministicUnderSeed)
+{
+    auto run_once = [] {
+        ApuSystemConfig cfg;
+        cfg.numCus = 1;
+        cfg.numCpuCaches = 1;
+        ApuSystem sys(cfg);
+        AppTrace trace =
+            generateAppTrace(tinyProfile(), 1, 0x100000, 64);
+        AppRunner runner(sys, std::move(trace));
+        return runner.run();
+    };
+    AppResult a = run_once();
+    AppResult b = run_once();
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.instructions, b.instructions);
+}
+
+TEST(DmaEngine, RangesCompleteInOrderOfQueueing)
+{
+    ApuSystemConfig cfg;
+    cfg.numCus = 0;
+    cfg.numCpuCaches = 1;
+    ApuSystem sys(cfg);
+    DmaConfig dma_cfg;
+    DmaEngine dma("dma", sys.eventq(), dma_cfg, sys.xbar(),
+                  ApuSystem::dmaEndpoint, ApuSystem::dirEndpoint);
+    std::vector<int> order;
+    dma.writeRange(0x1000, 8, 0x11, [&] { order.push_back(1); });
+    dma.readRange(0x1000, 8, [&] { order.push_back(2); });
+    sys.eventq().run();
+    EXPECT_TRUE(dma.idle());
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+    // The written fill pattern is in memory.
+    EXPECT_EQ(sys.memory().peekLine(0x1000)[0], 0x11);
+    EXPECT_EQ(sys.memory().peekLine(0x11C0)[63], 0x11);
+}

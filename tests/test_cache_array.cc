@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_array.hh"
+
+using namespace drf;
+
+namespace
+{
+
+constexpr unsigned kLine = 64;
+
+} // namespace
+
+TEST(CacheArray, Geometry)
+{
+    CacheArray array(1024, 2, kLine); // 8 sets x 2 ways
+    EXPECT_EQ(array.numSets(), 8u);
+    EXPECT_EQ(array.assoc(), 2u);
+    EXPECT_EQ(array.lineBytes(), kLine);
+    EXPECT_EQ(array.capacity(), 1024u);
+    EXPECT_EQ(array.validCount(), 0u);
+}
+
+TEST(CacheArray, AllocateAndFind)
+{
+    CacheArray array(1024, 2, kLine);
+    EXPECT_EQ(array.findEntry(0x100), nullptr);
+    CacheEntry &e = array.allocate(0x100);
+    EXPECT_TRUE(e.valid);
+    EXPECT_EQ(e.lineAddr, 0x100u);
+    EXPECT_EQ(e.data.size(), kLine);
+    EXPECT_EQ(array.findEntry(0x100), &e);
+    EXPECT_EQ(array.validCount(), 1u);
+}
+
+TEST(CacheArray, AllocateZeroesDataAndDirty)
+{
+    CacheArray array(1024, 2, kLine);
+    CacheEntry &e = array.allocate(0x40);
+    e.data[3] = 0xAB;
+    e.dirty[3] = 1;
+    array.invalidate(e);
+    CacheEntry &e2 = array.allocate(0x40);
+    EXPECT_EQ(e2.data[3], 0);
+    EXPECT_EQ(e2.dirty[3], 0);
+}
+
+TEST(CacheArray, SetConflictsFillWays)
+{
+    CacheArray array(1024, 2, kLine); // 8 sets
+    // Same set: line addresses 8*64 apart.
+    Addr a = 0, b = 8 * kLine, c = 16 * kLine;
+    EXPECT_TRUE(array.hasFreeWay(a));
+    array.allocate(a);
+    EXPECT_TRUE(array.hasFreeWay(b));
+    array.allocate(b);
+    EXPECT_FALSE(array.hasFreeWay(c));
+}
+
+TEST(CacheArray, VictimIsLru)
+{
+    CacheArray array(1024, 2, kLine);
+    Addr a = 0, b = 8 * kLine;
+    CacheEntry &ea = array.allocate(a);
+    CacheEntry &eb = array.allocate(b);
+    array.touch(ea); // a is now more recent than b
+    EXPECT_EQ(&array.victim(a), &eb);
+    array.touch(eb);
+    EXPECT_EQ(&array.victim(a), &ea);
+}
+
+TEST(CacheArray, InvalidateFreesWay)
+{
+    CacheArray array(1024, 2, kLine);
+    Addr a = 0, b = 8 * kLine;
+    array.allocate(a);
+    CacheEntry &eb = array.allocate(b);
+    EXPECT_FALSE(array.hasFreeWay(a));
+    array.invalidate(eb);
+    EXPECT_TRUE(array.hasFreeWay(a));
+    EXPECT_EQ(array.findEntry(b), nullptr);
+}
+
+TEST(CacheArray, InvalidateAll)
+{
+    CacheArray array(1024, 2, kLine);
+    for (int i = 0; i < 8; ++i)
+        array.allocate(static_cast<Addr>(i) * kLine);
+    EXPECT_EQ(array.validCount(), 8u);
+    array.invalidateAll();
+    EXPECT_EQ(array.validCount(), 0u);
+}
+
+TEST(CacheArray, DifferentSetsDontConflict)
+{
+    CacheArray array(1024, 2, kLine);
+    for (int i = 0; i < 8; ++i) {
+        array.allocate(static_cast<Addr>(i) * kLine);
+        EXPECT_NE(array.findEntry(static_cast<Addr>(i) * kLine), nullptr);
+    }
+    EXPECT_EQ(array.validCount(), 8u);
+}
+
+TEST(CacheArray, SetEntriesReturnsAllWays)
+{
+    CacheArray array(1024, 4, kLine);
+    auto ways = array.setEntries(0x0);
+    EXPECT_EQ(ways.size(), 4u);
+}
+
+TEST(CacheArray, TinyCacheOneSet)
+{
+    CacheArray array(128, 2, kLine); // 1 set x 2 ways
+    EXPECT_EQ(array.numSets(), 1u);
+    array.allocate(0);
+    array.allocate(kLine);
+    EXPECT_FALSE(array.hasFreeWay(5 * kLine));
+    // Victim must be one of the two allocated lines.
+    CacheEntry &v = array.victim(5 * kLine);
+    EXPECT_TRUE(v.lineAddr == 0 ||
+                v.lineAddr == static_cast<Addr>(kLine));
+}
+
+TEST(CacheArray, LineAlignHelpers)
+{
+    EXPECT_EQ(lineAlign(0x12345, 64), 0x12340u);
+    EXPECT_EQ(lineOffset(0x12345, 64), 0x5u);
+    EXPECT_EQ(lineAlign(0x40, 64), 0x40u);
+    EXPECT_EQ(lineOffset(0x40, 64), 0x0u);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Directed tests for the CPU core-pair cache (MSI) and its interaction
+ * with the directory: hits, misses, upgrades, writebacks, and
+ * cross-cache probe traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "system/apu_system.hh"
+
+using namespace drf;
+
+namespace
+{
+
+class CpuHarness : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ApuSystemConfig cfg;
+        cfg.numCus = 0;
+        cfg.numCpuCaches = 2;
+        cfg.cpu.sizeBytes = 256; // 2 sets x 2 ways: pressure
+        cfg.cpu.assoc = 2;
+        sys = std::make_unique<ApuSystem>(cfg);
+        for (unsigned i = 0; i < 2; ++i) {
+            sys->cpuCache(i).bindCoreResponse([this, i](Packet pkt) {
+                responses[i].push_back(std::move(pkt));
+            });
+        }
+    }
+
+    void
+    load(unsigned cache, Addr addr)
+    {
+        Packet pkt;
+        pkt.type = MsgType::LoadReq;
+        pkt.addr = addr;
+        pkt.size = 1;
+        pkt.id = nextId++;
+        sys->cpuCache(cache).coreRequest(std::move(pkt));
+        sys->eventq().run();
+    }
+
+    void
+    store(unsigned cache, Addr addr, std::uint8_t value)
+    {
+        Packet pkt;
+        pkt.type = MsgType::StoreReq;
+        pkt.addr = addr;
+        pkt.size = 1;
+        pkt.data = {value};
+        pkt.id = nextId++;
+        sys->cpuCache(cache).coreRequest(std::move(pkt));
+        sys->eventq().run();
+    }
+
+    std::uint64_t
+    count(unsigned cache, CpuCache::Event ev, CpuCache::State st)
+    {
+        return sys->cpuCache(cache).coverage().count(ev, st);
+    }
+
+    std::unique_ptr<ApuSystem> sys;
+    std::vector<Packet> responses[2];
+    PacketId nextId = 1;
+};
+
+} // namespace
+
+TEST_F(CpuHarness, ColdLoadMissesAndFills)
+{
+    load(0, 0x100);
+    EXPECT_EQ(responses[0].back().data[0], 0);
+    EXPECT_EQ(count(0, CpuCache::EvLoad, CpuCache::StI), 1u);
+    EXPECT_EQ(count(0, CpuCache::EvData, CpuCache::StIS), 1u);
+    load(0, 0x101);
+    EXPECT_EQ(sys->cpuCache(0).stats().value("load_hits"), 1u);
+}
+
+TEST_F(CpuHarness, StoreMissGetsExclusive)
+{
+    store(0, 0x200, 0x42);
+    EXPECT_EQ(count(0, CpuCache::EvStore, CpuCache::StI), 1u);
+    EXPECT_EQ(count(0, CpuCache::EvData, CpuCache::StIM), 1u);
+    load(0, 0x200);
+    EXPECT_EQ(responses[0].back().data[0], 0x42);
+    EXPECT_EQ(sys->cpuCache(0).stats().value("load_hits"), 1u);
+}
+
+TEST_F(CpuHarness, StoreHitInM)
+{
+    store(0, 0x200, 1);
+    store(0, 0x201, 2);
+    EXPECT_EQ(count(0, CpuCache::EvStore, CpuCache::StM), 1u);
+    EXPECT_EQ(sys->cpuCache(0).stats().value("store_hits"), 1u);
+}
+
+TEST_F(CpuHarness, UpgradeFromSharedToModified)
+{
+    load(0, 0x300);            // S
+    store(0, 0x300, 9);        // upgrade SM -> M
+    EXPECT_EQ(count(0, CpuCache::EvStore, CpuCache::StS), 1u);
+    EXPECT_EQ(count(0, CpuCache::EvData, CpuCache::StSM), 1u);
+    EXPECT_EQ(sys->cpuCache(0).stats().value("upgrades"), 1u);
+}
+
+TEST_F(CpuHarness, CrossCacheSharingReadsSameData)
+{
+    store(0, 0x400, 0x55);
+    load(1, 0x400); // directory pulls the dirty data via downgrade probe
+    EXPECT_EQ(responses[1].back().data[0], 0x55);
+    EXPECT_EQ(count(0, CpuCache::EvPrbDowngrade, CpuCache::StM), 1u);
+}
+
+TEST_F(CpuHarness, WriteInvalidatesOtherSharer)
+{
+    load(0, 0x500);
+    load(1, 0x500);
+    store(0, 0x500, 0xAA); // invalidates cache 1's S copy
+    EXPECT_EQ(count(1, CpuCache::EvPrbInv, CpuCache::StS), 1u);
+    load(1, 0x500); // must miss and fetch the new data
+    EXPECT_EQ(responses[1].back().data[0], 0xAA);
+}
+
+TEST_F(CpuHarness, OwnershipMigratesBetweenCaches)
+{
+    store(0, 0x600, 1);
+    store(1, 0x600, 2); // cache 0's M copy is invalidated with data fwd
+    EXPECT_EQ(count(0, CpuCache::EvPrbInv, CpuCache::StM), 1u);
+    load(0, 0x600);
+    EXPECT_EQ(responses[0].back().data[0], 2);
+}
+
+TEST_F(CpuHarness, DirtyReplacementWritesBack)
+{
+    // 2 sets x 2 ways: lines 0x000, 0x080, 0x100 all map to set 0.
+    store(0, 0x000, 0x11);
+    store(0, 0x080, 0x22);
+    store(0, 0x100, 0x33); // victimizes dirty 0x000
+    EXPECT_GE(count(0, CpuCache::EvRepl, CpuCache::StM), 1u);
+    EXPECT_GE(count(0, CpuCache::EvWBAck, CpuCache::StMI), 1u);
+    // The written-back data survives in memory: reload it.
+    load(0, 0x000);
+    EXPECT_EQ(responses[0].back().data[0], 0x11);
+}
+
+TEST_F(CpuHarness, CleanReplacementIsSilent)
+{
+    load(0, 0x000);
+    load(0, 0x080);
+    load(0, 0x100);
+    EXPECT_GE(count(0, CpuCache::EvRepl, CpuCache::StS), 1u);
+    EXPECT_EQ(sys->cpuCache(0).stats().value("dirty_replacements"), 0u);
+}
+
+TEST_F(CpuHarness, StaleSharerProbeAckedInI)
+{
+    load(0, 0x000);
+    load(0, 0x080);
+    load(0, 0x100); // silently drops one clean line; dir list stale
+    // Another cache takes the dropped line exclusive: the stale probe
+    // finds nothing.
+    store(1, 0x000, 1);
+    store(1, 0x080, 1);
+    store(1, 0x100, 1);
+    EXPECT_GE(count(0, CpuCache::EvPrbInv, CpuCache::StI), 1u);
+}
+
+TEST_F(CpuHarness, ValuesStaySequentiallyConsistentPerLocation)
+{
+    // Ping-pong writes between two caches with reads in between.
+    for (int round = 0; round < 10; ++round) {
+        std::uint8_t v = static_cast<std::uint8_t>(round);
+        store(round % 2, 0x700, v);
+        load((round + 1) % 2, 0x700);
+        EXPECT_EQ(responses[(round + 1) % 2].back().data[0], v);
+    }
+}
+
+TEST_F(CpuHarness, FalseSharingBytesIndependent)
+{
+    store(0, 0x800, 0xAA);
+    store(1, 0x801, 0xBB); // same line, different byte
+    load(0, 0x800);
+    load(0, 0x801);
+    auto &r = responses[0];
+    EXPECT_EQ(r[r.size() - 2].data[0], 0xAA);
+    EXPECT_EQ(r[r.size() - 1].data[0], 0xBB);
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Integration tests for the Ruby-style CPU random tester.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tester/configs.hh"
+#include "tester/cpu_tester.hh"
+
+using namespace drf;
+
+namespace
+{
+
+TesterResult
+runCpu(unsigned caches, std::uint64_t cache_bytes, std::uint64_t loads,
+       std::uint64_t seed, std::uint64_t range = 1024)
+{
+    ApuSystemConfig sys_cfg;
+    sys_cfg.numCus = 0;
+    sys_cfg.numCpuCaches = caches;
+    sys_cfg.cpu.sizeBytes = cache_bytes;
+    sys_cfg.cpu.assoc = 2;
+    ApuSystem sys(sys_cfg);
+
+    CpuTesterConfig cfg;
+    cfg.targetLoads = loads;
+    cfg.addrRangeBytes = range;
+    cfg.seed = seed;
+    CpuTester tester(sys, cfg);
+    return tester.run();
+}
+
+} // namespace
+
+class CpuTesterSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CpuTesterSeeds, PassesSmallCaches)
+{
+    TesterResult r = runCpu(2, 512, 2000, GetParam());
+    EXPECT_TRUE(r.passed) << r.report;
+    EXPECT_GE(r.loadsChecked, 2000u);
+    EXPECT_GT(r.storesRetired, 0u);
+}
+
+TEST_P(CpuTesterSeeds, PassesLargeCaches)
+{
+    TesterResult r = runCpu(2, 256 * 1024, 2000, GetParam());
+    EXPECT_TRUE(r.passed) << r.report;
+}
+
+TEST_P(CpuTesterSeeds, PassesManyCaches)
+{
+    TesterResult r = runCpu(4, 512, 2000, GetParam());
+    EXPECT_TRUE(r.passed) << r.report;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuTesterSeeds,
+                         ::testing::Values(3, 17, 404));
+
+TEST(CpuTester, TinyRangeMaximizesContention)
+{
+    // 64 bytes = a single cache line shared by all cores: pure false
+    // sharing; values must still be SC per location.
+    TesterResult r = runCpu(4, 512, 3000, 5, /*range=*/64);
+    EXPECT_TRUE(r.passed) << r.report;
+}
+
+TEST(CpuTester, DeterministicUnderSeed)
+{
+    TesterResult a = runCpu(2, 512, 1000, 9);
+    TesterResult b = runCpu(2, 512, 1000, 9);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.storesRetired, b.storesRetired);
+}
+
+TEST(CpuTester, CoversDirectoryCpuTransitions)
+{
+    ApuSystemConfig sys_cfg;
+    sys_cfg.numCus = 0;
+    sys_cfg.numCpuCaches = 4;
+    sys_cfg.cpu.sizeBytes = 512;
+    sys_cfg.cpu.assoc = 2;
+    ApuSystem sys(sys_cfg);
+
+    CpuTesterConfig cfg;
+    cfg.targetLoads = 5000;
+    // More lines than the caches hold: replacements force Putx traffic.
+    cfg.addrRangeBytes = 4096;
+    cfg.seed = 21;
+    CpuTester tester(sys, cfg);
+    TesterResult r = tester.run();
+    ASSERT_TRUE(r.passed) << r.report;
+
+    const auto &dir = sys.directory().coverage();
+    EXPECT_GT(dir.count(Directory::EvCpuGets, Directory::StU), 0u);
+    EXPECT_GT(dir.count(Directory::EvCpuGetx, Directory::StCS), 0u);
+    EXPECT_GT(dir.count(Directory::EvCpuGetx, Directory::StCM), 0u);
+    EXPECT_GT(dir.count(Directory::EvCpuPutx, Directory::StCM), 0u);
+    EXPECT_GT(dir.count(Directory::EvCpuInvAck, Directory::StB), 0u);
+    // No GPU traffic at all.
+    EXPECT_EQ(dir.count(Directory::EvGpuFetch, Directory::StU), 0u);
+    // A healthy fraction of the CPU-reachable directory space.
+    EXPECT_GT(dir.coveragePct("cpu_tester"), 60.0);
+}
+
+TEST(CpuTester, SweepPresetsAreWellFormed)
+{
+    auto presets = makeCpuTestSweep();
+    EXPECT_EQ(presets.size(), 18u);
+    for (const auto &p : presets) {
+        EXPECT_EQ(p.system.numCus, 0u);
+        EXPECT_GE(p.system.numCpuCaches, 1u);
+        EXPECT_GT(p.tester.targetLoads, 0u);
+    }
+}
+
+TEST(GpuSweepPresets, TwentyFourTests)
+{
+    auto presets = makeGpuTestSweep();
+    ASSERT_EQ(presets.size(), 24u);
+    EXPECT_EQ(presets.front().name, "Test 0");
+    EXPECT_EQ(presets.back().name, "Test 23");
+    // All permutation axes appear.
+    bool small = false, large = false, mixed = false;
+    bool a100 = false, a200 = false, e10 = false, e100 = false;
+    bool s10 = false, s100 = false;
+    for (const auto &p : presets) {
+        small |= p.cacheClass == CacheSizeClass::Small;
+        large |= p.cacheClass == CacheSizeClass::Large;
+        mixed |= p.cacheClass == CacheSizeClass::Mixed;
+        a100 |= p.tester.episodeGen.actionsPerEpisode == 100;
+        a200 |= p.tester.episodeGen.actionsPerEpisode == 200;
+        e10 |= p.tester.episodesPerWf == 10;
+        e100 |= p.tester.episodesPerWf == 100;
+        s10 |= p.tester.variables.numSyncVars == 10;
+        s100 |= p.tester.variables.numSyncVars == 100;
+    }
+    EXPECT_TRUE(small && large && mixed);
+    EXPECT_TRUE(a100 && a200 && e10 && e100);
+    EXPECT_TRUE(s10 && s100);
+}

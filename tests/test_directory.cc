@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Directed tests for the APU system directory: state tracking across
+ * CPU / GPU / DMA requestors, probe collection, and atomicity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/dma.hh"
+#include "system/apu_system.hh"
+
+using namespace drf;
+
+namespace
+{
+
+class DirHarness : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ApuSystemConfig cfg;
+        cfg.numCus = 1;
+        cfg.numCpuCaches = 2;
+        cfg.cpu.sizeBytes = 256; // tiny: replacement writebacks happen
+        cfg.cpu.assoc = 2;
+        sys = std::make_unique<ApuSystem>(cfg);
+        sys->l1(0).bindCoreResponse([this](Packet pkt) {
+            gpuResponses.push_back(std::move(pkt));
+        });
+        for (unsigned i = 0; i < 2; ++i) {
+            sys->cpuCache(i).bindCoreResponse([this, i](Packet pkt) {
+                cpuResponses[i].push_back(std::move(pkt));
+            });
+        }
+        DmaConfig dma_cfg;
+        dma = std::make_unique<DmaEngine>("dma", sys->eventq(), dma_cfg,
+                                          sys->xbar(),
+                                          ApuSystem::dmaEndpoint,
+                                          ApuSystem::dirEndpoint);
+    }
+
+    void
+    gpuOp(MsgType type, Addr addr, std::uint32_t value = 0)
+    {
+        Packet pkt;
+        pkt.type = type;
+        pkt.addr = addr;
+        pkt.size = 4;
+        pkt.id = nextId++;
+        if (type == MsgType::StoreReq) {
+            pkt.data = {static_cast<std::uint8_t>(value),
+                        static_cast<std::uint8_t>(value >> 8),
+                        static_cast<std::uint8_t>(value >> 16),
+                        static_cast<std::uint8_t>(value >> 24)};
+        }
+        if (type == MsgType::AtomicReq)
+            pkt.atomicOperand = value;
+        sys->l1(0).coreRequest(std::move(pkt));
+        sys->eventq().run();
+    }
+
+    void
+    cpuOp(unsigned cache, MsgType type, Addr addr, std::uint8_t value = 0)
+    {
+        Packet pkt;
+        pkt.type = type;
+        pkt.addr = addr;
+        pkt.size = 1;
+        pkt.id = nextId++;
+        if (type == MsgType::StoreReq)
+            pkt.data = {value};
+        sys->cpuCache(cache).coreRequest(std::move(pkt));
+        sys->eventq().run();
+    }
+
+    std::uint64_t
+    count(Directory::Event ev, Directory::State st)
+    {
+        return sys->directory().coverage().count(ev, st);
+    }
+
+    std::unique_ptr<ApuSystem> sys;
+    std::unique_ptr<DmaEngine> dma;
+    std::vector<Packet> gpuResponses;
+    std::vector<Packet> cpuResponses[2];
+    PacketId nextId = 1;
+};
+
+} // namespace
+
+TEST_F(DirHarness, GpuFetchFromUnowned)
+{
+    gpuOp(MsgType::LoadReq, 0x1000);
+    EXPECT_EQ(count(Directory::EvGpuFetch, Directory::StU), 1u);
+    EXPECT_EQ(count(Directory::EvMemData, Directory::StB), 1u);
+}
+
+TEST_F(DirHarness, GpuWriteFromUnowned)
+{
+    gpuOp(MsgType::StoreReq, 0x1040, 7);
+    EXPECT_EQ(count(Directory::EvGpuWrMem, Directory::StU), 1u);
+    EXPECT_EQ(count(Directory::EvMemWBAck, Directory::StB), 1u);
+}
+
+TEST_F(DirHarness, CpuGetsMovesToCpuShared)
+{
+    cpuOp(0, MsgType::LoadReq, 0x2000);
+    EXPECT_EQ(count(Directory::EvCpuGets, Directory::StU), 1u);
+    // A second sharer hits CS at the directory.
+    cpuOp(1, MsgType::LoadReq, 0x2000);
+    EXPECT_EQ(count(Directory::EvCpuGets, Directory::StCS), 1u);
+}
+
+TEST_F(DirHarness, CpuGetxMovesToCpuModified)
+{
+    cpuOp(0, MsgType::StoreReq, 0x3000, 1);
+    EXPECT_EQ(count(Directory::EvCpuGetx, Directory::StU), 1u);
+    // GPU fetch of a CPU-dirty line pulls data via downgrade.
+    gpuOp(MsgType::LoadReq, 0x3000);
+    EXPECT_EQ(count(Directory::EvGpuFetch, Directory::StCM), 1u);
+    EXPECT_EQ(gpuResponses.back().data[0], 1);
+}
+
+TEST_F(DirHarness, GpuWriteInvalidatesCpuSharers)
+{
+    cpuOp(0, MsgType::LoadReq, 0x4000);
+    cpuOp(1, MsgType::LoadReq, 0x4000);
+    gpuOp(MsgType::StoreReq, 0x4000, 0xFF);
+    EXPECT_EQ(count(Directory::EvGpuWrMem, Directory::StCS), 1u);
+    EXPECT_GE(count(Directory::EvCpuInvAck, Directory::StB), 2u);
+    // CPU reloads must observe the GPU's bytes.
+    cpuOp(0, MsgType::LoadReq, 0x4000);
+    EXPECT_EQ(cpuResponses[0].back().data[0], 0xFF);
+}
+
+TEST_F(DirHarness, GpuWriteMergesOverCpuDirtyData)
+{
+    cpuOp(0, MsgType::StoreReq, 0x5001, 0x22); // CPU dirty byte 1
+    gpuOp(MsgType::StoreReq, 0x5004, 0x44);    // GPU writes bytes 4..7
+    EXPECT_EQ(count(Directory::EvGpuWrMem, Directory::StCM), 1u);
+    // Memory holds the merge of both.
+    auto line = sys->memory().peekLine(0x5000);
+    EXPECT_EQ(line[1], 0x22);
+    EXPECT_EQ(line[4], 0x44);
+}
+
+TEST_F(DirHarness, GpuAtomicOnCpuDirtyLine)
+{
+    cpuOp(0, MsgType::StoreReq, 0x6000, 5); // CM with value 5 at byte 0
+    gpuOp(MsgType::AtomicReq, 0x6000, 10);
+    EXPECT_EQ(count(Directory::EvGpuAtomic, Directory::StCM), 1u);
+    // Old value observed by the atomic must include the CPU's byte.
+    EXPECT_EQ(gpuResponses.back().atomicResult, 5u);
+    gpuOp(MsgType::LoadReq, 0x6000);
+    EXPECT_EQ(gpuResponses.back().data[0], 15);
+}
+
+TEST_F(DirHarness, CpuPutxWritesBack)
+{
+    // Fill set 0 of cache 0 with dirty lines to force a writeback.
+    cpuOp(0, MsgType::StoreReq, 0x000, 0x11);
+    cpuOp(0, MsgType::StoreReq, 0x080, 0x22);
+    cpuOp(0, MsgType::StoreReq, 0x100, 0x33);
+    cpuOp(0, MsgType::StoreReq, 0x180, 0x44);
+    cpuOp(0, MsgType::StoreReq, 0x200, 0x55);
+    cpuOp(0, MsgType::StoreReq, 0x280, 0x66);
+    cpuOp(0, MsgType::StoreReq, 0x300, 0x77);
+    cpuOp(0, MsgType::StoreReq, 0x380, 0x88);
+    cpuOp(0, MsgType::StoreReq, 0x400, 0x99);
+    EXPECT_GE(count(Directory::EvCpuPutx, Directory::StCM), 1u);
+}
+
+TEST_F(DirHarness, DmaReadFromUnowned)
+{
+    bool done = false;
+    dma->readRange(0x7000, 2, [&] { done = true; });
+    sys->eventq().run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(count(Directory::EvDmaRead, Directory::StU), 2u);
+}
+
+TEST_F(DirHarness, DmaWriteThenGpuRead)
+{
+    bool done = false;
+    dma->writeRange(0x8000, 1, 0x5C, [&] { done = true; });
+    sys->eventq().run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(count(Directory::EvDmaWrite, Directory::StU), 1u);
+    gpuOp(MsgType::LoadReq, 0x8000);
+    EXPECT_EQ(gpuResponses.back().data[0], 0x5C);
+}
+
+TEST_F(DirHarness, DmaReadPullsCpuDirtyData)
+{
+    cpuOp(0, MsgType::StoreReq, 0x9000, 0xEE);
+    bool done = false;
+    dma->readRange(0x9000, 1, [&] { done = true; });
+    sys->eventq().run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(count(Directory::EvDmaRead, Directory::StCM), 1u);
+    // The downgrade flushed the data to memory.
+    EXPECT_EQ(sys->memory().peekLine(0x9000)[0], 0xEE);
+}
+
+TEST_F(DirHarness, DmaWriteInvalidatesCpuOwner)
+{
+    cpuOp(0, MsgType::StoreReq, 0xA000, 0x01);
+    bool done = false;
+    dma->writeRange(0xA000, 1, 0xFD, [&] { done = true; });
+    sys->eventq().run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(count(Directory::EvDmaWrite, Directory::StCM), 1u);
+    cpuOp(0, MsgType::LoadReq, 0xA000);
+    EXPECT_EQ(cpuResponses[0].back().data[0], 0xFD);
+}
+
+TEST_F(DirHarness, GpuProbeAckCounted)
+{
+    gpuOp(MsgType::LoadReq, 0xB000);          // gpuMayHave set
+    cpuOp(0, MsgType::StoreReq, 0xB000, 1);   // Getx probes GPU L2
+    EXPECT_EQ(count(Directory::EvGpuInvAck, Directory::StB), 1u);
+}
+
+TEST_F(DirHarness, MemoryStateConsistentAcrossRequestors)
+{
+    // CPU writes, GPU atomics, DMA writes — final memory value must
+    // reflect the full sequence.
+    cpuOp(0, MsgType::StoreReq, 0xC000, 10);
+    gpuOp(MsgType::AtomicReq, 0xC000, 5);  // 10 -> 15
+    EXPECT_EQ(gpuResponses.back().atomicResult, 10u);
+    bool done = false;
+    dma->readRange(0xC000, 1, [&] { done = true; });
+    sys->eventq().run();
+    EXPECT_EQ(sys->memory().peekLine(0xC000)[0], 15);
+    EXPECT_TRUE(done);
+}

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Property tests for episode generation: the DRF-by-construction rules
+ * of Section III.A must hold for every seed and configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "tester/episode.hh"
+
+using namespace drf;
+
+namespace
+{
+
+struct GenFixture
+{
+    GenFixture(std::uint64_t seed, unsigned actions = 40,
+               unsigned lanes = 8, std::uint32_t normal_vars = 256,
+               std::uint64_t range = 1 << 13)
+        : rng(seed)
+    {
+        VariableMapConfig vcfg;
+        vcfg.numSyncVars = 8;
+        vcfg.numNormalVars = normal_vars;
+        vcfg.addrRangeBytes = range;
+        vmap = std::make_unique<VariableMap>(vcfg, rng);
+
+        EpisodeGenConfig gcfg;
+        gcfg.actionsPerEpisode = actions;
+        gcfg.lanes = lanes;
+        gen = std::make_unique<EpisodeGenerator>(*vmap, gcfg, rng);
+    }
+
+    Random rng;
+    std::unique_ptr<VariableMap> vmap;
+    std::unique_ptr<EpisodeGenerator> gen;
+};
+
+} // namespace
+
+class EpisodeProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EpisodeProperty, SyncVarIsSynchronization)
+{
+    GenFixture fx(GetParam());
+    for (int i = 0; i < 10; ++i) {
+        Episode e = fx.gen->generate(0);
+        EXPECT_TRUE(fx.vmap->isSync(e.syncVar));
+        fx.gen->retire(e);
+    }
+}
+
+TEST_P(EpisodeProperty, OpsTargetOnlyNormalVars)
+{
+    GenFixture fx(GetParam());
+    Episode e = fx.gen->generate(0);
+    for (const auto &action : e.actions) {
+        for (const auto &op : action.lanes) {
+            if (op) {
+                EXPECT_FALSE(fx.vmap->isSync(op->var));
+            }
+        }
+    }
+    fx.gen->retire(e);
+}
+
+TEST_P(EpisodeProperty, AtMostOneWriterPerVarInEpisode)
+{
+    GenFixture fx(GetParam());
+    Episode e = fx.gen->generate(0);
+    std::map<VarId, unsigned> store_count;
+    for (const auto &action : e.actions) {
+        for (const auto &op : action.lanes) {
+            if (op && op->kind == LaneOp::Kind::Store)
+                ++store_count[op->var];
+        }
+    }
+    for (const auto &[var, count] : store_count)
+        EXPECT_EQ(count, 1u) << "var " << var << " stored twice";
+    fx.gen->retire(e);
+}
+
+TEST_P(EpisodeProperty, ReadsOfWrittenVarOnlyByWriterLaneAfterWrite)
+{
+    GenFixture fx(GetParam());
+    Episode e = fx.gen->generate(0);
+
+    // Track per-variable first-store position.
+    std::map<VarId, std::pair<std::size_t, unsigned>> store_at;
+    for (std::size_t i = 0; i < e.actions.size(); ++i) {
+        for (unsigned lane = 0; lane < e.actions[i].lanes.size(); ++lane) {
+            const auto &op = e.actions[i].lanes[lane];
+            if (op && op->kind == LaneOp::Kind::Store)
+                store_at[op->var] = {i, lane};
+        }
+    }
+    for (std::size_t i = 0; i < e.actions.size(); ++i) {
+        for (unsigned lane = 0; lane < e.actions[i].lanes.size(); ++lane) {
+            const auto &op = e.actions[i].lanes[lane];
+            if (!op || op->kind != LaneOp::Kind::Load)
+                continue;
+            auto it = store_at.find(op->var);
+            if (it == store_at.end())
+                continue;
+            // A load of a written var must come from the writer lane and
+            // after the store (cross-lane RAW would be a race).
+            EXPECT_EQ(it->second.second, lane);
+            EXPECT_GT(i, it->second.first);
+        }
+    }
+    fx.gen->retire(e);
+}
+
+TEST_P(EpisodeProperty, NoConflictsBetweenActiveEpisodes)
+{
+    GenFixture fx(GetParam());
+    std::vector<Episode> active;
+    for (int i = 0; i < 8; ++i)
+        active.push_back(fx.gen->generate(i));
+
+    // Paper rules: no two active episodes may touch a variable one of
+    // them writes.
+    for (std::size_t i = 0; i < active.size(); ++i) {
+        for (std::size_t j = 0; j < active.size(); ++j) {
+            if (i == j)
+                continue;
+            for (const auto &[var, info] : active[i].writes) {
+                EXPECT_EQ(active[j].writes.count(var), 0u)
+                    << "write-write conflict on var " << var;
+                EXPECT_EQ(active[j].reads.count(var), 0u)
+                    << "write-read conflict on var " << var;
+            }
+        }
+    }
+    for (auto &e : active)
+        fx.gen->retire(e);
+}
+
+TEST_P(EpisodeProperty, RetireAllowsReuse)
+{
+    // A tiny variable pool: without retirement, conflicts would starve
+    // generation; with retirement, every episode gets work.
+    GenFixture fx(GetParam(), 30, 4, /*normal_vars=*/16, 1 << 10);
+    for (int round = 0; round < 20; ++round) {
+        Episode e = fx.gen->generate(0);
+        std::uint64_t ops = e.reads.size() + e.writes.size();
+        EXPECT_GT(ops, 0u) << "episode starved at round " << round;
+        fx.gen->retire(e);
+    }
+    EXPECT_EQ(fx.gen->active(), 0u);
+}
+
+TEST_P(EpisodeProperty, StoreValuesGloballyUnique)
+{
+    GenFixture fx(GetParam());
+    std::set<std::uint32_t> values;
+    for (int i = 0; i < 6; ++i) {
+        Episode e = fx.gen->generate(i);
+        for (const auto &action : e.actions) {
+            for (const auto &op : action.lanes) {
+                if (op && op->kind == LaneOp::Kind::Store) {
+                    EXPECT_TRUE(values.insert(op->storeValue).second);
+                }
+            }
+        }
+        fx.gen->retire(e);
+    }
+}
+
+TEST_P(EpisodeProperty, ActiveCountsConsistent)
+{
+    GenFixture fx(GetParam());
+    Episode a = fx.gen->generate(0);
+    Episode b = fx.gen->generate(1);
+    EXPECT_EQ(fx.gen->active(), 2u);
+    for (const auto &[var, info] : a.writes)
+        EXPECT_GE(fx.gen->activeWriters(var), 1u);
+    for (VarId var : a.reads)
+        EXPECT_GE(fx.gen->activeReaders(var), 1u);
+    fx.gen->retire(a);
+    fx.gen->retire(b);
+    EXPECT_EQ(fx.gen->active(), 0u);
+    for (const auto &[var, info] : a.writes)
+        EXPECT_EQ(fx.gen->activeWriters(var), 0u);
+}
+
+TEST_P(EpisodeProperty, EpisodeIdsIncrease)
+{
+    GenFixture fx(GetParam());
+    Episode a = fx.gen->generate(0);
+    Episode b = fx.gen->generate(0);
+    EXPECT_LT(a.id, b.id);
+    fx.gen->retire(a);
+    fx.gen->retire(b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpisodeProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace drf;
+
+TEST(EventQueue, StartsAtTickZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.eventsExecuted(), 0u);
+    EXPECT_TRUE(eq.run());
+}
+
+TEST(EventQueue, ExecutesInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleAfter(5, [&] {
+            ++fired;
+            eq.scheduleAfter(5, [&] { ++fired; });
+        });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.curTick(), 11u);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventAtExactLimitRuns)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(50, [&] { fired = true; });
+    EXPECT_TRUE(eq.run(50));
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, RunEventsBounded)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i + 1, [&] { ++fired; });
+    EXPECT_EQ(eq.runEvents(3), 3u);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.pending(), 2u);
+    EXPECT_EQ(eq.runEvents(100), 2u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.runEvents(1);
+    eq.reset();
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.eventsExecuted(), 0u);
+}
+
+TEST(EventQueue, EventsExecutedCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 7u);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTick)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleAfter(7, [&] { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 107u);
+}
+
+TEST(EventQueue, InterleavedSchedulingStaysDeterministic)
+{
+    // Two runs with identical scheduling produce identical sequences.
+    auto run_once = [] {
+        EventQueue eq;
+        std::vector<int> order;
+        for (int i = 0; i < 20; ++i) {
+            eq.schedule((i * 7) % 5, [&order, i, &eq] {
+                order.push_back(i);
+                if (i % 3 == 0)
+                    eq.scheduleAfter(2, [&order, i] {
+                        order.push_back(100 + i);
+                    });
+            });
+        }
+        eq.run();
+        return order;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}

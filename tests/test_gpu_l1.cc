@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Directed tests for the VIPER GPU L1 ("TCP") controller, driven
+ * through a real 1-CU system (L1 -> L2 -> directory -> DRAM).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "system/apu_system.hh"
+
+using namespace drf;
+
+namespace
+{
+
+class L1Harness : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ApuSystemConfig cfg;
+        cfg.numCus = 1;
+        cfg.l1.sizeBytes = 256; // 2 sets x 2 ways
+        cfg.l1.assoc = 2;
+        cfg.l2.sizeBytes = 4096;
+        cfg.l2.assoc = 4;
+        sys = std::make_unique<ApuSystem>(cfg);
+        sys->l1(0).bindCoreResponse([this](Packet pkt) {
+            responses.push_back(std::move(pkt));
+        });
+    }
+
+    Packet
+    load(Addr addr, bool acquire = false)
+    {
+        Packet pkt;
+        pkt.type = MsgType::LoadReq;
+        pkt.addr = addr;
+        pkt.size = 4;
+        pkt.acquire = acquire;
+        pkt.id = nextId++;
+        return pkt;
+    }
+
+    Packet
+    store(Addr addr, std::uint32_t value, bool release = false)
+    {
+        Packet pkt;
+        pkt.type = MsgType::StoreReq;
+        pkt.addr = addr;
+        pkt.size = 4;
+        pkt.release = release;
+        pkt.data = {static_cast<std::uint8_t>(value),
+                    static_cast<std::uint8_t>(value >> 8),
+                    static_cast<std::uint8_t>(value >> 16),
+                    static_cast<std::uint8_t>(value >> 24)};
+        pkt.id = nextId++;
+        return pkt;
+    }
+
+    Packet
+    atomic(Addr addr, std::uint64_t operand, bool acquire = false,
+           bool release = false)
+    {
+        Packet pkt;
+        pkt.type = MsgType::AtomicReq;
+        pkt.addr = addr;
+        pkt.size = 4;
+        pkt.atomicOperand = operand;
+        pkt.acquire = acquire;
+        pkt.release = release;
+        pkt.id = nextId++;
+        return pkt;
+    }
+
+    std::uint32_t
+    value32(const Packet &pkt)
+    {
+        std::uint32_t v = 0;
+        for (std::size_t i = 0; i < pkt.data.size(); ++i)
+            v |= std::uint32_t(pkt.data[i]) << (8 * i);
+        return v;
+    }
+
+    /** Issue one request and run to quiescence. */
+    void
+    go(Packet pkt)
+    {
+        sys->l1(0).coreRequest(std::move(pkt));
+        sys->eventq().run();
+    }
+
+    std::uint64_t
+    l1Count(GpuL1Cache::Event ev, GpuL1Cache::State st)
+    {
+        return sys->l1(0).coverage().count(ev, st);
+    }
+
+    std::unique_ptr<ApuSystem> sys;
+    std::vector<Packet> responses;
+    PacketId nextId = 1;
+};
+
+} // namespace
+
+TEST_F(L1Harness, ColdLoadReturnsZeroAndFills)
+{
+    go(load(0x100));
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].type, MsgType::LoadResp);
+    EXPECT_EQ(value32(responses[0]), 0u);
+    EXPECT_EQ(l1Count(GpuL1Cache::EvLoad, GpuL1Cache::StI), 1u);
+    EXPECT_EQ(l1Count(GpuL1Cache::EvTccAck, GpuL1Cache::StA), 1u);
+    EXPECT_EQ(sys->l1(0).stats().value("load_misses"), 1u);
+}
+
+TEST_F(L1Harness, SecondLoadHitsInL1)
+{
+    go(load(0x100));
+    go(load(0x104));
+    EXPECT_EQ(sys->l1(0).stats().value("load_hits"), 1u);
+    EXPECT_EQ(l1Count(GpuL1Cache::EvLoad, GpuL1Cache::StV), 1u);
+}
+
+TEST_F(L1Harness, StoreWritesThroughAndLoadsBack)
+{
+    go(store(0x200, 0xDEADBEEF));
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].type, MsgType::StoreAck);
+    EXPECT_EQ(sys->l1(0).outstandingWriteThroughs(), 0u);
+
+    go(load(0x200));
+    EXPECT_EQ(value32(responses[1]), 0xDEADBEEFu);
+}
+
+TEST_F(L1Harness, StoreMissDoesNotAllocate)
+{
+    go(store(0x200, 1));
+    // The line must not be in the L1 (no write-allocate): next load
+    // misses.
+    go(load(0x200));
+    EXPECT_EQ(sys->l1(0).stats().value("load_misses"), 1u);
+    EXPECT_EQ(sys->l1(0).stats().value("load_hits"), 0u);
+    EXPECT_EQ(l1Count(GpuL1Cache::EvStoreThrough, GpuL1Cache::StI), 1u);
+}
+
+TEST_F(L1Harness, StoreHitUpdatesCachedLine)
+{
+    go(load(0x300));                  // fill V
+    go(store(0x300, 0xABCD1234));     // hit: update + write-through
+    EXPECT_EQ(l1Count(GpuL1Cache::EvStoreThrough, GpuL1Cache::StV), 1u);
+    go(load(0x300));                  // must hit and see new data
+    EXPECT_EQ(sys->l1(0).stats().value("load_hits"), 1u);
+    EXPECT_EQ(value32(responses.back()), 0xABCD1234u);
+}
+
+TEST_F(L1Harness, PartialStoreMergesBytes)
+{
+    go(store(0x400, 0x11111111));
+    Packet p = store(0x402, 0);
+    p.size = 1;
+    p.data = {0xFF};
+    go(std::move(p));
+    go(load(0x400));
+    EXPECT_EQ(value32(responses.back()), 0x11FF1111u);
+}
+
+TEST_F(L1Harness, AtomicReturnsOldValueAndApplies)
+{
+    go(atomic(0x500, 5));
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].type, MsgType::AtomicResp);
+    EXPECT_EQ(responses[0].atomicResult, 0u);
+
+    go(atomic(0x500, 3));
+    EXPECT_EQ(responses[1].atomicResult, 5u);
+
+    go(load(0x500));
+    EXPECT_EQ(value32(responses[2]), 8u);
+}
+
+TEST_F(L1Harness, AtomicInvalidatesCachedCopy)
+{
+    go(load(0x600));  // V
+    go(atomic(0x600, 1));
+    EXPECT_EQ(l1Count(GpuL1Cache::EvAtomic, GpuL1Cache::StV), 1u);
+    // The line was invalidated: a load misses and sees the new value.
+    go(load(0x600));
+    EXPECT_EQ(sys->l1(0).stats().value("load_misses"), 2u);
+    EXPECT_EQ(value32(responses.back()), 1u);
+}
+
+TEST_F(L1Harness, AcquireFlashInvalidates)
+{
+    go(load(0x100));
+    go(load(0x200));
+    EXPECT_EQ(sys->l1(0).array().validCount(), 2u);
+    go(load(0x300, /*acquire=*/true));
+    // Only the newly fetched line remains.
+    EXPECT_EQ(sys->l1(0).array().validCount(), 1u);
+    EXPECT_EQ(l1Count(GpuL1Cache::EvEvict, GpuL1Cache::StV), 2u);
+    EXPECT_EQ(sys->l1(0).stats().value("flash_invalidates"), 1u);
+}
+
+TEST_F(L1Harness, AcquireOnColdCacheIsDefinedNoop)
+{
+    go(load(0x100, /*acquire=*/true));
+    EXPECT_EQ(l1Count(GpuL1Cache::EvEvict, GpuL1Cache::StI), 1u);
+}
+
+TEST_F(L1Harness, ReplacementEvictsLruLine)
+{
+    // 2 sets x 2 ways, 64 B lines: three lines mapping to set 0.
+    go(load(0x000));
+    go(load(0x080));
+    go(load(0x100)); // set 0 full -> replacement
+    EXPECT_EQ(l1Count(GpuL1Cache::EvRepl, GpuL1Cache::StV), 1u);
+    EXPECT_EQ(sys->l1(0).stats().value("replacements"), 1u);
+    // 0x000 was LRU: loading it again misses.
+    go(load(0x000));
+    EXPECT_EQ(sys->l1(0).stats().value("load_misses"), 4u);
+}
+
+TEST_F(L1Harness, ReleaseWaitsForWriteThroughs)
+{
+    // Issue a store and, in the same cycle, a release atomic: the
+    // atomic must not reach the L2 before the write-through acked.
+    Packet st = store(0x700, 42);
+    Packet rel = atomic(0x710, 1, false, /*release=*/true);
+    sys->l1(0).coreRequest(std::move(st));
+    sys->l1(0).coreRequest(std::move(rel));
+    EXPECT_EQ(sys->l1(0).outstandingWriteThroughs(), 1u);
+    sys->eventq().run();
+    ASSERT_EQ(responses.size(), 2u);
+    // StoreAck must have arrived before AtomicResp.
+    EXPECT_EQ(responses[0].type, MsgType::StoreAck);
+    EXPECT_EQ(responses[1].type, MsgType::AtomicResp);
+}
+
+TEST_F(L1Harness, ConcurrentLoadsToSameLineStall)
+{
+    Packet a = load(0x100);
+    Packet b = load(0x104);
+    sys->l1(0).coreRequest(std::move(a));
+    sys->l1(0).coreRequest(std::move(b));
+    sys->eventq().run();
+    EXPECT_EQ(responses.size(), 2u);
+    // The second load stalled against the MSHR at least once.
+    EXPECT_GE(l1Count(GpuL1Cache::EvLoad, GpuL1Cache::StA), 1u);
+    EXPECT_GE(sys->l1(0).stats().value("recycles"), 1u);
+}
+
+TEST_F(L1Harness, StoreHitsPendingAtomicStalls)
+{
+    // The corner case the paper names: a store arriving while an atomic
+    // on the same line is outstanding.
+    Packet at = atomic(0x100, 1);
+    Packet st = store(0x104, 7);
+    sys->l1(0).coreRequest(std::move(at));
+    sys->l1(0).coreRequest(std::move(st));
+    sys->eventq().run();
+    EXPECT_GE(l1Count(GpuL1Cache::EvStoreThrough, GpuL1Cache::StA), 1u);
+    // Both completed eventually.
+    EXPECT_EQ(responses.size(), 2u);
+}
+
+TEST_F(L1Harness, WriteThroughAckedInStateI)
+{
+    go(store(0x100, 1));
+    EXPECT_EQ(l1Count(GpuL1Cache::EvTccAckWB, GpuL1Cache::StI), 1u);
+}
+
+TEST_F(L1Harness, WriteThroughAckedInStateV)
+{
+    go(load(0x100));
+    go(store(0x100, 1));
+    EXPECT_EQ(l1Count(GpuL1Cache::EvTccAckWB, GpuL1Cache::StV), 1u);
+}

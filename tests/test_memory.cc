@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the DRAM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+#include "sim/event_queue.hh"
+
+using namespace drf;
+
+namespace
+{
+
+class MemHarness : public ::testing::Test
+{
+  protected:
+    MemHarness() : mem("mem", eq, 64, 10)
+    {
+        mem.bindResponse([this](Packet pkt) {
+            responses.push_back({eq.curTick(), std::move(pkt)});
+        });
+    }
+
+    Packet
+    readReq(Addr line)
+    {
+        Packet pkt;
+        pkt.type = MsgType::MemRead;
+        pkt.addr = line;
+        return pkt;
+    }
+
+    Packet
+    writeReq(Addr line, std::uint8_t fill, int only_byte = -1)
+    {
+        Packet pkt;
+        pkt.type = MsgType::MemWrite;
+        pkt.addr = line;
+        pkt.data.assign(64, fill);
+        if (only_byte >= 0) {
+            pkt.mask.assign(64, 0);
+            pkt.mask[only_byte] = 1;
+        }
+        return pkt;
+    }
+
+    EventQueue eq;
+    SimpleMemory mem;
+    std::vector<std::pair<Tick, Packet>> responses;
+};
+
+} // namespace
+
+TEST_F(MemHarness, UninitializedReadsZero)
+{
+    mem.recvMsg(readReq(0x1000));
+    eq.run();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].second.type, MsgType::MemData);
+    for (auto byte : responses[0].second.data)
+        EXPECT_EQ(byte, 0);
+}
+
+TEST_F(MemHarness, WriteThenReadBack)
+{
+    mem.recvMsg(writeReq(0x1000, 0x5A));
+    eq.run();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].second.type, MsgType::MemWBAck);
+
+    mem.recvMsg(readReq(0x1000));
+    eq.run();
+    ASSERT_EQ(responses.size(), 2u);
+    for (auto byte : responses[1].second.data)
+        EXPECT_EQ(byte, 0x5A);
+}
+
+TEST_F(MemHarness, MaskedWriteTouchesOnlyEnabledBytes)
+{
+    mem.recvMsg(writeReq(0x40, 0xFF, /*only_byte=*/7));
+    eq.run();
+    mem.recvMsg(readReq(0x40));
+    eq.run();
+    const auto &data = responses[1].second.data;
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(data[i], i == 7 ? 0xFF : 0x00) << "byte " << i;
+}
+
+TEST_F(MemHarness, LatencyApplied)
+{
+    mem.recvMsg(readReq(0));
+    eq.run();
+    EXPECT_EQ(responses[0].first, 10u);
+}
+
+TEST_F(MemHarness, DistinctLinesIndependent)
+{
+    mem.recvMsg(writeReq(0x0, 0x11));
+    mem.recvMsg(writeReq(0x40, 0x22));
+    eq.run();
+    mem.recvMsg(readReq(0x0));
+    mem.recvMsg(readReq(0x40));
+    eq.run();
+    EXPECT_EQ(responses[2].second.data[0], 0x11);
+    EXPECT_EQ(responses[3].second.data[0], 0x22);
+}
+
+TEST_F(MemHarness, PeekAndPoke)
+{
+    mem.pokeBytes(0x43, {1, 2, 3});
+    auto line = mem.peekLine(0x40);
+    EXPECT_EQ(line[3], 1);
+    EXPECT_EQ(line[4], 2);
+    EXPECT_EQ(line[5], 3);
+}
+
+TEST_F(MemHarness, PokeSpansLines)
+{
+    mem.pokeBytes(0x7E, {0xAA, 0xBB, 0xCC, 0xDD});
+    EXPECT_EQ(mem.peekLine(0x40)[62], 0xAA);
+    EXPECT_EQ(mem.peekLine(0x40)[63], 0xBB);
+    EXPECT_EQ(mem.peekLine(0x80)[0], 0xCC);
+    EXPECT_EQ(mem.peekLine(0x80)[1], 0xDD);
+}
+
+TEST_F(MemHarness, PeekUntouchedLineIsZero)
+{
+    auto line = mem.peekLine(0xdead00);
+    for (auto byte : line)
+        EXPECT_EQ(byte, 0);
+}
+
+TEST_F(MemHarness, StatsCountAccesses)
+{
+    mem.recvMsg(readReq(0));
+    mem.recvMsg(writeReq(0x40, 1));
+    mem.recvMsg(writeReq(0x80, 2));
+    eq.run();
+    EXPECT_EQ(mem.stats().value("reads"), 1u);
+    EXPECT_EQ(mem.stats().value("writes"), 2u);
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Multi-GPU system tests (Section III.B: "the user can configure a
+ * multi-GPU system with a varying number of caches... as long as the
+ * system under test has a DRF memory model, the tester will work
+ * seamlessly").
+ *
+ * With more than one GPU L2 slice, the directory probe-invalidates
+ * remote L2s on GPU writes and atomics, so the L2 PrbInv transitions —
+ * Impsb in the single-GPU configuration — become reachable by the GPU
+ * tester alone, and the tester's value checks verify the cross-L2
+ * invalidation protocol end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tester/configs.hh"
+#include "tester/gpu_tester.hh"
+
+using namespace drf;
+
+namespace
+{
+
+ApuSystemConfig
+multiGpuSystem(unsigned num_cus, unsigned num_l2s,
+               CacheSizeClass cache_class = CacheSizeClass::Small)
+{
+    ApuSystemConfig cfg = makeGpuSystemConfig(cache_class, num_cus);
+    cfg.numGpuL2s = num_l2s;
+    return cfg;
+}
+
+GpuTesterConfig
+multiTesterConfig(std::uint64_t seed, unsigned episodes = 10)
+{
+    GpuTesterConfig cfg = makeGpuTesterConfig(
+        /*actions=*/50, episodes, /*atomic_locs=*/10, seed);
+    cfg.lanes = 8;
+    cfg.episodeGen.lanes = 8;
+    cfg.variables.numNormalVars = 512;
+    cfg.variables.addrRangeBytes = 1 << 14; // dense: cross-L2 sharing
+    return cfg;
+}
+
+} // namespace
+
+TEST(MultiGpu, SystemBuilderSplitsCus)
+{
+    ApuSystem sys(multiGpuSystem(8, 2));
+    EXPECT_EQ(sys.numGpuL2s(), 2u);
+    EXPECT_EQ(sys.l2ForCu(0), 0u);
+    EXPECT_EQ(sys.l2ForCu(3), 0u);
+    EXPECT_EQ(sys.l2ForCu(4), 1u);
+    EXPECT_EQ(sys.l2ForCu(7), 1u);
+}
+
+class MultiGpuSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MultiGpuSeeds, TesterPassesOnTwoL2System)
+{
+    ApuSystem sys(multiGpuSystem(4, 2));
+    GpuTester tester(sys, multiTesterConfig(GetParam()));
+    TesterResult r = tester.run();
+    EXPECT_TRUE(r.passed) << r.report;
+    EXPECT_GT(r.loadsChecked, 0u);
+}
+
+TEST_P(MultiGpuSeeds, TesterPassesOnFourL2System)
+{
+    ApuSystem sys(multiGpuSystem(8, 4));
+    GpuTester tester(sys, multiTesterConfig(GetParam() + 100));
+    TesterResult r = tester.run();
+    EXPECT_TRUE(r.passed) << r.report;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiGpuSeeds,
+                         ::testing::Values(2, 47, 1001));
+
+TEST(MultiGpu, CrossL2ProbesHappen)
+{
+    ApuSystem sys(multiGpuSystem(4, 2));
+    GpuTester tester(sys, multiTesterConfig(9, /*episodes=*/20));
+    TesterResult r = tester.run();
+    ASSERT_TRUE(r.passed) << r.report;
+
+    // The directory must have probed GPU L2s (remote invalidations).
+    EXPECT_GT(sys.directory().stats().value("gpu_probes"), 0u);
+    EXPECT_GT(sys.directory()
+                  .coverage()
+                  .count(Directory::EvGpuInvAck, Directory::StB),
+              0u);
+
+    // PrbInv transitions at the L2s are now active — the cells that are
+    // Impsb for the single-GPU tester.
+    CoverageGrid l2 = sys.l2CoverageUnion();
+    std::uint64_t prb = 0;
+    for (auto st : {GpuL2Cache::StI, GpuL2Cache::StV, GpuL2Cache::StIV,
+                    GpuL2Cache::StA}) {
+        prb += l2.count(GpuL2Cache::EvPrbInv, st);
+    }
+    EXPECT_GT(prb, 0u);
+}
+
+TEST(MultiGpu, SingleL2NeverSeesProbesFromGpuTraffic)
+{
+    ApuSystem sys(multiGpuSystem(4, 1));
+    GpuTester tester(sys, multiTesterConfig(5, /*episodes=*/10));
+    TesterResult r = tester.run();
+    ASSERT_TRUE(r.passed) << r.report;
+    EXPECT_EQ(sys.directory().stats().value("gpu_probes"), 0u);
+    for (auto st : {GpuL2Cache::StI, GpuL2Cache::StV, GpuL2Cache::StIV,
+                    GpuL2Cache::StA}) {
+        EXPECT_EQ(sys.l2().coverage().count(GpuL2Cache::EvPrbInv, st),
+                  0u);
+    }
+}
+
+TEST(MultiGpu, CrossL2ValuePropagation)
+{
+    // Directed: CU0 (L2 slice 0) writes, CU3 (slice 1) reads after a
+    // fresh acquire. The remote invalidation plus refetch must deliver
+    // the new value.
+    ApuSystem sys(multiGpuSystem(4, 2));
+    std::vector<Packet> responses[4];
+    for (unsigned cu = 0; cu < 4; ++cu) {
+        sys.l1(cu).bindCoreResponse([&responses, cu](Packet pkt) {
+            responses[cu].push_back(std::move(pkt));
+        });
+    }
+
+    auto run_op = [&](unsigned cu, Packet pkt) {
+        sys.l1(cu).coreRequest(std::move(pkt));
+        sys.eventq().run();
+    };
+
+    // Warm both L2 slices with the line.
+    Packet ld;
+    ld.type = MsgType::LoadReq;
+    ld.addr = 0x4000;
+    ld.size = 4;
+    ld.id = 1;
+    run_op(0, ld);
+    ld.id = 2;
+    run_op(3, ld);
+
+    // CU0 stores through slice 0; the directory must invalidate the
+    // copy in slice 1.
+    Packet st;
+    st.type = MsgType::StoreReq;
+    st.addr = 0x4000;
+    st.size = 4;
+    st.data = {0xEF, 0xBE, 0xAD, 0xDE};
+    st.id = 3;
+    run_op(0, st);
+    EXPECT_GT(sys.directory().stats().value("gpu_probes"), 0u);
+
+    // CU3 acquires (flushes its L1) and reloads: it must see the store.
+    Packet ld2;
+    ld2.type = MsgType::LoadReq;
+    ld2.addr = 0x4000;
+    ld2.size = 4;
+    ld2.acquire = true;
+    ld2.id = 4;
+    run_op(3, ld2);
+    ASSERT_FALSE(responses[3].empty());
+    const Packet &resp = responses[3].back();
+    ASSERT_EQ(resp.data.size(), 4u);
+    EXPECT_EQ(resp.data[0], 0xEF);
+    EXPECT_EQ(resp.data[3], 0xDE);
+}
+
+TEST(MultiGpu, AtomicsStayAtomicAcrossL2s)
+{
+    // Concurrent atomics from CUs behind different L2 slices must still
+    // return unique values.
+    ApuSystem sys(multiGpuSystem(4, 2));
+    std::vector<std::uint64_t> results;
+    for (unsigned cu = 0; cu < 4; ++cu) {
+        sys.l1(cu).bindCoreResponse([&results](Packet pkt) {
+            results.push_back(pkt.atomicResult);
+        });
+    }
+    for (unsigned cu = 0; cu < 4; ++cu) {
+        Packet at;
+        at.type = MsgType::AtomicReq;
+        at.addr = 0x5000;
+        at.size = 4;
+        at.atomicOperand = 1;
+        at.id = 10 + cu;
+        sys.l1(cu).coreRequest(std::move(at));
+    }
+    sys.eventq().run();
+    ASSERT_EQ(results.size(), 4u);
+    std::sort(results.begin(), results.end());
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(results[i], i);
+}
+
+TEST(MultiGpu, DetectsInjectedBugAcrossL2s)
+{
+    ApuSystemConfig cfg = multiGpuSystem(4, 2);
+    cfg.fault = FaultKind::LostWriteThrough;
+    cfg.faultTriggerPct = 100;
+    ApuSystem sys(cfg);
+    GpuTester tester(sys, multiTesterConfig(13, /*episodes=*/25));
+    TesterResult r = tester.run();
+    EXPECT_FALSE(r.passed);
+}

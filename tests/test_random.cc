@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the deterministic random source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hh"
+
+using namespace drf;
+
+TEST(Random, SameSeedSameSequence)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.range(0, 1'000'000), b.range(0, 1'000'000));
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 32 && !any_diff; ++i)
+        any_diff = a.below(1u << 30) != b.below(1u << 30);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, RangeInclusiveBounds)
+{
+    Random rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.range(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u); // all of 3,4,5 appear
+}
+
+TEST(Random, RangeDegenerate)
+{
+    Random rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.range(42, 42), 42u);
+}
+
+TEST(Random, BelowBounds)
+{
+    Random rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, PctExtremes)
+{
+    Random rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.pct(0));
+        EXPECT_TRUE(rng.pct(100));
+    }
+}
+
+TEST(Random, PctRoughlyCalibrated)
+{
+    Random rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10'000; ++i)
+        hits += rng.pct(25) ? 1 : 0;
+    EXPECT_GT(hits, 2000);
+    EXPECT_LT(hits, 3000);
+}
+
+TEST(Random, RealInUnitInterval)
+{
+    Random rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, ChoicePicksFromVector)
+{
+    Random rng(19);
+    std::vector<int> v{10, 20, 30};
+    std::set<int> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(rng.choice(v));
+    EXPECT_EQ(seen, (std::set<int>{10, 20, 30}));
+}
+
+TEST(Random, ShuffleIsPermutation)
+{
+    Random rng(21);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Random, ForkIndependent)
+{
+    Random a(23);
+    Random child = a.fork();
+    // The fork must not replay the parent's stream.
+    Random b(23);
+    b.fork();
+    // Parent streams stay in lockstep after forking at the same point.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(a.below(1u << 20), b.below(1u << 20));
+    (void)child;
+}

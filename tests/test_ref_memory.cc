@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the tester's reference memory and atomic-history
+ * checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "proto/fault.hh"
+#include "tester/ref_memory.hh"
+
+using namespace drf;
+
+namespace
+{
+
+struct Fixture
+{
+    Fixture() : rng(3)
+    {
+        VariableMapConfig cfg;
+        cfg.numSyncVars = 4;
+        cfg.numNormalVars = 32;
+        cfg.addrRangeBytes = 1 << 12;
+        vmap = std::make_unique<VariableMap>(cfg, rng);
+        ref = std::make_unique<RefMemory>(*vmap);
+    }
+
+    AccessRecord
+    record(std::uint32_t thread, std::uint64_t episode,
+           std::uint64_t value, Tick cycle = 100)
+    {
+        AccessRecord r;
+        r.threadId = thread;
+        r.threadGroupId = thread / 16;
+        r.episodeId = episode;
+        r.addr = 0x40;
+        r.cycle = cycle;
+        r.value = value;
+        return r;
+    }
+
+    Random rng;
+    std::unique_ptr<VariableMap> vmap;
+    std::unique_ptr<RefMemory> ref;
+};
+
+} // namespace
+
+TEST(RefMemory, InitialValuesZero)
+{
+    Fixture fx;
+    for (VarId v = 0; v < fx.vmap->numVars(); ++v)
+        EXPECT_EQ(fx.ref->value(v), 0u);
+}
+
+TEST(RefMemory, WriteBecomesVisible)
+{
+    Fixture fx;
+    VarId var = fx.vmap->normalVar(0);
+    fx.ref->applyWrite(var, fx.record(1, 10, 1234));
+    EXPECT_EQ(fx.ref->value(var), 1234u);
+    EXPECT_EQ(fx.ref->writesRetired(), 1u);
+}
+
+TEST(RefMemory, LastWriterTracked)
+{
+    Fixture fx;
+    VarId var = fx.vmap->normalVar(1);
+    EXPECT_FALSE(fx.ref->lastWriter(var).has_value());
+    fx.ref->applyWrite(var, fx.record(7, 42, 99, 555));
+    ASSERT_TRUE(fx.ref->lastWriter(var).has_value());
+    EXPECT_EQ(fx.ref->lastWriter(var)->threadId, 7u);
+    EXPECT_EQ(fx.ref->lastWriter(var)->episodeId, 42u);
+    EXPECT_EQ(fx.ref->lastWriter(var)->cycle, 555u);
+}
+
+TEST(RefMemory, SecondWriteOverrides)
+{
+    Fixture fx;
+    VarId var = fx.vmap->normalVar(2);
+    fx.ref->applyWrite(var, fx.record(1, 1, 10));
+    fx.ref->applyWrite(var, fx.record(2, 2, 20));
+    EXPECT_EQ(fx.ref->value(var), 20u);
+    EXPECT_EQ(fx.ref->lastWriter(var)->threadId, 2u);
+}
+
+TEST(RefMemory, LastReaderTracked)
+{
+    Fixture fx;
+    VarId var = fx.vmap->normalVar(3);
+    EXPECT_FALSE(fx.ref->lastReader(var).has_value());
+    fx.ref->noteRead(var, fx.record(9, 5, 0));
+    ASSERT_TRUE(fx.ref->lastReader(var).has_value());
+    EXPECT_EQ(fx.ref->lastReader(var)->threadId, 9u);
+    EXPECT_EQ(fx.ref->readsChecked(), 1u);
+}
+
+TEST(RefMemory, AtomicUniqueReturnsAccepted)
+{
+    Fixture fx;
+    VarId sync = fx.vmap->syncVar(0);
+    for (std::uint64_t v = 0; v < 50; ++v)
+        EXPECT_FALSE(fx.ref->noteAtomicReturn(sync,
+                                              fx.record(1, v, v))
+                         .has_value());
+    EXPECT_EQ(fx.ref->atomicCount(sync), 50u);
+}
+
+TEST(RefMemory, AtomicDuplicateDetected)
+{
+    Fixture fx;
+    VarId sync = fx.vmap->syncVar(1);
+    EXPECT_FALSE(fx.ref->noteAtomicReturn(sync, fx.record(1, 1, 7))
+                     .has_value());
+    auto violation = fx.ref->noteAtomicReturn(sync, fx.record(2, 2, 7));
+    ASSERT_TRUE(violation.has_value());
+    EXPECT_EQ(violation->first.threadId, 1u);
+    EXPECT_EQ(violation->second.threadId, 2u);
+    EXPECT_EQ(violation->first.value, 7u);
+}
+
+TEST(RefMemory, AtomicHistoriesPerVariable)
+{
+    Fixture fx;
+    // The same return value on different sync variables is legal.
+    EXPECT_FALSE(fx.ref->noteAtomicReturn(fx.vmap->syncVar(0),
+                                          fx.record(1, 1, 5))
+                     .has_value());
+    EXPECT_FALSE(fx.ref->noteAtomicReturn(fx.vmap->syncVar(1),
+                                          fx.record(1, 2, 5))
+                     .has_value());
+}
+
+TEST(AccessRecord, DescribeContainsFields)
+{
+    AccessRecord r;
+    r.threadId = 35;
+    r.threadGroupId = 4;
+    r.episodeId = 727;
+    r.addr = 0x52860;
+    r.cycle = 16905;
+    r.value = 16;
+    std::string s = r.describe();
+    EXPECT_NE(s.find("thread=35"), std::string::npos);
+    EXPECT_NE(s.find("group=4"), std::string::npos);
+    EXPECT_NE(s.find("episode=727"), std::string::npos);
+    EXPECT_NE(s.find("52860"), std::string::npos);
+    EXPECT_NE(s.find("cycle=16905"), std::string::npos);
+    EXPECT_NE(s.find("value=16"), std::string::npos);
+}
+
+TEST(FaultInjector, OnlyArmedKindFires)
+{
+    FaultInjector fault(FaultKind::LostWriteThrough, 100, 1);
+    EXPECT_TRUE(fault.fire(FaultKind::LostWriteThrough));
+    EXPECT_FALSE(fault.fire(FaultKind::NonAtomicRmw));
+    EXPECT_EQ(fault.firings(), 1u);
+}
+
+TEST(FaultInjector, ZeroPctNeverFires)
+{
+    FaultInjector fault(FaultKind::NonAtomicRmw, 0, 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(fault.fire(FaultKind::NonAtomicRmw));
+    EXPECT_EQ(fault.firings(), 0u);
+}
+
+TEST(FaultInjector, ProbabilityRoughlyHonored)
+{
+    FaultInjector fault(FaultKind::DropWriteAck, 30, 7);
+    int fired = 0;
+    for (int i = 0; i < 10'000; ++i)
+        fired += fault.fire(FaultKind::DropWriteAck) ? 1 : 0;
+    EXPECT_GT(fired, 2500);
+    EXPECT_LT(fired, 3500);
+    EXPECT_EQ(fault.firings(), static_cast<std::uint64_t>(fired));
+}
+
+TEST(FaultInjector, NamesStable)
+{
+    EXPECT_STREQ(faultKindName(FaultKind::None), "None");
+    EXPECT_STREQ(faultKindName(FaultKind::LostWriteThrough),
+                 "LostWriteThrough");
+    EXPECT_STREQ(faultKindName(FaultKind::NonAtomicRmw), "NonAtomicRmw");
+    EXPECT_STREQ(faultKindName(FaultKind::DropAcquireInvalidate),
+                 "DropAcquireInvalidate");
+    EXPECT_STREQ(faultKindName(FaultKind::DropGpuProbe), "DropGpuProbe");
+    EXPECT_STREQ(faultKindName(FaultKind::DropWriteAck), "DropWriteAck");
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Soak and contrast tests.
+ *
+ * 1. Randomized configuration soak: the GPU tester must pass on the
+ *    correct protocol for arbitrary combinations of system size, cache
+ *    class, wavefront shape, and variable density.
+ * 2. The inadequacy of application-based testing (Section I): an
+ *    application run on a *buggy* protocol completes without noticing —
+ *    the synthetic apps perform no value checking, just like running a
+ *    real workload and hoping the failure is visible in its output —
+ *    while the tester detects the same bug immediately.
+ * 3. Degenerate tester configurations remain well-defined.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "apps/app_runner.hh"
+#include "apps/app_suite.hh"
+#include "tester/configs.hh"
+#include "tester/gpu_tester.hh"
+
+using namespace drf;
+
+namespace
+{
+
+struct SoakParams
+{
+    std::uint64_t seed;
+    unsigned numCus;
+    unsigned numL2s;
+    CacheSizeClass cacheClass;
+    unsigned lanes;
+    unsigned wfsPerCu;
+    std::uint32_t normalVars;
+    std::uint64_t addrRange;
+};
+
+} // namespace
+
+class GpuTesterSoak : public ::testing::TestWithParam<SoakParams>
+{
+};
+
+TEST_P(GpuTesterSoak, PassesOnCorrectProtocol)
+{
+    const SoakParams &p = GetParam();
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(p.cacheClass, p.numCus);
+    sys_cfg.numGpuL2s = p.numL2s;
+    ApuSystem sys(sys_cfg);
+
+    GpuTesterConfig cfg = makeGpuTesterConfig(
+        /*actions=*/40, /*episodes=*/6, /*atomic_locs=*/10, p.seed);
+    cfg.lanes = p.lanes;
+    cfg.episodeGen.lanes = p.lanes;
+    cfg.wfsPerCu = p.wfsPerCu;
+    cfg.variables.numNormalVars = p.normalVars;
+    cfg.variables.addrRangeBytes = p.addrRange;
+
+    GpuTester tester(sys, cfg);
+    TesterResult r = tester.run();
+    EXPECT_TRUE(r.passed) << r.report;
+    EXPECT_EQ(r.episodes,
+              std::uint64_t(p.numCus) * p.wfsPerCu * 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GpuTesterSoak,
+    ::testing::Values(
+        SoakParams{1, 1, 1, CacheSizeClass::Small, 4, 1, 128, 1 << 12},
+        SoakParams{2, 2, 1, CacheSizeClass::Small, 8, 2, 512, 1 << 14},
+        SoakParams{3, 4, 2, CacheSizeClass::Small, 8, 2, 512, 1 << 14},
+        SoakParams{4, 8, 1, CacheSizeClass::Large, 16, 1, 2048, 1 << 18},
+        SoakParams{5, 8, 4, CacheSizeClass::Mixed, 8, 2, 1024, 1 << 15},
+        SoakParams{6, 3, 3, CacheSizeClass::Small, 4, 3, 256, 1 << 13},
+        SoakParams{7, 6, 2, CacheSizeClass::Mixed, 8, 1, 512, 1 << 13},
+        SoakParams{8, 8, 2, CacheSizeClass::Large, 8, 2, 4096, 1 << 20}));
+
+TEST(AppVsTester, ApplicationsRunObliviouslyOverABug)
+{
+    // The same LostWriteThrough bug: an application completes happily
+    // (silently computing garbage), while the tester fails loudly.
+    ApuSystemConfig app_cfg;
+    app_cfg.numCus = 2;
+    app_cfg.numCpuCaches = 1;
+    app_cfg.fault = FaultKind::LostWriteThrough;
+    app_cfg.faultTriggerPct = 100;
+    ApuSystem app_sys(app_cfg);
+
+    AppProfile profile = appByName("Histogram");
+    profile.wfsPerCu = 1;
+    profile.memInstrsPerWf = 60;
+    AppTrace trace = generateAppTrace(profile, 2, 0x10'0000, 64);
+    AppRunner runner(app_sys, std::move(trace));
+    AppResult app_result = runner.run();
+    EXPECT_TRUE(app_result.completed)
+        << "the app finishes as if nothing were wrong";
+    ASSERT_NE(app_sys.fault(), nullptr);
+    EXPECT_GT(app_sys.fault()->firings(), 0u)
+        << "the bug must actually have corrupted data during the run";
+
+    // Tester on the identical system configuration.
+    ApuSystemConfig tester_cfg = app_cfg;
+    ApuSystem tester_sys(tester_cfg);
+    GpuTesterConfig cfg = makeGpuTesterConfig(50, 30, 10, /*seed=*/4);
+    cfg.lanes = 8;
+    cfg.episodeGen.lanes = 8;
+    cfg.variables.numNormalVars = 512;
+    cfg.variables.addrRangeBytes = 1 << 14;
+    GpuTester tester(tester_sys, cfg);
+    TesterResult tester_result = tester.run();
+    EXPECT_FALSE(tester_result.passed)
+        << "the tester must catch what the application ignored";
+}
+
+TEST(TesterEdgeCases, ZeroActionEpisodesAreJustSynchronization)
+{
+    // Episodes degenerate to acquire+release pairs; atomic-uniqueness
+    // checking still runs.
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(CacheSizeClass::Small,
+                                                  2);
+    ApuSystem sys(sys_cfg);
+    GpuTesterConfig cfg = makeGpuTesterConfig(/*actions=*/1,
+                                              /*episodes=*/8,
+                                              /*atomic_locs=*/2,
+                                              /*seed=*/5);
+    cfg.lanes = 4;
+    cfg.episodeGen.lanes = 4;
+    cfg.episodeGen.actionsPerEpisode = 0;
+    GpuTester tester(sys, cfg);
+    TesterResult r = tester.run();
+    EXPECT_TRUE(r.passed) << r.report;
+    EXPECT_EQ(r.loadsChecked, 0u);
+    EXPECT_GT(r.atomicsChecked, 0u);
+}
+
+TEST(TesterEdgeCases, SingleSyncVariableSerializesHeavily)
+{
+    // One atomic location shared by every wavefront: maximal atomic
+    // contention, still race-free and checkable.
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(CacheSizeClass::Small,
+                                                  4);
+    ApuSystem sys(sys_cfg);
+    GpuTesterConfig cfg = makeGpuTesterConfig(20, 10, /*atomic_locs=*/1,
+                                              /*seed=*/6);
+    cfg.lanes = 8;
+    cfg.episodeGen.lanes = 8;
+    cfg.variables.numNormalVars = 256;
+    cfg.variables.addrRangeBytes = 1 << 13;
+    GpuTester tester(sys, cfg);
+    TesterResult r = tester.run();
+    EXPECT_TRUE(r.passed) << r.report;
+    // Every acquire+release lands on the same variable.
+    EXPECT_EQ(tester.refMemory().atomicCount(0), r.atomicsChecked);
+}
+
+TEST(TesterEdgeCases, AllStoresEpisodes)
+{
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(CacheSizeClass::Small,
+                                                  2);
+    ApuSystem sys(sys_cfg);
+    GpuTesterConfig cfg = makeGpuTesterConfig(30, 6, 10, /*seed=*/7);
+    cfg.lanes = 4;
+    cfg.episodeGen.lanes = 4;
+    cfg.episodeGen.storePct = 100;
+    cfg.variables.numNormalVars = 2048;
+    GpuTester tester(sys, cfg);
+    TesterResult r = tester.run();
+    EXPECT_TRUE(r.passed) << r.report;
+    EXPECT_EQ(r.loadsChecked, 0u);
+    EXPECT_GT(r.storesRetired, 0u);
+}
+
+TEST(TesterEdgeCases, AllLoadsEpisodes)
+{
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(CacheSizeClass::Small,
+                                                  2);
+    ApuSystem sys(sys_cfg);
+    GpuTesterConfig cfg = makeGpuTesterConfig(30, 6, 10, /*seed=*/8);
+    cfg.lanes = 4;
+    cfg.episodeGen.lanes = 4;
+    cfg.episodeGen.storePct = 0;
+    GpuTester tester(sys, cfg);
+    TesterResult r = tester.run();
+    EXPECT_TRUE(r.passed) << r.report;
+    EXPECT_EQ(r.storesRetired, 0u);
+    // All loads must have seen the initial zeroes.
+    EXPECT_GT(r.loadsChecked, 0u);
+}
+
+TEST(TesterEdgeCases, WatchdogThresholdConfigurable)
+{
+    // A tiny threshold plus an armed ack-dropping bug: the watchdog
+    // fires at roughly threshold + check interval, not at the default
+    // one million cycles.
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(CacheSizeClass::Small,
+                                                  2);
+    sys_cfg.fault = FaultKind::DropWriteAck;
+    sys_cfg.faultTriggerPct = 100;
+    ApuSystem sys(sys_cfg);
+    GpuTesterConfig cfg = makeGpuTesterConfig(20, 10, 10, /*seed=*/9);
+    cfg.lanes = 4;
+    cfg.episodeGen.lanes = 4;
+    cfg.deadlockThreshold = 5'000;
+    cfg.checkInterval = 1'000;
+    GpuTester tester(sys, cfg);
+    TesterResult r = tester.run();
+    ASSERT_FALSE(r.passed);
+    EXPECT_NE(r.report.find("deadlock"), std::string::npos);
+    EXPECT_LT(r.ticks, 50'000u);
+}

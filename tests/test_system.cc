@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the system builder and the heterogeneous (GPU tester + CPU
+ * tester) union-coverage flow of Section IV.C.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tester/configs.hh"
+#include "tester/cpu_tester.hh"
+#include "tester/gpu_tester.hh"
+
+using namespace drf;
+
+TEST(ApuSystem, BuildsGpuOnly)
+{
+    ApuSystemConfig cfg = makeGpuSystemConfig(CacheSizeClass::Small, 8);
+    ApuSystem sys(cfg);
+    EXPECT_EQ(sys.numCus(), 8u);
+    EXPECT_EQ(sys.numCpuCaches(), 0u);
+    EXPECT_TRUE(sys.hasGpu());
+    EXPECT_EQ(sys.fault(), nullptr);
+}
+
+TEST(ApuSystem, BuildsCpuOnly)
+{
+    ApuSystemConfig cfg;
+    cfg.numCus = 0;
+    cfg.numCpuCaches = 4;
+    ApuSystem sys(cfg);
+    EXPECT_FALSE(sys.hasGpu());
+    EXPECT_EQ(sys.numCpuCaches(), 4u);
+}
+
+TEST(ApuSystem, BuildsFullApu)
+{
+    ApuSystemConfig cfg;
+    cfg.numCus = 4;
+    cfg.numCpuCaches = 2;
+    ApuSystem sys(cfg);
+    EXPECT_TRUE(sys.hasGpu());
+    EXPECT_EQ(sys.numCpuCaches(), 2u);
+}
+
+TEST(ApuSystem, FaultInjectorArmedWhenConfigured)
+{
+    ApuSystemConfig cfg = makeGpuSystemConfig(CacheSizeClass::Small, 1);
+    cfg.fault = FaultKind::LostWriteThrough;
+    ApuSystem sys(cfg);
+    ASSERT_NE(sys.fault(), nullptr);
+    EXPECT_EQ(sys.fault()->kind(), FaultKind::LostWriteThrough);
+}
+
+TEST(ApuSystem, CacheGeometryFollowsConfig)
+{
+    ApuSystemConfig cfg = makeGpuSystemConfig(CacheSizeClass::Small, 2);
+    ApuSystem sys(cfg);
+    EXPECT_EQ(sys.l1(0).array().capacity(), 256u);
+    EXPECT_EQ(sys.l2().array().capacity(), 1024u);
+
+    ApuSystemConfig large = makeGpuSystemConfig(CacheSizeClass::Large, 2);
+    ApuSystem sys2(large);
+    EXPECT_EQ(sys2.l1(0).array().capacity(), 256u * 1024u);
+    EXPECT_EQ(sys2.l2().array().capacity(), 1024u * 1024u);
+}
+
+TEST(ApuSystem, L1CoverageUnionMergesAllCus)
+{
+    ApuSystemConfig cfg = makeGpuSystemConfig(CacheSizeClass::Small, 2);
+    ApuSystem sys(cfg);
+    sys.l1(0).coverage().hit(GpuL1Cache::EvLoad, GpuL1Cache::StI);
+    sys.l1(1).coverage().hit(GpuL1Cache::EvLoad, GpuL1Cache::StV);
+    CoverageGrid grid = sys.l1CoverageUnion();
+    EXPECT_EQ(grid.count(GpuL1Cache::EvLoad, GpuL1Cache::StI), 1u);
+    EXPECT_EQ(grid.count(GpuL1Cache::EvLoad, GpuL1Cache::StV), 1u);
+}
+
+TEST(HeteroUnion, TestersComplementEachOtherOnDirectory)
+{
+    // Run the GPU tester on a GPU system and the CPU tester on a CPU
+    // system (serially, as in the paper), then union the directory
+    // coverage: the union must strictly dominate each individual run.
+    ApuSystemConfig gpu_cfg =
+        makeGpuSystemConfig(CacheSizeClass::Small, 4);
+    ApuSystem gpu_sys(gpu_cfg);
+    GpuTesterConfig gt_cfg =
+        makeGpuTesterConfig(30, 6, 10, /*seed=*/2);
+    gt_cfg.lanes = 8;
+    gt_cfg.episodeGen.lanes = 8;
+    GpuTester gpu_tester(gpu_sys, gt_cfg);
+    TesterResult gr = gpu_tester.run();
+    ASSERT_TRUE(gr.passed) << gr.report;
+
+    ApuSystemConfig cpu_cfg;
+    cpu_cfg.numCus = 0;
+    cpu_cfg.numCpuCaches = 4;
+    cpu_cfg.cpu.sizeBytes = 512;
+    cpu_cfg.cpu.assoc = 2;
+    ApuSystem cpu_sys(cpu_cfg);
+    CpuTesterConfig ct_cfg;
+    ct_cfg.targetLoads = 4000;
+    ct_cfg.addrRangeBytes = 512;
+    ct_cfg.seed = 3;
+    CpuTester cpu_tester(cpu_sys, ct_cfg);
+    TesterResult cr = cpu_tester.run();
+    ASSERT_TRUE(cr.passed) << cr.report;
+
+    CoverageGrid uni(Directory::spec());
+    uni.merge(gpu_sys.directory().coverage());
+    uni.merge(cpu_sys.directory().coverage());
+
+    std::size_t gpu_active =
+        gpu_sys.directory().coverage().activeCount("");
+    std::size_t cpu_active =
+        cpu_sys.directory().coverage().activeCount("");
+    std::size_t union_active = uni.activeCount("");
+
+    EXPECT_GT(union_active, gpu_active);
+    EXPECT_GT(union_active, cpu_active);
+    // The two testers stress disjoint requestor classes.
+    EXPECT_GT(gpu_sys.directory().coverage().count(
+                  Directory::EvGpuFetch, Directory::StU),
+              0u);
+    EXPECT_GT(cpu_sys.directory().coverage().count(
+                  Directory::EvCpuGets, Directory::StU),
+              0u);
+    // Neither generates DMA traffic (Section IV.C: apps-only).
+    for (auto st : {Directory::StU, Directory::StCS, Directory::StCM,
+                    Directory::StB}) {
+        EXPECT_EQ(uni.count(Directory::EvDmaRead, st), 0u);
+        EXPECT_EQ(uni.count(Directory::EvDmaWrite, st), 0u);
+    }
+}
+
+TEST(HeteroUnion, ConcurrentTestersOnOneSystemPass)
+{
+    // Both testers share one APU and run concurrently over disjoint
+    // address ranges — the integrated CPU-GPU protocol check.
+    ApuSystemConfig cfg = makeGpuSystemConfig(CacheSizeClass::Small, 2);
+    cfg.numCpuCaches = 2;
+    cfg.cpu.sizeBytes = 512;
+    cfg.cpu.assoc = 2;
+    ApuSystem sys(cfg);
+
+    GpuTesterConfig gt_cfg = makeGpuTesterConfig(20, 4, 10, 5);
+    gt_cfg.lanes = 4;
+    gt_cfg.episodeGen.lanes = 4;
+    gt_cfg.variables.numNormalVars = 512;
+    gt_cfg.variables.addrRangeBytes = 1 << 14; // GPU: [0, 16K)
+
+    CpuTesterConfig ct_cfg;
+    ct_cfg.targetLoads = 1500;
+    ct_cfg.addrBase = 1 << 20; // CPU: [1M, 1M+512)
+    ct_cfg.addrRangeBytes = 512;
+    ct_cfg.seed = 6;
+
+    GpuTester gpu_tester(sys, gt_cfg);
+    CpuTester cpu_tester(sys, ct_cfg);
+
+    // Both testers share one event queue and one directory. They run
+    // back to back ("even when the GPU and CPU testers are run in
+    // serial", Section VII) — the directory keeps its state across the
+    // two runs, so the second run executes against a directory already
+    // populated by the first.
+    TesterResult cr = cpu_tester.run();
+    ASSERT_TRUE(cr.passed) << cr.report;
+    TesterResult gr = gpu_tester.run();
+    ASSERT_TRUE(gr.passed) << gr.report;
+
+    // The shared directory saw both requestor classes.
+    const auto &dir = sys.directory().coverage();
+    EXPECT_GT(dir.count(Directory::EvGpuFetch, Directory::StU), 0u);
+    EXPECT_GT(dir.count(Directory::EvCpuGets, Directory::StU), 0u);
+}

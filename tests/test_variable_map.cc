@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the random variable-to-address mapping (Fig. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tester/variable_map.hh"
+
+using namespace drf;
+
+namespace
+{
+
+VariableMap
+makeMap(std::uint32_t sync, std::uint32_t normal, std::uint64_t range,
+        std::uint64_t seed = 1)
+{
+    VariableMapConfig cfg;
+    cfg.numSyncVars = sync;
+    cfg.numNormalVars = normal;
+    cfg.addrRangeBytes = range;
+    Random rng(seed);
+    return VariableMap(cfg, rng);
+}
+
+} // namespace
+
+TEST(VariableMap, Counts)
+{
+    VariableMap vmap = makeMap(10, 100, 1 << 16);
+    EXPECT_EQ(vmap.numSyncVars(), 10u);
+    EXPECT_EQ(vmap.numNormalVars(), 100u);
+    EXPECT_EQ(vmap.numVars(), 110u);
+}
+
+TEST(VariableMap, SyncNormalSplit)
+{
+    VariableMap vmap = makeMap(10, 100, 1 << 16);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        EXPECT_TRUE(vmap.isSync(vmap.syncVar(i)));
+    for (std::uint32_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(vmap.isSync(vmap.normalVar(i)));
+}
+
+TEST(VariableMap, AddressesDistinctAlignedInRange)
+{
+    VariableMap vmap = makeMap(16, 512, 1 << 16);
+    std::set<Addr> seen;
+    for (VarId v = 0; v < vmap.numVars(); ++v) {
+        Addr addr = vmap.addrOf(v);
+        EXPECT_LT(addr, (1u << 16));
+        EXPECT_EQ(addr % vmap.varBytes(), 0u);
+        EXPECT_TRUE(seen.insert(addr).second) << "duplicate address";
+    }
+}
+
+TEST(VariableMap, DeterministicUnderSeed)
+{
+    VariableMap a = makeMap(8, 64, 1 << 14, 99);
+    VariableMap b = makeMap(8, 64, 1 << 14, 99);
+    for (VarId v = 0; v < a.numVars(); ++v)
+        EXPECT_EQ(a.addrOf(v), b.addrOf(v));
+}
+
+TEST(VariableMap, DifferentSeedsProduceDifferentMaps)
+{
+    VariableMap a = makeMap(8, 64, 1 << 14, 1);
+    VariableMap b = makeMap(8, 64, 1 << 14, 2);
+    bool any_diff = false;
+    for (VarId v = 0; v < a.numVars() && !any_diff; ++v)
+        any_diff = a.addrOf(v) != b.addrOf(v);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(VariableMap, VarsInLineFindsCoLocated)
+{
+    VariableMap vmap = makeMap(8, 256, 1 << 12); // dense => sharing
+    for (VarId v = 0; v < vmap.numVars(); ++v) {
+        auto in_line = vmap.varsInLine(vmap.lineOf(v));
+        EXPECT_NE(std::find(in_line.begin(), in_line.end(), v),
+                  in_line.end());
+    }
+}
+
+TEST(VariableMap, DenseMappingCreatesFalseSharing)
+{
+    // 264 variables over 4 KB = 64 lines: sharing is guaranteed.
+    VariableMap vmap = makeMap(8, 256, 1 << 12);
+    EXPECT_GT(vmap.falseSharingFraction(), 0.9);
+}
+
+TEST(VariableMap, SparseMappingSharesLess)
+{
+    VariableMap sparse = makeMap(2, 30, 1 << 20);
+    VariableMap dense = makeMap(2, 30, 1 << 9);
+    EXPECT_LE(sparse.falseSharingFraction(),
+              dense.falseSharingFraction());
+}
+
+TEST(VariableMap, LineOfConsistentWithAddr)
+{
+    VariableMap vmap = makeMap(4, 32, 1 << 12);
+    for (VarId v = 0; v < vmap.numVars(); ++v)
+        EXPECT_EQ(vmap.lineOf(v), lineAlign(vmap.addrOf(v), 64));
+}
+
+TEST(VariableMap, ExactCapacityFits)
+{
+    // Range exactly equal to vars * varBytes must still terminate.
+    VariableMap vmap = makeMap(2, 14, 64);
+    std::set<Addr> seen;
+    for (VarId v = 0; v < vmap.numVars(); ++v)
+        EXPECT_TRUE(seen.insert(vmap.addrOf(v)).second);
+    EXPECT_EQ(seen.size(), 16u);
+}
