@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_falsesharing.dir/ablation_falsesharing.cc.o"
+  "CMakeFiles/ablation_falsesharing.dir/ablation_falsesharing.cc.o.d"
+  "ablation_falsesharing"
+  "ablation_falsesharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_falsesharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_falsesharing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_directory.dir/fig10_directory.cc.o"
+  "CMakeFiles/fig10_directory.dir/fig10_directory.cc.o.d"
+  "fig10_directory"
+  "fig10_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

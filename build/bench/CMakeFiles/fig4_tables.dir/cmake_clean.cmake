@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tables.dir/fig4_tables.cc.o"
+  "CMakeFiles/fig4_tables.dir/fig4_tables.cc.o.d"
+  "fig4_tables"
+  "fig4_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_heatmaps.cc" "bench/CMakeFiles/fig5_heatmaps.dir/fig5_heatmaps.cc.o" "gcc" "bench/CMakeFiles/fig5_heatmaps.dir/fig5_heatmaps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tester/CMakeFiles/drf_tester.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/drf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/drf_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/drf_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/drf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/drf_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_heatmaps.dir/fig5_heatmaps.cc.o"
+  "CMakeFiles/fig5_heatmaps.dir/fig5_heatmaps.cc.o.d"
+  "fig5_heatmaps"
+  "fig5_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_coverage_maps.dir/fig7_coverage_maps.cc.o"
+  "CMakeFiles/fig7_coverage_maps.dir/fig7_coverage_maps.cc.o.d"
+  "fig7_coverage_maps"
+  "fig7_coverage_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_coverage_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

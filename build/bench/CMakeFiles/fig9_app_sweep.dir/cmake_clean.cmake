@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_app_sweep.dir/fig9_app_sweep.cc.o"
+  "CMakeFiles/fig9_app_sweep.dir/fig9_app_sweep.cc.o.d"
+  "fig9_app_sweep"
+  "fig9_app_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_app_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

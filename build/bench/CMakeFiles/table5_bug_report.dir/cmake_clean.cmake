@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_bug_report.dir/table5_bug_report.cc.o"
+  "CMakeFiles/table5_bug_report.dir/table5_bug_report.cc.o.d"
+  "table5_bug_report"
+  "table5_bug_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_bug_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

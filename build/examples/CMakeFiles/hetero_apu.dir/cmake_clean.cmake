@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_apu.dir/hetero_apu.cpp.o"
+  "CMakeFiles/hetero_apu.dir/hetero_apu.cpp.o.d"
+  "hetero_apu"
+  "hetero_apu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

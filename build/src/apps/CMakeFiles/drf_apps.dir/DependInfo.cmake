@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_runner.cc" "src/apps/CMakeFiles/drf_apps.dir/app_runner.cc.o" "gcc" "src/apps/CMakeFiles/drf_apps.dir/app_runner.cc.o.d"
+  "/root/repo/src/apps/app_suite.cc" "src/apps/CMakeFiles/drf_apps.dir/app_suite.cc.o" "gcc" "src/apps/CMakeFiles/drf_apps.dir/app_suite.cc.o.d"
+  "/root/repo/src/apps/app_trace.cc" "src/apps/CMakeFiles/drf_apps.dir/app_trace.cc.o" "gcc" "src/apps/CMakeFiles/drf_apps.dir/app_trace.cc.o.d"
+  "/root/repo/src/apps/dma.cc" "src/apps/CMakeFiles/drf_apps.dir/dma.cc.o" "gcc" "src/apps/CMakeFiles/drf_apps.dir/dma.cc.o.d"
+  "/root/repo/src/apps/gpu_core.cc" "src/apps/CMakeFiles/drf_apps.dir/gpu_core.cc.o" "gcc" "src/apps/CMakeFiles/drf_apps.dir/gpu_core.cc.o.d"
+  "/root/repo/src/apps/locality.cc" "src/apps/CMakeFiles/drf_apps.dir/locality.cc.o" "gcc" "src/apps/CMakeFiles/drf_apps.dir/locality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/drf_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/drf_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/drf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/drf_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drf_apps.dir/app_runner.cc.o"
+  "CMakeFiles/drf_apps.dir/app_runner.cc.o.d"
+  "CMakeFiles/drf_apps.dir/app_suite.cc.o"
+  "CMakeFiles/drf_apps.dir/app_suite.cc.o.d"
+  "CMakeFiles/drf_apps.dir/app_trace.cc.o"
+  "CMakeFiles/drf_apps.dir/app_trace.cc.o.d"
+  "CMakeFiles/drf_apps.dir/dma.cc.o"
+  "CMakeFiles/drf_apps.dir/dma.cc.o.d"
+  "CMakeFiles/drf_apps.dir/gpu_core.cc.o"
+  "CMakeFiles/drf_apps.dir/gpu_core.cc.o.d"
+  "CMakeFiles/drf_apps.dir/locality.cc.o"
+  "CMakeFiles/drf_apps.dir/locality.cc.o.d"
+  "libdrf_apps.a"
+  "libdrf_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drf_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drf_coverage.dir/coverage.cc.o"
+  "CMakeFiles/drf_coverage.dir/coverage.cc.o.d"
+  "libdrf_coverage.a"
+  "libdrf_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drf_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_array.cc" "src/mem/CMakeFiles/drf_mem.dir/cache_array.cc.o" "gcc" "src/mem/CMakeFiles/drf_mem.dir/cache_array.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/mem/CMakeFiles/drf_mem.dir/memory.cc.o" "gcc" "src/mem/CMakeFiles/drf_mem.dir/memory.cc.o.d"
+  "/root/repo/src/mem/msg.cc" "src/mem/CMakeFiles/drf_mem.dir/msg.cc.o" "gcc" "src/mem/CMakeFiles/drf_mem.dir/msg.cc.o.d"
+  "/root/repo/src/mem/network.cc" "src/mem/CMakeFiles/drf_mem.dir/network.cc.o" "gcc" "src/mem/CMakeFiles/drf_mem.dir/network.cc.o.d"
+  "/root/repo/src/mem/port.cc" "src/mem/CMakeFiles/drf_mem.dir/port.cc.o" "gcc" "src/mem/CMakeFiles/drf_mem.dir/port.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/drf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

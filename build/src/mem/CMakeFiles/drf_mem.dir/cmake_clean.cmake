@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drf_mem.dir/cache_array.cc.o"
+  "CMakeFiles/drf_mem.dir/cache_array.cc.o.d"
+  "CMakeFiles/drf_mem.dir/memory.cc.o"
+  "CMakeFiles/drf_mem.dir/memory.cc.o.d"
+  "CMakeFiles/drf_mem.dir/msg.cc.o"
+  "CMakeFiles/drf_mem.dir/msg.cc.o.d"
+  "CMakeFiles/drf_mem.dir/network.cc.o"
+  "CMakeFiles/drf_mem.dir/network.cc.o.d"
+  "CMakeFiles/drf_mem.dir/port.cc.o"
+  "CMakeFiles/drf_mem.dir/port.cc.o.d"
+  "libdrf_mem.a"
+  "libdrf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/cpu_cache.cc" "src/proto/CMakeFiles/drf_proto.dir/cpu_cache.cc.o" "gcc" "src/proto/CMakeFiles/drf_proto.dir/cpu_cache.cc.o.d"
+  "/root/repo/src/proto/directory.cc" "src/proto/CMakeFiles/drf_proto.dir/directory.cc.o" "gcc" "src/proto/CMakeFiles/drf_proto.dir/directory.cc.o.d"
+  "/root/repo/src/proto/fault.cc" "src/proto/CMakeFiles/drf_proto.dir/fault.cc.o" "gcc" "src/proto/CMakeFiles/drf_proto.dir/fault.cc.o.d"
+  "/root/repo/src/proto/gpu_l1.cc" "src/proto/CMakeFiles/drf_proto.dir/gpu_l1.cc.o" "gcc" "src/proto/CMakeFiles/drf_proto.dir/gpu_l1.cc.o.d"
+  "/root/repo/src/proto/gpu_l2.cc" "src/proto/CMakeFiles/drf_proto.dir/gpu_l2.cc.o" "gcc" "src/proto/CMakeFiles/drf_proto.dir/gpu_l2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/drf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/drf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/drf_coverage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

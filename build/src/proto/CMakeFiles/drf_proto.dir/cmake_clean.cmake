@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drf_proto.dir/cpu_cache.cc.o"
+  "CMakeFiles/drf_proto.dir/cpu_cache.cc.o.d"
+  "CMakeFiles/drf_proto.dir/directory.cc.o"
+  "CMakeFiles/drf_proto.dir/directory.cc.o.d"
+  "CMakeFiles/drf_proto.dir/fault.cc.o"
+  "CMakeFiles/drf_proto.dir/fault.cc.o.d"
+  "CMakeFiles/drf_proto.dir/gpu_l1.cc.o"
+  "CMakeFiles/drf_proto.dir/gpu_l1.cc.o.d"
+  "CMakeFiles/drf_proto.dir/gpu_l2.cc.o"
+  "CMakeFiles/drf_proto.dir/gpu_l2.cc.o.d"
+  "libdrf_proto.a"
+  "libdrf_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drf_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drf_sim.dir/event_queue.cc.o"
+  "CMakeFiles/drf_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/drf_sim.dir/logger.cc.o"
+  "CMakeFiles/drf_sim.dir/logger.cc.o.d"
+  "libdrf_sim.a"
+  "libdrf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

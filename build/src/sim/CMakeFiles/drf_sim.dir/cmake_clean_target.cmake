@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrf_sim.a"
+)

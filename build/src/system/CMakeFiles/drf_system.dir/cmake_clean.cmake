@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drf_system.dir/apu_system.cc.o"
+  "CMakeFiles/drf_system.dir/apu_system.cc.o.d"
+  "libdrf_system.a"
+  "libdrf_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drf_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

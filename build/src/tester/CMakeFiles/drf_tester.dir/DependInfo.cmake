@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tester/configs.cc" "src/tester/CMakeFiles/drf_tester.dir/configs.cc.o" "gcc" "src/tester/CMakeFiles/drf_tester.dir/configs.cc.o.d"
+  "/root/repo/src/tester/cpu_tester.cc" "src/tester/CMakeFiles/drf_tester.dir/cpu_tester.cc.o" "gcc" "src/tester/CMakeFiles/drf_tester.dir/cpu_tester.cc.o.d"
+  "/root/repo/src/tester/episode.cc" "src/tester/CMakeFiles/drf_tester.dir/episode.cc.o" "gcc" "src/tester/CMakeFiles/drf_tester.dir/episode.cc.o.d"
+  "/root/repo/src/tester/gpu_tester.cc" "src/tester/CMakeFiles/drf_tester.dir/gpu_tester.cc.o" "gcc" "src/tester/CMakeFiles/drf_tester.dir/gpu_tester.cc.o.d"
+  "/root/repo/src/tester/ref_memory.cc" "src/tester/CMakeFiles/drf_tester.dir/ref_memory.cc.o" "gcc" "src/tester/CMakeFiles/drf_tester.dir/ref_memory.cc.o.d"
+  "/root/repo/src/tester/variable_map.cc" "src/tester/CMakeFiles/drf_tester.dir/variable_map.cc.o" "gcc" "src/tester/CMakeFiles/drf_tester.dir/variable_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/system/CMakeFiles/drf_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/drf_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/drf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/drf_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drf_tester.dir/configs.cc.o"
+  "CMakeFiles/drf_tester.dir/configs.cc.o.d"
+  "CMakeFiles/drf_tester.dir/cpu_tester.cc.o"
+  "CMakeFiles/drf_tester.dir/cpu_tester.cc.o.d"
+  "CMakeFiles/drf_tester.dir/episode.cc.o"
+  "CMakeFiles/drf_tester.dir/episode.cc.o.d"
+  "CMakeFiles/drf_tester.dir/gpu_tester.cc.o"
+  "CMakeFiles/drf_tester.dir/gpu_tester.cc.o.d"
+  "CMakeFiles/drf_tester.dir/ref_memory.cc.o"
+  "CMakeFiles/drf_tester.dir/ref_memory.cc.o.d"
+  "CMakeFiles/drf_tester.dir/variable_map.cc.o"
+  "CMakeFiles/drf_tester.dir/variable_map.cc.o.d"
+  "libdrf_tester.a"
+  "libdrf_tester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drf_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

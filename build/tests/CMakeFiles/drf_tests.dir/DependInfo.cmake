@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/drf_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_cache_array.cc" "tests/CMakeFiles/drf_tests.dir/test_cache_array.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_cache_array.cc.o.d"
+  "/root/repo/tests/test_coverage.cc" "tests/CMakeFiles/drf_tests.dir/test_coverage.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_coverage.cc.o.d"
+  "/root/repo/tests/test_cpu_cache.cc" "tests/CMakeFiles/drf_tests.dir/test_cpu_cache.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_cpu_cache.cc.o.d"
+  "/root/repo/tests/test_cpu_tester.cc" "tests/CMakeFiles/drf_tests.dir/test_cpu_tester.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_cpu_tester.cc.o.d"
+  "/root/repo/tests/test_directory.cc" "tests/CMakeFiles/drf_tests.dir/test_directory.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_directory.cc.o.d"
+  "/root/repo/tests/test_episode.cc" "tests/CMakeFiles/drf_tests.dir/test_episode.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_episode.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/drf_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_gpu_l1.cc" "tests/CMakeFiles/drf_tests.dir/test_gpu_l1.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_gpu_l1.cc.o.d"
+  "/root/repo/tests/test_gpu_l2.cc" "tests/CMakeFiles/drf_tests.dir/test_gpu_l2.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_gpu_l2.cc.o.d"
+  "/root/repo/tests/test_gpu_tester.cc" "tests/CMakeFiles/drf_tests.dir/test_gpu_tester.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_gpu_tester.cc.o.d"
+  "/root/repo/tests/test_logger_stats.cc" "tests/CMakeFiles/drf_tests.dir/test_logger_stats.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_logger_stats.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/drf_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_multigpu.cc" "tests/CMakeFiles/drf_tests.dir/test_multigpu.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_multigpu.cc.o.d"
+  "/root/repo/tests/test_port_network.cc" "tests/CMakeFiles/drf_tests.dir/test_port_network.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_port_network.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/drf_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_ref_memory.cc" "tests/CMakeFiles/drf_tests.dir/test_ref_memory.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_ref_memory.cc.o.d"
+  "/root/repo/tests/test_soak.cc" "tests/CMakeFiles/drf_tests.dir/test_soak.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_soak.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/drf_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_variable_map.cc" "tests/CMakeFiles/drf_tests.dir/test_variable_map.cc.o" "gcc" "tests/CMakeFiles/drf_tests.dir/test_variable_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tester/CMakeFiles/drf_tester.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/drf_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/drf_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/drf_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/drf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/drf_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/drf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
