@@ -2,19 +2,23 @@
  * @file
  * Shared helpers for the per-figure bench binaries: standard ways to
  * run one GPU-tester preset or one application and collect the
- * coverage grids, plus table-printing utilities.
+ * coverage grids, campaign glue (--jobs parsing, application shards),
+ * plus table-printing utilities.
  */
 
 #ifndef DRF_BENCH_BENCH_UTIL_HH
 #define DRF_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/app_runner.hh"
 #include "apps/app_suite.hh"
+#include "campaign/campaign.hh"
 #include "system/apu_system.hh"
 #include "tester/configs.hh"
 #include "tester/cpu_tester.hh"
@@ -119,6 +123,75 @@ runApp(const AppProfile &profile, unsigned num_cus = 8)
         std::fprintf(stderr, "%s did not complete\n",
                      profile.name.c_str());
     return out;
+}
+
+/**
+ * Worker-thread count for a bench binary: `--jobs N` (or `--jobs=N`)
+ * on the command line, else the DRF_JOBS environment variable, else 0
+ * (which lets the campaign runner use hardware concurrency).
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc)
+            return static_cast<unsigned>(std::atoi(argv[i + 1]));
+        if (arg.rfind("--jobs=", 0) == 0)
+            return static_cast<unsigned>(std::atoi(arg.c_str() + 7));
+    }
+    if (const char *env = std::getenv("DRF_JOBS"))
+        return static_cast<unsigned>(std::atoi(env));
+    return 0;
+}
+
+/**
+ * Campaign shard running one application on a fresh app system.
+ * Application traces are generated deterministically from the profile,
+ * so these shards parallelize exactly like tester shards. Lives here
+ * rather than in src/campaign/ because the campaign library does not
+ * depend on the application suite.
+ */
+inline ShardSpec
+appShard(const AppProfile &profile, unsigned num_cus = 8)
+{
+    ShardSpec spec;
+    spec.name = profile.name;
+    spec.run = [profile, num_cus]() {
+        ApuSystemConfig sys_cfg = appSystemConfig(num_cus);
+        ApuSystem sys(sys_cfg);
+        AppTrace trace = generateAppTrace(profile, num_cus, 0x10'0000,
+                                          sys_cfg.lineBytes);
+        AppRunner runner(sys, std::move(trace));
+        AppResult r = runner.run();
+
+        ShardOutcome out;
+        out.name = profile.name;
+        out.result.passed = r.completed;
+        out.result.ticks = r.ticks;
+        out.result.events = r.events;
+        out.result.hostSeconds = r.hostSeconds;
+        if (!r.completed)
+            out.result.report = profile.name + " did not complete";
+        out.l1 = std::make_unique<CoverageGrid>(sys.l1CoverageUnion());
+        out.l2 = std::make_unique<CoverageGrid>(sys.l2CoverageUnion());
+        out.dir =
+            std::make_unique<CoverageGrid>(sys.directory().coverage());
+        return out;
+    };
+    return spec;
+}
+
+/** Write @p content to @p path, reporting the outcome on stdout. */
+inline void
+writeFileReport(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content << "\n";
+    if (out)
+        std::printf("wrote %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
 }
 
 /** Print one row of a coverage/time table. */

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Campaign throughput vs. worker-thread count, and the event-queue
+ * hot-path overhaul measured against the original implementation.
+ *
+ * Two experiments, both written to BENCH_campaign.json:
+ *
+ *  1. queue: the schedule+run microbench (the same 1000-event pattern
+ *     as micro_throughput's BM_EventQueueScheduleRun) on the legacy
+ *     std::function queue and on the current inline-event queue —
+ *     events/sec before and after, and the improvement.
+ *
+ *  2. scaling: a 32-seed campaign of a small GPU preset, run serially
+ *     (jobs=1) and at increasing worker counts — wall seconds and
+ *     speedup per thread count. Speedup tracks the host's physical
+ *     parallelism; hardware_concurrency is recorded alongside so a
+ *     single-core CI box reporting ~1x is interpretable.
+ *
+ * Usage: campaign_scaling [--seeds N] [--out FILE]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "campaign/campaign.hh"
+#include "campaign/campaign_json.hh"
+#include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
+
+using namespace drf;
+using namespace drf::bench;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** One schedule+run round of the micro_throughput queue pattern. */
+template <typename Queue>
+std::uint64_t
+queueRound()
+{
+    Queue eq;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 1000; ++i)
+        eq.schedule(static_cast<Tick>(i % 97), [&sink] { ++sink; });
+    eq.run();
+    return sink;
+}
+
+struct QueueBench
+{
+    double eventsPerSec = 0.0;
+    std::uint64_t events = 0;
+};
+
+/** Run rounds for ~0.4 s and report sustained events/sec. */
+template <typename Queue>
+QueueBench
+benchQueue()
+{
+    // Warm up allocator and caches.
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 50; ++i)
+        sink += queueRound<Queue>();
+    if (sink != 50u * 1000u)
+        std::fprintf(stderr, "queue warmup miscounted: %llu\n",
+                     (unsigned long long)sink);
+
+    QueueBench bench;
+    Clock::time_point start = Clock::now();
+    double elapsed = 0.0;
+    while (elapsed < 0.4) {
+        for (int i = 0; i < 100; ++i)
+            bench.events += queueRound<Queue>();
+        elapsed = secondsSince(start);
+    }
+    bench.eventsPerSec = static_cast<double>(bench.events) / elapsed;
+    return bench;
+}
+
+/** The 32-seed campaign workload: small caches, short episodes. */
+GpuTestPreset
+scalingPreset()
+{
+    GpuTestPreset preset;
+    preset.name = "scaling";
+    preset.cacheClass = CacheSizeClass::Small;
+    preset.system = makeGpuSystemConfig(CacheSizeClass::Small, 4);
+    preset.tester = makeGpuTesterConfig(/*actions_per_episode=*/30,
+                                        /*episodes_per_wf=*/4,
+                                        /*atomic_locs=*/10, /*seed=*/1);
+    preset.tester.lanes = 8;
+    preset.tester.episodeGen.lanes = 8;
+    preset.tester.variables.numNormalVars = 512;
+    preset.tester.variables.addrRangeBytes = 1 << 14;
+    return preset;
+}
+
+std::uint64_t
+parseArg(int argc, char **argv, const std::string &flag,
+         std::uint64_t fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    return fallback;
+}
+
+std::string
+parseOut(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--out")
+            return argv[i + 1];
+    }
+    return "BENCH_campaign.json";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t num_seeds =
+        static_cast<std::size_t>(parseArg(argc, argv, "--seeds", 32));
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    std::printf("Campaign scaling + event-queue overhaul benchmark\n");
+    std::printf("hardware_concurrency: %u\n\n", hw);
+
+    // --- 1. Event queue before/after -------------------------------
+    QueueBench legacy = benchQueue<LegacyEventQueue>();
+    QueueBench current = benchQueue<EventQueue>();
+    double queue_improvement =
+        legacy.eventsPerSec > 0.0
+            ? (current.eventsPerSec / legacy.eventsPerSec - 1.0) * 100.0
+            : 0.0;
+
+    std::printf("event queue (schedule+run, 1000 events/round):\n");
+    std::printf("  legacy (std::function): %12.0f events/s\n",
+                legacy.eventsPerSec);
+    std::printf("  current (inline event): %12.0f events/s\n",
+                current.eventsPerSec);
+    std::printf("  improvement:            %+11.1f%%\n\n",
+                queue_improvement);
+
+    // --- 2. Campaign scaling ---------------------------------------
+    std::vector<unsigned> thread_counts{1, 2, 4};
+    if (hw > 4)
+        thread_counts.push_back(hw);
+
+    struct ScalePoint
+    {
+        unsigned jobs = 0;
+        double wallSeconds = 0.0;
+        double speedup = 0.0;
+        double episodesPerSec = 0.0;
+        double eventsPerSec = 0.0;
+    };
+    std::vector<ScalePoint> points;
+    std::string campaign_json;
+    double serial_wall = 0.0;
+
+    std::printf("campaign: %zu seeds of the small-cache preset\n",
+                num_seeds);
+    for (unsigned jobs : thread_counts) {
+        CampaignConfig cfg;
+        cfg.jobs = jobs;
+        CampaignResult res =
+            runCampaign(gpuSeedSweep(scalingPreset(), 1, num_seeds),
+                        cfg);
+        if (!res.passed) {
+            std::fprintf(stderr, "campaign FAILED at jobs=%u: %s\n",
+                         jobs,
+                         res.firstFailure ? res.firstFailure->report.c_str()
+                                          : "?");
+            return 1;
+        }
+        if (jobs == 1) {
+            serial_wall = res.wallSeconds;
+            campaign_json = campaignToJson(res, "gpu_tester");
+        }
+
+        ScalePoint p;
+        p.jobs = res.jobs;
+        p.wallSeconds = res.wallSeconds;
+        p.speedup =
+            res.wallSeconds > 0.0 ? serial_wall / res.wallSeconds : 0.0;
+        p.episodesPerSec = res.episodesPerSec;
+        p.eventsPerSec = res.eventsPerSec;
+        points.push_back(p);
+        std::printf("  jobs=%-3u wall %7.3f s  speedup %5.2fx  "
+                    "%10.0f events/s\n",
+                    p.jobs, p.wallSeconds, p.speedup, p.eventsPerSec);
+    }
+
+    // --- JSON ------------------------------------------------------
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value("campaign_scaling");
+    w.key("hardware_concurrency").value(hw);
+    w.key("num_seeds").value(static_cast<std::uint64_t>(num_seeds));
+
+    w.key("event_queue").beginObject();
+    w.key("pattern").value("schedule+run, 1000 events/round");
+    w.key("legacy_events_per_sec").value(legacy.eventsPerSec);
+    w.key("current_events_per_sec").value(current.eventsPerSec);
+    w.key("improvement_pct").value(queue_improvement);
+    w.endObject();
+
+    w.key("scaling").beginArray();
+    for (const ScalePoint &p : points) {
+        w.beginObject();
+        w.key("jobs").value(p.jobs);
+        w.key("wall_seconds").value(p.wallSeconds);
+        w.key("speedup_vs_serial").value(p.speedup);
+        w.key("episodes_per_sec").value(p.episodesPerSec);
+        w.key("events_per_sec").value(p.eventsPerSec);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("serial_campaign").raw(campaign_json);
+    w.endObject();
+
+    writeFileReport(parseOut(argc, argv), w.str());
+
+    double best = 0.0;
+    for (const ScalePoint &p : points)
+        best = std::max(best, p.speedup);
+    std::printf("\nbest speedup: %.2fx at %u hardware thread(s) "
+                "(>=3x expected on 4+ cores)\n",
+                best, hw);
+    return 0;
+}

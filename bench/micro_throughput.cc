@@ -10,6 +10,7 @@
 
 #include "mem/cache_array.hh"
 #include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
 #include "tester/configs.hh"
 #include "tester/episode.hh"
 #include "tester/gpu_tester.hh"
@@ -33,6 +34,39 @@ BM_EventQueueScheduleRun(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
+
+// Same pattern on the original std::function + binary-heap queue; the
+// delta is the win of the inline-event representation.
+void
+BM_LegacyEventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        LegacyEventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>(i % 97), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LegacyEventQueueScheduleRun);
+
+// Pure same-tick fast path: everything lands in the FIFO lane.
+void
+BM_EventQueueScheduleNow(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleNow([&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleNow);
 
 void
 BM_CacheArrayLookup(benchmark::State &state)

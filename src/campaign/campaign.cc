@@ -1,0 +1,226 @@
+#include "campaign/campaign.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+
+#include "campaign/thread_pool.hh"
+#include "system/apu_system.hh"
+#include "tester/cpu_tester.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Shared accumulation state, guarded by one mutex. */
+struct Merge
+{
+    std::mutex mutex;
+    CampaignResult result;
+    CoverageAccumulator l1;
+    CoverageAccumulator l2;
+    CoverageAccumulator dir;
+    std::atomic<bool> stop{false};
+};
+
+/** True once every observed coverage level reached the threshold. */
+bool
+saturated(const Merge &merge, const CampaignConfig &cfg)
+{
+    if (cfg.saturationPct <= 0.0)
+        return false;
+    if (merge.l1.empty() && merge.l2.empty())
+        return false;
+    if (!merge.l1.empty() &&
+        merge.l1.coveragePct(cfg.coverageTestType) < cfg.saturationPct)
+        return false;
+    if (!merge.l2.empty() &&
+        merge.l2.coveragePct(cfg.coverageTestType) < cfg.saturationPct)
+        return false;
+    return true;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(std::vector<ShardSpec> shards, const CampaignConfig &cfg)
+{
+    Merge merge;
+    merge.result.shardsPlanned = shards.size();
+    if (shards.empty())
+        return std::move(merge.result);
+
+    unsigned jobs = cfg.jobs != 0 ? cfg.jobs : ThreadPool::defaultThreads();
+    jobs = std::min<unsigned>(jobs,
+                              static_cast<unsigned>(shards.size()));
+    merge.result.jobs = jobs;
+
+    Clock::time_point start = Clock::now();
+    {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            // The spec is moved into the job; the pool owns it until run.
+            pool.submit([&merge, &cfg, start, i,
+                         spec = std::move(shards[i])]() mutable {
+                if (merge.stop.load(std::memory_order_acquire)) {
+                    std::lock_guard<std::mutex> lock(merge.mutex);
+                    ++merge.result.shardsSkipped;
+                    return;
+                }
+
+                ShardOutcome out;
+                try {
+                    out = spec.run();
+                } catch (const std::exception &e) {
+                    // Shard isolation: anything a tester failed to
+                    // convert itself becomes a structured failure here.
+                    out.result.passed = false;
+                    out.result.report = e.what();
+                } catch (...) {
+                    out.result.passed = false;
+                    out.result.report = "unknown shard exception";
+                }
+                if (out.name.empty())
+                    out.name = spec.name;
+                out.seed = spec.seed;
+                out.index = i;
+
+                std::lock_guard<std::mutex> lock(merge.mutex);
+                CampaignResult &res = merge.result;
+                ++res.shardsRun;
+                res.totalTicks += out.result.ticks;
+                res.totalEvents += out.result.events;
+                res.totalEpisodes += out.result.episodes;
+                res.totalLoadsChecked += out.result.loadsChecked;
+                res.totalStoresRetired += out.result.storesRetired;
+                res.totalAtomicsChecked += out.result.atomicsChecked;
+                res.shardSecondsSum += out.result.hostSeconds;
+
+                if (out.l1)
+                    merge.l1.add(*out.l1);
+                if (out.l2)
+                    merge.l2.add(*out.l2);
+                if (out.dir)
+                    merge.dir.add(*out.dir);
+
+                CoveragePoint point;
+                point.shardsCompleted = res.shardsRun;
+                point.l1Pct = merge.l1.coveragePct(cfg.coverageTestType);
+                point.l2Pct = merge.l2.coveragePct(cfg.coverageTestType);
+                point.cumulativeEvents = res.totalEvents;
+                point.wallSeconds = secondsSince(start);
+                res.saturationCurve.push_back(point);
+
+                if (!out.result.passed) {
+                    if (!res.firstFailure ||
+                        out.index < res.firstFailure->index) {
+                        res.firstFailure = ShardFailure{
+                            out.name, out.seed, out.index,
+                            out.result.report};
+                    }
+                    if (cfg.stopOnFailure)
+                        merge.stop.store(true,
+                                         std::memory_order_release);
+                }
+                if (!res.shardsToSaturation && saturated(merge, cfg)) {
+                    res.shardsToSaturation = res.shardsRun;
+                    merge.stop.store(true, std::memory_order_release);
+                }
+                if (cfg.keepOutcomes)
+                    res.outcomes.push_back(std::move(out));
+            });
+        }
+        pool.waitIdle();
+    }
+
+    CampaignResult &res = merge.result;
+    res.passed = !res.firstFailure.has_value();
+    res.wallSeconds = secondsSince(start);
+    if (res.wallSeconds > 0.0) {
+        res.episodesPerSec =
+            static_cast<double>(res.totalEpisodes) / res.wallSeconds;
+        res.eventsPerSec =
+            static_cast<double>(res.totalEvents) / res.wallSeconds;
+    }
+    if (!merge.l1.empty())
+        res.l1Union = merge.l1.grid();
+    if (!merge.l2.empty())
+        res.l2Union = merge.l2.grid();
+    if (!merge.dir.empty())
+        res.dirUnion = merge.dir.grid();
+    std::sort(res.outcomes.begin(), res.outcomes.end(),
+              [](const ShardOutcome &a, const ShardOutcome &b) {
+                  return a.index < b.index;
+              });
+    return std::move(merge.result);
+}
+
+ShardSpec
+gpuShard(const GpuTestPreset &preset)
+{
+    ShardSpec spec;
+    spec.name = preset.name;
+    spec.seed = preset.tester.seed;
+    spec.run = [preset]() {
+        ApuSystem sys(preset.system);
+        GpuTester tester(sys, preset.tester);
+        ShardOutcome out;
+        out.name = preset.name;
+        out.result = tester.run();
+        out.l1 = std::make_unique<CoverageGrid>(sys.l1CoverageUnion());
+        out.l2 = std::make_unique<CoverageGrid>(sys.l2CoverageUnion());
+        out.dir =
+            std::make_unique<CoverageGrid>(sys.directory().coverage());
+        return out;
+    };
+    return spec;
+}
+
+ShardSpec
+cpuShard(const CpuTestPreset &preset)
+{
+    ShardSpec spec;
+    spec.name = preset.name;
+    spec.seed = preset.tester.seed;
+    spec.run = [preset]() {
+        ApuSystem sys(preset.system);
+        CpuTester tester(sys, preset.tester);
+        ShardOutcome out;
+        out.name = preset.name;
+        out.result = tester.run();
+        out.dir =
+            std::make_unique<CoverageGrid>(sys.directory().coverage());
+        return out;
+    };
+    return spec;
+}
+
+std::vector<ShardSpec>
+gpuSeedSweep(const GpuTestPreset &base, std::uint64_t first_seed,
+             std::size_t num_seeds)
+{
+    std::vector<ShardSpec> shards;
+    shards.reserve(num_seeds);
+    for (std::size_t i = 0; i < num_seeds; ++i) {
+        GpuTestPreset preset = base;
+        preset.tester.seed = first_seed + i;
+        preset.name =
+            base.name + "/seed" + std::to_string(preset.tester.seed);
+        shards.push_back(gpuShard(preset));
+    }
+    return shards;
+}
+
+} // namespace drf

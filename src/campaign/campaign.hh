@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Multi-seed / multi-configuration testing campaigns.
+ *
+ * The paper's headline result is a rate: the DRF tester reaches full
+ * coherence coverage orders of magnitude faster than the application
+ * suite. Every ApuSystem + tester pair is fully self-contained (its own
+ * EventQueue, its own RNG) and deterministic, which makes N seeds x M
+ * configurations embarrassingly parallel. The campaign runner shards
+ * them across a work-stealing thread pool, merges per-shard coverage
+ * grids and result statistics under one mutex, records the union
+ * coverage saturation curve, and stops early when the union saturates
+ * or a shard fails (preserving the first failure's seed and report for
+ * deterministic single-threaded reproduction).
+ *
+ * Determinism contract: each shard's TesterResult is bit-for-bit
+ * reproducible from its (configuration, seed) pair regardless of thread
+ * count. Aggregates built from commutative operations (stat sums, grid
+ * unions over a fixed shard set) are therefore thread-count invariant
+ * too; only completion-order artifacts (the saturation curve, wall
+ * times, and which shards got skipped after an early stop) vary.
+ */
+
+#ifndef DRF_CAMPAIGN_CAMPAIGN_HH
+#define DRF_CAMPAIGN_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coverage/coverage.hh"
+#include "tester/configs.hh"
+#include "tester/gpu_tester.hh"
+
+namespace drf
+{
+
+/** Everything one shard (one isolated simulation) produces. */
+struct ShardOutcome
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    std::size_t index = 0; ///< position in the campaign's shard list
+    TesterResult result;
+
+    // Coverage snapshots; null when the shard's system lacks the level.
+    std::unique_ptr<CoverageGrid> l1;
+    std::unique_ptr<CoverageGrid> l2;
+    std::unique_ptr<CoverageGrid> dir;
+};
+
+/** A shard: a name, the seed that reproduces it, and how to run it. */
+struct ShardSpec
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    std::function<ShardOutcome()> run;
+};
+
+/** Campaign-level policy knobs. */
+struct CampaignConfig
+{
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned jobs = 0;
+
+    /** Stop launching new shards once any shard fails. */
+    bool stopOnFailure = true;
+
+    /**
+     * Early-stop threshold on union coverage, in percent; <= 0 disables.
+     * The campaign stops launching shards once every observed coverage
+     * level (L1 and L2) reaches this percentage.
+     */
+    double saturationPct = 0.0;
+
+    /** Test type used for coverage percentages (Impsb handling). */
+    std::string coverageTestType = "gpu_tester";
+
+    /** Retain every shard's outcome in CampaignResult::outcomes. */
+    bool keepOutcomes = false;
+};
+
+/** Reproduction handle for the first failing shard. */
+struct ShardFailure
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    std::size_t index = 0;
+    std::string report;
+};
+
+/** One point of the union-coverage saturation curve. */
+struct CoveragePoint
+{
+    std::size_t shardsCompleted = 0;
+    double l1Pct = 0.0;
+    double l2Pct = 0.0;
+    std::uint64_t cumulativeEvents = 0;
+    double wallSeconds = 0.0; ///< since campaign start
+};
+
+/** Aggregated campaign summary. */
+struct CampaignResult
+{
+    bool passed = true;
+    std::size_t shardsPlanned = 0;
+    std::size_t shardsRun = 0;
+    std::size_t shardsSkipped = 0; ///< not launched due to early stop
+    unsigned jobs = 0;             ///< worker threads actually used
+
+    /** Lowest-index failure observed (reproduce with its name/seed). */
+    std::optional<ShardFailure> firstFailure;
+
+    // Union coverage over all completed shards.
+    std::optional<CoverageGrid> l1Union;
+    std::optional<CoverageGrid> l2Union;
+    std::optional<CoverageGrid> dirUnion;
+
+    /** Union coverage after each completed shard, completion order. */
+    std::vector<CoveragePoint> saturationCurve;
+
+    /** Completed-shard count at which saturationPct was first met. */
+    std::optional<std::size_t> shardsToSaturation;
+
+    // Sums over completed shards.
+    Tick totalTicks = 0;
+    std::uint64_t totalEvents = 0;
+    std::uint64_t totalEpisodes = 0;
+    std::uint64_t totalLoadsChecked = 0;
+    std::uint64_t totalStoresRetired = 0;
+    std::uint64_t totalAtomicsChecked = 0;
+
+    /** Sum of per-shard host seconds (serial-equivalent cost). */
+    double shardSecondsSum = 0.0;
+    /** Campaign wall-clock seconds. */
+    double wallSeconds = 0.0;
+    /** Aggregate throughput: episodes retired per wall-clock second. */
+    double episodesPerSec = 0.0;
+    /** Aggregate throughput: simulation events per wall-clock second. */
+    double eventsPerSec = 0.0;
+
+    /** Per-shard outcomes, shard-index order (keepOutcomes only). */
+    std::vector<ShardOutcome> outcomes;
+};
+
+/** Run @p shards under @p cfg; blocks until done or early-stopped. */
+CampaignResult runCampaign(std::vector<ShardSpec> shards,
+                           const CampaignConfig &cfg = {});
+
+/** Shard running one Table III GPU tester preset. */
+ShardSpec gpuShard(const GpuTestPreset &preset);
+
+/** Shard running one CPU tester preset. */
+ShardSpec cpuShard(const CpuTestPreset &preset);
+
+/**
+ * N-seed campaign over one GPU preset: shard i runs @p base with seed
+ * first_seed + i.
+ */
+std::vector<ShardSpec> gpuSeedSweep(const GpuTestPreset &base,
+                                    std::uint64_t first_seed,
+                                    std::size_t num_seeds);
+
+} // namespace drf
+
+#endif // DRF_CAMPAIGN_CAMPAIGN_HH

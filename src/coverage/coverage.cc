@@ -229,6 +229,33 @@ CoverageGrid::renderHeatMap(std::ostream &os) const
 }
 
 void
+CoverageAccumulator::add(const CoverageGrid &grid)
+{
+    if (!_union.has_value())
+        _union.emplace(grid.spec());
+    _union->merge(grid);
+}
+
+const CoverageGrid &
+CoverageAccumulator::grid() const
+{
+    assert(_union.has_value() && "empty coverage accumulator");
+    return *_union;
+}
+
+double
+CoverageAccumulator::coveragePct(const std::string &test_type) const
+{
+    return _union.has_value() ? _union->coveragePct(test_type) : 0.0;
+}
+
+std::size_t
+CoverageAccumulator::activeCount(const std::string &test_type) const
+{
+    return _union.has_value() ? _union->activeCount(test_type) : 0;
+}
+
+void
 CoverageGrid::renderClassMap(std::ostream &os,
                              const std::string &test_type) const
 {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <set>
 #include <string>
@@ -128,7 +129,13 @@ class CoverageGrid
     /** Total transition activations recorded. */
     std::uint64_t totalHits() const { return _totalHits; }
 
-    /** Merge another grid over the same spec (union coverage). */
+    /**
+     * Merge another grid over the same spec (union coverage).
+     *
+     * Not internally synchronized: when grids produced by parallel
+     * campaign shards are merged, the caller serializes the merges (the
+     * campaign runner holds its results mutex; see src/campaign/).
+     */
     void merge(const CoverageGrid &other);
 
     /** Forget all hits. */
@@ -163,6 +170,37 @@ class CoverageGrid
     const TransitionSpec *_spec;
     std::vector<std::uint64_t> _counts;
     std::uint64_t _totalHits = 0;
+};
+
+/**
+ * Incremental union of coverage grids that adopts its spec from the
+ * first grid added. This is the one way union coverage is built
+ * everywhere — the per-system L1/L2 union helpers, the figure benches,
+ * and the campaign runner's cross-shard merge all funnel through it —
+ * so "empty grid + merge loop" is written exactly once.
+ */
+class CoverageAccumulator
+{
+  public:
+    CoverageAccumulator() = default;
+
+    /** Merge @p grid into the union (first call adopts its spec). */
+    void add(const CoverageGrid &grid);
+
+    /** True until the first add(). */
+    bool empty() const { return !_union.has_value(); }
+
+    /** The accumulated union. @pre !empty() */
+    const CoverageGrid &grid() const;
+
+    /** Union coverage percentage; 0 while empty. */
+    double coveragePct(const std::string &test_type = "") const;
+
+    /** Union active-cell count; 0 while empty. */
+    std::size_t activeCount(const std::string &test_type = "") const;
+
+  private:
+    std::optional<CoverageGrid> _union;
 };
 
 } // namespace drf

@@ -1,37 +1,85 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
-#include <cassert>
 
 namespace drf
 {
 
 void
-EventQueue::schedule(Tick when, EventFunc fn)
+EventQueue::pushHeap(HeapEntry entry)
 {
-    assert(when >= _curTick && "event scheduled in the past");
-    _queue.push_back(Entry{when, _nextSeq++, std::move(fn)});
-    std::push_heap(_queue.begin(), _queue.end());
+    // Sift up with hole moves: the new entry is held in a register-local
+    // temporary while ancestors shift down, costing one 24-byte copy per
+    // level instead of a swap's three.
+    std::size_t hole = _heap.size();
+    _heap.push_back(entry);
+    while (hole > 0) {
+        std::size_t parent = (hole - 1) / arity;
+        if (!before(entry, _heap[parent]))
+            break;
+        _heap[hole] = _heap[parent];
+        hole = parent;
+    }
+    _heap[hole] = entry;
+}
+
+EventQueue::HeapEntry
+EventQueue::popHeap()
+{
+    HeapEntry top = _heap.front();
+    HeapEntry last = _heap.back();
+    _heap.pop_back();
+    if (!_heap.empty()) {
+        // Sift the former last element down from the root.
+        std::size_t hole = 0;
+        std::size_t size = _heap.size();
+        while (true) {
+            std::size_t first_child = hole * arity + 1;
+            if (first_child >= size)
+                break;
+            std::size_t best = first_child;
+            std::size_t end = std::min(first_child + arity, size);
+            for (std::size_t c = first_child + 1; c < end; ++c) {
+                if (before(_heap[c], _heap[best]))
+                    best = c;
+            }
+            if (!before(_heap[best], last))
+                break;
+            _heap[hole] = _heap[best];
+            hole = best;
+        }
+        _heap[hole] = last;
+    }
+    return top;
 }
 
 void
 EventQueue::executeNext()
 {
-    std::pop_heap(_queue.begin(), _queue.end());
-    Entry entry = std::move(_queue.back());
-    _queue.pop_back();
-    _curTick = entry.when;
+    // The callable must be moved out before invocation: the callback may
+    // schedule further events and reallocate/rotate the containers.
+    Tick when;
+    InlineEvent fn;
+    if (fifoIsNext()) {
+        when = _fifo.front().when;
+        fn = std::move(_fifo.front().fn);
+        _fifo.pop_front();
+    } else {
+        HeapEntry top = popHeap();
+        when = top.when;
+        fn = std::move(_slots[top.slot]);
+        _freeSlots.push_back(top.slot);
+    }
+    _curTick = when;
     ++_eventsExecuted;
-    // The callback may schedule further events; entry owns the function
-    // independently of the heap.
-    entry.fn();
+    fn();
 }
 
 bool
 EventQueue::run(Tick limit)
 {
-    while (!_queue.empty()) {
-        if (_queue.front().when > limit) {
+    while (pending() > 0) {
+        if (nextWhen() > limit) {
             _curTick = limit;
             return false;
         }
@@ -44,7 +92,7 @@ std::uint64_t
 EventQueue::runEvents(std::uint64_t max_events)
 {
     std::uint64_t executed = 0;
-    while (executed < max_events && !_queue.empty()) {
+    while (executed < max_events && pending() > 0) {
         executeNext();
         ++executed;
     }
@@ -54,7 +102,12 @@ EventQueue::runEvents(std::uint64_t max_events)
 void
 EventQueue::reset()
 {
-    _queue.clear();
+    // Destroying the pending InlineEvents parks their spilled blocks
+    // back on _pool; vector capacity is retained.
+    _heap.clear();
+    _slots.clear();
+    _freeSlots.clear();
+    _fifo.clear();
     _curTick = 0;
     _nextSeq = 0;
     _eventsExecuted = 0;

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Small-buffer-optimized, type-erased event callable and its recycling
+ * block pool.
+ *
+ * The event queue executes hundreds of millions of callbacks per testing
+ * campaign, which made the original std::function<void()> entries the
+ * hottest allocation site in the whole simulator. InlineEvent replaces
+ * them:
+ *
+ *  - callables whose captures fit in 32 bytes (the this-pointer +
+ *    a couple of scalars case, i.e. almost every controller wakeup)
+ *    are stored inline in the queue entry — no allocation at all;
+ *  - larger callables (e.g. a port delivery capturing a whole Packet)
+ *    are placed in fixed-size blocks recycled through an EventBlockPool,
+ *    so steady-state simulation performs no malloc/free per event;
+ *  - trivially copyable captures relocate with a fixed-size memcpy,
+ *    which keeps heap sifts cheap.
+ *
+ * Neither type is thread-safe on its own: a pool and the events built
+ * from it belong to exactly one EventQueue, and every EventQueue belongs
+ * to exactly one shard thread (see src/campaign/).
+ */
+
+#ifndef DRF_SIM_INLINE_EVENT_HH
+#define DRF_SIM_INLINE_EVENT_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace drf
+{
+
+/**
+ * Recycler for the out-of-line storage of large event captures.
+ *
+ * Requests up to @c blockBytes are served from a free list of uniform
+ * blocks (allocated on demand, returned on event destruction), so the
+ * steady-state cost of a large-capture event is a pointer pop/push.
+ * Oversized requests fall back to plain operator new/delete.
+ */
+class EventBlockPool
+{
+  public:
+    /** Payload capacity of a recycled block. */
+    static constexpr std::size_t blockBytes = 256;
+
+    EventBlockPool() = default;
+
+    EventBlockPool(const EventBlockPool &) = delete;
+    EventBlockPool &operator=(const EventBlockPool &) = delete;
+
+    ~EventBlockPool()
+    {
+        for (void *header : _free)
+            ::operator delete(header);
+    }
+
+    /**
+     * Acquire storage for @p bytes of payload. The returned pointer is
+     * aligned for any type and must be released with release().
+     */
+    void *
+    acquire(std::size_t bytes)
+    {
+        if (bytes <= blockBytes) {
+            Header *h;
+            if (!_free.empty()) {
+                h = static_cast<Header *>(_free.back());
+                _free.pop_back();
+            } else {
+                h = static_cast<Header *>(
+                    ::operator new(sizeof(Header) + blockBytes));
+            }
+            h->pool = this;
+            return h + 1;
+        }
+        Header *h = static_cast<Header *>(
+            ::operator new(sizeof(Header) + bytes));
+        h->pool = nullptr; // oversized: never recycled
+        return h + 1;
+    }
+
+    /** Return storage obtained from any pool's acquire(). */
+    static void
+    release(void *payload) noexcept
+    {
+        Header *h = static_cast<Header *>(payload) - 1;
+        EventBlockPool *pool = h->pool;
+        if (pool != nullptr && pool->_free.size() < maxCached) {
+            pool->_free.push_back(h);
+            return;
+        }
+        ::operator delete(h);
+    }
+
+    /** Blocks currently parked on the free list (for tests). */
+    std::size_t cachedBlocks() const { return _free.size(); }
+
+  private:
+    /** Prefix of every block; keeps the payload max-aligned. */
+    struct alignas(std::max_align_t) Header
+    {
+        EventBlockPool *pool;
+    };
+
+    /** Free-list bound: beyond this, blocks are simply freed. */
+    static constexpr std::size_t maxCached = 1024;
+
+    std::vector<void *> _free; ///< parked Header pointers
+};
+
+/**
+ * A move-only type-erased void() callable with 32 bytes of inline
+ * capture storage and pool-backed spill for larger captures.
+ */
+class InlineEvent
+{
+  public:
+    /** Captures up to this size (and max_align_t aligned) stay inline. */
+    static constexpr std::size_t inlineCapacity = 32;
+
+    InlineEvent() noexcept : _ops(nullptr) {}
+
+    /** Wrap @p fn, spilling oversized captures into @p pool. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineEvent>>>
+    InlineEvent(F &&fn, EventBlockPool &pool)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(_storage))
+                Fn(std::forward<F>(fn));
+            _ops = &inlineOps<Fn>;
+        } else {
+            void *block = pool.acquire(sizeof(Fn));
+            ::new (block) Fn(std::forward<F>(fn));
+            ptrSlot() = block;
+            _ops = &heapOps<Fn>;
+        }
+    }
+
+    InlineEvent(InlineEvent &&other) noexcept : _ops(other._ops)
+    {
+        if (_ops != nullptr) {
+            _ops->relocate(other._storage, _storage);
+            other._ops = nullptr;
+        }
+    }
+
+    InlineEvent &
+    operator=(InlineEvent &&other) noexcept
+    {
+        if (this != &other) {
+            if (_ops != nullptr)
+                _ops->destroy(_storage);
+            _ops = other._ops;
+            if (_ops != nullptr) {
+                _ops->relocate(other._storage, _storage);
+                other._ops = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineEvent(const InlineEvent &) = delete;
+    InlineEvent &operator=(const InlineEvent &) = delete;
+
+    ~InlineEvent()
+    {
+        if (_ops != nullptr)
+            _ops->destroy(_storage);
+    }
+
+    /** True if a callable is held. */
+    explicit operator bool() const { return _ops != nullptr; }
+
+    /** Execute the callable. @pre bool(*this) */
+    void
+    operator()()
+    {
+        assert(_ops != nullptr && "invoking an empty event");
+        _ops->invoke(_storage);
+    }
+
+    /** True if this callable's capture lives inline (for tests). */
+    bool
+    storedInline() const
+    {
+        return _ops != nullptr && _ops->isInline;
+    }
+
+  private:
+    /** Per-capture-type operations, shared by all instances. */
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        void (*relocate)(void *from, void *to) noexcept;
+        void (*destroy)(void *storage) noexcept;
+        bool isInline;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inlineCapacity &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    void *&
+    ptrSlot()
+    {
+        return *reinterpret_cast<void **>(_storage);
+    }
+
+    static void *
+    heapPayload(void *storage)
+    {
+        return *reinterpret_cast<void **>(storage);
+    }
+
+    template <typename Fn>
+    static Fn *
+    inlinePayload(void *storage)
+    {
+        return std::launder(reinterpret_cast<Fn *>(storage));
+    }
+
+    template <typename Fn>
+    static void
+    inlineInvoke(void *storage)
+    {
+        (*inlinePayload<Fn>(storage))();
+    }
+
+    template <typename Fn>
+    static void
+    inlineRelocate(void *from, void *to) noexcept
+    {
+        if constexpr (std::is_trivially_copyable_v<Fn>) {
+            std::memcpy(to, from, sizeof(Fn));
+        } else {
+            Fn *src = inlinePayload<Fn>(from);
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+        }
+    }
+
+    template <typename Fn>
+    static void
+    inlineDestroy(void *storage) noexcept
+    {
+        inlinePayload<Fn>(storage)->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    heapInvoke(void *storage)
+    {
+        (*static_cast<Fn *>(heapPayload(storage)))();
+    }
+
+    static void
+    heapRelocate(void *from, void *to) noexcept
+    {
+        std::memcpy(to, from, sizeof(void *));
+    }
+
+    template <typename Fn>
+    static void
+    heapDestroy(void *storage) noexcept
+    {
+        void *payload = heapPayload(storage);
+        static_cast<Fn *>(payload)->~Fn();
+        EventBlockPool::release(payload);
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {&inlineInvoke<Fn>,
+                                      &inlineRelocate<Fn>,
+                                      &inlineDestroy<Fn>, true};
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {&heapInvoke<Fn>, &heapRelocate,
+                                    &heapDestroy<Fn>, false};
+
+    alignas(std::max_align_t) unsigned char _storage[inlineCapacity];
+    const Ops *_ops;
+};
+
+} // namespace drf
+
+#endif // DRF_SIM_INLINE_EVENT_HH

@@ -1,0 +1,63 @@
+#include "sim/legacy_event_queue.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drf
+{
+
+void
+LegacyEventQueue::schedule(Tick when, EventFunc fn)
+{
+    assert(when >= _curTick && "event scheduled in the past");
+    _queue.push_back(Entry{when, _nextSeq++, std::move(fn)});
+    std::push_heap(_queue.begin(), _queue.end());
+}
+
+void
+LegacyEventQueue::executeNext()
+{
+    std::pop_heap(_queue.begin(), _queue.end());
+    Entry entry = std::move(_queue.back());
+    _queue.pop_back();
+    _curTick = entry.when;
+    ++_eventsExecuted;
+    // The callback may schedule further events; entry owns the function
+    // independently of the heap.
+    entry.fn();
+}
+
+bool
+LegacyEventQueue::run(Tick limit)
+{
+    while (!_queue.empty()) {
+        if (_queue.front().when > limit) {
+            _curTick = limit;
+            return false;
+        }
+        executeNext();
+    }
+    return true;
+}
+
+std::uint64_t
+LegacyEventQueue::runEvents(std::uint64_t max_events)
+{
+    std::uint64_t executed = 0;
+    while (executed < max_events && !_queue.empty()) {
+        executeNext();
+        ++executed;
+    }
+    return executed;
+}
+
+void
+LegacyEventQueue::reset()
+{
+    _queue.clear();
+    _curTick = 0;
+    _nextSeq = 0;
+    _eventsExecuted = 0;
+}
+
+} // namespace drf

@@ -6,6 +6,19 @@
 namespace drf
 {
 
+namespace
+{
+
+/** enabled() logic, factored so callers can hold the lock. */
+bool
+flagEnabled(bool all_enabled, const std::unordered_set<std::string> &flags,
+            const std::string &flag)
+{
+    return all_enabled || flags.count(flag) > 0;
+}
+
+} // namespace
+
 Logger &
 Logger::get()
 {
@@ -32,6 +45,7 @@ Logger::Logger()
 void
 Logger::enable(const std::string &flag)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     if (flag == "all")
         _allEnabled = true;
     else
@@ -41,6 +55,7 @@ Logger::enable(const std::string &flag)
 void
 Logger::disable(const std::string &flag)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     if (flag == "all")
         _allEnabled = false;
     else
@@ -50,6 +65,7 @@ Logger::disable(const std::string &flag)
 void
 Logger::disableAll()
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _allEnabled = false;
     _flags.clear();
 }
@@ -57,7 +73,8 @@ Logger::disableAll()
 bool
 Logger::enabled(const std::string &flag) const
 {
-    return _allEnabled || _flags.count(flag) > 0;
+    std::lock_guard<std::mutex> lock(_mutex);
+    return flagEnabled(_allEnabled, _flags, flag);
 }
 
 void
@@ -66,24 +83,27 @@ Logger::record(Tick tick, const std::string &flag, const std::string &who,
 {
     std::string line = std::to_string(tick) + ": " + who + " [" + flag +
                        "] " + msg;
+    std::lock_guard<std::mutex> lock(_mutex);
     if (_historyDepth > 0) {
         _history.push_back(line);
         while (_history.size() > _historyDepth)
             _history.pop_front();
     }
-    if (enabled(flag))
+    if (flagEnabled(_allEnabled, _flags, flag))
         std::printf("%s\n", line.c_str());
 }
 
 std::vector<std::string>
 Logger::history() const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     return {_history.begin(), _history.end()};
 }
 
 void
 Logger::dumpHistory() const
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     std::fprintf(stderr, "==== recent transaction history (%zu records)\n",
                  _history.size());
     for (const auto &line : _history)
@@ -93,6 +113,7 @@ Logger::dumpHistory() const
 void
 Logger::setHistoryDepth(std::size_t depth)
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _historyDepth = depth;
     while (_history.size() > _historyDepth)
         _history.pop_front();
@@ -101,6 +122,7 @@ Logger::setHistoryDepth(std::size_t depth)
 void
 Logger::clearHistory()
 {
+    std::lock_guard<std::mutex> lock(_mutex);
     _history.clear();
 }
 

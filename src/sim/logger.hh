@@ -17,6 +17,7 @@
 #define DRF_SIM_LOGGER_HH
 
 #include <deque>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <unordered_set>
@@ -30,6 +31,10 @@ namespace drf
 /**
  * Process-wide trace sink. Singleton by design: trace flags mirror gem5's
  * global --debug-flags behaviour.
+ *
+ * All methods are thread-safe: campaign shards (see src/campaign/) run
+ * one simulation per thread but share this sink, so flag lookups and the
+ * retained-history ring are guarded by an internal mutex.
  */
 class Logger
 {
@@ -75,6 +80,7 @@ class Logger
   private:
     Logger();
 
+    mutable std::mutex _mutex;
     std::unordered_set<std::string> _flags;
     bool _allEnabled = false;
     std::deque<std::string> _history;

@@ -43,10 +43,11 @@ class SimObject
     Tick curTick() const { return _eq.curTick(); }
 
     /** Schedule a member callback @p delay ticks from now. */
+    template <typename F>
     void
-    scheduleAfter(Tick delay, EventFunc fn)
+    scheduleAfter(Tick delay, F &&fn)
     {
-        _eq.scheduleAfter(delay, std::move(fn));
+        _eq.scheduleAfter(delay, std::forward<F>(fn));
     }
 
   private:

@@ -54,19 +54,21 @@ ApuSystem::ApuSystem(const ApuSystemConfig &cfg) : _cfg(cfg)
 CoverageGrid
 ApuSystem::l1CoverageUnion() const
 {
-    CoverageGrid grid(GpuL1Cache::spec());
+    CoverageAccumulator acc;
+    acc.add(CoverageGrid(GpuL1Cache::spec())); // spec even with 0 CUs
     for (const auto &l1 : _l1s)
-        grid.merge(l1->coverage());
-    return grid;
+        acc.add(l1->coverage());
+    return acc.grid();
 }
 
 CoverageGrid
 ApuSystem::l2CoverageUnion() const
 {
-    CoverageGrid grid(GpuL2Cache::spec());
+    CoverageAccumulator acc;
+    acc.add(CoverageGrid(GpuL2Cache::spec()));
     for (const auto &l2 : _l2s)
-        grid.merge(l2->coverage());
-    return grid;
+        acc.add(l2->coverage());
+    return acc.grid();
 }
 
 } // namespace drf

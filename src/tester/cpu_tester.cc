@@ -3,25 +3,13 @@
 #include <cassert>
 #include <chrono>
 #include <sstream>
-#include <stdexcept>
 
+#include "proto/protocol_error.hh"
 #include "sim/logger.hh"
+#include "tester/tester_failure.hh"
 
 namespace drf
 {
-
-namespace
-{
-
-class TesterFailure : public std::runtime_error
-{
-  public:
-    explicit TesterFailure(std::string report)
-        : std::runtime_error(std::move(report))
-    {}
-};
-
-} // namespace
 
 CpuTester::CpuTester(ApuSystem &sys, const CpuTesterConfig &cfg)
     : _sys(sys), _cfg(cfg), _rng(cfg.seed)
@@ -181,6 +169,9 @@ CpuTester::run()
     } catch (const TesterFailure &failure) {
         result.passed = false;
         result.report = failure.what();
+    } catch (const ProtocolError &error) {
+        result.passed = false;
+        result.report = error.what();
     }
 
     auto t1 = std::chrono::steady_clock::now();

@@ -70,8 +70,9 @@ class CpuTester
     void issueNext(Core &core);
     void onCoreResponse(unsigned cache_idx, Packet pkt);
     void watchdogCheck();
-    [[noreturn]] void fail(const std::string &headline,
-                           const std::string &details);
+
+    /** Throws TesterFailure; run() converts it into a failed result. */
+    void fail(const std::string &headline, const std::string &details);
     bool done() const { return _loadsChecked >= _cfg.targetLoads; }
 
     ApuSystem &_sys;

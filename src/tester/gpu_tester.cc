@@ -3,24 +3,16 @@
 #include <cassert>
 #include <chrono>
 #include <sstream>
-#include <stdexcept>
 
+#include "proto/protocol_error.hh"
 #include "sim/logger.hh"
+#include "tester/tester_failure.hh"
 
 namespace drf
 {
 
 namespace
 {
-
-/** Internal control-flow exception carrying the failure report. */
-class TesterFailure : public std::runtime_error
-{
-  public:
-    explicit TesterFailure(std::string report)
-        : std::runtime_error(std::move(report))
-    {}
-};
 
 /** Little-endian decode of a value payload. */
 std::uint64_t
@@ -420,6 +412,13 @@ GpuTester::run()
     } catch (const TesterFailure &failure) {
         result.passed = false;
         result.report = failure.what();
+    } catch (const ProtocolError &error) {
+        // A coherence controller hit an undefined transition. Convert it
+        // into a structured failure so a campaign shard can report it
+        // without killing sibling shards in the same process.
+        result.passed = false;
+        result.report = std::string(error.what()) + "\n" +
+                        recentHistory();
     }
 
     auto t1 = std::chrono::steady_clock::now();

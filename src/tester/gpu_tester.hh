@@ -155,9 +155,12 @@ class GpuTester
     void retireEpisode(Wavefront &wf);
     void watchdogCheck();
 
-    /** Raise a failure: formats a report and aborts the run. */
-    [[noreturn]] void fail(const std::string &headline,
-                           const std::string &details);
+    /**
+     * Raise a failure: formats a report and throws TesterFailure, which
+     * run() converts into a failed TesterResult. Never aborts the
+     * process, so parallel campaign shards are isolated from each other.
+     */
+    void fail(const std::string &headline, const std::string &details);
 
     bool allDone() const;
 

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Structured tester-failure signalling.
+ *
+ * GpuTester::fail / CpuTester::fail raise a TesterFailure carrying the
+ * formatted Table V-style report; the run() boundary of each tester
+ * catches it (together with ProtocolError from the simulated coherence
+ * controllers) and converts it into a failed TesterResult. Nothing below
+ * run() aborts the process, which is what allows a campaign shard to
+ * fail without tearing down sibling shards running in the same process
+ * (see src/campaign/).
+ */
+
+#ifndef DRF_TESTER_TESTER_FAILURE_HH
+#define DRF_TESTER_TESTER_FAILURE_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace drf
+{
+
+/** Control-flow exception carrying a tester failure report. */
+class TesterFailure : public std::runtime_error
+{
+  public:
+    explicit TesterFailure(std::string report)
+        : std::runtime_error(std::move(report))
+    {}
+};
+
+} // namespace drf
+
+#endif // DRF_TESTER_TESTER_FAILURE_HH

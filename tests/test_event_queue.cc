@@ -1,13 +1,18 @@
 /**
  * @file
- * Unit tests for the deterministic event queue.
+ * Unit tests for the deterministic event queue, including the inline
+ * (small-buffer) event representation, the same-tick FIFO fast path,
+ * and the capture-block recycling pool.
  */
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/inline_event.hh"
 
 using namespace drf;
 
@@ -124,6 +129,156 @@ TEST(EventQueue, ScheduleAfterUsesCurrentTick)
     });
     eq.run();
     EXPECT_EQ(seen, 107u);
+}
+
+TEST(EventQueue, ScheduleNowRunsThisTickInOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(0);
+        eq.scheduleNow([&] { order.push_back(1); });
+        eq.scheduleNow([&] { order.push_back(2); });
+    });
+    eq.schedule(11, [&] { order.push_back(3); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 11u);
+}
+
+TEST(EventQueue, SameTickMixesHeapAndFifoBySeq)
+{
+    // Events pre-scheduled for tick T (heap path) must still fire
+    // before events scheduled *at* tick T (FIFO path), because their
+    // sequence numbers are older.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] {
+        order.push_back(0);
+        eq.scheduleNow([&] { order.push_back(3); }); // seq after 1, 2
+    });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, RunLimitBoundaryThenScheduleAtLimit)
+{
+    // After run(limit) stops, curTick == limit; scheduling at exactly
+    // that tick must be legal and execute on the next run.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(1); });
+    EXPECT_FALSE(eq.run(60));
+    EXPECT_EQ(eq.curTick(), 60u);
+    eq.schedule(60, [&] { order.push_back(0); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, ResetAfterPartialDrainAllowsReuse)
+{
+    EventQueue eq;
+    int stale = 0;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(i + 1, [&] { ++stale; });
+    // Mix in large captures so the reset also exercises block release.
+    std::array<char, 128> big{};
+    eq.schedule(9, [big, &stale] { stale += big[0] + 1; });
+    EXPECT_EQ(eq.runEvents(3), 3u);
+    eq.reset();
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+
+    int fresh = 0;
+    eq.schedule(2, [&] { ++fresh; });
+    eq.scheduleNow([&] { ++fresh; });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(stale, 3);
+    EXPECT_EQ(fresh, 2);
+    EXPECT_EQ(eq.curTick(), 2u);
+}
+
+TEST(EventQueue, LargeCapturesExecuteCorrectly)
+{
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i * 3 + 1;
+    std::uint64_t sum = 0;
+    eq.schedule(1, [payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    EXPECT_TRUE(eq.run());
+    std::uint64_t expect = 0;
+    for (std::uint64_t v : payload)
+        expect += v;
+    EXPECT_EQ(sum, expect);
+}
+
+TEST(EventQueue, PendingCapturesDestroyedOnResetAndDestruction)
+{
+    auto token = std::make_shared<int>(42);
+    {
+        EventQueue eq;
+        eq.schedule(10, [token] { (void)*token; });
+        std::array<char, 100> pad{};
+        eq.schedule(20, [token, pad] { (void)pad; });
+        EXPECT_EQ(token.use_count(), 3);
+        eq.reset();
+        EXPECT_EQ(token.use_count(), 1);
+
+        eq.schedule(5, [token] { (void)*token; });
+        EXPECT_EQ(token.use_count(), 2);
+        // Queue destruction must release the capture too.
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineEvent, SmallCapturesStayInline)
+{
+    EventBlockPool pool;
+    int hits = 0;
+    InlineEvent small([&hits] { ++hits; }, pool);
+    EXPECT_TRUE(small.storedInline());
+    small();
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(pool.cachedBlocks(), 0u);
+}
+
+TEST(InlineEvent, LargeCapturesSpillToPoolAndRecycle)
+{
+    EventBlockPool pool;
+    std::array<char, 64> big{};
+    {
+        InlineEvent ev([big] { (void)big; }, pool);
+        EXPECT_FALSE(ev.storedInline());
+        ev();
+        EXPECT_EQ(pool.cachedBlocks(), 0u);
+    }
+    // Destruction parks the block; the next large event reuses it.
+    EXPECT_EQ(pool.cachedBlocks(), 1u);
+    {
+        InlineEvent ev([big] { (void)big; }, pool);
+        EXPECT_EQ(pool.cachedBlocks(), 0u);
+    }
+    EXPECT_EQ(pool.cachedBlocks(), 1u);
+}
+
+TEST(InlineEvent, MoveTransfersOwnership)
+{
+    EventBlockPool pool;
+    auto token = std::make_shared<int>(7);
+    InlineEvent a([token] { (void)*token; }, pool);
+    EXPECT_EQ(token.use_count(), 2);
+    InlineEvent b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(token.use_count(), 2);
+    b = InlineEvent();
+    EXPECT_EQ(token.use_count(), 1);
 }
 
 TEST(EventQueue, InterleavedSchedulingStaysDeterministic)

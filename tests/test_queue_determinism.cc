@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Determinism regression for the event-queue overhaul.
+ *
+ * Two independent guarantees are pinned here:
+ *
+ *  1. The new EventQueue (inline events, 4-ary heap, same-tick FIFO)
+ *     fires events in exactly the same order as the original
+ *     std::function + std::push_heap implementation
+ *     (sim/legacy_event_queue.hh) for arbitrary schedules, including
+ *     events that schedule further events.
+ *
+ *  2. Full tester runs remain bit-for-bit reproducible: the golden
+ *     TesterResult statistics below were captured from the seed
+ *     implementation before the queue rewrite and must never drift.
+ *     A change here means the simulator is no longer deterministic
+ *     per (configuration, seed) — which breaks campaign sharding and
+ *     failure reproduction, not just these numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
+#include "sim/random.hh"
+#include "system/apu_system.hh"
+#include "tester/configs.hh"
+#include "tester/cpu_tester.hh"
+#include "tester/gpu_tester.hh"
+
+using namespace drf;
+
+namespace
+{
+
+/**
+ * Drive a queue through a pseudorandom schedule where every event
+ * records its identity and may schedule children, and return the
+ * firing order. The schedule depends only on @p seed.
+ */
+template <typename Queue>
+std::vector<std::uint64_t>
+traceSchedule(std::uint64_t seed)
+{
+    Queue eq;
+    std::vector<std::uint64_t> order;
+    std::uint64_t next_id = 0;
+    Random rng(seed);
+
+    // Self-scheduling event chain: each firing may spawn 0-2 children
+    // at delays 0-7 (delay 0 exercises the same-tick FIFO path).
+    std::function<void(std::uint64_t)> fire =
+        [&](std::uint64_t id) {
+            order.push_back(id);
+            std::uint64_t children = rng.below(3);
+            for (std::uint64_t c = 0; c < children; ++c) {
+                std::uint64_t child = next_id++;
+                eq.scheduleAfter(rng.below(8),
+                                 [&fire, child] { fire(child); });
+            }
+        };
+
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t id = next_id++;
+        eq.schedule(rng.below(64), [&fire, id] { fire(id); });
+    }
+    eq.run(100000);
+    return order;
+}
+
+} // namespace
+
+TEST(QueueDeterminism, MatchesLegacyQueueFiringOrder)
+{
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 17ull, 999ull}) {
+        auto legacy = traceSchedule<LegacyEventQueue>(seed);
+        auto current = traceSchedule<EventQueue>(seed);
+        EXPECT_FALSE(current.empty());
+        EXPECT_EQ(current, legacy) << "diverged for seed " << seed;
+    }
+}
+
+namespace
+{
+
+TesterResult
+runGoldenGpu(std::uint64_t seed)
+{
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(CacheSizeClass::Small, 4);
+    ApuSystem sys(sys_cfg);
+    GpuTesterConfig cfg = makeGpuTesterConfig(50, 5, 10, seed);
+    cfg.lanes = 8;
+    cfg.episodeGen.lanes = 8;
+    cfg.variables.numNormalVars = 1024;
+    cfg.variables.addrRangeBytes = 1 << 16;
+    GpuTester tester(sys, cfg);
+    return tester.run();
+}
+
+TesterResult
+runGoldenCpu(std::uint64_t seed)
+{
+    ApuSystemConfig sys_cfg;
+    sys_cfg.numCus = 0;
+    sys_cfg.numGpuL2s = 1;
+    sys_cfg.numCpuCaches = 2;
+    ApuSystem sys(sys_cfg);
+    CpuTesterConfig cfg;
+    cfg.targetLoads = 2000;
+    cfg.seed = seed;
+    CpuTester tester(sys, cfg);
+    return tester.run();
+}
+
+struct GpuGolden
+{
+    std::uint64_t seed;
+    std::uint64_t events;
+    std::uint64_t loads;
+    std::uint64_t stores;
+};
+
+struct CpuGolden
+{
+    std::uint64_t seed;
+    std::uint64_t events;
+    std::uint64_t loads;
+    std::uint64_t stores;
+};
+
+} // namespace
+
+TEST(QueueDeterminism, GpuTesterGoldenStatistics)
+{
+    // Captured from the pre-overhaul std::function queue.
+    const GpuGolden golden[] = {
+        {1, 56922, 7144, 2419},
+        {7, 58097, 7198, 2505},
+        {42, 57913, 7287, 2406},
+        {1234567, 57865, 7180, 2514},
+    };
+    for (const GpuGolden &g : golden) {
+        TesterResult r = runGoldenGpu(g.seed);
+        EXPECT_TRUE(r.passed) << "seed " << g.seed;
+        EXPECT_EQ(r.ticks, 50000u) << "seed " << g.seed;
+        EXPECT_EQ(r.events, g.events) << "seed " << g.seed;
+        EXPECT_EQ(r.episodes, 40u) << "seed " << g.seed;
+        EXPECT_EQ(r.loadsChecked, g.loads) << "seed " << g.seed;
+        EXPECT_EQ(r.storesRetired, g.stores) << "seed " << g.seed;
+        EXPECT_EQ(r.atomicsChecked, 80u) << "seed " << g.seed;
+    }
+}
+
+TEST(QueueDeterminism, CpuTesterGoldenStatistics)
+{
+    const CpuGolden golden[] = {
+        {3, 15512, 2002, 2067},
+        {99, 15140, 2001, 1915},
+    };
+    for (const CpuGolden &g : golden) {
+        TesterResult r = runGoldenCpu(g.seed);
+        EXPECT_TRUE(r.passed) << "seed " << g.seed;
+        EXPECT_EQ(r.ticks, 50000u) << "seed " << g.seed;
+        EXPECT_EQ(r.events, g.events) << "seed " << g.seed;
+        EXPECT_EQ(r.loadsChecked, g.loads) << "seed " << g.seed;
+        EXPECT_EQ(r.storesRetired, g.stores) << "seed " << g.seed;
+    }
+}
+
+TEST(QueueDeterminism, SameSeedTwiceIsBitIdentical)
+{
+    TesterResult a = runGoldenGpu(5);
+    TesterResult b = runGoldenGpu(5);
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.events, b.events);
+    EXPECT_EQ(a.episodes, b.episodes);
+    EXPECT_EQ(a.loadsChecked, b.loadsChecked);
+    EXPECT_EQ(a.storesRetired, b.storesRetired);
+    EXPECT_EQ(a.atomicsChecked, b.atomicsChecked);
+}

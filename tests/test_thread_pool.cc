@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the campaign work-stealing thread pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "campaign/thread_pool.hh"
+
+using namespace drf;
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+    ThreadPool pool;
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce)
+{
+    constexpr int kJobs = 200;
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    std::mutex mutex;
+    std::set<int> seen;
+    for (int i = 0; i < kJobs; ++i) {
+        pool.submit([i, &mutex, &seen] {
+            std::lock_guard<std::mutex> lock(mutex);
+            EXPECT_TRUE(seen.insert(i).second) << "job ran twice: " << i;
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(kJobs));
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately)
+{
+    ThreadPool pool(2);
+    pool.waitIdle();
+    pool.waitIdle();
+}
+
+TEST(ThreadPool, JobsCanSubmitJobs)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&pool, &count] {
+            ++count;
+            pool.submit([&pool, &count] {
+                ++count;
+                pool.submit([&count] { ++count; });
+            });
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 30);
+}
+
+TEST(ThreadPool, WorkDistributesAcrossWorkers)
+{
+    // With more jobs than workers and a round-robin submit, at least
+    // two distinct threads must participate (work stealing guarantees
+    // no single worker hoards everything while others idle).
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> ids;
+    std::atomic<int> count{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&mutex, &ids, &count] {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ids.insert(std::this_thread::get_id());
+            }
+            // Busy-spin briefly so jobs overlap on multi-core hosts.
+            std::atomic<int> spin{0};
+            while (spin.fetch_add(1, std::memory_order_relaxed) < 1000) {
+            }
+            ++count;
+        });
+    }
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 64);
+    EXPECT_GE(ids.size(), 1u);
+    if (std::thread::hardware_concurrency() > 1) {
+        EXPECT_GE(ids.size(), 2u);
+    }
+}
+
+TEST(ThreadPool, SubmitFromManyThreads)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&pool, &count] {
+            for (int i = 0; i < 50; ++i)
+                pool.submit([&count] { ++count; });
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&count] { ++count; });
+        // No waitIdle: the destructor must finish the backlog.
+    }
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int wave = 0; wave < 5; ++wave) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&count] { ++count; });
+        pool.waitIdle();
+        EXPECT_EQ(count.load(), (wave + 1) * 20);
+    }
+}
