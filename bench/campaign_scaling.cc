@@ -23,6 +23,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -120,6 +121,25 @@ parseArg(int argc, char **argv, const std::string &flag,
     return fallback;
 }
 
+/** Host CPU model from /proc/cpuinfo, or "unknown" where unavailable. */
+std::string
+hostCpuModel()
+{
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        if (line.rfind("model name", 0) != 0)
+            continue;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::size_t start = line.find_first_not_of(" \t", colon + 1);
+        return start == std::string::npos ? "unknown"
+                                          : line.substr(start);
+    }
+    return "unknown";
+}
+
 std::string
 parseOut(int argc, char **argv)
 {
@@ -138,9 +158,11 @@ main(int argc, char **argv)
     const std::size_t num_seeds =
         static_cast<std::size_t>(parseArg(argc, argv, "--seeds", 32));
     const unsigned hw = std::thread::hardware_concurrency();
+    const std::string cpu_model = hostCpuModel();
 
     std::printf("Campaign scaling + event-queue overhaul benchmark\n");
-    std::printf("hardware_concurrency: %u\n\n", hw);
+    std::printf("hardware_concurrency: %u\n", hw);
+    std::printf("cpu_model: %s\n\n", cpu_model.c_str());
 
     // --- 1. Event queue before/after -------------------------------
     QueueBench legacy = benchQueue<LegacyEventQueue>();
@@ -178,6 +200,14 @@ main(int argc, char **argv)
     std::printf("campaign: %zu seeds of the small-cache preset\n",
                 num_seeds);
     for (unsigned jobs : thread_counts) {
+        if (hw != 0 && jobs > hw) {
+            std::fprintf(stderr,
+                         "WARNING: jobs=%u exceeds "
+                         "hardware_concurrency=%u -- threads will be "
+                         "oversubscribed and the speedup for this point "
+                         "is not meaningful\n",
+                         jobs, hw);
+        }
         CampaignConfig cfg;
         cfg.jobs = jobs;
         CampaignResult res =
@@ -213,6 +243,7 @@ main(int argc, char **argv)
     w.beginObject();
     w.key("bench").value("campaign_scaling");
     w.key("hardware_concurrency").value(hw);
+    w.key("cpu_model").value(cpu_model);
     w.key("num_seeds").value(static_cast<std::uint64_t>(num_seeds));
 
     w.key("event_queue").beginObject();

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Message-path microbench: sustained messages/sec through the crossbar
+ * and the allocations-per-message figure the zero-allocation design
+ * targets (0 in steady state).
+ *
+ * The binary replaces global operator new with a counting hook, runs a
+ * cold start (channel creation, queue growth, pool fill) and then a
+ * long steady-state ping-pong, and reports both phases' allocation
+ * counts plus throughput to stdout and BENCH_msg_path.json.
+ *
+ * Usage: msg_path [--messages N] [--out FILE]
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+
+#include "campaign/campaign_json.hh"
+#include "mem/network.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace drf;
+using Clock = std::chrono::steady_clock;
+
+/** Echoes every packet back until the message budget is spent. */
+class PingPong : public MsgReceiver
+{
+  public:
+    PingPong(Crossbar &xbar, int self, int peer)
+        : _xbar(xbar), _self(self), _peer(peer)
+    {
+    }
+
+    void
+    recvMsg(Packet pkt) override
+    {
+        ++received;
+        if (received < limit)
+            _xbar.route(_self, _peer, std::move(pkt));
+    }
+
+    std::uint64_t received = 0;
+    std::uint64_t limit = ~std::uint64_t{0};
+
+  private:
+    Crossbar &_xbar;
+    int _self;
+    int _peer;
+};
+
+void
+runLoop(EventQueue &eq, Crossbar &xbar, PingPong &a, std::uint64_t messages)
+{
+    a.received = 0;
+    a.limit = messages;
+
+    Packet pkt;
+    pkt.type = MsgType::WrThrough;
+    pkt.addr = 0x1000;
+    pkt.size = 4;
+    pkt.setValueLE(0xDEADBEEF, 4);
+    pkt.mask = fullLineMask;
+    pkt.id = 1;
+    xbar.route(2, 1, std::move(pkt));
+    eq.run();
+}
+
+std::uint64_t
+parseArg(int argc, char **argv, const std::string &flag,
+         std::uint64_t fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    return fallback;
+}
+
+std::string
+parseOut(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--out")
+            return argv[i + 1];
+    }
+    return "BENCH_msg_path.json";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t messages =
+        parseArg(argc, argv, "--messages", 2'000'000);
+
+    EventQueue eq;
+    Crossbar xbar("xbar", eq, /*latency=*/2);
+    PingPong a(xbar, 1, 2);
+    PingPong b(xbar, 2, 1);
+    xbar.attach(1, a);
+    xbar.attach(2, b);
+
+    std::printf("Message-path microbench (sizeof(Packet) = %zu)\n\n",
+                sizeof(Packet));
+
+    // Cold start: first messages create channels, grow the queue
+    // arrays, and fill the event block pool.
+    g_allocs.store(0);
+    g_counting.store(true);
+    runLoop(eq, xbar, a, 10000);
+    g_counting.store(false);
+    const std::uint64_t cold_allocs = g_allocs.load();
+    const double cold_per_msg =
+        static_cast<double>(cold_allocs) / 10000.0;
+
+    // Steady state: timed, with the allocation counter live the whole
+    // way through.
+    g_allocs.store(0);
+    g_counting.store(true);
+    Clock::time_point start = Clock::now();
+    runLoop(eq, xbar, a, messages);
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    g_counting.store(false);
+    const std::uint64_t steady_allocs = g_allocs.load();
+
+    const double msgs_per_sec =
+        elapsed > 0.0 ? static_cast<double>(a.received) / elapsed : 0.0;
+    const double ns_per_msg =
+        a.received > 0 ? elapsed * 1e9 / static_cast<double>(a.received)
+                       : 0.0;
+    const double steady_per_msg =
+        a.received > 0 ? static_cast<double>(steady_allocs) /
+                             static_cast<double>(a.received)
+                       : 0.0;
+
+    std::printf("cold start (10000 msgs):   %8llu allocations "
+                "(%.4f/msg)\n",
+                (unsigned long long)cold_allocs, cold_per_msg);
+    std::printf("steady state (%llu msgs):\n",
+                (unsigned long long)a.received);
+    std::printf("  allocations:            %8llu (%.6f/msg)\n",
+                (unsigned long long)steady_allocs, steady_per_msg);
+    std::printf("  throughput:             %12.0f msgs/s "
+                "(%.1f ns/msg)\n",
+                msgs_per_sec, ns_per_msg);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value("msg_path");
+    w.key("packet_bytes").value(
+        static_cast<std::uint64_t>(sizeof(Packet)));
+    w.key("cold_messages").value(static_cast<std::uint64_t>(10000));
+    w.key("cold_allocations").value(cold_allocs);
+    w.key("cold_allocations_per_message").value(cold_per_msg);
+    w.key("steady_messages").value(a.received);
+    w.key("steady_allocations").value(steady_allocs);
+    w.key("steady_allocations_per_message").value(steady_per_msg);
+    w.key("messages_per_sec").value(msgs_per_sec);
+    w.key("ns_per_message").value(ns_per_msg);
+    w.endObject();
+
+    std::ofstream out(parseOut(argc, argv));
+    out << w.str() << "\n";
+    if (out)
+        std::printf("\nwrote %s\n", parseOut(argc, argv).c_str());
+
+    if (steady_allocs != 0) {
+        std::fprintf(stderr, "WARNING: steady state expected 0 "
+                             "allocations, measured %llu\n",
+                     (unsigned long long)steady_allocs);
+        return 1;
+    }
+    return 0;
+}

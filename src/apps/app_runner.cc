@@ -52,7 +52,7 @@ AppRunner::issueCpuOp(unsigned slot)
     pkt.issueTick = _sys.eventq().curTick();
     if (is_store) {
         pkt.type = MsgType::StoreReq;
-        pkt.data = {static_cast<std::uint8_t>(_nextCpuOp)};
+        pkt.setValueLE(static_cast<std::uint8_t>(_nextCpuOp), 1);
     } else {
         pkt.type = MsgType::LoadReq;
     }

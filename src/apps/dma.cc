@@ -59,8 +59,8 @@ DmaEngine::pump()
         pkt.issueTick = curTick();
         if (op.isWrite) {
             pkt.type = MsgType::DmaWrite;
-            pkt.data.assign(_cfg.lineBytes, op.fill);
-            pkt.mask.assign(_cfg.lineBytes, 1);
+            pkt.fillData(op.fill, _cfg.lineBytes);
+            pkt.mask = fullLineMask;
             _stats.counter("writes").inc();
         } else {
             pkt.type = MsgType::DmaRead;

@@ -100,8 +100,8 @@ GpuCoreModel::step(unsigned wf_idx)
                 break;
               case GpuInstr::Kind::Store:
                 pkt.type = MsgType::StoreReq;
-                pkt.data.assign(_cfg.accessBytes,
-                                static_cast<std::uint8_t>(pkt.id));
+                pkt.fillData(static_cast<std::uint8_t>(pkt.id),
+                             _cfg.accessBytes);
                 _stats.counter("stores").inc();
                 break;
               case GpuInstr::Kind::Atomic:

@@ -21,16 +21,13 @@ CacheArray::CacheArray(std::uint64_t size_bytes, unsigned assoc,
     : _assoc(assoc), _lineBytes(line_bytes)
 {
     assert(isPow2(line_bytes));
+    assert(line_bytes <= kLineBytes);
     assert(assoc > 0);
     assert(size_bytes >= static_cast<std::uint64_t>(assoc) * line_bytes);
     _numSets = size_bytes / (static_cast<std::uint64_t>(assoc) *
                              line_bytes);
     assert(isPow2(_numSets));
     _entries.resize(_numSets * _assoc);
-    for (auto &entry : _entries) {
-        entry.data.assign(_lineBytes, 0);
-        entry.dirty.assign(_lineBytes, 0);
-    }
 }
 
 std::uint64_t
@@ -95,8 +92,8 @@ CacheArray::allocate(Addr line_addr)
             entry.valid = true;
             entry.lineAddr = line_addr;
             entry.state = 0;
-            entry.data.assign(_lineBytes, 0);
-            entry.dirty.assign(_lineBytes, 0);
+            entry.data.fill(0);
+            entry.dirty = 0;
             touch(entry);
             return entry;
         }

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mem/line.hh"
 #include "sim/types.hh"
 
 namespace drf
@@ -24,16 +25,12 @@ struct CacheEntry
     bool valid = false;
     Addr lineAddr = invalidAddr;
     int state = 0;
-    std::vector<std::uint8_t> data;
-    std::vector<std::uint8_t> dirty; ///< per-byte dirty mask (0/1)
-    std::uint64_t lastUsed = 0;      ///< LRU timestamp
+    LineData data{};
+    ByteMask dirty = 0;         ///< per-byte dirty bitmask
+    std::uint64_t lastUsed = 0; ///< LRU timestamp
 
     /** Mark every byte clean. */
-    void
-    clearDirty()
-    {
-        dirty.assign(dirty.size(), 0);
-    }
+    void clearDirty() { dirty = 0; }
 };
 
 /**

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fixed-size cache-line payload types shared by the message layer and
+ * the cache data arrays.
+ *
+ * The whole system models 64-byte lines, so payloads are inline
+ * std::arrays (no heap, trivially copyable) and byte-enable masks are a
+ * single uint64_t with one bit per byte of the line. This is what makes
+ * a Packet a flat POD that a port delivery can carry in a recycled
+ * event block without ever touching the allocator.
+ */
+
+#ifndef DRF_MEM_LINE_HH
+#define DRF_MEM_LINE_HH
+
+#include <array>
+#include <cstdint>
+
+namespace drf
+{
+
+/** Modelled line size. Configs may use smaller lines, never larger. */
+constexpr unsigned kLineBytes = 64;
+
+/** One full line of data, inline. */
+using LineData = std::array<std::uint8_t, kLineBytes>;
+
+/** Byte-enable bitmask: bit i enables byte i of the line. */
+using ByteMask = std::uint64_t;
+
+/** Every byte of the line enabled. */
+constexpr ByteMask fullLineMask = ~ByteMask{0};
+
+/** The mask bit for one byte offset. */
+constexpr ByteMask
+maskBit(unsigned byte)
+{
+    return ByteMask{1} << byte;
+}
+
+/** True if @p byte is enabled in @p mask. */
+constexpr bool
+maskTest(ByteMask mask, unsigned byte)
+{
+    return (mask >> byte) & 1;
+}
+
+} // namespace drf
+
+#endif // DRF_MEM_LINE_HH

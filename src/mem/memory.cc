@@ -14,16 +14,11 @@ SimpleMemory::SimpleMemory(std::string name, EventQueue &eq,
 {
 }
 
-std::vector<std::uint8_t> &
+LineData &
 SimpleMemory::line(Addr line_addr)
 {
-    auto it = _store.find(line_addr);
-    if (it == _store.end()) {
-        it = _store.emplace(line_addr,
-                            std::vector<std::uint8_t>(_lineBytes, 0))
-                 .first;
-    }
-    return it->second;
+    // operator[] value-initializes (zeroes) a fresh line.
+    return _store[line_addr];
 }
 
 void
@@ -37,23 +32,22 @@ SimpleMemory::recvMsg(Packet pkt)
         _stats.counter("reads").inc();
         Packet resp = pkt;
         resp.type = MsgType::MemData;
-        resp.data = line(pkt.addr);
-        scheduleAfter(_latency, [this, resp = std::move(resp)]() mutable {
+        resp.setLine(line(pkt.addr));
+        scheduleAfter(_latency, [this, resp]() mutable {
             _respond(std::move(resp));
         });
     } else if (pkt.type == MsgType::MemWrite) {
         _stats.counter("writes").inc();
-        auto &stored = line(pkt.addr);
-        assert(pkt.data.size() == _lineBytes);
+        LineData &stored = line(pkt.addr);
+        assert(pkt.dataLen == _lineBytes);
         for (unsigned i = 0; i < _lineBytes; ++i) {
-            if (pkt.mask.empty() || pkt.mask[i])
+            if (maskTest(pkt.mask, i))
                 stored[i] = pkt.data[i];
         }
         Packet resp = pkt;
         resp.type = MsgType::MemWBAck;
-        resp.data.clear();
-        resp.mask.clear();
-        scheduleAfter(_latency, [this, resp = std::move(resp)]() mutable {
+        resp.clearData();
+        scheduleAfter(_latency, [this, resp]() mutable {
             _respond(std::move(resp));
         });
     } else {
@@ -61,12 +55,12 @@ SimpleMemory::recvMsg(Packet pkt)
     }
 }
 
-std::vector<std::uint8_t>
+LineData
 SimpleMemory::peekLine(Addr line_addr) const
 {
     auto it = _store.find(line_addr);
     if (it == _store.end())
-        return std::vector<std::uint8_t>(_lineBytes, 0);
+        return LineData{};
     return it->second;
 }
 

@@ -50,7 +50,7 @@ class SimpleMemory : public SimObject, public MsgReceiver
     /**
      * Debug/bootstrap access: read a full line without timing.
      */
-    std::vector<std::uint8_t> peekLine(Addr line_addr) const;
+    LineData peekLine(Addr line_addr) const;
 
     /**
      * Debug/bootstrap access: write bytes without timing (used to
@@ -61,12 +61,12 @@ class SimpleMemory : public SimObject, public MsgReceiver
     const StatGroup &stats() const { return _stats; }
 
   private:
-    std::vector<std::uint8_t> &line(Addr line_addr);
+    LineData &line(Addr line_addr);
 
     unsigned _lineBytes;
     Tick _latency;
     RespFunc _respond;
-    std::unordered_map<Addr, std::vector<std::uint8_t>> _store;
+    std::unordered_map<Addr, LineData> _store;
     StatGroup _stats;
 };
 

@@ -7,15 +7,24 @@
  * L2<->directory traffic, CPU core-pair<->directory traffic, DMA, and the
  * directory<->DRAM interface. Using a single flat vocabulary keeps ports
  * and the crossbar generic, exactly like Ruby's MessageBuffer payloads.
+ *
+ * The Packet is a flat, trivially-copyable value: the payload is an
+ * inline LineData array sized by @c dataLen (0 = no payload) and the
+ * byte-enable mask is a ByteMask bitmask. Nothing in a Packet touches
+ * the heap, so moving one through a port, the crossbar, and into
+ * controller TBE state never allocates; a port-delivery closure
+ * (receiver pointer + Packet) fits in one recycled event block.
  */
 
 #ifndef DRF_MEM_MSG_HH
 #define DRF_MEM_MSG_HH
 
+#include <cassert>
 #include <cstdint>
 #include <string>
-#include <vector>
+#include <type_traits>
 
+#include "mem/line.hh"
 #include "sim/types.hh"
 
 namespace drf
@@ -77,9 +86,11 @@ enum class MsgType
 const char *msgTypeName(MsgType type);
 
 /**
- * One message. Line-granularity messages carry a full line of data plus a
- * byte-enable mask (VIPER's per-byte dirty masks); core-level messages
- * carry @c size bytes at @c addr.
+ * One message. Line-granularity messages carry a full line of inline
+ * data plus a byte-enable bitmask (VIPER's per-byte dirty masks);
+ * core-level messages carry @c size payload bytes at @c addr.
+ *
+ * Trivially copyable by design: see the file comment.
  */
 struct Packet
 {
@@ -91,11 +102,11 @@ struct Packet
     /** Access size in bytes for core-level requests. */
     unsigned size = 0;
 
-    /** Line-sized payload for line messages; access-sized otherwise. */
-    std::vector<std::uint8_t> data;
+    /** Valid payload bytes in @c data (0 = no payload). */
+    std::uint16_t dataLen = 0;
 
-    /** Byte-enable mask, parallel to a full line (empty => all bytes). */
-    std::vector<std::uint8_t> mask;
+    /** Byte-enable bitmask for line writes (fullLineMask = all bytes). */
+    ByteMask mask = 0;
 
     /** Acquire semantics (load-acquire / atomic-acquire). */
     bool acquire = false;
@@ -124,9 +135,79 @@ struct Packet
     /** Crossbar endpoint that sent this message (for responses). */
     int srcEndpoint = -1;
 
-    /** Short one-line description for traces. */
+    /** Inline payload; only the first @c dataLen bytes are meaningful. */
+    LineData data{};
+
+    /** True if the packet carries a payload. */
+    bool hasData() const { return dataLen != 0; }
+
+    /** Drop the payload and mask (acks and other data-free responses). */
+    void
+    clearData()
+    {
+        dataLen = 0;
+        mask = 0;
+    }
+
+    /** Copy @p n bytes from @p src into the payload. */
+    void
+    setData(const std::uint8_t *src, unsigned n)
+    {
+        assert(n <= kLineBytes);
+        for (unsigned i = 0; i < n; ++i)
+            data[i] = src[i];
+        dataLen = static_cast<std::uint16_t>(n);
+    }
+
+    /** Carry a full line. */
+    void
+    setLine(const LineData &line)
+    {
+        data = line;
+        dataLen = static_cast<std::uint16_t>(kLineBytes);
+    }
+
+    /** Fill the first @p n payload bytes with @p byte. */
+    void
+    fillData(std::uint8_t byte, unsigned n)
+    {
+        assert(n <= kLineBytes);
+        for (unsigned i = 0; i < n; ++i)
+            data[i] = byte;
+        dataLen = static_cast<std::uint16_t>(n);
+    }
+
+    /** Little-endian encode @p value into an @p n byte payload. */
+    void
+    setValueLE(std::uint64_t value, unsigned n)
+    {
+        assert(n <= 8 && n <= kLineBytes);
+        for (unsigned i = 0; i < n; ++i)
+            data[i] = static_cast<std::uint8_t>(value >> (8 * i));
+        dataLen = static_cast<std::uint16_t>(n);
+    }
+
+    /** Little-endian decode of the payload (@c dataLen bytes). */
+    std::uint64_t
+    valueLE() const
+    {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < dataLen && i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+        return v;
+    }
+
+    /**
+     * Short one-line description. Built on demand only — every call
+     * site is a failure or trace path, so the hot loop never pays for
+     * string formatting.
+     */
     std::string describe() const;
 };
+
+static_assert(std::is_trivially_copyable_v<Packet>,
+              "Packet must stay a flat POD: the zero-allocation message "
+              "path depends on it");
 
 } // namespace drf
 

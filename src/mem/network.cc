@@ -8,44 +8,51 @@ namespace drf
 
 Crossbar::Crossbar(std::string name, EventQueue &eq, Tick hop_latency)
     : SimObject(std::move(name), eq), _hopLatency(hop_latency),
-      _stats(SimObject::name())
+      _stats(SimObject::name()), _msgs(&_stats.counter("msgs"))
 {
 }
 
 int
 Crossbar::attach(int id, MsgReceiver &receiver)
 {
-    assert(_endpoints.find(id) == _endpoints.end() &&
-           "endpoint id already attached");
-    _endpoints[id] = &receiver;
+    assert(id >= 0 && "endpoint ids must be non-negative");
+    assert(indexOf(id) < 0 && "endpoint id already attached");
+    if (static_cast<std::size_t>(id) >= _indexOf.size())
+        _indexOf.resize(id + 1, -1);
+    int idx = static_cast<int>(_receivers.size());
+    _indexOf[id] = idx;
+    _receivers.push_back(&receiver);
+    for (auto &row : _channels)
+        row.resize(_receivers.size());
+    _channels.emplace_back(_receivers.size());
     return id;
 }
 
 MsgPort &
-Crossbar::channel(int src, int dst)
+Crossbar::channel(int src, int dst, int src_idx, int dst_idx)
 {
-    auto key = std::make_pair(src, dst);
-    auto it = _channels.find(key);
-    if (it == _channels.end()) {
-        auto endpoint_it = _endpoints.find(dst);
-        assert(endpoint_it != _endpoints.end() && "unknown destination");
-        auto port = std::make_unique<MsgPort>(
+    std::unique_ptr<MsgPort> &slot = _channels[src_idx][dst_idx];
+    if (!slot) {
+        slot = std::make_unique<MsgPort>(
             name() + ".ch" + std::to_string(src) + "->" +
                 std::to_string(dst),
             eventq(), _hopLatency);
-        port->bind(*endpoint_it->second);
-        it = _channels.emplace(key, std::move(port)).first;
+        slot->bind(*_receivers[dst_idx]);
     }
-    return *it->second;
+    return *slot;
 }
 
 void
 Crossbar::route(int src, int dst, Packet pkt, Tick extra_delay)
 {
+    int src_idx = indexOf(src);
+    int dst_idx = indexOf(dst);
+    assert(src_idx >= 0 && "unknown source");
+    assert(dst_idx >= 0 && "unknown destination");
     pkt.srcEndpoint = src;
     ++_routed;
-    _stats.counter("msgs").inc();
-    channel(src, dst).send(std::move(pkt), extra_delay);
+    _msgs->inc();
+    channel(src, dst, src_idx, dst_idx).send(std::move(pkt), extra_delay);
 }
 
 } // namespace drf

@@ -7,13 +7,17 @@
  * latency. This stands in for Ruby's network: rich enough to interleave
  * traffic from many L1s, the CPU complex, and DMA in front of the shared
  * controllers, simple enough to be obviously correct.
+ *
+ * Routing is a dense table lookup: endpoint ids map to compact indices
+ * once at attach time, and the per-(src,dst) ordered channels live in a
+ * flat 2-D array. The hot route() path is two vector indexes and a port
+ * send — no tree walks, no string lookups, no allocation.
  */
 
 #ifndef DRF_MEM_NETWORK_HH
 #define DRF_MEM_NETWORK_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -60,14 +64,28 @@ class Crossbar : public SimObject
     const StatGroup &stats() const { return _stats; }
 
   private:
-    /** Lazily created ordered channel for a (src,dst) pair. */
-    MsgPort &channel(int src, int dst);
+    /** Lazily created ordered channel for a (src,dst) index pair. */
+    MsgPort &channel(int src, int dst, int src_idx, int dst_idx);
+
+    /** Dense index for endpoint @p id, or -1 if never attached. */
+    int
+    indexOf(int id) const
+    {
+        return (id >= 0 && static_cast<std::size_t>(id) < _indexOf.size())
+                   ? _indexOf[id]
+                   : -1;
+    }
 
     Tick _hopLatency;
-    std::map<int, MsgReceiver *> _endpoints;
-    std::map<std::pair<int, int>, std::unique_ptr<MsgPort>> _channels;
+    /** Endpoint id -> dense index (-1 = absent); ids are small ints. */
+    std::vector<int> _indexOf;
+    /** Dense index -> receiver. */
+    std::vector<MsgReceiver *> _receivers;
+    /** [srcIdx][dstIdx] -> ordered channel (lazily created). */
+    std::vector<std::vector<std::unique_ptr<MsgPort>>> _channels;
     std::uint64_t _routed = 0;
     StatGroup _stats;
+    Counter *_msgs; ///< cached "msgs" counter; route() skips the map
 };
 
 } // namespace drf

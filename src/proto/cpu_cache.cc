@@ -81,31 +81,28 @@ CpuCache::performLoad(const CacheEntry &entry, const Packet &pkt)
     Packet resp = pkt;
     resp.type = MsgType::LoadResp;
     Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
-    resp.data.assign(entry.data.begin() + off,
-                     entry.data.begin() + off + pkt.size);
-    scheduleAfter(_cfg.hitLatency,
-                  [this, resp = std::move(resp)]() mutable {
-                      _respond(std::move(resp));
-                  });
+    resp.setData(entry.data.data() + off, pkt.size);
+    scheduleAfter(_cfg.hitLatency, [this, resp]() mutable {
+        _respond(std::move(resp));
+    });
 }
 
 void
 CpuCache::performStore(CacheEntry &entry, const Packet &pkt)
 {
     Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
-    assert(pkt.data.size() == pkt.size);
+    assert(pkt.dataLen == pkt.size);
     for (unsigned i = 0; i < pkt.size; ++i) {
         entry.data[off + i] = pkt.data[i];
-        entry.dirty[off + i] = 1;
+        entry.dirty |= maskBit(off + i);
     }
     entry.state = LineM;
     Packet resp = pkt;
     resp.type = MsgType::StoreAck;
-    resp.data.clear();
-    scheduleAfter(_cfg.hitLatency,
-                  [this, resp = std::move(resp)]() mutable {
-                      _respond(std::move(resp));
-                  });
+    resp.clearData();
+    scheduleAfter(_cfg.hitLatency, [this, resp]() mutable {
+        _respond(std::move(resp));
+    });
 }
 
 void
@@ -246,7 +243,7 @@ CpuCache::makeRoom(Addr line_addr)
         wb.type = MsgType::Putx;
         wb.addr = victim_line;
         wb.id = _nextId++;
-        wb.data = victim.data;
+        wb.setLine(victim.data);
         wb.issueTick = curTick();
         _xbar.route(_endpoint, _dirEndpoint, std::move(wb));
     } else {
@@ -340,7 +337,7 @@ CpuCache::handleProbe(Packet pkt, bool downgrade)
     switch (st) {
       case StM: {
         CacheEntry *entry = _array.findEntry(line);
-        ack.data = entry->data;
+        ack.setLine(entry->data);
         if (downgrade) {
             entry->state = LineS;
             entry->clearDirty();
@@ -359,7 +356,7 @@ CpuCache::handleProbe(Packet pkt, bool downgrade)
         // The probe crossed our writeback; hand over the data now. The
         // in-flight Putx will be acknowledged as stale.
         auto it = _tbes.find(line);
-        ack.data = it->second.wbData;
+        ack.setLine(it->second.wbData);
         break;
       }
       case StSM: {

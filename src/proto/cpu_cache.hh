@@ -105,9 +105,9 @@ class CpuCache : public SimObject, public MsgReceiver
     /** MSHR for one line in a transient state. */
     struct Tbe
     {
-        State transient; ///< IS, IM, SM or MI
-        Packet corePkt;  ///< pending core request (IS/IM/SM)
-        std::vector<std::uint8_t> wbData; ///< dirty line (MI)
+        State transient;   ///< IS, IM, SM or MI
+        Packet corePkt;    ///< pending core request (IS/IM/SM)
+        LineData wbData{}; ///< dirty line (MI)
     };
 
     State lineState(Addr line_addr) const;

@@ -182,24 +182,24 @@ Directory::readMem(Addr line_addr)
 }
 
 void
-Directory::writeMem(Addr line_addr, const std::vector<std::uint8_t> &data,
-                    const std::vector<std::uint8_t> &mask)
+Directory::writeMem(Addr line_addr, const LineData &data, ByteMask mask)
 {
     Packet req;
     req.type = MsgType::MemWrite;
     req.addr = line_addr;
     req.data = data;
+    req.dataLen = static_cast<std::uint16_t>(_cfg.lineBytes);
     req.mask = mask;
     req.issueTick = curTick();
     _memPort.send(std::move(req));
 }
 
 std::uint64_t
-Directory::applyAtomic(std::vector<std::uint8_t> &buf, Addr addr,
-                       unsigned size, std::uint64_t operand) const
+Directory::applyAtomic(LineData &buf, Addr addr, unsigned size,
+                       std::uint64_t operand) const
 {
     Addr off = lineOffset(addr, _cfg.lineBytes);
-    assert(off + size <= buf.size());
+    assert(off + size <= kLineBytes);
     std::uint64_t old = 0;
     for (unsigned i = 0; i < size; ++i)
         old |= static_cast<std::uint64_t>(buf[off + i]) << (8 * i);
@@ -230,8 +230,7 @@ Directory::handleGpuFetch(Packet pkt)
             Line &l2 = line(la);
             Txn &txn = *l2.txn;
             assert(txn.haveProbeData);
-            std::vector<std::uint8_t> full_mask(_cfg.lineBytes, 1);
-            writeMem(la, txn.probeData, full_mask);
+            writeMem(la, txn.probeData, fullLineMask);
             txn.onMemWBAck = [this, la] {
                 Line &l3 = line(la);
                 Txn &txn3 = *l3.txn;
@@ -239,7 +238,7 @@ Directory::handleGpuFetch(Packet pkt)
                 resp.type = MsgType::DirData;
                 resp.addr = la;
                 resp.id = txn3.origin.id;
-                resp.data = txn3.probeData;
+                resp.setLine(txn3.probeData);
                 int dst = txn3.origin.srcEndpoint;
                 l3.sharers.insert(l3.owner);
                 l3.owner = -1;
@@ -254,13 +253,13 @@ Directory::handleGpuFetch(Packet pkt)
     }
 
     // U or CS: memory is current.
-    t.onMemData = [this, la](std::vector<std::uint8_t> data) {
+    t.onMemData = [this, la](const LineData &data) {
         Line &l2 = line(la);
         Packet resp;
         resp.type = MsgType::DirData;
         resp.addr = la;
         resp.id = l2.txn->origin.id;
-        resp.data = std::move(data);
+        resp.setLine(data);
         int dst = l2.txn->origin.srcEndpoint;
         l2.gpuSharers.insert(dst);
         finishTxn(la);
@@ -286,8 +285,7 @@ Directory::handleGpuWrMem(Packet pkt)
     Txn &t = *line(la).txn;
 
     auto do_write_and_ack =
-        [this, la](const std::vector<std::uint8_t> &data,
-                   const std::vector<std::uint8_t> &mask) {
+        [this, la](const LineData &data, ByteMask mask) {
             Line &l2 = line(la);
             l2.txn->onMemWBAck = [this, la] {
                 Line &l3 = line(la);
@@ -309,16 +307,15 @@ Directory::handleGpuWrMem(Packet pkt)
             Line &l2 = line(la);
             Txn &txn = *l2.txn;
             assert(txn.haveProbeData);
-            std::vector<std::uint8_t> buf = txn.probeData;
+            LineData buf = txn.probeData;
             for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
-                if (txn.origin.mask[i])
+                if (maskTest(txn.origin.mask, i))
                     buf[i] = txn.origin.data[i];
             }
             l2.owner = -1;
             l2.sharers.clear();
             l2.stable = StU;
-            do_write_and_ack(buf, std::vector<std::uint8_t>(_cfg.lineBytes,
-                                                            1));
+            do_write_and_ack(buf, fullLineMask);
         };
         sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
         sendGpuProbes(la, requester);
@@ -377,7 +374,7 @@ Directory::handleGpuAtomic(Packet pkt)
     startTxn(la, std::move(pkt));
     Txn &t = *line(la).txn;
 
-    auto rmw = [this, la](std::vector<std::uint8_t> buf) {
+    auto rmw = [this, la](LineData buf) {
         Line &l2 = line(la);
         Txn &txn = *l2.txn;
         std::uint64_t old = applyAtomic(buf, txn.origin.addr,
@@ -390,7 +387,7 @@ Directory::handleGpuAtomic(Packet pkt)
         resp.addr = txn.origin.addr;
         resp.id = txn.origin.id;
         resp.atomicResult = old;
-        resp.data = buf;
+        resp.setLine(buf);
         int dst = txn.origin.srcEndpoint;
 
         if (_fault != nullptr && _fault->fire(FaultKind::NonAtomicRmw)) {
@@ -403,14 +400,19 @@ Directory::handleGpuAtomic(Packet pkt)
             return;
         }
 
-        txn.onMemWBAck = [this, la, resp = std::move(resp),
-                          dst]() mutable {
+        // Park the response on the Txn rather than in the capture: a
+        // Packet-sized capture would push this std::function off its
+        // small buffer and heap-allocate on the atomic hot path.
+        txn.pendingResp = resp;
+        txn.onMemWBAck = [this, la] {
             Line &l3 = line(la);
-            l3.gpuSharers.insert(dst); // the L2 caches the result line
+            Packet done = l3.txn->pendingResp;
+            int dst2 = l3.txn->origin.srcEndpoint;
+            l3.gpuSharers.insert(dst2); // the L2 caches the result line
             finishTxn(la);
-            _xbar.route(_endpoint, dst, std::move(resp));
+            _xbar.route(_endpoint, dst2, std::move(done));
         };
-        writeMem(la, buf, std::vector<std::uint8_t>(_cfg.lineBytes, 1));
+        writeMem(la, buf, fullLineMask);
     };
 
     if (st == StCM) {
@@ -470,14 +472,14 @@ Directory::handleCpuGets(Packet pkt)
     startTxn(la, std::move(pkt));
     Txn &t = *line(la).txn;
 
-    auto grant_shared = [this, la](std::vector<std::uint8_t> data) {
+    auto grant_shared = [this, la](const LineData &data) {
         Line &l2 = line(la);
         Packet resp;
         resp.type = MsgType::CpuData;
         resp.addr = la;
         resp.id = l2.txn->origin.id;
         resp.grant = 1;
-        resp.data = std::move(data);
+        resp.setLine(data);
         int dst = l2.txn->origin.srcEndpoint;
         l2.sharers.insert(dst);
         l2.stable = StCS;
@@ -491,14 +493,13 @@ Directory::handleCpuGets(Packet pkt)
             Line &l2 = line(la);
             Txn &txn = *l2.txn;
             assert(txn.haveProbeData);
-            std::vector<std::uint8_t> data = txn.probeData;
+            LineData data = txn.probeData;
             l2.sharers.insert(l2.owner);
             l2.owner = -1;
             txn.onMemWBAck = [grant_shared, data] {
                 grant_shared(data);
             };
-            writeMem(la, data, std::vector<std::uint8_t>(_cfg.lineBytes,
-                                                         1));
+            writeMem(la, data, fullLineMask);
         };
         sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
         return;
@@ -524,14 +525,14 @@ Directory::handleCpuGetx(Packet pkt)
     startTxn(la, std::move(pkt));
     Txn &t = *line(la).txn;
 
-    auto grant_exclusive = [this, la](std::vector<std::uint8_t> data) {
+    auto grant_exclusive = [this, la](const LineData &data) {
         Line &l2 = line(la);
         Packet resp;
         resp.type = MsgType::CpuData;
         resp.addr = la;
         resp.id = l2.txn->origin.id;
         resp.grant = 2;
-        resp.data = std::move(data);
+        resp.setLine(data);
         int dst = l2.txn->origin.srcEndpoint;
         l2.sharers.clear();
         l2.owner = dst;
@@ -617,8 +618,7 @@ Directory::handleCpuPutx(Packet pkt)
         finishTxn(la);
         _xbar.route(_endpoint, dst, std::move(ack));
     };
-    writeMem(la, t.origin.data,
-             std::vector<std::uint8_t>(_cfg.lineBytes, 1));
+    writeMem(la, t.origin.data, fullLineMask);
 }
 
 void
@@ -636,13 +636,13 @@ Directory::handleDmaRead(Packet pkt)
     startTxn(la, std::move(pkt));
     Txn &t = *line(la).txn;
 
-    auto respond = [this, la](std::vector<std::uint8_t> data) {
+    auto respond = [this, la](const LineData &data) {
         Line &l2 = line(la);
         Packet resp;
         resp.type = MsgType::DmaReadResp;
         resp.addr = la;
         resp.id = l2.txn->origin.id;
-        resp.data = std::move(data);
+        resp.setLine(data);
         int dst = l2.txn->origin.srcEndpoint;
         finishTxn(la);
         _xbar.route(_endpoint, dst, std::move(resp));
@@ -654,13 +654,12 @@ Directory::handleDmaRead(Packet pkt)
             Line &l2 = line(la);
             Txn &txn = *l2.txn;
             assert(txn.haveProbeData);
-            std::vector<std::uint8_t> data = txn.probeData;
+            LineData data = txn.probeData;
             l2.sharers.insert(l2.owner);
             l2.owner = -1;
             l2.stable = StCS;
             txn.onMemWBAck = [respond, data] { respond(data); };
-            writeMem(la, data, std::vector<std::uint8_t>(_cfg.lineBytes,
-                                                         1));
+            writeMem(la, data, fullLineMask);
         };
         sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
         return;
@@ -686,8 +685,7 @@ Directory::handleDmaWrite(Packet pkt)
     Txn &t = *line(la).txn;
 
     auto write_and_respond =
-        [this, la](const std::vector<std::uint8_t> &data,
-                   const std::vector<std::uint8_t> &mask) {
+        [this, la](const LineData &data, ByteMask mask) {
             Line &l2 = line(la);
             l2.txn->onMemWBAck = [this, la] {
                 Line &l3 = line(la);
@@ -708,16 +706,15 @@ Directory::handleDmaWrite(Packet pkt)
             Line &l2 = line(la);
             Txn &txn = *l2.txn;
             assert(txn.haveProbeData);
-            std::vector<std::uint8_t> buf = txn.probeData;
+            LineData buf = txn.probeData;
             for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
-                if (txn.origin.mask[i])
+                if (maskTest(txn.origin.mask, i))
                     buf[i] = txn.origin.data[i];
             }
             l2.owner = -1;
             l2.sharers.clear();
             l2.stable = StU;
-            write_and_respond(buf,
-                              std::vector<std::uint8_t>(_cfg.lineBytes, 1));
+            write_and_respond(buf, fullLineMask);
         };
         sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
         sendGpuProbes(la);
@@ -751,7 +748,7 @@ Directory::handleMemResp(Packet pkt)
         assert(l.txn->onMemData && "unexpected MemData");
         auto fn = std::move(l.txn->onMemData);
         l.txn->onMemData = nullptr;
-        fn(std::move(pkt.data));
+        fn(pkt.data);
     } else if (pkt.type == MsgType::MemWBAck) {
         transition(EvMemWBAck, StB);
         assert(l.txn->onMemWBAck && "unexpected MemWBAck");
@@ -776,8 +773,8 @@ Directory::handleInvAck(Packet pkt, bool from_gpu)
     }
     transition(from_gpu ? EvGpuInvAck : EvCpuInvAck, StB);
     Txn &t = *l.txn;
-    if (!pkt.data.empty()) {
-        t.probeData = std::move(pkt.data);
+    if (pkt.hasData()) {
+        t.probeData = pkt.data;
         t.haveProbeData = true;
     }
     assert(t.pendingAcks > 0);

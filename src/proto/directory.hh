@@ -115,10 +115,17 @@ class Directory : public SimObject, public MsgReceiver
     {
         Packet origin;
         int pendingAcks = 0;
-        std::vector<std::uint8_t> probeData;
+        LineData probeData{};
         bool haveProbeData = false;
+        /**
+         * A prepared response parked until the memory writeback acks.
+         * Keeping it here instead of inside onMemWBAck's capture keeps
+         * that std::function within its small-buffer optimisation (a
+         * Packet capture would heap-allocate on every atomic).
+         */
+        Packet pendingResp;
         std::function<void()> onAcks;
-        std::function<void(std::vector<std::uint8_t>)> onMemData;
+        std::function<void(const LineData &)> onMemData;
         std::function<void()> onMemWBAck;
     };
 
@@ -157,8 +164,7 @@ class Directory : public SimObject, public MsgReceiver
     unsigned sendGpuProbes(Addr line_addr, int exclude = -1);
 
     void readMem(Addr line_addr);
-    void writeMem(Addr line_addr, const std::vector<std::uint8_t> &data,
-                  const std::vector<std::uint8_t> &mask);
+    void writeMem(Addr line_addr, const LineData &data, ByteMask mask);
 
     void handleGpuFetch(Packet pkt);
     void handleGpuWrMem(Packet pkt);
@@ -172,8 +178,8 @@ class Directory : public SimObject, public MsgReceiver
     void handleInvAck(Packet pkt, bool from_gpu);
 
     /** Perform the fetch-add on a line buffer; returns the old value. */
-    std::uint64_t applyAtomic(std::vector<std::uint8_t> &buf, Addr addr,
-                              unsigned size, std::uint64_t operand) const;
+    std::uint64_t applyAtomic(LineData &buf, Addr addr, unsigned size,
+                              std::uint64_t operand) const;
 
     DirectoryConfig _cfg;
     Crossbar &_xbar;

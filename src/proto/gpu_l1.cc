@@ -139,14 +139,12 @@ GpuL1Cache::handleLoad(Packet pkt)
         _stats.counter("load_hits").inc();
         Packet resp = pkt;
         resp.type = MsgType::LoadResp;
-        resp.data.assign(
-            entry->data.begin() + lineOffset(pkt.addr, _cfg.lineBytes),
-            entry->data.begin() + lineOffset(pkt.addr, _cfg.lineBytes) +
-                pkt.size);
-        scheduleAfter(_cfg.hitLatency,
-                      [this, resp = std::move(resp)]() mutable {
-                          _respond(std::move(resp));
-                      });
+        resp.setData(entry->data.data() +
+                         lineOffset(pkt.addr, _cfg.lineBytes),
+                     pkt.size);
+        scheduleAfter(_cfg.hitLatency, [this, resp]() mutable {
+            _respond(std::move(resp));
+        });
         return;
     }
 
@@ -181,7 +179,7 @@ GpuL1Cache::handleStore(Packet pkt)
         return;
     }
 
-    assert(pkt.data.size() == pkt.size);
+    assert(pkt.dataLen == pkt.size);
 
     if (st == StV) {
         // Perform the store locally with per-byte dirty bits, then write
@@ -191,7 +189,7 @@ GpuL1Cache::handleStore(Packet pkt)
         Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
         for (unsigned i = 0; i < pkt.size; ++i) {
             entry->data[off + i] = pkt.data[i];
-            entry->dirty[off + i] = 1;
+            entry->dirty |= maskBit(off + i);
         }
     }
 
@@ -202,12 +200,11 @@ GpuL1Cache::handleStore(Packet pkt)
     wt.id = _nextId++;
     wt.requestor = pkt.requestor;
     wt.issueTick = curTick();
-    wt.data.assign(_cfg.lineBytes, 0);
-    wt.mask.assign(_cfg.lineBytes, 0);
+    wt.dataLen = static_cast<std::uint16_t>(_cfg.lineBytes);
     Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
     for (unsigned i = 0; i < pkt.size; ++i) {
         wt.data[off + i] = pkt.data[i];
-        wt.mask[off + i] = 1;
+        wt.mask |= maskBit(off + i);
     }
 
     _pendingWT.emplace(wt.id, pkt);
@@ -277,7 +274,7 @@ GpuL1Cache::flashInvalidate()
 }
 
 CacheEntry &
-GpuL1Cache::fillLine(Addr line_addr, const std::vector<std::uint8_t> &data)
+GpuL1Cache::fillLine(Addr line_addr, const LineData &data)
 {
     if (!_array.hasFreeWay(line_addr)) {
         CacheEntry &victim = _array.victim(line_addr);
@@ -311,13 +308,12 @@ GpuL1Cache::handleTccAck(Packet pkt)
         resp.type = MsgType::AtomicResp;
         resp.atomicResult = pkt.atomicResult;
     } else {
-        assert(pkt.data.size() == _cfg.lineBytes);
+        assert(pkt.dataLen == _cfg.lineBytes);
         CacheEntry &entry = fillLine(line, pkt.data);
         _array.touch(entry);
         resp.type = MsgType::LoadResp;
         Addr off = lineOffset(resp.addr, _cfg.lineBytes);
-        resp.data.assign(entry.data.begin() + off,
-                         entry.data.begin() + off + resp.size);
+        resp.setData(entry.data.data() + off, resp.size);
     }
     _respond(std::move(resp));
 }
@@ -340,7 +336,7 @@ GpuL1Cache::handleTccAckWB(Packet pkt)
     --_outstandingWT;
 
     resp.type = MsgType::StoreAck;
-    resp.data.clear();
+    resp.clearData();
     _respond(std::move(resp));
 
     tryDrainReleaseQueue();

@@ -143,8 +143,7 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     void flashInvalidate();
 
     /** Fill a line after TCC_Ack, replacing a victim if needed. */
-    CacheEntry &fillLine(Addr line_addr,
-                         const std::vector<std::uint8_t> &data);
+    CacheEntry &fillLine(Addr line_addr, const LineData &data);
 
     /** Drain the release queue if no write-throughs remain. */
     void tryDrainReleaseQueue();

@@ -97,7 +97,7 @@ GpuL2Cache::respondData(const Packet &req, const CacheEntry &entry)
     resp.addr = req.addr;
     resp.id = req.id;
     resp.requestor = req.requestor;
-    resp.data = entry.data;
+    resp.setLine(entry.data);
     _xbar.route(_endpoint, req.srcEndpoint, std::move(resp));
 }
 
@@ -175,12 +175,11 @@ GpuL2Cache::handleWrThrough(Packet pkt)
         // Merge the masked bytes into the local copy.
         CacheEntry *entry = _array.findEntry(line);
         _array.touch(*entry);
-        assert(pkt.data.size() == _cfg.lineBytes &&
-               pkt.mask.size() == _cfg.lineBytes);
+        assert(pkt.dataLen == _cfg.lineBytes);
         for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
-            if (pkt.mask[i]) {
+            if (maskTest(pkt.mask, i)) {
                 entry->data[i] = pkt.data[i];
-                entry->dirty[i] = 1;
+                entry->dirty |= maskBit(i);
             }
         }
     }
@@ -194,6 +193,7 @@ GpuL2Cache::handleWrThrough(Packet pkt)
     fwd.requestor = pkt.requestor;
     fwd.issueTick = curTick();
     fwd.data = pkt.data;
+    fwd.dataLen = pkt.dataLen;
     fwd.mask = pkt.mask;
     _pendingWBs.emplace(fwd.id, PendingWB{pkt});
     _stats.counter("write_throughs").inc();
@@ -280,7 +280,7 @@ GpuL2Cache::handleAtomicD(Packet pkt)
 
     _atomicTbes.erase(it);
     // Cache the post-atomic line contents delivered with the ack.
-    assert(pkt.data.size() == _cfg.lineBytes);
+    assert(pkt.dataLen == _cfg.lineBytes);
     fillLine(line, pkt.data);
 }
 
@@ -301,7 +301,7 @@ GpuL2Cache::handleAtomicND(Packet pkt)
 }
 
 CacheEntry &
-GpuL2Cache::fillLine(Addr line_addr, const std::vector<std::uint8_t> &data)
+GpuL2Cache::fillLine(Addr line_addr, const LineData &data)
 {
     if (_array.findEntry(line_addr) != nullptr) {
         // Refill raced with a write-through that re-validated the line;
@@ -330,9 +330,9 @@ GpuL2Cache::fillLine(Addr line_addr, const std::vector<std::uint8_t> &data)
         if (lineAlign(wb.original.addr, _cfg.lineBytes) != line_addr)
             continue;
         for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
-            if (wb.original.mask[i]) {
+            if (maskTest(wb.original.mask, i)) {
                 entry.data[i] = wb.original.data[i];
-                entry.dirty[i] = 1;
+                entry.dirty |= maskBit(i);
             }
         }
         _stats.counter("refill_merges").inc();

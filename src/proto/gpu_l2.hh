@@ -129,8 +129,7 @@ class GpuL2Cache : public SimObject, public MsgReceiver
     void issueAtomic(Addr line_addr);
 
     /** Fill a line after refill data, replacing a victim if needed. */
-    CacheEntry &fillLine(Addr line_addr,
-                         const std::vector<std::uint8_t> &data);
+    CacheEntry &fillLine(Addr line_addr, const LineData &data);
 
     /** Reply with a TccAck carrying the line to one RdBlk waiter. */
     void respondData(const Packet &req, const CacheEntry &entry);

@@ -83,7 +83,7 @@ CpuTester::issueNext(Core &core)
                                        ? 0 : it->second) + 1);
         core.curValue = next;
         pkt.type = MsgType::StoreReq;
-        pkt.data = {next};
+        pkt.setValueLE(next, 1);
     } else {
         pkt.type = MsgType::LoadReq;
     }
@@ -99,7 +99,8 @@ CpuTester::onCoreResponse(unsigned cache_idx, Packet pkt)
     assert(core.busy && core.curAddr == pkt.addr);
 
     if (pkt.type == MsgType::LoadResp) {
-        std::uint8_t got = pkt.data.at(0);
+        assert(pkt.dataLen >= 1);
+        std::uint8_t got = pkt.data[0];
         auto it = _expected.find(pkt.addr);
         std::uint8_t expected = it == _expected.end() ? 0 : it->second;
         if (got != expected) {

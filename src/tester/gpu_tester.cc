@@ -11,31 +11,6 @@
 namespace drf
 {
 
-namespace
-{
-
-/** Little-endian decode of a value payload. */
-std::uint64_t
-decodeValue(const std::vector<std::uint8_t> &bytes)
-{
-    std::uint64_t v = 0;
-    for (std::size_t i = 0; i < bytes.size(); ++i)
-        v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
-    return v;
-}
-
-/** Little-endian encode of a 32-bit value. */
-std::vector<std::uint8_t>
-encodeValue(std::uint32_t value, unsigned size)
-{
-    std::vector<std::uint8_t> bytes(size);
-    for (unsigned i = 0; i < size; ++i)
-        bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
-    return bytes;
-}
-
-} // namespace
-
 std::string
 GpuTester::Outstanding::describe() const
 {
@@ -192,7 +167,7 @@ GpuTester::issueAction(Wavefront &wf)
 
         if (op.kind == LaneOp::Kind::Store) {
             pkt.type = MsgType::StoreReq;
-            pkt.data = encodeValue(op.storeValue, pkt.size);
+            pkt.setValueLE(op.storeValue, pkt.size);
         } else {
             pkt.type = MsgType::LoadReq;
         }
@@ -217,7 +192,7 @@ GpuTester::checkLoad(Wavefront &wf, unsigned lane, const Packet &pkt)
     assert(op.kind == LaneOp::Kind::Load);
     assert(_vmap->addrOf(op.var) == pkt.addr);
 
-    std::uint64_t got = decodeValue(pkt.data);
+    std::uint64_t got = pkt.valueLE();
 
     // Expected value: the lane's own earlier write in this episode, or
     // the globally visible (retired) value.
@@ -320,7 +295,7 @@ GpuTester::onCoreResponse(unsigned cu, Packet pkt)
     traceOp(OpTrace{pkt.type, pkt.addr, tid, wf_id, wf.episode.id,
                     pkt.type == MsgType::AtomicResp
                         ? pkt.atomicResult
-                        : decodeValue(pkt.data),
+                        : pkt.valueLE(),
                     _sys.eventq().curTick()});
 
     switch (pkt.type) {

@@ -17,7 +17,8 @@ AccessRecord::describe() const
 
 RefMemory::RefMemory(const VariableMap &vmap)
     : _vmap(&vmap), _values(vmap.numVars(), 0),
-      _lastWriter(vmap.numVars()), _lastReader(vmap.numVars())
+      _lastWriter(vmap.numVars()), _lastReader(vmap.numVars()),
+      _atomicSeen(vmap.numSyncVars())
 {
 }
 
@@ -39,6 +40,8 @@ RefMemory::noteRead(VarId var, const AccessRecord &record)
 std::optional<AtomicViolation>
 RefMemory::noteAtomicReturn(VarId var, const AccessRecord &record)
 {
+    if (var >= _atomicSeen.size())
+        _atomicSeen.resize(var + 1);
     auto &seen = _atomicSeen[var];
     auto [it, inserted] = seen.emplace(record.value, record);
     if (!inserted)

@@ -103,8 +103,7 @@ class RefMemory
     std::uint64_t
     atomicCount(VarId var) const
     {
-        auto it = _atomicSeen.find(var);
-        return it == _atomicSeen.end() ? 0 : it->second.size();
+        return var < _atomicSeen.size() ? _atomicSeen[var].size() : 0;
     }
 
     /** Total writes retired (for stats). */
@@ -119,9 +118,12 @@ class RefMemory
     std::vector<std::optional<AccessRecord>> _lastWriter;
     std::vector<std::optional<AccessRecord>> _lastReader;
 
-    /** var -> (returned value -> record that returned it). */
-    std::unordered_map<VarId,
-                       std::unordered_map<std::uint64_t, AccessRecord>>
+    /**
+     * Per-variable returned-value history, indexed directly by VarId
+     * (sync variables are the low ids) so the hot duplicate check hashes
+     * only the returned value, not the variable id.
+     */
+    std::vector<std::unordered_map<std::uint64_t, AccessRecord>>
         _atomicSeen;
 
     std::uint64_t _writesRetired = 0;

@@ -22,18 +22,16 @@ VariableMap::VariableMap(const VariableMapConfig &cfg, Random &rng)
         } while (!used.insert(slot).second);
         Addr addr = slot * cfg.varBytes;
         _addrs.push_back(addr);
-        _byLine.emplace(lineAlign(addr, cfg.lineBytes), v);
+        _byLine[lineAlign(addr, cfg.lineBytes)].push_back(v);
     }
 }
 
-std::vector<VarId>
+const std::vector<VarId> &
 VariableMap::varsInLine(Addr line_addr) const
 {
-    std::vector<VarId> vars;
-    auto [lo, hi] = _byLine.equal_range(line_addr);
-    for (auto it = lo; it != hi; ++it)
-        vars.push_back(it->second);
-    return vars;
+    static const std::vector<VarId> empty;
+    auto it = _byLine.find(line_addr);
+    return it == _byLine.end() ? empty : it->second;
 }
 
 double

@@ -17,7 +17,7 @@
 #define DRF_TESTER_VARIABLE_MAP_HH
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/random.hh"
@@ -77,8 +77,12 @@ class VariableMap
         return lineAlign(_addrs.at(var), _cfg.lineBytes);
     }
 
-    /** Variables co-located in the given cache line. */
-    std::vector<VarId> varsInLine(Addr line_addr) const;
+    /**
+     * Variables co-located in the given cache line. The index is built
+     * once at construction; the reference stays valid for the lifetime
+     * of the map.
+     */
+    const std::vector<VarId> &varsInLine(Addr line_addr) const;
 
     /**
      * Fraction of variables that share their cache line with at least
@@ -88,8 +92,9 @@ class VariableMap
 
   private:
     VariableMapConfig _cfg;
-    std::vector<Addr> _addrs;            ///< varId -> address
-    std::multimap<Addr, VarId> _byLine;  ///< line base -> variables
+    std::vector<Addr> _addrs; ///< varId -> address
+    /** Line base -> co-located variables, precomputed at construction. */
+    std::unordered_map<Addr, std::vector<VarId>> _byLine;
 };
 
 } // namespace drf

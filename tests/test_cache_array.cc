@@ -33,7 +33,7 @@ TEST(CacheArray, AllocateAndFind)
     CacheEntry &e = array.allocate(0x100);
     EXPECT_TRUE(e.valid);
     EXPECT_EQ(e.lineAddr, 0x100u);
-    EXPECT_EQ(e.data.size(), kLine);
+    EXPECT_EQ(e.data.size(), kLineBytes);
     EXPECT_EQ(array.findEntry(0x100), &e);
     EXPECT_EQ(array.validCount(), 1u);
 }
@@ -43,11 +43,11 @@ TEST(CacheArray, AllocateZeroesDataAndDirty)
     CacheArray array(1024, 2, kLine);
     CacheEntry &e = array.allocate(0x40);
     e.data[3] = 0xAB;
-    e.dirty[3] = 1;
+    e.dirty |= maskBit(3);
     array.invalidate(e);
     CacheEntry &e2 = array.allocate(0x40);
     EXPECT_EQ(e2.data[3], 0);
-    EXPECT_EQ(e2.dirty[3], 0);
+    EXPECT_FALSE(maskTest(e2.dirty, 3));
 }
 
 TEST(CacheArray, SetConflictsFillWays)

@@ -54,7 +54,7 @@ class CpuHarness : public ::testing::Test
         pkt.type = MsgType::StoreReq;
         pkt.addr = addr;
         pkt.size = 1;
-        pkt.data = {value};
+        pkt.setValueLE(value, 1);
         pkt.id = nextId++;
         sys->cpuCache(cache).coreRequest(std::move(pkt));
         sys->eventq().run();

@@ -51,12 +51,8 @@ class DirHarness : public ::testing::Test
         pkt.addr = addr;
         pkt.size = 4;
         pkt.id = nextId++;
-        if (type == MsgType::StoreReq) {
-            pkt.data = {static_cast<std::uint8_t>(value),
-                        static_cast<std::uint8_t>(value >> 8),
-                        static_cast<std::uint8_t>(value >> 16),
-                        static_cast<std::uint8_t>(value >> 24)};
-        }
+        if (type == MsgType::StoreReq)
+            pkt.setValueLE(value, 4);
         if (type == MsgType::AtomicReq)
             pkt.atomicOperand = value;
         sys->l1(0).coreRequest(std::move(pkt));
@@ -72,7 +68,7 @@ class DirHarness : public ::testing::Test
         pkt.size = 1;
         pkt.id = nextId++;
         if (type == MsgType::StoreReq)
-            pkt.data = {value};
+            pkt.setValueLE(value, 1);
         sys->cpuCache(cache).coreRequest(std::move(pkt));
         sys->eventq().run();
     }

@@ -53,10 +53,7 @@ class L1Harness : public ::testing::Test
         pkt.addr = addr;
         pkt.size = 4;
         pkt.release = release;
-        pkt.data = {static_cast<std::uint8_t>(value),
-                    static_cast<std::uint8_t>(value >> 8),
-                    static_cast<std::uint8_t>(value >> 16),
-                    static_cast<std::uint8_t>(value >> 24)};
+        pkt.setValueLE(value, 4);
         pkt.id = nextId++;
         return pkt;
     }
@@ -79,10 +76,7 @@ class L1Harness : public ::testing::Test
     std::uint32_t
     value32(const Packet &pkt)
     {
-        std::uint32_t v = 0;
-        for (std::size_t i = 0; i < pkt.data.size(); ++i)
-            v |= std::uint32_t(pkt.data[i]) << (8 * i);
-        return v;
+        return static_cast<std::uint32_t>(pkt.valueLE());
     }
 
     /** Issue one request and run to quiescence. */
@@ -162,7 +156,7 @@ TEST_F(L1Harness, PartialStoreMergesBytes)
     go(store(0x400, 0x11111111));
     Packet p = store(0x402, 0);
     p.size = 1;
-    p.data = {0xFF};
+    p.setValueLE(0xFF, 1);
     go(std::move(p));
     go(load(0x400));
     EXPECT_EQ(value32(responses.back()), 0x11FF1111u);

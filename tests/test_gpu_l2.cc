@@ -59,10 +59,7 @@ class L2Harness : public ::testing::Test
         pkt.type = MsgType::StoreReq;
         pkt.addr = addr;
         pkt.size = 4;
-        pkt.data = {static_cast<std::uint8_t>(value),
-                    static_cast<std::uint8_t>(value >> 8),
-                    static_cast<std::uint8_t>(value >> 16),
-                    static_cast<std::uint8_t>(value >> 24)};
+        pkt.setValueLE(value, 4);
         pkt.id = nextId++;
         sys->l1(cu).coreRequest(std::move(pkt));
         sys->eventq().run();
@@ -88,7 +85,7 @@ class L2Harness : public ::testing::Test
         pkt.type = MsgType::StoreReq;
         pkt.addr = addr;
         pkt.size = 1;
-        pkt.data = {value};
+        pkt.setValueLE(value, 1);
         pkt.id = nextId++;
         sys->cpuCache(0).coreRequest(std::move(pkt));
         sys->eventq().run();
@@ -103,10 +100,7 @@ class L2Harness : public ::testing::Test
     std::uint32_t
     value32(const Packet &pkt)
     {
-        std::uint32_t v = 0;
-        for (std::size_t i = 0; i < pkt.data.size(); ++i)
-            v |= std::uint32_t(pkt.data[i]) << (8 * i);
-        return v;
+        return static_cast<std::uint32_t>(pkt.valueLE());
     }
 
     std::unique_ptr<ApuSystem> sys;

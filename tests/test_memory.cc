@@ -38,11 +38,8 @@ class MemHarness : public ::testing::Test
         Packet pkt;
         pkt.type = MsgType::MemWrite;
         pkt.addr = line;
-        pkt.data.assign(64, fill);
-        if (only_byte >= 0) {
-            pkt.mask.assign(64, 0);
-            pkt.mask[only_byte] = 1;
-        }
+        pkt.fillData(fill, 64);
+        pkt.mask = only_byte >= 0 ? maskBit(only_byte) : fullLineMask;
         return pkt;
     }
 

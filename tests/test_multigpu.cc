@@ -152,7 +152,7 @@ TEST(MultiGpu, CrossL2ValuePropagation)
     st.type = MsgType::StoreReq;
     st.addr = 0x4000;
     st.size = 4;
-    st.data = {0xEF, 0xBE, 0xAD, 0xDE};
+    st.setValueLE(0xDEADBEEF, 4);
     st.id = 3;
     run_op(0, st);
     EXPECT_GT(sys.directory().stats().value("gpu_probes"), 0u);
@@ -167,7 +167,7 @@ TEST(MultiGpu, CrossL2ValuePropagation)
     run_op(3, ld2);
     ASSERT_FALSE(responses[3].empty());
     const Packet &resp = responses[3].back();
-    ASSERT_EQ(resp.data.size(), 4u);
+    ASSERT_EQ(resp.dataLen, 4u);
     EXPECT_EQ(resp.data[0], 0xEF);
     EXPECT_EQ(resp.data[3], 0xDE);
 }

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Death-to-allocation test for the message path.
+ *
+ * The flat POD Packet plus the event-queue block pool are supposed to
+ * make the steady-state message loop allocation-free: after warmup,
+ * routing a packet through the crossbar, scheduling its delivery, and
+ * handing it to the receiver must not touch the heap. This binary
+ * replaces global operator new with a counting hook (which is why it is
+ * a standalone executable rather than part of drf_tests) and fails if a
+ * steady-state ping-pong of many thousands of messages allocates even
+ * once.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "mem/network.hh"
+#include "sim/event_queue.hh"
+
+namespace
+{
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+} // namespace
+
+void *
+operator new(std::size_t n)
+{
+    if (g_counting.load(std::memory_order_relaxed))
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace
+{
+
+using namespace drf;
+
+/**
+ * Bounces every received packet back to the peer endpoint until the
+ * configured number of messages has been observed.
+ */
+class PingPong : public MsgReceiver
+{
+  public:
+    PingPong(Crossbar &xbar, int self, int peer)
+        : _xbar(xbar), _self(self), _peer(peer)
+    {
+    }
+
+    void
+    recvMsg(Packet pkt) override
+    {
+        ++received;
+        if (received < limit)
+            _xbar.route(_self, _peer, std::move(pkt));
+    }
+
+    std::uint64_t received = 0;
+    std::uint64_t limit = 0;
+
+  private:
+    Crossbar &_xbar;
+    int _self;
+    int _peer;
+};
+
+/** Route `messages` ping-pong hops and run the queue to quiescence. */
+void
+runLoop(EventQueue &eq, Crossbar &xbar, PingPong &a, std::uint64_t messages)
+{
+    a.received = 0;
+    a.limit = messages;
+
+    Packet pkt;
+    pkt.type = MsgType::WrThrough;
+    pkt.addr = 0x1000;
+    pkt.size = 4;
+    pkt.setValueLE(0xDEADBEEF, 4);
+    pkt.mask = fullLineMask;
+    pkt.id = 1;
+    xbar.route(2, 1, std::move(pkt));
+    eq.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    EventQueue eq;
+    Crossbar xbar("xbar", eq, /*latency=*/2);
+    PingPong a(xbar, 1, 2);
+    PingPong b(xbar, 2, 1);
+    b.limit = ~std::uint64_t{0}; // b always echoes; a terminates the loop
+    xbar.attach(1, a);
+    xbar.attach(2, b);
+
+    // Warmup: create both channels, grow the event-queue arrays, and
+    // fill the block pool's free list.
+    runLoop(eq, xbar, a, 10000);
+    if (a.received != 10000) {
+        std::fprintf(stderr, "warmup delivered %llu messages, wanted "
+                             "10000\n",
+                     (unsigned long long)a.received);
+        return 1;
+    }
+
+    // Steady state: every hop must come out of recycled storage.
+    g_allocs.store(0);
+    g_counting.store(true);
+    runLoop(eq, xbar, a, 50000);
+    g_counting.store(false);
+
+    const std::uint64_t allocs = g_allocs.load();
+    std::printf("steady-state messages: %llu, heap allocations: %llu\n",
+                (unsigned long long)a.received,
+                (unsigned long long)allocs);
+    if (a.received != 50000) {
+        std::fprintf(stderr, "FAIL: delivered %llu messages, wanted "
+                             "50000\n",
+                     (unsigned long long)a.received);
+        return 1;
+    }
+    if (allocs != 0) {
+        std::fprintf(stderr, "FAIL: the steady-state message loop "
+                             "allocated %llu time(s)\n",
+                     (unsigned long long)allocs);
+        return 1;
+    }
+    std::printf("PASS: zero allocations in the steady-state message "
+                "loop\n");
+    return 0;
+}
