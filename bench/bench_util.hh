@@ -19,6 +19,8 @@
 #include "apps/app_runner.hh"
 #include "apps/app_suite.hh"
 #include "campaign/campaign.hh"
+#include "campaign/campaign_json.hh"
+#include "sim/build_info.hh"
 #include "system/apu_system.hh"
 #include "tester/configs.hh"
 #include "tester/cpu_tester.hh"
@@ -180,6 +182,40 @@ appShard(const AppProfile &profile, unsigned num_cus = 8)
         return out;
     };
     return spec;
+}
+
+/** Host CPU model from /proc/cpuinfo, or "unknown" where unavailable. */
+inline std::string
+hostCpuModel()
+{
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        if (line.rfind("model name", 0) != 0)
+            continue;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::size_t start = line.find_first_not_of(" \t", colon + 1);
+        return start == std::string::npos ? "unknown"
+                                          : line.substr(start);
+    }
+    return "unknown";
+}
+
+/**
+ * Emit the provenance keys every bench JSON baseline must carry:
+ * cpu_model, git_sha and build_type. Baselines are only comparable
+ * between like machines and like builds; the CI regression gate and
+ * humans reading a stale baseline both need to see what produced it.
+ * Call inside an open JSON object.
+ */
+inline void
+jsonProvenance(JsonWriter &w)
+{
+    w.key("cpu_model").value(hostCpuModel());
+    w.key("git_sha").value(buildGitSha());
+    w.key("build_type").value(buildType());
 }
 
 /** Write @p content to @p path, reporting the outcome on stdout. */

@@ -121,25 +121,6 @@ parseArg(int argc, char **argv, const std::string &flag,
     return fallback;
 }
 
-/** Host CPU model from /proc/cpuinfo, or "unknown" where unavailable. */
-std::string
-hostCpuModel()
-{
-    std::ifstream cpuinfo("/proc/cpuinfo");
-    std::string line;
-    while (std::getline(cpuinfo, line)) {
-        if (line.rfind("model name", 0) != 0)
-            continue;
-        std::size_t colon = line.find(':');
-        if (colon == std::string::npos)
-            continue;
-        std::size_t start = line.find_first_not_of(" \t", colon + 1);
-        return start == std::string::npos ? "unknown"
-                                          : line.substr(start);
-    }
-    return "unknown";
-}
-
 std::string
 parseOut(int argc, char **argv)
 {
@@ -243,7 +224,7 @@ main(int argc, char **argv)
     w.beginObject();
     w.key("bench").value("campaign_scaling");
     w.key("hardware_concurrency").value(hw);
-    w.key("cpu_model").value(cpu_model);
+    jsonProvenance(w);
     w.key("num_seeds").value(static_cast<std::uint64_t>(num_seeds));
 
     w.key("event_queue").beginObject();

@@ -20,6 +20,7 @@
 #include <new>
 #include <string>
 
+#include "bench_util.hh"
 #include "campaign/campaign_json.hh"
 #include "mem/network.hh"
 #include "sim/event_queue.hh"
@@ -205,6 +206,7 @@ main(int argc, char **argv)
     JsonWriter w;
     w.beginObject();
     w.key("bench").value("msg_path");
+    drf::bench::jsonProvenance(w);
     w.key("packet_bytes").value(
         static_cast<std::uint64_t>(sizeof(Packet)));
     w.key("cold_messages").value(static_cast<std::uint64_t>(10000));

@@ -22,6 +22,7 @@ Crossbar::attach(int id, MsgReceiver &receiver)
     int idx = static_cast<int>(_receivers.size());
     _indexOf[id] = idx;
     _receivers.push_back(&receiver);
+    _idOf.push_back(id);
     for (auto &row : _channels)
         row.resize(_receivers.size());
     _channels.emplace_back(_receivers.size());
@@ -38,8 +39,24 @@ Crossbar::channel(int src, int dst, int src_idx, int dst_idx)
                 std::to_string(dst),
             eventq(), _hopLatency);
         slot->bind(*_receivers[dst_idx]);
+        slot->setTrace(_trace, src, dst);
     }
     return *slot;
+}
+
+void
+Crossbar::setTrace(TraceRecorder *trace)
+{
+    _trace = trace;
+    for (std::size_t src_idx = 0; src_idx < _channels.size(); ++src_idx) {
+        auto &row = _channels[src_idx];
+        for (std::size_t dst_idx = 0; dst_idx < row.size(); ++dst_idx) {
+            if (row[dst_idx]) {
+                row[dst_idx]->setTrace(trace, _idOf[src_idx],
+                                       _idOf[dst_idx]);
+            }
+        }
+    }
 }
 
 void
@@ -52,6 +69,18 @@ Crossbar::route(int src, int dst, Packet pkt, Tick extra_delay)
     pkt.srcEndpoint = src;
     ++_routed;
     _msgs->inc();
+    if (_trace != nullptr) {
+        TraceEvent ev;
+        ev.tick = eventq().curTick();
+        ev.a = pkt.addr;
+        ev.b = pkt.id;
+        ev.src = src;
+        ev.dst = dst;
+        ev.kind = TraceEventKind::MsgSend;
+        ev.u8 = static_cast<std::uint8_t>(pkt.type);
+        ev.u32 = pkt.requestor;
+        _trace->record(ev);
+    }
     channel(src, dst, src_idx, dst_idx).send(std::move(pkt), extra_delay);
 }
 

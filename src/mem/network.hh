@@ -60,6 +60,14 @@ class Crossbar : public SimObject
     /** Total messages routed. */
     std::uint64_t routedCount() const { return _routed; }
 
+    /**
+     * Record every routed message (MsgSend) and delivery (MsgDeliver,
+     * via the per-pair channels) into @p trace. Propagates to already
+     * existing channels and to any created later; nullptr turns
+     * recording back off.
+     */
+    void setTrace(TraceRecorder *trace);
+
     /** Per-link statistics. */
     const StatGroup &stats() const { return _stats; }
 
@@ -81,6 +89,9 @@ class Crossbar : public SimObject
     std::vector<int> _indexOf;
     /** Dense index -> receiver. */
     std::vector<MsgReceiver *> _receivers;
+    /** Dense index -> endpoint id (reverse of _indexOf). */
+    std::vector<int> _idOf;
+    TraceRecorder *_trace = nullptr;
     /** [srcIdx][dstIdx] -> ordered channel (lazily created). */
     std::vector<std::vector<std::unique_ptr<MsgPort>>> _channels;
     std::uint64_t _routed = 0;

@@ -15,7 +15,30 @@ MsgPort::send(Packet pkt, Tick extra_delay)
     _lastDelivery = when;
     ++_sent;
     MsgReceiver *receiver = _receiver;
-    _eq.schedule(when, [receiver, pkt = std::move(pkt)]() mutable {
+    if (_trace == nullptr) {
+        _eq.schedule(when, [receiver, pkt = std::move(pkt)]() mutable {
+            receiver->recvMsg(std::move(pkt));
+        });
+        return;
+    }
+    // Tracing variant: the delivery closure additionally records a
+    // MsgDeliver event at its (known-now) delivery tick. Still well
+    // under the event pool's block size, so pooling is unaffected.
+    TraceRecorder *trace = _trace;
+    int src = _traceSrc;
+    int dst = _traceDst;
+    _eq.schedule(when, [receiver, trace, src, dst, when,
+                        pkt = std::move(pkt)]() mutable {
+        TraceEvent ev;
+        ev.tick = when;
+        ev.a = pkt.addr;
+        ev.b = pkt.id;
+        ev.src = src;
+        ev.dst = dst;
+        ev.kind = TraceEventKind::MsgDeliver;
+        ev.u8 = static_cast<std::uint8_t>(pkt.type);
+        ev.u32 = pkt.requestor;
+        trace->record(ev);
         receiver->recvMsg(std::move(pkt));
     });
 }

@@ -18,6 +18,7 @@
 #include "mem/msg.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
+#include "trace/recorder.hh"
 
 namespace drf
 {
@@ -63,6 +64,18 @@ class MsgPort
     /** Messages sent through this port so far. */
     std::uint64_t sentCount() const { return _sent; }
 
+    /**
+     * Record every delivery into @p trace, tagged as @p src -> @p dst
+     * (crossbar endpoint ids). nullptr turns recording back off.
+     */
+    void
+    setTrace(TraceRecorder *trace, int src, int dst)
+    {
+        _trace = trace;
+        _traceSrc = src;
+        _traceDst = dst;
+    }
+
     const std::string &name() const { return _name; }
     Tick latency() const { return _latency; }
 
@@ -73,6 +86,9 @@ class MsgPort
     MsgReceiver *_receiver = nullptr;
     Tick _lastDelivery = 0;
     std::uint64_t _sent = 0;
+    TraceRecorder *_trace = nullptr;
+    int _traceSrc = -1;
+    int _traceDst = -1;
 };
 
 } // namespace drf

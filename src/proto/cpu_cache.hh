@@ -30,6 +30,7 @@
 #include "mem/network.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
+#include "trace/recorder.hh"
 
 namespace drf
 {
@@ -94,6 +95,9 @@ class CpuCache : public SimObject, public MsgReceiver
     StatGroup &stats() { return _stats; }
     const CacheArray &array() const { return _array; }
 
+    /** Record transition activations into @p trace (nullptr = off). */
+    void setTrace(TraceRecorder *trace) { _trace = trace; }
+
   private:
     /** Entry.state values for stable lines in the array. */
     enum LineStable : int
@@ -111,7 +115,12 @@ class CpuCache : public SimObject, public MsgReceiver
     };
 
     State lineState(Addr line_addr) const;
-    void transition(Event ev, State st) { _coverage.hit(ev, st); }
+    void
+    transition(Event ev, State st)
+    {
+        recordTransition(_trace, curTick(), _endpoint, ev, st);
+        _coverage.hit(ev, st);
+    }
     void recycle(Packet pkt);
 
     void handleLoad(Packet pkt);
@@ -145,6 +154,7 @@ class CpuCache : public SimObject, public MsgReceiver
     RespFunc _respond;
     CoverageGrid _coverage;
     StatGroup _stats;
+    TraceRecorder *_trace = nullptr;
 };
 
 } // namespace drf

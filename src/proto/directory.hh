@@ -109,6 +109,9 @@ class Directory : public SimObject, public MsgReceiver
     const CoverageGrid &coverage() const { return _coverage; }
     StatGroup &stats() { return _stats; }
 
+    /** Record transition activations into @p trace (nullptr = off). */
+    void setTrace(TraceRecorder *trace) { _trace = trace; }
+
   private:
     /** In-flight transaction on one line. */
     struct Txn
@@ -141,7 +144,12 @@ class Directory : public SimObject, public MsgReceiver
 
     Line &line(Addr line_addr);
     State visibleState(const Line &l) const;
-    void transition(Event ev, State st) { _coverage.hit(ev, st); }
+    void
+    transition(Event ev, State st)
+    {
+        recordTransition(_trace, curTick(), _endpoint, ev, st);
+        _coverage.hit(ev, st);
+    }
     void recycle(Packet pkt);
 
     /** Start a transaction; the line becomes busy. */
@@ -193,6 +201,7 @@ class Directory : public SimObject, public MsgReceiver
 
     CoverageGrid _coverage;
     StatGroup _stats;
+    TraceRecorder *_trace = nullptr;
 };
 
 } // namespace drf

@@ -69,6 +69,7 @@ GpuL1Cache::lineState(Addr line_addr) const
 void
 GpuL1Cache::transition(Event ev, State st)
 {
+    recordTransition(_trace, curTick(), _endpoint, ev, st);
     _coverage.hit(ev, st);
 }
 

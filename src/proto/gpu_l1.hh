@@ -37,6 +37,7 @@
 #include "proto/fault.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
+#include "trace/recorder.hh"
 
 namespace drf
 {
@@ -116,6 +117,9 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     StatGroup &stats() { return _stats; }
     const CacheArray &array() const { return _array; }
 
+    /** Record transition activations into @p trace (nullptr = off). */
+    void setTrace(TraceRecorder *trace) { _trace = trace; }
+
   private:
     /** MSHR entry for an outstanding load or atomic. */
     struct Tbe
@@ -164,6 +168,7 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     RespFunc _respond;
     CoverageGrid _coverage;
     StatGroup _stats;
+    TraceRecorder *_trace = nullptr;
 };
 
 } // namespace drf

@@ -29,6 +29,7 @@
 #include "proto/fault.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
+#include "trace/recorder.hh"
 
 namespace drf
 {
@@ -93,6 +94,9 @@ class GpuL2Cache : public SimObject, public MsgReceiver
     StatGroup &stats() { return _stats; }
     const CacheArray &array() const { return _array; }
 
+    /** Record transition activations into @p trace (nullptr = off). */
+    void setTrace(TraceRecorder *trace) { _trace = trace; }
+
   private:
     /** Refill MSHR: requesters waiting for one line. */
     struct FetchTbe
@@ -113,7 +117,12 @@ class GpuL2Cache : public SimObject, public MsgReceiver
     };
 
     State lineState(Addr line_addr) const;
-    void transition(Event ev, State st) { _coverage.hit(ev, st); }
+    void
+    transition(Event ev, State st)
+    {
+        recordTransition(_trace, curTick(), _endpoint, ev, st);
+        _coverage.hit(ev, st);
+    }
     void recycle(Packet pkt);
 
     void handleRdBlk(Packet pkt);
@@ -148,6 +157,7 @@ class GpuL2Cache : public SimObject, public MsgReceiver
 
     CoverageGrid _coverage;
     StatGroup _stats;
+    TraceRecorder *_trace = nullptr;
 };
 
 } // namespace drf

@@ -51,6 +51,20 @@ ApuSystem::ApuSystem(const ApuSystemConfig &cfg) : _cfg(cfg)
     }
 }
 
+void
+ApuSystem::attachTrace(TraceRecorder &trace)
+{
+    _trace = &trace;
+    _xbar->setTrace(&trace);
+    _dir->setTrace(&trace);
+    for (auto &l2 : _l2s)
+        l2->setTrace(&trace);
+    for (auto &l1 : _l1s)
+        l1->setTrace(&trace);
+    for (auto &cpu : _cpus)
+        cpu->setTrace(&trace);
+}
+
 CoverageGrid
 ApuSystem::l1CoverageUnion() const
 {

@@ -98,6 +98,17 @@ class ApuSystem
 
     FaultInjector *fault() { return _fault.get(); }
 
+    /**
+     * Attach a trace recorder: the crossbar (message sends/deliveries)
+     * and all four controller types (transitions) start recording into
+     * it. The testers pick it up via trace() for episode markers.
+     * Recording never perturbs the simulation schedule.
+     */
+    void attachTrace(TraceRecorder &trace);
+
+    /** The attached recorder, or nullptr when not tracing. */
+    TraceRecorder *trace() const { return _trace; }
+
     /** Union of GPU L1 coverage over all CUs. */
     CoverageGrid l1CoverageUnion() const;
 
@@ -114,6 +125,7 @@ class ApuSystem
     std::unique_ptr<Directory> _dir;
     std::vector<std::unique_ptr<GpuL1Cache>> _l1s;
     std::vector<std::unique_ptr<CpuCache>> _cpus;
+    TraceRecorder *_trace = nullptr;
 };
 
 } // namespace drf

@@ -29,12 +29,13 @@ CpuTester::CpuTester(ApuSystem &sys, const CpuTesterConfig &cfg)
 }
 
 void
-CpuTester::fail(const std::string &headline, const std::string &details)
+CpuTester::fail(FailureClass cls, const std::string &headline,
+                const std::string &details)
 {
     std::ostringstream os;
     os << "CPU tester FAILURE at tick " << _sys.eventq().curTick() << ": "
        << headline << "\n" << details;
-    throw TesterFailure(os.str());
+    throw TesterFailure(os.str(), cls);
 }
 
 void
@@ -109,14 +110,16 @@ CpuTester::onCoreResponse(unsigned cache_idx, Packet pkt)
                << std::dec << ": loaded " << unsigned(got)
                << ", expected " << unsigned(expected) << " (core "
                << core_id << ")\n";
-            fail("CPU load value mismatch", os.str());
+            fail(FailureClass::ValueMismatch, "CPU load value mismatch",
+                 os.str());
         }
         ++_loadsChecked;
     } else if (pkt.type == MsgType::StoreAck) {
         _expected[pkt.addr] = core.curValue;
         ++_storesDone;
     } else {
-        fail("unexpected CPU core response", pkt.describe());
+        fail(FailureClass::Other, "unexpected CPU core response",
+             pkt.describe());
     }
 
     core.busy = false;
@@ -135,7 +138,8 @@ CpuTester::watchdogCheck()
                << std::hex << core.curAddr << std::dec
                << " outstanding for " << (now - core.issuedAt)
                << " cycles\n";
-            fail("potential CPU-side deadlock", os.str());
+            fail(FailureClass::Deadlock, "potential CPU-side deadlock",
+                 os.str());
         }
     }
     if (!done()) {
@@ -163,15 +167,18 @@ CpuTester::run()
             result.passed = true;
         } else {
             result.passed = false;
+            result.failureClass = FailureClass::LostProgress;
             result.report = drained
                 ? "simulation drained before the target load count"
                 : "run limit reached before completion";
         }
     } catch (const TesterFailure &failure) {
         result.passed = false;
+        result.failureClass = failure.failureClass();
         result.report = failure.what();
     } catch (const ProtocolError &error) {
         result.passed = false;
+        result.failureClass = FailureClass::ProtocolError;
         result.report = error.what();
     }
 

@@ -72,7 +72,8 @@ class CpuTester
     void watchdogCheck();
 
     /** Throws TesterFailure; run() converts it into a failed result. */
-    void fail(const std::string &headline, const std::string &details);
+    void fail(FailureClass cls, const std::string &headline,
+              const std::string &details);
     bool done() const { return _loadsChecked >= _cfg.targetLoads; }
 
     ApuSystem &_sys;

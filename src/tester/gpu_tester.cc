@@ -7,6 +7,7 @@
 #include "proto/protocol_error.hh"
 #include "sim/logger.hh"
 #include "tester/tester_failure.hh"
+#include "trace/recorder.hh"
 
 namespace drf
 {
@@ -26,11 +27,17 @@ GpuTester::GpuTester(ApuSystem &sys, const GpuTesterConfig &cfg)
     assert(sys.numCus() > 0 && "GPU tester needs at least one CU");
     assert(cfg.episodeGen.lanes == cfg.lanes &&
            "episode generator must match the wavefront width");
+    assert(!(cfg.record != nullptr && cfg.replay != nullptr) &&
+           "record and replay are mutually exclusive");
 
+    // The variable map consumes the same RNG draws in record and replay
+    // mode, so a replayed run sees the identical address mapping.
     _vmap = std::make_unique<VariableMap>(cfg.variables, _rng);
     _refMem = std::make_unique<RefMemory>(*_vmap);
-    _gen = std::make_unique<EpisodeGenerator>(*_vmap, cfg.episodeGen,
-                                              _rng);
+    if (cfg.replay == nullptr) {
+        _gen = std::make_unique<EpisodeGenerator>(*_vmap, cfg.episodeGen,
+                                                  _rng);
+    }
 
     for (unsigned cu = 0; cu < sys.numCus(); ++cu) {
         sys.l1(cu).bindCoreResponse([this, cu](Packet pkt) {
@@ -43,16 +50,49 @@ GpuTester::GpuTester(ApuSystem &sys, const GpuTesterConfig &cfg)
             _wfs.push_back(std::move(wf));
         }
     }
+
+    if (cfg.replay != nullptr) {
+        _replayQueues.resize(_wfs.size());
+        for (const Episode &e : cfg.replay->episodes) {
+            if (e.wavefrontId < _replayQueues.size())
+                _replayQueues[e.wavefrontId].push_back(&e);
+        }
+    }
+}
+
+std::uint64_t
+GpuTester::episodeTarget(const Wavefront &wf) const
+{
+    if (_cfg.replay != nullptr)
+        return _replayQueues[wf.globalId].size();
+    return _cfg.episodesPerWf;
 }
 
 bool
 GpuTester::allDone() const
 {
     for (const auto &wf : _wfs) {
-        if (wf.phase != Phase::Done || wf.episodesDone < _cfg.episodesPerWf)
+        if (wf.phase != Phase::Done || wf.episodesDone < episodeTarget(wf))
             return false;
     }
     return true;
+}
+
+void
+GpuTester::traceEpisodeMark(bool issue, const Wavefront &wf) const
+{
+    TraceRecorder *trace = _sys.trace();
+    if (trace == nullptr)
+        return;
+    TraceEvent ev;
+    ev.tick = _sys.eventq().curTick();
+    ev.kind = issue ? TraceEventKind::EpisodeIssue
+                    : TraceEventKind::EpisodeRetire;
+    ev.a = wf.episode.id;
+    ev.b = wf.episode.syncVar;
+    ev.src = static_cast<std::int32_t>(wf.cu);
+    ev.u32 = wf.globalId;
+    trace->record(ev);
 }
 
 void
@@ -83,18 +123,31 @@ GpuTester::recentHistory() const
 }
 
 void
-GpuTester::fail(const std::string &headline, const std::string &details)
+GpuTester::fail(FailureClass cls, const std::string &headline,
+                const std::string &details)
 {
     std::ostringstream os;
     os << "GPU tester FAILURE at tick " << _sys.eventq().curTick() << ": "
        << headline << "\n" << details << recentHistory();
-    throw TesterFailure(os.str());
+    throw TesterFailure(os.str(), cls);
 }
 
 void
 GpuTester::startEpisode(Wavefront &wf)
 {
-    wf.episode = _gen->generate(wf.globalId);
+    if (_cfg.replay != nullptr) {
+        const auto &queue = _replayQueues[wf.globalId];
+        if (wf.episodesDone >= queue.size()) {
+            wf.phase = Phase::Done;
+            return;
+        }
+        wf.episode = *queue[wf.episodesDone];
+    } else {
+        wf.episode = _gen->generate(wf.globalId);
+        if (_cfg.record != nullptr)
+            _cfg.record->episodes.push_back(wf.episode);
+    }
+    traceEpisodeMark(true, wf);
     wf.actionIdx = 0;
     wf.pendingResponses = 0;
     wf.phase = Phase::Acquire;
@@ -224,7 +277,8 @@ GpuTester::checkLoad(Wavefront &wf, unsigned lane, const Packet &pkt)
         os << "  Last Writer: "
            << (writer ? writer->describe() : std::string("<none>"))
            << "\n";
-        fail("load value mismatch", os.str());
+        fail(FailureClass::ValueMismatch, "load value mismatch",
+             os.str());
     }
 
     _refMem->noteRead(op.var, reader);
@@ -250,7 +304,8 @@ GpuTester::checkAtomic(Wavefront &wf, const Packet &pkt)
            << std::hex << pkt.addr << std::dec << ")\n";
         os << "  First:  " << violation->first.describe() << "\n";
         os << "  Second: " << violation->second.describe() << "\n";
-        fail("atomic lost-update", os.str());
+        fail(FailureClass::AtomicViolation, "atomic lost-update",
+             os.str());
     }
     ++_atomicsChecked;
 }
@@ -270,11 +325,13 @@ GpuTester::retireEpisode(Wavefront &wf)
         record.value = info.value;
         _refMem->applyWrite(var, record);
     }
-    _gen->retire(wf.episode);
+    if (_cfg.replay == nullptr)
+        _gen->retire(wf.episode);
     ++_episodesRetired;
     ++wf.episodesDone;
+    traceEpisodeMark(false, wf);
 
-    if (wf.episodesDone < _cfg.episodesPerWf) {
+    if (wf.episodesDone < episodeTarget(wf)) {
         startEpisode(wf);
     } else {
         wf.phase = Phase::Done;
@@ -314,7 +371,8 @@ GpuTester::onCoreResponse(unsigned cu, Packet pkt)
         checkAtomic(wf, pkt);
         break;
       default:
-        fail("unexpected core response", pkt.describe());
+        fail(FailureClass::Other, "unexpected core response",
+             pkt.describe());
     }
 
     assert(wf.pendingResponses > 0);
@@ -351,7 +409,8 @@ GpuTester::watchdogCheck()
                << " cycles (threshold " << _cfg.deadlockThreshold
                << "): " << req.describe() << " issued at " << req.issued
                << "\n";
-            fail("potential deadlock (no forward progress)", os.str());
+            fail(FailureClass::Deadlock,
+                 "potential deadlock (no forward progress)", os.str());
         }
     }
     if (!allDone()) {
@@ -379,6 +438,7 @@ GpuTester::run()
             result.passed = true;
         } else {
             result.passed = false;
+            result.failureClass = FailureClass::LostProgress;
             result.report = drained
                 ? "simulation drained before all wavefronts finished "
                   "(lost event / dropped message)"
@@ -386,12 +446,14 @@ GpuTester::run()
         }
     } catch (const TesterFailure &failure) {
         result.passed = false;
+        result.failureClass = failure.failureClass();
         result.report = failure.what();
     } catch (const ProtocolError &error) {
         // A coherence controller hit an undefined transition. Convert it
         // into a structured failure so a campaign shard can report it
         // without killing sibling shards in the same process.
         result.passed = false;
+        result.failureClass = FailureClass::ProtocolError;
         result.report = std::string(error.what()) + "\n" +
                         recentHistory();
     }

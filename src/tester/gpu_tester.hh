@@ -21,6 +21,13 @@
  * On failure the tester produces a Table V-style report identifying the
  * last reader and last writer of the offending variable plus the recent
  * transaction history (Section III.D).
+ *
+ * Record/replay (src/trace/): with GpuTesterConfig::record set, every
+ * generated episode is appended to an EpisodeSchedule as it is issued;
+ * with GpuTesterConfig::replay set, the tester issues the recorded
+ * schedule instead of generating — bit-identically when the schedule is
+ * complete, and deterministically for any subsequence, which is what
+ * the failure shrinker exploits.
  */
 
 #ifndef DRF_TESTER_GPU_TESTER_HH
@@ -37,7 +44,9 @@
 #include "system/apu_system.hh"
 #include "tester/episode.hh"
 #include "tester/ref_memory.hh"
+#include "tester/tester_failure.hh"
 #include "tester/variable_map.hh"
+#include "trace/schedule.hh"
 
 namespace drf
 {
@@ -56,12 +65,26 @@ struct GpuTesterConfig
     Tick deadlockThreshold = 1'000'000; ///< forward-progress bound
     Tick checkInterval = 50'000;        ///< watchdog period
     Tick runLimit = 2'000'000'000;      ///< absolute simulation bound
+
+    // Trace record/replay hooks (non-owning; see src/trace/). Neither
+    // pointer is part of a preset's identity and both default to off.
+
+    /** Append every generated episode here (recording mode). */
+    EpisodeSchedule *record = nullptr;
+
+    /**
+     * Issue this schedule instead of generating episodes (replay mode).
+     * episodesPerWf is ignored; each wavefront runs exactly its recorded
+     * episodes, in schedule order. Mutually exclusive with record.
+     */
+    const EpisodeSchedule *replay = nullptr;
 };
 
 /** Outcome of one tester run. */
 struct TesterResult
 {
     bool passed = false;
+    FailureClass failureClass = FailureClass::None;
     std::string report;          ///< failure details (empty on pass)
     Tick ticks = 0;              ///< simulated time consumed
     std::uint64_t events = 0;    ///< simulation events executed
@@ -160,9 +183,16 @@ class GpuTester
      * run() converts into a failed TesterResult. Never aborts the
      * process, so parallel campaign shards are isolated from each other.
      */
-    void fail(const std::string &headline, const std::string &details);
+    void fail(FailureClass cls, const std::string &headline,
+              const std::string &details);
 
     bool allDone() const;
+
+    /** Episodes this wavefront must complete before it is done. */
+    std::uint64_t episodeTarget(const Wavefront &wf) const;
+
+    /** Record an episode issue/retire marker into the system trace. */
+    void traceEpisodeMark(bool issue, const Wavefront &wf) const;
 
     ApuSystem &_sys;
     GpuTesterConfig _cfg;
@@ -178,6 +208,10 @@ class GpuTester
     std::string recentHistory() const;
 
     std::vector<Wavefront> _wfs;
+
+    /** Replay mode: per-wavefront recorded episodes, schedule order. */
+    std::vector<std::vector<const Episode *>> _replayQueues;
+
     std::map<PacketId, Outstanding> _outstanding;
     PacketId _nextPktId = 1;
 

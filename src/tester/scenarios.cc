@@ -1,0 +1,113 @@
+#include "tester/scenarios.hh"
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "mem/msg.hh"
+#include "system/apu_system.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+/** Issue one core request and run the queue until it drains. */
+std::optional<Packet>
+step(ApuSystem &sys, std::optional<Packet> &resp_slot,
+     const std::function<void(Packet)> &issue, Packet pkt)
+{
+    resp_slot.reset();
+    issue(std::move(pkt));
+    sys.eventq().run();
+    return resp_slot;
+}
+
+} // namespace
+
+ProbeScenarioResult
+runDropGpuProbeScenario(FaultKind fault)
+{
+    ApuSystemConfig cfg;
+    cfg.numCus = 1;
+    cfg.numCpuCaches = 1;
+    cfg.fault = fault;
+    cfg.faultTriggerPct = 100;
+
+    ApuSystem sys(cfg);
+
+    // The data line the CPU and GPU contend on, and a separate line
+    // carrying the acquire atomic (an acquire flash-invalidates the L1
+    // but must not touch the data line's L2 copy).
+    constexpr Addr data_addr = 0x1000;
+    constexpr Addr sync_addr = 0x2000;
+    constexpr unsigned var_bytes = 4;
+
+    std::optional<Packet> gpu_resp;
+    std::optional<Packet> cpu_resp;
+    sys.l1(0).bindCoreResponse(
+        [&gpu_resp](Packet pkt) { gpu_resp = std::move(pkt); });
+    sys.cpuCache(0).bindCoreResponse(
+        [&cpu_resp](Packet pkt) { cpu_resp = std::move(pkt); });
+
+    auto gpu_issue = [&sys](Packet pkt) {
+        sys.l1(0).coreRequest(std::move(pkt));
+    };
+    auto cpu_issue = [&sys](Packet pkt) {
+        sys.cpuCache(0).coreRequest(std::move(pkt));
+    };
+
+    PacketId next_id = 1;
+    auto make = [&next_id](MsgType type, Addr addr) {
+        Packet pkt;
+        pkt.type = type;
+        pkt.addr = addr;
+        pkt.size = var_bytes;
+        pkt.requestor = 0;
+        pkt.id = next_id++;
+        return pkt;
+    };
+
+    ProbeScenarioResult result;
+    result.cpuStoreValue = 0xA5A5A5A5;
+
+    // 1. GPU load: fills the line into L1 and L2 and registers the L2
+    //    as a GPU sharer at the directory.
+    auto r1 = step(sys, gpu_resp, gpu_issue,
+                   make(MsgType::LoadReq, data_addr));
+    if (!r1 || r1->type != MsgType::LoadResp)
+        return result;
+
+    // 2. CPU store: takes exclusive ownership. The directory's probe
+    //    toward the GPU L2 is the packet DropGpuProbe swallows.
+    Packet store = make(MsgType::StoreReq, data_addr);
+    store.setValueLE(result.cpuStoreValue, var_bytes);
+    auto r2 = step(sys, cpu_resp, cpu_issue, std::move(store));
+    if (!r2 || r2->type != MsgType::StoreAck)
+        return result;
+
+    // 3. GPU acquire atomic on the sync line: flash-invalidates the
+    //    L1 so the reload below must go to the L2.
+    Packet acq = make(MsgType::AtomicReq, sync_addr);
+    acq.atomicOperand = 1;
+    acq.acquire = true;
+    auto r3 = step(sys, gpu_resp, gpu_issue, std::move(acq));
+    if (!r3 || r3->type != MsgType::AtomicResp)
+        return result;
+
+    // 4. GPU reload of the data line: a correct protocol invalidated
+    //    the L2 copy in step 2 and fetches the CPU's value; with the
+    //    probe dropped the stale L2 copy services the miss.
+    auto r4 = step(sys, gpu_resp, gpu_issue,
+                   make(MsgType::LoadReq, data_addr));
+    if (!r4 || r4->type != MsgType::LoadResp)
+        return result;
+
+    result.completed = true;
+    result.gpuReloadValue = r4->valueLE();
+    result.staleObserved = result.gpuReloadValue != result.cpuStoreValue;
+    return result;
+}
+
+} // namespace drf

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Directed protocol scenarios for faults the random tester cannot
+ * reliably expose.
+ *
+ * DropGpuProbe needs mixed CPU+GPU traffic on the same line in a
+ * specific order: the GPU caches a line, the CPU takes exclusive
+ * ownership (the dropped probe leaves a stale copy in the GPU L2), and
+ * the GPU then re-reads the line after an acquire. The random GPU
+ * tester never generates CPU traffic, so this file scripts the exact
+ * sequence against a tiny one-CU one-CPU system. Both tests/test_fault
+ * and tools/shrink_repro's fuzz sweep drive it.
+ */
+
+#ifndef DRF_TESTER_SCENARIOS_HH
+#define DRF_TESTER_SCENARIOS_HH
+
+#include <cstdint>
+
+#include "proto/fault.hh"
+
+namespace drf
+{
+
+/** Outcome of the directed DropGpuProbe scenario. */
+struct ProbeScenarioResult
+{
+    /** The GPU's final load returned the pre-store (stale) value. */
+    bool staleObserved = false;
+    /** Value the CPU stored between the two GPU reads. */
+    std::uint64_t cpuStoreValue = 0;
+    /** Value the GPU's final (post-acquire) load returned. */
+    std::uint64_t gpuReloadValue = 0;
+    /** Every scripted step completed (responses arrived). */
+    bool completed = false;
+};
+
+/**
+ * Run the directed CPU-writes/GPU-rereads sequence with @p fault armed
+ * (trigger percentage 100). With FaultKind::DropGpuProbe the directory
+ * forgets the GPU L2 holds the line, the stale copy survives the CPU's
+ * exclusive store, and the GPU's post-acquire reload observes it
+ * (staleObserved = true). With FaultKind::None the probe invalidates
+ * the L2 copy and the reload sees the CPU's value.
+ */
+ProbeScenarioResult runDropGpuProbeScenario(FaultKind fault);
+
+} // namespace drf
+
+#endif // DRF_TESTER_SCENARIOS_HH

@@ -9,6 +9,11 @@
  * run() aborts the process, which is what allows a campaign shard to
  * fail without tearing down sibling shards running in the same process
  * (see src/campaign/).
+ *
+ * Every failure also carries a FailureClass — the coarse bug taxonomy
+ * the paper's checkers distinguish. The class is what the trace
+ * shrinker minimizes against: a shrunk repro counts only if it still
+ * triggers the *same class* of failure as the original run.
  */
 
 #ifndef DRF_TESTER_TESTER_FAILURE_HH
@@ -21,13 +26,47 @@
 namespace drf
 {
 
+/** Coarse classification of a detected failure. */
+enum class FailureClass
+{
+    None,            ///< the run passed
+    ValueMismatch,   ///< load returned a value other than expected
+    AtomicViolation, ///< duplicate atomic return value (lost update)
+    Deadlock,        ///< watchdog: request past the progress threshold
+    LostProgress,    ///< queue drained / run limit hit before completion
+    ProtocolError,   ///< controller hit an undefined transition
+    Other,           ///< anything else (unexpected response, ...)
+};
+
+/** Printable failure-class name. */
+inline const char *
+failureClassName(FailureClass c)
+{
+    switch (c) {
+      case FailureClass::None: return "None";
+      case FailureClass::ValueMismatch: return "ValueMismatch";
+      case FailureClass::AtomicViolation: return "AtomicViolation";
+      case FailureClass::Deadlock: return "Deadlock";
+      case FailureClass::LostProgress: return "LostProgress";
+      case FailureClass::ProtocolError: return "ProtocolError";
+      case FailureClass::Other: return "Other";
+    }
+    return "?";
+}
+
 /** Control-flow exception carrying a tester failure report. */
 class TesterFailure : public std::runtime_error
 {
   public:
-    explicit TesterFailure(std::string report)
-        : std::runtime_error(std::move(report))
+    explicit TesterFailure(std::string report,
+                           FailureClass cls = FailureClass::Other)
+        : std::runtime_error(std::move(report)), _class(cls)
     {}
+
+    FailureClass failureClass() const { return _class; }
+
+  private:
+    FailureClass _class;
 };
 
 } // namespace drf

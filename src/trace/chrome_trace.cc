@@ -1,0 +1,128 @@
+#include "trace/chrome_trace.hh"
+
+#include <string>
+
+#include "campaign/campaign_json.hh"
+#include "mem/msg.hh"
+#include "system/apu_system.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+/** Human name for a crossbar endpoint id (see ApuSystem numbering). */
+std::string
+endpointName(int endpoint)
+{
+    if (endpoint < 0)
+        return "?";
+    if (endpoint < ApuSystem::l2Endpoint(0))
+        return "gpu.l1[" + std::to_string(endpoint) + "]";
+    if (endpoint < ApuSystem::dirEndpoint) {
+        return "gpu.l2[" +
+               std::to_string(endpoint - ApuSystem::l2Endpoint(0)) + "]";
+    }
+    if (endpoint < ApuSystem::cpuEndpoint(0))
+        return "dir";
+    if (endpoint < ApuSystem::dmaEndpoint) {
+        return "cpu[" +
+               std::to_string(endpoint - ApuSystem::cpuEndpoint(0)) + "]";
+    }
+    return "dma";
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    // Process ids group the tracks: 1 = episodes (tid = wavefront),
+    // 2 = messages and transitions (tid = endpoint).
+    constexpr int kEpisodePid = 1;
+    constexpr int kEndpointPid = 2;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("displayTimeUnit").value("ns");
+    w.key("traceEvents").beginArray();
+
+    auto common = [&](const char *name, const char *phase, Tick tick,
+                      int pid, std::uint64_t tid) {
+        w.beginObject();
+        w.key("name").value(name);
+        w.key("ph").value(phase);
+        w.key("ts").value(tick);
+        w.key("pid").value(pid);
+        w.key("tid").value(tid);
+    };
+
+    for (const TraceEvent &ev : events) {
+        switch (ev.kind) {
+          case TraceEventKind::EpisodeIssue:
+          case TraceEventKind::EpisodeRetire: {
+            bool issue = ev.kind == TraceEventKind::EpisodeIssue;
+            std::string name = "episode " + std::to_string(ev.a);
+            common(name.c_str(), issue ? "B" : "E", ev.tick, kEpisodePid,
+                   ev.u32);
+            if (issue) {
+                w.key("args").beginObject();
+                w.key("sync_var").value(ev.b);
+                w.key("cu").value(ev.src);
+                w.endObject();
+            }
+            w.endObject();
+            break;
+          }
+          case TraceEventKind::MsgSend:
+          case TraceEventKind::MsgDeliver: {
+            bool send = ev.kind == TraceEventKind::MsgSend;
+            std::string name =
+                std::string(send ? "send " : "recv ") +
+                msgTypeName(static_cast<MsgType>(ev.u8));
+            common(name.c_str(), "i", ev.tick, kEndpointPid,
+                   static_cast<std::uint64_t>(send ? ev.src : ev.dst));
+            w.key("s").value("t");
+            w.key("args").beginObject();
+            w.key("addr").value(ev.a);
+            w.key("pkt_id").value(ev.b);
+            w.key("from").value(endpointName(ev.src));
+            w.key("to").value(endpointName(ev.dst));
+            w.endObject();
+            w.endObject();
+            break;
+          }
+          case TraceEventKind::Transition: {
+            std::string name = endpointName(ev.src) + " transition";
+            common(name.c_str(), "i", ev.tick, kEndpointPid,
+                   static_cast<std::uint64_t>(ev.src));
+            w.key("s").value("t");
+            w.key("args").beginObject();
+            w.key("event_row").value(unsigned(ev.u8));
+            w.key("state_col").value(unsigned(ev.u16));
+            w.endObject();
+            w.endObject();
+            break;
+          }
+        }
+    }
+
+    // Track names, so viewers label rows usefully.
+    common("process_name", "M", 0, kEpisodePid, 0);
+    w.key("args").beginObject();
+    w.key("name").value("episodes (tid = wavefront)");
+    w.endObject();
+    w.endObject();
+    common("process_name", "M", 0, kEndpointPid, 0);
+    w.key("args").beginObject();
+    w.key("name").value("endpoints (tid = crossbar endpoint)");
+    w.endObject();
+    w.endObject();
+
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace drf

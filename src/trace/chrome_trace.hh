@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Chrome-trace ("Trace Event Format") export of a binary event trace.
+ *
+ * The emitted JSON loads directly in chrome://tracing, Perfetto
+ * (ui.perfetto.dev) or speedscope: episodes appear as duration slices
+ * on one track per wavefront; message sends/deliveries and controller
+ * transitions appear as instant events on one track per crossbar
+ * endpoint. Ticks are reported as microseconds (1 tick = 1 us) since
+ * the viewers insist on a time unit.
+ */
+
+#ifndef DRF_TRACE_CHROME_TRACE_HH
+#define DRF_TRACE_CHROME_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hh"
+
+namespace drf
+{
+
+/** Render @p events as a Chrome trace JSON document. */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events);
+
+} // namespace drf
+
+#endif // DRF_TRACE_CHROME_TRACE_HH

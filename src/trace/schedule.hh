@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Recorded episode schedules — the replayable core of a trace.
+ *
+ * The GPU tester is deterministic given its configuration, its seed,
+ * and the exact episode stream it issues. Recording that stream (every
+ * generated episode, in generation order) therefore captures the whole
+ * run: feeding the same schedule back through a fresh system re-executes
+ * it bit-identically, and feeding back a *subsequence* is how the
+ * delta-debugging shrinker (src/trace/shrink.hh) searches for a minimal
+ * failing repro.
+ *
+ * Episodes are stored exactly as generated (before any completedAt
+ * mutation); the derived writes/reads indexes can be rebuilt from the
+ * action list alone, which is what the trace file loader does.
+ */
+
+#ifndef DRF_TRACE_SCHEDULE_HH
+#define DRF_TRACE_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tester/episode.hh"
+
+namespace drf
+{
+
+/** A recorded episode stream, in generation order. */
+struct EpisodeSchedule
+{
+    std::vector<Episode> episodes;
+
+    std::size_t size() const { return episodes.size(); }
+    bool empty() const { return episodes.empty(); }
+
+    /** Episodes belonging to wavefront @p wf, in schedule order. */
+    std::vector<const Episode *>
+    forWavefront(std::uint32_t wf) const
+    {
+        std::vector<const Episode *> out;
+        for (const Episode &e : episodes) {
+            if (e.wavefrontId == wf)
+                out.push_back(&e);
+        }
+        return out;
+    }
+
+    /** The subsequence selected by @p keep (indexes into episodes). */
+    EpisodeSchedule
+    subset(const std::vector<std::size_t> &keep) const
+    {
+        EpisodeSchedule out;
+        out.episodes.reserve(keep.size());
+        for (std::size_t idx : keep)
+            out.episodes.push_back(episodes.at(idx));
+        return out;
+    }
+};
+
+/**
+ * Rebuild an episode's derived writes/reads indexes from its action
+ * list (used after deserialization; the generator enforces one writer
+ * per variable, so the reconstruction is exact).
+ */
+inline void
+rebuildEpisodeIndexes(Episode &episode)
+{
+    episode.writes.clear();
+    episode.reads.clear();
+    for (const VectorAction &action : episode.actions) {
+        for (unsigned lane = 0; lane < action.lanes.size(); ++lane) {
+            if (!action.lanes[lane].has_value())
+                continue;
+            const LaneOp &op = *action.lanes[lane];
+            if (op.kind == LaneOp::Kind::Store) {
+                episode.writes[op.var] =
+                    Episode::WriteInfo{lane, op.storeValue, 0};
+            } else {
+                episode.reads.insert(op.var);
+            }
+        }
+    }
+}
+
+} // namespace drf
+
+#endif // DRF_TRACE_SCHEDULE_HH

@@ -1,0 +1,153 @@
+#include "trace/shrink.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace drf
+{
+
+namespace
+{
+
+/**
+ * One shrink probe: does @p candidate reproduce the original failure —
+ * and only the original failure? See the header's soundness note.
+ */
+bool
+candidateFails(const ReproTrace &trace, const EpisodeSchedule &candidate,
+               const ShrinkOptions &opts)
+{
+    TesterResult r = replayGpuRun(trace, candidate, /*arm_fault=*/true);
+    if (r.passed || r.failureClass != trace.result.failureClass)
+        return false;
+    if (opts.verifyFaultDependence &&
+        trace.system.fault != FaultKind::None) {
+        TesterResult clean =
+            replayGpuRun(trace, candidate, /*arm_fault=*/false);
+        if (!clean.passed)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+EpisodeSchedule
+shrinkRepro(const ReproTrace &trace, const ShrinkOptions &opts,
+            ShrinkStats *stats_out)
+{
+    assert(!trace.result.passed && "shrinking requires a failing trace");
+
+    ShrinkStats stats;
+    stats.originalEpisodes = trace.schedule.size();
+    auto t0 = std::chrono::steady_clock::now();
+
+    // ddmin over indexes into the original schedule, preserving order.
+    std::vector<std::size_t> keep(trace.schedule.size());
+    for (std::size_t i = 0; i < keep.size(); ++i)
+        keep[i] = i;
+
+    auto probe = [&](const std::vector<std::size_t> &indexes) {
+        if (stats.probes >= opts.maxProbes) {
+            stats.probeBudgetExhausted = true;
+            return false;
+        }
+        ++stats.probes;
+        if (opts.progress)
+            opts.progress(stats.probes, keep.size());
+        return candidateFails(trace, trace.schedule.subset(indexes),
+                              opts);
+    };
+
+    std::size_t n = 2;
+    while (keep.size() >= 2 && !stats.probeBudgetExhausted) {
+        std::size_t chunk = (keep.size() + n - 1) / n;
+        bool reduced = false;
+
+        // Try each chunk alone ("reduce to subset").
+        for (std::size_t start = 0;
+             start < keep.size() && !reduced;
+             start += chunk) {
+            std::size_t end = std::min(start + chunk, keep.size());
+            std::vector<std::size_t> subset(keep.begin() + start,
+                                            keep.begin() + end);
+            if (subset.size() < keep.size() && probe(subset)) {
+                keep = std::move(subset);
+                n = 2;
+                reduced = true;
+                ++stats.improvements;
+            }
+        }
+
+        // Try each chunk's complement ("reduce to complement").
+        for (std::size_t start = 0;
+             start < keep.size() && !reduced && n > 2;
+             start += chunk) {
+            std::size_t end = std::min(start + chunk, keep.size());
+            std::vector<std::size_t> complement;
+            complement.reserve(keep.size() - (end - start));
+            complement.insert(complement.end(), keep.begin(),
+                              keep.begin() + start);
+            complement.insert(complement.end(), keep.begin() + end,
+                              keep.end());
+            if (!complement.empty() && complement.size() < keep.size() &&
+                probe(complement)) {
+                keep = std::move(complement);
+                n = std::max<std::size_t>(n - 1, 2);
+                reduced = true;
+                ++stats.improvements;
+            }
+        }
+
+        if (!reduced) {
+            if (n >= keep.size())
+                break; // single-episode granularity reached
+            n = std::min(n * 2, keep.size());
+        }
+    }
+
+    // ddmin's 1-minimality only rules out removing single chunks; a
+    // smaller non-contiguous subset (say, just the writer and the
+    // reader episode) can survive it. Once the candidate set is small,
+    // exhaustively probing all tiny subsets is a handful of cheap
+    // replays, so finish with that polish.
+    constexpr std::size_t kPolishSetLimit = 12;
+    constexpr std::size_t kPolishSizeLimit = 3;
+    if (keep.size() > 1 && keep.size() <= kPolishSetLimit &&
+        !stats.probeBudgetExhausted) {
+        bool polished = false;
+        for (std::size_t want = 1;
+             want < std::min(keep.size(), kPolishSizeLimit + 1) &&
+             !polished;
+             ++want) {
+            // Iterate subsets of size `want` via a selection mask.
+            std::vector<bool> pick(keep.size(), false);
+            std::fill(pick.begin(), pick.begin() + want, true);
+            do {
+                std::vector<std::size_t> subset;
+                subset.reserve(want);
+                for (std::size_t i = 0; i < keep.size(); ++i) {
+                    if (pick[i])
+                        subset.push_back(keep[i]);
+                }
+                if (probe(subset)) {
+                    keep = std::move(subset);
+                    ++stats.improvements;
+                    polished = true;
+                    break;
+                }
+            } while (std::prev_permutation(pick.begin(), pick.end()));
+        }
+    }
+
+    stats.shrunkEpisodes = keep.size();
+    stats.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    if (stats_out != nullptr)
+        *stats_out = stats;
+    return trace.schedule.subset(keep);
+}
+
+} // namespace drf

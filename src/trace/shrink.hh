@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Delta-debugging minimizer for failing episode schedules.
+ *
+ * Given a recorded failing run, shrinkRepro searches for a small
+ * subsequence of the episode schedule that still reproduces the *same
+ * class* of failure (ddmin, Zeller & Hildebrandt). Every candidate
+ * subsequence is evaluated by replaying it on a fresh system — cheap,
+ * because shrink candidates are far shorter than the original run.
+ *
+ * Soundness: removing episodes shifts wavefront timing, so a
+ * subsequence can overlap episodes that were serialized in the
+ * original run and fail with a *genuine* data race rather than the
+ * injected/observed bug. A candidate is therefore accepted only if it
+ * (a) fails with the original failure class with the recorded fault
+ * armed, and (b) — when a fault is armed and verification is on —
+ * passes with the fault disarmed, proving the failure is caused by the
+ * bug under investigation and not by an artifact of the shrink itself.
+ */
+
+#ifndef DRF_TRACE_SHRINK_HH
+#define DRF_TRACE_SHRINK_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/repro.hh"
+
+namespace drf
+{
+
+/** Shrink policy knobs. */
+struct ShrinkOptions
+{
+    /** Hard cap on candidate replays (the dominant cost). */
+    std::size_t maxProbes = 2000;
+
+    /**
+     * Require candidates to pass with the fault disarmed (ignored when
+     * the trace's system has no fault armed).
+     */
+    bool verifyFaultDependence = true;
+
+    /** Progress callback (probe count, current best size); optional. */
+    std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/** What the shrink did, for reports and logs. */
+struct ShrinkStats
+{
+    std::size_t originalEpisodes = 0;
+    std::size_t shrunkEpisodes = 0;
+    std::size_t probes = 0;       ///< replays executed
+    std::size_t improvements = 0; ///< accepted (smaller) candidates
+    bool probeBudgetExhausted = false;
+    double seconds = 0.0;         ///< wall-clock shrink time
+};
+
+/**
+ * Minimize @p trace's schedule to a near-minimal subsequence that
+ * still fails with trace.result.failureClass. Requires a failing
+ * trace. Returns the minimized schedule (at worst the original).
+ */
+EpisodeSchedule shrinkRepro(const ReproTrace &trace,
+                            const ShrinkOptions &opts = {},
+                            ShrinkStats *stats = nullptr);
+
+} // namespace drf
+
+#endif // DRF_TRACE_SHRINK_HH

@@ -1,0 +1,381 @@
+#include "trace/trace_file.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <iterator>
+#include <ostream>
+
+namespace drf
+{
+
+const char *
+traceEventKindName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::EpisodeIssue: return "EpisodeIssue";
+      case TraceEventKind::EpisodeRetire: return "EpisodeRetire";
+      case TraceEventKind::MsgSend: return "MsgSend";
+      case TraceEventKind::MsgDeliver: return "MsgDeliver";
+      case TraceEventKind::Transition: return "Transition";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr char kMagic[8] = {'D', 'R', 'F', 'T', 'R', 'C', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>(v >> (8 * i));
+    os.write(buf, 8);
+}
+
+void putU32(std::ostream &os, std::uint32_t v) { putU64(os, v); }
+void putI32(std::ostream &os, std::int32_t v)
+{
+    putU64(os, static_cast<std::uint32_t>(v));
+}
+void putU8(std::ostream &os, std::uint8_t v) { putU64(os, v); }
+
+void
+putStr(std::ostream &os, const std::string &s)
+{
+    putU64(os, s.size());
+    os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool
+getU64(std::istream &is, std::uint64_t &v)
+{
+    char buf[8];
+    if (!is.read(buf, 8))
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    }
+    return true;
+}
+
+template <typename T>
+bool
+getInt(std::istream &is, T &out)
+{
+    std::uint64_t v;
+    if (!getU64(is, v))
+        return false;
+    out = static_cast<T>(v);
+    return true;
+}
+
+bool
+getStr(std::istream &is, std::string &s)
+{
+    std::uint64_t n;
+    if (!getU64(is, n))
+        return false;
+    // 1 GB sanity cap: a corrupt length must not trigger a huge alloc.
+    if (n > (1ull << 30))
+        return false;
+    s.resize(n);
+    return n == 0 ||
+           static_cast<bool>(is.read(s.data(),
+                                     static_cast<std::streamsize>(n)));
+}
+
+void
+putSystemConfig(std::ostream &os, const ApuSystemConfig &c)
+{
+    putU32(os, c.numCus);
+    putU32(os, c.numGpuL2s);
+    putU32(os, c.numCpuCaches);
+    putU32(os, c.lineBytes);
+    putU64(os, c.l1.sizeBytes);
+    putU32(os, c.l1.assoc);
+    putU32(os, c.l1.lineBytes);
+    putU64(os, c.l1.hitLatency);
+    putU64(os, c.l1.recycleLatency);
+    putU64(os, c.l2.sizeBytes);
+    putU32(os, c.l2.assoc);
+    putU32(os, c.l2.lineBytes);
+    putU64(os, c.l2.recycleLatency);
+    putU64(os, c.cpu.sizeBytes);
+    putU32(os, c.cpu.assoc);
+    putU32(os, c.cpu.lineBytes);
+    putU64(os, c.cpu.hitLatency);
+    putU64(os, c.cpu.recycleLatency);
+    putU32(os, c.dir.lineBytes);
+    putU64(os, c.dir.recycleLatency);
+    putU64(os, c.dir.memPortLatency);
+    putU64(os, c.xbarLatency);
+    putU64(os, c.memLatency);
+    putU32(os, static_cast<std::uint32_t>(c.fault));
+    putU32(os, c.faultTriggerPct);
+    putU64(os, c.faultSeed);
+}
+
+bool
+getSystemConfig(std::istream &is, ApuSystemConfig &c)
+{
+    std::uint32_t fault = 0;
+    bool ok = getInt(is, c.numCus) && getInt(is, c.numGpuL2s) &&
+              getInt(is, c.numCpuCaches) && getInt(is, c.lineBytes) &&
+              getInt(is, c.l1.sizeBytes) && getInt(is, c.l1.assoc) &&
+              getInt(is, c.l1.lineBytes) && getInt(is, c.l1.hitLatency) &&
+              getInt(is, c.l1.recycleLatency) &&
+              getInt(is, c.l2.sizeBytes) && getInt(is, c.l2.assoc) &&
+              getInt(is, c.l2.lineBytes) &&
+              getInt(is, c.l2.recycleLatency) &&
+              getInt(is, c.cpu.sizeBytes) && getInt(is, c.cpu.assoc) &&
+              getInt(is, c.cpu.lineBytes) &&
+              getInt(is, c.cpu.hitLatency) &&
+              getInt(is, c.cpu.recycleLatency) &&
+              getInt(is, c.dir.lineBytes) &&
+              getInt(is, c.dir.recycleLatency) &&
+              getInt(is, c.dir.memPortLatency) &&
+              getInt(is, c.xbarLatency) && getInt(is, c.memLatency) &&
+              getInt(is, fault) && getInt(is, c.faultTriggerPct) &&
+              getInt(is, c.faultSeed);
+    c.fault = static_cast<FaultKind>(fault);
+    return ok;
+}
+
+void
+putTesterConfig(std::ostream &os, const GpuTesterConfig &c)
+{
+    putU32(os, c.wfsPerCu);
+    putU32(os, c.lanes);
+    putU32(os, c.episodesPerWf);
+    putU32(os, c.episodeGen.actionsPerEpisode);
+    putU32(os, c.episodeGen.lanes);
+    putU32(os, c.episodeGen.storePct);
+    putU32(os, c.episodeGen.laneActivePct);
+    putU32(os, c.episodeGen.pickAttempts);
+    putU32(os, c.variables.numSyncVars);
+    putU32(os, c.variables.numNormalVars);
+    putU64(os, c.variables.addrRangeBytes);
+    putU32(os, c.variables.lineBytes);
+    putU32(os, c.variables.varBytes);
+    putU64(os, c.seed);
+    putU64(os, c.deadlockThreshold);
+    putU64(os, c.checkInterval);
+    putU64(os, c.runLimit);
+}
+
+bool
+getTesterConfig(std::istream &is, GpuTesterConfig &c)
+{
+    return getInt(is, c.wfsPerCu) && getInt(is, c.lanes) &&
+           getInt(is, c.episodesPerWf) &&
+           getInt(is, c.episodeGen.actionsPerEpisode) &&
+           getInt(is, c.episodeGen.lanes) &&
+           getInt(is, c.episodeGen.storePct) &&
+           getInt(is, c.episodeGen.laneActivePct) &&
+           getInt(is, c.episodeGen.pickAttempts) &&
+           getInt(is, c.variables.numSyncVars) &&
+           getInt(is, c.variables.numNormalVars) &&
+           getInt(is, c.variables.addrRangeBytes) &&
+           getInt(is, c.variables.lineBytes) &&
+           getInt(is, c.variables.varBytes) && getInt(is, c.seed) &&
+           getInt(is, c.deadlockThreshold) &&
+           getInt(is, c.checkInterval) && getInt(is, c.runLimit);
+}
+
+void
+putResult(std::ostream &os, const TesterResult &r)
+{
+    putU8(os, r.passed ? 1 : 0);
+    putU32(os, static_cast<std::uint32_t>(r.failureClass));
+    putStr(os, r.report);
+    putU64(os, r.ticks);
+    putU64(os, r.events);
+    putU64(os, r.episodes);
+    putU64(os, r.loadsChecked);
+    putU64(os, r.storesRetired);
+    putU64(os, r.atomicsChecked);
+}
+
+bool
+getResult(std::istream &is, TesterResult &r)
+{
+    std::uint8_t passed = 0;
+    std::uint32_t cls = 0;
+    bool ok = getInt(is, passed) && getInt(is, cls) &&
+              getStr(is, r.report) && getInt(is, r.ticks) &&
+              getInt(is, r.events) && getInt(is, r.episodes) &&
+              getInt(is, r.loadsChecked) && getInt(is, r.storesRetired) &&
+              getInt(is, r.atomicsChecked);
+    r.passed = passed != 0;
+    r.failureClass = static_cast<FailureClass>(cls);
+    return ok;
+}
+
+void
+putSchedule(std::ostream &os, const EpisodeSchedule &s)
+{
+    putU64(os, s.episodes.size());
+    for (const Episode &e : s.episodes) {
+        putU64(os, e.id);
+        putU32(os, e.wavefrontId);
+        putU32(os, e.syncVar);
+        putU64(os, e.actions.size());
+        for (const VectorAction &action : e.actions) {
+            putU64(os, action.lanes.size());
+            for (const auto &lane : action.lanes) {
+                putU8(os, lane.has_value() ? 1 : 0);
+                if (lane.has_value()) {
+                    putU8(os, lane->kind == LaneOp::Kind::Store ? 1 : 0);
+                    putU32(os, lane->var);
+                    putU32(os, lane->storeValue);
+                }
+            }
+        }
+    }
+}
+
+bool
+getSchedule(std::istream &is, EpisodeSchedule &s)
+{
+    std::uint64_t count;
+    if (!getU64(is, count) || count > (1ull << 32))
+        return false;
+    s.episodes.clear();
+    s.episodes.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Episode e;
+        std::uint64_t num_actions;
+        if (!getInt(is, e.id) || !getInt(is, e.wavefrontId) ||
+            !getInt(is, e.syncVar) || !getU64(is, num_actions) ||
+            num_actions > (1ull << 24)) {
+            return false;
+        }
+        e.actions.resize(num_actions);
+        for (VectorAction &action : e.actions) {
+            std::uint64_t num_lanes;
+            if (!getU64(is, num_lanes) || num_lanes > (1ull << 16))
+                return false;
+            action.lanes.resize(num_lanes);
+            for (auto &lane : action.lanes) {
+                std::uint8_t present;
+                if (!getInt(is, present))
+                    return false;
+                if (present == 0)
+                    continue;
+                std::uint8_t is_store;
+                LaneOp op;
+                if (!getInt(is, is_store) || !getInt(is, op.var) ||
+                    !getInt(is, op.storeValue)) {
+                    return false;
+                }
+                op.kind = is_store != 0 ? LaneOp::Kind::Store
+                                        : LaneOp::Kind::Load;
+                lane = op;
+            }
+        }
+        rebuildEpisodeIndexes(e);
+        s.episodes.push_back(std::move(e));
+    }
+    return true;
+}
+
+void
+putEvents(std::ostream &os, const std::vector<TraceEvent> &events)
+{
+    putU64(os, events.size());
+    for (const TraceEvent &ev : events) {
+        putU64(os, ev.tick);
+        putU64(os, ev.a);
+        putU64(os, ev.b);
+        putI32(os, ev.src);
+        putI32(os, ev.dst);
+        putU8(os, static_cast<std::uint8_t>(ev.kind));
+        putU8(os, ev.u8);
+        putU64(os, ev.u16);
+        putU32(os, ev.u32);
+    }
+}
+
+bool
+getEvents(std::istream &is, std::vector<TraceEvent> &events)
+{
+    std::uint64_t count;
+    if (!getU64(is, count) || count > (1ull << 32))
+        return false;
+    events.clear();
+    events.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceEvent ev;
+        std::uint8_t kind;
+        if (!getInt(is, ev.tick) || !getInt(is, ev.a) ||
+            !getInt(is, ev.b) || !getInt(is, ev.src) ||
+            !getInt(is, ev.dst) || !getInt(is, kind) ||
+            !getInt(is, ev.u8) || !getInt(is, ev.u16) ||
+            !getInt(is, ev.u32)) {
+            return false;
+        }
+        ev.kind = static_cast<TraceEventKind>(kind);
+        events.push_back(ev);
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+saveTrace(std::ostream &os, const ReproTrace &trace)
+{
+    os.write(kMagic, sizeof(kMagic));
+    putU32(os, kVersion);
+    putStr(os, trace.presetName);
+    putSystemConfig(os, trace.system);
+    putTesterConfig(os, trace.tester);
+    putResult(os, trace.result);
+    putSchedule(os, trace.schedule);
+    putEvents(os, trace.events);
+    return static_cast<bool>(os);
+}
+
+bool
+saveTraceFile(const std::string &path, const ReproTrace &trace)
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && saveTrace(os, trace);
+}
+
+bool
+loadTrace(std::istream &is, ReproTrace &trace)
+{
+    char magic[8];
+    if (!is.read(magic, sizeof(magic)) ||
+        !std::equal(std::begin(magic), std::end(magic),
+                    std::begin(kMagic))) {
+        return false;
+    }
+    std::uint32_t version = 0;
+    if (!getInt(is, version) || version != kVersion)
+        return false;
+    return getStr(is, trace.presetName) &&
+           getSystemConfig(is, trace.system) &&
+           getTesterConfig(is, trace.tester) &&
+           getResult(is, trace.result) &&
+           getSchedule(is, trace.schedule) &&
+           getEvents(is, trace.events);
+}
+
+bool
+loadTraceFile(const std::string &path, ReproTrace &trace)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is && loadTrace(is, trace);
+}
+
+} // namespace drf

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Binary serialization of ReproTrace ("DRFTRC01").
+ *
+ * The format is field-wise little-endian — every integer is written
+ * byte by byte, never memcpy'd from a struct — so a trace recorded on
+ * one host loads identically on any other regardless of struct layout
+ * or endianness. Derived episode indexes (writes/reads) are rebuilt on
+ * load rather than stored.
+ *
+ * Layout: 8-byte magic, u32 version, then the system config, tester
+ * config, recorded result, episode schedule, and event stream, each as
+ * a fixed field sequence (see trace_file.cc). Loaders reject bad
+ * magic/version/truncation by returning false.
+ */
+
+#ifndef DRF_TRACE_TRACE_FILE_HH
+#define DRF_TRACE_TRACE_FILE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/repro.hh"
+
+namespace drf
+{
+
+/** Serialize @p trace to @p os. @return false on stream failure. */
+bool saveTrace(std::ostream &os, const ReproTrace &trace);
+
+/** Serialize @p trace to @p path. @return false on any failure. */
+bool saveTraceFile(const std::string &path, const ReproTrace &trace);
+
+/**
+ * Deserialize a trace from @p is into @p trace.
+ * @return false on bad magic, unknown version or truncation.
+ */
+bool loadTrace(std::istream &is, ReproTrace &trace);
+
+/** Deserialize a trace from @p path. @return false on any failure. */
+bool loadTraceFile(const std::string &path, ReproTrace &trace);
+
+} // namespace drf
+
+#endif // DRF_TRACE_TRACE_FILE_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Shared golden-digest machinery for determinism tests.
+ *
+ * test_msg_goldens pins FNV-1a digests of complete runs; the trace
+ * record/replay tests reuse the same digesting so "recording does not
+ * perturb the run" and "replay is bit-identical" are checked against
+ * the very same pinned constants rather than a parallel oracle.
+ */
+
+#ifndef DRF_TESTS_GOLDEN_DIGEST_HH
+#define DRF_TESTS_GOLDEN_DIGEST_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "coverage/coverage.hh"
+#include "tester/configs.hh"
+#include "tester/cpu_tester.hh"
+#include "tester/gpu_tester.hh"
+
+namespace drf::testing
+{
+
+/** FNV-1a 64-bit running hash. */
+class Digest
+{
+  public:
+    Digest &
+    bytes(const void *p, std::size_t n)
+    {
+        const unsigned char *c = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            _h ^= c[i];
+            _h *= 1099511628211ull;
+        }
+        return *this;
+    }
+
+    Digest &
+    u64(std::uint64_t v)
+    {
+        // Hash a fixed-width little-endian encoding so the digest does
+        // not depend on host struct layout.
+        unsigned char buf[8];
+        for (int i = 0; i < 8; ++i)
+            buf[i] = static_cast<unsigned char>(v >> (8 * i));
+        return bytes(buf, sizeof(buf));
+    }
+
+    Digest &
+    str(const std::string &s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return _h; }
+
+  private:
+    std::uint64_t _h = 14695981039346656037ull;
+};
+
+/** Everything deterministic in a TesterResult (hostSeconds excluded). */
+inline void
+digestResult(Digest &d, const TesterResult &r)
+{
+    d.u64(r.passed ? 1 : 0);
+    d.str(r.report);
+    d.u64(r.ticks);
+    d.u64(r.events);
+    d.u64(r.episodes);
+    d.u64(r.loadsChecked);
+    d.u64(r.storesRetired);
+    d.u64(r.atomicsChecked);
+}
+
+/** Every cell count of a coverage grid, plus the total. */
+inline void
+digestGrid(Digest &d, const CoverageGrid &grid)
+{
+    const TransitionSpec &spec = grid.spec();
+    for (std::size_t ev = 0; ev < spec.numEvents(); ++ev) {
+        for (std::size_t st = 0; st < spec.numStates(); ++st)
+            d.u64(grid.count(ev, st));
+    }
+    d.u64(grid.totalHits());
+}
+
+/** Compare against a pinned golden, printing on request or mismatch. */
+inline void
+checkGolden(const char *name, std::uint64_t actual,
+            std::uint64_t expected)
+{
+    if (std::getenv("DRF_PRINT_GOLDENS")) {
+        std::printf("GOLDEN %s = 0x%016llxull\n", name,
+                    static_cast<unsigned long long>(actual));
+    }
+    EXPECT_EQ(actual, expected)
+        << name << ": run changed observable behaviour; "
+        << "actual digest 0x" << std::hex << actual;
+}
+
+/** The GPU tester preset every golden run uses. */
+inline GpuTesterConfig
+goldenGpuConfig(std::uint64_t seed)
+{
+    GpuTesterConfig cfg = makeGpuTesterConfig(/*actions_per_episode=*/30,
+                                              /*episodes_per_wf=*/6,
+                                              /*atomic_locs=*/10, seed);
+    cfg.lanes = 8;
+    cfg.episodeGen.lanes = 8;
+    cfg.wfsPerCu = 2;
+    cfg.variables.numNormalVars = 512;
+    cfg.variables.addrRangeBytes = 1 << 14;
+    return cfg;
+}
+
+/** Digest one finished GPU run: result + all coverage grids. */
+inline std::uint64_t
+gpuDigestOf(ApuSystem &sys, const TesterResult &r)
+{
+    Digest d;
+    digestResult(d, r);
+    digestGrid(d, sys.l1CoverageUnion());
+    digestGrid(d, sys.l2CoverageUnion());
+    digestGrid(d, sys.directory().coverage());
+    return d.value();
+}
+
+/** One GPU tester run digested end to end: result + all grids. */
+inline std::uint64_t
+gpuRunDigest(CacheSizeClass cache_class, std::uint64_t seed,
+             FaultKind fault = FaultKind::None)
+{
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(cache_class, 4);
+    sys_cfg.fault = fault;
+    ApuSystem sys(sys_cfg);
+    GpuTester tester(sys, goldenGpuConfig(seed));
+    TesterResult r = tester.run();
+    return gpuDigestOf(sys, r);
+}
+
+/** One CPU tester run digested end to end. */
+inline std::uint64_t
+cpuRunDigest(std::uint64_t seed)
+{
+    ApuSystemConfig sys_cfg;
+    sys_cfg.numCus = 0;
+    sys_cfg.numCpuCaches = 4;
+    sys_cfg.cpu.sizeBytes = 512;
+    sys_cfg.cpu.assoc = 2;
+    ApuSystem sys(sys_cfg);
+
+    CpuTesterConfig cfg;
+    cfg.targetLoads = 2000;
+    cfg.addrRangeBytes = 1024;
+    cfg.seed = seed;
+    CpuTester tester(sys, cfg);
+    TesterResult r = tester.run();
+
+    Digest d;
+    digestResult(d, r);
+    for (unsigned i = 0; i < sys.numCpuCaches(); ++i)
+        digestGrid(d, sys.cpuCache(i).coverage());
+    digestGrid(d, sys.directory().coverage());
+    return d.value();
+}
+
+/**
+ * The pinned golden digests, captured from the pre-flat-Packet tree.
+ * Shared so the trace tests can assert record/replay reproduce exactly
+ * these values.
+ */
+inline constexpr std::uint64_t kGoldenGpuSmallSeed9 =
+    0x4f5e0ae3b9b25846ull;
+inline constexpr std::uint64_t kGoldenGpuSmallSeed23 =
+    0xdbb6a1ffb42b0a02ull;
+inline constexpr std::uint64_t kGoldenGpuMixedSeed77 =
+    0xab2339cdb860f944ull;
+inline constexpr std::uint64_t kGoldenGpuLargeSeed5 =
+    0xdd59604a70e5f302ull;
+inline constexpr std::uint64_t kGoldenGpuLostWriteThroughSeed11 =
+    0x2316e963be7b95acull;
+inline constexpr std::uint64_t kGoldenGpuNonAtomicRmwSeed42 =
+    0x507879d1f72fc83bull;
+inline constexpr std::uint64_t kGoldenCpuSeed5 = 0x6ce9577431b4375full;
+inline constexpr std::uint64_t kGoldenCpuSeed31 = 0x28199df9e88e6babull;
+
+} // namespace drf::testing
+
+#endif // DRF_TESTS_GOLDEN_DIGEST_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fault-injection coverage: every FaultKind is detected by the testing
+ * methodology and classified as the expected failure class.
+ *
+ * Four of the five faults fall to the random GPU tester directly; the
+ * kinds and seeds here are chosen so each fault manifests within the
+ * golden preset's episode budget. DropGpuProbe is the exception — it
+ * needs interleaved CPU and GPU traffic on one line, which the random
+ * GPU tester never generates — so it is exercised by the directed
+ * protocol scenario (src/tester/scenarios.hh), with FaultKind::None as
+ * the control arm.
+ */
+
+#include <gtest/gtest.h>
+
+#include "golden_digest.hh"
+#include "tester/scenarios.hh"
+#include "tester/tester_failure.hh"
+
+using namespace drf;
+using namespace drf::testing;
+
+namespace
+{
+
+/** Run the golden GPU preset with @p fault armed, return the result. */
+TesterResult
+runWithFault(FaultKind fault, std::uint64_t seed,
+             CacheSizeClass cache_class = CacheSizeClass::Small)
+{
+    ApuSystemConfig sys_cfg = makeGpuSystemConfig(cache_class, 4);
+    sys_cfg.fault = fault;
+    ApuSystem sys(sys_cfg);
+    GpuTester tester(sys, goldenGpuConfig(seed));
+    return tester.run();
+}
+
+} // namespace
+
+TEST(Fault, NoFaultPasses)
+{
+    TesterResult r = runWithFault(FaultKind::None, 9);
+    EXPECT_TRUE(r.passed);
+    EXPECT_EQ(r.failureClass, FailureClass::None);
+}
+
+// A silently dropped write-through surfaces as a stale load: the
+// checker's value mismatch, with the Table V last-writer dump.
+TEST(Fault, LostWriteThroughIsValueMismatch)
+{
+    TesterResult r = runWithFault(FaultKind::LostWriteThrough, 11);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.failureClass, FailureClass::ValueMismatch);
+    EXPECT_NE(r.report.find("Last Writer"), std::string::npos);
+}
+
+// A non-atomic read-modify-write loses an update on the sync variable:
+// two episodes observe the same atomic return value.
+TEST(Fault, NonAtomicRmwIsAtomicViolation)
+{
+    TesterResult r = runWithFault(FaultKind::NonAtomicRmw, 42);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.failureClass, FailureClass::AtomicViolation);
+}
+
+// A swallowed acquire flash-invalidate leaves stale lines in the L1.
+// Needs the large cache class: small L1s evict lines fast enough that
+// natural replacement masks the missing invalidate.
+TEST(Fault, DropAcquireInvalidateIsValueMismatch)
+{
+    TesterResult r = runWithFault(FaultKind::DropAcquireInvalidate, 5,
+                                  CacheSizeClass::Large);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.failureClass, FailureClass::ValueMismatch);
+}
+
+// A dropped write acknowledgement strands the L1's outstanding
+// write-through count, so a release can never drain: the watchdog
+// reports the stuck request.
+TEST(Fault, DropWriteAckIsDeadlock)
+{
+    TesterResult r = runWithFault(FaultKind::DropWriteAck, 7);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.failureClass, FailureClass::Deadlock);
+}
+
+// The directed scenario: GPU caches a line, the CPU takes exclusive
+// ownership (the probe toward the GPU L2 is dropped), and the GPU's
+// post-acquire reload observes the stale L2 copy.
+TEST(Fault, DropGpuProbeScenarioObservesStaleData)
+{
+    ProbeScenarioResult bugged =
+        runDropGpuProbeScenario(FaultKind::DropGpuProbe);
+    ASSERT_TRUE(bugged.completed);
+    EXPECT_TRUE(bugged.staleObserved)
+        << "reload returned 0x" << std::hex << bugged.gpuReloadValue;
+}
+
+// Control arm: with a correct protocol the same sequence invalidates
+// the L2 copy and the reload returns the CPU's value.
+TEST(Fault, DropGpuProbeScenarioControlArmIsClean)
+{
+    ProbeScenarioResult clean =
+        runDropGpuProbeScenario(FaultKind::None);
+    ASSERT_TRUE(clean.completed);
+    EXPECT_FALSE(clean.staleObserved);
+    EXPECT_EQ(clean.gpuReloadValue, clean.cpuStoreValue);
+}

@@ -16,163 +16,18 @@
  *
  * Run with DRF_PRINT_GOLDENS=1 to print the digests computed by the
  * current binary (used to capture or re-capture the constants below).
+ *
+ * The digest machinery and the pinned constants live in
+ * golden_digest.hh, shared with test_trace.cc so record/replay is
+ * checked against the very same oracles.
  */
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <cstdlib>
-#include <string>
-
-#include "coverage/coverage.hh"
-#include "tester/configs.hh"
-#include "tester/cpu_tester.hh"
-#include "tester/gpu_tester.hh"
+#include "golden_digest.hh"
 
 using namespace drf;
-
-namespace
-{
-
-/** FNV-1a 64-bit running hash. */
-class Digest
-{
-  public:
-    Digest &
-    bytes(const void *p, std::size_t n)
-    {
-        const unsigned char *c = static_cast<const unsigned char *>(p);
-        for (std::size_t i = 0; i < n; ++i) {
-            _h ^= c[i];
-            _h *= 1099511628211ull;
-        }
-        return *this;
-    }
-
-    Digest &
-    u64(std::uint64_t v)
-    {
-        // Hash a fixed-width little-endian encoding so the digest does
-        // not depend on host struct layout.
-        unsigned char buf[8];
-        for (int i = 0; i < 8; ++i)
-            buf[i] = static_cast<unsigned char>(v >> (8 * i));
-        return bytes(buf, sizeof(buf));
-    }
-
-    Digest &
-    str(const std::string &s)
-    {
-        u64(s.size());
-        return bytes(s.data(), s.size());
-    }
-
-    std::uint64_t value() const { return _h; }
-
-  private:
-    std::uint64_t _h = 14695981039346656037ull;
-};
-
-/** Everything deterministic in a TesterResult (hostSeconds excluded). */
-void
-digestResult(Digest &d, const TesterResult &r)
-{
-    d.u64(r.passed ? 1 : 0);
-    d.str(r.report);
-    d.u64(r.ticks);
-    d.u64(r.events);
-    d.u64(r.episodes);
-    d.u64(r.loadsChecked);
-    d.u64(r.storesRetired);
-    d.u64(r.atomicsChecked);
-}
-
-/** Every cell count of a coverage grid, plus the total. */
-void
-digestGrid(Digest &d, const CoverageGrid &grid)
-{
-    const TransitionSpec &spec = grid.spec();
-    for (std::size_t ev = 0; ev < spec.numEvents(); ++ev) {
-        for (std::size_t st = 0; st < spec.numStates(); ++st)
-            d.u64(grid.count(ev, st));
-    }
-    d.u64(grid.totalHits());
-}
-
-/** Compare against a pinned golden, printing on request or mismatch. */
-void
-checkGolden(const char *name, std::uint64_t actual,
-            std::uint64_t expected)
-{
-    if (std::getenv("DRF_PRINT_GOLDENS")) {
-        std::printf("GOLDEN %s = 0x%016llxull\n", name,
-                    static_cast<unsigned long long>(actual));
-    }
-    EXPECT_EQ(actual, expected)
-        << name << ": message path changed observable behaviour; "
-        << "actual digest 0x" << std::hex << actual;
-}
-
-GpuTesterConfig
-goldenGpuConfig(std::uint64_t seed)
-{
-    GpuTesterConfig cfg = makeGpuTesterConfig(/*actions_per_episode=*/30,
-                                              /*episodes_per_wf=*/6,
-                                              /*atomic_locs=*/10, seed);
-    cfg.lanes = 8;
-    cfg.episodeGen.lanes = 8;
-    cfg.wfsPerCu = 2;
-    cfg.variables.numNormalVars = 512;
-    cfg.variables.addrRangeBytes = 1 << 14;
-    return cfg;
-}
-
-/** One GPU tester run digested end to end: result + all grids. */
-std::uint64_t
-gpuRunDigest(CacheSizeClass cache_class, std::uint64_t seed,
-             FaultKind fault = FaultKind::None)
-{
-    ApuSystemConfig sys_cfg = makeGpuSystemConfig(cache_class, 4);
-    sys_cfg.fault = fault;
-    ApuSystem sys(sys_cfg);
-    GpuTester tester(sys, goldenGpuConfig(seed));
-    TesterResult r = tester.run();
-
-    Digest d;
-    digestResult(d, r);
-    digestGrid(d, sys.l1CoverageUnion());
-    digestGrid(d, sys.l2CoverageUnion());
-    digestGrid(d, sys.directory().coverage());
-    return d.value();
-}
-
-/** One CPU tester run digested end to end. */
-std::uint64_t
-cpuRunDigest(std::uint64_t seed)
-{
-    ApuSystemConfig sys_cfg;
-    sys_cfg.numCus = 0;
-    sys_cfg.numCpuCaches = 4;
-    sys_cfg.cpu.sizeBytes = 512;
-    sys_cfg.cpu.assoc = 2;
-    ApuSystem sys(sys_cfg);
-
-    CpuTesterConfig cfg;
-    cfg.targetLoads = 2000;
-    cfg.addrRangeBytes = 1024;
-    cfg.seed = seed;
-    CpuTester tester(sys, cfg);
-    TesterResult r = tester.run();
-
-    Digest d;
-    digestResult(d, r);
-    for (unsigned i = 0; i < sys.numCpuCaches(); ++i)
-        digestGrid(d, sys.cpuCache(i).coverage());
-    digestGrid(d, sys.directory().coverage());
-    return d.value();
-}
-
-} // namespace
+using namespace drf::testing;
 
 // Captured from the pre-change (vector-payload Packet) tree. The whole
 // point of these constants is that the flat-Packet message layer
@@ -181,28 +36,28 @@ TEST(MsgGoldens, GpuSmallSeed9)
 {
     checkGolden("GpuSmallSeed9",
                 gpuRunDigest(CacheSizeClass::Small, 9),
-                0x4f5e0ae3b9b25846ull);
+                kGoldenGpuSmallSeed9);
 }
 
 TEST(MsgGoldens, GpuSmallSeed23)
 {
     checkGolden("GpuSmallSeed23",
                 gpuRunDigest(CacheSizeClass::Small, 23),
-                0xdbb6a1ffb42b0a02ull);
+                kGoldenGpuSmallSeed23);
 }
 
 TEST(MsgGoldens, GpuMixedSeed77)
 {
     checkGolden("GpuMixedSeed77",
                 gpuRunDigest(CacheSizeClass::Mixed, 77),
-                0xab2339cdb860f944ull);
+                kGoldenGpuMixedSeed77);
 }
 
 TEST(MsgGoldens, GpuLargeSeed5)
 {
     checkGolden("GpuLargeSeed5",
                 gpuRunDigest(CacheSizeClass::Large, 5),
-                0xdd59604a70e5f302ull);
+                kGoldenGpuLargeSeed5);
 }
 
 // Fault-injected run: the Table V failure report (last writer / last
@@ -212,7 +67,7 @@ TEST(MsgGoldens, GpuLostWriteThroughSeed11)
     checkGolden("GpuLostWriteThroughSeed11",
                 gpuRunDigest(CacheSizeClass::Small, 11,
                              FaultKind::LostWriteThrough),
-                0x2316e963be7b95acull);
+                kGoldenGpuLostWriteThroughSeed11);
 }
 
 TEST(MsgGoldens, GpuNonAtomicRmwSeed42)
@@ -220,15 +75,15 @@ TEST(MsgGoldens, GpuNonAtomicRmwSeed42)
     checkGolden("GpuNonAtomicRmwSeed42",
                 gpuRunDigest(CacheSizeClass::Small, 42,
                              FaultKind::NonAtomicRmw),
-                0x507879d1f72fc83bull);
+                kGoldenGpuNonAtomicRmwSeed42);
 }
 
 TEST(MsgGoldens, CpuSeed5)
 {
-    checkGolden("CpuSeed5", cpuRunDigest(5), 0x6ce9577431b4375full);
+    checkGolden("CpuSeed5", cpuRunDigest(5), kGoldenCpuSeed5);
 }
 
 TEST(MsgGoldens, CpuSeed31)
 {
-    checkGolden("CpuSeed31", cpuRunDigest(31), 0x28199df9e88e6babull);
+    checkGolden("CpuSeed31", cpuRunDigest(31), kGoldenCpuSeed31);
 }

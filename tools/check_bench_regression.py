@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Bench regression gate.
+
+Runs the two bench binaries several times (median-of-N), compares the
+headline throughput metrics against the committed baselines
+(BENCH_campaign.json / BENCH_msg_path.json), and fails when any metric
+regresses by more than the tolerance.
+
+Compared metrics:
+  campaign_scaling: event_queue.current_events_per_sec,
+                    scaling[jobs=1].events_per_sec
+  msg_path:         messages_per_sec
+
+Shared-runner CI boxes are noisy and differ from the machine that
+produced the baseline (the baseline records its cpu_model / git_sha /
+build_type for exactly this reason), so the default tolerance is a
+deliberately generous 25%; the gate exists to catch order-of-magnitude
+mistakes (an accidental O(n^2), a debug build, a disabled fast path),
+not 5% noise.
+
+Usage:
+  check_bench_regression.py --build-dir build [--runs 3]
+      [--tolerance 0.25] [--baseline-dir .]
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/setup error.
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_bench(cmd, out_path):
+    """Run one bench invocation writing JSON to out_path."""
+    proc = subprocess.run(
+        [str(c) for c in cmd], capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise RuntimeError(f"bench failed: {' '.join(map(str, cmd))}")
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def median_metric(samples, extract):
+    return statistics.median(extract(s) for s in samples)
+
+
+def serial_events_per_sec(doc):
+    for point in doc["scaling"]:
+        if point["jobs"] == 1:
+            return point["events_per_sec"]
+    raise KeyError("no jobs=1 scaling point")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", type=Path, default=Path("build"))
+    ap.add_argument("--baseline-dir", type=Path, default=Path("."))
+    ap.add_argument("--runs", type=int, default=3)
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument(
+        "--seeds",
+        type=int,
+        default=8,
+        help="campaign seeds per run (smaller than the committed "
+        "baseline's 32: the metric is a rate, not a total)",
+    )
+    args = ap.parse_args()
+
+    campaign_bin = args.build_dir / "bench" / "campaign_scaling"
+    msg_bin = args.build_dir / "bench" / "msg_path"
+    for binary in (campaign_bin, msg_bin):
+        if not binary.exists():
+            print(f"missing bench binary: {binary}", file=sys.stderr)
+            return 2
+
+    try:
+        baseline_campaign = json.load(
+            open(args.baseline_dir / "BENCH_campaign.json")
+        )
+        baseline_msg = json.load(
+            open(args.baseline_dir / "BENCH_msg_path.json")
+        )
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"cannot read baseline: {err}", file=sys.stderr)
+        return 2
+
+    for name, doc in (
+        ("BENCH_campaign.json", baseline_campaign),
+        ("BENCH_msg_path.json", baseline_msg),
+    ):
+        print(
+            f"baseline {name}: cpu_model={doc.get('cpu_model', '?')!r} "
+            f"git_sha={doc.get('git_sha', '?')} "
+            f"build_type={doc.get('build_type', '?')}"
+        )
+
+    campaign_samples = []
+    msg_samples = []
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        for i in range(args.runs):
+            print(f"run {i + 1}/{args.runs} ...", flush=True)
+            campaign_samples.append(
+                run_bench(
+                    [
+                        campaign_bin,
+                        "--seeds",
+                        args.seeds,
+                        "--out",
+                        tmp / "campaign.json",
+                    ],
+                    tmp / "campaign.json",
+                )
+            )
+            msg_samples.append(
+                run_bench(
+                    [msg_bin, "--out", tmp / "msg.json"],
+                    tmp / "msg.json",
+                )
+            )
+
+    checks = [
+        (
+            "event_queue.current_events_per_sec",
+            baseline_campaign["event_queue"]["current_events_per_sec"],
+            median_metric(
+                campaign_samples,
+                lambda d: d["event_queue"]["current_events_per_sec"],
+            ),
+        ),
+        (
+            "campaign.serial_events_per_sec",
+            serial_events_per_sec(baseline_campaign),
+            median_metric(campaign_samples, serial_events_per_sec),
+        ),
+        (
+            "msg_path.messages_per_sec",
+            baseline_msg["messages_per_sec"],
+            median_metric(msg_samples, lambda d: d["messages_per_sec"]),
+        ),
+    ]
+
+    failed = False
+    print(f"\n{'metric':44} {'baseline':>14} {'median':>14} {'ratio':>7}")
+    for name, base, measured in checks:
+        if base <= 0:
+            print(f"{name:44} baseline is {base}; skipping")
+            continue
+        ratio = measured / base
+        ok = ratio >= 1.0 - args.tolerance
+        failed = failed or not ok
+        print(
+            f"{name:44} {base:14.0f} {measured:14.0f} {ratio:6.2f}x"
+            f"{'' if ok else '   <-- REGRESSION'}"
+        )
+
+    if failed:
+        print(
+            f"\nFAIL: a metric regressed more than "
+            f"{args.tolerance:.0%} vs the committed baseline"
+        )
+        return 1
+    print(f"\nOK: all metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Record / replay / shrink / export driver for failure reproductions.
+ *
+ * Subcommands:
+ *
+ *   record  --out t.trace [--cache C] [--seed N] [--fault F]
+ *           [--trigger-pct P] [--episodes N] [--cus N] [--events]
+ *       Run the configured GPU tester once, recording the episode
+ *       schedule (and, with --events, the binary event trace) to a
+ *       self-contained trace file.
+ *
+ *   replay  --in t.trace
+ *       Re-execute the recorded schedule on a fresh system and verify
+ *       the outcome matches the recording bit for bit (pass/fail,
+ *       failure class, report text, final tick). Exit 0 on an exact
+ *       reproduction.
+ *
+ *   shrink  --in t.trace [--out-trace min.trace] [--out-json r.json]
+ *           [--max-probes N]
+ *       ddmin-minimize a failing trace's episode schedule and write the
+ *       minimized trace plus the JSON bug report.
+ *
+ *   export  --in t.trace --out t.json
+ *       Render the recorded binary event trace as Chrome-trace JSON
+ *       (chrome://tracing, Perfetto, speedscope).
+ *
+ *   fuzz    --out-dir DIR [--seeds N] [--trigger-pct P]
+ *       The nightly CI job: sweep every FaultKind over a multi-seed
+ *       campaign, assert each injected bug is detected, shrink each
+ *       episode-detectable failure, and leave one trace + JSON repro
+ *       per fault in DIR. DropGpuProbe is exercised through the
+ *       directed protocol scenario. Exit 0 only if every fault was
+ *       caught and every shrink preserved the failure class.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_json.hh"
+#include "tester/configs.hh"
+#include "tester/scenarios.hh"
+#include "tester/tester_failure.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/repro.hh"
+#include "trace/shrink.hh"
+#include "trace/trace_file.hh"
+
+using namespace drf;
+
+namespace
+{
+
+struct Args
+{
+    std::string in;
+    std::string out;
+    std::string outTrace;
+    std::string outJson;
+    std::string outDir;
+    std::string cache = "small";
+    std::string fault = "None";
+    std::uint64_t seed = 1;
+    unsigned triggerPct = 100;
+    unsigned episodes = 10;
+    unsigned cus = 4;
+    unsigned seeds = 8;
+    std::size_t maxProbes = 2000;
+    bool events = false;
+};
+
+std::optional<std::string>
+argValue(int argc, char **argv, int &i, const char *flag)
+{
+    if (std::strcmp(argv[i], flag) != 0)
+        return std::nullopt;
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+    }
+    return std::string(argv[++i]);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 2; i < argc; ++i) {
+        if (auto v = argValue(argc, argv, i, "--in"))
+            a.in = *v;
+        else if (auto v = argValue(argc, argv, i, "--out"))
+            a.out = *v;
+        else if (auto v = argValue(argc, argv, i, "--out-trace"))
+            a.outTrace = *v;
+        else if (auto v = argValue(argc, argv, i, "--out-json"))
+            a.outJson = *v;
+        else if (auto v = argValue(argc, argv, i, "--out-dir"))
+            a.outDir = *v;
+        else if (auto v = argValue(argc, argv, i, "--cache"))
+            a.cache = *v;
+        else if (auto v = argValue(argc, argv, i, "--fault"))
+            a.fault = *v;
+        else if (auto v = argValue(argc, argv, i, "--seed"))
+            a.seed = std::strtoull(v->c_str(), nullptr, 10);
+        else if (auto v = argValue(argc, argv, i, "--trigger-pct"))
+            a.triggerPct = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--episodes"))
+            a.episodes = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--cus"))
+            a.cus = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--seeds"))
+            a.seeds = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--max-probes"))
+            a.maxProbes = std::strtoull(v->c_str(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--events") == 0)
+            a.events = true;
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            std::exit(2);
+        }
+    }
+    return a;
+}
+
+CacheSizeClass
+parseCache(const std::string &name)
+{
+    if (name == "small")
+        return CacheSizeClass::Small;
+    if (name == "large")
+        return CacheSizeClass::Large;
+    if (name == "mixed")
+        return CacheSizeClass::Mixed;
+    std::fprintf(stderr, "unknown cache class: %s\n", name.c_str());
+    std::exit(2);
+}
+
+FaultKind
+parseFault(const std::string &name)
+{
+    for (FaultKind kind :
+         {FaultKind::None, FaultKind::LostWriteThrough,
+          FaultKind::NonAtomicRmw, FaultKind::DropAcquireInvalidate,
+          FaultKind::DropGpuProbe, FaultKind::DropWriteAck}) {
+        if (name == faultKindName(kind))
+            return kind;
+    }
+    std::fprintf(stderr, "unknown fault kind: %s\n", name.c_str());
+    std::exit(2);
+}
+
+/** The tester preset every tool run uses (the golden test shape). */
+GpuTesterConfig
+toolTesterConfig(std::uint64_t seed, unsigned episodes_per_wf)
+{
+    GpuTesterConfig cfg =
+        makeGpuTesterConfig(/*actions_per_episode=*/30, episodes_per_wf,
+                            /*atomic_locs=*/10, seed);
+    cfg.lanes = 8;
+    cfg.episodeGen.lanes = 8;
+    cfg.wfsPerCu = 2;
+    cfg.variables.numNormalVars = 512;
+    cfg.variables.addrRangeBytes = 1 << 14;
+    return cfg;
+}
+
+ReproTrace
+loadOrDie(const std::string &path)
+{
+    ReproTrace trace;
+    if (path.empty()) {
+        std::fprintf(stderr, "--in is required\n");
+        std::exit(2);
+    }
+    if (!loadTraceFile(path, trace)) {
+        std::fprintf(stderr, "failed to load trace: %s\n", path.c_str());
+        std::exit(1);
+    }
+    return trace;
+}
+
+bool
+writeText(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content << "\n";
+    if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+int
+cmdRecord(const Args &a)
+{
+    if (a.out.empty()) {
+        std::fprintf(stderr, "record: --out is required\n");
+        return 2;
+    }
+    ApuSystemConfig sys = makeGpuSystemConfig(parseCache(a.cache), a.cus);
+    sys.fault = parseFault(a.fault);
+    sys.faultTriggerPct = a.triggerPct;
+
+    RecordOptions opts;
+    opts.captureEvents = a.events;
+    ReproTrace trace =
+        recordGpuRun(sys, toolTesterConfig(a.seed, a.episodes), opts);
+    trace.presetName = a.cache + "/seed" + std::to_string(a.seed) + "/" +
+                       a.fault;
+
+    std::printf("run %s: %zu episodes, %llu ticks, %s\n",
+                trace.result.passed ? "PASSED" : "FAILED",
+                trace.schedule.size(),
+                (unsigned long long)trace.result.ticks,
+                failureClassName(trace.result.failureClass));
+    if (!saveTraceFile(a.out, trace)) {
+        std::fprintf(stderr, "failed to write %s\n", a.out.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", a.out.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Args &a)
+{
+    ReproTrace trace = loadOrDie(a.in);
+    TesterResult replayed = replayGpuRun(trace);
+
+    bool identical = replayed.passed == trace.result.passed &&
+                     replayed.failureClass == trace.result.failureClass &&
+                     replayed.report == trace.result.report &&
+                     replayed.ticks == trace.result.ticks;
+    std::printf("recorded: %s (%s) at tick %llu\n",
+                trace.result.passed ? "PASSED" : "FAILED",
+                failureClassName(trace.result.failureClass),
+                (unsigned long long)trace.result.ticks);
+    std::printf("replayed: %s (%s) at tick %llu\n",
+                replayed.passed ? "PASSED" : "FAILED",
+                failureClassName(replayed.failureClass),
+                (unsigned long long)replayed.ticks);
+    std::printf("replay is %s\n",
+                identical ? "bit-identical to the recording"
+                          : "DIFFERENT from the recording");
+    return identical ? 0 : 1;
+}
+
+int
+cmdShrink(const Args &a)
+{
+    ReproTrace trace = loadOrDie(a.in);
+    if (trace.result.passed) {
+        std::fprintf(stderr, "trace recorded a passing run; nothing to "
+                             "shrink\n");
+        return 1;
+    }
+
+    ShrinkOptions opts;
+    opts.maxProbes = a.maxProbes;
+    opts.progress = [](std::size_t probes, std::size_t best) {
+        if (probes % 50 == 0)
+            std::printf("  ... %zu probes, best %zu episodes\n", probes,
+                        best);
+    };
+    ShrinkStats stats;
+    EpisodeSchedule shrunk = shrinkRepro(trace, opts, &stats);
+
+    std::printf("shrink: %zu -> %zu episodes (%zu probes, %zu "
+                "improvements, %.2f s%s)\n",
+                stats.originalEpisodes, stats.shrunkEpisodes,
+                stats.probes, stats.improvements, stats.seconds,
+                stats.probeBudgetExhausted ? ", probe budget exhausted"
+                                           : "");
+
+    TesterResult replayed = replayGpuRun(trace, shrunk);
+    if (replayed.passed ||
+        replayed.failureClass != trace.result.failureClass) {
+        std::fprintf(stderr, "minimized schedule does not reproduce the "
+                             "failure class\n");
+        return 1;
+    }
+
+    int rc = 0;
+    if (!a.outTrace.empty()) {
+        ReproTrace minimized = trace;
+        minimized.schedule = shrunk;
+        minimized.result = replayed;
+        minimized.events.clear();
+        if (saveTraceFile(a.outTrace, minimized))
+            std::printf("wrote %s\n", a.outTrace.c_str());
+        else
+            rc = 1;
+    }
+    if (!a.outJson.empty() &&
+        !writeText(a.outJson, reproToJson(trace, shrunk, replayed)))
+        rc = 1;
+    return rc;
+}
+
+int
+cmdExport(const Args &a)
+{
+    ReproTrace trace = loadOrDie(a.in);
+    if (a.out.empty()) {
+        std::fprintf(stderr, "export: --out is required\n");
+        return 2;
+    }
+    if (trace.events.empty()) {
+        std::fprintf(stderr, "trace has no event records (re-record "
+                             "with --events)\n");
+        return 1;
+    }
+    return writeText(a.out, chromeTraceJson(trace.events)) ? 0 : 1;
+}
+
+/** One fuzz sweep entry: find a seed that exposes the fault. */
+struct FuzzOutcome
+{
+    FaultKind fault = FaultKind::None;
+    bool detected = false;
+    bool shrunk = false;
+    std::uint64_t seed = 0;
+    std::size_t originalEpisodes = 0;
+    std::size_t shrunkEpisodes = 0;
+    FailureClass failureClass = FailureClass::None;
+};
+
+int
+cmdFuzz(const Args &a)
+{
+    if (a.outDir.empty()) {
+        std::fprintf(stderr, "fuzz: --out-dir is required\n");
+        return 2;
+    }
+
+    struct Entry
+    {
+        FaultKind fault;
+        CacheSizeClass cache;
+    };
+    // DropAcquireInvalidate needs the large caches: small L1s evict
+    // fast enough that natural replacement masks a swallowed
+    // flash-invalidate.
+    const std::vector<Entry> entries = {
+        {FaultKind::LostWriteThrough, CacheSizeClass::Small},
+        {FaultKind::NonAtomicRmw, CacheSizeClass::Small},
+        {FaultKind::DropAcquireInvalidate, CacheSizeClass::Large},
+        {FaultKind::DropWriteAck, CacheSizeClass::Small},
+    };
+
+    std::vector<FuzzOutcome> outcomes;
+    for (const Entry &entry : entries) {
+        FuzzOutcome out;
+        out.fault = entry.fault;
+
+        for (std::uint64_t seed = 1; seed <= a.seeds && !out.detected;
+             ++seed) {
+            ApuSystemConfig sys =
+                makeGpuSystemConfig(entry.cache, a.cus);
+            sys.fault = entry.fault;
+            sys.faultTriggerPct = a.triggerPct;
+            ReproTrace trace = recordGpuRun(
+                sys, toolTesterConfig(seed, a.episodes));
+            if (trace.result.passed)
+                continue;
+
+            out.detected = true;
+            out.seed = seed;
+            out.failureClass = trace.result.failureClass;
+            out.originalEpisodes = trace.schedule.size();
+            trace.presetName = std::string(faultKindName(entry.fault)) +
+                               "/seed" + std::to_string(seed);
+
+            ShrinkOptions opts;
+            opts.maxProbes = a.maxProbes;
+            ShrinkStats stats;
+            EpisodeSchedule shrunk = shrinkRepro(trace, opts, &stats);
+            TesterResult replayed = replayGpuRun(trace, shrunk);
+            out.shrunk = !replayed.passed &&
+                         replayed.failureClass ==
+                             trace.result.failureClass;
+            out.shrunkEpisodes = shrunk.size();
+
+            std::string base =
+                a.outDir + "/" + faultKindName(entry.fault);
+            ReproTrace minimized = trace;
+            minimized.schedule = shrunk;
+            minimized.result = replayed;
+            if (saveTraceFile(base + ".trace", trace))
+                std::printf("wrote %s.trace\n", base.c_str());
+            if (saveTraceFile(base + ".min.trace", minimized))
+                std::printf("wrote %s.min.trace\n", base.c_str());
+            writeText(base + ".repro.json",
+                      reproToJson(trace, shrunk, replayed));
+        }
+        outcomes.push_back(out);
+    }
+
+    // DropGpuProbe: the directed CPU+GPU scenario, with a control arm.
+    {
+        FuzzOutcome out;
+        out.fault = FaultKind::DropGpuProbe;
+        ProbeScenarioResult bugged =
+            runDropGpuProbeScenario(FaultKind::DropGpuProbe);
+        ProbeScenarioResult clean =
+            runDropGpuProbeScenario(FaultKind::None);
+        out.detected = bugged.completed && bugged.staleObserved &&
+                       clean.completed && !clean.staleObserved;
+        out.shrunk = out.detected; // the scenario is already minimal
+        out.failureClass = FailureClass::ValueMismatch;
+
+        JsonWriter w;
+        w.beginObject();
+        w.key("fault").value(faultKindName(FaultKind::DropGpuProbe));
+        w.key("scenario").value("directed cpu-store/gpu-reload");
+        w.key("stale_observed").value(bugged.staleObserved);
+        w.key("control_clean").value(!clean.staleObserved);
+        w.key("cpu_store_value").value(bugged.cpuStoreValue);
+        w.key("gpu_reload_value").value(bugged.gpuReloadValue);
+        w.endObject();
+        writeText(a.outDir + "/DropGpuProbe.repro.json", w.str());
+        outcomes.push_back(out);
+    }
+
+    std::printf("\n%-24s %-10s %-8s %-16s %s\n", "fault", "detected",
+                "shrunk", "failure_class", "episodes");
+    bool all_ok = true;
+    for (const FuzzOutcome &out : outcomes) {
+        bool ok = out.detected && out.shrunk;
+        all_ok = all_ok && ok;
+        std::printf("%-24s %-10s %-8s %-16s %zu -> %zu%s\n",
+                    faultKindName(out.fault),
+                    out.detected ? "yes" : "NO",
+                    out.shrunk ? "yes" : "NO",
+                    failureClassName(out.failureClass),
+                    out.originalEpisodes, out.shrunkEpisodes,
+                    ok ? "" : "   <-- PROBLEM");
+    }
+    std::printf("\nfuzz sweep: %s\n",
+                all_ok ? "every fault detected and shrunk"
+                       : "SOME FAULTS ESCAPED");
+    return all_ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: shrink_repro "
+                     "{record|replay|shrink|export|fuzz} [options]\n");
+        return 2;
+    }
+    Args a = parseArgs(argc, argv);
+    std::string cmd = argv[1];
+    if (cmd == "record")
+        return cmdRecord(a);
+    if (cmd == "replay")
+        return cmdReplay(a);
+    if (cmd == "shrink")
+        return cmdShrink(a);
+    if (cmd == "export")
+        return cmdExport(a);
+    if (cmd == "fuzz")
+        return cmdFuzz(a);
+    std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
+    return 2;
+}
