@@ -17,6 +17,12 @@
  *     single-core CI box reporting ~1x is interpretable.
  *
  * Usage: campaign_scaling [--seeds N] [--out FILE]
+ *                         [--actions N] [--episodes-per-wf N]
+ *                         [--atomic-locs N] [--coloc-density D]
+ *
+ * The generator knobs override the scaling preset's episode shape
+ * (defaults: 30 actions, 4 episodes/WF, 10 atomic locations, and the
+ * fixed 16 KB address range unless a co-location density is given).
  */
 
 #include <algorithm>
@@ -31,6 +37,7 @@
 #include "bench_util.hh"
 #include "campaign/campaign.hh"
 #include "campaign/campaign_json.hh"
+#include "guidance/genome.hh"
 #include "sim/event_queue.hh"
 #include "sim/legacy_event_queue.hh"
 
@@ -92,21 +99,37 @@ benchQueue()
     return bench;
 }
 
+/** Generator knobs overridable from the command line. */
+struct GenKnobs
+{
+    unsigned actions = 30;
+    unsigned episodesPerWf = 4;
+    unsigned atomicLocs = 10;
+    double colocDensity = 0.0; ///< 0 = keep the fixed 16 KB range
+};
+
 /** The 32-seed campaign workload: small caches, short episodes. */
 GpuTestPreset
-scalingPreset()
+scalingPreset(const GenKnobs &knobs)
 {
     GpuTestPreset preset;
     preset.name = "scaling";
     preset.cacheClass = CacheSizeClass::Small;
     preset.system = makeGpuSystemConfig(CacheSizeClass::Small, 4);
-    preset.tester = makeGpuTesterConfig(/*actions_per_episode=*/30,
-                                        /*episodes_per_wf=*/4,
-                                        /*atomic_locs=*/10, /*seed=*/1);
+    preset.tester = makeGpuTesterConfig(knobs.actions,
+                                        knobs.episodesPerWf,
+                                        knobs.atomicLocs, /*seed=*/1);
     preset.tester.lanes = 8;
     preset.tester.episodeGen.lanes = 8;
     preset.tester.variables.numNormalVars = 512;
-    preset.tester.variables.addrRangeBytes = 1 << 14;
+    preset.tester.variables.addrRangeBytes =
+        knobs.colocDensity > 0.0
+            ? addrRangeForDensity(preset.tester.variables.numSyncVars +
+                                      preset.tester.variables.numNormalVars,
+                                  knobs.colocDensity,
+                                  preset.tester.variables.lineBytes,
+                                  preset.tester.variables.varBytes)
+            : 1 << 14;
     return preset;
 }
 
@@ -117,6 +140,16 @@ parseArg(int argc, char **argv, const std::string &flag,
     for (int i = 1; i + 1 < argc; ++i) {
         if (argv[i] == flag)
             return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    return fallback;
+}
+
+double
+parseArgD(int argc, char **argv, const std::string &flag, double fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return std::strtod(argv[i + 1], nullptr);
     }
     return fallback;
 }
@@ -138,6 +171,15 @@ main(int argc, char **argv)
 {
     const std::size_t num_seeds =
         static_cast<std::size_t>(parseArg(argc, argv, "--seeds", 32));
+    GenKnobs knobs;
+    knobs.actions =
+        unsigned(parseArg(argc, argv, "--actions", knobs.actions));
+    knobs.episodesPerWf = unsigned(
+        parseArg(argc, argv, "--episodes-per-wf", knobs.episodesPerWf));
+    knobs.atomicLocs = unsigned(
+        parseArg(argc, argv, "--atomic-locs", knobs.atomicLocs));
+    knobs.colocDensity =
+        parseArgD(argc, argv, "--coloc-density", knobs.colocDensity);
     const unsigned hw = std::thread::hardware_concurrency();
     const std::string cpu_model = hostCpuModel();
 
@@ -191,9 +233,8 @@ main(int argc, char **argv)
         }
         CampaignConfig cfg;
         cfg.jobs = jobs;
-        CampaignResult res =
-            runCampaign(gpuSeedSweep(scalingPreset(), 1, num_seeds),
-                        cfg);
+        CampaignResult res = runCampaign(
+            gpuSeedSweep(scalingPreset(knobs), 1, num_seeds), cfg);
         if (!res.passed) {
             std::fprintf(stderr, "campaign FAILED at jobs=%u: %s\n",
                          jobs,

@@ -108,12 +108,13 @@ runCampaign(std::vector<ShardSpec> shards, const CampaignConfig &cfg)
                 res.totalAtomicsChecked += out.result.atomicsChecked;
                 res.shardSecondsSum += out.result.hostSeconds;
 
+                std::size_t new_cells = 0;
                 if (out.l1)
-                    merge.l1.add(*out.l1);
+                    new_cells += merge.l1.add(*out.l1);
                 if (out.l2)
-                    merge.l2.add(*out.l2);
+                    new_cells += merge.l2.add(*out.l2);
                 if (out.dir)
-                    merge.dir.add(*out.dir);
+                    new_cells += merge.dir.add(*out.dir);
 
                 CoveragePoint point;
                 point.shardsCompleted = res.shardsRun;
@@ -121,6 +122,17 @@ runCampaign(std::vector<ShardSpec> shards, const CampaignConfig &cfg)
                 point.l2Pct = merge.l2.coveragePct(cfg.coverageTestType);
                 point.cumulativeEvents = res.totalEvents;
                 point.wallSeconds = secondsSince(start);
+                point.shardName = out.name;
+                point.shardSeed = out.seed;
+                point.shardEpisodes = out.result.episodes;
+                point.shardActions = out.result.loadsChecked +
+                                     out.result.storesRetired +
+                                     out.result.atomicsChecked;
+                point.cumulativeEpisodes = res.totalEpisodes;
+                point.cumulativeActions = res.totalLoadsChecked +
+                                          res.totalStoresRetired +
+                                          res.totalAtomicsChecked;
+                point.newCells = new_cells;
                 res.saturationCurve.push_back(point);
 
                 if (!out.result.passed) {

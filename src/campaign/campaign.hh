@@ -100,6 +100,20 @@ struct CoveragePoint
     double l2Pct = 0.0;
     std::uint64_t cumulativeEvents = 0;
     double wallSeconds = 0.0; ///< since campaign start
+
+    // The shard that produced this point, with its episode and action
+    // counts (actions = loads checked + stores retired + atomics
+    // checked), so coverage-per-episode efficiency is computable
+    // offline from the campaign JSON alone.
+    std::string shardName;
+    std::uint64_t shardSeed = 0;
+    std::uint64_t shardEpisodes = 0;
+    std::uint64_t shardActions = 0;
+    std::uint64_t cumulativeEpisodes = 0;
+    std::uint64_t cumulativeActions = 0;
+
+    /** Union cells (L1+L2+dir) this shard covered first. */
+    std::size_t newCells = 0;
 };
 
 /** Aggregated campaign summary. */

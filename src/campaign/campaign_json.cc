@@ -226,6 +226,13 @@ campaignToJson(const CampaignResult &result,
         w.key("l2_pct").value(p.l2Pct);
         w.key("cumulative_events").value(p.cumulativeEvents);
         w.key("wall_seconds").value(p.wallSeconds);
+        w.key("shard_name").value(p.shardName);
+        w.key("shard_seed").value(p.shardSeed);
+        w.key("shard_episodes").value(p.shardEpisodes);
+        w.key("shard_actions").value(p.shardActions);
+        w.key("cumulative_episodes").value(p.cumulativeEpisodes);
+        w.key("cumulative_actions").value(p.cumulativeActions);
+        w.key("new_cells").value(static_cast<std::uint64_t>(p.newCells));
         w.endObject();
     }
     w.endArray();

@@ -130,6 +130,52 @@ CoverageGrid::merge(const CoverageGrid &other)
     _totalHits += other._totalHits;
 }
 
+std::size_t
+CoverageGrid::newlyCovered(const CoverageGrid &other) const
+{
+    assert(_spec == other._spec &&
+           "comparing grids over different specs");
+    std::size_t fresh = 0;
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        if (other._counts[i] > 0 && _counts[i] == 0)
+            ++fresh;
+    }
+    return fresh;
+}
+
+CoverageGrid
+CoverageGrid::diff(const CoverageGrid &other) const
+{
+    assert(_spec == other._spec &&
+           "diffing grids over different specs");
+    CoverageGrid result(*_spec);
+    for (std::size_t i = 0; i < _counts.size(); ++i) {
+        if (_counts[i] > 0 && other._counts[i] == 0) {
+            result._counts[i] = 1;
+            ++result._totalHits;
+        }
+    }
+    return result;
+}
+
+std::uint64_t
+CoverageGrid::activeDigest() const
+{
+    // FNV-1a over the spec shape and the active-cell bitset.
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(_spec->numEvents());
+    mix(_spec->numStates());
+    for (std::size_t i = 0; i < _counts.size(); ++i)
+        mix(_counts[i] > 0 ? 1 : 0);
+    return h;
+}
+
 void
 CoverageGrid::reset()
 {
@@ -228,12 +274,14 @@ CoverageGrid::renderHeatMap(std::ostream &os) const
     }
 }
 
-void
+std::size_t
 CoverageAccumulator::add(const CoverageGrid &grid)
 {
     if (!_union.has_value())
         _union.emplace(grid.spec());
+    std::size_t fresh = _union->newlyCovered(grid);
     _union->merge(grid);
+    return fresh;
 }
 
 const CoverageGrid &

@@ -138,6 +138,28 @@ class CoverageGrid
      */
     void merge(const CoverageGrid &other);
 
+    /**
+     * Number of cells active in @p other but not (yet) in this grid —
+     * the coverage @p other would add if merged. This is the
+     * feedback-directed generator's reward primitive (newly covered
+     * cells per episode; see src/guidance/).
+     */
+    std::size_t newlyCovered(const CoverageGrid &other) const;
+
+    /**
+     * Set difference of active cells: a grid (over the same spec) with
+     * one hit in every cell active in this grid but not in @p other.
+     */
+    CoverageGrid diff(const CoverageGrid &other) const;
+
+    /**
+     * Order-independent digest of the *active cell set* (spec shape +
+     * which cells have a nonzero count; hit magnitudes are ignored).
+     * Two unions covering the same cells digest identically even when
+     * their hit counts differ.
+     */
+    std::uint64_t activeDigest() const;
+
     /** Forget all hits. */
     void reset();
 
@@ -184,8 +206,12 @@ class CoverageAccumulator
   public:
     CoverageAccumulator() = default;
 
-    /** Merge @p grid into the union (first call adopts its spec). */
-    void add(const CoverageGrid &grid);
+    /**
+     * Merge @p grid into the union (first call adopts its spec).
+     * @return the number of cells @p grid newly covered — active in it
+     *         but not in the union before the merge.
+     */
+    std::size_t add(const CoverageGrid &grid);
 
     /** True until the first add(). */
     bool empty() const { return !_union.has_value(); }

@@ -1,0 +1,275 @@
+#include "guidance/adaptive_campaign.hh"
+
+#include <chrono>
+
+#include "campaign/campaign_json.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** FNV-1a over the two unions' active-set digests. */
+std::uint64_t
+combinedDigest(const CoverageAccumulator &l1,
+               const CoverageAccumulator &l2)
+{
+    if (l1.empty() && l2.empty())
+        return 0;
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(l1.empty() ? 0 : l1.grid().activeDigest());
+    mix(l2.empty() ? 0 : l2.grid().activeDigest());
+    return h;
+}
+
+} // namespace
+
+AdaptiveCampaignResult
+runAdaptiveCampaign(ShardSource &source, const AdaptiveCampaignConfig &cfg)
+{
+    AdaptiveCampaignResult res;
+    res.strategy = source.strategy();
+
+    CoverageAccumulator l1;
+    CoverageAccumulator l2;
+    Clock::time_point start = Clock::now();
+
+    for (;;) {
+        std::vector<ShardSpec> batch = source.nextBatch();
+        if (batch.empty())
+            break;
+        ++res.rounds;
+
+        CampaignConfig batch_cfg;
+        batch_cfg.jobs = cfg.jobs;
+        batch_cfg.stopOnFailure = cfg.stopOnFailure;
+        batch_cfg.coverageTestType = cfg.coverageTestType;
+        batch_cfg.keepOutcomes = true;
+        CampaignResult batch_res =
+            runCampaign(std::move(batch), batch_cfg);
+        res.jobs = batch_res.jobs;
+
+        // Feedback strictly in shard-index order: outcomes is sorted,
+        // so the source sees a thread-count-invariant stream.
+        for (ShardOutcome &out : batch_res.outcomes) {
+            ShardFeedback fb;
+            fb.episodes = out.result.episodes;
+            fb.actions = out.result.loadsChecked +
+                         out.result.storesRetired +
+                         out.result.atomicsChecked;
+            if (out.l1)
+                fb.newL1Cells = l1.add(*out.l1);
+            if (out.l2)
+                fb.newL2Cells = l2.add(*out.l2);
+            fb.unionL1Active = l1.activeCount(cfg.coverageTestType);
+            fb.unionL2Active = l2.activeCount(cfg.coverageTestType);
+            fb.passed = out.result.passed;
+
+            ++res.shardsRun;
+            res.totalEpisodes += fb.episodes;
+            res.totalActions += fb.actions;
+            res.totalEvents += out.result.events;
+
+            CoveragePoint point;
+            point.shardsCompleted = res.shardsRun;
+            point.l1Pct = l1.coveragePct(cfg.coverageTestType);
+            point.l2Pct = l2.coveragePct(cfg.coverageTestType);
+            point.cumulativeEvents = res.totalEvents;
+            point.wallSeconds = secondsSince(start);
+            point.shardName = out.name;
+            point.shardSeed = out.seed;
+            point.shardEpisodes = fb.episodes;
+            point.shardActions = fb.actions;
+            point.cumulativeEpisodes = res.totalEpisodes;
+            point.cumulativeActions = res.totalActions;
+            point.newCells = fb.newL1Cells + fb.newL2Cells;
+            res.curve.push_back(std::move(point));
+
+            if (!out.result.passed && !res.firstFailure) {
+                res.firstFailure = ShardFailure{
+                    out.name, out.seed, out.index, out.result.report};
+                res.firstFailureClass = out.result.failureClass;
+                res.failurePreset = source.presetForSeed(out.seed);
+            }
+
+            source.report(out, fb);
+        }
+
+        if (res.firstFailure && cfg.stopOnFailure)
+            break;
+        if (cfg.saturationPct > 0.0 && (!l1.empty() || !l2.empty()) &&
+            (l1.empty() ||
+             l1.coveragePct(cfg.coverageTestType) >= cfg.saturationPct) &&
+            (l2.empty() ||
+             l2.coveragePct(cfg.coverageTestType) >= cfg.saturationPct)) {
+            break;
+        }
+    }
+
+    res.passed = !res.firstFailure.has_value();
+    res.wallSeconds = secondsSince(start);
+    if (!l1.empty())
+        res.l1Union = l1.grid();
+    if (!l2.empty())
+        res.l2Union = l2.grid();
+    res.unionDigest = combinedDigest(l1, l2);
+
+    if (auto *guided = dynamic_cast<GuidedSource *>(&source))
+        res.decisions = guided->decisions();
+    return res;
+}
+
+namespace
+{
+
+void
+writeGenome(JsonWriter &w, const ConfigGenome &g)
+{
+    w.beginObject();
+    w.key("cache_class").value(cacheSizeClassName(g.cacheClass));
+    w.key("actions_per_episode").value(g.actionsPerEpisode);
+    w.key("episodes_per_wf").value(g.episodesPerWf);
+    w.key("atomic_locs").value(g.atomicLocs);
+    w.key("coloc_density").value(g.colocDensity);
+    w.key("num_cus").value(g.numCus);
+    w.endObject();
+}
+
+void
+writeDecisions(JsonWriter &w,
+               const std::vector<GuidanceDecision> &decisions)
+{
+    w.beginArray();
+    for (const GuidanceDecision &d : decisions) {
+        w.beginObject();
+        w.key("round").value(static_cast<std::uint64_t>(d.round));
+        w.key("arm").value(static_cast<std::uint64_t>(d.arm));
+        w.key("mutant").value(d.mutant);
+        w.key("probe").value(d.probe);
+        w.key("genome");
+        writeGenome(w, d.genome);
+        w.key("seeds").beginArray();
+        for (std::uint64_t seed : d.seeds)
+            w.value(seed);
+        w.endArray();
+        w.key("episodes").value(d.episodes);
+        w.key("actions").value(d.actions);
+        w.key("new_cells").value(static_cast<std::uint64_t>(d.newCells));
+        w.key("reward_per_kiloepisode").value(d.rewardPerKiloEpisode);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace
+
+std::string
+guidanceDecisionsJson(const std::vector<GuidanceDecision> &decisions)
+{
+    JsonWriter w;
+    writeDecisions(w, decisions);
+    return w.str();
+}
+
+std::string
+adaptiveCampaignToJson(const AdaptiveCampaignResult &result,
+                       const std::string &coverage_test_type)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("strategy").value(strategyName(result.strategy));
+    w.key("passed").value(result.passed);
+    w.key("rounds").value(static_cast<std::uint64_t>(result.rounds));
+    w.key("shards_run")
+        .value(static_cast<std::uint64_t>(result.shardsRun));
+    w.key("jobs").value(result.jobs);
+    w.key("total_episodes").value(result.totalEpisodes);
+    w.key("total_actions").value(result.totalActions);
+    w.key("total_events").value(result.totalEvents);
+    w.key("wall_seconds").value(result.wallSeconds);
+
+    w.key("l1_union_pct");
+    if (result.l1Union)
+        w.value(result.l1Union->coveragePct(coverage_test_type));
+    else
+        w.nullValue();
+    w.key("l2_union_pct");
+    if (result.l2Union)
+        w.value(result.l2Union->coveragePct(coverage_test_type));
+    else
+        w.nullValue();
+    w.key("l1_union_active");
+    if (result.l1Union)
+        w.value(static_cast<std::uint64_t>(
+            result.l1Union->activeCount(coverage_test_type)));
+    else
+        w.nullValue();
+    w.key("l2_union_active");
+    if (result.l2Union)
+        w.value(static_cast<std::uint64_t>(
+            result.l2Union->activeCount(coverage_test_type)));
+    else
+        w.nullValue();
+
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "0x%016llx",
+                  static_cast<unsigned long long>(result.unionDigest));
+    w.key("union_digest").value(digest);
+
+    w.key("first_failure");
+    if (result.firstFailure) {
+        w.beginObject();
+        w.key("name").value(result.firstFailure->name);
+        w.key("seed").value(result.firstFailure->seed);
+        w.key("failure_class")
+            .value(failureClassName(result.firstFailureClass));
+        w.key("report").value(result.firstFailure->report);
+        w.endObject();
+    } else {
+        w.nullValue();
+    }
+
+    w.key("curve").beginArray();
+    for (const CoveragePoint &p : result.curve) {
+        w.beginObject();
+        w.key("shards")
+            .value(static_cast<std::uint64_t>(p.shardsCompleted));
+        w.key("shard_name").value(p.shardName);
+        w.key("shard_seed").value(p.shardSeed);
+        w.key("shard_episodes").value(p.shardEpisodes);
+        w.key("shard_actions").value(p.shardActions);
+        w.key("cumulative_episodes").value(p.cumulativeEpisodes);
+        w.key("cumulative_actions").value(p.cumulativeActions);
+        w.key("new_cells").value(static_cast<std::uint64_t>(p.newCells));
+        w.key("l1_pct").value(p.l1Pct);
+        w.key("l2_pct").value(p.l2Pct);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("guidance");
+    if (result.strategy == Strategy::Guided)
+        writeDecisions(w, result.decisions);
+    else
+        w.nullValue();
+
+    w.endObject();
+    return w.str();
+}
+
+} // namespace drf

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The adaptive campaign loop: ShardSource in, campaign batches out.
+ *
+ * runAdaptiveCampaign() repeatedly pulls a batch from the source, runs
+ * it on the existing work-stealing campaign pool (src/campaign/), and
+ * feeds every shard's outcome back in shard-index order with its
+ * newly-covered-cell counts computed against the cross-batch union.
+ *
+ * Determinism contract: per-shard results are bit-exact functions of
+ * (configuration, seed); batch aggregates and index-ordered outcome
+ * lists are thread-count invariant; and the source only ever observes
+ * that index-ordered stream. Therefore two runs with the same master
+ * seed and no failing shard produce the identical shard schedule,
+ * decision log, and union-coverage digest at any worker count. (After
+ * a failure with stopOnFailure, which shards of the final batch were
+ * skipped is completion-order dependent — everything up to and
+ * including the first failure is still reproducible.)
+ */
+
+#ifndef DRF_GUIDANCE_ADAPTIVE_CAMPAIGN_HH
+#define DRF_GUIDANCE_ADAPTIVE_CAMPAIGN_HH
+
+#include "guidance/sources.hh"
+#include "tester/tester_failure.hh"
+
+namespace drf
+{
+
+/** Loop-level policy (per-batch runs inherit jobs/stopOnFailure). */
+struct AdaptiveCampaignConfig
+{
+    /** Worker threads per batch; 0 means hardware concurrency. */
+    unsigned jobs = 0;
+
+    /** Stop pulling batches once any shard fails. */
+    bool stopOnFailure = true;
+
+    /** Test type used for coverage percentages. */
+    std::string coverageTestType = "gpu_tester";
+
+    /**
+     * Early-stop on union coverage percent across L1 and L2, checked
+     * after each batch; <= 0 disables.
+     */
+    double saturationPct = 0.0;
+};
+
+/** Aggregated result of one adaptive (source-driven) campaign. */
+struct AdaptiveCampaignResult
+{
+    Strategy strategy = Strategy::Sweep;
+    bool passed = true;
+    std::size_t rounds = 0;
+    std::size_t shardsRun = 0;
+    unsigned jobs = 0;
+
+    std::uint64_t totalEpisodes = 0;
+    std::uint64_t totalActions = 0;
+    std::uint64_t totalEvents = 0;
+    double wallSeconds = 0.0;
+
+    std::optional<ShardFailure> firstFailure;
+    FailureClass firstFailureClass = FailureClass::None;
+    /** Preset of the first failing shard (for trace re-recording). */
+    std::optional<GpuTestPreset> failurePreset;
+
+    std::optional<CoverageGrid> l1Union;
+    std::optional<CoverageGrid> l2Union;
+
+    /**
+     * Digest of both unions' active cell sets — the campaign's
+     * reproducibility fingerprint (0 when no coverage was observed).
+     */
+    std::uint64_t unionDigest = 0;
+
+    /** Per-shard curve in deterministic feedback order. */
+    std::vector<CoveragePoint> curve;
+
+    /** Guided mode only: the full decision log. */
+    std::vector<GuidanceDecision> decisions;
+};
+
+/** Drive @p source to completion under @p cfg. */
+AdaptiveCampaignResult
+runAdaptiveCampaign(ShardSource &source,
+                    const AdaptiveCampaignConfig &cfg = {});
+
+/** Decision log as a JSON array (embedded in campaign JSON/traces). */
+std::string guidanceDecisionsJson(
+    const std::vector<GuidanceDecision> &decisions);
+
+/** Full adaptive campaign summary as one JSON object. */
+std::string adaptiveCampaignToJson(const AdaptiveCampaignResult &result,
+                                   const std::string &coverage_test_type);
+
+} // namespace drf
+
+#endif // DRF_GUIDANCE_ADAPTIVE_CAMPAIGN_HH

@@ -1,0 +1,60 @@
+#include "guidance/bandit.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace drf
+{
+
+double
+Ucb1Bandit::mean(std::size_t arm) const
+{
+    const Arm &a = _arms[arm];
+    return a.plays == 0 ? 0.0
+                        : a.rewardSum / static_cast<double>(a.plays);
+}
+
+double
+Ucb1Bandit::ucbScore(std::size_t arm) const
+{
+    const Arm &a = _arms[arm];
+    assert(a.plays > 0 && _totalPlays > 0);
+    double scale = _rewardScale > 0.0 ? _rewardScale : 1.0;
+    double bonus = _exploration * scale *
+                   std::sqrt(std::log(static_cast<double>(_totalPlays)) /
+                             static_cast<double>(a.plays));
+    return mean(arm) + bonus;
+}
+
+std::size_t
+Ucb1Bandit::select() const
+{
+    assert(!_arms.empty());
+    for (std::size_t i = 0; i < _arms.size(); ++i) {
+        if (_arms[i].plays == 0)
+            return i;
+    }
+    std::size_t best = 0;
+    double best_score = ucbScore(0);
+    for (std::size_t i = 1; i < _arms.size(); ++i) {
+        double score = ucbScore(i);
+        if (score > best_score) {
+            best = i;
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+void
+Ucb1Bandit::update(std::size_t arm, double reward)
+{
+    Arm &a = _arms[arm];
+    ++a.plays;
+    a.rewardSum += reward;
+    ++_totalPlays;
+    if (reward > _rewardScale)
+        _rewardScale = reward;
+}
+
+} // namespace drf

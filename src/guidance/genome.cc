@@ -1,0 +1,153 @@
+#include "guidance/genome.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace drf
+{
+
+std::uint64_t
+addrRangeForDensity(std::uint32_t num_vars, double density,
+                    unsigned line_bytes, unsigned var_bytes)
+{
+    if (density <= 0.0)
+        density = 1.0;
+    // density ~= num_vars * line_bytes / range, solved for range.
+    auto range = static_cast<std::uint64_t>(
+        static_cast<double>(num_vars) * line_bytes / density);
+    // The random mapping draws distinct slots; keep >= 2x headroom so
+    // placement always terminates quickly.
+    std::uint64_t min_range =
+        2ull * num_vars * var_bytes;
+    range = std::max(range, min_range);
+    // Round up to whole lines.
+    return (range + line_bytes - 1) / line_bytes * line_bytes;
+}
+
+double
+colocDensityOf(const VariableMapConfig &cfg)
+{
+    std::uint32_t vars = cfg.numSyncVars + cfg.numNormalVars;
+    if (cfg.addrRangeBytes == 0)
+        return 0.0;
+    return static_cast<double>(vars) * cfg.lineBytes /
+           static_cast<double>(cfg.addrRangeBytes);
+}
+
+std::string
+genomeName(const ConfigGenome &g)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s/a%u/e%u/s%u/d%g/cu%u",
+                  cacheSizeClassName(g.cacheClass), g.actionsPerEpisode,
+                  g.episodesPerWf, g.atomicLocs, g.colocDensity,
+                  g.numCus);
+    return buf;
+}
+
+GpuTestPreset
+genomeToPreset(const ConfigGenome &g, const GenomeScale &scale,
+               std::uint64_t seed)
+{
+    GpuTestPreset preset;
+    preset.cacheClass = g.cacheClass;
+    preset.system = makeGpuSystemConfig(g.cacheClass, g.numCus);
+    preset.system.fault = scale.fault;
+    preset.system.faultTriggerPct = scale.faultTriggerPct;
+    preset.tester = makeGpuTesterConfig(g.actionsPerEpisode,
+                                        g.episodesPerWf, g.atomicLocs,
+                                        seed);
+    preset.tester.lanes = scale.lanes;
+    preset.tester.episodeGen.lanes = scale.lanes;
+    preset.tester.wfsPerCu = scale.wfsPerCu;
+    preset.tester.variables.numNormalVars = scale.numNormalVars;
+    preset.tester.variables.addrRangeBytes = addrRangeForDensity(
+        g.atomicLocs + scale.numNormalVars, g.colocDensity,
+        preset.tester.variables.lineBytes,
+        preset.tester.variables.varBytes);
+    preset.name =
+        genomeName(g) + "/seed" + std::to_string(seed);
+    return preset;
+}
+
+ConfigGenome
+genomeFromPreset(const GpuTestPreset &preset)
+{
+    ConfigGenome g;
+    g.cacheClass = preset.cacheClass;
+    g.actionsPerEpisode = preset.tester.episodeGen.actionsPerEpisode;
+    g.episodesPerWf = preset.tester.episodesPerWf;
+    g.atomicLocs = preset.tester.variables.numSyncVars;
+    g.colocDensity = colocDensityOf(preset.tester.variables);
+    g.numCus = preset.system.numCus;
+    return g;
+}
+
+namespace
+{
+
+/** Halve or double within [lo, hi], reflecting off the bounds. */
+template <typename T>
+T
+step(T value, bool up, T lo, T hi)
+{
+    if (up && value * 2 > hi)
+        up = false;
+    else if (!up && value / 2 < lo)
+        up = true;
+    T next = up ? value * 2 : value / 2;
+    return std::clamp(next, lo, hi);
+}
+
+} // namespace
+
+ConfigGenome
+mutateGenome(const ConfigGenome &g, Random &rng,
+             const GenomeBounds &bounds)
+{
+    ConfigGenome m = g;
+    unsigned gene = static_cast<unsigned>(rng.below(6));
+    bool up = rng.pct(50);
+    switch (gene) {
+      case 0: {
+        // Rotate to one of the two other cache classes.
+        const CacheSizeClass classes[] = {CacheSizeClass::Small,
+                                          CacheSizeClass::Large,
+                                          CacheSizeClass::Mixed};
+        unsigned cur = static_cast<unsigned>(g.cacheClass);
+        m.cacheClass = classes[(cur + 1 + (up ? 1 : 0)) % 3];
+        break;
+      }
+      case 1:
+        m.actionsPerEpisode = step(g.actionsPerEpisode, up,
+                                   bounds.minActions, bounds.maxActions);
+        break;
+      case 2:
+        m.episodesPerWf =
+            step(g.episodesPerWf, up, bounds.minEpisodesPerWf,
+                 bounds.maxEpisodesPerWf);
+        break;
+      case 3:
+        m.atomicLocs = step(g.atomicLocs, up, bounds.minAtomicLocs,
+                            bounds.maxAtomicLocs);
+        break;
+      case 4: {
+        bool dup = up;
+        if (dup && g.colocDensity * 2 > bounds.maxColocDensity)
+            dup = false;
+        else if (!dup && g.colocDensity / 2 < bounds.minColocDensity)
+            dup = true;
+        m.colocDensity =
+            std::clamp(dup ? g.colocDensity * 2 : g.colocDensity / 2,
+                       bounds.minColocDensity, bounds.maxColocDensity);
+        break;
+      }
+      case 5:
+        m.numCus = step(g.numCus, up, bounds.minCus, bounds.maxCus);
+        break;
+    }
+    return m;
+}
+
+} // namespace drf

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Config genomes: the search space of the coverage-guided scheduler.
+ *
+ * A ConfigGenome is the compact, mutable description of one GPU tester
+ * configuration — exactly the Table III axes (cache-size class,
+ * actions/episode, episodes/WF, atomic locations) plus the two knobs
+ * the sweep holds fixed but that matter for reaching the Inact tail:
+ * the variable→line co-location density and the CU count. Everything
+ * else (lanes, wavefronts per CU, normal-variable count, an armed
+ * fault) is shared campaign-wide in a GenomeScale.
+ *
+ * genomeToPreset() is the one mapping from genome to a runnable
+ * GpuTestPreset; genomeFromPreset() inverts it for seeding the bandit
+ * arms from the Table III sweep. mutateGenome() applies one bounded,
+ * seeded mutation step, so a guided campaign's mutation sequence is a
+ * pure function of its master seed.
+ */
+
+#ifndef DRF_GUIDANCE_GENOME_HH
+#define DRF_GUIDANCE_GENOME_HH
+
+#include <cstdint>
+#include <string>
+
+#include "proto/fault.hh"
+#include "sim/random.hh"
+#include "tester/configs.hh"
+
+namespace drf
+{
+
+/** The heritable axes of one GPU tester configuration. */
+struct ConfigGenome
+{
+    CacheSizeClass cacheClass = CacheSizeClass::Small;
+    unsigned actionsPerEpisode = 100;
+    unsigned episodesPerWf = 10;
+    unsigned atomicLocs = 10;
+
+    /**
+     * Target expected variables per cache line (drives the mapped
+     * address range; higher = more induced false sharing).
+     */
+    double colocDensity = 2.0;
+
+    unsigned numCus = 8;
+
+    bool operator==(const ConfigGenome &o) const
+    {
+        return cacheClass == o.cacheClass &&
+               actionsPerEpisode == o.actionsPerEpisode &&
+               episodesPerWf == o.episodesPerWf &&
+               atomicLocs == o.atomicLocs &&
+               colocDensity == o.colocDensity && numCus == o.numCus;
+    }
+    bool operator!=(const ConfigGenome &o) const { return !(*this == o); }
+};
+
+/** Mutation / search bounds, inclusive. */
+struct GenomeBounds
+{
+    unsigned minActions = 10, maxActions = 400;
+    unsigned minEpisodesPerWf = 2, maxEpisodesPerWf = 200;
+    unsigned minAtomicLocs = 4, maxAtomicLocs = 400;
+    double minColocDensity = 0.25, maxColocDensity = 8.0;
+    unsigned minCus = 2, maxCus = 16;
+};
+
+/** Campaign-wide knobs a genome does not search over. */
+struct GenomeScale
+{
+    unsigned lanes = 16;
+    unsigned wfsPerCu = 2;
+    std::uint32_t numNormalVars = 4096;
+
+    /** Armed protocol bug for fault-injection campaigns. */
+    FaultKind fault = FaultKind::None;
+    unsigned faultTriggerPct = 100;
+};
+
+/**
+ * Address range realizing ~@p density expected variables per
+ * @p line_bytes cache line for @p num_vars variables, clamped so the
+ * random mapping always has at least 2x slot headroom.
+ */
+std::uint64_t addrRangeForDensity(std::uint32_t num_vars, double density,
+                                  unsigned line_bytes = 64,
+                                  unsigned var_bytes = 4);
+
+/** Expected variables per line of an existing variable-map config. */
+double colocDensityOf(const VariableMapConfig &cfg);
+
+/** Short stable identifier, e.g. "small/a100/e10/s10/d2/cu8". */
+std::string genomeName(const ConfigGenome &g);
+
+/** The one genome → runnable preset mapping. */
+GpuTestPreset genomeToPreset(const ConfigGenome &g,
+                             const GenomeScale &scale,
+                             std::uint64_t seed);
+
+/** Inverse of genomeToPreset over the searched axes. */
+ConfigGenome genomeFromPreset(const GpuTestPreset &preset);
+
+/**
+ * One bounded mutation step: pick one gene and one direction with
+ * @p rng, halve/double (or rotate, for the cache class) within
+ * @p bounds, reflecting off a bound instead of saturating at it.
+ */
+ConfigGenome mutateGenome(const ConfigGenome &g, Random &rng,
+                          const GenomeBounds &bounds = {});
+
+} // namespace drf
+
+#endif // DRF_GUIDANCE_GENOME_HH

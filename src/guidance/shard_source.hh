@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shard sources: pluggable strategies that feed the campaign loop.
+ *
+ * runAdaptiveCampaign (adaptive_campaign.hh) closes the
+ * coverage-feedback loop: it repeatedly asks a ShardSource for the
+ * next batch of shards, runs the batch on the existing work-stealing
+ * campaign pool, merges coverage, and reports each shard's outcome —
+ * including how many union cells it covered first — back to the
+ * source, which uses the signal (or ignores it) to choose the next
+ * batch.
+ *
+ * Feedback is delivered batch-by-batch in shard-index order, never in
+ * thread completion order. Because per-shard results are bit-exact
+ * functions of (configuration, seed), the feedback stream a source
+ * observes — and therefore every decision it makes — is identical
+ * across thread counts and re-runs with the same master seed.
+ *
+ * Strategies:
+ *  - sweep:  the Table III presets in order (the status quo);
+ *  - random: blind uniform sampling of the preset arms;
+ *  - guided: UCB1 over the preset arms + bounded mutation of the best
+ *            genome, rewarded by newly covered cells per kilo-episode.
+ */
+
+#ifndef DRF_GUIDANCE_SHARD_SOURCE_HH
+#define DRF_GUIDANCE_SHARD_SOURCE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "guidance/genome.hh"
+
+namespace drf
+{
+
+/** Campaign scheduling strategy. */
+enum class Strategy
+{
+    Random,
+    Sweep,
+    Guided,
+};
+
+const char *strategyName(Strategy s);
+std::optional<Strategy> parseStrategy(const std::string &name);
+
+/** What the adaptive runner reports back for one completed shard. */
+struct ShardFeedback
+{
+    std::uint64_t episodes = 0;
+    std::uint64_t actions = 0;
+    std::size_t newL1Cells = 0; ///< union cells this shard covered first
+    std::size_t newL2Cells = 0;
+    std::size_t unionL1Active = 0; ///< union actives after the merge
+    std::size_t unionL2Active = 0;
+    bool passed = true;
+};
+
+/** A strategy feeding shards to the adaptive campaign loop. */
+class ShardSource
+{
+  public:
+    virtual ~ShardSource() = default;
+
+    virtual Strategy strategy() const = 0;
+
+    /** Next batch of shards to run; empty means the campaign is done. */
+    virtual std::vector<ShardSpec> nextBatch() = 0;
+
+    /**
+     * Outcome of one shard of the last batch, in shard-index order.
+     * Every shard of a batch is reported before the next nextBatch().
+     */
+    virtual void
+    report(const ShardOutcome &outcome, const ShardFeedback &feedback)
+    {
+        (void)outcome;
+        (void)feedback;
+    }
+
+    /**
+     * The full preset a previously issued shard ran (looked up by its
+     * unique seed), for re-recording a failing shard as a trace.
+     */
+    virtual std::optional<GpuTestPreset>
+    presetForSeed(std::uint64_t seed) const
+    {
+        (void)seed;
+        return std::nullopt;
+    }
+};
+
+} // namespace drf
+
+#endif // DRF_GUIDANCE_SHARD_SOURCE_HH

@@ -36,6 +36,14 @@ struct ReproTrace
     EpisodeSchedule schedule;  ///< every episode, generation order
     TesterResult result;       ///< outcome of the recorded run
     std::vector<TraceEvent> events; ///< optional binary event trace
+
+    /**
+     * Guided-campaign provenance: the scheduler's decision log as a
+     * JSON array (see src/guidance/), recorded so a trace produced by
+     * a guided fuzz run documents exactly how its configuration was
+     * chosen. Empty for unguided runs and for v1 trace files.
+     */
+    std::string guidance;
 };
 
 /** Options for recordGpuRun. */

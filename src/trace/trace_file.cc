@@ -27,7 +27,10 @@ namespace
 {
 
 constexpr char kMagic[8] = {'D', 'R', 'F', 'T', 'R', 'C', '0', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v1: original layout. v2: + guidance JSON string after the preset
+// name. The loader accepts both; v1 files load with empty guidance.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 void
 putU64(std::ostream &os, std::uint64_t v)
@@ -336,6 +339,7 @@ saveTrace(std::ostream &os, const ReproTrace &trace)
     os.write(kMagic, sizeof(kMagic));
     putU32(os, kVersion);
     putStr(os, trace.presetName);
+    putStr(os, trace.guidance);
     putSystemConfig(os, trace.system);
     putTesterConfig(os, trace.tester);
     putResult(os, trace.result);
@@ -361,9 +365,13 @@ loadTrace(std::istream &is, ReproTrace &trace)
         return false;
     }
     std::uint32_t version = 0;
-    if (!getInt(is, version) || version != kVersion)
+    if (!getInt(is, version) || version < kMinVersion ||
+        version > kVersion) {
         return false;
+    }
+    trace.guidance.clear();
     return getStr(is, trace.presetName) &&
+           (version < 2 || getStr(is, trace.guidance)) &&
            getSystemConfig(is, trace.system) &&
            getTesterConfig(is, trace.tester) &&
            getResult(is, trace.result) &&

@@ -259,10 +259,47 @@ TEST(Campaign, JsonSummaryContainsKeyFields)
          {"\"passed\":true", "\"shards_planned\":3", "\"shards_run\":3",
           "\"total_events\":", "\"events_per_sec\":",
           "\"l1_union_pct\":", "\"saturation_curve\":[",
+          "\"shard_name\":", "\"shard_seed\":", "\"shard_episodes\":",
+          "\"shard_actions\":", "\"cumulative_episodes\":",
+          "\"cumulative_actions\":", "\"new_cells\":",
           "\"first_failure\":null"}) {
         EXPECT_NE(json.find(key), std::string::npos)
             << "missing " << key << " in " << json;
     }
+}
+
+TEST(Campaign, CurveEpisodeAndActionCountsAreConsistent)
+{
+    CampaignConfig cfg;
+    cfg.jobs = 1;
+    CampaignResult res =
+        runCampaign(gpuSeedSweep(tinyPreset(1), 1, 4), cfg);
+    ASSERT_EQ(res.saturationCurve.size(), 4u);
+
+    std::uint64_t episodes = 0;
+    std::uint64_t actions = 0;
+    for (const CoveragePoint &p : res.saturationCurve) {
+        EXPECT_GT(p.shardEpisodes, 0u);
+        EXPECT_GT(p.shardActions, 0u);
+        EXPECT_FALSE(p.shardName.empty());
+        episodes += p.shardEpisodes;
+        actions += p.shardActions;
+        EXPECT_EQ(p.cumulativeEpisodes, episodes);
+        EXPECT_EQ(p.cumulativeActions, actions);
+    }
+    EXPECT_EQ(episodes, res.totalEpisodes);
+    EXPECT_EQ(actions, res.totalLoadsChecked + res.totalStoresRetired +
+                           res.totalAtomicsChecked);
+
+    // The first shard's cells are all new; the union never shrinks, so
+    // new_cells sums to the final union active count.
+    std::size_t new_cells = 0;
+    for (const CoveragePoint &p : res.saturationCurve)
+        new_cells += p.newCells;
+    ASSERT_TRUE(res.l1Union && res.l2Union && res.dirUnion);
+    EXPECT_EQ(new_cells, res.l1Union->activeCount("") +
+                             res.l2Union->activeCount("") +
+                             res.dirUnion->activeCount(""));
 }
 
 TEST(Campaign, JsonEscapesControlCharacters)

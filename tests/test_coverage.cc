@@ -120,6 +120,71 @@ TEST(CoverageGrid, MergeUnions)
     EXPECT_EQ(a.totalHits(), 3u);
 }
 
+TEST(CoverageGrid, NewlyCoveredCountsOnlyFreshCells)
+{
+    TransitionSpec spec = makeSpec();
+    CoverageGrid base(spec), incoming(spec);
+    base.hit(0, 0);
+    incoming.hit(0, 0); // already covered
+    incoming.hit(1, 1); // fresh
+    incoming.hit(2, 1); // fresh
+    EXPECT_EQ(base.newlyCovered(incoming), 2u);
+    // Symmetric view: base adds nothing new beyond what incoming has.
+    EXPECT_EQ(incoming.newlyCovered(base), 0u);
+    // Against an empty grid everything in incoming is new.
+    CoverageGrid empty(spec);
+    EXPECT_EQ(empty.newlyCovered(incoming), 3u);
+    EXPECT_EQ(incoming.newlyCovered(empty), 0u);
+}
+
+TEST(CoverageGrid, DiffKeepsOnlyExclusiveCells)
+{
+    TransitionSpec spec = makeSpec();
+    CoverageGrid a(spec), b(spec);
+    a.hit(0, 0);
+    a.hit(0, 0);
+    a.hit(1, 1);
+    b.hit(1, 1);
+    CoverageGrid d = a.diff(b);
+    EXPECT_EQ(d.count(0, 0), 1u); // exclusive to a, recorded as 1 hit
+    EXPECT_EQ(d.count(1, 1), 0u); // shared, dropped
+    EXPECT_EQ(d.activeCount(""), 1u);
+}
+
+TEST(CoverageGrid, ActiveDigestIgnoresHitMagnitudes)
+{
+    TransitionSpec spec = makeSpec();
+    CoverageGrid a(spec), b(spec);
+    a.hit(0, 0);
+    b.hit(0, 0);
+    b.hit(0, 0);
+    b.hit(0, 0);
+    EXPECT_EQ(a.activeDigest(), b.activeDigest());
+
+    b.hit(1, 1);
+    EXPECT_NE(a.activeDigest(), b.activeDigest());
+
+    CoverageGrid empty(spec);
+    EXPECT_NE(empty.activeDigest(), a.activeDigest());
+}
+
+TEST(CoverageAccumulator, AddReturnsNewlyCoveredCells)
+{
+    TransitionSpec spec = makeSpec();
+    CoverageGrid first(spec), second(spec);
+    first.hit(0, 0);
+    first.hit(0, 1);
+    second.hit(0, 1); // already in the union
+    second.hit(1, 1); // fresh
+
+    CoverageAccumulator acc;
+    EXPECT_TRUE(acc.empty());
+    EXPECT_EQ(acc.add(first), 2u); // adopts the spec, all cells fresh
+    EXPECT_EQ(acc.add(second), 1u);
+    EXPECT_EQ(acc.add(second), 0u); // nothing new the second time
+    EXPECT_EQ(acc.activeCount(""), 3u);
+}
+
 TEST(CoverageGrid, Reset)
 {
     TransitionSpec spec = makeSpec();

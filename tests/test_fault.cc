@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "golden_digest.hh"
+#include "guidance/adaptive_campaign.hh"
 #include "tester/scenarios.hh"
 #include "tester/tester_failure.hh"
 
@@ -34,6 +35,48 @@ runWithFault(FaultKind fault, std::uint64_t seed,
     ApuSystem sys(sys_cfg);
     GpuTester tester(sys, goldenGpuConfig(seed));
     return tester.run();
+}
+
+/**
+ * Run a guided adaptive campaign with @p fault armed campaign-wide and
+ * return its first failure's class (None if no shard failed).
+ */
+FailureClass
+guidedCampaignFailureClass(FaultKind fault, CacheSizeClass cache_class)
+{
+    ConfigGenome base;
+    base.cacheClass = cache_class;
+    base.actionsPerEpisode = 30;
+    base.episodesPerWf = 6;
+    base.atomicLocs = 10;
+    base.colocDensity = 2.0;
+    base.numCus = 4;
+    ConfigGenome alt = base;
+    alt.episodesPerWf = 12;
+
+    SourceConfig cfg;
+    cfg.arms = {base, alt};
+    cfg.scale.lanes = 8;
+    cfg.scale.wfsPerCu = 2;
+    cfg.scale.numNormalVars = 512;
+    cfg.scale.fault = fault;
+    cfg.masterSeed = 1;
+    cfg.batchSize = 2;
+    cfg.maxShards = 16;
+    GuidedSource source(cfg);
+
+    AdaptiveCampaignResult res = runAdaptiveCampaign(source);
+    if (res.passed)
+        return FailureClass::None;
+    // The failing shard's full preset must be recoverable by seed so
+    // the fuzz tool can re-record it as a trace.
+    EXPECT_TRUE(res.failurePreset.has_value());
+    if (res.failurePreset) {
+        EXPECT_EQ(res.failurePreset->tester.seed,
+                  res.firstFailure->seed);
+        EXPECT_EQ(res.failurePreset->system.fault, fault);
+    }
+    return res.firstFailureClass;
 }
 
 } // namespace
@@ -83,6 +126,40 @@ TEST(Fault, DropWriteAckIsDeadlock)
     TesterResult r = runWithFault(FaultKind::DropWriteAck, 7);
     EXPECT_FALSE(r.passed);
     EXPECT_EQ(r.failureClass, FailureClass::Deadlock);
+}
+
+// A guided campaign must not trade away fault-finding power for
+// coverage efficiency: with each random-tester-detectable fault armed
+// campaign-wide, the coverage-guided scheduler still surfaces the
+// failure with the expected class, and remembers the failing shard's
+// full preset for trace re-recording.
+TEST(Fault, GuidedCampaignDetectsLostWriteThrough)
+{
+    EXPECT_EQ(guidedCampaignFailureClass(FaultKind::LostWriteThrough,
+                                         CacheSizeClass::Small),
+              FailureClass::ValueMismatch);
+}
+
+TEST(Fault, GuidedCampaignDetectsNonAtomicRmw)
+{
+    EXPECT_EQ(guidedCampaignFailureClass(FaultKind::NonAtomicRmw,
+                                         CacheSizeClass::Small),
+              FailureClass::AtomicViolation);
+}
+
+TEST(Fault, GuidedCampaignDetectsDropAcquireInvalidate)
+{
+    EXPECT_EQ(
+        guidedCampaignFailureClass(FaultKind::DropAcquireInvalidate,
+                                   CacheSizeClass::Large),
+        FailureClass::ValueMismatch);
+}
+
+TEST(Fault, GuidedCampaignDetectsDropWriteAck)
+{
+    EXPECT_EQ(guidedCampaignFailureClass(FaultKind::DropWriteAck,
+                                         CacheSizeClass::Small),
+              FailureClass::Deadlock);
 }
 
 // The directed scenario: GPU caches a line, the CPU takes exclusive

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Tests for the coverage-guided campaign engine: the deterministic
+ * UCB1 bandit, genome <-> preset mapping and bounded mutation, the
+ * three shard-source strategies, and the adaptive campaign loop's
+ * determinism contract (same master seed => identical decision
+ * sequence and union digest at any worker count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "guidance/adaptive_campaign.hh"
+
+using namespace drf;
+
+namespace
+{
+
+/** A deliberately tiny genome so guided campaigns run in milliseconds. */
+ConfigGenome
+tinyGenome(unsigned actions = 10, unsigned episodes_per_wf = 2)
+{
+    ConfigGenome g;
+    g.cacheClass = CacheSizeClass::Small;
+    g.actionsPerEpisode = actions;
+    g.episodesPerWf = episodes_per_wf;
+    g.atomicLocs = 4;
+    g.colocDensity = 2.0;
+    g.numCus = 2;
+    return g;
+}
+
+GenomeScale
+tinyScale(FaultKind fault = FaultKind::None)
+{
+    GenomeScale scale;
+    scale.lanes = 4;
+    scale.wfsPerCu = 1;
+    scale.numNormalVars = 128;
+    scale.fault = fault;
+    return scale;
+}
+
+SourceConfig
+tinySourceConfig(std::uint64_t master_seed, std::size_t max_shards)
+{
+    SourceConfig cfg;
+    cfg.arms = {tinyGenome(10, 2), tinyGenome(15, 2), tinyGenome(10, 3)};
+    cfg.scale = tinyScale();
+    cfg.masterSeed = master_seed;
+    cfg.batchSize = 2;
+    cfg.maxShards = max_shards;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Strategy, NameParseRoundTrip)
+{
+    for (Strategy s :
+         {Strategy::Random, Strategy::Sweep, Strategy::Guided}) {
+        auto parsed = parseStrategy(strategyName(s));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, s);
+    }
+    EXPECT_FALSE(parseStrategy("annealed").has_value());
+    EXPECT_FALSE(parseStrategy("").has_value());
+}
+
+TEST(Ucb1Bandit, PlaysUnplayedArmsFirstInIndexOrder)
+{
+    Ucb1Bandit bandit;
+    for (int i = 0; i < 3; ++i)
+        bandit.addArm();
+    EXPECT_EQ(bandit.select(), 0u);
+    bandit.update(0, 5.0);
+    EXPECT_EQ(bandit.select(), 1u);
+    bandit.update(1, 1.0);
+    EXPECT_EQ(bandit.select(), 2u);
+    bandit.update(2, 1.0);
+    EXPECT_EQ(bandit.totalPlays(), 3u);
+}
+
+TEST(Ucb1Bandit, SyntheticRewardStreamConvergesToBestArm)
+{
+    // Arm 1 pays 10, the others pay 1: after the initial sweep the
+    // bandit must spend most plays on arm 1.
+    Ucb1Bandit bandit(/*exploration=*/0.5);
+    for (int i = 0; i < 3; ++i)
+        bandit.addArm();
+    std::vector<std::uint64_t> plays(3, 0);
+    for (int round = 0; round < 100; ++round) {
+        std::size_t arm = bandit.select();
+        ++plays[arm];
+        bandit.update(arm, arm == 1 ? 10.0 : 1.0);
+    }
+    EXPECT_GT(plays[1], plays[0]);
+    EXPECT_GT(plays[1], plays[2]);
+    EXPECT_GT(plays[1], 50u);
+    // UCB1 still explores: no arm starves entirely.
+    EXPECT_GE(plays[0], 1u);
+    EXPECT_GE(plays[2], 1u);
+}
+
+TEST(Ucb1Bandit, DeterministicTieBreakTowardLowestIndex)
+{
+    Ucb1Bandit bandit;
+    bandit.addArm();
+    bandit.addArm();
+    bandit.update(0, 2.0);
+    bandit.update(1, 2.0);
+    // Identical means and play counts: the lower index must win.
+    EXPECT_EQ(bandit.select(), 0u);
+    EXPECT_DOUBLE_EQ(bandit.ucbScore(0), bandit.ucbScore(1));
+}
+
+TEST(Ucb1Bandit, MeanTracksRewards)
+{
+    Ucb1Bandit bandit;
+    bandit.addArm();
+    EXPECT_DOUBLE_EQ(bandit.mean(0), 0.0);
+    bandit.update(0, 4.0);
+    bandit.update(0, 8.0);
+    EXPECT_DOUBLE_EQ(bandit.mean(0), 6.0);
+    EXPECT_EQ(bandit.plays(0), 2u);
+}
+
+TEST(Genome, AddrRangeForDensityInvertsApproximately)
+{
+    // range = vars * line / density, rounded up to whole lines.
+    EXPECT_EQ(addrRangeForDensity(512, 2.0, 64, 4), 16384u);
+    EXPECT_EQ(addrRangeForDensity(512, 0.5, 64, 4), 65536u);
+    // Heavy density is clamped to the 2x slot headroom floor.
+    std::uint64_t range = addrRangeForDensity(512, 1000.0, 64, 4);
+    EXPECT_GE(range, 2ull * 512 * 4);
+    EXPECT_EQ(range % 64, 0u);
+}
+
+TEST(Genome, PresetRoundTripPreservesSearchedAxes)
+{
+    ConfigGenome g = tinyGenome(15, 3);
+    GpuTestPreset preset = genomeToPreset(g, tinyScale(), /*seed=*/42);
+    EXPECT_EQ(preset.tester.seed, 42u);
+    EXPECT_EQ(preset.tester.lanes, 4u);
+    EXPECT_EQ(preset.tester.variables.numNormalVars, 128u);
+    EXPECT_NE(preset.name.find("seed42"), std::string::npos);
+
+    ConfigGenome back = genomeFromPreset(preset);
+    EXPECT_EQ(back.cacheClass, g.cacheClass);
+    EXPECT_EQ(back.actionsPerEpisode, g.actionsPerEpisode);
+    EXPECT_EQ(back.episodesPerWf, g.episodesPerWf);
+    EXPECT_EQ(back.atomicLocs, g.atomicLocs);
+    EXPECT_EQ(back.numCus, g.numCus);
+    // Density survives up to the line-rounding of the address range.
+    EXPECT_NEAR(back.colocDensity, g.colocDensity, 0.1);
+}
+
+TEST(Genome, TableIIIArmsMatchTheSweep)
+{
+    std::vector<ConfigGenome> arms = tableIIIArms();
+    ASSERT_EQ(arms.size(), 24u);
+    // All 24 are distinct genomes.
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+        for (std::size_t j = i + 1; j < arms.size(); ++j)
+            EXPECT_NE(arms[i], arms[j]) << i << " vs " << j;
+    }
+}
+
+TEST(Genome, MutationStaysInBoundsAndIsSeedDeterministic)
+{
+    GenomeBounds bounds;
+    ConfigGenome g = tinyGenome();
+
+    Random rng_a(7), rng_b(7);
+    ConfigGenome cur_a = g, cur_b = g;
+    for (int i = 0; i < 200; ++i) {
+        cur_a = mutateGenome(cur_a, rng_a, bounds);
+        cur_b = mutateGenome(cur_b, rng_b, bounds);
+        EXPECT_EQ(cur_a, cur_b) << "mutation diverged at step " << i;
+
+        EXPECT_GE(cur_a.actionsPerEpisode, bounds.minActions);
+        EXPECT_LE(cur_a.actionsPerEpisode, bounds.maxActions);
+        EXPECT_GE(cur_a.episodesPerWf, bounds.minEpisodesPerWf);
+        EXPECT_LE(cur_a.episodesPerWf, bounds.maxEpisodesPerWf);
+        EXPECT_GE(cur_a.atomicLocs, bounds.minAtomicLocs);
+        EXPECT_LE(cur_a.atomicLocs, bounds.maxAtomicLocs);
+        EXPECT_GE(cur_a.colocDensity, bounds.minColocDensity);
+        EXPECT_LE(cur_a.colocDensity, bounds.maxColocDensity);
+        EXPECT_GE(cur_a.numCus, bounds.minCus);
+        EXPECT_LE(cur_a.numCus, bounds.maxCus);
+    }
+}
+
+TEST(Genome, MutationChangesExactlyOneGene)
+{
+    Random rng(3);
+    ConfigGenome g = tinyGenome();
+    for (int i = 0; i < 50; ++i) {
+        ConfigGenome m = mutateGenome(g, rng);
+        int changed = 0;
+        changed += m.cacheClass != g.cacheClass;
+        changed += m.actionsPerEpisode != g.actionsPerEpisode;
+        changed += m.episodesPerWf != g.episodesPerWf;
+        changed += m.atomicLocs != g.atomicLocs;
+        changed += m.colocDensity != g.colocDensity;
+        changed += m.numCus != g.numCus;
+        EXPECT_EQ(changed, 1);
+    }
+}
+
+TEST(Sources, SweepIssuesArmsInOrderUpToMaxShards)
+{
+    SourceConfig cfg = tinySourceConfig(1, 7);
+    SweepSource source(cfg);
+    EXPECT_EQ(source.strategy(), Strategy::Sweep);
+
+    std::vector<std::string> names;
+    for (;;) {
+        std::vector<ShardSpec> batch = source.nextBatch();
+        if (batch.empty())
+            break;
+        for (ShardSpec &s : batch)
+            names.push_back(s.name);
+    }
+    ASSERT_EQ(names.size(), 7u);
+    // Arms cycle in order; every shard has a distinct seed suffix.
+    EXPECT_NE(names[0].find("a10/e2"), std::string::npos);
+    EXPECT_NE(names[1].find("a15/e2"), std::string::npos);
+    EXPECT_NE(names[2].find("a10/e3"), std::string::npos);
+    EXPECT_NE(names[3].find("a10/e2"), std::string::npos);
+    std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Sources, RandomScheduleIsSeedDeterministic)
+{
+    auto schedule = [](std::uint64_t master_seed) {
+        RandomSource source(tinySourceConfig(master_seed, 10));
+        std::vector<std::string> names;
+        for (;;) {
+            std::vector<ShardSpec> batch = source.nextBatch();
+            if (batch.empty())
+                break;
+            for (ShardSpec &s : batch)
+                names.push_back(s.name);
+        }
+        return names;
+    };
+    EXPECT_EQ(schedule(5), schedule(5));
+    EXPECT_NE(schedule(5), schedule(6));
+}
+
+TEST(Sources, PresetForSeedRecoversIssuedShard)
+{
+    SourceConfig cfg = tinySourceConfig(100, 4);
+    SweepSource source(cfg);
+    std::vector<ShardSpec> batch = source.nextBatch();
+    ASSERT_FALSE(batch.empty());
+
+    auto preset = source.presetForSeed(batch[0].seed);
+    ASSERT_TRUE(preset.has_value());
+    EXPECT_EQ(preset->name, batch[0].name);
+    EXPECT_EQ(preset->tester.seed, batch[0].seed);
+    EXPECT_FALSE(source.presetForSeed(999999).has_value());
+}
+
+TEST(Guided, DeterministicAcrossWorkerCounts)
+{
+    // The acceptance criterion: a guided campaign re-run with the same
+    // master seed reproduces the identical shard schedule (decision
+    // log) and union-coverage digest, serial or parallel.
+    auto run = [](unsigned jobs) {
+        GuidedSource source(tinySourceConfig(11, 12));
+        AdaptiveCampaignConfig cfg;
+        cfg.jobs = jobs;
+        return runAdaptiveCampaign(source, cfg);
+    };
+    AdaptiveCampaignResult serial = run(1);
+    AdaptiveCampaignResult parallel = run(4);
+
+    EXPECT_TRUE(serial.passed);
+    EXPECT_TRUE(parallel.passed);
+    EXPECT_EQ(serial.shardsRun, 12u);
+    EXPECT_EQ(parallel.shardsRun, 12u);
+    EXPECT_NE(serial.unionDigest, 0u);
+    EXPECT_EQ(serial.unionDigest, parallel.unionDigest);
+    EXPECT_EQ(serial.totalEpisodes, parallel.totalEpisodes);
+
+    ASSERT_EQ(serial.decisions.size(), parallel.decisions.size());
+    for (std::size_t i = 0; i < serial.decisions.size(); ++i) {
+        const GuidanceDecision &a = serial.decisions[i];
+        const GuidanceDecision &b = parallel.decisions[i];
+        EXPECT_EQ(a.arm, b.arm) << "round " << i;
+        EXPECT_EQ(a.probe, b.probe) << "round " << i;
+        EXPECT_EQ(a.mutant, b.mutant) << "round " << i;
+        EXPECT_EQ(a.seeds, b.seeds) << "round " << i;
+        EXPECT_TRUE(a.genome == b.genome) << "round " << i;
+        EXPECT_EQ(a.episodes, b.episodes) << "round " << i;
+        EXPECT_EQ(a.newCells, b.newCells) << "round " << i;
+        EXPECT_DOUBLE_EQ(a.rewardPerKiloEpisode, b.rewardPerKiloEpisode)
+            << "round " << i;
+    }
+}
+
+TEST(Guided, DifferentMasterSeedsDiverge)
+{
+    auto episodes_sequence = [](std::uint64_t master_seed) {
+        GuidedSource source(tinySourceConfig(master_seed, 12));
+        AdaptiveCampaignResult res = runAdaptiveCampaign(source);
+        std::vector<std::uint64_t> seeds;
+        for (const GuidanceDecision &d : res.decisions)
+            for (std::uint64_t s : d.seeds)
+                seeds.push_back(s);
+        return seeds;
+    };
+    // Different master seeds issue different shard seeds by design
+    // (the seed counter starts at the master seed).
+    EXPECT_NE(episodes_sequence(1), episodes_sequence(2));
+}
+
+TEST(Guided, ProbesEveryArmBeforeExploiting)
+{
+    GuidedSource source(tinySourceConfig(1, 12));
+    AdaptiveCampaignResult res = runAdaptiveCampaign(source);
+    ASSERT_GE(res.decisions.size(), 3u);
+    std::set<std::size_t> probed;
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_TRUE(res.decisions[i].probe);
+        probed.insert(res.decisions[i].arm);
+    }
+    EXPECT_EQ(probed.size(), 3u); // all three arms scored first
+    for (std::size_t i = 3; i < res.decisions.size(); ++i) {
+        if (!res.decisions[i].mutant) {
+            EXPECT_FALSE(res.decisions[i].probe) << "round " << i;
+        }
+    }
+}
+
+TEST(Guided, StopsAtCoverageTarget)
+{
+    // First learn the achievable coverage, then re-run demanding only
+    // a fraction of it: the source must stop before its shard cap.
+    GuidedSource full(tinySourceConfig(1, 12));
+    AdaptiveCampaignResult full_res = runAdaptiveCampaign(full);
+    ASSERT_TRUE(full_res.l1Union && full_res.l2Union);
+
+    GuidedOptions opts;
+    opts.targetL1Active = full_res.l1Union->activeCount("") / 2;
+    opts.targetL2Active = full_res.l2Union->activeCount("") / 2;
+    GuidedSource early(tinySourceConfig(1, 100), opts);
+    AdaptiveCampaignResult early_res = runAdaptiveCampaign(early);
+    EXPECT_LT(early_res.shardsRun, 100u);
+    ASSERT_TRUE(early_res.l1Union && early_res.l2Union);
+    EXPECT_GE(early_res.l1Union->activeCount(""), opts.targetL1Active);
+    EXPECT_GE(early_res.l2Union->activeCount(""), opts.targetL2Active);
+}
+
+TEST(Guided, EpisodeBudgetBoundsTheCampaign)
+{
+    GuidedOptions opts;
+    opts.episodeBudget = 20;
+    GuidedSource source(tinySourceConfig(1, 1000), opts);
+    AdaptiveCampaignResult res = runAdaptiveCampaign(source);
+    // Stops at the first between-rounds check past the budget: total
+    // episodes can overshoot by at most one round (one batch).
+    EXPECT_LT(res.shardsRun, 1000u);
+    EXPECT_GE(res.totalEpisodes, 20u);
+}
+
+TEST(Guided, DecisionsJsonIsWellFormedArray)
+{
+    GuidedSource source(tinySourceConfig(1, 6));
+    AdaptiveCampaignResult res = runAdaptiveCampaign(source);
+    std::string json = guidanceDecisionsJson(res.decisions);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), ']');
+    for (const char *key : {"\"round\":", "\"arm\":", "\"probe\":",
+                            "\"genome\":", "\"seeds\":[",
+                            "\"reward_per_kiloepisode\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+    }
+
+    std::string campaign_json = adaptiveCampaignToJson(res, "gpu_tester");
+    for (const char *key :
+         {"\"strategy\":\"guided\"", "\"union_digest\":\"0x",
+          "\"guidance\":[", "\"curve\":[", "\"total_episodes\":"}) {
+        EXPECT_NE(campaign_json.find(key), std::string::npos)
+            << "missing " << key;
+    }
+}

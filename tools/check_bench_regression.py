@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
 """Bench regression gate.
 
-Runs the two bench binaries several times (median-of-N), compares the
-headline throughput metrics against the committed baselines
-(BENCH_campaign.json / BENCH_msg_path.json), and fails when any metric
-regresses by more than the tolerance.
+Runs the throughput bench binaries several times (median-of-N) and the
+guidance-convergence bench once (it is internally median-of-3 master
+seeds), compares the headline metrics against the committed baselines
+(BENCH_campaign.json / BENCH_msg_path.json / BENCH_guidance.json), and
+fails when any metric regresses by more than the tolerance.
 
 Compared metrics:
-  campaign_scaling: event_queue.current_events_per_sec,
-                    scaling[jobs=1].events_per_sec
-  msg_path:         messages_per_sec
+  campaign_scaling:     event_queue.current_events_per_sec,
+                        scaling[jobs=1].events_per_sec
+  msg_path:             messages_per_sec
+  guidance_convergence: median_reduction_pct (episode savings of the
+                        guided scheduler vs the random baseline; the
+                        binary itself also exits nonzero if coverage
+                        targets are missed or determinism breaks)
 
 Shared-runner CI boxes are noisy and differ from the machine that
 produced the baseline (the baseline records its cpu_model / git_sha /
@@ -75,7 +80,8 @@ def main():
 
     campaign_bin = args.build_dir / "bench" / "campaign_scaling"
     msg_bin = args.build_dir / "bench" / "msg_path"
-    for binary in (campaign_bin, msg_bin):
+    guidance_bin = args.build_dir / "bench" / "guidance_convergence"
+    for binary in (campaign_bin, msg_bin, guidance_bin):
         if not binary.exists():
             print(f"missing bench binary: {binary}", file=sys.stderr)
             return 2
@@ -87,6 +93,9 @@ def main():
         baseline_msg = json.load(
             open(args.baseline_dir / "BENCH_msg_path.json")
         )
+        baseline_guidance = json.load(
+            open(args.baseline_dir / "BENCH_guidance.json")
+        )
     except (OSError, json.JSONDecodeError) as err:
         print(f"cannot read baseline: {err}", file=sys.stderr)
         return 2
@@ -94,6 +103,7 @@ def main():
     for name, doc in (
         ("BENCH_campaign.json", baseline_campaign),
         ("BENCH_msg_path.json", baseline_msg),
+        ("BENCH_guidance.json", baseline_guidance),
     ):
         print(
             f"baseline {name}: cpu_model={doc.get('cpu_model', '?')!r} "
@@ -125,6 +135,14 @@ def main():
                     tmp / "msg.json",
                 )
             )
+        # Once, not per-run: the convergence bench medians over three
+        # master seeds internally, and its own exit status already
+        # enforces coverage targets and deterministic replay.
+        print("guidance convergence ...", flush=True)
+        guidance_doc = run_bench(
+            [guidance_bin, "--out", tmp / "guidance.json"],
+            tmp / "guidance.json",
+        )
 
     checks = [
         (
@@ -144,6 +162,11 @@ def main():
             "msg_path.messages_per_sec",
             baseline_msg["messages_per_sec"],
             median_metric(msg_samples, lambda d: d["messages_per_sec"]),
+        ),
+        (
+            "guidance.median_reduction_pct",
+            baseline_guidance["median_reduction_pct"],
+            guidance_doc["median_reduction_pct"],
         ),
     ]
 

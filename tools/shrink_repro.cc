@@ -5,7 +5,8 @@
  * Subcommands:
  *
  *   record  --out t.trace [--cache C] [--seed N] [--fault F]
- *           [--trigger-pct P] [--episodes N] [--cus N] [--events]
+ *           [--trigger-pct P] [--episodes N] [--actions N]
+ *           [--atomic-locs N] [--coloc-density D] [--cus N] [--events]
  *       Run the configured GPU tester once, recording the episode
  *       schedule (and, with --events, the binary event trace) to a
  *       self-contained trace file.
@@ -26,12 +27,17 @@
  *       (chrome://tracing, Perfetto, speedscope).
  *
  *   fuzz    --out-dir DIR [--seeds N] [--trigger-pct P]
+ *           [--strategy random|guided] [generator knobs as for record]
  *       The nightly CI job: sweep every FaultKind over a multi-seed
  *       campaign, assert each injected bug is detected, shrink each
  *       episode-detectable failure, and leave one trace + JSON repro
- *       per fault in DIR. DropGpuProbe is exercised through the
- *       directed protocol scenario. Exit 0 only if every fault was
- *       caught and every shrink preserved the failure class.
+ *       per fault in DIR. With --strategy guided the seeds for each
+ *       fault come from a coverage-guided adaptive campaign
+ *       (src/guidance/) instead of a linear seed sweep, and each
+ *       written trace embeds the scheduler's decision log in its
+ *       header. DropGpuProbe is exercised through the directed
+ *       protocol scenario. Exit 0 only if every fault was caught and
+ *       every shrink preserved the failure class.
  */
 
 #include <cstdio>
@@ -42,6 +48,7 @@
 #include <vector>
 
 #include "campaign/campaign_json.hh"
+#include "guidance/adaptive_campaign.hh"
 #include "tester/configs.hh"
 #include "tester/scenarios.hh"
 #include "tester/tester_failure.hh"
@@ -64,9 +71,13 @@ struct Args
     std::string outDir;
     std::string cache = "small";
     std::string fault = "None";
+    std::string strategy = "random";
     std::uint64_t seed = 1;
     unsigned triggerPct = 100;
     unsigned episodes = 10;
+    unsigned actions = 30;
+    unsigned atomicLocs = 10;
+    double colocDensity = 0.0; ///< 0 = keep the fixed tool range
     unsigned cus = 4;
     unsigned seeds = 8;
     std::size_t maxProbes = 2000;
@@ -110,6 +121,14 @@ parseArgs(int argc, char **argv)
             a.triggerPct = unsigned(std::strtoul(v->c_str(), nullptr, 10));
         else if (auto v = argValue(argc, argv, i, "--episodes"))
             a.episodes = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--actions"))
+            a.actions = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--atomic-locs"))
+            a.atomicLocs = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--coloc-density"))
+            a.colocDensity = std::strtod(v->c_str(), nullptr);
+        else if (auto v = argValue(argc, argv, i, "--strategy"))
+            a.strategy = *v;
         else if (auto v = argValue(argc, argv, i, "--cus"))
             a.cus = unsigned(std::strtoul(v->c_str(), nullptr, 10));
         else if (auto v = argValue(argc, argv, i, "--seeds"))
@@ -153,18 +172,28 @@ parseFault(const std::string &name)
     std::exit(2);
 }
 
-/** The tester preset every tool run uses (the golden test shape). */
+/**
+ * The tester preset every tool run uses: the golden test shape by
+ * default, with the generator knobs (--actions, --episodes,
+ * --atomic-locs, --coloc-density) overridable from the command line.
+ */
 GpuTesterConfig
-toolTesterConfig(std::uint64_t seed, unsigned episodes_per_wf)
+toolTesterConfig(const Args &a, std::uint64_t seed)
 {
-    GpuTesterConfig cfg =
-        makeGpuTesterConfig(/*actions_per_episode=*/30, episodes_per_wf,
-                            /*atomic_locs=*/10, seed);
+    GpuTesterConfig cfg = makeGpuTesterConfig(a.actions, a.episodes,
+                                              a.atomicLocs, seed);
     cfg.lanes = 8;
     cfg.episodeGen.lanes = 8;
     cfg.wfsPerCu = 2;
     cfg.variables.numNormalVars = 512;
-    cfg.variables.addrRangeBytes = 1 << 14;
+    cfg.variables.addrRangeBytes =
+        a.colocDensity > 0.0
+            ? addrRangeForDensity(cfg.variables.numSyncVars +
+                                      cfg.variables.numNormalVars,
+                                  a.colocDensity,
+                                  cfg.variables.lineBytes,
+                                  cfg.variables.varBytes)
+            : 1 << 14;
     return cfg;
 }
 
@@ -209,8 +238,7 @@ cmdRecord(const Args &a)
 
     RecordOptions opts;
     opts.captureEvents = a.events;
-    ReproTrace trace =
-        recordGpuRun(sys, toolTesterConfig(a.seed, a.episodes), opts);
+    ReproTrace trace = recordGpuRun(sys, toolTesterConfig(a, a.seed), opts);
     trace.presetName = a.cache + "/seed" + std::to_string(a.seed) + "/" +
                        a.fault;
 
@@ -331,11 +359,45 @@ struct FuzzOutcome
     FailureClass failureClass = FailureClass::None;
 };
 
+/** Shrink a failing fuzz trace and write the per-fault artifacts. */
+void
+shrinkAndSave(const Args &a, ReproTrace &trace, FuzzOutcome &out)
+{
+    out.detected = true;
+    out.failureClass = trace.result.failureClass;
+    out.originalEpisodes = trace.schedule.size();
+
+    ShrinkOptions opts;
+    opts.maxProbes = a.maxProbes;
+    ShrinkStats stats;
+    EpisodeSchedule shrunk = shrinkRepro(trace, opts, &stats);
+    TesterResult replayed = replayGpuRun(trace, shrunk);
+    out.shrunk = !replayed.passed &&
+                 replayed.failureClass == trace.result.failureClass;
+    out.shrunkEpisodes = shrunk.size();
+
+    std::string base = a.outDir + "/" + faultKindName(out.fault);
+    ReproTrace minimized = trace;
+    minimized.schedule = shrunk;
+    minimized.result = replayed;
+    if (saveTraceFile(base + ".trace", trace))
+        std::printf("wrote %s.trace\n", base.c_str());
+    if (saveTraceFile(base + ".min.trace", minimized))
+        std::printf("wrote %s.min.trace\n", base.c_str());
+    writeText(base + ".repro.json", reproToJson(trace, shrunk, replayed));
+}
+
 int
 cmdFuzz(const Args &a)
 {
     if (a.outDir.empty()) {
         std::fprintf(stderr, "fuzz: --out-dir is required\n");
+        return 2;
+    }
+    std::optional<Strategy> strategy = parseStrategy(a.strategy);
+    if (!strategy || *strategy == Strategy::Sweep) {
+        std::fprintf(stderr, "fuzz: --strategy must be random or "
+                             "guided\n");
         return 2;
     }
 
@@ -359,45 +421,64 @@ cmdFuzz(const Args &a)
         FuzzOutcome out;
         out.fault = entry.fault;
 
-        for (std::uint64_t seed = 1; seed <= a.seeds && !out.detected;
-             ++seed) {
-            ApuSystemConfig sys =
-                makeGpuSystemConfig(entry.cache, a.cus);
-            sys.fault = entry.fault;
-            sys.faultTriggerPct = a.triggerPct;
-            ReproTrace trace = recordGpuRun(
-                sys, toolTesterConfig(seed, a.episodes));
-            if (trace.result.passed)
-                continue;
+        if (*strategy == Strategy::Guided) {
+            // Coverage-guided seed search: the scheduler explores a
+            // small arm neighborhood of the tool shape, the armed fault
+            // campaign-wide, until a shard fails or the budget is out.
+            ConfigGenome base;
+            base.cacheClass = entry.cache;
+            base.actionsPerEpisode = a.actions;
+            base.episodesPerWf = a.episodes;
+            base.atomicLocs = a.atomicLocs;
+            base.colocDensity =
+                colocDensityOf(toolTesterConfig(a, 1).variables);
+            base.numCus = a.cus;
 
-            out.detected = true;
-            out.seed = seed;
-            out.failureClass = trace.result.failureClass;
-            out.originalEpisodes = trace.schedule.size();
-            trace.presetName = std::string(faultKindName(entry.fault)) +
-                               "/seed" + std::to_string(seed);
+            ConfigGenome more_episodes = base;
+            more_episodes.episodesPerWf = base.episodesPerWf * 2;
+            ConfigGenome more_actions = base;
+            more_actions.actionsPerEpisode = base.actionsPerEpisode * 2;
 
-            ShrinkOptions opts;
-            opts.maxProbes = a.maxProbes;
-            ShrinkStats stats;
-            EpisodeSchedule shrunk = shrinkRepro(trace, opts, &stats);
-            TesterResult replayed = replayGpuRun(trace, shrunk);
-            out.shrunk = !replayed.passed &&
-                         replayed.failureClass ==
-                             trace.result.failureClass;
-            out.shrunkEpisodes = shrunk.size();
+            SourceConfig scfg;
+            scfg.arms = {base, more_episodes, more_actions};
+            scfg.scale.lanes = 8;
+            scfg.scale.wfsPerCu = 2;
+            scfg.scale.numNormalVars = 512;
+            scfg.scale.fault = entry.fault;
+            scfg.scale.faultTriggerPct = a.triggerPct;
+            scfg.masterSeed = 1;
+            scfg.batchSize = 2;
+            scfg.maxShards = a.seeds;
+            GuidedSource source(scfg);
 
-            std::string base =
-                a.outDir + "/" + faultKindName(entry.fault);
-            ReproTrace minimized = trace;
-            minimized.schedule = shrunk;
-            minimized.result = replayed;
-            if (saveTraceFile(base + ".trace", trace))
-                std::printf("wrote %s.trace\n", base.c_str());
-            if (saveTraceFile(base + ".min.trace", minimized))
-                std::printf("wrote %s.min.trace\n", base.c_str());
-            writeText(base + ".repro.json",
-                      reproToJson(trace, shrunk, replayed));
+            AdaptiveCampaignResult res = runAdaptiveCampaign(source);
+            if (res.firstFailure && res.failurePreset) {
+                out.seed = res.firstFailure->seed;
+                // Re-record the failing shard's exact preset so the
+                // trace is self-contained, and stamp the scheduler's
+                // decision log into the v2 header.
+                ReproTrace trace = recordGpuRun(*res.failurePreset);
+                trace.guidance = guidanceDecisionsJson(res.decisions);
+                if (!trace.result.passed)
+                    shrinkAndSave(a, trace, out);
+            }
+        } else {
+            for (std::uint64_t seed = 1;
+                 seed <= a.seeds && !out.detected; ++seed) {
+                ApuSystemConfig sys =
+                    makeGpuSystemConfig(entry.cache, a.cus);
+                sys.fault = entry.fault;
+                sys.faultTriggerPct = a.triggerPct;
+                ReproTrace trace =
+                    recordGpuRun(sys, toolTesterConfig(a, seed));
+                if (trace.result.passed)
+                    continue;
+                out.seed = seed;
+                trace.presetName =
+                    std::string(faultKindName(entry.fault)) + "/seed" +
+                    std::to_string(seed);
+                shrinkAndSave(a, trace, out);
+            }
         }
         outcomes.push_back(out);
     }
@@ -442,7 +523,7 @@ cmdFuzz(const Args &a)
                     out.originalEpisodes, out.shrunkEpisodes,
                     ok ? "" : "   <-- PROBLEM");
     }
-    std::printf("\nfuzz sweep: %s\n",
+    std::printf("\nfuzz sweep (%s): %s\n", strategyName(*strategy),
                 all_ok ? "every fault detected and shrunk"
                        : "SOME FAULTS ESCAPED");
     return all_ok ? 0 : 1;
