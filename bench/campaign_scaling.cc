@@ -242,6 +242,13 @@ main(int argc, char **argv)
                                           : "?");
             return 1;
         }
+        if (res.shardsRun != res.shardsPlanned) {
+            std::fprintf(stderr,
+                         "campaign INCOMPLETE at jobs=%u: ran %zu of "
+                         "%zu shards\n",
+                         jobs, res.shardsRun, res.shardsPlanned);
+            return 1;
+        }
         if (jobs == 1) {
             serial_wall = res.wallSeconds;
             campaign_json = campaignToJson(res, "gpu_tester");

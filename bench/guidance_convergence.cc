@@ -160,6 +160,14 @@ main(int argc, char **argv)
                          (unsigned long long)master_seed);
             return 1;
         }
+        if (random_res.shardsRun != rcfg.maxShards) {
+            std::fprintf(stderr,
+                         "random baseline INCOMPLETE (seed %llu): ran "
+                         "%zu of %zu shards\n",
+                         (unsigned long long)master_seed,
+                         random_res.shardsRun, rcfg.maxShards);
+            return 1;
+        }
         o.randomEpisodes = random_res.totalEpisodes;
         o.randomL1Active =
             random_res.l1Union ? random_res.l1Union->activeCount("") : 0;
@@ -172,6 +180,13 @@ main(int argc, char **argv)
                       o.randomEpisodes, jobs);
         if (!guided_res.passed) {
             std::fprintf(stderr, "guided campaign FAILED (seed %llu)\n",
+                         (unsigned long long)master_seed);
+            return 1;
+        }
+        if (guided_res.shardsRun == 0) {
+            std::fprintf(stderr,
+                         "guided campaign INCOMPLETE (seed %llu): no "
+                         "shards ran\n",
                          (unsigned long long)master_seed);
             return 1;
         }

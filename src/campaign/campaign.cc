@@ -1,10 +1,8 @@
 #include "campaign/campaign.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
-#include <mutex>
 
 #include "campaign/thread_pool.hh"
 #include "system/apu_system.hh"
@@ -24,59 +22,183 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Shared accumulation state, guarded by one mutex. */
-struct Merge
-{
-    std::mutex mutex;
-    CampaignResult result;
-    CoverageAccumulator l1;
-    CoverageAccumulator l2;
-    CoverageAccumulator dir;
-    std::atomic<bool> stop{false};
-};
+} // namespace
 
-/** True once every observed coverage level reached the threshold. */
-bool
-saturated(const Merge &merge, const CampaignConfig &cfg)
+ShardMerge::ShardMerge(const CampaignConfig &cfg,
+                       std::size_t shards_planned)
+    : _cfg(cfg)
 {
-    if (cfg.saturationPct <= 0.0)
+    _result.shardsPlanned = shards_planned;
+}
+
+void
+ShardMerge::setJobs(unsigned jobs)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _result.jobs = jobs;
+}
+
+bool
+ShardMerge::stopRequested() const
+{
+    return _stop.load(std::memory_order_acquire);
+}
+
+void
+ShardMerge::requestStop()
+{
+    _stop.store(true, std::memory_order_release);
+}
+
+void
+ShardMerge::markInterrupted()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _result.interrupted = true;
+    }
+    requestStop();
+}
+
+void
+ShardMerge::addSkipped(std::size_t count)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _result.shardsSkipped += count;
+}
+
+bool
+ShardMerge::saturatedLocked() const
+{
+    if (_cfg.saturationPct <= 0.0)
         return false;
-    if (merge.l1.empty() && merge.l2.empty())
+    if (_l1.empty() && _l2.empty())
         return false;
-    if (!merge.l1.empty() &&
-        merge.l1.coveragePct(cfg.coverageTestType) < cfg.saturationPct)
+    if (!_l1.empty() &&
+        _l1.coveragePct(_cfg.coverageTestType) < _cfg.saturationPct)
         return false;
-    if (!merge.l2.empty() &&
-        merge.l2.coveragePct(cfg.coverageTestType) < cfg.saturationPct)
+    if (!_l2.empty() &&
+        _l2.coveragePct(_cfg.coverageTestType) < _cfg.saturationPct)
         return false;
     return true;
 }
 
-} // namespace
+void
+ShardMerge::add(ShardOutcome &&out, double wall_seconds, bool resumed)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    CampaignResult &res = _result;
+    ++res.shardsRun;
+    if (resumed)
+        ++res.shardsResumed;
+    res.totalTicks += out.result.ticks;
+    res.totalEvents += out.result.events;
+    res.totalEpisodes += out.result.episodes;
+    res.totalLoadsChecked += out.result.loadsChecked;
+    res.totalStoresRetired += out.result.storesRetired;
+    res.totalAtomicsChecked += out.result.atomicsChecked;
+    res.shardSecondsSum += out.result.hostSeconds;
+    res.retriesPerformed += out.attempts - 1;
+    switch (out.result.failureClass) {
+      case FailureClass::HostCrash: ++res.hostCrashes; break;
+      case FailureClass::HostTimeout: ++res.hostTimeouts; break;
+      case FailureClass::ResourceExhausted:
+        ++res.resourceExhausted;
+        break;
+      default: break;
+    }
+
+    std::size_t new_cells = 0;
+    if (out.l1)
+        new_cells += _l1.add(*out.l1);
+    if (out.l2)
+        new_cells += _l2.add(*out.l2);
+    if (out.dir)
+        new_cells += _dir.add(*out.dir);
+
+    CoveragePoint point;
+    point.shardsCompleted = res.shardsRun;
+    point.l1Pct = _l1.coveragePct(_cfg.coverageTestType);
+    point.l2Pct = _l2.coveragePct(_cfg.coverageTestType);
+    point.cumulativeEvents = res.totalEvents;
+    point.wallSeconds = wall_seconds;
+    point.shardName = out.name;
+    point.shardSeed = out.seed;
+    point.shardEpisodes = out.result.episodes;
+    point.shardActions = out.result.loadsChecked +
+                         out.result.storesRetired +
+                         out.result.atomicsChecked;
+    point.cumulativeEpisodes = res.totalEpisodes;
+    point.cumulativeActions = res.totalLoadsChecked +
+                              res.totalStoresRetired +
+                              res.totalAtomicsChecked;
+    point.newCells = new_cells;
+    res.saturationCurve.push_back(point);
+
+    if (!out.result.passed) {
+        if (!res.firstFailure || out.index < res.firstFailure->index) {
+            res.firstFailure = ShardFailure{
+                out.name, out.seed, out.index, out.result.report,
+                out.result.failureClass};
+        }
+        bool host = isHostFailureClass(out.result.failureClass);
+        if (host ? _cfg.stopOnHostFailure : _cfg.stopOnFailure)
+            requestStop();
+    }
+    if (!res.shardsToSaturation && saturatedLocked()) {
+        res.shardsToSaturation = res.shardsRun;
+        requestStop();
+    }
+    if (_cfg.keepOutcomes)
+        res.outcomes.push_back(std::move(out));
+}
+
+CampaignResult
+ShardMerge::take(double wall_seconds)
+{
+    CampaignResult &res = _result;
+    res.passed = !res.firstFailure.has_value();
+    res.wallSeconds = wall_seconds;
+    if (res.wallSeconds > 0.0) {
+        res.episodesPerSec =
+            static_cast<double>(res.totalEpisodes) / res.wallSeconds;
+        res.eventsPerSec =
+            static_cast<double>(res.totalEvents) / res.wallSeconds;
+    }
+    if (!_l1.empty())
+        res.l1Union = _l1.grid();
+    if (!_l2.empty())
+        res.l2Union = _l2.grid();
+    if (!_dir.empty())
+        res.dirUnion = _dir.grid();
+    std::sort(res.outcomes.begin(), res.outcomes.end(),
+              [](const ShardOutcome &a, const ShardOutcome &b) {
+                  return a.index < b.index;
+              });
+    return std::move(_result);
+}
 
 CampaignResult
 runCampaign(std::vector<ShardSpec> shards, const CampaignConfig &cfg)
 {
-    Merge merge;
-    merge.result.shardsPlanned = shards.size();
+    ShardMerge merge(cfg, shards.size());
     if (shards.empty())
-        return std::move(merge.result);
+        return merge.take(0.0);
 
     unsigned jobs = cfg.jobs != 0 ? cfg.jobs : ThreadPool::defaultThreads();
     jobs = std::min<unsigned>(jobs,
                               static_cast<unsigned>(shards.size()));
-    merge.result.jobs = jobs;
+    merge.setJobs(jobs);
 
     Clock::time_point start = Clock::now();
     {
         ThreadPool pool(jobs);
         for (std::size_t i = 0; i < shards.size(); ++i) {
             // The spec is moved into the job; the pool owns it until run.
-            pool.submit([&merge, &cfg, start, i,
+            pool.submit([&merge, start, i,
                          spec = std::move(shards[i])]() mutable {
-                if (merge.stop.load(std::memory_order_acquire)) {
-                    std::lock_guard<std::mutex> lock(merge.mutex);
-                    ++merge.result.shardsSkipped;
+                if (merge.stopRequested()) {
+                    merge.addSkipped();
                     return;
                 }
 
@@ -87,9 +209,11 @@ runCampaign(std::vector<ShardSpec> shards, const CampaignConfig &cfg)
                     // Shard isolation: anything a tester failed to
                     // convert itself becomes a structured failure here.
                     out.result.passed = false;
+                    out.result.failureClass = FailureClass::Other;
                     out.result.report = e.what();
                 } catch (...) {
                     out.result.passed = false;
+                    out.result.failureClass = FailureClass::Other;
                     out.result.report = "unknown shard exception";
                 }
                 if (out.name.empty())
@@ -97,86 +221,13 @@ runCampaign(std::vector<ShardSpec> shards, const CampaignConfig &cfg)
                 out.seed = spec.seed;
                 out.index = i;
 
-                std::lock_guard<std::mutex> lock(merge.mutex);
-                CampaignResult &res = merge.result;
-                ++res.shardsRun;
-                res.totalTicks += out.result.ticks;
-                res.totalEvents += out.result.events;
-                res.totalEpisodes += out.result.episodes;
-                res.totalLoadsChecked += out.result.loadsChecked;
-                res.totalStoresRetired += out.result.storesRetired;
-                res.totalAtomicsChecked += out.result.atomicsChecked;
-                res.shardSecondsSum += out.result.hostSeconds;
-
-                std::size_t new_cells = 0;
-                if (out.l1)
-                    new_cells += merge.l1.add(*out.l1);
-                if (out.l2)
-                    new_cells += merge.l2.add(*out.l2);
-                if (out.dir)
-                    new_cells += merge.dir.add(*out.dir);
-
-                CoveragePoint point;
-                point.shardsCompleted = res.shardsRun;
-                point.l1Pct = merge.l1.coveragePct(cfg.coverageTestType);
-                point.l2Pct = merge.l2.coveragePct(cfg.coverageTestType);
-                point.cumulativeEvents = res.totalEvents;
-                point.wallSeconds = secondsSince(start);
-                point.shardName = out.name;
-                point.shardSeed = out.seed;
-                point.shardEpisodes = out.result.episodes;
-                point.shardActions = out.result.loadsChecked +
-                                     out.result.storesRetired +
-                                     out.result.atomicsChecked;
-                point.cumulativeEpisodes = res.totalEpisodes;
-                point.cumulativeActions = res.totalLoadsChecked +
-                                          res.totalStoresRetired +
-                                          res.totalAtomicsChecked;
-                point.newCells = new_cells;
-                res.saturationCurve.push_back(point);
-
-                if (!out.result.passed) {
-                    if (!res.firstFailure ||
-                        out.index < res.firstFailure->index) {
-                        res.firstFailure = ShardFailure{
-                            out.name, out.seed, out.index,
-                            out.result.report};
-                    }
-                    if (cfg.stopOnFailure)
-                        merge.stop.store(true,
-                                         std::memory_order_release);
-                }
-                if (!res.shardsToSaturation && saturated(merge, cfg)) {
-                    res.shardsToSaturation = res.shardsRun;
-                    merge.stop.store(true, std::memory_order_release);
-                }
-                if (cfg.keepOutcomes)
-                    res.outcomes.push_back(std::move(out));
+                merge.add(std::move(out), secondsSince(start));
             });
         }
         pool.waitIdle();
     }
 
-    CampaignResult &res = merge.result;
-    res.passed = !res.firstFailure.has_value();
-    res.wallSeconds = secondsSince(start);
-    if (res.wallSeconds > 0.0) {
-        res.episodesPerSec =
-            static_cast<double>(res.totalEpisodes) / res.wallSeconds;
-        res.eventsPerSec =
-            static_cast<double>(res.totalEvents) / res.wallSeconds;
-    }
-    if (!merge.l1.empty())
-        res.l1Union = merge.l1.grid();
-    if (!merge.l2.empty())
-        res.l2Union = merge.l2.grid();
-    if (!merge.dir.empty())
-        res.dirUnion = merge.dir.grid();
-    std::sort(res.outcomes.begin(), res.outcomes.end(),
-              [](const ShardOutcome &a, const ShardOutcome &b) {
-                  return a.index < b.index;
-              });
-    return std::move(merge.result);
+    return merge.take(secondsSince(start));
 }
 
 ShardSpec
@@ -185,7 +236,9 @@ gpuShard(const GpuTestPreset &preset)
     ShardSpec spec;
     spec.name = preset.name;
     spec.seed = preset.tester.seed;
-    spec.run = [preset]() {
+    spec.gpuPreset = std::make_shared<const GpuTestPreset>(preset);
+    spec.run = [p = spec.gpuPreset]() {
+        const GpuTestPreset &preset = *p;
         ApuSystem sys(preset.system);
         GpuTester tester(sys, preset.tester);
         ShardOutcome out;

@@ -24,9 +24,11 @@
 #ifndef DRF_CAMPAIGN_CAMPAIGN_HH
 #define DRF_CAMPAIGN_CAMPAIGN_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +48,9 @@ struct ShardOutcome
     std::size_t index = 0; ///< position in the campaign's shard list
     TesterResult result;
 
+    /** Host attempts consumed (1 + transient retries; supervisor). */
+    unsigned attempts = 1;
+
     // Coverage snapshots; null when the shard's system lacks the level.
     std::unique_ptr<CoverageGrid> l1;
     std::unique_ptr<CoverageGrid> l2;
@@ -58,6 +63,15 @@ struct ShardSpec
     std::string name;
     std::uint64_t seed = 0;
     std::function<ShardOutcome()> run;
+
+    /**
+     * Preset provenance for GPU shards (set by gpuShard). The campaign
+     * supervisor uses it to re-record a DRFTRC01 repro trace when the
+     * shard fails and to apply its simulation event budget. Optional:
+     * shards without it are still supervised, just without those two
+     * features.
+     */
+    std::shared_ptr<const GpuTestPreset> gpuPreset;
 };
 
 /** Campaign-level policy knobs. */
@@ -66,8 +80,17 @@ struct CampaignConfig
     /** Worker threads; 0 means hardware concurrency. */
     unsigned jobs = 0;
 
-    /** Stop launching new shards once any shard fails. */
+    /** Stop launching new shards once any shard fails (protocol-level
+     *  classes; host-level classes follow stopOnHostFailure). */
     bool stopOnFailure = true;
+
+    /**
+     * Stop launching new shards when a shard fails at *host* level
+     * (HostCrash/HostTimeout/ResourceExhausted — produced by supervised
+     * campaigns only; see src/campaign/supervisor.hh). Default off: a
+     * resilient campaign triages host faults and keeps going.
+     */
+    bool stopOnHostFailure = false;
 
     /**
      * Early-stop threshold on union coverage, in percent; <= 0 disables.
@@ -90,6 +113,7 @@ struct ShardFailure
     std::uint64_t seed = 0;
     std::size_t index = 0;
     std::string report;
+    FailureClass failureClass = FailureClass::None;
 };
 
 /** One point of the union-coverage saturation curve. */
@@ -125,6 +149,16 @@ struct CampaignResult
     std::size_t shardsSkipped = 0; ///< not launched due to early stop
     unsigned jobs = 0;             ///< worker threads actually used
 
+    // Host-level triage, populated by supervised campaigns (see
+    // src/campaign/supervisor.hh); all zero under plain runCampaign.
+    std::size_t hostCrashes = 0;       ///< shards ending HostCrash
+    std::size_t hostTimeouts = 0;      ///< shards reaped (deadline/budget)
+    std::size_t resourceExhausted = 0; ///< shards that never got past
+                                       ///< transient host failures
+    std::uint64_t retriesPerformed = 0; ///< transient retries, total
+    std::size_t shardsResumed = 0; ///< merged from the journal, not run
+    bool interrupted = false;      ///< SIGINT/SIGTERM graceful shutdown
+
     /** Lowest-index failure observed (reproduce with its name/seed). */
     std::optional<ShardFailure> firstFailure;
 
@@ -158,6 +192,59 @@ struct CampaignResult
 
     /** Per-shard outcomes, shard-index order (keepOutcomes only). */
     std::vector<ShardOutcome> outcomes;
+};
+
+/**
+ * Thread-safe cross-shard merge: the one place campaign aggregates are
+ * built. runCampaign and the supervisor (supervisor.cc) both funnel
+ * every completed ShardOutcome through add(), so stat sums, union
+ * coverage, the saturation curve, first-failure bookkeeping, host
+ * triage counters, and the early-stop policy have exactly one
+ * implementation — which is what makes a resumed campaign's aggregates
+ * bit-identical to an uninterrupted run's.
+ */
+class ShardMerge
+{
+  public:
+    ShardMerge(const CampaignConfig &cfg, std::size_t shards_planned);
+
+    /** Record the worker-thread count for the summary. */
+    void setJobs(unsigned jobs);
+
+    /** True once a failure/saturation/shutdown stop was requested. */
+    bool stopRequested() const;
+
+    /** Stop launching further shards (sticky). */
+    void requestStop();
+
+    /** Flag a SIGINT/SIGTERM graceful shutdown; implies requestStop. */
+    void markInterrupted();
+
+    /** Account shards skipped by an early stop. */
+    void addSkipped(std::size_t count = 1);
+
+    /**
+     * Merge one completed shard (thread-safe). @p wall_seconds is the
+     * campaign-relative completion time for the saturation curve;
+     * @p resumed marks outcomes replayed from a journal rather than
+     * executed (they count into shardsRun *and* shardsResumed).
+     */
+    void add(ShardOutcome &&out, double wall_seconds,
+             bool resumed = false);
+
+    /** Finalize and return the result. Call once, no concurrent adds. */
+    CampaignResult take(double wall_seconds);
+
+  private:
+    bool saturatedLocked() const;
+
+    const CampaignConfig _cfg;
+    std::mutex _mutex;
+    CampaignResult _result;
+    CoverageAccumulator _l1;
+    CoverageAccumulator _l2;
+    CoverageAccumulator _dir;
+    std::atomic<bool> _stop{false};
 };
 
 /** Run @p shards under @p cfg; blocks until done or early-stopped. */

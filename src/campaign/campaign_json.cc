@@ -171,6 +171,16 @@ campaignToJson(const CampaignResult &result,
         .value(static_cast<std::uint64_t>(result.shardsRun));
     w.key("shards_skipped")
         .value(static_cast<std::uint64_t>(result.shardsSkipped));
+    w.key("shards_resumed")
+        .value(static_cast<std::uint64_t>(result.shardsResumed));
+    w.key("host_crashes")
+        .value(static_cast<std::uint64_t>(result.hostCrashes));
+    w.key("host_timeouts")
+        .value(static_cast<std::uint64_t>(result.hostTimeouts));
+    w.key("resource_exhausted")
+        .value(static_cast<std::uint64_t>(result.resourceExhausted));
+    w.key("retries").value(result.retriesPerformed);
+    w.key("interrupted").value(result.interrupted);
     w.key("total_ticks").value(result.totalTicks);
     w.key("total_events").value(result.totalEvents);
     w.key("total_episodes").value(result.totalEpisodes);
@@ -211,6 +221,8 @@ campaignToJson(const CampaignResult &result,
         w.key("seed").value(result.firstFailure->seed);
         w.key("index")
             .value(static_cast<std::uint64_t>(result.firstFailure->index));
+        w.key("failure_class")
+            .value(failureClassName(result.firstFailure->failureClass));
         w.key("report").value(result.firstFailure->report);
         w.endObject();
     } else {

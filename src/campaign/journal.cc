@@ -1,0 +1,489 @@
+#include "campaign/journal.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "campaign/campaign_json.hh"
+#include "proto/directory.hh"
+#include "proto/gpu_l1.hh"
+#include "proto/gpu_l2.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+/**
+ * Minimal JSON value + recursive-descent parser, scoped to the flat
+ * schema this file emits. Numbers keep their raw text so 64-bit tick
+ * counts round-trip exactly (no double intermediate).
+ */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    std::string raw;    ///< number text
+    std::string string; ///< decoded string
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    std::uint64_t
+    asU64() const
+    {
+        return std::strtoull(raw.c_str(), nullptr, 10);
+    }
+
+    double
+    asDouble() const
+    {
+        return std::strtod(raw.c_str(), nullptr);
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : _text(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return _pos == _text.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (_pos >= _text.size() || _text[_pos] != c)
+            return false;
+        ++_pos;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (_pos >= _text.size())
+            return false;
+        char c = _text[_pos];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return parseString(out.string);
+        }
+        if (c == 't' || c == 'f')
+            return parseBool(out);
+        if (c == 'n') {
+            if (!parseLiteral("null"))
+                return false;
+            out.type = JsonValue::Type::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (_text.compare(_pos, n, lit) != 0)
+            return false;
+        _pos += n;
+        return true;
+    }
+
+    bool
+    parseBool(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Bool;
+        if (parseLiteral("true")) {
+            out.boolean = true;
+            return true;
+        }
+        if (parseLiteral("false")) {
+            out.boolean = false;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = _pos;
+        if (_pos < _text.size() &&
+            (_text[_pos] == '-' || _text[_pos] == '+'))
+            ++_pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '-' ||
+                _text[_pos] == '+'))
+            ++_pos;
+        if (_pos == start)
+            return false;
+        out.type = JsonValue::Type::Number;
+        out.raw = _text.substr(start, _pos - start);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (_pos < _text.size()) {
+            char c = _text[_pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (_pos >= _text.size())
+                return false;
+            char esc = _text[_pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    return false;
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    _text.substr(_pos, 4).c_str(), nullptr, 16));
+                _pos += 4;
+                // The escaper only emits \u00xx for control bytes.
+                out.push_back(static_cast<char>(code & 0xff));
+                break;
+              }
+              default: return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        if (!consume('['))
+            return false;
+        out.type = JsonValue::Type::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue elem;
+            if (!parseValue(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        if (!consume('{'))
+            return false;
+        out.type = JsonValue::Type::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return false;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+/**
+ * Level name -> live spec singleton. Campaign shards only ever carry
+ * these three grids (gpuShard/cpuShard in campaign.cc).
+ */
+const TransitionSpec *
+specForLevel(const std::string &level)
+{
+    if (level == "l1")
+        return &GpuL1Cache::spec();
+    if (level == "l2")
+        return &GpuL2Cache::spec();
+    if (level == "dir")
+        return &Directory::spec();
+    return nullptr;
+}
+
+void
+writeGrid(JsonWriter &w, const char *level, const CoverageGrid &grid)
+{
+    const TransitionSpec &spec = grid.spec();
+    w.beginObject();
+    w.key("level").value(level);
+    w.key("spec").value(spec.name());
+    w.key("cells").beginArray();
+    for (std::size_t e = 0; e < spec.numEvents(); ++e) {
+        for (std::size_t s = 0; s < spec.numStates(); ++s) {
+            std::uint64_t count = grid.count(e, s);
+            if (count == 0)
+                continue;
+            w.beginArray();
+            w.value(static_cast<std::uint64_t>(spec.cell(e, s)));
+            w.value(count);
+            w.endArray();
+        }
+    }
+    w.endArray();
+    w.endObject();
+}
+
+std::unique_ptr<CoverageGrid>
+parseGrid(const JsonValue &v)
+{
+    if (v.type != JsonValue::Type::Object)
+        return nullptr;
+    const JsonValue *level = v.find("level");
+    const JsonValue *spec_name = v.find("spec");
+    const JsonValue *cells = v.find("cells");
+    if (!level || !spec_name || !cells ||
+        cells->type != JsonValue::Type::Array)
+        return nullptr;
+    const TransitionSpec *spec = specForLevel(level->string);
+    if (!spec || spec->name() != spec_name->string)
+        return nullptr;
+    auto grid = std::make_unique<CoverageGrid>(*spec);
+    for (const JsonValue &cell : cells->array) {
+        if (cell.type != JsonValue::Type::Array ||
+            cell.array.size() != 2)
+            return nullptr;
+        std::uint64_t flat = cell.array[0].asU64();
+        std::uint64_t count = cell.array[1].asU64();
+        if (flat >= spec->numCells())
+            return nullptr;
+        std::size_t event = flat / spec->numStates();
+        std::size_t state = flat % spec->numStates();
+        grid->setCount(event, state, count);
+    }
+    return grid;
+}
+
+} // namespace
+
+std::string
+shardOutcomeToJson(const ShardOutcome &out)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("v").value(1);
+    w.key("kind").value("shard");
+    w.key("index").value(static_cast<std::uint64_t>(out.index));
+    w.key("name").value(out.name);
+    w.key("seed").value(out.seed);
+    w.key("attempts").value(out.attempts);
+    w.key("passed").value(out.result.passed);
+    w.key("failure_class")
+        .value(failureClassName(out.result.failureClass));
+    w.key("report").value(out.result.report);
+    w.key("ticks").value(out.result.ticks);
+    w.key("events").value(out.result.events);
+    w.key("episodes").value(out.result.episodes);
+    w.key("loads_checked").value(out.result.loadsChecked);
+    w.key("stores_retired").value(out.result.storesRetired);
+    w.key("atomics_checked").value(out.result.atomicsChecked);
+    w.key("host_seconds").value(out.result.hostSeconds);
+    w.key("grids").beginArray();
+    if (out.l1)
+        writeGrid(w, "l1", *out.l1);
+    if (out.l2)
+        writeGrid(w, "l2", *out.l2);
+    if (out.dir)
+        writeGrid(w, "dir", *out.dir);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+parseShardOutcome(const std::string &line, ShardOutcome &out)
+{
+    JsonValue root;
+    if (!JsonParser(line).parse(root) ||
+        root.type != JsonValue::Type::Object)
+        return false;
+
+    const JsonValue *kind = root.find("kind");
+    if (!kind || kind->string != "shard")
+        return false;
+
+    const JsonValue *index = root.find("index");
+    const JsonValue *name = root.find("name");
+    const JsonValue *seed = root.find("seed");
+    const JsonValue *attempts = root.find("attempts");
+    const JsonValue *passed = root.find("passed");
+    const JsonValue *cls = root.find("failure_class");
+    const JsonValue *report = root.find("report");
+    const JsonValue *ticks = root.find("ticks");
+    const JsonValue *events = root.find("events");
+    const JsonValue *episodes = root.find("episodes");
+    const JsonValue *loads = root.find("loads_checked");
+    const JsonValue *stores = root.find("stores_retired");
+    const JsonValue *atomics = root.find("atomics_checked");
+    const JsonValue *host_seconds = root.find("host_seconds");
+    if (!index || !name || !seed || !attempts || !passed || !cls ||
+        !report || !ticks || !events || !episodes || !loads || !stores ||
+        !atomics || !host_seconds)
+        return false;
+
+    std::optional<FailureClass> failure_class =
+        parseFailureClass(cls->string);
+    if (!failure_class)
+        return false;
+
+    ShardOutcome parsed;
+    parsed.index = static_cast<std::size_t>(index->asU64());
+    parsed.name = name->string;
+    parsed.seed = seed->asU64();
+    parsed.attempts = static_cast<unsigned>(attempts->asU64());
+    parsed.result.passed = passed->boolean;
+    parsed.result.failureClass = *failure_class;
+    parsed.result.report = report->string;
+    parsed.result.ticks = ticks->asU64();
+    parsed.result.events = events->asU64();
+    parsed.result.episodes = episodes->asU64();
+    parsed.result.loadsChecked = loads->asU64();
+    parsed.result.storesRetired = stores->asU64();
+    parsed.result.atomicsChecked = atomics->asU64();
+    parsed.result.hostSeconds = host_seconds->asDouble();
+
+    if (const JsonValue *grids = root.find("grids")) {
+        if (grids->type != JsonValue::Type::Array)
+            return false;
+        for (const JsonValue &g : grids->array) {
+            const JsonValue *level = g.find("level");
+            std::unique_ptr<CoverageGrid> grid = parseGrid(g);
+            if (!level || !grid)
+                return false;
+            if (level->string == "l1")
+                parsed.l1 = std::move(grid);
+            else if (level->string == "l2")
+                parsed.l2 = std::move(grid);
+            else if (level->string == "dir")
+                parsed.dir = std::move(grid);
+            else
+                return false;
+        }
+    }
+
+    out = std::move(parsed);
+    return true;
+}
+
+bool
+loadJournal(const std::string &path, std::vector<ShardOutcome> &records)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return false;
+
+    std::map<std::size_t, ShardOutcome> latest; // last record wins
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ShardOutcome out;
+        // Unparseable lines — the header, a line truncated by an
+        // interrupted write — are skipped, not fatal: a resumable
+        // journal beats a strict one here.
+        if (!parseShardOutcome(line, out))
+            continue;
+        latest[out.index] = std::move(out);
+    }
+
+    records.clear();
+    records.reserve(latest.size());
+    for (auto &[idx, out] : latest)
+        records.push_back(std::move(out));
+    return true;
+}
+
+CampaignJournal::CampaignJournal(const std::string &path)
+{
+    if (!path.empty())
+        _out.open(path, std::ios::app);
+}
+
+void
+CampaignJournal::append(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (!_out.is_open())
+        return;
+    _out << line << '\n';
+    _out.flush();
+}
+
+} // namespace drf

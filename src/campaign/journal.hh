@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Campaign journal: append-only JSONL checkpointing of shard outcomes.
+ *
+ * Every completed shard is serialized as one self-contained JSON line —
+ * identity (index/name/seed), the full TesterResult, the host attempt
+ * count, and the three coverage grids as exact per-cell hit counts. The
+ * line format is shared by two consumers:
+ *
+ *  - the journal file the supervisor appends after each shard, which
+ *    --resume loads to skip completed shards while reproducing
+ *    bit-identical aggregates (sums and grid unions are commutative, so
+ *    merging journaled outcomes in index order equals re-running them);
+ *  - the fork-isolation pipe: a shard child process writes the same
+ *    line to its parent, so process isolation and checkpointing
+ *    exercise one serializer and one parser.
+ *
+ * Grids are reconstructible because every controller's TransitionSpec
+ * is a static singleton (GpuL1Cache::spec() etc.): a record names its
+ * level + spec and the loader maps that back to the live spec object.
+ * The parser is a minimal hand-rolled JSON reader over this flat schema
+ * (the repo deliberately has no third-party JSON dependency); the
+ * loader tolerates a truncated trailing line (a write interrupted by
+ * SIGKILL/power loss) and takes the *last* record per shard index, so
+ * a journal appended to across several resumed sessions stays valid.
+ */
+
+#ifndef DRF_CAMPAIGN_JOURNAL_HH
+#define DRF_CAMPAIGN_JOURNAL_HH
+
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+
+namespace drf
+{
+
+/** Serialize one completed shard as a JSONL line (no newline). */
+std::string shardOutcomeToJson(const ShardOutcome &out);
+
+/**
+ * Parse a shardOutcomeToJson line. Returns false on malformed input,
+ * unknown failure classes, or grid records whose spec name does not
+ * match the live spec for their level — never a half-filled outcome.
+ */
+bool parseShardOutcome(const std::string &line, ShardOutcome &out);
+
+/**
+ * Load every shard record from @p path (see file comment for the
+ * tolerance rules). Records are returned in ascending shard-index
+ * order. Returns false only when the file cannot be opened.
+ */
+bool loadJournal(const std::string &path,
+                 std::vector<ShardOutcome> &records);
+
+/** Append-only journal writer; thread-safe, flushed per line. */
+class CampaignJournal
+{
+  public:
+    /**
+     * Open @p path for appending (created if missing). An empty path
+     * produces a disabled journal: ok() is false, append() a no-op.
+     */
+    explicit CampaignJournal(const std::string &path);
+
+    bool ok() const { return _out.is_open() && _out.good(); }
+
+    /** Append one line + '\n' and flush. */
+    void append(const std::string &line);
+
+  private:
+    std::mutex _mutex;
+    std::ofstream _out;
+};
+
+} // namespace drf
+
+#endif // DRF_CAMPAIGN_JOURNAL_HH

@@ -1,0 +1,661 @@
+#include "campaign/supervisor.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DRF_SUPERVISOR_HAVE_FORK 1
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define DRF_SUPERVISOR_HAVE_FORK 0
+#endif
+
+#include "campaign/campaign_json.hh"
+#include "campaign/journal.hh"
+#include "campaign/thread_pool.hh"
+#include "trace/repro.hh"
+#include "trace/trace_file.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+thread_local unsigned t_shardAttempt = 1;
+
+// Set by the signal handler; polled by the watchdog thread. Async-
+// signal-safe by construction (one relaxed atomic store).
+std::atomic<int> g_signalCaught{0};
+
+void
+onTerminationSignal(int sig)
+{
+    g_signalCaught.store(sig, std::memory_order_relaxed);
+}
+
+/** RAII SIGINT/SIGTERM handler installation (no-op when disabled). */
+class SignalGuard
+{
+  public:
+    explicit SignalGuard(bool enable) : _enabled(enable)
+    {
+        if (!_enabled)
+            return;
+        g_signalCaught.store(0, std::memory_order_relaxed);
+        _oldInt = std::signal(SIGINT, onTerminationSignal);
+        _oldTerm = std::signal(SIGTERM, onTerminationSignal);
+    }
+
+    ~SignalGuard()
+    {
+        if (!_enabled)
+            return;
+        std::signal(SIGINT, _oldInt == SIG_ERR ? SIG_DFL : _oldInt);
+        std::signal(SIGTERM, _oldTerm == SIG_ERR ? SIG_DFL : _oldTerm);
+    }
+
+    SignalGuard(const SignalGuard &) = delete;
+    SignalGuard &operator=(const SignalGuard &) = delete;
+
+  private:
+    bool _enabled;
+    void (*_oldInt)(int) = SIG_DFL;
+    void (*_oldTerm)(int) = SIG_DFL;
+};
+
+/** One shard attempt under watch: its deadline and how to reap it. */
+struct WatchedTask
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;     ///< attempt finished (any way)
+    bool timedOut = false; ///< reaped by the watchdog
+    Clock::time_point deadline{};
+#if DRF_SUPERVISOR_HAVE_FORK
+    pid_t childPid = -1; ///< fork mode: the child to SIGKILL
+#endif
+    ShardOutcome outcome; ///< in-process mode result slot
+};
+
+/** Shared supervisor state threaded through workers + watchdog. */
+struct SupervisorState
+{
+    const SupervisorConfig &cfg;
+    ShardMerge merge;
+    ThreadPool *pool = nullptr;
+
+    std::mutex watchMutex;
+    std::vector<std::shared_ptr<WatchedTask>> watched;
+
+    std::atomic<bool> shutdown{false};
+    bool interruptHandled = false; ///< watchdog thread only
+};
+
+void
+registerTask(SupervisorState &st,
+             const std::shared_ptr<WatchedTask> &task)
+{
+    std::lock_guard<std::mutex> lock(st.watchMutex);
+    st.watched.push_back(task);
+}
+
+void
+markTaskDone(const std::shared_ptr<WatchedTask> &task)
+{
+    std::lock_guard<std::mutex> lock(task->mutex);
+    task->done = true;
+}
+
+/**
+ * The supervisor watchdog: scans deadlines (reaping overdue attempts)
+ * and turns a caught termination signal into a graceful shutdown —
+ * queued shards cancelled wholesale, running shards left to finish.
+ */
+void
+watchdogLoop(SupervisorState &st)
+{
+    while (!st.shutdown.load(std::memory_order_acquire)) {
+        if (st.cfg.handleSignals &&
+            g_signalCaught.load(std::memory_order_relaxed) != 0 &&
+            !st.interruptHandled) {
+            st.interruptHandled = true;
+            st.merge.markInterrupted();
+            st.merge.addSkipped(st.pool->cancelPending());
+        }
+
+        Clock::time_point now = Clock::now();
+        {
+            std::lock_guard<std::mutex> lock(st.watchMutex);
+            for (auto &task : st.watched) {
+                std::lock_guard<std::mutex> tl(task->mutex);
+                if (task->done || task->timedOut)
+                    continue;
+                if (now < task->deadline)
+                    continue;
+                task->timedOut = true;
+#if DRF_SUPERVISOR_HAVE_FORK
+                if (task->childPid > 0)
+                    ::kill(task->childPid, SIGKILL);
+#endif
+                task->cv.notify_all();
+            }
+            st.watched.erase(
+                std::remove_if(st.watched.begin(), st.watched.end(),
+                               [](const auto &task) {
+                                   std::lock_guard<std::mutex> tl(
+                                       task->mutex);
+                                   return task->done;
+                               }),
+                st.watched.end());
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+/** Build a host-level outcome (no stats, no grids — just triage). */
+ShardOutcome
+hostOutcome(const ShardSpec &spec, std::size_t index, unsigned attempt,
+            FailureClass cls, std::string report)
+{
+    ShardOutcome out;
+    out.name = spec.name;
+    out.seed = spec.seed;
+    out.index = index;
+    out.attempts = attempt;
+    out.result.passed = false;
+    out.result.failureClass = cls;
+    out.result.report = std::move(report);
+    return out;
+}
+
+/**
+ * In-process exception barrier: run the shard on the calling thread,
+ * converting escapes into host triage (uncaught throw -> HostCrash,
+ * bad_alloc -> ResourceExhausted, ResourceExhaustedError -> retriable).
+ */
+ShardOutcome
+runInProcess(const ShardSpec &spec, std::size_t index, unsigned attempt)
+{
+    t_shardAttempt = attempt;
+    ShardOutcome out;
+    try {
+        out = spec.run();
+    } catch (const ResourceExhaustedError &e) {
+        out = hostOutcome(spec, index, attempt,
+                          FailureClass::ResourceExhausted, e.what());
+    } catch (const std::bad_alloc &) {
+        out = hostOutcome(spec, index, attempt,
+                          FailureClass::ResourceExhausted,
+                          "shard ran out of memory (std::bad_alloc)");
+    } catch (const std::exception &e) {
+        out = hostOutcome(spec, index, attempt, FailureClass::HostCrash,
+                          std::string("uncaught shard exception: ") +
+                              e.what());
+    } catch (...) {
+        out = hostOutcome(spec, index, attempt, FailureClass::HostCrash,
+                          "uncaught shard exception of unknown type");
+    }
+    t_shardAttempt = 1;
+    if (out.name.empty())
+        out.name = spec.name;
+    out.seed = spec.seed;
+    out.index = index;
+    out.attempts = attempt;
+    return out;
+}
+
+/**
+ * In-process attempt with a wall-clock deadline: the shard runs on a
+ * dedicated thread; on timeout the thread is abandoned (detached) and
+ * the shard becomes a HostTimeout. The thread owns copies of everything
+ * it touches (spec, task), so abandoning it is safe — it can only
+ * waste one core until the process exits, which is the best that can
+ * be done for a truly wedged shard without process isolation.
+ */
+ShardOutcome
+runWithDeadline(SupervisorState &st, const ShardSpec &spec,
+                std::size_t index, unsigned attempt)
+{
+    auto task = std::make_shared<WatchedTask>();
+    task->deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                st.cfg.shardTimeoutSeconds));
+    registerTask(st, task);
+
+    std::thread worker([task, spec, index, attempt]() {
+        ShardOutcome out = runInProcess(spec, index, attempt);
+        std::lock_guard<std::mutex> lock(task->mutex);
+        task->outcome = std::move(out);
+        task->done = true;
+        task->cv.notify_all();
+    });
+
+    std::unique_lock<std::mutex> lock(task->mutex);
+    task->cv.wait(lock,
+                  [&] { return task->done || task->timedOut; });
+    if (task->done) {
+        lock.unlock();
+        worker.join();
+        return std::move(task->outcome);
+    }
+    lock.unlock();
+    worker.detach();
+    return hostOutcome(
+        spec, index, attempt, FailureClass::HostTimeout,
+        "shard exceeded its wall-clock deadline (" +
+            std::to_string(st.cfg.shardTimeoutSeconds) +
+            " s); worker thread abandoned");
+}
+
+#if DRF_SUPERVISOR_HAVE_FORK
+
+// Serializes the pipe()+fork()+close() window so a concurrently forked
+// child can never inherit another shard's pipe write end (which would
+// keep that shard's parent blocked on read() past its child's death).
+std::mutex g_forkMutex;
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::string
+readAll(int fd)
+{
+    std::string data;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break;
+        data.append(buf, static_cast<std::size_t>(n));
+    }
+    return data;
+}
+
+/**
+ * Fork-isolated attempt: the child runs the shard under the in-process
+ * barrier and reports the outcome over a pipe as one journal-format
+ * line; the parent triages the wait status. Anything that kills the
+ * child — segfault, abort, a sanitizer's _exit(1) — is a HostCrash; a
+ * watchdog SIGKILL is a HostTimeout; fork/pipe trouble or a torn
+ * outcome line is ResourceExhausted (retriable).
+ */
+ShardOutcome
+runForked(SupervisorState &st, const ShardSpec &spec, std::size_t index,
+          unsigned attempt)
+{
+    int fds[2] = {-1, -1};
+    pid_t pid = -1;
+    {
+        std::lock_guard<std::mutex> lock(g_forkMutex);
+        if (::pipe(fds) != 0) {
+            return hostOutcome(spec, index, attempt,
+                               FailureClass::ResourceExhausted,
+                               std::string("pipe() failed: ") +
+                                   std::strerror(errno));
+        }
+        t_shardAttempt = attempt; // inherited across fork()
+        pid = ::fork();
+        if (pid == 0) {
+            // Child: run the shard, ship the outcome, _exit without
+            // running atexit/static destructors (the parent owns them).
+            ::close(fds[0]);
+            ShardOutcome out = runInProcess(spec, index, attempt);
+            std::string line = shardOutcomeToJson(out);
+            line.push_back('\n');
+            writeAll(fds[1], line);
+            ::close(fds[1]);
+            ::_exit(0);
+        }
+        t_shardAttempt = 1;
+        ::close(fds[1]);
+        if (pid < 0) {
+            ::close(fds[0]);
+            return hostOutcome(spec, index, attempt,
+                               FailureClass::ResourceExhausted,
+                               std::string("fork() failed: ") +
+                                   std::strerror(errno));
+        }
+    }
+
+    auto task = std::make_shared<WatchedTask>();
+    task->childPid = pid;
+    if (st.cfg.shardTimeoutSeconds > 0.0) {
+        task->deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   st.cfg.shardTimeoutSeconds));
+        registerTask(st, task);
+    }
+
+    // Drain before waitpid so a chatty child can't deadlock on a full
+    // pipe; EOF arrives when the child exits or is killed.
+    std::string data = readAll(fds[0]);
+    ::close(fds[0]);
+
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+    markTaskDone(task);
+
+    bool timed_out;
+    {
+        std::lock_guard<std::mutex> lock(task->mutex);
+        timed_out = task->timedOut;
+    }
+    if (timed_out) {
+        return hostOutcome(
+            spec, index, attempt, FailureClass::HostTimeout,
+            "shard exceeded its wall-clock deadline (" +
+                std::to_string(st.cfg.shardTimeoutSeconds) +
+                " s); child process killed");
+    }
+    if (WIFSIGNALED(status)) {
+        return hostOutcome(spec, index, attempt,
+                           FailureClass::HostCrash,
+                           "shard child terminated by signal " +
+                               std::to_string(WTERMSIG(status)));
+    }
+    if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        return hostOutcome(
+            spec, index, attempt, FailureClass::HostCrash,
+            "shard child exited with status " +
+                std::to_string(WEXITSTATUS(status)) +
+                " (crash handler or sanitizer abort)");
+    }
+
+    ShardOutcome out;
+    std::string line = data.substr(0, data.find('\n'));
+    if (!parseShardOutcome(line, out)) {
+        return hostOutcome(spec, index, attempt,
+                           FailureClass::ResourceExhausted,
+                           "shard child produced no parseable outcome "
+                           "(torn pipe write)");
+    }
+    out.index = index;
+    out.attempts = attempt;
+    return out;
+}
+
+#endif // DRF_SUPERVISOR_HAVE_FORK
+
+/** Dispatch one attempt to the configured isolation mode. */
+ShardOutcome
+runAttempt(SupervisorState &st, const ShardSpec &spec, std::size_t index,
+           unsigned attempt)
+{
+#if DRF_SUPERVISOR_HAVE_FORK
+    if (st.cfg.forkIsolation)
+        return runForked(st, spec, index, attempt);
+#endif
+    if (st.cfg.shardTimeoutSeconds > 0.0)
+        return runWithDeadline(st, spec, index, attempt);
+    return runInProcess(spec, index, attempt);
+}
+
+/** Run one shard to a final outcome: attempts + transient retries. */
+ShardOutcome
+runShardSupervised(SupervisorState &st, ShardSpec &spec,
+                   std::size_t index)
+{
+    // Apply the simulation event budget by rebuilding the runner from
+    // the preset (note: this replaces any wrapper around run()).
+    if (st.cfg.shardEventBudget != 0 && spec.gpuPreset) {
+        GpuTestPreset preset = *spec.gpuPreset;
+        preset.tester.eventBudget = st.cfg.shardEventBudget;
+        ShardSpec budgeted = gpuShard(preset);
+        spec.run = std::move(budgeted.run);
+        spec.gpuPreset = std::move(budgeted.gpuPreset);
+    }
+
+    unsigned attempt = 1;
+    for (;;) {
+        ShardOutcome out = runAttempt(st, spec, index, attempt);
+        bool transient = out.result.failureClass ==
+                         FailureClass::ResourceExhausted;
+        if (transient && attempt <= st.cfg.maxRetries &&
+            !st.merge.stopRequested()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<std::uint64_t>(st.cfg.retryBackoffMs)
+                << (attempt - 1)));
+            ++attempt;
+            continue;
+        }
+        out.attempts = attempt;
+        return out;
+    }
+}
+
+std::string
+sanitizeFileName(const std::string &name)
+{
+    std::string out = name;
+    for (char &c : out) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return out;
+}
+
+/**
+ * Re-record a DRFTRC01 repro trace for a failing shard with preset
+ * provenance. Protocol-level failures re-record in-process (they are
+ * deterministic and bounded). Host-level failures re-record inside a
+ * bounded forked child when fork isolation is on; without fork
+ * isolation a JSON stub preserving preset + seed is written instead —
+ * re-running a shard that just hung the host in-process could hang the
+ * supervisor itself.
+ */
+void
+captureRepro(const SupervisorConfig &cfg, const ShardSpec &spec,
+             const ShardOutcome &out)
+{
+    if (cfg.reproDir.empty() || out.result.passed || !spec.gpuPreset)
+        return;
+#if DRF_SUPERVISOR_HAVE_FORK
+    ::mkdir(cfg.reproDir.c_str(), 0777); // best effort
+#endif
+    std::string base = cfg.reproDir + "/" + sanitizeFileName(out.name);
+    bool host = isHostFailureClass(out.result.failureClass);
+
+    if (!host) {
+        ReproTrace trace = recordGpuRun(*spec.gpuPreset);
+        saveTraceFile(base + ".trace", trace);
+        return;
+    }
+
+#if DRF_SUPERVISOR_HAVE_FORK
+    if (cfg.forkIsolation) {
+        pid_t pid = -1;
+        {
+            std::lock_guard<std::mutex> lock(g_forkMutex);
+            pid = ::fork();
+        }
+        if (pid == 0) {
+            // Bound the re-record: SIGALRM's default action kills the
+            // child if the preset itself hangs.
+            double timeout = cfg.shardTimeoutSeconds;
+            unsigned cap = static_cast<unsigned>(
+                std::max(5.0, 2.0 * std::max(0.0, timeout)));
+            ::alarm(cap);
+            ReproTrace trace = recordGpuRun(*spec.gpuPreset);
+            saveTraceFile(base + ".trace", trace);
+            ::_exit(0);
+        }
+        if (pid > 0) {
+            int status = 0;
+            while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+        }
+        return;
+    }
+#endif
+
+    // In-process host failure: preserve identity without re-running.
+    JsonWriter w;
+    w.beginObject();
+    w.key("kind").value("hostfail_stub");
+    w.key("name").value(out.name);
+    w.key("seed").value(out.seed);
+    w.key("preset").value(spec.gpuPreset->name);
+    w.key("failure_class")
+        .value(failureClassName(out.result.failureClass));
+    w.key("report").value(out.result.report);
+    w.endObject();
+    std::ofstream stub(base + ".hostfail.json");
+    stub << w.str() << '\n';
+}
+
+} // namespace
+
+unsigned
+currentShardAttempt()
+{
+    return t_shardAttempt;
+}
+
+CampaignResult
+runSupervisedCampaign(std::vector<ShardSpec> shards,
+                      const SupervisorConfig &cfg)
+{
+    SupervisorState st{cfg, ShardMerge(cfg.campaign, shards.size())};
+
+    // Resume: adopt journaled outcomes for shards whose identity
+    // matches. Host-level outcomes are *not* adopted — they describe
+    // the previous host environment, not the deterministic simulation,
+    // so those shards get re-executed.
+    std::vector<bool> resumed(shards.size(), false);
+    std::vector<ShardOutcome> adopted;
+    if (cfg.resume && !cfg.journalPath.empty()) {
+        std::vector<ShardOutcome> records;
+        if (loadJournal(cfg.journalPath, records)) {
+            for (ShardOutcome &rec : records) {
+                if (rec.index >= shards.size())
+                    continue;
+                const ShardSpec &spec = shards[rec.index];
+                if (rec.name != spec.name || rec.seed != spec.seed)
+                    continue;
+                if (isHostFailureClass(rec.result.failureClass))
+                    continue;
+                resumed[rec.index] = true;
+                adopted.push_back(std::move(rec));
+            }
+        }
+    }
+
+    unsigned jobs =
+        cfg.campaign.jobs != 0 ? cfg.campaign.jobs
+                               : ThreadPool::defaultThreads();
+    if (!shards.empty())
+        jobs = std::min<unsigned>(
+            jobs, static_cast<unsigned>(shards.size()));
+    st.merge.setJobs(jobs);
+
+    // Open for appending only after the resume pass read the file.
+    CampaignJournal journal(cfg.journalPath);
+    if (journal.ok()) {
+        JsonWriter header;
+        header.beginObject();
+        header.key("v").value(1);
+        header.key("kind").value("header");
+        header.key("shards_planned")
+            .value(static_cast<std::uint64_t>(shards.size()));
+        header.key("resumed")
+            .value(static_cast<std::uint64_t>(adopted.size()));
+        header.endObject();
+        journal.append(header.str());
+    }
+
+    // Merge adopted shards first, in index order (loadJournal returns
+    // them sorted), so the aggregates a resumed run produces are the
+    // same commutative sums an uninterrupted run would build.
+    for (ShardOutcome &rec : adopted)
+        st.merge.add(std::move(rec), 0.0, /*resumed=*/true);
+
+    if (shards.empty())
+        return st.merge.take(0.0);
+
+    SignalGuard signals(cfg.handleSignals);
+    Clock::time_point start = Clock::now();
+    {
+        ThreadPool pool(jobs);
+        st.pool = &pool;
+        std::thread watchdog([&st] { watchdogLoop(st); });
+
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            if (resumed[i])
+                continue;
+            pool.submit([&st, &cfg, &journal, start, i,
+                         spec = std::move(shards[i])]() mutable {
+                if (st.merge.stopRequested()) {
+                    st.merge.addSkipped();
+                    return;
+                }
+                ShardOutcome out = runShardSupervised(st, spec, i);
+                captureRepro(cfg, spec, out);
+                if (journal.ok())
+                    journal.append(shardOutcomeToJson(out));
+                st.merge.add(std::move(out), secondsSince(start));
+            });
+        }
+        pool.waitIdle();
+
+        st.shutdown.store(true, std::memory_order_release);
+        watchdog.join();
+        st.pool = nullptr;
+    }
+
+    // The watchdog may have been past its signal check when a late
+    // signal arrived; make sure the flag is reflected either way.
+    if (cfg.handleSignals &&
+        g_signalCaught.load(std::memory_order_relaxed) != 0)
+        st.merge.markInterrupted();
+
+    return st.merge.take(secondsSince(start));
+}
+
+} // namespace drf

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Resilient campaign supervision: shard isolation, hang/crash triage,
+ * bounded retry, and checkpoint/resume.
+ *
+ * runCampaign (campaign.hh) assumes every shard is a well-behaved
+ * function. The supervisor drops that assumption and makes each shard a
+ * fault-contained unit, so a campaign left running unattended for hours
+ * survives anything a single shard does to its host:
+ *
+ *  - Isolation. Every attempt runs under an exception barrier that
+ *    turns an uncaught throw into FailureClass::HostCrash and
+ *    std::bad_alloc into ResourceExhausted. With forkIsolation (POSIX),
+ *    the attempt runs in a forked child that reports its outcome over a
+ *    pipe using the journal line format — a segfault or sanitizer abort
+ *    kills only the child and is triaged as HostCrash with the seed
+ *    preserved. On platforms without fork() the flag degrades to the
+ *    in-process barrier.
+ *
+ *  - Reaping. A watchdog thread enforces a per-shard wall-clock
+ *    deadline (shardTimeoutSeconds): an overdue forked child is
+ *    SIGKILLed, an overdue in-process shard is abandoned on its
+ *    (detached) worker thread; either way the shard becomes a
+ *    HostTimeout outcome and the campaign keeps going. The simulation
+ *    event budget (shardEventBudget) complements it deterministically
+ *    from inside the simulation — a livelocked shard that stays busy
+ *    without finishing exhausts the budget and self-reports
+ *    HostTimeout. Both complement the in-sim forward-progress watchdog,
+ *    which can only see a *stuck* request, not a stuck host.
+ *
+ *  - Retry. Only ResourceExhausted outcomes (fork/pipe failure, OOM,
+ *    torn pipe output, injected transient faults) are retried, up to
+ *    maxRetries with exponential backoff, re-running the *same*
+ *    (config, seed) so determinism is preserved. Protocol-level
+ *    failures are verdicts about the simulated system — deterministic
+ *    per seed — and are never retried; neither are HostCrash or
+ *    HostTimeout, which a retry would just reproduce (or worse, mask).
+ *
+ *  - Checkpointing. With journalPath set, every completed shard is
+ *    appended to an append-only JSONL journal (journal.hh). SIGINT and
+ *    SIGTERM (handleSignals) trigger a graceful shutdown: queued shards
+ *    are cancelled wholesale, running shards finish and are journaled,
+ *    and the result is marked interrupted. resume loads the journal,
+ *    merges completed shards in index order without re-running them,
+ *    and re-executes only shards that are missing or whose journaled
+ *    outcome was host-level (a crash/hang describes the old host
+ *    environment, not the deterministic simulation, so resume gives
+ *    them a fresh chance). Because all aggregates are commutative sums
+ *    and grid unions built by the shared ShardMerge, a resumed
+ *    campaign's aggregates are bit-identical to an uninterrupted run's
+ *    (wall-clock and completion-order fields excepted).
+ *
+ *  - Repro capture. Any failing shard with preset provenance
+ *    (ShardSpec::gpuPreset) gets a DRFTRC01 trace re-recorded into
+ *    reproDir, feeding tools/shrink_repro; host-level failures under
+ *    fork isolation re-record inside a bounded child, and in-process
+ *    host failures fall back to a JSON stub preserving preset + seed.
+ *
+ * The supervisor's own test harness is the host-fault injector
+ * (host_fault.hh), which deterministically makes designated shards
+ * crash, hang, or fail transiently — mirroring how proto/fault.hh
+ * validates the tester itself.
+ */
+
+#ifndef DRF_CAMPAIGN_SUPERVISOR_HH
+#define DRF_CAMPAIGN_SUPERVISOR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+
+namespace drf
+{
+
+/**
+ * Transient host-level failure (fork/OOM/IO). Shards may throw it to
+ * signal "the host environment failed me, the same (config, seed) may
+ * well succeed"; the supervisor triages it as
+ * FailureClass::ResourceExhausted and retries.
+ */
+class ResourceExhaustedError : public std::runtime_error
+{
+  public:
+    explicit ResourceExhaustedError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * 1-based attempt number of the supervised shard invocation running on
+ * the calling thread (1 outside a supervised shard, and always 1 under
+ * plain runCampaign). Deterministic across isolation modes: the
+ * supervisor sets it before invoking the shard, and fork() clones the
+ * calling thread, so a shard child observes the same value. The
+ * host-fault injector keys its transient faults on it.
+ */
+unsigned currentShardAttempt();
+
+/** Supervision policy on top of a CampaignConfig. */
+struct SupervisorConfig
+{
+    CampaignConfig campaign;
+
+    /** Run each attempt in a forked child (POSIX; falls back to the
+     *  in-process barrier elsewhere). */
+    bool forkIsolation = false;
+
+    /** Per-shard wall-clock deadline in seconds; <= 0 disables. */
+    double shardTimeoutSeconds = 0.0;
+
+    /** Per-shard simulation event budget; 0 disables. Applied through
+     *  ShardSpec::gpuPreset (shards without provenance are unaffected). */
+    std::uint64_t shardEventBudget = 0;
+
+    /** Retries after a transient (ResourceExhausted) failure. */
+    unsigned maxRetries = 2;
+
+    /** Backoff before retry N is retryBackoffMs << (N - 1). */
+    unsigned retryBackoffMs = 10;
+
+    /** Append-only JSONL journal path; empty disables checkpointing. */
+    std::string journalPath;
+
+    /** Load journalPath first and skip completed shards. */
+    bool resume = false;
+
+    /** Directory for repro traces of failing shards; empty disables. */
+    std::string reproDir;
+
+    /** Install SIGINT/SIGTERM handlers for graceful shutdown (restored
+     *  on return). Off by default: embedding processes own their
+     *  signal dispositions unless they opt in. */
+    bool handleSignals = false;
+};
+
+/**
+ * Run @p shards under supervision. Blocks until every shard completed,
+ * was skipped by an early stop, or the campaign was interrupted.
+ */
+CampaignResult runSupervisedCampaign(std::vector<ShardSpec> shards,
+                                     const SupervisorConfig &cfg);
+
+} // namespace drf
+
+#endif // DRF_CAMPAIGN_SUPERVISOR_HH

@@ -64,6 +64,28 @@ ThreadPool::waitIdle()
     });
 }
 
+std::size_t
+ThreadPool::cancelPending()
+{
+    std::size_t dropped = 0;
+    for (auto &worker : _workers) {
+        std::deque<Job> victims;
+        {
+            std::lock_guard<std::mutex> lock(worker->mutex);
+            victims.swap(worker->jobs);
+        }
+        // Destroy the captured state outside the worker lock.
+        dropped += victims.size();
+    }
+    if (dropped != 0 &&
+        _inFlight.fetch_sub(dropped, std::memory_order_acq_rel) ==
+            dropped) {
+        std::lock_guard<std::mutex> lock(_sleepMutex);
+        _idle.notify_all();
+    }
+    return dropped;
+}
+
 bool
 ThreadPool::popOwn(unsigned idx, Job &out)
 {

@@ -59,6 +59,15 @@ class ThreadPool
     /** Block until every submitted job has finished. */
     void waitIdle();
 
+    /**
+     * Drop every queued-but-unstarted job and return how many were
+     * dropped. Jobs already executing finish normally. The campaign
+     * supervisor uses this for SIGINT/SIGTERM graceful shutdown: the
+     * queue empties wholesale instead of each job being scheduled just
+     * to observe the stop flag.
+     */
+    std::size_t cancelPending();
+
     /** Hardware concurrency with a floor of 1. */
     static unsigned defaultThreads();
 

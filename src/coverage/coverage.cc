@@ -122,6 +122,15 @@ CoverageGrid::count(std::size_t event, std::size_t state) const
 }
 
 void
+CoverageGrid::setCount(std::size_t event, std::size_t state,
+                       std::uint64_t count)
+{
+    std::uint64_t &slot = _counts[_spec->cell(event, state)];
+    _totalHits += count - slot;
+    slot = count;
+}
+
+void
 CoverageGrid::merge(const CoverageGrid &other)
 {
     assert(_spec == other._spec && "merging grids over different specs");

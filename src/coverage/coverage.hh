@@ -126,6 +126,16 @@ class CoverageGrid
     /** Hit count of one cell. */
     std::uint64_t count(std::size_t event, std::size_t state) const;
 
+    /**
+     * Overwrite one cell's hit count, adjusting totalHits by the delta.
+     * Deserialization hook: the campaign journal and the fork-isolation
+     * pipe rebuild shard grids cell-by-cell (src/campaign/journal.cc);
+     * exact counts — not just the active set — keep resumed aggregates
+     * bit-identical to an uninterrupted run.
+     */
+    void setCount(std::size_t event, std::size_t state,
+                  std::uint64_t count);
+
     /** Total transition activations recorded. */
     std::uint64_t totalHits() const { return _totalHits; }
 

@@ -18,4 +18,15 @@ faultKindName(FaultKind kind)
     return "?";
 }
 
+std::optional<FaultKind>
+parseFaultKind(const std::string &name)
+{
+    for (std::uint32_t i = 0; i < faultKindCount; ++i) {
+        FaultKind kind = static_cast<FaultKind>(i);
+        if (name == faultKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
 } // namespace drf

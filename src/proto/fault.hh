@@ -12,6 +12,8 @@
 #define DRF_PROTO_FAULT_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "sim/random.hh"
 #include "sim/types.hh"
@@ -60,8 +62,18 @@ enum class FaultKind
     DropWriteAck,
 };
 
+/** Number of FaultKind values (for CLI / trace-header range checks). */
+inline constexpr std::uint32_t faultKindCount = 6;
+
 /** Printable bug name. */
 const char *faultKindName(FaultKind kind);
+
+/**
+ * Inverse of faultKindName: parse a bug name from a CLI flag or trace
+ * header. Returns nullopt for misspelled/unknown names so callers fail
+ * loudly instead of silently arming the wrong (or no) fault.
+ */
+std::optional<FaultKind> parseFaultKind(const std::string &name);
 
 /**
  * Shared fault-injection policy: which bug is armed and how often it
@@ -72,15 +84,23 @@ class FaultInjector
   public:
     /**
      * @param kind        Armed bug (None disables everything).
-     * @param trigger_pct Probability in percent that an armed site fires.
+     * @param trigger_pct Probability in percent that an armed site
+     *                    fires; clamped to [0, 100]. (Random::pct treats
+     *                    any value > 100 as always-fire, so an unclamped
+     *                    typo like 1000 would silently arm a 100%
+     *                    trigger — clamping pins that behavior.)
      * @param seed        RNG seed.
      */
     FaultInjector(FaultKind kind, unsigned trigger_pct, std::uint64_t seed)
-        : _kind(kind), _triggerPct(trigger_pct), _rng(seed)
+        : _kind(kind), _triggerPct(trigger_pct > 100 ? 100 : trigger_pct),
+          _rng(seed)
     {}
 
     /** The armed bug. */
     FaultKind kind() const { return _kind; }
+
+    /** The effective (clamped) trigger probability in percent. */
+    unsigned triggerPct() const { return _triggerPct; }
 
     /**
      * Ask whether the bug @p kind should fire at this site. Only returns

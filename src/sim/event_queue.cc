@@ -76,9 +76,13 @@ EventQueue::executeNext()
 }
 
 bool
-EventQueue::run(Tick limit)
+EventQueue::run(Tick limit, std::uint64_t max_events)
 {
+    const std::uint64_t budget_end =
+        max_events != 0 ? _eventsExecuted + max_events : 0;
     while (pending() > 0) {
+        if (budget_end != 0 && _eventsExecuted >= budget_end)
+            return false;
         if (nextWhen() > limit) {
             _curTick = limit;
             return false;

@@ -113,13 +113,18 @@ class EventQueue
     }
 
     /**
-     * Run events until the queue drains or @p limit ticks is reached.
+     * Run events until the queue drains, @p limit ticks is reached, or
+     * @p max_events further events have executed.
      *
-     * @param limit Absolute tick bound (events at exactly @p limit still
-     *              run).
-     * @return true if the queue drained, false if the limit stopped us.
+     * @param limit      Absolute tick bound (events at exactly @p limit
+     *                   still run).
+     * @param max_events Event budget for this call; 0 means unbounded.
+     *                   The campaign supervisor uses it to bound a
+     *                   livelocked shard that keeps making "progress"
+     *                   without advancing toward completion.
+     * @return true if the queue drained, false if a bound stopped us.
      */
-    bool run(Tick limit = maxTick);
+    bool run(Tick limit = maxTick, std::uint64_t max_events = 0);
 
     /**
      * Run at most @p max_events events. Useful for incremental draining in

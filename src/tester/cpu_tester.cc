@@ -132,7 +132,8 @@ CpuTester::watchdogCheck()
 {
     Tick now = _sys.eventq().curTick();
     for (const auto &core : _cores) {
-        if (core.busy && now - core.issuedAt > _cfg.deadlockThreshold) {
+        if (core.busy &&
+            watchdogExpired(now, core.issuedAt, _cfg.deadlockThreshold)) {
             std::ostringstream os;
             os << "core " << core.coreId << " request to addr 0x"
                << std::hex << core.curAddr << std::dec
@@ -162,9 +163,17 @@ CpuTester::run()
             issueNext(core);
         _sys.eventq().scheduleAfter(_cfg.checkInterval,
                                     [this] { watchdogCheck(); });
-        bool drained = _sys.eventq().run(_cfg.runLimit);
+        bool drained =
+            _sys.eventq().run(_cfg.runLimit, _cfg.eventBudget);
         if (done()) {
             result.passed = true;
+        } else if (_cfg.eventBudget != 0 &&
+                   _sys.eventq().eventsExecuted() >= _cfg.eventBudget) {
+            result.passed = false;
+            result.failureClass = FailureClass::HostTimeout;
+            result.report = "simulation event budget (" +
+                            std::to_string(_cfg.eventBudget) +
+                            " events) exhausted before completion";
         } else {
             result.passed = false;
             result.failureClass = FailureClass::LostProgress;

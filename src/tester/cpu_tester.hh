@@ -38,9 +38,15 @@ struct CpuTesterConfig
     unsigned storePct = 50;
     std::uint64_t seed = 1;
 
+    /** Forward-progress bound; strictly-longer-than semantics (see
+     *  watchdogExpired in tester_failure.hh). */
     Tick deadlockThreshold = 1'000'000;
     Tick checkInterval = 50'000;
     Tick runLimit = 2'000'000'000;
+
+    /** Simulation event budget (HostTimeout when exhausted); 0 = off.
+     *  Supervision knob, same semantics as GpuTesterConfig's. */
+    std::uint64_t eventBudget = 0;
 };
 
 /**

@@ -403,7 +403,7 @@ GpuTester::watchdogCheck()
 {
     Tick now = _sys.eventq().curTick();
     for (const auto &[id, req] : _outstanding) {
-        if (now - req.issued > _cfg.deadlockThreshold) {
+        if (watchdogExpired(now, req.issued, _cfg.deadlockThreshold)) {
             std::ostringstream os;
             os << "request outstanding for " << (now - req.issued)
                << " cycles (threshold " << _cfg.deadlockThreshold
@@ -433,9 +433,19 @@ GpuTester::run()
             startEpisode(wf);
         _sys.eventq().scheduleAfter(_cfg.checkInterval,
                                     [this] { watchdogCheck(); });
-        bool drained = _sys.eventq().run(_cfg.runLimit);
+        bool drained =
+            _sys.eventq().run(_cfg.runLimit, _cfg.eventBudget);
         if (allDone()) {
             result.passed = true;
+        } else if (_cfg.eventBudget != 0 &&
+                   _sys.eventq().eventsExecuted() >= _cfg.eventBudget) {
+            // Supervisor budget, not a protocol verdict: the shard kept
+            // executing events without finishing inside its allowance.
+            result.passed = false;
+            result.failureClass = FailureClass::HostTimeout;
+            result.report = "simulation event budget (" +
+                            std::to_string(_cfg.eventBudget) +
+                            " events) exhausted before completion";
         } else {
             result.passed = false;
             result.failureClass = FailureClass::LostProgress;

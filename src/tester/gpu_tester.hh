@@ -62,9 +62,22 @@ struct GpuTesterConfig
 
     std::uint64_t seed = 1;
 
-    Tick deadlockThreshold = 1'000'000; ///< forward-progress bound
-    Tick checkInterval = 50'000;        ///< watchdog period
-    Tick runLimit = 2'000'000'000;      ///< absolute simulation bound
+    /**
+     * Forward-progress bound: a request outstanding *strictly longer*
+     * than this many cycles trips the watchdog (exactly the threshold
+     * is still legal; see watchdogExpired in tester_failure.hh).
+     */
+    Tick deadlockThreshold = 1'000'000;
+    Tick checkInterval = 50'000;   ///< watchdog period
+    Tick runLimit = 2'000'000'000; ///< absolute simulation bound
+
+    /**
+     * Simulation event budget: abort the run (FailureClass::HostTimeout)
+     * once this many events executed; 0 = unlimited. A supervision knob
+     * (src/campaign/supervisor.hh), not part of a preset's identity —
+     * deliberately not serialized into DRFTRC01 trace headers.
+     */
+    std::uint64_t eventBudget = 0;
 
     // Trace record/replay hooks (non-owning; see src/trace/). Neither
     // pointer is part of a preset's identity and both default to off.

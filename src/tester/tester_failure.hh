@@ -19,6 +19,8 @@
 #ifndef DRF_TESTER_TESTER_FAILURE_HH
 #define DRF_TESTER_TESTER_FAILURE_HH
 
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -26,7 +28,17 @@
 namespace drf
 {
 
-/** Coarse classification of a detected failure. */
+/**
+ * Coarse classification of a detected failure.
+ *
+ * The first group is the paper's protocol-bug taxonomy: deterministic
+ * verdicts about the simulated system, bit-reproducible from the
+ * shard's (configuration, seed). The Host* group is the campaign
+ * supervisor's triage of the *testing process itself* (see
+ * src/campaign/supervisor.hh): it describes what happened to the host
+ * process running a shard, not the protocol under test, and is not
+ * reproducible from the seed alone.
+ */
 enum class FailureClass
 {
     None,            ///< the run passed
@@ -36,6 +48,14 @@ enum class FailureClass
     LostProgress,    ///< queue drained / run limit hit before completion
     ProtocolError,   ///< controller hit an undefined transition
     Other,           ///< anything else (unexpected response, ...)
+
+    // Host-level triage (campaign supervisor).
+    HostCrash,   ///< shard process/thread died: segfault, uncaught
+                 ///< throw, sanitizer abort, nonzero child exit
+    HostTimeout, ///< shard reaped: wall-clock deadline or simulation
+                 ///< event budget exhausted (livelock/hang)
+    ResourceExhausted, ///< transient host failure (fork/OOM/IO);
+                       ///< the supervisor retries these
 };
 
 /** Printable failure-class name. */
@@ -50,8 +70,57 @@ failureClassName(FailureClass c)
       case FailureClass::LostProgress: return "LostProgress";
       case FailureClass::ProtocolError: return "ProtocolError";
       case FailureClass::Other: return "Other";
+      case FailureClass::HostCrash: return "HostCrash";
+      case FailureClass::HostTimeout: return "HostTimeout";
+      case FailureClass::ResourceExhausted: return "ResourceExhausted";
     }
     return "?";
+}
+
+/** Number of FailureClass values (for serialization range checks). */
+inline constexpr std::uint32_t failureClassCount = 10;
+
+/**
+ * Inverse of failureClassName, for journal / trace-header round trips.
+ * Returns nullopt for unknown names instead of arming a bogus class.
+ */
+inline std::optional<FailureClass>
+parseFailureClass(const std::string &name)
+{
+    for (std::uint32_t i = 0; i < failureClassCount; ++i) {
+        FailureClass c = static_cast<FailureClass>(i);
+        if (name == failureClassName(c))
+            return c;
+    }
+    return std::nullopt;
+}
+
+/**
+ * True for the host-level (environment) classes — the supervisor's
+ * triage domain, as opposed to protocol verdicts about the simulated
+ * system. Host failures are never fed to the trace shrinker and only
+ * ResourceExhausted is retriable.
+ */
+constexpr bool
+isHostFailureClass(FailureClass c)
+{
+    return c == FailureClass::HostCrash ||
+           c == FailureClass::HostTimeout ||
+           c == FailureClass::ResourceExhausted;
+}
+
+/**
+ * Forward-progress watchdog boundary predicate shared by GpuTester and
+ * CpuTester: a request issued at @p issued violates the bound at
+ * @p now when it has been outstanding *strictly longer* than
+ * @p threshold ticks. Outstanding for exactly @p threshold ticks is
+ * still legal; one tick more trips the watchdog.
+ */
+constexpr bool
+watchdogExpired(std::uint64_t now, std::uint64_t issued,
+                std::uint64_t threshold)
+{
+    return now - issued > threshold;
 }
 
 /** Control-flow exception carrying a tester failure report. */

@@ -148,8 +148,14 @@ getSystemConfig(std::istream &is, ApuSystemConfig &c)
               getInt(is, c.xbarLatency) && getInt(is, c.memLatency) &&
               getInt(is, fault) && getInt(is, c.faultTriggerPct) &&
               getInt(is, c.faultSeed);
+    // Validate before casting: a corrupted or hand-edited header must
+    // not silently arm an out-of-range fault (the injector would treat
+    // the rogue value as "no site matches" and the replay would pass
+    // vacuously).
+    if (!ok || fault >= faultKindCount)
+        return false;
     c.fault = static_cast<FaultKind>(fault);
-    return ok;
+    return true;
 }
 
 void
@@ -217,9 +223,11 @@ getResult(std::istream &is, TesterResult &r)
               getInt(is, r.events) && getInt(is, r.episodes) &&
               getInt(is, r.loadsChecked) && getInt(is, r.storesRetired) &&
               getInt(is, r.atomicsChecked);
+    if (!ok || cls >= failureClassCount)
+        return false;
     r.passed = passed != 0;
     r.failureClass = static_cast<FailureClass>(cls);
-    return ok;
+    return true;
 }
 
 void

@@ -257,6 +257,9 @@ TEST(Campaign, JsonSummaryContainsKeyFields)
     EXPECT_EQ(json.back(), '}');
     for (const char *key :
          {"\"passed\":true", "\"shards_planned\":3", "\"shards_run\":3",
+          "\"shards_resumed\":0", "\"host_crashes\":0",
+          "\"host_timeouts\":0", "\"resource_exhausted\":0",
+          "\"retries\":0", "\"interrupted\":false",
           "\"total_events\":", "\"events_per_sec\":",
           "\"l1_union_pct\":", "\"saturation_curve\":[",
           "\"shard_name\":", "\"shard_seed\":", "\"shard_episodes\":",
@@ -266,6 +269,26 @@ TEST(Campaign, JsonSummaryContainsKeyFields)
         EXPECT_NE(json.find(key), std::string::npos)
             << "missing " << key << " in " << json;
     }
+}
+
+TEST(Campaign, JsonFirstFailureCarriesFailureClass)
+{
+    std::vector<ShardSpec> shards;
+    ShardSpec bad = syntheticShard("bad", 5, 10, false);
+    bad.run = [inner = bad.run]() {
+        ShardOutcome out = inner();
+        out.result.failureClass = FailureClass::ValueMismatch;
+        return out;
+    };
+    shards.push_back(std::move(bad));
+
+    CampaignConfig cfg;
+    cfg.jobs = 1;
+    CampaignResult res = runCampaign(std::move(shards), cfg);
+    std::string json = campaignToJson(res, "gpu_tester");
+    EXPECT_NE(json.find("\"failure_class\":\"ValueMismatch\""),
+              std::string::npos)
+        << json;
 }
 
 TEST(Campaign, CurveEpisodeAndActionCountsAreConsistent)

@@ -16,6 +16,7 @@
 
 #include "golden_digest.hh"
 #include "guidance/adaptive_campaign.hh"
+#include "proto/fault.hh"
 #include "tester/scenarios.hh"
 #include "tester/tester_failure.hh"
 
@@ -80,6 +81,44 @@ guidedCampaignFailureClass(FaultKind fault, CacheSizeClass cache_class)
 }
 
 } // namespace
+
+TEST(Fault, ParseFaultKindRoundTripsEveryKind)
+{
+    for (std::uint32_t i = 0; i < faultKindCount; ++i) {
+        FaultKind kind = static_cast<FaultKind>(i);
+        std::optional<FaultKind> parsed =
+            parseFaultKind(faultKindName(kind));
+        ASSERT_TRUE(parsed.has_value()) << faultKindName(kind);
+        EXPECT_EQ(*parsed, kind);
+    }
+}
+
+TEST(Fault, ParseFaultKindRejectsUnknownNames)
+{
+    EXPECT_FALSE(parseFaultKind("").has_value());
+    EXPECT_FALSE(parseFaultKind("LostWritethrough").has_value());
+    EXPECT_FALSE(parseFaultKind("lostwritethrough").has_value());
+    EXPECT_FALSE(parseFaultKind("None ").has_value());
+    EXPECT_FALSE(parseFaultKind("7").has_value());
+}
+
+TEST(Fault, InjectorClampsTriggerPctTo100)
+{
+    // Random::pct treats any percentage > 100 as always-fire, so an
+    // unclamped typo (1000) would silently behave like 100. The clamp
+    // pins that: the injector never reports an out-of-range rate.
+    FaultInjector typo(FaultKind::LostWriteThrough, 1000, 1);
+    EXPECT_EQ(typo.triggerPct(), 100u);
+
+    FaultInjector normal(FaultKind::LostWriteThrough, 35, 1);
+    EXPECT_EQ(normal.triggerPct(), 35u);
+
+    FaultInjector zero(FaultKind::LostWriteThrough, 0, 1);
+    EXPECT_EQ(zero.triggerPct(), 0u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(zero.fire(FaultKind::LostWriteThrough));
+    EXPECT_EQ(zero.firings(), 0u);
+}
 
 TEST(Fault, NoFaultPasses)
 {

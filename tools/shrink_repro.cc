@@ -49,6 +49,7 @@
 
 #include "campaign/campaign_json.hh"
 #include "guidance/adaptive_campaign.hh"
+#include "proto/fault.hh"
 #include "tester/configs.hh"
 #include "tester/scenarios.hh"
 #include "tester/tester_failure.hh"
@@ -161,13 +162,8 @@ parseCache(const std::string &name)
 FaultKind
 parseFault(const std::string &name)
 {
-    for (FaultKind kind :
-         {FaultKind::None, FaultKind::LostWriteThrough,
-          FaultKind::NonAtomicRmw, FaultKind::DropAcquireInvalidate,
-          FaultKind::DropGpuProbe, FaultKind::DropWriteAck}) {
-        if (name == faultKindName(kind))
-            return kind;
-    }
+    if (std::optional<FaultKind> kind = parseFaultKind(name))
+        return *kind;
     std::fprintf(stderr, "unknown fault kind: %s\n", name.c_str());
     std::exit(2);
 }
