@@ -215,6 +215,7 @@ main(int argc, char **argv)
         double speedup = 0.0;
         double episodesPerSec = 0.0;
         double eventsPerSec = 0.0;
+        bool scalingValid = false;
     };
     std::vector<ScalePoint> points;
     std::string campaign_json;
@@ -261,6 +262,11 @@ main(int argc, char **argv)
             res.wallSeconds > 0.0 ? serial_wall / res.wallSeconds : 0.0;
         p.episodesPerSec = res.episodesPerSec;
         p.eventsPerSec = res.eventsPerSec;
+        // A speedup number only means something when the host has slack
+        // beyond the worker count (SMT siblings and background load eat
+        // into anything tighter). Gates must skip speedup -- but keep
+        // gating events/s -- when this is false.
+        p.scalingValid = hw != 0 && hw >= 2 * jobs;
         points.push_back(p);
         std::printf("  jobs=%-3u wall %7.3f s  speedup %5.2fx  "
                     "%10.0f events/s\n",
@@ -290,6 +296,7 @@ main(int argc, char **argv)
         w.key("speedup_vs_serial").value(p.speedup);
         w.key("episodes_per_sec").value(p.episodesPerSec);
         w.key("events_per_sec").value(p.eventsPerSec);
+        w.key("scaling_valid").value(p.scalingValid);
         w.endObject();
     }
     w.endArray();

@@ -97,9 +97,10 @@ BM_EpisodeGeneration(benchmark::State &state)
     gcfg.lanes = 16;
     EpisodeGenerator gen(vmap, gcfg, rng);
 
+    Episode e;
     for (auto _ : state) {
-        Episode e = gen.generate(0);
-        benchmark::DoNotOptimize(e.actions.size());
+        gen.generateInto(e, 0);
+        benchmark::DoNotOptimize(e.numActions());
         gen.retire(e);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0) * 16);

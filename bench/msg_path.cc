@@ -89,7 +89,7 @@ class PingPong : public MsgReceiver
     }
 
     void
-    recvMsg(Packet pkt) override
+    recvMsg(Packet &pkt) override
     {
         ++received;
         if (received < limit)

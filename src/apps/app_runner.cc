@@ -28,8 +28,8 @@ AppRunner::AppRunner(ApuSystem &sys, AppTrace trace)
             /*requestor_base=*/cu * 100'000));
     }
 
-    sys.cpuCache(0).bindCoreResponse([this](Packet pkt) {
-        onCpuResponse(std::move(pkt));
+    sys.cpuCache(0).bindCoreResponse([this](Packet &&pkt) {
+        onCpuResponse(pkt);
     });
 }
 
@@ -61,7 +61,7 @@ AppRunner::issueCpuOp(unsigned slot)
 }
 
 void
-AppRunner::onCpuResponse(Packet pkt)
+AppRunner::onCpuResponse(Packet &pkt)
 {
     assert(_cpuInFlight > 0);
     --_cpuInFlight;

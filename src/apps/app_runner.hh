@@ -54,7 +54,7 @@ class AppRunner
     void hostPartDone();
     void startKernel(std::size_t kernel_idx);
     void issueCpuOp(unsigned slot);
-    void onCpuResponse(Packet pkt);
+    void onCpuResponse(Packet &pkt);
 
     ApuSystem &_sys;
     AppTrace _trace;

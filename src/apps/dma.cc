@@ -74,7 +74,7 @@ DmaEngine::pump()
 }
 
 void
-DmaEngine::recvMsg(Packet pkt)
+DmaEngine::recvMsg(Packet &pkt)
 {
     assert(pkt.type == MsgType::DmaReadResp ||
            pkt.type == MsgType::DmaWriteResp);

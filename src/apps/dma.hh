@@ -53,7 +53,7 @@ class DmaEngine : public SimObject, public MsgReceiver
     void writeRange(Addr base, unsigned lines, std::uint8_t fill,
                     DoneFunc on_done);
 
-    void recvMsg(Packet pkt) override;
+    void recvMsg(Packet &pkt) override;
 
     bool idle() const { return _inFlight == 0 && _queue.empty(); }
     StatGroup &stats() { return _stats; }

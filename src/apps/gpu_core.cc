@@ -11,8 +11,8 @@ GpuCoreModel::GpuCoreModel(std::string name, EventQueue &eq,
     : SimObject(std::move(name), eq), _cfg(cfg), _l1(l1),
       _requestorBase(requestor_base), _stats(SimObject::name())
 {
-    _l1.bindCoreResponse([this](Packet pkt) {
-        onResponse(std::move(pkt));
+    _l1.bindCoreResponse([this](Packet &&pkt) {
+        onResponse(pkt);
     });
 }
 
@@ -124,7 +124,7 @@ GpuCoreModel::step(unsigned wf_idx)
 }
 
 void
-GpuCoreModel::onResponse(Packet pkt)
+GpuCoreModel::onResponse(Packet &pkt)
 {
     unsigned wf_idx = (pkt.requestor - _requestorBase) / _cfg.lanes;
     WfState &wf = _wfs.at(wf_idx);

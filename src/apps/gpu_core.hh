@@ -101,7 +101,7 @@ class GpuCoreModel : public SimObject
 
     /** Advance one wavefront to its next instruction. */
     void step(unsigned wf_idx);
-    void onResponse(Packet pkt);
+    void onResponse(Packet &pkt);
     void wfFinished();
 
     GpuCoreConfig _cfg;

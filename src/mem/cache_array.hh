@@ -100,6 +100,17 @@ class CacheArray
      */
     std::vector<CacheEntry *> setEntries(Addr line_addr);
 
+    /**
+     * First way of @p line_addr's set. The set's @c assoc() ways are
+     * contiguous, so hot paths can walk them without the vector that
+     * setEntries() builds.
+     */
+    CacheEntry *setWays(Addr line_addr) { return setBase(line_addr); }
+    const CacheEntry *setWays(Addr line_addr) const
+    {
+        return setBase(line_addr);
+    }
+
   private:
     std::uint64_t setIndex(Addr line_addr) const;
     CacheEntry *setBase(Addr line_addr);

@@ -10,8 +10,11 @@ namespace drf
 SimpleMemory::SimpleMemory(std::string name, EventQueue &eq,
                            unsigned line_bytes, Tick latency)
     : SimObject(std::move(name), eq), _lineBytes(line_bytes),
-      _latency(latency), _stats(SimObject::name())
+      _latency(latency), _stats(SimObject::name()),
+      _cReads(&_stats.counter("reads")),
+      _cWrites(&_stats.counter("writes"))
 {
+    _store.reserve(1024);
 }
 
 LineData &
@@ -22,46 +25,44 @@ SimpleMemory::line(Addr line_addr)
 }
 
 void
-SimpleMemory::recvMsg(Packet pkt)
+SimpleMemory::recvMsg(Packet &pkt)
 {
     assert(_respond && "memory response callback not bound");
     assert(lineAlign(pkt.addr, _lineBytes) == pkt.addr &&
            "memory accessed at non-line granularity");
 
+    // The request packet is turned into the response in place; the only
+    // copy is the one into the response closure.
     if (pkt.type == MsgType::MemRead) {
-        _stats.counter("reads").inc();
-        Packet resp = pkt;
-        resp.type = MsgType::MemData;
-        resp.setLine(line(pkt.addr));
-        scheduleAfter(_latency, [this, resp]() mutable {
-            _respond(std::move(resp));
-        });
+        _cReads->inc();
+        pkt.type = MsgType::MemData;
+        pkt.setLine(line(pkt.addr));
     } else if (pkt.type == MsgType::MemWrite) {
-        _stats.counter("writes").inc();
+        _cWrites->inc();
         LineData &stored = line(pkt.addr);
         assert(pkt.dataLen == _lineBytes);
         for (unsigned i = 0; i < _lineBytes; ++i) {
             if (maskTest(pkt.mask, i))
                 stored[i] = pkt.data[i];
         }
-        Packet resp = pkt;
-        resp.type = MsgType::MemWBAck;
-        resp.clearData();
-        scheduleAfter(_latency, [this, resp]() mutable {
-            _respond(std::move(resp));
-        });
+        pkt.type = MsgType::MemWBAck;
+        pkt.clearData();
     } else {
         assert(false && "unexpected message type at memory");
+        return;
     }
+    scheduleAfter(_latency, [this, resp = pkt]() mutable {
+        _respond(std::move(resp));
+    });
 }
 
 LineData
 SimpleMemory::peekLine(Addr line_addr) const
 {
-    auto it = _store.find(line_addr);
-    if (it == _store.end())
+    const LineData *stored = _store.find(line_addr);
+    if (stored == nullptr)
         return LineData{};
-    return it->second;
+    return *stored;
 }
 
 void

@@ -12,11 +12,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/msg.hh"
 #include "mem/port.hh"
+#include "sim/flat_map.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -30,7 +30,7 @@ namespace drf
 class SimpleMemory : public SimObject, public MsgReceiver
 {
   public:
-    using RespFunc = std::function<void(Packet)>;
+    using RespFunc = std::function<void(Packet &&)>;
 
     /**
      * @param name       Instance name.
@@ -45,7 +45,7 @@ class SimpleMemory : public SimObject, public MsgReceiver
     void bindResponse(RespFunc fn) { _respond = std::move(fn); }
 
     /** Handle MemRead / MemWrite. */
-    void recvMsg(Packet pkt) override;
+    void recvMsg(Packet &pkt) override;
 
     /**
      * Debug/bootstrap access: read a full line without timing.
@@ -66,8 +66,12 @@ class SimpleMemory : public SimObject, public MsgReceiver
     unsigned _lineBytes;
     Tick _latency;
     RespFunc _respond;
-    std::unordered_map<Addr, LineData> _store;
+    FlatMap<LineData> _store; ///< keyed by line address, zero-filled
     StatGroup _stats;
+
+    // Hot-path counters, resolved once.
+    Counter *_cReads;
+    Counter *_cWrites;
 };
 
 } // namespace drf

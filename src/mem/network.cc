@@ -60,7 +60,7 @@ Crossbar::setTrace(TraceRecorder *trace)
 }
 
 void
-Crossbar::route(int src, int dst, Packet pkt, Tick extra_delay)
+Crossbar::route(int src, int dst, Packet &&pkt, Tick extra_delay)
 {
     int src_idx = indexOf(src);
     int dst_idx = indexOf(dst);
@@ -81,7 +81,7 @@ Crossbar::route(int src, int dst, Packet pkt, Tick extra_delay)
         ev.u32 = pkt.requestor;
         _trace->record(ev);
     }
-    channel(src, dst, src_idx, dst_idx).send(std::move(pkt), extra_delay);
+    channel(src, dst, src_idx, dst_idx).send(pkt, extra_delay);
 }
 
 } // namespace drf

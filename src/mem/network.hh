@@ -54,8 +54,11 @@ class Crossbar : public SimObject
     /**
      * Route @p pkt from endpoint @p src to endpoint @p dst. The packet's
      * srcEndpoint field is stamped with @p src so the receiver can reply.
+     * Takes the packet by rvalue reference: the source-endpoint stamp
+     * lands on the caller's (moved-from) object and the only copy made
+     * on the whole route is the delivery closure's (MsgPort::send).
      */
-    void route(int src, int dst, Packet pkt, Tick extra_delay = 0);
+    void route(int src, int dst, Packet &&pkt, Tick extra_delay = 0);
 
     /** Total messages routed. */
     std::uint64_t routedCount() const { return _routed; }

@@ -6,7 +6,7 @@ namespace drf
 {
 
 void
-MsgPort::send(Packet pkt, Tick extra_delay)
+MsgPort::send(const Packet &pkt, Tick extra_delay)
 {
     assert(_receiver != nullptr && "send through unbound port");
     Tick when = _eq.curTick() + _latency + extra_delay;
@@ -16,8 +16,10 @@ MsgPort::send(Packet pkt, Tick extra_delay)
     ++_sent;
     MsgReceiver *receiver = _receiver;
     if (_trace == nullptr) {
-        _eq.schedule(when, [receiver, pkt = std::move(pkt)]() mutable {
-            receiver->recvMsg(std::move(pkt));
+        // The closure's capture is the packet's only copy; delivery
+        // hands the receiver a reference to it (see recvMsg contract).
+        _eq.schedule(when, [receiver, pkt = pkt]() mutable {
+            receiver->recvMsg(pkt);
         });
         return;
     }
@@ -27,8 +29,7 @@ MsgPort::send(Packet pkt, Tick extra_delay)
     TraceRecorder *trace = _trace;
     int src = _traceSrc;
     int dst = _traceDst;
-    _eq.schedule(when, [receiver, trace, src, dst, when,
-                        pkt = std::move(pkt)]() mutable {
+    _eq.schedule(when, [receiver, trace, src, dst, when, pkt = pkt]() mutable {
         TraceEvent ev;
         ev.tick = when;
         ev.a = pkt.addr;
@@ -39,7 +40,7 @@ MsgPort::send(Packet pkt, Tick extra_delay)
         ev.u8 = static_cast<std::uint8_t>(pkt.type);
         ev.u32 = pkt.requestor;
         trace->record(ev);
-        receiver->recvMsg(std::move(pkt));
+        receiver->recvMsg(pkt);
     });
 }
 

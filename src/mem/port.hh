@@ -29,8 +29,14 @@ class MsgReceiver
   public:
     virtual ~MsgReceiver() = default;
 
-    /** Handle one delivered message. */
-    virtual void recvMsg(Packet pkt) = 0;
+    /**
+     * Handle one delivered message. The referenced packet is owned by
+     * the caller and dies when the call returns; the receiver may
+     * mutate it or move from it, but must not retain the reference.
+     * (Reference passing keeps the hot delivery path down to a single
+     * packet copy; see MsgPort::send.)
+     */
+    virtual void recvMsg(Packet &pkt) = 0;
 };
 
 /**
@@ -58,8 +64,12 @@ class MsgPort
     /**
      * Send @p pkt; it arrives after the port latency plus @p extra_delay,
      * but never before any previously sent message (FIFO order).
+     *
+     * The packet is copied exactly once, into the delivery closure; the
+     * receiver gets a mutable reference to that copy (see
+     * MsgReceiver::recvMsg).
      */
-    void send(Packet pkt, Tick extra_delay = 0);
+    void send(const Packet &pkt, Tick extra_delay = 0);
 
     /** Messages sent through this port so far. */
     std::uint64_t sentCount() const { return _sent; }

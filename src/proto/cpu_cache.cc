@@ -48,17 +48,28 @@ CpuCache::CpuCache(std::string name, EventQueue &eq,
     : SimObject(std::move(name), eq), _cfg(cfg), _xbar(xbar),
       _endpoint(endpoint), _dirEndpoint(dir_ep),
       _array(cfg.sizeBytes, cfg.assoc, cfg.lineBytes), _coverage(spec()),
-      _stats(SimObject::name())
+      _stats(SimObject::name()),
+      _cRecycles(&_stats.counter("recycles")),
+      _cLoadHits(&_stats.counter("load_hits")),
+      _cLoadMisses(&_stats.counter("load_misses")),
+      _cStoreHits(&_stats.counter("store_hits")),
+      _cUpgrades(&_stats.counter("upgrades")),
+      _cStoreMisses(&_stats.counter("store_misses")),
+      _cDirtyReplacements(&_stats.counter("dirty_replacements")),
+      _cCleanReplacements(&_stats.counter("clean_replacements")),
+      _cFillRetries(&_stats.counter("fill_retries")),
+      _cProbes(&_stats.counter("probes"))
 {
+    _tbes.reserve(64);
     xbar.attach(endpoint, *this);
 }
 
 CpuCache::State
 CpuCache::lineState(Addr line_addr) const
 {
-    auto it = _tbes.find(line_addr);
-    if (it != _tbes.end())
-        return it->second.transient;
+    const Tbe *tbe = _tbes.find(line_addr);
+    if (tbe != nullptr)
+        return tbe->transient;
     const CacheEntry *entry = _array.findEntry(line_addr);
     if (entry == nullptr)
         return StI;
@@ -66,11 +77,11 @@ CpuCache::lineState(Addr line_addr) const
 }
 
 void
-CpuCache::recycle(Packet pkt)
+CpuCache::recycle(Packet &pkt)
 {
-    _stats.counter("recycles").inc();
+    _cRecycles->inc();
     scheduleAfter(_cfg.recycleLatency,
-                  [this, pkt = std::move(pkt)]() mutable {
+                  [this, pkt]() mutable {
                       coreRequest(std::move(pkt));
                   });
 }
@@ -111,10 +122,10 @@ CpuCache::coreRequest(Packet pkt)
     assert(_respond && "core response path not bound");
     switch (pkt.type) {
       case MsgType::LoadReq:
-        handleLoad(std::move(pkt));
+        handleLoad(pkt);
         break;
       case MsgType::StoreReq:
-        handleStore(std::move(pkt));
+        handleStore(pkt);
         break;
       default:
         throw ProtocolError(name(), curTick(),
@@ -124,7 +135,7 @@ CpuCache::coreRequest(Packet pkt)
 }
 
 void
-CpuCache::handleLoad(Packet pkt)
+CpuCache::handleLoad(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     State st = lineState(line);
@@ -135,12 +146,12 @@ CpuCache::handleLoad(Packet pkt)
       case StM: {
         CacheEntry *entry = _array.findEntry(line);
         _array.touch(*entry);
-        _stats.counter("load_hits").inc();
+        _cLoadHits->inc();
         performLoad(*entry, pkt);
         return;
       }
       case StI: {
-        _stats.counter("load_misses").inc();
+        _cLoadMisses->inc();
         Tbe tbe;
         tbe.transient = StIS;
         tbe.corePkt = pkt;
@@ -155,13 +166,13 @@ CpuCache::handleLoad(Packet pkt)
         return;
       }
       default:
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 }
 
 void
-CpuCache::handleStore(Packet pkt)
+CpuCache::handleStore(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     State st = lineState(line);
@@ -171,13 +182,13 @@ CpuCache::handleStore(Packet pkt)
       case StM: {
         CacheEntry *entry = _array.findEntry(line);
         _array.touch(*entry);
-        _stats.counter("store_hits").inc();
+        _cStoreHits->inc();
         performStore(*entry, pkt);
         return;
       }
       case StS: {
         // Upgrade: keep the S copy, request exclusivity.
-        _stats.counter("upgrades").inc();
+        _cUpgrades->inc();
         Tbe tbe;
         tbe.transient = StSM;
         tbe.corePkt = pkt;
@@ -192,7 +203,7 @@ CpuCache::handleStore(Packet pkt)
         return;
       }
       case StI: {
-        _stats.counter("store_misses").inc();
+        _cStoreMisses->inc();
         Tbe tbe;
         tbe.transient = StIM;
         tbe.corePkt = pkt;
@@ -207,7 +218,7 @@ CpuCache::handleStore(Packet pkt)
         return;
       }
       default:
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 }
@@ -222,8 +233,10 @@ CpuCache::makeRoom(Addr line_addr)
     // Pick the LRU way whose line has no MSHR (an SM upgrade keeps its S
     // copy in the array and must not be victimized underneath it).
     CacheEntry *victim_ptr = nullptr;
-    for (CacheEntry *way : _array.setEntries(line_addr)) {
-        if (!way->valid || _tbes.count(way->lineAddr) > 0)
+    CacheEntry *ways = _array.setWays(line_addr);
+    for (unsigned w = 0; w < _array.assoc(); ++w) {
+        CacheEntry *way = &ways[w];
+        if (!way->valid || _tbes.contains(way->lineAddr))
             continue;
         if (victim_ptr == nullptr || way->lastUsed < victim_ptr->lastUsed)
             victim_ptr = way;
@@ -233,7 +246,7 @@ CpuCache::makeRoom(Addr line_addr)
     CacheEntry &victim = *victim_ptr;
     if (victim.state == LineM) {
         transition(EvRepl, StM);
-        _stats.counter("dirty_replacements").inc();
+        _cDirtyReplacements->inc();
         Tbe tbe;
         tbe.transient = StMI;
         tbe.wbData = victim.data;
@@ -250,42 +263,43 @@ CpuCache::makeRoom(Addr line_addr)
         // Clean copies are dropped silently; the directory's sharer list
         // goes stale, which is what makes PrbInv-in-I reachable.
         transition(EvRepl, StS);
-        _stats.counter("clean_replacements").inc();
+        _cCleanReplacements->inc();
     }
     _array.invalidate(victim);
     return true;
 }
 
 void
-CpuCache::handleData(Packet pkt)
+CpuCache::handleData(Packet &pkt)
 {
     Addr line = pkt.addr;
-    auto it = _tbes.find(line);
-    if (it == _tbes.end() || (it->second.transient != StIS &&
-                              it->second.transient != StIM &&
-                              it->second.transient != StSM)) {
+    Tbe *found = _tbes.find(line);
+    if (found == nullptr ||
+        (found->transient != StIS && found->transient != StIM &&
+         found->transient != StSM)) {
         throw ProtocolError(name(), curTick(),
                             "CpuData with no matching request: " +
                                 pkt.describe());
     }
-    State st = it->second.transient;
+    State st = found->transient;
 
     if (st != StSM && _array.findEntry(line) == nullptr &&
         !_array.hasFreeWay(line)) {
         // Every way of the set is pinned by an MSHR; retry the fill once
         // one of them resolves.
         bool can_fill = false;
-        for (CacheEntry *way : _array.setEntries(line)) {
-            if (way->valid && _tbes.count(way->lineAddr) == 0) {
+        const CacheEntry *ways = _array.setWays(line);
+        for (unsigned w = 0; w < _array.assoc(); ++w) {
+            if (ways[w].valid && !_tbes.contains(ways[w].lineAddr)) {
                 can_fill = true;
                 break;
             }
         }
         if (!can_fill) {
-            _stats.counter("fill_retries").inc();
+            _cFillRetries->inc();
             scheduleAfter(_cfg.recycleLatency,
-                          [this, pkt = std::move(pkt)]() mutable {
-                              recvMsg(std::move(pkt));
+                          [this, pkt]() mutable {
+                              recvMsg(pkt);
                           });
             return;
         }
@@ -293,8 +307,8 @@ CpuCache::handleData(Packet pkt)
 
     transition(EvData, st);
 
-    Tbe tbe = std::move(it->second);
-    _tbes.erase(it);
+    Tbe tbe = std::move(*found);
+    _tbes.erase(line);
 
     CacheEntry *entry = _array.findEntry(line);
     if (st == StSM) {
@@ -322,12 +336,12 @@ CpuCache::handleData(Packet pkt)
 }
 
 void
-CpuCache::handleProbe(Packet pkt, bool downgrade)
+CpuCache::handleProbe(Packet &pkt, bool downgrade)
 {
     Addr line = pkt.addr;
     State st = lineState(line);
     transition(downgrade ? EvPrbDowngrade : EvPrbInv, st);
-    _stats.counter("probes").inc();
+    _cProbes->inc();
 
     Packet ack;
     ack.type = MsgType::CpuInvAck;
@@ -355,8 +369,7 @@ CpuCache::handleProbe(Packet pkt, bool downgrade)
       case StMI: {
         // The probe crossed our writeback; hand over the data now. The
         // in-flight Putx will be acknowledged as stale.
-        auto it = _tbes.find(line);
-        ack.setLine(it->second.wbData);
+        ack.setLine(_tbes.find(line)->wbData);
         break;
       }
       case StSM: {
@@ -366,7 +379,7 @@ CpuCache::handleProbe(Packet pkt, bool downgrade)
         CacheEntry *entry = _array.findEntry(line);
         if (entry != nullptr)
             _array.invalidate(*entry);
-        _tbes.find(line)->second.transient = StIM;
+        _tbes.find(line)->transient = StIM;
         break;
       }
       case StI:
@@ -382,34 +395,34 @@ CpuCache::handleProbe(Packet pkt, bool downgrade)
 }
 
 void
-CpuCache::handleWBAck(Packet pkt)
+CpuCache::handleWBAck(Packet &pkt)
 {
     Addr line = pkt.addr;
-    auto it = _tbes.find(line);
-    if (it == _tbes.end() || it->second.transient != StMI) {
+    const Tbe *found = _tbes.find(line);
+    if (found == nullptr || found->transient != StMI) {
         throw ProtocolError(name(), curTick(),
                             "CpuWBAck with no writeback in flight: " +
                                 pkt.describe());
     }
     transition(EvWBAck, StMI);
-    _tbes.erase(it);
+    _tbes.erase(line);
 }
 
 void
-CpuCache::recvMsg(Packet pkt)
+CpuCache::recvMsg(Packet &pkt)
 {
     switch (pkt.type) {
       case MsgType::CpuData:
-        handleData(std::move(pkt));
+        handleData(pkt);
         break;
       case MsgType::CpuPrbInv:
-        handleProbe(std::move(pkt), false);
+        handleProbe(pkt, false);
         break;
       case MsgType::CpuPrbDowngrade:
-        handleProbe(std::move(pkt), true);
+        handleProbe(pkt, true);
         break;
       case MsgType::CpuWBAck:
-        handleWBAck(std::move(pkt));
+        handleWBAck(pkt);
         break;
       default:
         throw ProtocolError(name(), curTick(),

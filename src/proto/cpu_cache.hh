@@ -21,11 +21,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 
 #include "coverage/coverage.hh"
 #include "mem/cache_array.hh"
+#include "sim/flat_map.hh"
 #include "mem/msg.hh"
 #include "mem/network.hh"
 #include "sim/sim_object.hh"
@@ -75,7 +75,7 @@ class CpuCache : public SimObject, public MsgReceiver
         StMI,
     };
 
-    using RespFunc = std::function<void(Packet)>;
+    using RespFunc = std::function<void(Packet &&)>;
 
     CpuCache(std::string name, EventQueue &eq, const CpuCacheConfig &cfg,
              Crossbar &xbar, int endpoint, int dir_ep);
@@ -88,7 +88,7 @@ class CpuCache : public SimObject, public MsgReceiver
     void coreRequest(Packet pkt);
 
     /** Directory-side delivery (CpuData, probes, CpuWBAck). */
-    void recvMsg(Packet pkt) override;
+    void recvMsg(Packet &pkt) override;
 
     CoverageGrid &coverage() { return _coverage; }
     const CoverageGrid &coverage() const { return _coverage; }
@@ -121,13 +121,13 @@ class CpuCache : public SimObject, public MsgReceiver
         recordTransition(_trace, curTick(), _endpoint, ev, st);
         _coverage.hit(ev, st);
     }
-    void recycle(Packet pkt);
+    void recycle(Packet &pkt);
 
-    void handleLoad(Packet pkt);
-    void handleStore(Packet pkt);
-    void handleData(Packet pkt);
-    void handleProbe(Packet pkt, bool downgrade);
-    void handleWBAck(Packet pkt);
+    void handleLoad(Packet &pkt);
+    void handleStore(Packet &pkt);
+    void handleData(Packet &pkt);
+    void handleProbe(Packet &pkt, bool downgrade);
+    void handleWBAck(Packet &pkt);
 
     /**
      * Make room for a fill, writing back a dirty victim if needed.
@@ -148,13 +148,26 @@ class CpuCache : public SimObject, public MsgReceiver
     int _dirEndpoint;
 
     CacheArray _array;
-    std::map<Addr, Tbe> _tbes;
+    FlatMap<Tbe> _tbes; ///< keyed by line address
     PacketId _nextId = 1;
 
     RespFunc _respond;
     CoverageGrid _coverage;
     StatGroup _stats;
     TraceRecorder *_trace = nullptr;
+
+    // Hot-path counters, resolved once (counter(name) is a string-keyed
+    // map lookup).
+    Counter *_cRecycles;
+    Counter *_cLoadHits;
+    Counter *_cLoadMisses;
+    Counter *_cStoreHits;
+    Counter *_cUpgrades;
+    Counter *_cStoreMisses;
+    Counter *_cDirtyReplacements;
+    Counter *_cCleanReplacements;
+    Counter *_cFillRetries;
+    Counter *_cProbes;
 };
 
 } // namespace drf

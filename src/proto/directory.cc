@@ -82,11 +82,18 @@ Directory::Directory(std::string name, EventQueue &eq,
       _endpoint(endpoint), _gpuL2Endpoints(std::move(gpu_l2_eps)),
       _mem(mem),
       _memPort(SimObject::name() + ".memport", eq, cfg.memPortLatency),
-      _fault(fault), _coverage(spec()), _stats(SimObject::name())
+      _fault(fault), _coverage(spec()), _stats(SimObject::name()),
+      _cRecycles(&_stats.counter("recycles")),
+      _cCpuProbes(&_stats.counter("cpu_probes")),
+      _cGpuProbes(&_stats.counter("gpu_probes")),
+      _cAtomicNacks(&_stats.counter("atomic_nacks")),
+      _cAtomics(&_stats.counter("atomics")),
+      _cStalePutx(&_stats.counter("stale_putx"))
 {
+    _lines.reserve(256);
     xbar.attach(endpoint, *this);
     _memPort.bind(mem);
-    mem.bindResponse([this](Packet pkt) { handleMemResp(std::move(pkt)); });
+    mem.bindResponse([this](Packet &&pkt) { handleMemResp(pkt); });
 }
 
 Directory::Line &
@@ -102,12 +109,12 @@ Directory::visibleState(const Line &l) const
 }
 
 void
-Directory::recycle(Packet pkt)
+Directory::recycle(Packet &pkt)
 {
-    _stats.counter("recycles").inc();
+    _cRecycles->inc();
     scheduleAfter(_cfg.recycleLatency,
-                  [this, pkt = std::move(pkt)]() mutable {
-                      recvMsg(std::move(pkt));
+                  [this, pkt]() mutable {
+                      recvMsg(pkt);
                   });
 }
 
@@ -116,9 +123,15 @@ Directory::startTxn(Addr line_addr, Packet origin)
 {
     Line &l = line(line_addr);
     assert(l.txn == nullptr && "transaction already in flight");
-    l.txn = std::make_unique<Txn>();
-    l.txn->origin = std::move(origin);
-    return *l.txn;
+    if (_txnFree.empty()) {
+        _txnPool.push_back(std::make_unique<Txn>());
+        _txnFree.push_back(_txnPool.back().get());
+    }
+    Txn *t = _txnFree.back();
+    _txnFree.pop_back();
+    l.txn = t;
+    t->origin = std::move(origin);
+    return *t;
 }
 
 void
@@ -126,7 +139,17 @@ Directory::finishTxn(Addr line_addr)
 {
     Line &l = line(line_addr);
     assert(l.txn != nullptr);
-    l.txn.reset();
+    Txn *t = l.txn;
+    l.txn = nullptr;
+    // Scrub before recycling; the PODs (origin, probeData, pendingResp)
+    // are overwritten by the next startTxn, the functions must release
+    // their captures now.
+    t->pendingAcks = 0;
+    t->haveProbeData = false;
+    t->onAcks = nullptr;
+    t->onMemData = nullptr;
+    t->onMemWBAck = nullptr;
+    _txnFree.push_back(t);
 }
 
 void
@@ -142,7 +165,7 @@ Directory::sendCpuProbes(Addr line_addr, const std::vector<int> &targets,
         probe.issueTick = curTick();
         _xbar.route(_endpoint, target, std::move(probe));
         ++l.txn->pendingAcks;
-        _stats.counter("cpu_probes").inc();
+        _cCpuProbes->inc();
     }
 }
 
@@ -151,24 +174,22 @@ Directory::sendGpuProbes(Addr line_addr, int exclude)
 {
     Line &l = line(line_addr);
     assert(l.txn != nullptr);
-    unsigned sent = 0;
-    for (auto it = l.gpuSharers.begin(); it != l.gpuSharers.end();) {
-        int target = *it;
-        if (target == exclude) {
-            ++it;
-            continue;
-        }
+    _probeScratch.clear();
+    for (int target : l.gpuSharers) {
+        if (target != exclude)
+            _probeScratch.push_back(target);
+    }
+    for (int target : _probeScratch) {
         Packet probe;
         probe.type = MsgType::PrbInv;
         probe.addr = line_addr;
         probe.issueTick = curTick();
         _xbar.route(_endpoint, target, std::move(probe));
         ++l.txn->pendingAcks;
-        _stats.counter("gpu_probes").inc();
-        ++sent;
-        it = l.gpuSharers.erase(it);
+        _cGpuProbes->inc();
+        l.gpuSharers.erase(target);
     }
-    return sent;
+    return static_cast<unsigned>(_probeScratch.size());
 }
 
 void
@@ -210,14 +231,14 @@ Directory::applyAtomic(LineData &buf, Addr addr, unsigned size,
 }
 
 void
-Directory::handleGpuFetch(Packet pkt)
+Directory::handleGpuFetch(Packet &pkt)
 {
     Addr la = pkt.addr;
     Line &l = line(la);
     State st = visibleState(l);
     transition(EvGpuFetch, st);
     if (st == StB) {
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
@@ -269,14 +290,14 @@ Directory::handleGpuFetch(Packet pkt)
 }
 
 void
-Directory::handleGpuWrMem(Packet pkt)
+Directory::handleGpuWrMem(Packet &pkt)
 {
     Addr la = pkt.addr;
     Line &l = line(la);
     State st = visibleState(l);
     transition(EvGpuWrMem, st);
     if (st == StB) {
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
@@ -350,7 +371,7 @@ Directory::handleGpuWrMem(Packet pkt)
 }
 
 void
-Directory::handleGpuAtomic(Packet pkt)
+Directory::handleGpuAtomic(Packet &pkt)
 {
     Addr la = lineAlign(pkt.addr, _cfg.lineBytes);
     Line &l = line(la);
@@ -363,7 +384,7 @@ Directory::handleGpuAtomic(Packet pkt)
         nack.type = MsgType::AtomicND;
         nack.addr = pkt.addr;
         nack.id = pkt.id;
-        _stats.counter("atomic_nacks").inc();
+        _cAtomicNacks->inc();
         _xbar.route(_endpoint, pkt.srcEndpoint, std::move(nack));
         return;
     }
@@ -380,7 +401,7 @@ Directory::handleGpuAtomic(Packet pkt)
         std::uint64_t old = applyAtomic(buf, txn.origin.addr,
                                         txn.origin.size,
                                         txn.origin.atomicOperand);
-        _stats.counter("atomics").inc();
+        _cAtomics->inc();
 
         Packet resp;
         resp.type = MsgType::AtomicD;
@@ -458,14 +479,14 @@ Directory::handleGpuAtomic(Packet pkt)
 }
 
 void
-Directory::handleCpuGets(Packet pkt)
+Directory::handleCpuGets(Packet &pkt)
 {
     Addr la = pkt.addr;
     Line &l = line(la);
     State st = visibleState(l);
     transition(EvCpuGets, st);
     if (st == StB) {
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
@@ -510,14 +531,14 @@ Directory::handleCpuGets(Packet pkt)
 }
 
 void
-Directory::handleCpuGetx(Packet pkt)
+Directory::handleCpuGetx(Packet &pkt)
 {
     Addr la = pkt.addr;
     Line &l = line(la);
     State st = visibleState(l);
     transition(EvCpuGetx, st);
     if (st == StB) {
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
@@ -581,21 +602,21 @@ Directory::handleCpuGetx(Packet pkt)
 }
 
 void
-Directory::handleCpuPutx(Packet pkt)
+Directory::handleCpuPutx(Packet &pkt)
 {
     Addr la = pkt.addr;
     Line &l = line(la);
     State st = visibleState(l);
     transition(EvCpuPutx, st);
     if (st == StB) {
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
     if (st != StCM || l.owner != pkt.srcEndpoint) {
         // Stale writeback: a probe raced past it and took the data. Ack
         // without touching memory or state.
-        _stats.counter("stale_putx").inc();
+        _cStalePutx->inc();
         Packet ack;
         ack.type = MsgType::CpuWBAck;
         ack.addr = la;
@@ -622,14 +643,14 @@ Directory::handleCpuPutx(Packet pkt)
 }
 
 void
-Directory::handleDmaRead(Packet pkt)
+Directory::handleDmaRead(Packet &pkt)
 {
     Addr la = pkt.addr;
     Line &l = line(la);
     State st = visibleState(l);
     transition(EvDmaRead, st);
     if (st == StB) {
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
@@ -670,14 +691,14 @@ Directory::handleDmaRead(Packet pkt)
 }
 
 void
-Directory::handleDmaWrite(Packet pkt)
+Directory::handleDmaWrite(Packet &pkt)
 {
     Addr la = pkt.addr;
     Line &l = line(la);
     State st = visibleState(l);
     transition(EvDmaWrite, st);
     if (st == StB) {
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
@@ -735,7 +756,7 @@ Directory::handleDmaWrite(Packet pkt)
 }
 
 void
-Directory::handleMemResp(Packet pkt)
+Directory::handleMemResp(Packet &pkt)
 {
     Line &l = line(pkt.addr);
     if (l.txn == nullptr) {
@@ -763,7 +784,7 @@ Directory::handleMemResp(Packet pkt)
 }
 
 void
-Directory::handleInvAck(Packet pkt, bool from_gpu)
+Directory::handleInvAck(Packet &pkt, bool from_gpu)
 {
     Line &l = line(pkt.addr);
     if (l.txn == nullptr) {
@@ -787,38 +808,38 @@ Directory::handleInvAck(Packet pkt, bool from_gpu)
 }
 
 void
-Directory::recvMsg(Packet pkt)
+Directory::recvMsg(Packet &pkt)
 {
     switch (pkt.type) {
       case MsgType::FetchBlk:
-        handleGpuFetch(std::move(pkt));
+        handleGpuFetch(pkt);
         break;
       case MsgType::WrMem:
-        handleGpuWrMem(std::move(pkt));
+        handleGpuWrMem(pkt);
         break;
       case MsgType::DirAtomic:
-        handleGpuAtomic(std::move(pkt));
+        handleGpuAtomic(pkt);
         break;
       case MsgType::Gets:
-        handleCpuGets(std::move(pkt));
+        handleCpuGets(pkt);
         break;
       case MsgType::Getx:
-        handleCpuGetx(std::move(pkt));
+        handleCpuGetx(pkt);
         break;
       case MsgType::Putx:
-        handleCpuPutx(std::move(pkt));
+        handleCpuPutx(pkt);
         break;
       case MsgType::DmaRead:
-        handleDmaRead(std::move(pkt));
+        handleDmaRead(pkt);
         break;
       case MsgType::DmaWrite:
-        handleDmaWrite(std::move(pkt));
+        handleDmaWrite(pkt);
         break;
       case MsgType::InvAck:
-        handleInvAck(std::move(pkt), true);
+        handleInvAck(pkt, true);
         break;
       case MsgType::CpuInvAck:
-        handleInvAck(std::move(pkt), false);
+        handleInvAck(pkt, false);
         break;
       default:
         throw ProtocolError(name(), curTick(),

@@ -25,14 +25,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "coverage/coverage.hh"
 #include "mem/memory.hh"
+#include "sim/flat_map.hh"
+#include "sim/small_set.hh"
 #include "mem/msg.hh"
 #include "mem/network.hh"
 #include "mem/port.hh"
@@ -103,7 +103,7 @@ class Directory : public SimObject, public MsgReceiver
 
     static const TransitionSpec &spec();
 
-    void recvMsg(Packet pkt) override;
+    void recvMsg(Packet &pkt) override;
 
     CoverageGrid &coverage() { return _coverage; }
     const CoverageGrid &coverage() const { return _coverage; }
@@ -135,11 +135,11 @@ class Directory : public SimObject, public MsgReceiver
     /** Directory record for one line (absent => U, no sharers). */
     struct Line
     {
-        State stable = StU; ///< U / CS / CM
-        std::set<int> sharers;     ///< CPU caches holding the line
-        int owner = -1;            ///< CPU owner when CM
-        std::set<int> gpuSharers;  ///< GPU L2s that may hold the line
-        std::unique_ptr<Txn> txn;
+        State stable = StU;      ///< U / CS / CM
+        SmallIntSet sharers;     ///< CPU caches holding the line
+        int owner = -1;          ///< CPU owner when CM
+        SmallIntSet gpuSharers;  ///< GPU L2s that may hold the line
+        Txn *txn = nullptr;      ///< in-flight transaction (pooled)
     };
 
     Line &line(Addr line_addr);
@@ -150,7 +150,7 @@ class Directory : public SimObject, public MsgReceiver
         recordTransition(_trace, curTick(), _endpoint, ev, st);
         _coverage.hit(ev, st);
     }
-    void recycle(Packet pkt);
+    void recycle(Packet &pkt);
 
     /** Start a transaction; the line becomes busy. */
     Txn &startTxn(Addr line_addr, Packet origin);
@@ -174,16 +174,16 @@ class Directory : public SimObject, public MsgReceiver
     void readMem(Addr line_addr);
     void writeMem(Addr line_addr, const LineData &data, ByteMask mask);
 
-    void handleGpuFetch(Packet pkt);
-    void handleGpuWrMem(Packet pkt);
-    void handleGpuAtomic(Packet pkt);
-    void handleCpuGets(Packet pkt);
-    void handleCpuGetx(Packet pkt);
-    void handleCpuPutx(Packet pkt);
-    void handleDmaRead(Packet pkt);
-    void handleDmaWrite(Packet pkt);
-    void handleMemResp(Packet pkt);
-    void handleInvAck(Packet pkt, bool from_gpu);
+    void handleGpuFetch(Packet &pkt);
+    void handleGpuWrMem(Packet &pkt);
+    void handleGpuAtomic(Packet &pkt);
+    void handleCpuGets(Packet &pkt);
+    void handleCpuGetx(Packet &pkt);
+    void handleCpuPutx(Packet &pkt);
+    void handleDmaRead(Packet &pkt);
+    void handleDmaWrite(Packet &pkt);
+    void handleMemResp(Packet &pkt);
+    void handleInvAck(Packet &pkt, bool from_gpu);
 
     /** Perform the fetch-add on a line buffer; returns the old value. */
     std::uint64_t applyAtomic(LineData &buf, Addr addr, unsigned size,
@@ -197,11 +197,31 @@ class Directory : public SimObject, public MsgReceiver
     MsgPort _memPort;
     FaultInjector *_fault;
 
-    std::map<Addr, Line> _lines;
+    FlatMap<Line> _lines; ///< keyed by line address
+
+    /**
+     * Txn recycling pool. Every GPU write-through and atomic starts a
+     * transaction, so steady state must not allocate one per message; a
+     * recycled Txn keeps its std::function buffers.
+     */
+    std::vector<std::unique_ptr<Txn>> _txnPool;
+    std::vector<Txn *> _txnFree;
+
+    /** Scratch for sendGpuProbes' target list (kept for capacity). */
+    std::vector<int> _probeScratch;
 
     CoverageGrid _coverage;
     StatGroup _stats;
     TraceRecorder *_trace = nullptr;
+
+    // Hot-path counters, resolved once (counter(name) is a string-keyed
+    // map lookup).
+    Counter *_cRecycles;
+    Counter *_cCpuProbes;
+    Counter *_cGpuProbes;
+    Counter *_cAtomicNacks;
+    Counter *_cAtomics;
+    Counter *_cStalePutx;
 };
 
 } // namespace drf

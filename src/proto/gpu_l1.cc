@@ -51,15 +51,24 @@ GpuL1Cache::GpuL1Cache(std::string name, EventQueue &eq,
     : SimObject(std::move(name), eq), _cfg(cfg), _xbar(xbar),
       _endpoint(endpoint), _l2Endpoint(l2_ep), _fault(fault),
       _array(cfg.sizeBytes, cfg.assoc, cfg.lineBytes), _coverage(spec()),
-      _stats(SimObject::name())
+      _stats(SimObject::name()),
+      _cRecycles(&_stats.counter("recycles")),
+      _cLoadHits(&_stats.counter("load_hits")),
+      _cLoadMisses(&_stats.counter("load_misses")),
+      _cWriteThroughs(&_stats.counter("write_throughs")),
+      _cAtomics(&_stats.counter("atomics")),
+      _cFlashInvalidates(&_stats.counter("flash_invalidates")),
+      _cReplacements(&_stats.counter("replacements"))
 {
+    _tbes.reserve(64);
+    _pendingWT.reserve(64);
     xbar.attach(endpoint, *this);
 }
 
 GpuL1Cache::State
 GpuL1Cache::lineState(Addr line_addr) const
 {
-    if (_tbes.count(line_addr) > 0)
+    if (_tbes.contains(line_addr))
         return StA;
     if (_array.findEntry(line_addr) != nullptr)
         return StV;
@@ -74,11 +83,11 @@ GpuL1Cache::transition(Event ev, State st)
 }
 
 void
-GpuL1Cache::recycle(Packet pkt)
+GpuL1Cache::recycle(Packet &pkt)
 {
-    _stats.counter("recycles").inc();
+    _cRecycles->inc();
     scheduleAfter(_cfg.recycleLatency,
-                  [this, pkt = std::move(pkt)]() mutable {
+                  [this, pkt]() mutable {
                       coreRequest(std::move(pkt));
                   });
 }
@@ -91,7 +100,7 @@ GpuL1Cache::coreRequest(Packet pkt)
     // Release semantics: hold the request until every outstanding
     // write-through has been acknowledged.
     if (pkt.release && _outstandingWT > 0) {
-        _releaseQueue.push_back(std::move(pkt));
+        _releaseQueue.push_back(pkt);
         return;
     }
 
@@ -105,13 +114,13 @@ GpuL1Cache::coreRequest(Packet pkt)
 
     switch (pkt.type) {
       case MsgType::LoadReq:
-        handleLoad(std::move(pkt));
+        handleLoad(pkt);
         break;
       case MsgType::StoreReq:
-        handleStore(std::move(pkt));
+        handleStore(pkt);
         break;
       case MsgType::AtomicReq:
-        handleAtomic(std::move(pkt));
+        handleAtomic(pkt);
         break;
       default:
         throw ProtocolError(name(), curTick(),
@@ -121,7 +130,7 @@ GpuL1Cache::coreRequest(Packet pkt)
 }
 
 void
-GpuL1Cache::handleLoad(Packet pkt)
+GpuL1Cache::handleLoad(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     State st = lineState(line);
@@ -130,14 +139,14 @@ GpuL1Cache::handleLoad(Packet pkt)
     if (st == StA) {
         // A miss or atomic is outstanding for this line: stall.
         pkt.acquire = false; // the flash-invalidate already happened
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
     if (st == StV) {
         CacheEntry *entry = _array.findEntry(line);
         _array.touch(*entry);
-        _stats.counter("load_hits").inc();
+        _cLoadHits->inc();
         Packet resp = pkt;
         resp.type = MsgType::LoadResp;
         resp.setData(entry->data.data() +
@@ -150,7 +159,7 @@ GpuL1Cache::handleLoad(Packet pkt)
     }
 
     // Miss: allocate an MSHR and fetch from the L2.
-    _stats.counter("load_misses").inc();
+    _cLoadMisses->inc();
     Tbe tbe;
     tbe.isAtomic = false;
     tbe.corePkt = pkt;
@@ -166,7 +175,7 @@ GpuL1Cache::handleLoad(Packet pkt)
 }
 
 void
-GpuL1Cache::handleStore(Packet pkt)
+GpuL1Cache::handleStore(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     State st = lineState(line);
@@ -176,7 +185,7 @@ GpuL1Cache::handleStore(Packet pkt)
         // e.g. a store hitting a pending atomic: a rare corner the paper
         // calls out; the controller stalls it.
         pkt.acquire = false;
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
@@ -210,12 +219,12 @@ GpuL1Cache::handleStore(Packet pkt)
 
     _pendingWT.emplace(wt.id, pkt);
     ++_outstandingWT;
-    _stats.counter("write_throughs").inc();
+    _cWriteThroughs->inc();
     _xbar.route(_endpoint, _l2Endpoint, std::move(wt));
 }
 
 void
-GpuL1Cache::handleAtomic(Packet pkt)
+GpuL1Cache::handleAtomic(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     State st = lineState(line);
@@ -223,7 +232,7 @@ GpuL1Cache::handleAtomic(Packet pkt)
 
     if (st == StA) {
         pkt.acquire = false;
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
@@ -237,7 +246,7 @@ GpuL1Cache::handleAtomic(Packet pkt)
     tbe.isAtomic = true;
     tbe.corePkt = pkt;
     _tbes.emplace(line, std::move(tbe));
-    _stats.counter("atomics").inc();
+    _cAtomics->inc();
 
     Packet req;
     req.type = MsgType::GpuAtomic;
@@ -253,7 +262,7 @@ GpuL1Cache::handleAtomic(Packet pkt)
 void
 GpuL1Cache::flashInvalidate()
 {
-    _stats.counter("flash_invalidates").inc();
+    _cFlashInvalidates->inc();
     bool any = false;
     for (auto &entry : _array.entries()) {
         if (entry.valid) {
@@ -262,12 +271,12 @@ GpuL1Cache::flashInvalidate()
             any = true;
         }
     }
-    for ([[maybe_unused]] const auto &[line, tbe] : _tbes) {
+    _tbes.forEach([&](Addr, const Tbe &) {
         // In-flight fills are fetched from the L2 at or after the acquire
         // point, so they are left to complete.
         transition(EvEvict, StA);
         any = true;
-    }
+    });
     if (!any) {
         // Flash invalidation of a cold cache: a defined no-op.
         transition(EvEvict, StI);
@@ -280,7 +289,7 @@ GpuL1Cache::fillLine(Addr line_addr, const LineData &data)
     if (!_array.hasFreeWay(line_addr)) {
         CacheEntry &victim = _array.victim(line_addr);
         transition(EvRepl, StV);
-        _stats.counter("replacements").inc();
+        _cReplacements->inc();
         _array.invalidate(victim);
     }
     CacheEntry &entry = _array.allocate(line_addr);
@@ -289,19 +298,19 @@ GpuL1Cache::fillLine(Addr line_addr, const LineData &data)
 }
 
 void
-GpuL1Cache::handleTccAck(Packet pkt)
+GpuL1Cache::handleTccAck(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    auto it = _tbes.find(line);
-    if (it == _tbes.end()) {
+    Tbe *found = _tbes.find(line);
+    if (found == nullptr) {
         throw ProtocolError(name(), curTick(),
                             "TCC_Ack with no matching MSHR: " +
                                 pkt.describe());
     }
     transition(EvTccAck, StA);
 
-    Tbe tbe = std::move(it->second);
-    _tbes.erase(it);
+    Tbe tbe = std::move(*found);
+    _tbes.erase(line);
 
     Packet resp = tbe.corePkt;
     if (tbe.isAtomic) {
@@ -320,10 +329,10 @@ GpuL1Cache::handleTccAck(Packet pkt)
 }
 
 void
-GpuL1Cache::handleTccAckWB(Packet pkt)
+GpuL1Cache::handleTccAckWB(Packet &pkt)
 {
-    auto it = _pendingWT.find(pkt.id);
-    if (it == _pendingWT.end()) {
+    Packet *found = _pendingWT.find(pkt.id);
+    if (found == nullptr) {
         throw ProtocolError(name(), curTick(),
                             "TCC_AckWB with no matching write-through: " +
                                 pkt.describe());
@@ -331,8 +340,8 @@ GpuL1Cache::handleTccAckWB(Packet pkt)
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     transition(EvTccAckWB, lineState(line));
 
-    Packet resp = it->second;
-    _pendingWT.erase(it);
+    Packet resp = *found;
+    _pendingWT.erase(pkt.id);
     assert(_outstandingWT > 0);
     --_outstandingWT;
 
@@ -346,9 +355,12 @@ GpuL1Cache::handleTccAckWB(Packet pkt)
 void
 GpuL1Cache::tryDrainReleaseQueue()
 {
-    while (_outstandingWT == 0 && !_releaseQueue.empty()) {
-        Packet pkt = std::move(_releaseQueue.front());
-        _releaseQueue.pop_front();
+    while (_outstandingWT == 0 && _releaseHead < _releaseQueue.size()) {
+        Packet pkt = _releaseQueue[_releaseHead];
+        if (++_releaseHead == _releaseQueue.size()) {
+            _releaseQueue.clear();
+            _releaseHead = 0;
+        }
         pkt.release = false; // the WT drain condition is now satisfied
         coreRequest(std::move(pkt));
         // coreRequest may have created new write-throughs; re-check.
@@ -356,14 +368,14 @@ GpuL1Cache::tryDrainReleaseQueue()
 }
 
 void
-GpuL1Cache::recvMsg(Packet pkt)
+GpuL1Cache::recvMsg(Packet &pkt)
 {
     switch (pkt.type) {
       case MsgType::TccAck:
-        handleTccAck(std::move(pkt));
+        handleTccAck(pkt);
         break;
       case MsgType::TccAckWB:
-        handleTccAckWB(std::move(pkt));
+        handleTccAckWB(pkt);
         break;
       default:
         throw ProtocolError(name(), curTick(),

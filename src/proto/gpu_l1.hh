@@ -24,12 +24,12 @@
 #define DRF_PROTO_GPU_L1_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "coverage/coverage.hh"
+#include "sim/flat_map.hh"
 #include "mem/cache_array.hh"
 #include "mem/msg.hh"
 #include "mem/network.hh"
@@ -78,7 +78,7 @@ class GpuL1Cache : public SimObject, public MsgReceiver
         StA,
     };
 
-    using RespFunc = std::function<void(Packet)>;
+    using RespFunc = std::function<void(Packet &&)>;
 
     /**
      * @param name     Instance name.
@@ -107,7 +107,7 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     void coreRequest(Packet pkt);
 
     /** L2-side message delivery (TccAck / TccAckWB). */
-    void recvMsg(Packet pkt) override;
+    void recvMsg(Packet &pkt) override;
 
     /** Write-throughs issued but not yet acknowledged. */
     unsigned outstandingWriteThroughs() const { return _outstandingWT; }
@@ -135,13 +135,13 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     void transition(Event ev, State st);
 
     /** Retry a stalled core request later. */
-    void recycle(Packet pkt);
+    void recycle(Packet &pkt);
 
-    void handleLoad(Packet pkt);
-    void handleStore(Packet pkt);
-    void handleAtomic(Packet pkt);
-    void handleTccAck(Packet pkt);
-    void handleTccAckWB(Packet pkt);
+    void handleLoad(Packet &pkt);
+    void handleStore(Packet &pkt);
+    void handleAtomic(Packet &pkt);
+    void handleTccAck(Packet &pkt);
+    void handleTccAckWB(Packet &pkt);
 
     /** Flash-invalidate all valid lines (acquire semantics). */
     void flashInvalidate();
@@ -159,9 +159,10 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     FaultInjector *_fault;
 
     CacheArray _array;
-    std::map<Addr, Tbe> _tbes;              ///< keyed by line address
-    std::map<PacketId, Packet> _pendingWT;  ///< write-throughs in flight
-    std::deque<Packet> _releaseQueue;       ///< releases awaiting WT drain
+    FlatMap<Tbe> _tbes;             ///< keyed by line address
+    FlatMap<Packet> _pendingWT;     ///< write-throughs in flight, by id
+    std::vector<Packet> _releaseQueue; ///< releases awaiting WT drain
+    std::size_t _releaseHead = 0;      ///< consumed prefix of the ring
     unsigned _outstandingWT = 0;
     PacketId _nextId = 1;
 
@@ -169,6 +170,16 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     CoverageGrid _coverage;
     StatGroup _stats;
     TraceRecorder *_trace = nullptr;
+
+    // Hot-path counters, resolved once: counter(name) is a string-keyed
+    // map lookup and these fire per message.
+    Counter *_cRecycles;
+    Counter *_cLoadHits;
+    Counter *_cLoadMisses;
+    Counter *_cWriteThroughs;
+    Counter *_cAtomics;
+    Counter *_cFlashInvalidates;
+    Counter *_cReplacements;
 };
 
 } // namespace drf

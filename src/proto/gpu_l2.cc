@@ -1,5 +1,6 @@
 #include "proto/gpu_l2.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "proto/protocol_error.hh"
@@ -62,17 +63,30 @@ GpuL2Cache::GpuL2Cache(std::string name, EventQueue &eq,
     : SimObject(std::move(name), eq), _cfg(cfg), _xbar(xbar),
       _endpoint(endpoint), _dirEndpoint(dir_ep), _fault(fault),
       _array(cfg.sizeBytes, cfg.assoc, cfg.lineBytes), _coverage(spec()),
-      _stats(SimObject::name())
+      _stats(SimObject::name()),
+      _cRecycles(&_stats.counter("recycles")),
+      _cReadHits(&_stats.counter("read_hits")),
+      _cReadMisses(&_stats.counter("read_misses")),
+      _cWriteThroughs(&_stats.counter("write_throughs")),
+      _cAtomics(&_stats.counter("atomics")),
+      _cAtomicRetries(&_stats.counter("atomic_retries")),
+      _cReplacements(&_stats.counter("replacements")),
+      _cRefillMerges(&_stats.counter("refill_merges")),
+      _cProbes(&_stats.counter("probes"))
 {
+    _fetchTbes.reserve(128);
+    _atomicTbes.reserve(128);
+    _pendingWBs.reserve(128);
+    _wbLineCount.reserve(128);
     xbar.attach(endpoint, *this);
 }
 
 GpuL2Cache::State
 GpuL2Cache::lineState(Addr line_addr) const
 {
-    if (_atomicTbes.count(line_addr) > 0)
+    if (_atomicTbes.contains(line_addr))
         return StA;
-    if (_fetchTbes.count(line_addr) > 0)
+    if (_fetchTbes.contains(line_addr))
         return StIV;
     if (_array.findEntry(line_addr) != nullptr)
         return StV;
@@ -80,12 +94,12 @@ GpuL2Cache::lineState(Addr line_addr) const
 }
 
 void
-GpuL2Cache::recycle(Packet pkt)
+GpuL2Cache::recycle(Packet &pkt)
 {
-    _stats.counter("recycles").inc();
+    _cRecycles->inc();
     scheduleAfter(_cfg.recycleLatency,
-                  [this, pkt = std::move(pkt)]() mutable {
-                      recvMsg(std::move(pkt));
+                  [this, pkt]() mutable {
+                      recvMsg(pkt);
                   });
 }
 
@@ -102,7 +116,7 @@ GpuL2Cache::respondData(const Packet &req, const CacheEntry &entry)
 }
 
 void
-GpuL2Cache::handleRdBlk(Packet pkt)
+GpuL2Cache::handleRdBlk(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     State st = lineState(line);
@@ -112,15 +126,15 @@ GpuL2Cache::handleRdBlk(Packet pkt)
       case StV: {
         CacheEntry *entry = _array.findEntry(line);
         _array.touch(*entry);
-        _stats.counter("read_hits").inc();
+        _cReadHits->inc();
         respondData(pkt, *entry);
         break;
       }
       case StI: {
-        _stats.counter("read_misses").inc();
-        FetchTbe tbe;
-        tbe.waiters.push_back(pkt);
-        _fetchTbes.emplace(line, std::move(tbe));
+        _cReadMisses->inc();
+        std::uint32_t idx = poolAlloc(_fetchPool, _fetchFree);
+        _fetchPool[idx].waiters.push_back(pkt);
+        _fetchTbes.emplace(line, idx);
         Packet req;
         req.type = MsgType::FetchBlk;
         req.addr = line;
@@ -132,33 +146,28 @@ GpuL2Cache::handleRdBlk(Packet pkt)
       }
       case StIV:
       case StA:
-        recycle(std::move(pkt));
+        recycle(pkt);
         break;
     }
 }
 
 void
-GpuL2Cache::handleWrThrough(Packet pkt)
+GpuL2Cache::handleWrThrough(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     State st = lineState(line);
     transition(EvWrVicBlk, st);
 
     if (st == StIV || st == StA) {
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
     }
 
     // Case-study bug 1: two false-sharing write-throughs racing at this
     // controller are not serialized; the later one is acked but its bytes
     // never reach the line or memory.
-    bool racing = false;
-    for (const auto &[id, wb] : _pendingWBs) {
-        if (lineAlign(wb.original.addr, _cfg.lineBytes) == line) {
-            racing = true;
-            break;
-        }
-    }
+    const std::uint32_t *line_wbs = _wbLineCount.find(line);
+    bool racing = line_wbs != nullptr && *line_wbs > 0;
     if (racing && _fault != nullptr &&
         _fault->fire(FaultKind::LostWriteThrough)) {
         _stats.counter("injected_lost_wt").inc();
@@ -196,16 +205,17 @@ GpuL2Cache::handleWrThrough(Packet pkt)
     fwd.dataLen = pkt.dataLen;
     fwd.mask = pkt.mask;
     _pendingWBs.emplace(fwd.id, PendingWB{pkt});
-    _stats.counter("write_throughs").inc();
+    ++_wbLineCount[line];
+    _cWriteThroughs->inc();
     _xbar.route(_endpoint, _dirEndpoint, std::move(fwd));
 }
 
 void
 GpuL2Cache::issueAtomic(Addr line_addr)
 {
-    auto it = _atomicTbes.find(line_addr);
-    assert(it != _atomicTbes.end() && !it->second.queue.empty());
-    const Packet &head = it->second.queue.front();
+    std::uint32_t *idx = _atomicTbes.find(line_addr);
+    assert(idx != nullptr && !_atomicPool[*idx].queueEmpty());
+    const Packet &head = _atomicPool[*idx].queueFront();
 
     Packet req;
     req.type = MsgType::DirAtomic;
@@ -219,7 +229,7 @@ GpuL2Cache::issueAtomic(Addr line_addr)
 }
 
 void
-GpuL2Cache::handleAtomic(Packet pkt)
+GpuL2Cache::handleAtomic(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     State st = lineState(line);
@@ -227,11 +237,12 @@ GpuL2Cache::handleAtomic(Packet pkt)
 
     switch (st) {
       case StIV:
-        recycle(std::move(pkt));
+        recycle(pkt);
         return;
       case StA:
         // Serialize behind the atomic already in flight.
-        _atomicTbes[line].queue.push_back(std::move(pkt));
+        _atomicPool[*_atomicTbes.find(line)].queue.push_back(
+            std::move(pkt));
         return;
       case StV: {
         // The directory-side atomic makes the local copy stale.
@@ -243,27 +254,28 @@ GpuL2Cache::handleAtomic(Packet pkt)
         break;
     }
 
-    AtomicTbe tbe;
-    tbe.queue.push_back(std::move(pkt));
-    _atomicTbes.emplace(line, std::move(tbe));
-    _stats.counter("atomics").inc();
+    std::uint32_t idx = poolAlloc(_atomicPool, _atomicFree);
+    _atomicPool[idx].queue.push_back(std::move(pkt));
+    _atomicTbes.emplace(line, idx);
+    _cAtomics->inc();
     issueAtomic(line);
 }
 
 void
-GpuL2Cache::handleAtomicD(Packet pkt)
+GpuL2Cache::handleAtomicD(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    auto it = _atomicTbes.find(line);
-    if (it == _atomicTbes.end()) {
+    std::uint32_t *idx = _atomicTbes.find(line);
+    if (idx == nullptr) {
         throw ProtocolError(name(), curTick(),
                             "AtomicD with no pending atomic: " +
                                 pkt.describe());
     }
     transition(EvAtomicD, StA);
 
-    Packet head = std::move(it->second.queue.front());
-    it->second.queue.pop_front();
+    AtomicTbe &tbe = _atomicPool[*idx];
+    Packet head = std::move(tbe.queueFront());
+    tbe.popQueueFront();
 
     Packet resp;
     resp.type = MsgType::TccAck;
@@ -273,29 +285,29 @@ GpuL2Cache::handleAtomicD(Packet pkt)
     resp.atomicResult = pkt.atomicResult;
     _xbar.route(_endpoint, head.srcEndpoint, std::move(resp));
 
-    if (!it->second.queue.empty()) {
+    if (!tbe.queueEmpty()) {
         issueAtomic(line);
         return;
     }
 
-    _atomicTbes.erase(it);
+    _atomicFree.push_back(*idx);
+    _atomicTbes.erase(line);
     // Cache the post-atomic line contents delivered with the ack.
     assert(pkt.dataLen == _cfg.lineBytes);
     fillLine(line, pkt.data);
 }
 
 void
-GpuL2Cache::handleAtomicND(Packet pkt)
+GpuL2Cache::handleAtomicND(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    auto it = _atomicTbes.find(line);
-    if (it == _atomicTbes.end()) {
+    if (!_atomicTbes.contains(line)) {
         throw ProtocolError(name(), curTick(),
                             "AtomicND with no pending atomic: " +
                                 pkt.describe());
     }
     transition(EvAtomicND, StA);
-    _stats.counter("atomic_retries").inc();
+    _cAtomicRetries->inc();
     scheduleAfter(_cfg.recycleLatency,
                   [this, line] { issueAtomic(line); });
 }
@@ -311,7 +323,7 @@ GpuL2Cache::fillLine(Addr line_addr, const LineData &data)
     if (!_array.hasFreeWay(line_addr)) {
         CacheEntry &victim = _array.victim(line_addr);
         transition(EvL2Repl, StV);
-        _stats.counter("replacements").inc();
+        _cReplacements->inc();
         _array.invalidate(victim);
     }
     CacheEntry &entry = _array.allocate(line_addr);
@@ -325,17 +337,29 @@ GpuL2Cache::fillLine(Addr line_addr, const LineData &data)
     // writes those bytes until our write retires, so our pending bytes
     // are strictly newer. Found by the tester itself as a read-write
     // inconsistency — the exact failure mode of the paper's Section V
-    // case study.
-    for (const auto &[id, wb] : _pendingWBs) {
-        if (lineAlign(wb.original.addr, _cfg.lineBytes) != line_addr)
-            continue;
-        for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
-            if (maskTest(wb.original.mask, i)) {
-                entry.data[i] = wb.original.data[i];
-                entry.dirty |= maskBit(i);
+    // case study. Matches are applied in ascending id (issue) order, as
+    // the old id-sorted pending map iterated. The per-line write-through
+    // count gates the scan: almost every fill has no in-flight WB on its
+    // line, and the table lookup is what makes that the cheap case.
+    if (_wbLineCount.contains(line_addr)) {
+        _mergeScratch.clear();
+        _pendingWBs.forEach([&](std::uint64_t id, const PendingWB &wb) {
+            if (lineAlign(wb.original.addr, _cfg.lineBytes) == line_addr)
+                _mergeScratch.emplace_back(id, &wb.original);
+        });
+        std::sort(_mergeScratch.begin(), _mergeScratch.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        for (const auto &[id, original] : _mergeScratch) {
+            for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
+                if (maskTest(original->mask, i)) {
+                    entry.data[i] = original->data[i];
+                    entry.dirty |= maskBit(i);
+                }
             }
+            _cRefillMerges->inc();
         }
-        _stats.counter("refill_merges").inc();
     }
 
     _array.touch(entry);
@@ -343,29 +367,31 @@ GpuL2Cache::fillLine(Addr line_addr, const LineData &data)
 }
 
 void
-GpuL2Cache::handleDirData(Packet pkt)
+GpuL2Cache::handleDirData(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    auto it = _fetchTbes.find(line);
-    if (it == _fetchTbes.end()) {
+    std::uint32_t *found = _fetchTbes.find(line);
+    if (found == nullptr) {
         throw ProtocolError(name(), curTick(),
                             "Data with no refill MSHR: " + pkt.describe());
     }
     transition(EvData, StIV);
 
-    FetchTbe tbe = std::move(it->second);
-    _fetchTbes.erase(it);
+    const std::uint32_t idx = *found;
+    _fetchTbes.erase(line);
 
     CacheEntry &entry = fillLine(line, pkt.data);
-    for (const Packet &waiter : tbe.waiters)
+    for (const Packet &waiter : _fetchPool[idx].waiters)
         respondData(waiter, entry);
+    _fetchPool[idx].waiters.clear();
+    _fetchFree.push_back(idx);
 }
 
 void
-GpuL2Cache::handleDirWBAck(Packet pkt)
+GpuL2Cache::handleDirWBAck(Packet &pkt)
 {
-    auto it = _pendingWBs.find(pkt.id);
-    if (it == _pendingWBs.end()) {
+    PendingWB *found = _pendingWBs.find(pkt.id);
+    if (found == nullptr) {
         throw ProtocolError(name(), curTick(),
                             "WBAck with no pending write: " +
                                 pkt.describe());
@@ -373,8 +399,14 @@ GpuL2Cache::handleDirWBAck(Packet pkt)
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     transition(EvWBAck, lineState(line));
 
-    Packet original = std::move(it->second.original);
-    _pendingWBs.erase(it);
+    Packet original = found->original;
+    _pendingWBs.erase(pkt.id);
+
+    std::uint32_t *wbs = _wbLineCount.find(
+        lineAlign(original.addr, _cfg.lineBytes));
+    assert(wbs != nullptr && *wbs > 0);
+    if (--*wbs == 0)
+        _wbLineCount.erase(lineAlign(original.addr, _cfg.lineBytes));
 
     if (_fault != nullptr && _fault->fire(FaultKind::DropWriteAck)) {
         // The completion ack never reaches the L1: the system deadlocks
@@ -392,7 +424,7 @@ GpuL2Cache::handleDirWBAck(Packet pkt)
 }
 
 void
-GpuL2Cache::handlePrbInv(Packet pkt)
+GpuL2Cache::handlePrbInv(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
     State st = lineState(line);
@@ -406,7 +438,7 @@ GpuL2Cache::handlePrbInv(Packet pkt)
     // subsequent remote write (DRF programs order such accesses with
     // synchronization anyway); in A the local copy was dropped when the
     // atomic was issued; in I this is a stale probe. Always ack.
-    _stats.counter("probes").inc();
+    _cProbes->inc();
 
     Packet ack;
     ack.type = MsgType::InvAck;
@@ -416,32 +448,32 @@ GpuL2Cache::handlePrbInv(Packet pkt)
 }
 
 void
-GpuL2Cache::recvMsg(Packet pkt)
+GpuL2Cache::recvMsg(Packet &pkt)
 {
     switch (pkt.type) {
       case MsgType::RdBlk:
-        handleRdBlk(std::move(pkt));
+        handleRdBlk(pkt);
         break;
       case MsgType::WrThrough:
-        handleWrThrough(std::move(pkt));
+        handleWrThrough(pkt);
         break;
       case MsgType::GpuAtomic:
-        handleAtomic(std::move(pkt));
+        handleAtomic(pkt);
         break;
       case MsgType::AtomicD:
-        handleAtomicD(std::move(pkt));
+        handleAtomicD(pkt);
         break;
       case MsgType::AtomicND:
-        handleAtomicND(std::move(pkt));
+        handleAtomicND(pkt);
         break;
       case MsgType::DirData:
-        handleDirData(std::move(pkt));
+        handleDirData(pkt);
         break;
       case MsgType::DirWBAck:
-        handleDirWBAck(std::move(pkt));
+        handleDirWBAck(pkt);
         break;
       case MsgType::PrbInv:
-        handlePrbInv(std::move(pkt));
+        handlePrbInv(pkt);
         break;
       default:
         throw ProtocolError(name(), curTick(),

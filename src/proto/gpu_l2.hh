@@ -17,12 +17,12 @@
 #define DRF_PROTO_GPU_L2_HH
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "coverage/coverage.hh"
+#include "sim/flat_map.hh"
 #include "mem/cache_array.hh"
 #include "mem/msg.hh"
 #include "mem/network.hh"
@@ -87,7 +87,7 @@ class GpuL2Cache : public SimObject, public MsgReceiver
 
     static const TransitionSpec &spec();
 
-    void recvMsg(Packet pkt) override;
+    void recvMsg(Packet &pkt) override;
 
     CoverageGrid &coverage() { return _coverage; }
     const CoverageGrid &coverage() const { return _coverage; }
@@ -98,16 +98,33 @@ class GpuL2Cache : public SimObject, public MsgReceiver
     void setTrace(TraceRecorder *trace) { _trace = trace; }
 
   private:
-    /** Refill MSHR: requesters waiting for one line. */
+    /**
+     * Refill MSHR: requesters waiting for one line. Pooled — a recycled
+     * entry keeps its waiters capacity, so steady-state misses allocate
+     * nothing.
+     */
     struct FetchTbe
     {
         std::vector<Packet> waiters; ///< original RdBlk packets
     };
 
-    /** Atomic MSHR: a queue of atomics serialized at this line. */
+    /** Atomic MSHR: a queue of atomics serialized at this line. Pooled. */
     struct AtomicTbe
     {
-        std::deque<Packet> queue; ///< original GpuAtomic packets
+        std::vector<Packet> queue; ///< original GpuAtomic packets
+        std::size_t head = 0;      ///< consumed prefix of the ring
+
+        bool queueEmpty() const { return head == queue.size(); }
+        Packet &queueFront() { return queue[head]; }
+
+        void
+        popQueueFront()
+        {
+            if (++head == queue.size()) {
+                queue.clear();
+                head = 0;
+            }
+        }
     };
 
     /** Pending write-through forwarded toward memory. */
@@ -123,16 +140,16 @@ class GpuL2Cache : public SimObject, public MsgReceiver
         recordTransition(_trace, curTick(), _endpoint, ev, st);
         _coverage.hit(ev, st);
     }
-    void recycle(Packet pkt);
+    void recycle(Packet &pkt);
 
-    void handleRdBlk(Packet pkt);
-    void handleWrThrough(Packet pkt);
-    void handleAtomic(Packet pkt);
-    void handleAtomicD(Packet pkt);
-    void handleAtomicND(Packet pkt);
-    void handleDirData(Packet pkt);
-    void handleDirWBAck(Packet pkt);
-    void handlePrbInv(Packet pkt);
+    void handleRdBlk(Packet &pkt);
+    void handleWrThrough(Packet &pkt);
+    void handleAtomic(Packet &pkt);
+    void handleAtomicD(Packet &pkt);
+    void handleAtomicND(Packet &pkt);
+    void handleDirData(Packet &pkt);
+    void handleDirWBAck(Packet &pkt);
+    void handlePrbInv(Packet &pkt);
 
     /** Issue the head of an atomic queue to the directory. */
     void issueAtomic(Addr line_addr);
@@ -149,15 +166,60 @@ class GpuL2Cache : public SimObject, public MsgReceiver
     int _dirEndpoint;
     FaultInjector *_fault;
 
+    /** Allocate a pooled TBE; @return its pool index. */
+    template <typename T>
+    static std::uint32_t
+    poolAlloc(std::vector<T> &pool, std::vector<std::uint32_t> &free_list)
+    {
+        if (!free_list.empty()) {
+            std::uint32_t idx = free_list.back();
+            free_list.pop_back();
+            return idx;
+        }
+        pool.emplace_back();
+        return static_cast<std::uint32_t>(pool.size() - 1);
+    }
+
     CacheArray _array;
-    std::map<Addr, FetchTbe> _fetchTbes;
-    std::map<Addr, AtomicTbe> _atomicTbes;
-    std::map<PacketId, PendingWB> _pendingWBs;
+
+    // TBE tables are open-addressed maps from line address to an index
+    // into a recycling pool; the pooled entries keep their container
+    // capacity across reuse (DESIGN.md §10).
+    FlatMap<std::uint32_t> _fetchTbes;
+    FlatMap<std::uint32_t> _atomicTbes;
+    std::vector<FetchTbe> _fetchPool;
+    std::vector<std::uint32_t> _fetchFree;
+    std::vector<AtomicTbe> _atomicPool;
+    std::vector<std::uint32_t> _atomicFree;
+
+    FlatMap<PendingWB> _pendingWBs; ///< keyed by forwarded WrMem id
+
+    /**
+     * Per-line count of in-flight write-throughs: the false-sharing
+     * racing check is a table lookup instead of a scan of _pendingWBs.
+     */
+    FlatMap<std::uint32_t> _wbLineCount;
+
+    /** Scratch for fillLine's id-ordered merge (kept for capacity). */
+    std::vector<std::pair<PacketId, const Packet *>> _mergeScratch;
+
     PacketId _nextId = 1;
 
     CoverageGrid _coverage;
     StatGroup _stats;
     TraceRecorder *_trace = nullptr;
+
+    // Hot-path counters, resolved once (counter(name) is a string-keyed
+    // map lookup).
+    Counter *_cRecycles;
+    Counter *_cReadHits;
+    Counter *_cReadMisses;
+    Counter *_cWriteThroughs;
+    Counter *_cAtomics;
+    Counter *_cAtomicRetries;
+    Counter *_cReplacements;
+    Counter *_cRefillMerges;
+    Counter *_cProbes;
 };
 
 } // namespace drf

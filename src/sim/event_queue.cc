@@ -58,19 +58,19 @@ EventQueue::executeNext()
 {
     // The callable must be moved out before invocation: the callback may
     // schedule further events and reallocate/rotate the containers.
-    Tick when;
+    const Tick t = nextWhen();
+    advanceTo(t);
+    // After migration every tick-t event is in t's bucket or the FIFO,
+    // and all bucket sequence numbers precede all FIFO ones for t.
+    const std::size_t idx = static_cast<std::size_t>(t & wheelMask);
+    WheelBucket &bucket = _wheel[idx];
     InlineEvent fn;
-    if (fifoIsNext()) {
-        when = _fifo.front().when;
-        fn = std::move(_fifo.front().fn);
-        _fifo.pop_front();
+    if (!bucket.empty()) {
+        fn = wheelPop(bucket, idx);
     } else {
-        HeapEntry top = popHeap();
-        when = top.when;
-        fn = std::move(_slots[top.slot]);
-        _freeSlots.push_back(top.slot);
+        assert(!fifoEmpty() && _fifo[_fifoHead].when == t);
+        fn = popFifo();
     }
-    _curTick = when;
     ++_eventsExecuted;
     fn();
 }
@@ -80,14 +80,41 @@ EventQueue::run(Tick limit, std::uint64_t max_events)
 {
     const std::uint64_t budget_end =
         max_events != 0 ? _eventsExecuted + max_events : 0;
+
+    // Tick-batched dispatch. Wheel-bucket entries for tick t can only be
+    // scheduled before the tick begins (a same-tick schedule goes to the
+    // FIFO), so every bucket entry at tick t precedes every FIFO entry
+    // at tick t in sequence order; draining bucket-then-FIFO per tick
+    // replicates strict (when, seq) order without a comparison per
+    // event. Resuming mid-tick (after a budget stop) is covered too:
+    // leftover bucket entries still predate every FIFO entry, and
+    // wheelNextTick scans from the current tick's own bucket.
     while (pending() > 0) {
         if (budget_end != 0 && _eventsExecuted >= budget_end)
             return false;
-        if (nextWhen() > limit) {
-            _curTick = limit;
+        const Tick t = nextWhen();
+        if (t > limit) {
+            advanceTo(limit);
             return false;
         }
-        executeNext();
+        advanceTo(t);
+
+        const std::size_t idx = static_cast<std::size_t>(t & wheelMask);
+        WheelBucket &bucket = _wheel[idx];
+        while (!bucket.empty()) {
+            if (budget_end != 0 && _eventsExecuted >= budget_end)
+                return false;
+            InlineEvent fn = wheelPop(bucket, idx);
+            ++_eventsExecuted;
+            fn();
+        }
+        while (!fifoEmpty()) {
+            if (budget_end != 0 && _eventsExecuted >= budget_end)
+                return false;
+            InlineEvent fn = popFifo();
+            ++_eventsExecuted;
+            fn();
+        }
     }
     return true;
 }
@@ -111,7 +138,14 @@ EventQueue::reset()
     _heap.clear();
     _slots.clear();
     _freeSlots.clear();
+    for (WheelBucket &bucket : _wheel) {
+        bucket.entries.clear();
+        bucket.head = 0;
+    }
+    _wheelOcc.fill(0);
+    _wheelCount = 0;
     _fifo.clear();
+    _fifoHead = 0;
     _curTick = 0;
     _nextSeq = 0;
     _eventsExecuted = 0;

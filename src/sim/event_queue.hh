@@ -14,25 +14,42 @@
  *  - callables are InlineEvents (32-byte small-buffer callables backed by
  *    a recycling block pool) instead of std::functions, so scheduling
  *    performs no per-event heap allocation in steady state;
- *  - the pending set is a hand-rolled 4-ary min-heap on (when, seq):
- *    shallower than a binary heap and sifted with hole moves rather than
- *    swaps. Heap records are 24-byte trivially-copyable (when, seq, slot)
- *    triples; the InlineEvent payloads sit still in a free-listed slot
- *    slab, so a sift never relocates capture storage;
- *  - events scheduled for the *current* tick bypass the heap entirely and
+ *  - events within the 256-tick horizon go into a timing wheel: one FIFO
+ *    bucket per tick, O(1) push and pop. Almost every event a simulation
+ *    schedules is a small fixed latency ahead (port hops, recycle delays,
+ *    memory latency), so the wheel absorbs nearly all traffic. Bucket
+ *    append order equals sequence order: for any tick t, every event is
+ *    scheduled either before t begins (appended while seq grows
+ *    monotonically) or at t itself (routed to the same-tick FIFO, never
+ *    the bucket), and a bucket is fully drained before its index can be
+ *    reused (a tick t + 256 schedule is beyond the horizon by exactly one
+ *    tick and goes to the heap);
+ *  - events at or beyond the horizon go to a hand-rolled 4-ary min-heap
+ *    on (when, seq): heap records are 24-byte trivially-copyable (when,
+ *    seq, slot) triples; the InlineEvent payloads sit still in a
+ *    free-listed slot slab, so a sift never relocates capture storage.
+ *    Whenever the current tick advances, heap entries that entered the
+ *    horizon migrate into the wheel — in (when, seq) pop order, and
+ *    before any event of the new tick runs, so migrated entries always
+ *    precede later same-bucket appends in sequence order;
+ *  - events scheduled for the *current* tick bypass both structures and
  *    go through a FIFO (scheduleNow / schedule(curTick(), ..)): because
  *    curTick never decreases and sequence numbers only grow, the FIFO is
- *    intrinsically sorted, and the next event is simply the smaller of
- *    heap-top and FIFO-front under the same (when, seq) order. Execution
- *    order is therefore bit-for-bit identical to the single-heap queue.
+ *    intrinsically sorted;
+ *  - run() dispatches tick-batched: wheel-bucket entries for tick t are
+ *    always scheduled before tick t begins, so every bucket sequence
+ *    number precedes every FIFO sequence number of the same tick. The
+ *    drain loop therefore empties the bucket and then the FIFO with no
+ *    per-event (when, seq) comparison, executing the exact order a
+ *    single comparing heap would.
  */
 
 #ifndef DRF_SIM_EVENT_QUEUE_HH
 #define DRF_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -68,7 +85,11 @@ class EventQueue
     std::uint64_t eventsExecuted() const { return _eventsExecuted; }
 
     /** Number of events currently pending. */
-    std::size_t pending() const { return _heap.size() + _fifo.size(); }
+    std::size_t
+    pending() const
+    {
+        return _heap.size() + _wheelCount + (_fifo.size() - _fifoHead);
+    }
 
     /**
      * Schedule @p fn to run at absolute time @p when.
@@ -89,9 +110,16 @@ class EventQueue
                                                   _pool)});
             return;
         }
+        const std::uint64_t seq = _nextSeq++;
+        if (when - _curTick < wheelSpan) {
+            // Near-future fast path: O(1) bucket append, no heap sift.
+            // The bucket's append order encodes @p seq (file comment).
+            wheelPush(when, InlineEvent(std::forward<F>(fn), _pool));
+            return;
+        }
         std::uint32_t slot =
             acquireSlot(InlineEvent(std::forward<F>(fn), _pool));
-        pushHeap(HeapEntry{when, _nextSeq++, slot});
+        pushHeap(HeapEntry{when, seq, slot});
     }
 
     /** Schedule @p fn to run @p delay ticks from now. */
@@ -167,6 +195,19 @@ class EventQueue
     /** Heap arity: shallower sifts, better locality than binary. */
     static constexpr std::size_t arity = 4;
 
+    /** Ticks covered by the timing wheel (one bucket per tick). */
+    static constexpr Tick wheelSpan = 256;
+    static constexpr Tick wheelMask = wheelSpan - 1;
+
+    /** One wheel bucket: seq-ordered events of a single pending tick. */
+    struct WheelBucket
+    {
+        std::vector<InlineEvent> entries;
+        std::size_t head = 0; ///< consumed prefix of the ring
+
+        bool empty() const { return head == entries.size(); }
+    };
+
     template <typename A, typename B>
     static bool
     before(const A &a, const B &b)
@@ -190,22 +231,95 @@ class EventQueue
         return static_cast<std::uint32_t>(_slots.size() - 1);
     }
 
-    /** True if the next event (in (when, seq) order) is the FIFO front. */
-    bool
-    fifoIsNext() const
+    bool fifoEmpty() const { return _fifoHead == _fifo.size(); }
+
+    /** Append an event for tick @p when to its wheel bucket. */
+    void
+    wheelPush(Tick when, InlineEvent &&fn)
     {
-        if (_fifo.empty())
-            return false;
-        if (_heap.empty())
-            return true;
-        return before(_fifo.front(), _heap.front());
+        const std::size_t idx = static_cast<std::size_t>(when & wheelMask);
+        _wheel[idx].entries.push_back(std::move(fn));
+        _wheelOcc[idx >> 6] |= 1ull << (idx & 63);
+        ++_wheelCount;
+    }
+
+    /** Pop the front of @p bucket; compacts and clears occupancy. */
+    InlineEvent
+    wheelPop(WheelBucket &bucket, std::size_t idx)
+    {
+        InlineEvent fn = std::move(bucket.entries[bucket.head]);
+        if (++bucket.head == bucket.entries.size()) {
+            bucket.entries.clear();
+            bucket.head = 0;
+            _wheelOcc[idx >> 6] &= ~(1ull << (idx & 63));
+        }
+        --_wheelCount;
+        return fn;
+    }
+
+    /**
+     * Earliest pending wheel tick at or after curTick, or maxTick if the
+     * wheel is empty. A word-at-a-time scan of the occupancy bitmap.
+     */
+    Tick
+    wheelNextTick() const
+    {
+        if (_wheelCount == 0)
+            return maxTick;
+        const std::size_t start =
+            static_cast<std::size_t>(_curTick & wheelMask);
+        for (Tick off = 0; off < wheelSpan;) {
+            const std::size_t idx =
+                (start + static_cast<std::size_t>(off)) & wheelMask;
+            const std::uint64_t bits = _wheelOcc[idx >> 6] >> (idx & 63);
+            if (bits != 0) {
+                return _curTick + off +
+                       static_cast<Tick>(__builtin_ctzll(bits));
+            }
+            off += 64 - static_cast<Tick>(idx & 63);
+        }
+        return maxTick;
+    }
+
+    /**
+     * Advance the current tick to @p t, migrating heap events that have
+     * entered the wheel horizon. Must run before any event of tick @p t
+     * executes so migrated entries precede later same-bucket appends.
+     */
+    void
+    advanceTo(Tick t)
+    {
+        _curTick = t;
+        while (!_heap.empty() && _heap.front().when - t < wheelSpan) {
+            HeapEntry top = popHeap();
+            wheelPush(top.when, std::move(_slots[top.slot]));
+            _freeSlots.push_back(top.slot);
+        }
     }
 
     /** Tick of the earliest pending event. @pre pending() > 0 */
     Tick
     nextWhen() const
     {
-        return fifoIsNext() ? _fifo.front().when : _heap.front().when;
+        Tick t = fifoEmpty() ? maxTick : _fifo[_fifoHead].when;
+        const Tick w = wheelNextTick();
+        if (w < t)
+            t = w;
+        if (!_heap.empty() && _heap.front().when < t)
+            t = _heap.front().when;
+        return t;
+    }
+
+    /** Pop the FIFO front; compacts the ring when it empties. */
+    InlineEvent
+    popFifo()
+    {
+        InlineEvent fn = std::move(_fifo[_fifoHead].fn);
+        if (++_fifoHead == _fifo.size()) {
+            _fifo.clear();
+            _fifoHead = 0;
+        }
+        return fn;
     }
 
     void pushHeap(HeapEntry entry);
@@ -217,10 +331,14 @@ class EventQueue
     // _pool is declared before the payload containers so it outlives
     // them: destroying events returns their spilled blocks to the pool.
     EventBlockPool _pool;
-    std::vector<HeapEntry> _heap; ///< 4-ary min-heap on (when, seq)
+    std::vector<HeapEntry> _heap; ///< far events: 4-ary min-heap
     std::vector<InlineEvent> _slots;      ///< heap payload slab
     std::vector<std::uint32_t> _freeSlots; ///< recycled slab indices
-    std::deque<FifoEntry> _fifo; ///< current-tick events, seq-sorted
+    std::array<WheelBucket, wheelSpan> _wheel; ///< near events, per tick
+    std::array<std::uint64_t, wheelSpan / 64> _wheelOcc{}; ///< bucket bits
+    std::size_t _wheelCount = 0;  ///< events parked in the wheel
+    std::vector<FifoEntry> _fifo; ///< current-tick events, seq-sorted
+    std::size_t _fifoHead = 0;    ///< consumed prefix of _fifo
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _eventsExecuted = 0;

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Open-addressed hash table keyed by 64-bit integers (addresses, packet
+ * ids), replacing the node-based std::map containers that used to sit on
+ * every coherence message.
+ *
+ * Design constraints, in order:
+ *
+ *  - Determinism. Probing uses a fixed multiplicative hash and linear
+ *    probing with backward-shift deletion, so the table's layout — and
+ *    therefore forEach() iteration order — is a pure function of the
+ *    insert/erase history. No pointers, no per-process salt.
+ *  - Zero steady-state allocation. Storage is three parallel vectors
+ *    (keys, occupancy, values) that only ever grow; a table reserved to
+ *    its working-set size at construction never touches the heap again.
+ *  - Cheap values. Values are stored by value and moved during
+ *    backward-shift deletion and rehash, so callers must not hold
+ *    references across erase() or a growing insert (the protocol
+ *    controllers re-fetch by key instead, exactly as they already did
+ *    for std::map's iterator-invalidation rules on erase).
+ *
+ * Iteration order differs from std::map's sorted order. Call sites that
+ * need sorted or minimum-key traversal (the GPU L2 write-through merge,
+ * the tester watchdog) select the order explicitly; everything else is
+ * order-independent (see DESIGN.md §10).
+ */
+
+#ifndef DRF_SIM_FLAT_MAP_HH
+#define DRF_SIM_FLAT_MAP_HH
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace drf
+{
+
+/** Open-addressed map from uint64 keys to movable values. */
+template <typename V>
+class FlatMap
+{
+  public:
+    /** @param initial_slots Lower bound on the initial capacity. */
+    explicit FlatMap(std::size_t initial_slots = 16)
+    {
+        rebuild(slotsFor(initial_slots));
+    }
+
+    /** Number of stored entries. */
+    std::size_t size() const { return _size; }
+    bool empty() const { return _size == 0; }
+
+    /** Current slot count (for tests and sizing decisions). */
+    std::size_t capacity() const { return _keys.size(); }
+
+    /** Grow so that @p n entries fit without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t want = slotsFor(n);
+        if (want > _keys.size())
+            rehash(want);
+    }
+
+    /** Pointer to the value stored under @p key, or nullptr. */
+    V *
+    find(std::uint64_t key)
+    {
+        std::size_t i = probe(key);
+        return _full[i] ? &_vals[i] : nullptr;
+    }
+
+    const V *
+    find(std::uint64_t key) const
+    {
+        std::size_t i = probe(key);
+        return _full[i] ? &_vals[i] : nullptr;
+    }
+
+    bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+    /** Fetch the value under @p key, default-constructing if absent. */
+    V &
+    operator[](std::uint64_t key)
+    {
+        std::size_t i = probe(key);
+        if (_full[i])
+            return _vals[i];
+        return emplace(key, V{}).first;
+    }
+
+    /**
+     * Insert @p value under @p key if absent (std::map::emplace
+     * semantics: an existing entry is left untouched).
+     *
+     * @return the stored value and whether an insert happened.
+     */
+    std::pair<V &, bool>
+    emplace(std::uint64_t key, V value)
+    {
+        if ((_size + 1) * 4 > _keys.size() * 3)
+            rehash(_keys.size() * 2);
+        std::size_t i = probe(key);
+        if (_full[i])
+            return {_vals[i], false};
+        _keys[i] = key;
+        _full[i] = 1;
+        _vals[i] = std::move(value);
+        ++_size;
+        return {_vals[i], true};
+    }
+
+    /**
+     * Remove the entry under @p key using backward-shift deletion (no
+     * tombstones: probe distances stay minimal no matter how many
+     * erasures a long run performs).
+     *
+     * @return true if an entry was removed.
+     */
+    bool
+    erase(std::uint64_t key)
+    {
+        std::size_t i = probe(key);
+        if (!_full[i])
+            return false;
+        const std::size_t mask = _keys.size() - 1;
+        std::size_t hole = i;
+        std::size_t next = (hole + 1) & mask;
+        while (_full[next]) {
+            std::size_t home = indexFor(_keys[next]);
+            // An entry may backfill the hole only if doing so does not
+            // move it before its home slot in probe order.
+            std::size_t dist_next = (next - home) & mask;
+            std::size_t dist_hole = (hole - home) & mask;
+            if (dist_hole <= dist_next) {
+                _keys[hole] = _keys[next];
+                _vals[hole] = std::move(_vals[next]);
+                hole = next;
+            }
+            next = (next + 1) & mask;
+        }
+        _full[hole] = 0;
+        _vals[hole] = V{};
+        --_size;
+        return true;
+    }
+
+    /** Drop every entry, keeping the slot storage. */
+    void
+    clear()
+    {
+        std::fill(_full.begin(), _full.end(), std::uint8_t{0});
+        for (V &v : _vals)
+            v = V{};
+        _size = 0;
+    }
+
+    /**
+     * Visit every entry as fn(key, value&), in slot order (deterministic
+     * for a given insert/erase history, but unrelated to key order).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (std::size_t i = 0; i < _keys.size(); ++i) {
+            if (_full[i])
+                fn(_keys[i], _vals[i]);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < _keys.size(); ++i) {
+            if (_full[i])
+                fn(_keys[i], _vals[i]);
+        }
+    }
+
+  private:
+    /** Fibonacci multiplicative hash: fixed, deterministic, well mixed. */
+    std::size_t
+    indexFor(std::uint64_t key) const
+    {
+        std::uint64_t h = key * 0x9E3779B97F4A7C15ull;
+        h ^= h >> 32;
+        return static_cast<std::size_t>(h) & (_keys.size() - 1);
+    }
+
+    /** First slot that holds @p key or is empty. */
+    std::size_t
+    probe(std::uint64_t key) const
+    {
+        const std::size_t mask = _keys.size() - 1;
+        std::size_t i = indexFor(key);
+        while (_full[i] && _keys[i] != key)
+            i = (i + 1) & mask;
+        return i;
+    }
+
+    /** Smallest power-of-two slot count that fits @p n at 75% load. */
+    static std::size_t
+    slotsFor(std::size_t n)
+    {
+        std::size_t slots = 16;
+        while (slots * 3 < n * 4)
+            slots *= 2;
+        return slots;
+    }
+
+    void
+    rebuild(std::size_t slots)
+    {
+        _keys.assign(slots, 0);
+        _full.assign(slots, 0);
+        _vals.clear();
+        _vals.resize(slots);
+        _size = 0;
+    }
+
+    void
+    rehash(std::size_t slots)
+    {
+        std::vector<std::uint64_t> old_keys = std::move(_keys);
+        std::vector<std::uint8_t> old_full = std::move(_full);
+        std::vector<V> old_vals = std::move(_vals);
+        rebuild(slots);
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_full[i])
+                emplace(old_keys[i], std::move(old_vals[i]));
+        }
+    }
+
+    std::vector<std::uint64_t> _keys;
+    std::vector<std::uint8_t> _full;
+    std::vector<V> _vals;
+    std::size_t _size = 0;
+};
+
+} // namespace drf
+
+#endif // DRF_SIM_FLAT_MAP_HH

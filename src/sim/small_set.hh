@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sorted-vector integer set for the directory's sharer lists.
+ *
+ * The directory previously kept CPU and GPU sharers in std::set<int>,
+ * paying a node allocation per insert on the hottest GPU path (every
+ * read miss adds an L2 sharer). A sorted vector preserves the property
+ * the protocol actually relies on — iteration in ascending id order, so
+ * probe fan-out is deterministic — while insert/erase on the handful of
+ * sharers a line ever has is a memmove within one cache line, and a
+ * cleared set keeps its capacity for the next transaction.
+ */
+
+#ifndef DRF_SIM_SMALL_SET_HH
+#define DRF_SIM_SMALL_SET_HH
+
+#include <algorithm>
+#include <vector>
+
+namespace drf
+{
+
+/** Set of ints with sorted iteration, backed by a vector. */
+class SmallIntSet
+{
+  public:
+    using const_iterator = std::vector<int>::const_iterator;
+
+    bool empty() const { return _items.empty(); }
+    std::size_t size() const { return _items.size(); }
+
+    const_iterator begin() const { return _items.begin(); }
+    const_iterator end() const { return _items.end(); }
+
+    std::size_t
+    count(int v) const
+    {
+        return std::binary_search(_items.begin(), _items.end(), v) ? 1 : 0;
+    }
+
+    /** Insert @p v, keeping the elements sorted. No-op if present. */
+    void
+    insert(int v)
+    {
+        auto it = std::lower_bound(_items.begin(), _items.end(), v);
+        if (it == _items.end() || *it != v)
+            _items.insert(it, v);
+    }
+
+    /** Remove @p v if present. @return number of elements removed. */
+    std::size_t
+    erase(int v)
+    {
+        auto it = std::lower_bound(_items.begin(), _items.end(), v);
+        if (it == _items.end() || *it != v)
+            return 0;
+        _items.erase(it);
+        return 1;
+    }
+
+    /** Drop every element, keeping the capacity. */
+    void clear() { _items.clear(); }
+
+  private:
+    std::vector<int> _items;
+};
+
+} // namespace drf
+
+#endif // DRF_SIM_SMALL_SET_HH

@@ -12,12 +12,14 @@ namespace drf
 {
 
 CpuTester::CpuTester(ApuSystem &sys, const CpuTesterConfig &cfg)
-    : _sys(sys), _cfg(cfg), _rng(cfg.seed)
+    : _sys(sys), _cfg(cfg), _rng(cfg.seed),
+      _expected(cfg.addrRangeBytes, 0),
+      _busyAddrs(cfg.addrRangeBytes, kIdle)
 {
     assert(sys.numCpuCaches() > 0 && "CPU tester needs CPU caches");
     for (unsigned i = 0; i < sys.numCpuCaches(); ++i) {
-        sys.cpuCache(i).bindCoreResponse([this, i](Packet pkt) {
-            onCoreResponse(i, std::move(pkt));
+        sys.cpuCache(i).bindCoreResponse([this, i](Packet &&pkt) {
+            onCoreResponse(i, pkt);
         });
         for (unsigned c = 0; c < cfg.coresPerCache; ++c) {
             Core core;
@@ -51,7 +53,7 @@ CpuTester::issueNext(Core &core)
     bool found = false;
     for (unsigned attempt = 0; attempt < 16; ++attempt) {
         addr = _cfg.addrBase + _rng.below(_cfg.addrRangeBytes);
-        if (_busyAddrs.count(addr) == 0) {
+        if (_busyAddrs[slotOf(addr)] == kIdle) {
             found = true;
             break;
         }
@@ -67,7 +69,7 @@ CpuTester::issueNext(Core &core)
     core.curAddr = addr;
     core.curIsStore = _rng.pct(_cfg.storePct);
     core.issuedAt = _sys.eventq().curTick();
-    _busyAddrs[addr] = core.coreId;
+    _busyAddrs[slotOf(addr)] = core.coreId;
 
     Packet pkt;
     pkt.addr = addr;
@@ -78,10 +80,8 @@ CpuTester::issueNext(Core &core)
     pkt.issueTick = core.issuedAt;
 
     if (core.curIsStore) {
-        auto it = _expected.find(addr);
         std::uint8_t next =
-            static_cast<std::uint8_t>((it == _expected.end()
-                                       ? 0 : it->second) + 1);
+            static_cast<std::uint8_t>(_expected[slotOf(addr)] + 1);
         core.curValue = next;
         pkt.type = MsgType::StoreReq;
         pkt.setValueLE(next, 1);
@@ -92,7 +92,7 @@ CpuTester::issueNext(Core &core)
 }
 
 void
-CpuTester::onCoreResponse(unsigned cache_idx, Packet pkt)
+CpuTester::onCoreResponse(unsigned cache_idx, Packet &pkt)
 {
     std::uint32_t core_id = pkt.requestor;
     Core &core = _cores.at(core_id);
@@ -102,8 +102,7 @@ CpuTester::onCoreResponse(unsigned cache_idx, Packet pkt)
     if (pkt.type == MsgType::LoadResp) {
         assert(pkt.dataLen >= 1);
         std::uint8_t got = pkt.data[0];
-        auto it = _expected.find(pkt.addr);
-        std::uint8_t expected = it == _expected.end() ? 0 : it->second;
+        std::uint8_t expected = _expected[slotOf(pkt.addr)];
         if (got != expected) {
             std::ostringstream os;
             os << "CPU load mismatch at addr 0x" << std::hex << pkt.addr
@@ -115,7 +114,7 @@ CpuTester::onCoreResponse(unsigned cache_idx, Packet pkt)
         }
         ++_loadsChecked;
     } else if (pkt.type == MsgType::StoreAck) {
-        _expected[pkt.addr] = core.curValue;
+        _expected[slotOf(pkt.addr)] = core.curValue;
         ++_storesDone;
     } else {
         fail(FailureClass::Other, "unexpected CPU core response",
@@ -123,7 +122,7 @@ CpuTester::onCoreResponse(unsigned cache_idx, Packet pkt)
     }
 
     core.busy = false;
-    _busyAddrs.erase(pkt.addr);
+    _busyAddrs[slotOf(pkt.addr)] = kIdle;
     issueNext(core);
 }
 

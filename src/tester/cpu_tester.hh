@@ -15,8 +15,8 @@
 #ifndef DRF_TESTER_CPU_TESTER_HH
 #define DRF_TESTER_CPU_TESTER_HH
 
+#include <cassert>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -74,7 +74,7 @@ class CpuTester
     };
 
     void issueNext(Core &core);
-    void onCoreResponse(unsigned cache_idx, Packet pkt);
+    void onCoreResponse(unsigned cache_idx, Packet &pkt);
     void watchdogCheck();
 
     /** Throws TesterFailure; run() converts it into a failed result. */
@@ -86,9 +86,24 @@ class CpuTester
     CpuTesterConfig _cfg;
     Random _rng;
 
+    /** Sentinel for _busyAddrs slots with no transaction in flight. */
+    static constexpr std::uint32_t kIdle = ~std::uint32_t{0};
+
+    /** Index of @p addr in the flat per-byte tables. */
+    std::size_t
+    slotOf(Addr addr) const
+    {
+        assert(addr >= _cfg.addrBase &&
+               addr - _cfg.addrBase < _cfg.addrRangeBytes);
+        return static_cast<std::size_t>(addr - _cfg.addrBase);
+    }
+
     std::vector<Core> _cores;
-    std::map<Addr, std::uint8_t> _expected; ///< absent => 0
-    std::map<Addr, std::uint32_t> _busyAddrs; ///< in-flight locations
+    // The tested range is small and dense (addrRangeBytes, default 1 KiB)
+    // and these tables sit on the per-load hot path, so they are flat
+    // vectors indexed by addr - addrBase rather than ordered maps.
+    std::vector<std::uint8_t> _expected;   ///< last stored value (0 init)
+    std::vector<std::uint32_t> _busyAddrs; ///< owning core, or kIdle
 
     std::uint64_t _loadsChecked = 0;
     std::uint64_t _storesDone = 0;

@@ -5,18 +5,66 @@
 namespace drf
 {
 
+void
+Episode::rebuildIndexes()
+{
+    writes.clear();
+    reads.clear();
+
+    // Pass 1: collect the write set. One entry per variable; a later
+    // store to the same variable overwrites the lane/value in place.
+    for (std::uint32_t a = 0; a < _numActions; ++a) {
+        for (std::uint32_t lane = 0; lane < laneCount(a); ++lane) {
+            if (!laneActive(a, lane) || !laneIsStore(a, lane))
+                continue;
+            VarId var = laneVar(a, lane);
+            if (WriteInfo *info = findWrite(var)) {
+                info->lane = lane;
+                info->value = laneValue(a, lane);
+                info->completedAt = 0;
+            } else {
+                addWrite(var, lane, laneValue(a, lane));
+            }
+        }
+    }
+
+    // Pass 2: link every op to its write entry and collect the distinct
+    // read list in first-load order.
+    for (std::uint32_t a = 0; a < _numActions; ++a) {
+        for (std::uint32_t lane = 0; lane < laneCount(a); ++lane) {
+            if (!laneActive(a, lane))
+                continue;
+            std::size_t idx = _laneOffset[a] + lane;
+            VarId var = _var[idx];
+            std::uint32_t wi = kNoWrite;
+            for (std::uint32_t w = 0; w < writes.size(); ++w) {
+                if (writes[w].var == var) {
+                    wi = w;
+                    break;
+                }
+            }
+            _writeIdx[idx] = wi;
+            if (!laneIsStore(a, lane) && !readsVar(var))
+                reads.push_back(var);
+        }
+    }
+}
+
 EpisodeGenerator::EpisodeGenerator(const VariableMap &vmap,
                                    const EpisodeGenConfig &cfg,
                                    Random &rng)
     : _vmap(&vmap), _cfg(cfg), _rng(&rng),
       _activeReaders(vmap.numVars(), 0),
-      _activeWriters(vmap.numVars(), 0)
+      _activeWriters(vmap.numVars(), 0),
+      _epWriterLane(vmap.numVars(), -1),
+      _epWriteIdx(vmap.numVars(), Episode::kNoWrite),
+      _epRead(vmap.numVars(), 0)
 {
     assert(vmap.numSyncVars() > 0 && vmap.numNormalVars() > 0);
 }
 
 std::optional<VarId>
-EpisodeGenerator::pickStoreVar(const Episode &episode)
+EpisodeGenerator::pickStoreVar()
 {
     for (unsigned attempt = 0; attempt < _cfg.pickAttempts; ++attempt) {
         VarId var = _vmap->normalVar(static_cast<std::uint32_t>(
@@ -26,7 +74,7 @@ EpisodeGenerator::pickStoreVar(const Episode &episode)
             continue;
         // Within the episode: one writer per variable, and never write
         // what any lane already read (lanes are unordered peers).
-        if (episode.writes.count(var) > 0 || episode.reads.count(var) > 0)
+        if (_epWriterLane[var] >= 0 || _epRead[var])
             continue;
         return var;
     }
@@ -34,7 +82,7 @@ EpisodeGenerator::pickStoreVar(const Episode &episode)
 }
 
 std::optional<VarId>
-EpisodeGenerator::pickLoadVar(const Episode &episode, unsigned lane)
+EpisodeGenerator::pickLoadVar(unsigned lane)
 {
     for (unsigned attempt = 0; attempt < _cfg.pickAttempts; ++attempt) {
         VarId var = _vmap->normalVar(static_cast<std::uint32_t>(
@@ -44,71 +92,76 @@ EpisodeGenerator::pickLoadVar(const Episode &episode, unsigned lane)
             continue;
         // Within the episode: only the writing lane itself may re-read
         // its own store (program order makes that deterministic).
-        auto it = episode.writes.find(var);
-        if (it != episode.writes.end() && it->second.lane != lane)
+        std::int32_t writer = _epWriterLane[var];
+        if (writer >= 0 && static_cast<unsigned>(writer) != lane)
             continue;
         return var;
     }
     return std::nullopt;
 }
 
-Episode
-EpisodeGenerator::generate(std::uint32_t wavefront_id)
+void
+EpisodeGenerator::generateInto(Episode &episode, std::uint32_t wavefront_id)
 {
-    Episode episode;
+    episode.beginBuild();
     episode.id = _nextEpisodeId++;
     episode.wavefrontId = wavefront_id;
     episode.syncVar = _vmap->syncVar(static_cast<std::uint32_t>(
         _rng->below(_vmap->numSyncVars())));
 
-    episode.actions.resize(_cfg.actionsPerEpisode);
-    for (auto &action : episode.actions) {
-        action.lanes.resize(_cfg.lanes);
+    for (unsigned a = 0; a < _cfg.actionsPerEpisode; ++a) {
+        episode.addAction(_cfg.lanes);
         for (unsigned lane = 0; lane < _cfg.lanes; ++lane) {
             if (!_rng->pct(_cfg.laneActivePct))
                 continue;
             bool is_store = _rng->pct(_cfg.storePct);
             if (is_store) {
-                auto var = pickStoreVar(episode);
+                auto var = pickStoreVar();
                 if (!var)
                     continue; // conflict space exhausted; skip the slot
-                LaneOp op;
-                op.kind = LaneOp::Kind::Store;
-                op.var = *var;
-                op.storeValue = _nextStoreValue++;
-                episode.writes[*var] =
-                    Episode::WriteInfo{lane, op.storeValue, 0};
-                action.lanes[lane] = op;
+                std::uint32_t value = _nextStoreValue++;
+                std::uint32_t wi = episode.addWrite(*var, lane, value);
+                episode.setStore(a, lane, *var, value, wi);
+                _epWriterLane[*var] = static_cast<std::int32_t>(lane);
+                _epWriteIdx[*var] = wi;
             } else {
-                auto var = pickLoadVar(episode, lane);
+                auto var = pickLoadVar(lane);
                 if (!var)
                     continue;
-                LaneOp op;
-                op.kind = LaneOp::Kind::Load;
-                op.var = *var;
-                episode.reads.insert(*var);
-                action.lanes[lane] = op;
+                episode.setLoad(a, lane, *var,
+                                _epWriterLane[*var] >= 0
+                                    ? _epWriteIdx[*var]
+                                    : Episode::kNoWrite);
+                if (!_epRead[*var]) {
+                    _epRead[*var] = 1;
+                    episode.reads.push_back(*var);
+                }
             }
         }
     }
 
     // Publish the episode's footprint so episodes generated while this
-    // one is active cannot conflict with it.
-    for (const auto &[var, info] : episode.writes)
-        ++_activeWriters[var];
-    for (VarId var : episode.reads)
+    // one is active cannot conflict with it — and clear the per-episode
+    // scratch for the next build (touched entries only, so the sweep
+    // costs O(footprint), not O(numVars)).
+    for (const Episode::WriteEntry &w : episode.writes) {
+        ++_activeWriters[w.var];
+        _epWriterLane[w.var] = -1;
+        _epWriteIdx[w.var] = Episode::kNoWrite;
+    }
+    for (VarId var : episode.reads) {
         ++_activeReaders[var];
+        _epRead[var] = 0;
+    }
     ++_activeCount;
-
-    return episode;
 }
 
 void
 EpisodeGenerator::retire(const Episode &episode)
 {
-    for (const auto &[var, info] : episode.writes) {
-        assert(_activeWriters[var] > 0);
-        --_activeWriters[var];
+    for (const Episode::WriteEntry &w : episode.writes) {
+        assert(_activeWriters[w.var] > 0);
+        --_activeWriters[w.var];
     }
     for (VarId var : episode.reads) {
         assert(_activeReaders[var] > 0);

@@ -21,15 +21,22 @@
  * lanes (lockstep issue does not order memory accesses between lanes).
  * The only sanctioned read-after-write is a lane re-reading the variable
  * it wrote itself, which program order makes deterministic.
+ *
+ * Episode state is structure-of-arrays: instead of one
+ * vector<optional<LaneOp>> per action, an episode keeps flat per-lane-op
+ * planes (variable ids, store values, write links) plus active/store
+ * bitmasks, indexed CSR-style through per-action lane offsets. The hot
+ * issue/check loops walk contiguous arrays; a reused Episode regenerates
+ * with zero heap traffic because every plane keeps its capacity (see
+ * DESIGN.md §10).
  */
 
 #ifndef DRF_TESTER_EPISODE_HH
 #define DRF_TESTER_EPISODE_HH
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/random.hh"
@@ -38,7 +45,7 @@
 namespace drf
 {
 
-/** What one lane does in one vector action. */
+/** Kind of a lane's op within a vector action. */
 struct LaneOp
 {
     enum class Kind
@@ -46,26 +53,14 @@ struct LaneOp
         Load,
         Store,
     };
-
-    Kind kind = Kind::Load;
-    VarId var = 0;
-    std::uint32_t storeValue = 0; ///< globally unique, for stores
 };
 
-/** One lockstep step of a wavefront: an op per participating lane. */
-struct VectorAction
-{
-    /** Index i is lane i's op; disengaged lanes skip the step. */
-    std::vector<std::optional<LaneOp>> lanes;
-};
-
-/** A generated episode. */
+/** A generated episode (structure-of-arrays). */
 struct Episode
 {
     std::uint64_t id = 0;
     std::uint32_t wavefrontId = 0;
     VarId syncVar = 0;
-    std::vector<VectorAction> actions;
 
     /** Final value written per variable, and the lane that wrote it. */
     struct WriteInfo
@@ -74,10 +69,211 @@ struct Episode
         std::uint32_t value;
         Tick completedAt = 0; ///< filled in when the store is acked
     };
-    std::unordered_map<VarId, WriteInfo> writes;
 
-    /** Variables loaded by the episode (distinct). */
-    std::unordered_set<VarId> reads;
+    /** One written variable, in first-store order. */
+    struct WriteEntry
+    {
+        VarId var;
+        WriteInfo info;
+    };
+
+    /** Sentinel write link for loads of never-written variables. */
+    static constexpr std::uint32_t kNoWrite = 0xffffffffu;
+
+    /** Written variables (one entry per variable, insertion order). */
+    std::vector<WriteEntry> writes;
+
+    /** Variables loaded by the episode (distinct, insertion order). */
+    std::vector<VarId> reads;
+
+    // ----- shape ------------------------------------------------------
+
+    std::uint32_t numActions() const { return _numActions; }
+
+    /** Lanes participating (active or not) in action @p a. */
+    std::uint32_t
+    laneCount(std::uint32_t a) const
+    {
+        return _laneOffset[a + 1] - _laneOffset[a];
+    }
+
+    /** True if any lane of action @p a carries an op. */
+    bool actionHasActiveLane(std::uint32_t a) const { return _anyActive[a]; }
+
+    bool
+    laneActive(std::uint32_t a, std::uint32_t lane) const
+    {
+        return testBit(_active, _laneOffset[a] + lane);
+    }
+
+    /** @pre laneActive(a, lane) */
+    bool
+    laneIsStore(std::uint32_t a, std::uint32_t lane) const
+    {
+        return testBit(_isStore, _laneOffset[a] + lane);
+    }
+
+    /** @pre laneActive(a, lane) */
+    VarId
+    laneVar(std::uint32_t a, std::uint32_t lane) const
+    {
+        return _var[_laneOffset[a] + lane];
+    }
+
+    /** Store value of an active store lane (0 for loads). */
+    std::uint32_t
+    laneValue(std::uint32_t a, std::uint32_t lane) const
+    {
+        return _value[_laneOffset[a] + lane];
+    }
+
+    /**
+     * Index into writes for a store op, or for a load reading a variable
+     * this episode writes; kNoWrite otherwise.
+     */
+    std::uint32_t
+    laneWriteIdx(std::uint32_t a, std::uint32_t lane) const
+    {
+        return _writeIdx[_laneOffset[a] + lane];
+    }
+
+    // ----- write/read index lookups -----------------------------------
+
+    const WriteInfo *
+    findWrite(VarId var) const
+    {
+        for (const WriteEntry &w : writes) {
+            if (w.var == var)
+                return &w.info;
+        }
+        return nullptr;
+    }
+
+    WriteInfo *
+    findWrite(VarId var)
+    {
+        for (WriteEntry &w : writes) {
+            if (w.var == var)
+                return &w.info;
+        }
+        return nullptr;
+    }
+
+    bool writesVar(VarId var) const { return findWrite(var) != nullptr; }
+
+    bool
+    readsVar(VarId var) const
+    {
+        for (VarId v : reads) {
+            if (v == var)
+                return true;
+        }
+        return false;
+    }
+
+    // ----- building ---------------------------------------------------
+
+    /** Reset to an empty episode, keeping every plane's capacity. */
+    void
+    beginBuild()
+    {
+        _numActions = 0;
+        _laneOffset.clear();
+        _laneOffset.push_back(0);
+        _active.clear();
+        _isStore.clear();
+        _var.clear();
+        _value.clear();
+        _writeIdx.clear();
+        _anyActive.clear();
+        writes.clear();
+        reads.clear();
+    }
+
+    /** Append one action with @p lanes lane slots (all inactive). */
+    void
+    addAction(std::uint32_t lanes)
+    {
+        std::uint32_t base = _laneOffset.back();
+        _laneOffset.push_back(base + lanes);
+        _var.resize(base + lanes, 0);
+        _value.resize(base + lanes, 0);
+        _writeIdx.resize(base + lanes, kNoWrite);
+        std::size_t words = (static_cast<std::size_t>(base) + lanes + 63) / 64;
+        _active.resize(words, 0);
+        _isStore.resize(words, 0);
+        _anyActive.push_back(0);
+        ++_numActions;
+    }
+
+    /**
+     * Mark lane @p lane of action @p a as a load of @p var.
+     * @param write_idx index of the episode's own write to @p var
+     *        (same-lane read-after-write), or kNoWrite.
+     */
+    void
+    setLoad(std::uint32_t a, std::uint32_t lane, VarId var,
+            std::uint32_t write_idx)
+    {
+        std::size_t idx = _laneOffset[a] + lane;
+        setBit(_active, idx);
+        _var[idx] = var;
+        _writeIdx[idx] = write_idx;
+        _anyActive[a] = 1;
+    }
+
+    /** Mark lane @p lane of action @p a as a store of @p value. */
+    void
+    setStore(std::uint32_t a, std::uint32_t lane, VarId var,
+             std::uint32_t value, std::uint32_t write_idx)
+    {
+        std::size_t idx = _laneOffset[a] + lane;
+        setBit(_active, idx);
+        setBit(_isStore, idx);
+        _var[idx] = var;
+        _value[idx] = value;
+        _writeIdx[idx] = write_idx;
+        _anyActive[a] = 1;
+    }
+
+    /** Append a write entry; @return its index for laneWriteIdx links. */
+    std::uint32_t
+    addWrite(VarId var, unsigned lane, std::uint32_t value)
+    {
+        writes.push_back(WriteEntry{var, WriteInfo{lane, value, 0}});
+        return static_cast<std::uint32_t>(writes.size() - 1);
+    }
+
+    /**
+     * Rebuild writes, reads, and the per-lane write links from the op
+     * planes — the deserialization hook (trace loading fills only the
+     * planes). Mirrors the generator's invariants: one write entry per
+     * variable (the last store's lane/value wins, as the old hash-map
+     * rebuild did) and a distinct read list in first-load order.
+     */
+    void rebuildIndexes();
+
+  private:
+    static bool
+    testBit(const std::vector<std::uint64_t> &bits, std::size_t i)
+    {
+        return (bits[i / 64] >> (i % 64)) & 1u;
+    }
+
+    static void
+    setBit(std::vector<std::uint64_t> &bits, std::size_t i)
+    {
+        bits[i / 64] |= std::uint64_t{1} << (i % 64);
+    }
+
+    std::uint32_t _numActions = 0;
+    std::vector<std::uint32_t> _laneOffset{0}; ///< CSR offsets, size n+1
+    std::vector<std::uint64_t> _active;     ///< lane-participates bitmask
+    std::vector<std::uint64_t> _isStore;    ///< store/load bitmask
+    std::vector<VarId> _var;                ///< per-lane-op variable
+    std::vector<std::uint32_t> _value;      ///< per-lane-op store value
+    std::vector<std::uint32_t> _writeIdx;   ///< per-lane-op write link
+    std::vector<std::uint8_t> _anyActive;   ///< per-action fast skip
 };
 
 /** Knobs for episode generation. */
@@ -101,11 +297,21 @@ class EpisodeGenerator
                      Random &rng);
 
     /**
-     * Generate the next episode for @p wavefront_id. The episode is
-     * immediately accounted active; call retire() when its release
-     * completes.
+     * Generate the next episode for @p wavefront_id into @p out,
+     * reusing its storage (steady-state generation is allocation-free).
+     * The episode is immediately accounted active; call retire() when
+     * its release completes.
      */
-    Episode generate(std::uint32_t wavefront_id);
+    void generateInto(Episode &out, std::uint32_t wavefront_id);
+
+    /** Convenience wrapper returning a fresh episode. */
+    Episode
+    generate(std::uint32_t wavefront_id)
+    {
+        Episode e;
+        generateInto(e, wavefront_id);
+        return e;
+    }
 
     /** Remove a retired episode from the active conflict sets. */
     void retire(const Episode &episode);
@@ -132,11 +338,10 @@ class EpisodeGenerator
 
   private:
     /** Try to pick a variable a store may legally target. */
-    std::optional<VarId> pickStoreVar(const Episode &episode);
+    std::optional<VarId> pickStoreVar();
 
     /** Try to pick a variable a load on @p lane may legally target. */
-    std::optional<VarId> pickLoadVar(const Episode &episode,
-                                     unsigned lane);
+    std::optional<VarId> pickLoadVar(unsigned lane);
 
     const VariableMap *_vmap;
     EpisodeGenConfig _cfg;
@@ -146,6 +351,17 @@ class EpisodeGenerator
     std::vector<std::uint32_t> _activeReaders;
     std::vector<std::uint32_t> _activeWriters;
     std::uint64_t _activeCount = 0;
+
+    /**
+     * Per-variable scratch for the episode currently being generated
+     * (cleared via the episode's write/read lists after each build):
+     * the writing lane (-1 = none), its write-entry index, and a
+     * read-membership flag. These answer the generation rules' own-
+     * episode membership queries in O(1) without a per-episode hash map.
+     */
+    std::vector<std::int32_t> _epWriterLane;
+    std::vector<std::uint32_t> _epWriteIdx;
+    std::vector<std::uint8_t> _epRead;
 
     std::uint64_t _nextEpisodeId = 0;
     std::uint32_t _nextStoreValue = 1;

@@ -40,8 +40,8 @@ GpuTester::GpuTester(ApuSystem &sys, const GpuTesterConfig &cfg)
     }
 
     for (unsigned cu = 0; cu < sys.numCus(); ++cu) {
-        sys.l1(cu).bindCoreResponse([this, cu](Packet pkt) {
-            onCoreResponse(cu, std::move(pkt));
+        sys.l1(cu).bindCoreResponse([this, cu](Packet &&pkt) {
+            onCoreResponse(cu, pkt);
         });
         for (unsigned w = 0; w < cfg.wfsPerCu; ++w) {
             Wavefront wf;
@@ -58,6 +58,11 @@ GpuTester::GpuTester(ApuSystem &sys, const GpuTesterConfig &cfg)
                 _replayQueues[e.wavefrontId].push_back(&e);
         }
     }
+
+    // Size the in-flight registry for the steady state (every lane of
+    // every wavefront plus an atomic each) so it never rehashes.
+    _outstanding.reserve(_wfs.size() * (cfg.lanes + 1) * 2);
+    _refMem->reserveAtomics(_wfs.size() * cfg.episodesPerWf * 2 + 2);
 }
 
 std::uint64_t
@@ -143,7 +148,7 @@ GpuTester::startEpisode(Wavefront &wf)
         }
         wf.episode = *queue[wf.episodesDone];
     } else {
-        wf.episode = _gen->generate(wf.globalId);
+        _gen->generateInto(wf.episode, wf.globalId);
         if (_cfg.record != nullptr)
             _cfg.record->episodes.push_back(wf.episode);
     }
@@ -187,40 +192,37 @@ void
 GpuTester::issueAction(Wavefront &wf)
 {
     // Skip vector actions in which no lane participates.
-    while (wf.actionIdx < wf.episode.actions.size()) {
-        const VectorAction &action = wf.episode.actions[wf.actionIdx];
-        bool any = false;
-        for (const auto &op : action.lanes)
-            any = any || op.has_value();
-        if (any)
-            break;
+    const std::uint32_t num_actions = wf.episode.numActions();
+    while (wf.actionIdx < num_actions &&
+           !wf.episode.actionHasActiveLane(
+               static_cast<std::uint32_t>(wf.actionIdx))) {
         ++wf.actionIdx;
     }
 
-    if (wf.actionIdx >= wf.episode.actions.size()) {
+    if (wf.actionIdx >= num_actions) {
         wf.phase = Phase::Release;
         issueAtomic(wf, false);
         return;
     }
 
-    const VectorAction &action = wf.episode.actions[wf.actionIdx];
+    const std::uint32_t a = static_cast<std::uint32_t>(wf.actionIdx);
+    const std::uint32_t lanes = wf.episode.laneCount(a);
     wf.pendingResponses = 0;
 
-    for (unsigned lane = 0; lane < action.lanes.size(); ++lane) {
-        if (!action.lanes[lane].has_value())
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+        if (!wf.episode.laneActive(a, lane))
             continue;
-        const LaneOp &op = *action.lanes[lane];
 
         Packet pkt;
-        pkt.addr = _vmap->addrOf(op.var);
+        pkt.addr = _vmap->addrOf(wf.episode.laneVar(a, lane));
         pkt.size = _vmap->varBytes();
         pkt.requestor = threadId(wf, lane);
         pkt.id = _nextPktId++;
         pkt.issueTick = _sys.eventq().curTick();
 
-        if (op.kind == LaneOp::Kind::Store) {
+        if (wf.episode.laneIsStore(a, lane)) {
             pkt.type = MsgType::StoreReq;
-            pkt.setValueLE(op.storeValue, pkt.size);
+            pkt.setValueLE(wf.episode.laneValue(a, lane), pkt.size);
         } else {
             pkt.type = MsgType::LoadReq;
         }
@@ -239,24 +241,25 @@ void
 GpuTester::checkLoad(Wavefront &wf, unsigned lane, const Packet &pkt)
 {
     // Identify the variable from the address.
-    const VectorAction &action = wf.episode.actions[wf.actionIdx];
-    assert(action.lanes[lane].has_value());
-    const LaneOp &op = *action.lanes[lane];
-    assert(op.kind == LaneOp::Kind::Load);
-    assert(_vmap->addrOf(op.var) == pkt.addr);
+    const std::uint32_t a = static_cast<std::uint32_t>(wf.actionIdx);
+    assert(wf.episode.laneActive(a, lane));
+    assert(!wf.episode.laneIsStore(a, lane));
+    const VarId var = wf.episode.laneVar(a, lane);
+    assert(_vmap->addrOf(var) == pkt.addr);
 
     std::uint64_t got = pkt.valueLE();
 
-    // Expected value: the lane's own earlier write in this episode, or
+    // Expected value: the lane's own earlier write in this episode
+    // (pre-linked by the generator as a write index, so no lookup), or
     // the globally visible (retired) value.
     std::uint64_t expected;
-    auto wit = wf.episode.writes.find(op.var);
-    if (wit != wf.episode.writes.end()) {
-        assert(wit->second.lane == lane &&
+    const std::uint32_t wi = wf.episode.laneWriteIdx(a, lane);
+    if (wi != Episode::kNoWrite) {
+        assert(wf.episode.writes[wi].info.lane == lane &&
                "generation rules allow only same-lane read-after-write");
-        expected = wit->second.value;
+        expected = wf.episode.writes[wi].info.value;
     } else {
-        expected = _refMem->value(op.var);
+        expected = _refMem->value(var);
     }
 
     AccessRecord reader;
@@ -269,11 +272,11 @@ GpuTester::checkLoad(Wavefront &wf, unsigned lane, const Packet &pkt)
 
     if (got != expected) {
         std::ostringstream os;
-        os << "read-write inconsistency on var " << op.var << " (addr=0x"
+        os << "read-write inconsistency on var " << var << " (addr=0x"
            << std::hex << pkt.addr << std::dec << "): loaded " << got
            << ", expected " << expected << "\n";
         os << "  Last Reader: " << reader.describe() << "\n";
-        const auto &writer = _refMem->lastWriter(op.var);
+        const auto writer = _refMem->lastWriter(var);
         os << "  Last Writer: "
            << (writer ? writer->describe() : std::string("<none>"))
            << "\n";
@@ -281,7 +284,7 @@ GpuTester::checkLoad(Wavefront &wf, unsigned lane, const Packet &pkt)
              os.str());
     }
 
-    _refMem->noteRead(op.var, reader);
+    _refMem->noteRead(var, reader);
     ++_loadsChecked;
 }
 
@@ -315,15 +318,15 @@ GpuTester::retireEpisode(Wavefront &wf)
 {
     // The release completed: the episode's writes become globally
     // visible and enter the reference memory.
-    for (const auto &[var, info] : wf.episode.writes) {
+    for (const Episode::WriteEntry &w : wf.episode.writes) {
         AccessRecord record;
-        record.threadId = threadId(wf, info.lane);
+        record.threadId = threadId(wf, w.info.lane);
         record.threadGroupId = wf.globalId;
         record.episodeId = wf.episode.id;
-        record.addr = _vmap->addrOf(var);
-        record.cycle = info.completedAt;
-        record.value = info.value;
-        _refMem->applyWrite(var, record);
+        record.addr = _vmap->addrOf(w.var);
+        record.cycle = w.info.completedAt;
+        record.value = w.info.value;
+        _refMem->applyWrite(w.var, record);
     }
     if (_cfg.replay == nullptr)
         _gen->retire(wf.episode);
@@ -339,7 +342,7 @@ GpuTester::retireEpisode(Wavefront &wf)
 }
 
 void
-GpuTester::onCoreResponse(unsigned cu, Packet pkt)
+GpuTester::onCoreResponse(unsigned cu, Packet &pkt)
 {
     _outstanding.erase(pkt.id);
 
@@ -362,8 +365,10 @@ GpuTester::onCoreResponse(unsigned cu, Packet pkt)
         break;
       case MsgType::StoreAck: {
         assert(wf.phase == Phase::Actions);
-        const LaneOp &op = *wf.episode.actions[wf.actionIdx].lanes[lane];
-        wf.episode.writes[op.var].completedAt = _sys.eventq().curTick();
+        const std::uint32_t wi = wf.episode.laneWriteIdx(
+            static_cast<std::uint32_t>(wf.actionIdx), lane);
+        assert(wi != Episode::kNoWrite);
+        wf.episode.writes[wi].info.completedAt = _sys.eventq().curTick();
         break;
       }
       case MsgType::AtomicResp:
@@ -402,16 +407,26 @@ void
 GpuTester::watchdogCheck()
 {
     Tick now = _sys.eventq().curTick();
-    for (const auto &[id, req] : _outstanding) {
-        if (watchdogExpired(now, req.issued, _cfg.deadlockThreshold)) {
-            std::ostringstream os;
-            os << "request outstanding for " << (now - req.issued)
-               << " cycles (threshold " << _cfg.deadlockThreshold
-               << "): " << req.describe() << " issued at " << req.issued
-               << "\n";
-            fail(FailureClass::Deadlock,
-                 "potential deadlock (no forward progress)", os.str());
+    // Report the expired request with the smallest packet id — the same
+    // entry the old id-sorted std::map iteration failed on first — so
+    // the deadlock report stays independent of table layout.
+    const Outstanding *worst = nullptr;
+    PacketId worst_id = 0;
+    _outstanding.forEach([&](std::uint64_t id, const Outstanding &req) {
+        if (watchdogExpired(now, req.issued, _cfg.deadlockThreshold) &&
+            (worst == nullptr || id < worst_id)) {
+            worst = &req;
+            worst_id = id;
         }
+    });
+    if (worst != nullptr) {
+        std::ostringstream os;
+        os << "request outstanding for " << (now - worst->issued)
+           << " cycles (threshold " << _cfg.deadlockThreshold
+           << "): " << worst->describe() << " issued at " << worst->issued
+           << "\n";
+        fail(FailureClass::Deadlock,
+             "potential deadlock (no forward progress)", os.str());
     }
     if (!allDone()) {
         _sys.eventq().scheduleAfter(_cfg.checkInterval,

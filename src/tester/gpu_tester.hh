@@ -34,12 +34,12 @@
 #define DRF_TESTER_GPU_TESTER_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "sim/flat_map.hh"
 #include "sim/random.hh"
 #include "system/apu_system.hh"
 #include "tester/episode.hh"
@@ -185,7 +185,7 @@ class GpuTester
     void startEpisode(Wavefront &wf);
     void issueAction(Wavefront &wf);
     void issueAtomic(Wavefront &wf, bool acquire);
-    void onCoreResponse(unsigned cu, Packet pkt);
+    void onCoreResponse(unsigned cu, Packet &pkt);
     void checkLoad(Wavefront &wf, unsigned lane, const Packet &pkt);
     void checkAtomic(Wavefront &wf, const Packet &pkt);
     void retireEpisode(Wavefront &wf);
@@ -225,7 +225,7 @@ class GpuTester
     /** Replay mode: per-wavefront recorded episodes, schedule order. */
     std::vector<std::vector<const Episode *>> _replayQueues;
 
-    std::map<PacketId, Outstanding> _outstanding;
+    FlatMap<Outstanding> _outstanding;
     PacketId _nextPktId = 1;
 
     static constexpr std::size_t historyDepth = 48;

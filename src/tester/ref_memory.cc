@@ -1,5 +1,6 @@
 #include "tester/ref_memory.hh"
 
+#include <algorithm>
 #include <sstream>
 
 namespace drf
@@ -17,8 +18,10 @@ AccessRecord::describe() const
 
 RefMemory::RefMemory(const VariableMap &vmap)
     : _vmap(&vmap), _values(vmap.numVars(), 0),
-      _lastWriter(vmap.numVars()), _lastReader(vmap.numVars()),
-      _atomicSeen(vmap.numSyncVars())
+      _writerValid(vmap.numVars(), 0), _readerValid(vmap.numVars(), 0),
+      _writerRec(vmap.numVars()), _readerRec(vmap.numVars()),
+      _atomicPlanes(vmap.numSyncVars()),
+      _atomicCount(vmap.numSyncVars(), 0)
 {
 }
 
@@ -26,26 +29,61 @@ void
 RefMemory::applyWrite(VarId var, const AccessRecord &record)
 {
     _values[var] = static_cast<std::uint32_t>(record.value);
-    _lastWriter[var] = record;
+    _writerRec[var] = record;
+    _writerValid[var] = 1;
     ++_writesRetired;
 }
 
 void
 RefMemory::noteRead(VarId var, const AccessRecord &record)
 {
-    _lastReader[var] = record;
+    _readerRec[var] = record;
+    _readerValid[var] = 1;
     ++_readsChecked;
+}
+
+void
+RefMemory::reserveAtomics(std::uint64_t per_var)
+{
+    per_var = std::min(per_var, denseAtomicLimit);
+    for (AtomicPlane &plane : _atomicPlanes) {
+        plane.seen.resize((per_var + 63) / 64, 0);
+        plane.rec.resize(per_var);
+    }
 }
 
 std::optional<AtomicViolation>
 RefMemory::noteAtomicReturn(VarId var, const AccessRecord &record)
 {
-    if (var >= _atomicSeen.size())
-        _atomicSeen.resize(var + 1);
-    auto &seen = _atomicSeen[var];
-    auto [it, inserted] = seen.emplace(record.value, record);
-    if (!inserted)
-        return AtomicViolation{it->second, record};
+    if (var >= _atomicPlanes.size()) {
+        _atomicPlanes.resize(var + 1);
+        _atomicCount.resize(var + 1, 0);
+    }
+
+    if (record.value >= denseAtomicLimit) {
+        // Only reachable when the protocol under test corrupted the
+        // atomic; stay exact without growing the dense planes.
+        auto [it, inserted] = _atomicOverflow.emplace(
+            std::make_pair(var, record.value), record);
+        if (!inserted)
+            return AtomicViolation{it->second, record};
+        ++_atomicCount[var];
+        return std::nullopt;
+    }
+
+    AtomicPlane &plane = _atomicPlanes[var];
+    const std::uint64_t v = record.value;
+    const std::size_t word = static_cast<std::size_t>(v / 64);
+    const std::uint64_t bit = std::uint64_t{1} << (v % 64);
+    if (word >= plane.seen.size()) {
+        plane.seen.resize(word + 1, 0);
+        plane.rec.resize((word + 1) * 64);
+    }
+    if (plane.seen[word] & bit)
+        return AtomicViolation{plane.rec[v], record};
+    plane.seen[word] |= bit;
+    plane.rec[v] = record;
+    ++_atomicCount[var];
     return std::nullopt;
 }
 

@@ -14,16 +14,27 @@
  * last-writer records the failure reports are built from (Table V), and
  * the per-synchronization-variable atomic-return history used to detect
  * lost atomic updates (Section V, bug 2).
+ *
+ * Storage is plane-split for the hot checking loops (DESIGN.md §10):
+ * expected values live in a dense uint32 plane and validity in byte
+ * flags, while the AccessRecord detail planes are plain arrays written
+ * by POD copy and read only when a failure report is being built. The
+ * atomic-return history exploits that fetch-add(+1) returns each value
+ * exactly once: the duplicate check is a bit test in a per-variable
+ * bitmask indexed by the returned value, not a hash lookup, with the
+ * full records in a parallel cold plane. Returned values too large for
+ * a sane dense plane (only possible when the protocol under test is
+ * corrupting the atomic) fall back to an exact ordered-map path.
  */
 
 #ifndef DRF_TESTER_REF_MEMORY_HH
 #define DRF_TESTER_REF_MEMORY_HH
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -74,17 +85,21 @@ class RefMemory
     void noteRead(VarId var, const AccessRecord &record);
 
     /** Last writer of a variable, if any write retired yet. */
-    const std::optional<AccessRecord> &
+    std::optional<AccessRecord>
     lastWriter(VarId var) const
     {
-        return _lastWriter[var];
+        if (!_writerValid[var])
+            return std::nullopt;
+        return _writerRec[var];
     }
 
     /** Last reader of a variable, if any. */
-    const std::optional<AccessRecord> &
+    std::optional<AccessRecord>
     lastReader(VarId var) const
     {
-        return _lastReader[var];
+        if (!_readerValid[var])
+            return std::nullopt;
+        return _readerRec[var];
     }
 
     /**
@@ -99,11 +114,18 @@ class RefMemory
                                                     const AccessRecord &
                                                         record);
 
+    /**
+     * Size the per-variable atomic planes for @p per_var returned
+     * values up front, so the steady state never grows them. A hint:
+     * larger values still work (the planes grow on demand).
+     */
+    void reserveAtomics(std::uint64_t per_var);
+
     /** Number of atomics performed on a sync variable so far. */
     std::uint64_t
     atomicCount(VarId var) const
     {
-        return var < _atomicSeen.size() ? _atomicSeen[var].size() : 0;
+        return var < _atomicCount.size() ? _atomicCount[var] : 0;
     }
 
     /** Total writes retired (for stats). */
@@ -113,18 +135,41 @@ class RefMemory
     std::uint64_t readsChecked() const { return _readsChecked; }
 
   private:
+    /**
+     * Dense atomic planes stay exact up to this returned value; larger
+     * values (a corrupted protocol handing back garbage) divert to
+     * _atomicOverflow so a bogus huge value cannot balloon memory.
+     */
+    static constexpr std::uint64_t denseAtomicLimit = 1ull << 22;
+
     const VariableMap *_vmap;
+
+    // Hot plane: expected values, contiguous by VarId.
     std::vector<std::uint32_t> _values;
-    std::vector<std::optional<AccessRecord>> _lastWriter;
-    std::vector<std::optional<AccessRecord>> _lastReader;
+
+    // Validity flags (hot) and record details (cold, report-only).
+    std::vector<std::uint8_t> _writerValid;
+    std::vector<std::uint8_t> _readerValid;
+    std::vector<AccessRecord> _writerRec;
+    std::vector<AccessRecord> _readerRec;
 
     /**
-     * Per-variable returned-value history, indexed directly by VarId
-     * (sync variables are the low ids) so the hot duplicate check hashes
-     * only the returned value, not the variable id.
+     * Per-variable atomic-return history, indexed directly by VarId
+     * (sync variables are the low ids). seen is a bitmask over returned
+     * values — fetch-add(+1) yields the dense sequence 0,1,2,... — and
+     * rec holds the matching records for duplicate reports.
      */
-    std::vector<std::unordered_map<std::uint64_t, AccessRecord>>
-        _atomicSeen;
+    struct AtomicPlane
+    {
+        std::vector<std::uint64_t> seen; ///< bit v = value v returned
+        std::vector<AccessRecord> rec;   ///< cold: first return of v
+    };
+    std::vector<AtomicPlane> _atomicPlanes;
+    std::vector<std::uint64_t> _atomicCount;
+
+    /** Exact fallback for out-of-range returned values (cold). */
+    std::map<std::pair<VarId, std::uint64_t>, AccessRecord>
+        _atomicOverflow;
 
     std::uint64_t _writesRetired = 0;
     std::uint64_t _readsChecked = 0;

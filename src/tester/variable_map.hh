@@ -16,6 +16,7 @@
 #ifndef DRF_TESTER_VARIABLE_MAP_HH
 #define DRF_TESTER_VARIABLE_MAP_HH
 
+#include <cassert>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -68,13 +69,18 @@ class VariableMap
     bool isSync(VarId var) const { return var < _cfg.numSyncVars; }
 
     /** Byte address the variable is mapped to. */
-    Addr addrOf(VarId var) const { return _addrs.at(var); }
+    Addr
+    addrOf(VarId var) const
+    {
+        assert(var < _addrs.size());
+        return _addrs[var];
+    }
 
     /** Cache line the variable lives in. */
     Addr
     lineOf(VarId var) const
     {
-        return lineAlign(_addrs.at(var), _cfg.lineBytes);
+        return lineAlign(addrOf(var), _cfg.lineBytes);
     }
 
     /**

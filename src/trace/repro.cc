@@ -121,16 +121,16 @@ reproToJson(const ReproTrace &trace, const EpisodeSchedule &shrunk,
         w.key("episode_id").value(e.id);
         w.key("wavefront").value(e.wavefrontId);
         w.key("sync_var").value(e.syncVar);
-        w.key("actions").value(std::uint64_t(e.actions.size()));
-        // Sort by VarId: the hash containers would otherwise make the
-        // report's ordering an artifact of the standard library build.
+        w.key("actions").value(std::uint64_t(e.numActions()));
+        // Sort by VarId so the report's ordering is not an artifact of
+        // generation order.
         std::vector<VarId> writes;
-        for (const auto &[var, info] : e.writes)
-            writes.push_back(var);
+        for (const Episode::WriteEntry &entry : e.writes)
+            writes.push_back(entry.var);
         std::sort(writes.begin(), writes.end());
         w.key("writes").beginArray();
         for (VarId var : writes) {
-            const Episode::WriteInfo &info = e.writes.at(var);
+            const Episode::WriteInfo &info = *e.findWrite(var);
             w.beginObject();
             w.key("var").value(var);
             w.key("lane").value(info.lane);

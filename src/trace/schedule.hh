@@ -59,28 +59,14 @@ struct EpisodeSchedule
 };
 
 /**
- * Rebuild an episode's derived writes/reads indexes from its action
- * list (used after deserialization; the generator enforces one writer
- * per variable, so the reconstruction is exact).
+ * Rebuild an episode's derived writes/reads indexes from its op planes
+ * (used after deserialization; the generator enforces one writer per
+ * variable, so the reconstruction is exact).
  */
 inline void
 rebuildEpisodeIndexes(Episode &episode)
 {
-    episode.writes.clear();
-    episode.reads.clear();
-    for (const VectorAction &action : episode.actions) {
-        for (unsigned lane = 0; lane < action.lanes.size(); ++lane) {
-            if (!action.lanes[lane].has_value())
-                continue;
-            const LaneOp &op = *action.lanes[lane];
-            if (op.kind == LaneOp::Kind::Store) {
-                episode.writes[op.var] =
-                    Episode::WriteInfo{lane, op.storeValue, 0};
-            } else {
-                episode.reads.insert(op.var);
-            }
-        }
-    }
+    episode.rebuildIndexes();
 }
 
 } // namespace drf

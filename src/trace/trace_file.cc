@@ -238,15 +238,18 @@ putSchedule(std::ostream &os, const EpisodeSchedule &s)
         putU64(os, e.id);
         putU32(os, e.wavefrontId);
         putU32(os, e.syncVar);
-        putU64(os, e.actions.size());
-        for (const VectorAction &action : e.actions) {
-            putU64(os, action.lanes.size());
-            for (const auto &lane : action.lanes) {
-                putU8(os, lane.has_value() ? 1 : 0);
-                if (lane.has_value()) {
-                    putU8(os, lane->kind == LaneOp::Kind::Store ? 1 : 0);
-                    putU32(os, lane->var);
-                    putU32(os, lane->storeValue);
+        putU64(os, e.numActions());
+        for (std::uint32_t a = 0; a < e.numActions(); ++a) {
+            const std::uint32_t lanes = e.laneCount(a);
+            putU64(os, lanes);
+            for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+                putU8(os, e.laneActive(a, lane) ? 1 : 0);
+                if (e.laneActive(a, lane)) {
+                    putU8(os, e.laneIsStore(a, lane) ? 1 : 0);
+                    putU32(os, e.laneVar(a, lane));
+                    // Loads serialize a zero store value, exactly as the
+                    // old optional<LaneOp> layout did.
+                    putU32(os, e.laneValue(a, lane));
                 }
             }
         }
@@ -269,27 +272,34 @@ getSchedule(std::istream &is, EpisodeSchedule &s)
             num_actions > (1ull << 24)) {
             return false;
         }
-        e.actions.resize(num_actions);
-        for (VectorAction &action : e.actions) {
+        for (std::uint64_t a = 0; a < num_actions; ++a) {
             std::uint64_t num_lanes;
             if (!getU64(is, num_lanes) || num_lanes > (1ull << 16))
                 return false;
-            action.lanes.resize(num_lanes);
-            for (auto &lane : action.lanes) {
+            e.addAction(static_cast<std::uint32_t>(num_lanes));
+            for (std::uint64_t lane = 0; lane < num_lanes; ++lane) {
                 std::uint8_t present;
                 if (!getInt(is, present))
                     return false;
                 if (present == 0)
                     continue;
                 std::uint8_t is_store;
-                LaneOp op;
-                if (!getInt(is, is_store) || !getInt(is, op.var) ||
-                    !getInt(is, op.storeValue)) {
+                VarId var;
+                std::uint32_t store_value;
+                if (!getInt(is, is_store) || !getInt(is, var) ||
+                    !getInt(is, store_value)) {
                     return false;
                 }
-                op.kind = is_store != 0 ? LaneOp::Kind::Store
-                                        : LaneOp::Kind::Load;
-                lane = op;
+                // Write links are reconstructed by rebuildIndexes below.
+                if (is_store != 0) {
+                    e.setStore(static_cast<std::uint32_t>(a),
+                               static_cast<std::uint32_t>(lane), var,
+                               store_value, Episode::kNoWrite);
+                } else {
+                    e.setLoad(static_cast<std::uint32_t>(a),
+                              static_cast<std::uint32_t>(lane), var,
+                              Episode::kNoWrite);
+                }
             }
         }
         rebuildEpisodeIndexes(e);

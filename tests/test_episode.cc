@@ -40,6 +40,19 @@ struct GenFixture
     std::unique_ptr<EpisodeGenerator> gen;
 };
 
+/** Visit every active lane op of @p e. */
+template <typename Fn>
+void
+forEachOp(const Episode &e, Fn fn)
+{
+    for (std::uint32_t a = 0; a < e.numActions(); ++a) {
+        for (std::uint32_t lane = 0; lane < e.laneCount(a); ++lane) {
+            if (e.laneActive(a, lane))
+                fn(a, lane);
+        }
+    }
+}
+
 } // namespace
 
 class EpisodeProperty : public ::testing::TestWithParam<std::uint64_t>
@@ -60,13 +73,9 @@ TEST_P(EpisodeProperty, OpsTargetOnlyNormalVars)
 {
     GenFixture fx(GetParam());
     Episode e = fx.gen->generate(0);
-    for (const auto &action : e.actions) {
-        for (const auto &op : action.lanes) {
-            if (op) {
-                EXPECT_FALSE(fx.vmap->isSync(op->var));
-            }
-        }
-    }
+    forEachOp(e, [&](std::uint32_t a, std::uint32_t lane) {
+        EXPECT_FALSE(fx.vmap->isSync(e.laneVar(a, lane)));
+    });
     fx.gen->retire(e);
 }
 
@@ -75,12 +84,10 @@ TEST_P(EpisodeProperty, AtMostOneWriterPerVarInEpisode)
     GenFixture fx(GetParam());
     Episode e = fx.gen->generate(0);
     std::map<VarId, unsigned> store_count;
-    for (const auto &action : e.actions) {
-        for (const auto &op : action.lanes) {
-            if (op && op->kind == LaneOp::Kind::Store)
-                ++store_count[op->var];
-        }
-    }
+    forEachOp(e, [&](std::uint32_t a, std::uint32_t lane) {
+        if (e.laneIsStore(a, lane))
+            ++store_count[e.laneVar(a, lane)];
+    });
     for (const auto &[var, count] : store_count)
         EXPECT_EQ(count, 1u) << "var " << var << " stored twice";
     fx.gen->retire(e);
@@ -92,28 +99,22 @@ TEST_P(EpisodeProperty, ReadsOfWrittenVarOnlyByWriterLaneAfterWrite)
     Episode e = fx.gen->generate(0);
 
     // Track per-variable first-store position.
-    std::map<VarId, std::pair<std::size_t, unsigned>> store_at;
-    for (std::size_t i = 0; i < e.actions.size(); ++i) {
-        for (unsigned lane = 0; lane < e.actions[i].lanes.size(); ++lane) {
-            const auto &op = e.actions[i].lanes[lane];
-            if (op && op->kind == LaneOp::Kind::Store)
-                store_at[op->var] = {i, lane};
-        }
-    }
-    for (std::size_t i = 0; i < e.actions.size(); ++i) {
-        for (unsigned lane = 0; lane < e.actions[i].lanes.size(); ++lane) {
-            const auto &op = e.actions[i].lanes[lane];
-            if (!op || op->kind != LaneOp::Kind::Load)
-                continue;
-            auto it = store_at.find(op->var);
-            if (it == store_at.end())
-                continue;
-            // A load of a written var must come from the writer lane and
-            // after the store (cross-lane RAW would be a race).
-            EXPECT_EQ(it->second.second, lane);
-            EXPECT_GT(i, it->second.first);
-        }
-    }
+    std::map<VarId, std::pair<std::uint32_t, std::uint32_t>> store_at;
+    forEachOp(e, [&](std::uint32_t a, std::uint32_t lane) {
+        if (e.laneIsStore(a, lane))
+            store_at[e.laneVar(a, lane)] = {a, lane};
+    });
+    forEachOp(e, [&](std::uint32_t a, std::uint32_t lane) {
+        if (e.laneIsStore(a, lane))
+            return;
+        auto it = store_at.find(e.laneVar(a, lane));
+        if (it == store_at.end())
+            return;
+        // A load of a written var must come from the writer lane and
+        // after the store (cross-lane RAW would be a race).
+        EXPECT_EQ(it->second.second, lane);
+        EXPECT_GT(a, it->second.first);
+    });
     fx.gen->retire(e);
 }
 
@@ -130,11 +131,11 @@ TEST_P(EpisodeProperty, NoConflictsBetweenActiveEpisodes)
         for (std::size_t j = 0; j < active.size(); ++j) {
             if (i == j)
                 continue;
-            for (const auto &[var, info] : active[i].writes) {
-                EXPECT_EQ(active[j].writes.count(var), 0u)
-                    << "write-write conflict on var " << var;
-                EXPECT_EQ(active[j].reads.count(var), 0u)
-                    << "write-read conflict on var " << var;
+            for (const Episode::WriteEntry &w : active[i].writes) {
+                EXPECT_FALSE(active[j].writesVar(w.var))
+                    << "write-write conflict on var " << w.var;
+                EXPECT_FALSE(active[j].readsVar(w.var))
+                    << "write-read conflict on var " << w.var;
             }
         }
     }
@@ -162,13 +163,11 @@ TEST_P(EpisodeProperty, StoreValuesGloballyUnique)
     std::set<std::uint32_t> values;
     for (int i = 0; i < 6; ++i) {
         Episode e = fx.gen->generate(i);
-        for (const auto &action : e.actions) {
-            for (const auto &op : action.lanes) {
-                if (op && op->kind == LaneOp::Kind::Store) {
-                    EXPECT_TRUE(values.insert(op->storeValue).second);
-                }
+        forEachOp(e, [&](std::uint32_t a, std::uint32_t lane) {
+            if (e.laneIsStore(a, lane)) {
+                EXPECT_TRUE(values.insert(e.laneValue(a, lane)).second);
             }
-        }
+        });
         fx.gen->retire(e);
     }
 }
@@ -179,15 +178,15 @@ TEST_P(EpisodeProperty, ActiveCountsConsistent)
     Episode a = fx.gen->generate(0);
     Episode b = fx.gen->generate(1);
     EXPECT_EQ(fx.gen->active(), 2u);
-    for (const auto &[var, info] : a.writes)
-        EXPECT_GE(fx.gen->activeWriters(var), 1u);
+    for (const Episode::WriteEntry &w : a.writes)
+        EXPECT_GE(fx.gen->activeWriters(w.var), 1u);
     for (VarId var : a.reads)
         EXPECT_GE(fx.gen->activeReaders(var), 1u);
     fx.gen->retire(a);
     fx.gen->retire(b);
     EXPECT_EQ(fx.gen->active(), 0u);
-    for (const auto &[var, info] : a.writes)
-        EXPECT_EQ(fx.gen->activeWriters(var), 0u);
+    for (const Episode::WriteEntry &w : a.writes)
+        EXPECT_EQ(fx.gen->activeWriters(w.var), 0u);
 }
 
 TEST_P(EpisodeProperty, EpisodeIdsIncrease)
@@ -198,6 +197,59 @@ TEST_P(EpisodeProperty, EpisodeIdsIncrease)
     EXPECT_LT(a.id, b.id);
     fx.gen->retire(a);
     fx.gen->retire(b);
+}
+
+TEST_P(EpisodeProperty, WriteLinksMatchWriteEntries)
+{
+    // Every active op's laneWriteIdx either links the op's variable to
+    // its (unique) write entry, or is kNoWrite for a load of a variable
+    // the episode never stores.
+    GenFixture fx(GetParam());
+    Episode e = fx.gen->generate(0);
+    forEachOp(e, [&](std::uint32_t a, std::uint32_t lane) {
+        const VarId var = e.laneVar(a, lane);
+        const std::uint32_t wi = e.laneWriteIdx(a, lane);
+        if (e.laneIsStore(a, lane)) {
+            ASSERT_LT(wi, e.writes.size());
+            EXPECT_EQ(e.writes[wi].var, var);
+            EXPECT_EQ(e.writes[wi].info.lane, lane);
+            EXPECT_EQ(e.writes[wi].info.value, e.laneValue(a, lane));
+        } else if (wi != Episode::kNoWrite) {
+            ASSERT_LT(wi, e.writes.size());
+            EXPECT_EQ(e.writes[wi].var, var);
+        } else {
+            EXPECT_FALSE(e.writesVar(var));
+        }
+    });
+    fx.gen->retire(e);
+}
+
+TEST_P(EpisodeProperty, GenerateIntoReusesStorageBitIdentically)
+{
+    // generateInto into a reused episode must produce the same stream as
+    // fresh generate() calls from an identically seeded generator.
+    GenFixture fresh(GetParam());
+    GenFixture reused(GetParam());
+    Episode scratch;
+    for (int i = 0; i < 10; ++i) {
+        Episode a = fresh.gen->generate(i % 3);
+        reused.gen->generateInto(scratch, i % 3);
+        EXPECT_EQ(a.id, scratch.id);
+        EXPECT_EQ(a.syncVar, scratch.syncVar);
+        ASSERT_EQ(a.numActions(), scratch.numActions());
+        forEachOp(a, [&](std::uint32_t act, std::uint32_t lane) {
+            ASSERT_TRUE(scratch.laneActive(act, lane));
+            EXPECT_EQ(a.laneIsStore(act, lane),
+                      scratch.laneIsStore(act, lane));
+            EXPECT_EQ(a.laneVar(act, lane), scratch.laneVar(act, lane));
+            EXPECT_EQ(a.laneValue(act, lane),
+                      scratch.laneValue(act, lane));
+        });
+        EXPECT_EQ(a.writes.size(), scratch.writes.size());
+        EXPECT_EQ(a.reads, scratch.reads);
+        fresh.gen->retire(a);
+        reused.gen->retire(scratch);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EpisodeProperty,

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Property tests for the data-oriented core's flat containers
+ * (DESIGN.md section 10): FlatMap against std::map and SmallIntSet
+ * against std::set, under long randomized operation sequences.
+ *
+ * The protocol controllers replaced their node-based tables with these
+ * structures wholesale; a divergence here would surface as a protocol
+ * heisenbug, so the model-based check is deliberately exhaustive about
+ * the mixed insert/erase/lookup interleavings backward-shift deletion
+ * has to survive.
+ */
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/flat_map.hh"
+#include "sim/small_set.hh"
+
+using drf::FlatMap;
+using drf::SmallIntSet;
+
+namespace
+{
+
+TEST(FlatMap, RandomOpsMatchStdMap)
+{
+    std::mt19937_64 rng(12345);
+    FlatMap<std::uint64_t> flat;
+    std::map<std::uint64_t, std::uint64_t> model;
+
+    // Small key space forces collisions, reuse after erase, and long
+    // probe runs; large operation count crosses several rehashes.
+    const std::uint64_t key_space = 257;
+    for (int op = 0; op < 200000; ++op) {
+        std::uint64_t key = rng() % key_space;
+        switch (rng() % 4) {
+          case 0: { // operator[] (value-initializes on miss)
+            std::uint64_t v = rng();
+            flat[key] = v;
+            model[key] = v;
+            break;
+          }
+          case 1: { // emplace (no overwrite of an existing entry)
+            std::uint64_t v = rng();
+            auto [stored, inserted] = flat.emplace(key, v);
+            auto [it, model_inserted] = model.emplace(key, v);
+            ASSERT_EQ(inserted, model_inserted);
+            ASSERT_EQ(stored, it->second);
+            break;
+          }
+          case 2: { // erase
+            ASSERT_EQ(flat.erase(key), model.erase(key) != 0);
+            break;
+          }
+          case 3: { // lookup
+            const std::uint64_t *found = flat.find(key);
+            auto it = model.find(key);
+            ASSERT_EQ(found != nullptr, it != model.end());
+            if (found != nullptr) {
+                ASSERT_EQ(*found, it->second);
+            }
+            ASSERT_EQ(flat.contains(key), model.count(key) != 0);
+            break;
+          }
+        }
+        ASSERT_EQ(flat.size(), model.size());
+    }
+
+    // Full-content comparison at the end: forEach must visit exactly
+    // the model's entries, each once.
+    std::map<std::uint64_t, std::uint64_t> seen;
+    flat.forEach([&seen](std::uint64_t k, const std::uint64_t &v) {
+        ASSERT_TRUE(seen.emplace(k, v).second);
+    });
+    EXPECT_EQ(seen, model);
+}
+
+TEST(FlatMap, OperatorBracketValueInitializes)
+{
+    FlatMap<std::uint64_t> flat;
+    EXPECT_EQ(flat[42], 0u); // fresh entries read as zero
+    flat[42] = 7;
+    EXPECT_EQ(flat[42], 7u);
+}
+
+TEST(FlatMap, ReserveAvoidsRehashAndKeepsContents)
+{
+    FlatMap<int> flat;
+    flat.reserve(1000);
+    const std::size_t cap = flat.capacity();
+    for (int i = 0; i < 1000; ++i)
+        flat[static_cast<std::uint64_t>(i) * 0x1000] = i;
+    EXPECT_EQ(flat.capacity(), cap);
+    for (int i = 0; i < 1000; ++i) {
+        const int *v = flat.find(static_cast<std::uint64_t>(i) * 0x1000);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, i);
+    }
+}
+
+TEST(FlatMap, EraseDuringLongProbeRuns)
+{
+    // Backward-shift deletion stress: keys engineered onto one home
+    // slot region, erased front-to-back and back-to-front.
+    FlatMap<int> flat(16);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 0; keys.size() < 8; ++k) {
+        flat[k] = static_cast<int>(k);
+        keys.push_back(k);
+    }
+    // Erase evens, then verify odds survive with their values.
+    for (std::size_t i = 0; i < keys.size(); i += 2)
+        ASSERT_TRUE(flat.erase(keys[i]));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const int *v = flat.find(keys[i]);
+        if (i % 2 == 0) {
+            EXPECT_EQ(v, nullptr);
+        } else {
+            ASSERT_NE(v, nullptr);
+            EXPECT_EQ(*v, static_cast<int>(keys[i]));
+        }
+    }
+}
+
+TEST(SmallIntSet, RandomOpsMatchStdSet)
+{
+    std::mt19937_64 rng(987);
+    SmallIntSet small;
+    std::set<int> model;
+
+    for (int op = 0; op < 50000; ++op) {
+        int v = static_cast<int>(rng() % 64);
+        switch (rng() % 3) {
+          case 0:
+            small.insert(v);
+            model.insert(v);
+            break;
+          case 1:
+            ASSERT_EQ(small.erase(v), model.erase(v));
+            break;
+          case 2:
+            ASSERT_EQ(small.count(v), model.count(v));
+            break;
+        }
+        ASSERT_EQ(small.size(), model.size());
+        ASSERT_EQ(small.empty(), model.empty());
+    }
+
+    // Iteration order is the probe fan-out order the directory relies
+    // on: ascending, exactly like std::set<int>.
+    std::vector<int> got(small.begin(), small.end());
+    std::vector<int> want(model.begin(), model.end());
+    EXPECT_EQ(got, want);
+}
+
+TEST(SmallIntSet, InsertIsIdempotentAndSorted)
+{
+    SmallIntSet s;
+    for (int v : {5, 1, 3, 5, 1, 4, 2, 3})
+        s.insert(v);
+    std::vector<int> got(s.begin(), s.end());
+    EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5}));
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(3), 0u);
+}
+
+} // namespace

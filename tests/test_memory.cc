@@ -23,6 +23,14 @@ class MemHarness : public ::testing::Test
         });
     }
 
+
+    /** recvMsg takes a mutable reference; materialize the temporary. */
+    void
+    deliver(Packet pkt)
+    {
+        mem.recvMsg(pkt);
+    }
+
     Packet
     readReq(Addr line)
     {
@@ -52,7 +60,7 @@ class MemHarness : public ::testing::Test
 
 TEST_F(MemHarness, UninitializedReadsZero)
 {
-    mem.recvMsg(readReq(0x1000));
+    deliver(readReq(0x1000));
     eq.run();
     ASSERT_EQ(responses.size(), 1u);
     EXPECT_EQ(responses[0].second.type, MsgType::MemData);
@@ -62,12 +70,12 @@ TEST_F(MemHarness, UninitializedReadsZero)
 
 TEST_F(MemHarness, WriteThenReadBack)
 {
-    mem.recvMsg(writeReq(0x1000, 0x5A));
+    deliver(writeReq(0x1000, 0x5A));
     eq.run();
     ASSERT_EQ(responses.size(), 1u);
     EXPECT_EQ(responses[0].second.type, MsgType::MemWBAck);
 
-    mem.recvMsg(readReq(0x1000));
+    deliver(readReq(0x1000));
     eq.run();
     ASSERT_EQ(responses.size(), 2u);
     for (auto byte : responses[1].second.data)
@@ -76,9 +84,9 @@ TEST_F(MemHarness, WriteThenReadBack)
 
 TEST_F(MemHarness, MaskedWriteTouchesOnlyEnabledBytes)
 {
-    mem.recvMsg(writeReq(0x40, 0xFF, /*only_byte=*/7));
+    deliver(writeReq(0x40, 0xFF, /*only_byte=*/7));
     eq.run();
-    mem.recvMsg(readReq(0x40));
+    deliver(readReq(0x40));
     eq.run();
     const auto &data = responses[1].second.data;
     for (int i = 0; i < 64; ++i)
@@ -87,18 +95,18 @@ TEST_F(MemHarness, MaskedWriteTouchesOnlyEnabledBytes)
 
 TEST_F(MemHarness, LatencyApplied)
 {
-    mem.recvMsg(readReq(0));
+    deliver(readReq(0));
     eq.run();
     EXPECT_EQ(responses[0].first, 10u);
 }
 
 TEST_F(MemHarness, DistinctLinesIndependent)
 {
-    mem.recvMsg(writeReq(0x0, 0x11));
-    mem.recvMsg(writeReq(0x40, 0x22));
+    deliver(writeReq(0x0, 0x11));
+    deliver(writeReq(0x40, 0x22));
     eq.run();
-    mem.recvMsg(readReq(0x0));
-    mem.recvMsg(readReq(0x40));
+    deliver(readReq(0x0));
+    deliver(readReq(0x40));
     eq.run();
     EXPECT_EQ(responses[2].second.data[0], 0x11);
     EXPECT_EQ(responses[3].second.data[0], 0x22);
@@ -131,9 +139,9 @@ TEST_F(MemHarness, PeekUntouchedLineIsZero)
 
 TEST_F(MemHarness, StatsCountAccesses)
 {
-    mem.recvMsg(readReq(0));
-    mem.recvMsg(writeReq(0x40, 1));
-    mem.recvMsg(writeReq(0x80, 2));
+    deliver(readReq(0));
+    deliver(writeReq(0x40, 1));
+    deliver(writeReq(0x80, 2));
     eq.run();
     EXPECT_EQ(mem.stats().value("reads"), 1u);
     EXPECT_EQ(mem.stats().value("writes"), 2u);

@@ -24,7 +24,7 @@ class Recorder : public MsgReceiver
     explicit Recorder(EventQueue &eq) : _eq(eq) {}
 
     void
-    recvMsg(Packet pkt) override
+    recvMsg(Packet &pkt) override
     {
         arrivals.emplace_back(_eq.curTick(), std::move(pkt));
     }

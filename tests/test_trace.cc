@@ -189,7 +189,7 @@ TEST(Trace, TraceFileRoundTrip)
         EXPECT_EQ(a.id, b.id);
         EXPECT_EQ(a.wavefrontId, b.wavefrontId);
         EXPECT_EQ(a.syncVar, b.syncVar);
-        EXPECT_EQ(a.actions.size(), b.actions.size());
+        EXPECT_EQ(a.numActions(), b.numActions());
         EXPECT_EQ(a.writes.size(), b.writes.size());
         EXPECT_EQ(a.reads.size(), b.reads.size());
     }

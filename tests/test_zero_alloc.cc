@@ -10,6 +10,11 @@
  * a standalone executable rather than part of drf_tests) and fails if a
  * steady-state ping-pong of many thousands of messages allocates even
  * once.
+ *
+ * A second phase applies the same check to the tester's episode loop
+ * (DESIGN.md section 10): once the Episode's CSR planes and the
+ * generator's conflict tables have reached their high-water capacity,
+ * generateInto + retire must not allocate either.
  */
 
 #include <atomic>
@@ -19,6 +24,9 @@
 
 #include "mem/network.hh"
 #include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "tester/episode.hh"
+#include "tester/variable_map.hh"
 
 namespace
 {
@@ -86,7 +94,7 @@ class PingPong : public MsgReceiver
     }
 
     void
-    recvMsg(Packet pkt) override
+    recvMsg(Packet &pkt) override
     {
         ++received;
         if (received < limit)
@@ -118,6 +126,56 @@ runLoop(EventQueue &eq, Crossbar &xbar, PingPong &a, std::uint64_t messages)
     pkt.id = 1;
     xbar.route(2, 1, std::move(pkt));
     eq.run();
+}
+
+/**
+ * Phase 2: episode generation. @return 0 on success, 1 on failure,
+ * printing its own diagnostics either way.
+ */
+int
+runEpisodePhase()
+{
+    Random rng(7);
+    VariableMapConfig vcfg;
+    vcfg.numNormalVars = 512;
+    vcfg.addrRangeBytes = 1 << 14;
+    VariableMap vmap(vcfg, rng);
+
+    EpisodeGenConfig gcfg;
+    gcfg.actionsPerEpisode = 30;
+    gcfg.lanes = 8;
+    EpisodeGenerator gen(vmap, gcfg, rng);
+    Episode episode;
+
+    // Warmup: the per-episode read/write lists grow to the largest
+    // episode seen, so run enough episodes to hit the size
+    // distribution's tail before arming the counter.
+    const std::uint64_t warmup = 2000, measured = 2000;
+    for (std::uint64_t i = 0; i < warmup; ++i) {
+        gen.generateInto(episode, 0);
+        gen.retire(episode);
+    }
+
+    g_allocs.store(0);
+    g_counting.store(true);
+    for (std::uint64_t i = 0; i < measured; ++i) {
+        gen.generateInto(episode, 0);
+        gen.retire(episode);
+    }
+    g_counting.store(false);
+
+    const std::uint64_t allocs = g_allocs.load();
+    std::printf("steady-state episodes: %llu, heap allocations: %llu\n",
+                (unsigned long long)measured, (unsigned long long)allocs);
+    if (allocs != 0) {
+        std::fprintf(stderr, "FAIL: the steady-state episode loop "
+                             "allocated %llu time(s)\n",
+                     (unsigned long long)allocs);
+        return 1;
+    }
+    std::printf("PASS: zero allocations in the steady-state episode "
+                "loop\n");
+    return 0;
 }
 
 } // namespace
@@ -167,5 +225,5 @@ main()
     }
     std::printf("PASS: zero allocations in the steady-state message "
                 "loop\n");
-    return 0;
+    return runEpisodePhase();
 }

@@ -9,8 +9,15 @@ fails when any metric regresses by more than the tolerance.
 
 Compared metrics:
   campaign_scaling:     event_queue.current_events_per_sec,
-                        scaling[jobs=1].events_per_sec
+                        scaling[jobs=1].events_per_sec,
+                        best multi-job speedup_vs_serial -- gated only
+                        when both baseline and candidate mark the point
+                        scaling_valid (hardware_concurrency >= 2*jobs);
+                        on cramped hosts the speedup check is skipped
+                        while the events/s checks still gate
   msg_path:             messages_per_sec
+  hotpath:              stages.{episode_generation,controller_dispatch,
+                        ref_check}.events_per_sec
   guidance_convergence: median_reduction_pct (episode savings of the
                         guided scheduler vs the random baseline; the
                         binary itself also exits nonzero if coverage
@@ -63,6 +70,23 @@ def serial_events_per_sec(doc):
     raise KeyError("no jobs=1 scaling point")
 
 
+def best_valid_speedup(doc):
+    """Best multi-job speedup among points the bench marked valid.
+
+    Returns None when no multi-job point is scaling_valid (oversubscribed
+    host, or a baseline predating the field): the caller must then skip
+    the speedup gate rather than compare meaningless numbers.
+    """
+    best = None
+    for point in doc["scaling"]:
+        if point["jobs"] <= 1 or not point.get("scaling_valid", False):
+            continue
+        speedup = point["speedup_vs_serial"]
+        if best is None or speedup > best:
+            best = speedup
+    return best
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", type=Path, default=Path("build"))
@@ -81,7 +105,8 @@ def main():
     campaign_bin = args.build_dir / "bench" / "campaign_scaling"
     msg_bin = args.build_dir / "bench" / "msg_path"
     guidance_bin = args.build_dir / "bench" / "guidance_convergence"
-    for binary in (campaign_bin, msg_bin, guidance_bin):
+    hotpath_bin = args.build_dir / "bench" / "hotpath"
+    for binary in (campaign_bin, msg_bin, guidance_bin, hotpath_bin):
         if not binary.exists():
             print(f"missing bench binary: {binary}", file=sys.stderr)
             return 2
@@ -96,6 +121,9 @@ def main():
         baseline_guidance = json.load(
             open(args.baseline_dir / "BENCH_guidance.json")
         )
+        baseline_hotpath = json.load(
+            open(args.baseline_dir / "BENCH_hotpath.json")
+        )
     except (OSError, json.JSONDecodeError) as err:
         print(f"cannot read baseline: {err}", file=sys.stderr)
         return 2
@@ -104,6 +132,7 @@ def main():
         ("BENCH_campaign.json", baseline_campaign),
         ("BENCH_msg_path.json", baseline_msg),
         ("BENCH_guidance.json", baseline_guidance),
+        ("BENCH_hotpath.json", baseline_hotpath),
     ):
         print(
             f"baseline {name}: cpu_model={doc.get('cpu_model', '?')!r} "
@@ -113,6 +142,7 @@ def main():
 
     campaign_samples = []
     msg_samples = []
+    hotpath_samples = []
     with tempfile.TemporaryDirectory() as tmp:
         tmp = Path(tmp)
         for i in range(args.runs):
@@ -135,6 +165,12 @@ def main():
                     tmp / "msg.json",
                 )
             )
+            hotpath_samples.append(
+                run_bench(
+                    [hotpath_bin, "--out", tmp / "hotpath.json"],
+                    tmp / "hotpath.json",
+                )
+            )
         # Once, not per-run: the convergence bench medians over three
         # master seeds internally, and its own exit status already
         # enforces coverage targets and deterministic replay.
@@ -142,6 +178,21 @@ def main():
         guidance_doc = run_bench(
             [guidance_bin, "--out", tmp / "guidance.json"],
             tmp / "guidance.json",
+        )
+
+    base_speedup = best_valid_speedup(baseline_campaign)
+    speedup_samples = [best_valid_speedup(s) for s in campaign_samples]
+    cand_speedup = (
+        statistics.median(s for s in speedup_samples if s is not None)
+        if any(s is not None for s in speedup_samples)
+        else None
+    )
+    if base_speedup is None or cand_speedup is None:
+        side = "baseline" if base_speedup is None else "candidate"
+        print(
+            "campaign.best_valid_speedup: skipped "
+            f"({side} has no scaling_valid multi-job point; "
+            "events/s checks below still gate)"
         )
 
     checks = [
@@ -169,6 +220,25 @@ def main():
             guidance_doc["median_reduction_pct"],
         ),
     ]
+    for stage in ("episode_generation", "controller_dispatch", "ref_check"):
+        checks.append(
+            (
+                f"hotpath.{stage}.events_per_sec",
+                baseline_hotpath["stages"][stage]["events_per_sec"],
+                median_metric(
+                    hotpath_samples,
+                    lambda d, s=stage: d["stages"][s]["events_per_sec"],
+                ),
+            )
+        )
+    if base_speedup is not None and cand_speedup is not None:
+        checks.append(
+            (
+                "campaign.best_valid_speedup",
+                base_speedup,
+                cand_speedup,
+            )
+        )
 
     failed = False
     print(f"\n{'metric':44} {'baseline':>14} {'median':>14} {'ratio':>7}")
