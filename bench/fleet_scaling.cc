@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Fleet throughput vs. worker-process count, with a determinism check
+ * riding along: every fleet size must reproduce the serial run's union
+ * digest, or the numbers describe a different campaign and the bench
+ * aborts.
+ *
+ * Written to BENCH_fleet.json: one point per fleet size — wall
+ * seconds, speedup vs the workers=0 degenerate fleet (coordinator
+ * executes everything in-process, in index order), events/s, and
+ * per-point scaling_valid. As in campaign_scaling, a speedup is only
+ * meaningful when the host has slack beyond the worker count
+ * (hardware_concurrency >= 2 * workers); the regression gate skips
+ * speedup — but keeps gating events/s — when scaling_valid is false,
+ * so a single-core CI box doesn't fail the multi-core promise it
+ * cannot test.
+ *
+ * Usage: fleet_scaling [--shards N] [--batch N] [--out FILE]
+ *                      [--workers-list 0,2,4]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "fleet/fleet.hh"
+#include "guidance/sources.hh"
+
+using namespace drf;
+using namespace drf::bench;
+using namespace drf::fleet;
+
+namespace
+{
+
+std::uint64_t
+parseArg(int argc, char **argv, const std::string &flag,
+         std::uint64_t fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    return fallback;
+}
+
+std::string
+parseStr(int argc, char **argv, const std::string &flag,
+         const std::string &fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return fallback;
+}
+
+std::vector<unsigned>
+parseWorkersList(const std::string &text)
+{
+    std::vector<unsigned> out;
+    const char *p = text.c_str();
+    while (*p) {
+        char *end = nullptr;
+        out.push_back(
+            static_cast<unsigned>(std::strtoul(p, &end, 10)));
+        p = (end && *end == ',') ? end + 1 : (end ? end : p + 1);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::size_t num_shards =
+        static_cast<std::size_t>(parseArg(argc, argv, "--shards", 16));
+    const std::size_t batch =
+        static_cast<std::size_t>(parseArg(argc, argv, "--batch", 4));
+    const std::string out_path =
+        parseStr(argc, argv, "--out", "BENCH_fleet.json");
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    std::vector<unsigned> fleet_sizes = parseWorkersList(
+        parseStr(argc, argv, "--workers-list", "0,2,4"));
+    if (fleet_sizes.empty() || fleet_sizes.front() != 0)
+        fleet_sizes.insert(fleet_sizes.begin(), 0);
+
+    std::printf("Fleet scaling benchmark\n");
+    std::printf("hardware_concurrency: %u\n", hw);
+    std::printf("campaign: %zu sweep shards, batch %zu\n\n", num_shards,
+                batch);
+
+    struct Point
+    {
+        unsigned workers = 0;
+        double wallSeconds = 0.0;
+        double speedup = 0.0;
+        double eventsPerSec = 0.0;
+        std::uint64_t releases = 0;
+        std::uint64_t duplicateResults = 0;
+        bool scalingValid = false;
+    };
+    std::vector<Point> points;
+    double serial_wall = 0.0;
+    std::uint64_t serial_digest = 0;
+
+    for (unsigned workers : fleet_sizes) {
+        SourceConfig src_cfg;
+        src_cfg.masterSeed = 1;
+        src_cfg.batchSize = batch;
+        src_cfg.maxShards = num_shards;
+        SweepSource source(src_cfg);
+
+        LocalFleetConfig cfg;
+        cfg.workers = workers;
+        cfg.coordinator.campaign.jobs = 1;
+        FleetResult res = runLocalFleet(source, cfg);
+        if (!res.adaptive.passed ||
+            res.adaptive.shardsRun != num_shards) {
+            std::fprintf(stderr,
+                          "fleet FAILED at workers=%u: ran %zu of %zu, "
+                          "passed=%d\n",
+                          workers, res.adaptive.shardsRun, num_shards,
+                          int(res.adaptive.passed));
+            return 1;
+        }
+        if (workers == 0) {
+            serial_wall = res.adaptive.wallSeconds;
+            serial_digest = res.adaptive.unionDigest;
+        } else if (res.adaptive.unionDigest != serial_digest) {
+            std::fprintf(stderr,
+                          "fleet DIVERGED at workers=%u: digest "
+                          "%016llx vs serial %016llx\n",
+                          workers,
+                          (unsigned long long)res.adaptive.unionDigest,
+                          (unsigned long long)serial_digest);
+            return 1;
+        }
+
+        Point p;
+        p.workers = workers;
+        p.wallSeconds = res.adaptive.wallSeconds;
+        p.speedup = p.wallSeconds > 0.0 ? serial_wall / p.wallSeconds
+                                        : 0.0;
+        p.eventsPerSec =
+            p.wallSeconds > 0.0
+                ? double(res.adaptive.totalEvents) / p.wallSeconds
+                : 0.0;
+        p.releases = res.releases;
+        p.duplicateResults = res.duplicateResults;
+        p.scalingValid =
+            workers > 0 && hw != 0 && hw >= 2 * workers;
+        points.push_back(p);
+        std::printf("  workers=%-3u wall %7.3f s  speedup %5.2fx  "
+                    "%10.0f events/s  re-leases %llu%s\n",
+                    p.workers, p.wallSeconds, p.speedup, p.eventsPerSec,
+                    (unsigned long long)p.releases,
+                    p.scalingValid ? "" : "  [scaling n/a]");
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value("fleet_scaling");
+    w.key("hardware_concurrency").value(hw);
+    jsonProvenance(w);
+    w.key("num_shards").value(static_cast<std::uint64_t>(num_shards));
+    w.key("batch_size").value(static_cast<std::uint64_t>(batch));
+    w.key("union_digest_consistent").value(true);
+
+    w.key("scaling").beginArray();
+    for (const Point &p : points) {
+        w.beginObject();
+        w.key("workers").value(p.workers);
+        w.key("wall_seconds").value(p.wallSeconds);
+        w.key("speedup_vs_serial").value(p.speedup);
+        w.key("events_per_sec").value(p.eventsPerSec);
+        w.key("releases").value(p.releases);
+        w.key("duplicate_results").value(p.duplicateResults);
+        w.key("scaling_valid").value(p.scalingValid);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    writeFileReport(out_path, w.str());
+
+    double best = 0.0;
+    for (const Point &p : points)
+        best = std::max(best, p.speedup);
+    std::printf("\nbest speedup: %.2fx (>=0.75x per worker expected "
+                "when the host has the cores)\n",
+                best);
+    return 0;
+}

@@ -1,12 +1,22 @@
 #include "campaign/journal.hh"
 
-#include <algorithm>
-#include <cctype>
-#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <utility>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define DRF_JOURNAL_HAVE_FD 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#else
+#define DRF_JOURNAL_HAVE_FD 0
+#endif
+
 #include "campaign/campaign_json.hh"
+#include "campaign/json_value.hh"
+#include "campaign/posix_io.hh"
 #include "proto/directory.hh"
 #include "proto/gpu_l1.hh"
 #include "proto/gpu_l2.hh"
@@ -16,251 +26,6 @@ namespace drf
 
 namespace
 {
-
-/**
- * Minimal JSON value + recursive-descent parser, scoped to the flat
- * schema this file emits. Numbers keep their raw text so 64-bit tick
- * counts round-trip exactly (no double intermediate).
- */
-struct JsonValue
-{
-    enum class Type
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object,
-    };
-
-    Type type = Type::Null;
-    bool boolean = false;
-    std::string raw;    ///< number text
-    std::string string; ///< decoded string
-    std::vector<JsonValue> array;
-    std::vector<std::pair<std::string, JsonValue>> object;
-
-    const JsonValue *
-    find(const std::string &key) const
-    {
-        for (const auto &[k, v] : object)
-            if (k == key)
-                return &v;
-        return nullptr;
-    }
-
-    std::uint64_t
-    asU64() const
-    {
-        return std::strtoull(raw.c_str(), nullptr, 10);
-    }
-
-    double
-    asDouble() const
-    {
-        return std::strtod(raw.c_str(), nullptr);
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string &text) : _text(text) {}
-
-    bool
-    parse(JsonValue &out)
-    {
-        skipWs();
-        if (!parseValue(out))
-            return false;
-        skipWs();
-        return _pos == _text.size();
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (_pos < _text.size() &&
-               std::isspace(static_cast<unsigned char>(_text[_pos])))
-            ++_pos;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipWs();
-        if (_pos >= _text.size() || _text[_pos] != c)
-            return false;
-        ++_pos;
-        return true;
-    }
-
-    bool
-    parseValue(JsonValue &out)
-    {
-        skipWs();
-        if (_pos >= _text.size())
-            return false;
-        char c = _text[_pos];
-        if (c == '{')
-            return parseObject(out);
-        if (c == '[')
-            return parseArray(out);
-        if (c == '"') {
-            out.type = JsonValue::Type::String;
-            return parseString(out.string);
-        }
-        if (c == 't' || c == 'f')
-            return parseBool(out);
-        if (c == 'n') {
-            if (!parseLiteral("null"))
-                return false;
-            out.type = JsonValue::Type::Null;
-            return true;
-        }
-        return parseNumber(out);
-    }
-
-    bool
-    parseLiteral(const char *lit)
-    {
-        std::size_t n = std::string(lit).size();
-        if (_text.compare(_pos, n, lit) != 0)
-            return false;
-        _pos += n;
-        return true;
-    }
-
-    bool
-    parseBool(JsonValue &out)
-    {
-        out.type = JsonValue::Type::Bool;
-        if (parseLiteral("true")) {
-            out.boolean = true;
-            return true;
-        }
-        if (parseLiteral("false")) {
-            out.boolean = false;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    parseNumber(JsonValue &out)
-    {
-        std::size_t start = _pos;
-        if (_pos < _text.size() &&
-            (_text[_pos] == '-' || _text[_pos] == '+'))
-            ++_pos;
-        while (_pos < _text.size() &&
-               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
-                _text[_pos] == '.' || _text[_pos] == 'e' ||
-                _text[_pos] == 'E' || _text[_pos] == '-' ||
-                _text[_pos] == '+'))
-            ++_pos;
-        if (_pos == start)
-            return false;
-        out.type = JsonValue::Type::Number;
-        out.raw = _text.substr(start, _pos - start);
-        return true;
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        if (!consume('"'))
-            return false;
-        out.clear();
-        while (_pos < _text.size()) {
-            char c = _text[_pos++];
-            if (c == '"')
-                return true;
-            if (c != '\\') {
-                out.push_back(c);
-                continue;
-            }
-            if (_pos >= _text.size())
-                return false;
-            char esc = _text[_pos++];
-            switch (esc) {
-              case '"': out.push_back('"'); break;
-              case '\\': out.push_back('\\'); break;
-              case '/': out.push_back('/'); break;
-              case 'n': out.push_back('\n'); break;
-              case 'r': out.push_back('\r'); break;
-              case 't': out.push_back('\t'); break;
-              case 'b': out.push_back('\b'); break;
-              case 'f': out.push_back('\f'); break;
-              case 'u': {
-                if (_pos + 4 > _text.size())
-                    return false;
-                unsigned code = static_cast<unsigned>(std::strtoul(
-                    _text.substr(_pos, 4).c_str(), nullptr, 16));
-                _pos += 4;
-                // The escaper only emits \u00xx for control bytes.
-                out.push_back(static_cast<char>(code & 0xff));
-                break;
-              }
-              default: return false;
-            }
-        }
-        return false;
-    }
-
-    bool
-    parseArray(JsonValue &out)
-    {
-        if (!consume('['))
-            return false;
-        out.type = JsonValue::Type::Array;
-        skipWs();
-        if (consume(']'))
-            return true;
-        for (;;) {
-            JsonValue elem;
-            if (!parseValue(elem))
-                return false;
-            out.array.push_back(std::move(elem));
-            if (consume(']'))
-                return true;
-            if (!consume(','))
-                return false;
-        }
-    }
-
-    bool
-    parseObject(JsonValue &out)
-    {
-        if (!consume('{'))
-            return false;
-        out.type = JsonValue::Type::Object;
-        skipWs();
-        if (consume('}'))
-            return true;
-        for (;;) {
-            skipWs();
-            std::string key;
-            if (!parseString(key))
-                return false;
-            if (!consume(':'))
-                return false;
-            JsonValue value;
-            if (!parseValue(value))
-                return false;
-            out.object.emplace_back(std::move(key), std::move(value));
-            if (consume('}'))
-                return true;
-            if (!consume(','))
-                return false;
-        }
-    }
-
-    const std::string &_text;
-    std::size_t _pos = 0;
-};
 
 /**
  * Level name -> live spec singleton. Campaign shards only ever carry
@@ -371,7 +136,7 @@ bool
 parseShardOutcome(const std::string &line, ShardOutcome &out)
 {
     JsonValue root;
-    if (!JsonParser(line).parse(root) ||
+    if (!parseJson(line, root) ||
         root.type != JsonValue::Type::Object)
         return false;
 
@@ -471,19 +236,82 @@ loadJournal(const std::string &path, std::vector<ShardOutcome> &records)
 }
 
 CampaignJournal::CampaignJournal(const std::string &path)
+    : CampaignJournal(path, Policy{})
 {
-    if (!path.empty())
-        _out.open(path, std::ios::app);
+}
+
+CampaignJournal::CampaignJournal(const std::string &path,
+                                 const Policy &policy)
+    : _policy(policy)
+{
+    if (path.empty())
+        return;
+#if DRF_JOURNAL_HAVE_FD
+    _fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+#endif
+}
+
+CampaignJournal::~CampaignJournal()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_fd < 0)
+        return;
+    flushLocked(/*sync=*/true);
+#if DRF_JOURNAL_HAVE_FD
+    ::close(_fd);
+#endif
+    _fd = -1;
 }
 
 void
 CampaignJournal::append(const std::string &line)
 {
     std::lock_guard<std::mutex> lock(_mutex);
-    if (!_out.is_open())
+    if (_fd < 0 || _failed)
         return;
-    _out << line << '\n';
-    _out.flush();
+    _buffer.append(line);
+    _buffer.push_back('\n');
+    ++_recordsBuffered;
+    if (_buffer.size() >= _policy.flushBytes) {
+        bool sync = _policy.syncEveryRecords != 0 &&
+                    _recordsSinceSync + _recordsBuffered >=
+                        _policy.syncEveryRecords;
+        flushLocked(sync);
+    }
+}
+
+void
+CampaignJournal::flush(bool sync)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_fd < 0)
+        return;
+    flushLocked(sync);
+}
+
+void
+CampaignJournal::flushLocked(bool sync)
+{
+    if (_failed)
+        return;
+    if (!_buffer.empty()) {
+        // One write() for the whole batch; flushes always carry whole
+        // lines, so a crash can tear at most the final kernel-side
+        // write, which the loader tolerates.
+        if (!io::writeAll(_fd, _buffer)) {
+            _failed = true;
+            return;
+        }
+        _buffer.clear();
+        _recordsSinceSync += _recordsBuffered;
+        _recordsBuffered = 0;
+    }
+    if (sync) {
+#if DRF_JOURNAL_HAVE_FD
+        ::fsync(_fd);
+#endif
+        _recordsSinceSync = 0;
+    }
 }
 
 } // namespace drf

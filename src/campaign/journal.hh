@@ -5,7 +5,7 @@
  * Every completed shard is serialized as one self-contained JSON line —
  * identity (index/name/seed), the full TesterResult, the host attempt
  * count, and the three coverage grids as exact per-cell hit counts. The
- * line format is shared by two consumers:
+ * line format is shared by three consumers:
  *
  *  - the journal file the supervisor appends after each shard, which
  *    --resume loads to skip completed shards while reproducing
@@ -13,22 +13,33 @@
  *    merging journaled outcomes in index order equals re-running them);
  *  - the fork-isolation pipe: a shard child process writes the same
  *    line to its parent, so process isolation and checkpointing
- *    exercise one serializer and one parser.
+ *    exercise one serializer and one parser;
+ *  - the fleet transport (src/fleet): a worker's Result frame carries
+ *    the same line, so the coordinator's journal is written from the
+ *    byte-identical record the worker produced.
  *
  * Grids are reconstructible because every controller's TransitionSpec
  * is a static singleton (GpuL1Cache::spec() etc.): a record names its
  * level + spec and the loader maps that back to the live spec object.
- * The parser is a minimal hand-rolled JSON reader over this flat schema
- * (the repo deliberately has no third-party JSON dependency); the
+ * The parser is the shared minimal JSON reader (json_value.hh); the
  * loader tolerates a truncated trailing line (a write interrupted by
  * SIGKILL/power loss) and takes the *last* record per shard index, so
  * a journal appended to across several resumed sessions stays valid.
+ *
+ * The writer buffers: appended lines accumulate and are written with
+ * one write() per flush batch instead of one syscall per record, and
+ * flushes always end on record boundaries, so the on-disk tail is at
+ * most one torn record (exactly what the loader tolerates). fsync runs
+ * on the flush that completes every syncEveryRecords-th shard record
+ * and on close — the "shard boundary" durability policy: what a crash
+ * can lose is a bounded number of deterministic, re-runnable shards,
+ * never a torn prefix of the file.
  */
 
 #ifndef DRF_CAMPAIGN_JOURNAL_HH
 #define DRF_CAMPAIGN_JOURNAL_HH
 
-#include <fstream>
+#include <cstddef>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -56,24 +67,56 @@ bool parseShardOutcome(const std::string &line, ShardOutcome &out);
 bool loadJournal(const std::string &path,
                  std::vector<ShardOutcome> &records);
 
-/** Append-only journal writer; thread-safe, flushed per line. */
+/** Append-only journal writer; thread-safe, batched (see file doc). */
 class CampaignJournal
 {
   public:
+    /** Durability / batching policy. */
+    struct Policy
+    {
+        /** Flush once this many buffered bytes accumulate. */
+        std::size_t flushBytes = 32 * 1024;
+
+        /** fsync at the flush completing every Nth record; 0 = only on
+         *  close. */
+        unsigned syncEveryRecords = 8;
+    };
+
     /**
      * Open @p path for appending (created if missing). An empty path
      * produces a disabled journal: ok() is false, append() a no-op.
      */
     explicit CampaignJournal(const std::string &path);
+    CampaignJournal(const std::string &path, const Policy &policy);
 
-    bool ok() const { return _out.is_open() && _out.good(); }
+    /** Flushes, fsyncs, and closes. */
+    ~CampaignJournal();
 
-    /** Append one line + '\n' and flush. */
+    CampaignJournal(const CampaignJournal &) = delete;
+    CampaignJournal &operator=(const CampaignJournal &) = delete;
+
+    bool ok() const { return _fd >= 0 && !_failed; }
+
+    /** Append one line + '\n' to the flush buffer (see Policy). */
     void append(const std::string &line);
 
+    /**
+     * Write the buffer out now (one syscall), optionally fsync. The
+     * fleet coordinator calls this when a batch completes so a freshly
+     * streamed-in record is resumable before the next lease goes out.
+     */
+    void flush(bool sync = false);
+
   private:
+    void flushLocked(bool sync);
+
     std::mutex _mutex;
-    std::ofstream _out;
+    std::string _buffer;
+    Policy _policy;
+    int _fd = -1;
+    bool _failed = false;
+    unsigned _recordsBuffered = 0;
+    unsigned _recordsSinceSync = 0;
 };
 
 } // namespace drf

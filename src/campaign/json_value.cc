@@ -1,0 +1,218 @@
+#include "campaign/json_value.hh"
+
+#include <cctype>
+
+namespace drf
+{
+
+namespace
+{
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : _text(text) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return _pos == _text.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos])))
+            ++_pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (_pos >= _text.size() || _text[_pos] != c)
+            return false;
+        ++_pos;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (_pos >= _text.size())
+            return false;
+        char c = _text[_pos];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return parseString(out.string);
+        }
+        if (c == 't' || c == 'f')
+            return parseBool(out);
+        if (c == 'n') {
+            if (!parseLiteral("null"))
+                return false;
+            out.type = JsonValue::Type::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseLiteral(const char *lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (_text.compare(_pos, n, lit) != 0)
+            return false;
+        _pos += n;
+        return true;
+    }
+
+    bool
+    parseBool(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Bool;
+        if (parseLiteral("true")) {
+            out.boolean = true;
+            return true;
+        }
+        if (parseLiteral("false")) {
+            out.boolean = false;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = _pos;
+        if (_pos < _text.size() &&
+            (_text[_pos] == '-' || _text[_pos] == '+'))
+            ++_pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '-' ||
+                _text[_pos] == '+'))
+            ++_pos;
+        if (_pos == start)
+            return false;
+        out.type = JsonValue::Type::Number;
+        out.raw = _text.substr(start, _pos - start);
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (_pos < _text.size()) {
+            char c = _text[_pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (_pos >= _text.size())
+                return false;
+            char esc = _text[_pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    return false;
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    _text.substr(_pos, 4).c_str(), nullptr, 16));
+                _pos += 4;
+                // The escaper only emits \u00xx for control bytes.
+                out.push_back(static_cast<char>(code & 0xff));
+                break;
+              }
+              default: return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        if (!consume('['))
+            return false;
+        out.type = JsonValue::Type::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue elem;
+            if (!parseValue(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        if (!consume('{'))
+            return false;
+        out.type = JsonValue::Type::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return false;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(value));
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out)
+{
+    return JsonParser(text).parse(out);
+}
+
+} // namespace drf

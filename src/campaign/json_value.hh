@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal JSON value + recursive-descent parser.
+ *
+ * Counterpart of JsonWriter (campaign_json.hh), scoped to the flat
+ * schemas this repo emits: journal shard records and fleet protocol
+ * payloads. Numbers keep their raw text so 64-bit tick counts
+ * round-trip exactly (no double intermediate). The repo deliberately
+ * has no third-party JSON dependency; this parser grew out of the
+ * journal loader and moved here once the fleet wire protocol became
+ * its second consumer.
+ */
+
+#ifndef DRF_CAMPAIGN_JSON_VALUE_HH
+#define DRF_CAMPAIGN_JSON_VALUE_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace drf
+{
+
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    std::string raw;    ///< number text
+    std::string string; ///< decoded string
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+
+    std::uint64_t
+    asU64() const
+    {
+        return std::strtoull(raw.c_str(), nullptr, 10);
+    }
+
+    double
+    asDouble() const
+    {
+        return std::strtod(raw.c_str(), nullptr);
+    }
+};
+
+/**
+ * Parse @p text into @p out. Returns false on malformed input or
+ * trailing garbage.
+ */
+bool parseJson(const std::string &text, JsonValue &out);
+
+} // namespace drf
+
+#endif // DRF_CAMPAIGN_JSON_VALUE_HH

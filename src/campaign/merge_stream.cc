@@ -1,0 +1,94 @@
+#include "campaign/merge_stream.hh"
+
+#include <utility>
+
+namespace drf
+{
+
+StreamingShardMerge::StreamingShardMerge(const CampaignConfig &cfg,
+                                         std::size_t shards_planned)
+    : _merge(cfg, shards_planned)
+{
+}
+
+void
+StreamingShardMerge::setJobs(unsigned jobs)
+{
+    _merge.setJobs(jobs);
+}
+
+bool
+StreamingShardMerge::offer(ShardOutcome &&out, bool resumed)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::size_t index = out.index;
+    if (_drained.count(index))
+        return false;
+    bool fresh = _pending.find(index) == _pending.end();
+    _pending[index] = Pending{std::move(out), resumed};
+    return fresh;
+}
+
+bool
+StreamingShardMerge::have(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _drained.count(index) != 0 ||
+           _pending.find(index) != _pending.end();
+}
+
+std::size_t
+StreamingShardMerge::pending() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _pending.size();
+}
+
+std::size_t
+StreamingShardMerge::drainSorted(double wall_seconds)
+{
+    // Move the batch out under the lock, merge outside it: ShardMerge
+    // has its own mutex and add() does real work (grid unions).
+    std::map<std::size_t, Pending> batch;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        batch.swap(_pending);
+        for (const auto &[index, p] : batch)
+            _drained.insert(index);
+    }
+    for (auto &[index, p] : batch)
+        _merge.add(std::move(p.out), wall_seconds, p.resumed);
+    return batch.size();
+}
+
+bool
+StreamingShardMerge::stopRequested() const
+{
+    return _merge.stopRequested();
+}
+
+void
+StreamingShardMerge::requestStop()
+{
+    _merge.requestStop();
+}
+
+void
+StreamingShardMerge::markInterrupted()
+{
+    _merge.markInterrupted();
+}
+
+void
+StreamingShardMerge::addSkipped(std::size_t count)
+{
+    _merge.addSkipped(count);
+}
+
+CampaignResult
+StreamingShardMerge::take(double wall_seconds)
+{
+    return _merge.take(wall_seconds);
+}
+
+} // namespace drf

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Streaming, arrival-order-invariant front end for ShardMerge.
+ *
+ * The fleet coordinator receives shard results over sockets in whatever
+ * order workers finish — and possibly more than once, when a slow
+ * worker's lease was stolen and both copies eventually land. ShardMerge
+ * itself is commutative for the *aggregate* fields (sums, grid unions),
+ * but the saturation curve and first-failure bookkeeping are built in
+ * add() order, so feeding it raw arrival order would make those fields
+ * depend on worker count and network timing.
+ *
+ * StreamingShardMerge restores determinism: results are buffered keyed
+ * by shard index (duplicates collapse — last record wins, which is a
+ * no-op for byte-identical duplicates from a re-leased shard), and
+ * drainSorted() merges everything buffered in ascending index order.
+ * The coordinator drains at batch barriers, exactly where the
+ * single-process supervised run merges its batch in index order — so a
+ * fleet campaign's CampaignResult is bit-identical to the jobs=1 run
+ * for every field that doesn't measure wall-clock time.
+ */
+
+#ifndef DRF_CAMPAIGN_MERGE_STREAM_HH
+#define DRF_CAMPAIGN_MERGE_STREAM_HH
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <unordered_set>
+
+#include "campaign/campaign.hh"
+
+namespace drf
+{
+
+class StreamingShardMerge
+{
+  public:
+    StreamingShardMerge(const CampaignConfig &cfg,
+                        std::size_t shards_planned);
+
+    /** Record the worker count for the summary (fleet: worker procs). */
+    void setJobs(unsigned jobs);
+
+    /**
+     * Buffer one completed shard. Returns true when @p out is the first
+     * record seen for its index — the caller's cue to retire the lease.
+     * A duplicate (already buffered or already drained) returns false;
+     * a still-buffered duplicate replaces the earlier copy, so journal
+     * replays keep their last-record-wins semantics.
+     */
+    bool offer(ShardOutcome &&out, bool resumed = false);
+
+    /** True when @p index has been offered (buffered or drained). */
+    bool have(std::size_t index) const;
+
+    /** Records buffered and not yet drained. */
+    std::size_t pending() const;
+
+    /**
+     * Merge every buffered record in ascending index order, all stamped
+     * with @p wall_seconds (wall times are per-run anyway; sharing one
+     * stamp per drain keeps the curve's shape arrival-invariant).
+     * Returns the number of records merged.
+     */
+    std::size_t drainSorted(double wall_seconds);
+
+    // ShardMerge passthroughs.
+    bool stopRequested() const;
+    void requestStop();
+    void markInterrupted();
+    void addSkipped(std::size_t count = 1);
+
+    /** Finalize. Call once, after a final drainSorted. */
+    CampaignResult take(double wall_seconds);
+
+  private:
+    struct Pending
+    {
+        ShardOutcome out;
+        bool resumed = false;
+    };
+
+    mutable std::mutex _mutex;
+    ShardMerge _merge;
+    std::map<std::size_t, Pending> _pending;
+    std::unordered_set<std::size_t> _drained;
+};
+
+} // namespace drf
+
+#endif // DRF_CAMPAIGN_MERGE_STREAM_HH

@@ -1,0 +1,118 @@
+#include "campaign/posix_io.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define DRF_HAVE_POSIX_IO 1
+#else
+#define DRF_HAVE_POSIX_IO 0
+#endif
+
+namespace drf::io
+{
+
+bool
+writeAll(int fd, const void *data, std::size_t len)
+{
+#if DRF_HAVE_POSIX_IO
+    const char *p = static_cast<const char *>(data);
+    std::size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd, p + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+#else
+    (void)fd;
+    (void)data;
+    (void)len;
+    return false;
+#endif
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    return writeAll(fd, data.data(), data.size());
+}
+
+bool
+readExact(int fd, void *buf, std::size_t len)
+{
+#if DRF_HAVE_POSIX_IO
+    char *p = static_cast<char *>(buf);
+    std::size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::read(fd, p + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF mid-object
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+#else
+    (void)fd;
+    (void)buf;
+    (void)len;
+    return false;
+#endif
+}
+
+long
+readSome(int fd, void *buf, std::size_t len)
+{
+#if DRF_HAVE_POSIX_IO
+    for (;;) {
+        ssize_t n = ::read(fd, buf, len);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return static_cast<long>(n);
+    }
+#else
+    (void)fd;
+    (void)buf;
+    (void)len;
+    return -1;
+#endif
+}
+
+std::string
+readToEof(int fd)
+{
+    std::string data;
+#if DRF_HAVE_POSIX_IO
+    char buf[4096];
+    for (;;) {
+        long n = readSome(fd, buf, sizeof(buf));
+        if (n <= 0)
+            break;
+        data.append(buf, static_cast<std::size_t>(n));
+    }
+#else
+    (void)fd;
+#endif
+    return data;
+}
+
+void
+ignoreSigpipe()
+{
+#if DRF_HAVE_POSIX_IO
+    static std::once_flag once;
+    std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+#endif
+}
+
+} // namespace drf::io

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Robust POSIX fd I/O: the one place short writes, EINTR, and EPIPE are
+ * handled.
+ *
+ * Three consumers write to fds that can fail mid-transfer — the journal
+ * (a file that may hit a full disk), the supervisor's fork pipe (whose
+ * reader can die first), and the fleet's TCP transport (whose peer can
+ * be SIGKILLed at any byte). All of them must treat a short write as
+ * "keep going", EINTR as "retry", and EPIPE/ECONNRESET as "the peer is
+ * gone, report it, don't die". Centralizing that here keeps the three
+ * call sites from each growing a subtly different retry loop.
+ *
+ * Writes to a closed pipe/socket normally raise SIGPIPE, whose default
+ * action terminates the process before write() even returns EPIPE;
+ * every fleet/pipe entry point calls ignoreSigpipe() first so the error
+ * comes back through the return value instead.
+ */
+
+#ifndef DRF_CAMPAIGN_POSIX_IO_HH
+#define DRF_CAMPAIGN_POSIX_IO_HH
+
+#include <cstddef>
+#include <string>
+
+namespace drf::io
+{
+
+/**
+ * Write all @p len bytes to @p fd, retrying short writes and EINTR.
+ * Returns false on any hard error (EPIPE included); errno is preserved
+ * for the caller's diagnostics.
+ */
+bool writeAll(int fd, const void *data, std::size_t len);
+
+/** writeAll over a string. */
+bool writeAll(int fd, const std::string &data);
+
+/**
+ * Read exactly @p len bytes into @p buf, retrying EINTR and short
+ * reads. Returns false on error or EOF before @p len bytes arrived.
+ */
+bool readExact(int fd, void *buf, std::size_t len);
+
+/**
+ * One read() of up to @p len bytes with EINTR retry. Returns the byte
+ * count, 0 on EOF, -1 on a hard error — the shape poll loops want.
+ */
+long readSome(int fd, void *buf, std::size_t len);
+
+/** Read until EOF (the fork-pipe drain). Errors end the read early. */
+std::string readToEof(int fd);
+
+/**
+ * Process-wide, idempotent SIGPIPE -> SIG_IGN. Call before writing to
+ * any fd whose reader can vanish (sockets, pipes).
+ */
+void ignoreSigpipe();
+
+} // namespace drf::io
+
+#endif // DRF_CAMPAIGN_POSIX_IO_HH

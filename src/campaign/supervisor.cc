@@ -27,6 +27,7 @@
 
 #include "campaign/campaign_json.hh"
 #include "campaign/journal.hh"
+#include "campaign/posix_io.hh"
 #include "campaign/thread_pool.hh"
 #include "trace/repro.hh"
 #include "trace/trace_file.hh"
@@ -47,8 +48,8 @@ secondsSince(Clock::time_point start)
 
 thread_local unsigned t_shardAttempt = 1;
 
-// Set by the signal handler; polled by the watchdog thread. Async-
-// signal-safe by construction (one relaxed atomic store).
+// Set by the signal handler; polled by the supervisor's signal thread.
+// Async-signal-safe by construction (one relaxed atomic store).
 std::atomic<int> g_signalCaught{0};
 
 void
@@ -100,81 +101,6 @@ struct WatchedTask
 #endif
     ShardOutcome outcome; ///< in-process mode result slot
 };
-
-/** Shared supervisor state threaded through workers + watchdog. */
-struct SupervisorState
-{
-    const SupervisorConfig &cfg;
-    ShardMerge merge;
-    ThreadPool *pool = nullptr;
-
-    std::mutex watchMutex;
-    std::vector<std::shared_ptr<WatchedTask>> watched;
-
-    std::atomic<bool> shutdown{false};
-    bool interruptHandled = false; ///< watchdog thread only
-};
-
-void
-registerTask(SupervisorState &st,
-             const std::shared_ptr<WatchedTask> &task)
-{
-    std::lock_guard<std::mutex> lock(st.watchMutex);
-    st.watched.push_back(task);
-}
-
-void
-markTaskDone(const std::shared_ptr<WatchedTask> &task)
-{
-    std::lock_guard<std::mutex> lock(task->mutex);
-    task->done = true;
-}
-
-/**
- * The supervisor watchdog: scans deadlines (reaping overdue attempts)
- * and turns a caught termination signal into a graceful shutdown —
- * queued shards cancelled wholesale, running shards left to finish.
- */
-void
-watchdogLoop(SupervisorState &st)
-{
-    while (!st.shutdown.load(std::memory_order_acquire)) {
-        if (st.cfg.handleSignals &&
-            g_signalCaught.load(std::memory_order_relaxed) != 0 &&
-            !st.interruptHandled) {
-            st.interruptHandled = true;
-            st.merge.markInterrupted();
-            st.merge.addSkipped(st.pool->cancelPending());
-        }
-
-        Clock::time_point now = Clock::now();
-        {
-            std::lock_guard<std::mutex> lock(st.watchMutex);
-            for (auto &task : st.watched) {
-                std::lock_guard<std::mutex> tl(task->mutex);
-                if (task->done || task->timedOut)
-                    continue;
-                if (now < task->deadline)
-                    continue;
-                task->timedOut = true;
-#if DRF_SUPERVISOR_HAVE_FORK
-                if (task->childPid > 0)
-                    ::kill(task->childPid, SIGKILL);
-#endif
-                task->cv.notify_all();
-            }
-            st.watched.erase(
-                std::remove_if(st.watched.begin(), st.watched.end(),
-                               [](const auto &task) {
-                                   std::lock_guard<std::mutex> tl(
-                                       task->mutex);
-                                   return task->done;
-                               }),
-                st.watched.end());
-        }
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    }
-}
 
 /** Build a host-level outcome (no stats, no grids — just triage). */
 ShardOutcome
@@ -228,245 +154,16 @@ runInProcess(const ShardSpec &spec, std::size_t index, unsigned attempt)
     return out;
 }
 
-/**
- * In-process attempt with a wall-clock deadline: the shard runs on a
- * dedicated thread; on timeout the thread is abandoned (detached) and
- * the shard becomes a HostTimeout. The thread owns copies of everything
- * it touches (spec, task), so abandoning it is safe — it can only
- * waste one core until the process exits, which is the best that can
- * be done for a truly wedged shard without process isolation.
- */
-ShardOutcome
-runWithDeadline(SupervisorState &st, const ShardSpec &spec,
-                std::size_t index, unsigned attempt)
-{
-    auto task = std::make_shared<WatchedTask>();
-    task->deadline =
-        Clock::now() +
-        std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double>(
-                st.cfg.shardTimeoutSeconds));
-    registerTask(st, task);
-
-    std::thread worker([task, spec, index, attempt]() {
-        ShardOutcome out = runInProcess(spec, index, attempt);
-        std::lock_guard<std::mutex> lock(task->mutex);
-        task->outcome = std::move(out);
-        task->done = true;
-        task->cv.notify_all();
-    });
-
-    std::unique_lock<std::mutex> lock(task->mutex);
-    task->cv.wait(lock,
-                  [&] { return task->done || task->timedOut; });
-    if (task->done) {
-        lock.unlock();
-        worker.join();
-        return std::move(task->outcome);
-    }
-    lock.unlock();
-    worker.detach();
-    return hostOutcome(
-        spec, index, attempt, FailureClass::HostTimeout,
-        "shard exceeded its wall-clock deadline (" +
-            std::to_string(st.cfg.shardTimeoutSeconds) +
-            " s); worker thread abandoned");
-}
-
 #if DRF_SUPERVISOR_HAVE_FORK
 
 // Serializes the pipe()+fork()+close() window so a concurrently forked
 // child can never inherit another shard's pipe write end (which would
 // keep that shard's parent blocked on read() past its child's death).
+// Process-wide (not per-ShardRunner): a fleet worker and a test harness
+// in one process must still serialize against each other.
 std::mutex g_forkMutex;
 
-bool
-writeAll(int fd, const std::string &data)
-{
-    std::size_t off = 0;
-    while (off < data.size()) {
-        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-std::string
-readAll(int fd)
-{
-    std::string data;
-    char buf[4096];
-    for (;;) {
-        ssize_t n = ::read(fd, buf, sizeof(buf));
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            break;
-        }
-        if (n == 0)
-            break;
-        data.append(buf, static_cast<std::size_t>(n));
-    }
-    return data;
-}
-
-/**
- * Fork-isolated attempt: the child runs the shard under the in-process
- * barrier and reports the outcome over a pipe as one journal-format
- * line; the parent triages the wait status. Anything that kills the
- * child — segfault, abort, a sanitizer's _exit(1) — is a HostCrash; a
- * watchdog SIGKILL is a HostTimeout; fork/pipe trouble or a torn
- * outcome line is ResourceExhausted (retriable).
- */
-ShardOutcome
-runForked(SupervisorState &st, const ShardSpec &spec, std::size_t index,
-          unsigned attempt)
-{
-    int fds[2] = {-1, -1};
-    pid_t pid = -1;
-    {
-        std::lock_guard<std::mutex> lock(g_forkMutex);
-        if (::pipe(fds) != 0) {
-            return hostOutcome(spec, index, attempt,
-                               FailureClass::ResourceExhausted,
-                               std::string("pipe() failed: ") +
-                                   std::strerror(errno));
-        }
-        t_shardAttempt = attempt; // inherited across fork()
-        pid = ::fork();
-        if (pid == 0) {
-            // Child: run the shard, ship the outcome, _exit without
-            // running atexit/static destructors (the parent owns them).
-            ::close(fds[0]);
-            ShardOutcome out = runInProcess(spec, index, attempt);
-            std::string line = shardOutcomeToJson(out);
-            line.push_back('\n');
-            writeAll(fds[1], line);
-            ::close(fds[1]);
-            ::_exit(0);
-        }
-        t_shardAttempt = 1;
-        ::close(fds[1]);
-        if (pid < 0) {
-            ::close(fds[0]);
-            return hostOutcome(spec, index, attempt,
-                               FailureClass::ResourceExhausted,
-                               std::string("fork() failed: ") +
-                                   std::strerror(errno));
-        }
-    }
-
-    auto task = std::make_shared<WatchedTask>();
-    task->childPid = pid;
-    if (st.cfg.shardTimeoutSeconds > 0.0) {
-        task->deadline =
-            Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                               std::chrono::duration<double>(
-                                   st.cfg.shardTimeoutSeconds));
-        registerTask(st, task);
-    }
-
-    // Drain before waitpid so a chatty child can't deadlock on a full
-    // pipe; EOF arrives when the child exits or is killed.
-    std::string data = readAll(fds[0]);
-    ::close(fds[0]);
-
-    int status = 0;
-    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
-    markTaskDone(task);
-
-    bool timed_out;
-    {
-        std::lock_guard<std::mutex> lock(task->mutex);
-        timed_out = task->timedOut;
-    }
-    if (timed_out) {
-        return hostOutcome(
-            spec, index, attempt, FailureClass::HostTimeout,
-            "shard exceeded its wall-clock deadline (" +
-                std::to_string(st.cfg.shardTimeoutSeconds) +
-                " s); child process killed");
-    }
-    if (WIFSIGNALED(status)) {
-        return hostOutcome(spec, index, attempt,
-                           FailureClass::HostCrash,
-                           "shard child terminated by signal " +
-                               std::to_string(WTERMSIG(status)));
-    }
-    if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
-        return hostOutcome(
-            spec, index, attempt, FailureClass::HostCrash,
-            "shard child exited with status " +
-                std::to_string(WEXITSTATUS(status)) +
-                " (crash handler or sanitizer abort)");
-    }
-
-    ShardOutcome out;
-    std::string line = data.substr(0, data.find('\n'));
-    if (!parseShardOutcome(line, out)) {
-        return hostOutcome(spec, index, attempt,
-                           FailureClass::ResourceExhausted,
-                           "shard child produced no parseable outcome "
-                           "(torn pipe write)");
-    }
-    out.index = index;
-    out.attempts = attempt;
-    return out;
-}
-
 #endif // DRF_SUPERVISOR_HAVE_FORK
-
-/** Dispatch one attempt to the configured isolation mode. */
-ShardOutcome
-runAttempt(SupervisorState &st, const ShardSpec &spec, std::size_t index,
-           unsigned attempt)
-{
-#if DRF_SUPERVISOR_HAVE_FORK
-    if (st.cfg.forkIsolation)
-        return runForked(st, spec, index, attempt);
-#endif
-    if (st.cfg.shardTimeoutSeconds > 0.0)
-        return runWithDeadline(st, spec, index, attempt);
-    return runInProcess(spec, index, attempt);
-}
-
-/** Run one shard to a final outcome: attempts + transient retries. */
-ShardOutcome
-runShardSupervised(SupervisorState &st, ShardSpec &spec,
-                   std::size_t index)
-{
-    // Apply the simulation event budget by rebuilding the runner from
-    // the preset (note: this replaces any wrapper around run()).
-    if (st.cfg.shardEventBudget != 0 && spec.gpuPreset) {
-        GpuTestPreset preset = *spec.gpuPreset;
-        preset.tester.eventBudget = st.cfg.shardEventBudget;
-        ShardSpec budgeted = gpuShard(preset);
-        spec.run = std::move(budgeted.run);
-        spec.gpuPreset = std::move(budgeted.gpuPreset);
-    }
-
-    unsigned attempt = 1;
-    for (;;) {
-        ShardOutcome out = runAttempt(st, spec, index, attempt);
-        bool transient = out.result.failureClass ==
-                         FailureClass::ResourceExhausted;
-        if (transient && attempt <= st.cfg.maxRetries &&
-            !st.merge.stopRequested()) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                static_cast<std::uint64_t>(st.cfg.retryBackoffMs)
-                << (attempt - 1)));
-            ++attempt;
-            continue;
-        }
-        out.attempts = attempt;
-        return out;
-    }
-}
 
 std::string
 sanitizeFileName(const std::string &name)
@@ -552,6 +249,314 @@ captureRepro(const SupervisorConfig &cfg, const ShardSpec &spec,
 
 } // namespace
 
+/**
+ * ShardRunner internals: the deadline watchdog and the per-attempt
+ * isolation modes. One instance supervises any number of concurrent
+ * run() calls; the watchdog thread exists only when a wall-clock
+ * deadline is configured.
+ */
+struct ShardRunner::Impl
+{
+    const SupervisorConfig cfg;
+    std::function<bool()> stopCheck;
+
+    std::mutex watchMutex;
+    std::vector<std::shared_ptr<WatchedTask>> watched;
+
+    std::atomic<bool> shutdown{false};
+    std::thread watchdog;
+
+    explicit Impl(const SupervisorConfig &c) : cfg(c)
+    {
+        if (cfg.shardTimeoutSeconds > 0.0)
+            watchdog = std::thread([this] { watchdogLoop(); });
+    }
+
+    ~Impl()
+    {
+        shutdown.store(true, std::memory_order_release);
+        if (watchdog.joinable())
+            watchdog.join();
+    }
+
+    bool
+    stopRequested() const
+    {
+        return stopCheck && stopCheck();
+    }
+
+    void
+    registerTask(const std::shared_ptr<WatchedTask> &task)
+    {
+        std::lock_guard<std::mutex> lock(watchMutex);
+        watched.push_back(task);
+    }
+
+    /** Scan deadlines, reaping overdue attempts. */
+    void
+    watchdogLoop()
+    {
+        while (!shutdown.load(std::memory_order_acquire)) {
+            Clock::time_point now = Clock::now();
+            {
+                std::lock_guard<std::mutex> lock(watchMutex);
+                for (auto &task : watched) {
+                    std::lock_guard<std::mutex> tl(task->mutex);
+                    if (task->done || task->timedOut)
+                        continue;
+                    if (now < task->deadline)
+                        continue;
+                    task->timedOut = true;
+#if DRF_SUPERVISOR_HAVE_FORK
+                    if (task->childPid > 0)
+                        ::kill(task->childPid, SIGKILL);
+#endif
+                    task->cv.notify_all();
+                }
+                watched.erase(
+                    std::remove_if(watched.begin(), watched.end(),
+                                   [](const auto &task) {
+                                       std::lock_guard<std::mutex> tl(
+                                           task->mutex);
+                                       return task->done;
+                                   }),
+                    watched.end());
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+    }
+
+    /**
+     * In-process attempt with a wall-clock deadline: the shard runs on
+     * a dedicated thread; on timeout the thread is abandoned (detached)
+     * and the shard becomes a HostTimeout. The thread owns copies of
+     * everything it touches (spec, task), so abandoning it is safe — it
+     * can only waste one core until the process exits, which is the
+     * best that can be done for a truly wedged shard without process
+     * isolation.
+     */
+    ShardOutcome
+    runWithDeadline(const ShardSpec &spec, std::size_t index,
+                    unsigned attempt)
+    {
+        auto task = std::make_shared<WatchedTask>();
+        task->deadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(
+                    cfg.shardTimeoutSeconds));
+        registerTask(task);
+
+        std::thread worker([task, spec, index, attempt]() {
+            ShardOutcome out = runInProcess(spec, index, attempt);
+            std::lock_guard<std::mutex> lock(task->mutex);
+            task->outcome = std::move(out);
+            task->done = true;
+            task->cv.notify_all();
+        });
+
+        std::unique_lock<std::mutex> lock(task->mutex);
+        task->cv.wait(lock,
+                      [&] { return task->done || task->timedOut; });
+        if (task->done) {
+            lock.unlock();
+            worker.join();
+            return std::move(task->outcome);
+        }
+        lock.unlock();
+        worker.detach();
+        return hostOutcome(
+            spec, index, attempt, FailureClass::HostTimeout,
+            "shard exceeded its wall-clock deadline (" +
+                std::to_string(cfg.shardTimeoutSeconds) +
+                " s); worker thread abandoned");
+    }
+
+#if DRF_SUPERVISOR_HAVE_FORK
+
+    /**
+     * Fork-isolated attempt: the child runs the shard under the
+     * in-process barrier and reports the outcome over a pipe as one
+     * journal-format line; the parent triages the wait status. Anything
+     * that kills the child — segfault, abort, a sanitizer's _exit(1) —
+     * is a HostCrash; a watchdog SIGKILL is a HostTimeout; fork/pipe
+     * trouble or a torn outcome line is ResourceExhausted (retriable).
+     */
+    ShardOutcome
+    runForked(const ShardSpec &spec, std::size_t index,
+              unsigned attempt)
+    {
+        int fds[2] = {-1, -1};
+        pid_t pid = -1;
+        {
+            std::lock_guard<std::mutex> lock(g_forkMutex);
+            if (::pipe(fds) != 0) {
+                return hostOutcome(spec, index, attempt,
+                                   FailureClass::ResourceExhausted,
+                                   std::string("pipe() failed: ") +
+                                       std::strerror(errno));
+            }
+            t_shardAttempt = attempt; // inherited across fork()
+            pid = ::fork();
+            if (pid == 0) {
+                // Child: run the shard, ship the outcome, _exit
+                // without running atexit/static destructors (the
+                // parent owns them).
+                ::close(fds[0]);
+                ShardOutcome out = runInProcess(spec, index, attempt);
+                std::string line = shardOutcomeToJson(out);
+                line.push_back('\n');
+                io::writeAll(fds[1], line);
+                ::close(fds[1]);
+                ::_exit(0);
+            }
+            t_shardAttempt = 1;
+            ::close(fds[1]);
+            if (pid < 0) {
+                ::close(fds[0]);
+                return hostOutcome(spec, index, attempt,
+                                   FailureClass::ResourceExhausted,
+                                   std::string("fork() failed: ") +
+                                       std::strerror(errno));
+            }
+        }
+
+        auto task = std::make_shared<WatchedTask>();
+        task->childPid = pid;
+        if (cfg.shardTimeoutSeconds > 0.0) {
+            task->deadline =
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        cfg.shardTimeoutSeconds));
+            registerTask(task);
+        }
+
+        // Drain before waitpid so a chatty child can't deadlock on a
+        // full pipe; EOF arrives when the child exits or is killed.
+        std::string data = io::readToEof(fds[0]);
+        ::close(fds[0]);
+
+        int status = 0;
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+        {
+            std::lock_guard<std::mutex> lock(task->mutex);
+            task->done = true;
+        }
+
+        bool timed_out;
+        {
+            std::lock_guard<std::mutex> lock(task->mutex);
+            timed_out = task->timedOut;
+        }
+        if (timed_out) {
+            return hostOutcome(
+                spec, index, attempt, FailureClass::HostTimeout,
+                "shard exceeded its wall-clock deadline (" +
+                    std::to_string(cfg.shardTimeoutSeconds) +
+                    " s); child process killed");
+        }
+        if (WIFSIGNALED(status)) {
+            return hostOutcome(spec, index, attempt,
+                               FailureClass::HostCrash,
+                               "shard child terminated by signal " +
+                                   std::to_string(WTERMSIG(status)));
+        }
+        if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+            return hostOutcome(
+                spec, index, attempt, FailureClass::HostCrash,
+                "shard child exited with status " +
+                    std::to_string(WEXITSTATUS(status)) +
+                    " (crash handler or sanitizer abort)");
+        }
+
+        ShardOutcome out;
+        std::string line = data.substr(0, data.find('\n'));
+        if (!parseShardOutcome(line, out)) {
+            return hostOutcome(
+                spec, index, attempt,
+                FailureClass::ResourceExhausted,
+                "shard child produced no parseable outcome "
+                "(torn pipe write)");
+        }
+        out.index = index;
+        out.attempts = attempt;
+        return out;
+    }
+
+#endif // DRF_SUPERVISOR_HAVE_FORK
+
+    /** Dispatch one attempt to the configured isolation mode. */
+    ShardOutcome
+    runAttempt(const ShardSpec &spec, std::size_t index,
+               unsigned attempt)
+    {
+#if DRF_SUPERVISOR_HAVE_FORK
+        if (cfg.forkIsolation)
+            return runForked(spec, index, attempt);
+#endif
+        if (cfg.shardTimeoutSeconds > 0.0)
+            return runWithDeadline(spec, index, attempt);
+        return runInProcess(spec, index, attempt);
+    }
+
+    /** Run one shard to a final outcome: attempts + retries. */
+    ShardOutcome
+    runSupervised(ShardSpec &spec, std::size_t index)
+    {
+        // Apply the simulation event budget by rebuilding the runner
+        // from the preset (this replaces any wrapper around run()).
+        if (cfg.shardEventBudget != 0 && spec.gpuPreset) {
+            GpuTestPreset preset = *spec.gpuPreset;
+            preset.tester.eventBudget = cfg.shardEventBudget;
+            ShardSpec budgeted = gpuShard(preset);
+            spec.run = std::move(budgeted.run);
+            spec.gpuPreset = std::move(budgeted.gpuPreset);
+        }
+
+        unsigned attempt = 1;
+        for (;;) {
+            ShardOutcome out = runAttempt(spec, index, attempt);
+            bool transient = out.result.failureClass ==
+                             FailureClass::ResourceExhausted;
+            if (transient && attempt <= cfg.maxRetries &&
+                !stopRequested()) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    static_cast<std::uint64_t>(cfg.retryBackoffMs)
+                    << (attempt - 1)));
+                ++attempt;
+                continue;
+            }
+            out.attempts = attempt;
+            return out;
+        }
+    }
+};
+
+ShardRunner::ShardRunner(const SupervisorConfig &cfg)
+    : _impl(std::make_unique<Impl>(cfg))
+{
+    // Fleet transports and journal writes may hit closed pipes; a
+    // supervised process must see EPIPE, not die.
+    io::ignoreSigpipe();
+}
+
+ShardRunner::~ShardRunner() = default;
+
+void
+ShardRunner::setStopCheck(std::function<bool()> stop_check)
+{
+    _impl->stopCheck = std::move(stop_check);
+}
+
+ShardOutcome
+ShardRunner::run(ShardSpec spec, std::size_t index)
+{
+    ShardOutcome out = _impl->runSupervised(spec, index);
+    captureRepro(_impl->cfg, spec, out);
+    return out;
+}
+
 unsigned
 currentShardAttempt()
 {
@@ -562,7 +567,7 @@ CampaignResult
 runSupervisedCampaign(std::vector<ShardSpec> shards,
                       const SupervisorConfig &cfg)
 {
-    SupervisorState st{cfg, ShardMerge(cfg.campaign, shards.size())};
+    ShardMerge merge(cfg.campaign, shards.size());
 
     // Resume: adopt journaled outcomes for shards whose identity
     // matches. Host-level outcomes are *not* adopted — they describe
@@ -593,7 +598,7 @@ runSupervisedCampaign(std::vector<ShardSpec> shards,
     if (!shards.empty())
         jobs = std::min<unsigned>(
             jobs, static_cast<unsigned>(shards.size()));
-    st.merge.setJobs(jobs);
+    merge.setJobs(jobs);
 
     // Open for appending only after the resume pass read the file.
     CampaignJournal journal(cfg.journalPath);
@@ -614,48 +619,75 @@ runSupervisedCampaign(std::vector<ShardSpec> shards,
     // them sorted), so the aggregates a resumed run produces are the
     // same commutative sums an uninterrupted run would build.
     for (ShardOutcome &rec : adopted)
-        st.merge.add(std::move(rec), 0.0, /*resumed=*/true);
+        merge.add(std::move(rec), 0.0, /*resumed=*/true);
 
     if (shards.empty())
-        return st.merge.take(0.0);
+        return merge.take(0.0);
 
     SignalGuard signals(cfg.handleSignals);
+    ShardRunner runner(cfg);
+    runner.setStopCheck([&merge] { return merge.stopRequested(); });
+
     Clock::time_point start = Clock::now();
     {
         ThreadPool pool(jobs);
-        st.pool = &pool;
-        std::thread watchdog([&st] { watchdogLoop(st); });
+
+        // Poll for a caught termination signal and turn it into a
+        // graceful shutdown: queued shards cancelled wholesale, running
+        // shards left to finish.
+        std::atomic<bool> sigpollStop{false};
+        std::thread sigpoll;
+        if (cfg.handleSignals) {
+            sigpoll = std::thread([&] {
+                bool handled = false;
+                while (!sigpollStop.load(std::memory_order_acquire)) {
+                    if (!handled &&
+                        g_signalCaught.load(
+                            std::memory_order_relaxed) != 0) {
+                        handled = true;
+                        merge.markInterrupted();
+                        merge.addSkipped(pool.cancelPending());
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(20));
+                }
+            });
+        }
 
         for (std::size_t i = 0; i < shards.size(); ++i) {
             if (resumed[i])
                 continue;
-            pool.submit([&st, &cfg, &journal, start, i,
+            pool.submit([&merge, &runner, &journal, start, i,
                          spec = std::move(shards[i])]() mutable {
-                if (st.merge.stopRequested()) {
-                    st.merge.addSkipped();
+                if (merge.stopRequested()) {
+                    merge.addSkipped();
                     return;
                 }
-                ShardOutcome out = runShardSupervised(st, spec, i);
-                captureRepro(cfg, spec, out);
+                ShardOutcome out = runner.run(std::move(spec), i);
                 if (journal.ok())
                     journal.append(shardOutcomeToJson(out));
-                st.merge.add(std::move(out), secondsSince(start));
+                merge.add(std::move(out), secondsSince(start));
             });
         }
         pool.waitIdle();
 
-        st.shutdown.store(true, std::memory_order_release);
-        watchdog.join();
-        st.pool = nullptr;
+        sigpollStop.store(true, std::memory_order_release);
+        if (sigpoll.joinable())
+            sigpoll.join();
     }
 
-    // The watchdog may have been past its signal check when a late
-    // signal arrived; make sure the flag is reflected either way.
+    // The poll thread may have been past its check when a late signal
+    // arrived; make sure the flag is reflected either way.
     if (cfg.handleSignals &&
         g_signalCaught.load(std::memory_order_relaxed) != 0)
-        st.merge.markInterrupted();
+        merge.markInterrupted();
 
-    return st.merge.take(secondsSince(start));
+    // Flush journaled records before take(): a crash after this point
+    // loses nothing, and tests reading the journal right after the
+    // call see every record.
+    journal.flush(/*sync=*/true);
+
+    return merge.take(secondsSince(start));
 }
 
 } // namespace drf

@@ -66,6 +66,8 @@
 #define DRF_CAMPAIGN_SUPERVISOR_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -134,6 +136,47 @@ struct SupervisorConfig
      *  on return). Off by default: embedding processes own their
      *  signal dispositions unless they opt in. */
     bool handleSignals = false;
+};
+
+/**
+ * Per-shard supervised execution engine: isolation (fork or in-process
+ * barrier), wall-clock reaping via its own watchdog thread, the event
+ * budget, bounded transient retry, and repro capture — everything the
+ * supervisor does to *one* shard, reusable outside a whole-campaign
+ * run. runSupervisedCampaign drives one instance from its thread pool;
+ * a fleet worker (src/fleet) drives one per process so each leased
+ * shard gets the same fault containment as a local campaign shard.
+ *
+ * Thread-safe: run() may be called concurrently from many threads.
+ * Campaign-level policy (journal, resume, signals, merge, early stop)
+ * stays with the caller; setStopCheck lets the caller's early-stop
+ * state suppress retries that no longer matter.
+ */
+class ShardRunner
+{
+  public:
+    explicit ShardRunner(const SupervisorConfig &cfg);
+    ~ShardRunner();
+
+    ShardRunner(const ShardRunner &) = delete;
+    ShardRunner &operator=(const ShardRunner &) = delete;
+
+    /**
+     * Install a predicate consulted before each transient retry; when
+     * it returns true the current attempt's outcome becomes final.
+     * Not thread-safe against concurrent run() — install it first.
+     */
+    void setStopCheck(std::function<bool()> stop_check);
+
+    /**
+     * Run @p spec (campaign position @p index) to a final outcome:
+     * attempts + transient retries + repro capture on failure.
+     */
+    ShardOutcome run(ShardSpec spec, std::size_t index);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
 };
 
 /**

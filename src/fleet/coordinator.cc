@@ -1,0 +1,760 @@
+#include "fleet/coordinator.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DRF_FLEET_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DRF_FLEET_HAVE_SOCKETS 0
+#endif
+
+#include "campaign/campaign_json.hh"
+#include "campaign/journal.hh"
+#include "campaign/merge_stream.hh"
+#include "campaign/posix_io.hh"
+#include "fleet/protocol.hh"
+#include "fleet/wire.hh"
+
+namespace drf::fleet
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Deep-copy an outcome (grids included) for the streaming merge. */
+ShardOutcome
+cloneOutcome(const ShardOutcome &src)
+{
+    ShardOutcome out;
+    out.name = src.name;
+    out.seed = src.seed;
+    out.index = src.index;
+    out.result = src.result;
+    out.attempts = src.attempts;
+    if (src.l1)
+        out.l1 = std::make_unique<CoverageGrid>(*src.l1);
+    if (src.l2)
+        out.l2 = std::make_unique<CoverageGrid>(*src.l2);
+    if (src.dir)
+        out.dir = std::make_unique<CoverageGrid>(*src.dir);
+    return out;
+}
+
+} // namespace
+
+struct FleetCoordinator::Impl
+{
+    ShardSource &source;
+    const CoordinatorConfig cfg;
+
+    int listenFd = -1;
+    unsigned short portBound = 0;
+    std::atomic<bool> shutdown{false};
+    std::thread acceptThread;
+
+    /** One connected worker process. */
+    struct Worker
+    {
+        int fd = -1;
+        std::string name;
+        bool alive = false;
+        Clock::time_point lastSeen{};
+        std::deque<std::size_t> held; ///< lease indices held
+        std::uint64_t completed = 0;
+        std::thread reader;
+    };
+
+    struct OutstandingLease
+    {
+        ShardLease lease;
+        Clock::time_point issuedAt{};
+        unsigned holders = 0;
+    };
+
+    /** One result that arrived (socket, local run, or journal). */
+    struct Arrived
+    {
+        ShardOutcome out;
+        std::string line; ///< verbatim journal record ("" if resumed)
+        bool resumed = false;
+    };
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::shared_ptr<Worker>> workers;
+    std::deque<ShardLease> pending; ///< unleased, index order
+    std::map<std::size_t, OutstandingLease> outstanding;
+    std::map<std::size_t, Arrived> batchResults;
+    std::set<std::size_t> batchIndices;
+
+    std::unique_ptr<StreamingShardMerge> merge;
+    std::unique_ptr<ShardRunner> localRunner;
+
+    FleetResult stats;
+
+    Impl(ShardSource &src, const CoordinatorConfig &c)
+        : source(src), cfg(c)
+    {
+        io::ignoreSigpipe();
+    }
+
+    SupervisorConfig
+    runnerConfig() const
+    {
+        SupervisorConfig rc;
+        rc.forkIsolation = cfg.forkIsolation;
+        rc.shardTimeoutSeconds = cfg.shardTimeoutSeconds;
+        rc.shardEventBudget = cfg.shardEventBudget;
+        rc.maxRetries = cfg.maxRetries;
+        rc.retryBackoffMs = cfg.retryBackoffMs;
+        return rc;
+    }
+
+    // ---- socket plumbing --------------------------------------------
+
+    bool
+    bindAndListen()
+    {
+#if DRF_FLEET_HAVE_SOCKETS
+        listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd < 0)
+            return false;
+        int one = 1;
+        ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(cfg.port);
+        if (::inet_pton(AF_INET, cfg.bindAddress.c_str(),
+                        &addr.sin_addr) != 1)
+            return false;
+        if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(listenFd, 16) != 0) {
+            ::close(listenFd);
+            listenFd = -1;
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            portBound = ntohs(bound.sin_port);
+        return true;
+#else
+        return false;
+#endif
+    }
+
+    void
+    acceptLoop()
+    {
+#if DRF_FLEET_HAVE_SOCKETS
+        while (!shutdown.load(std::memory_order_acquire)) {
+            int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                break; // listen fd shut down
+            }
+            Frame hello;
+            HelloMsg hm;
+            if (!recvFrame(fd, hello) ||
+                hello.type != MsgType::Hello ||
+                !parseHello(hello.payload, hm) ||
+                hm.protocolVersion != kProtocolVersion) {
+                ::close(fd);
+                continue;
+            }
+            WelcomeMsg wm;
+            wm.forkIsolation = cfg.forkIsolation;
+            wm.shardTimeoutSeconds = cfg.shardTimeoutSeconds;
+            wm.shardEventBudget = cfg.shardEventBudget;
+            wm.maxRetries = cfg.maxRetries;
+            wm.retryBackoffMs = cfg.retryBackoffMs;
+            wm.queueDepth = cfg.queueDepth;
+            wm.heartbeatMs = cfg.heartbeatMs;
+            if (!sendFrame(fd, MsgType::Welcome,
+                           serializeWelcome(wm))) {
+                ::close(fd);
+                continue;
+            }
+
+            auto worker = std::make_shared<Worker>();
+            worker->fd = fd;
+            worker->name = hm.worker;
+            worker->alive = true;
+            worker->lastSeen = Clock::now();
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                workers.push_back(worker);
+                ++stats.workersSeen;
+                topUpLocked(*worker);
+            }
+            worker->reader =
+                std::thread([this, worker] { readerLoop(worker); });
+            cv.notify_all();
+        }
+#endif
+    }
+
+    void
+    readerLoop(const std::shared_ptr<Worker> &worker)
+    {
+        for (;;) {
+            Frame frame;
+            if (!recvFrame(worker->fd, frame))
+                break;
+            std::lock_guard<std::mutex> lock(mutex);
+            worker->lastSeen = Clock::now();
+            switch (frame.type) {
+              case MsgType::Result:
+                ++worker->completed;
+                handleResultLineLocked(frame.payload, *worker);
+                topUpLocked(*worker);
+                break;
+              case MsgType::Steal:
+                topUpLocked(*worker);
+                stealForLocked(*worker);
+                break;
+              case MsgType::Heartbeat:
+                break; // lastSeen already refreshed
+              default:
+                break; // unknown frames are ignored, not fatal
+            }
+            cv.notify_all();
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        markDeadLocked(*worker);
+        cv.notify_all();
+    }
+
+    // ---- lease bookkeeping (mutex held) -----------------------------
+
+    void
+    sendLeaseLocked(Worker &worker, const ShardLease &lease)
+    {
+        auto [it, fresh] = outstanding.try_emplace(lease.index);
+        if (fresh) {
+            it->second.lease = lease;
+            it->second.issuedAt = Clock::now();
+        }
+        ++it->second.holders;
+        worker.held.push_back(lease.index);
+        ++stats.leasesIssued;
+        if (!sendFrame(worker.fd, MsgType::Lease,
+                       serializeLease(lease)))
+            markDeadLocked(worker);
+    }
+
+    /** Fill @p worker's queue from the pending list. */
+    void
+    topUpLocked(Worker &worker)
+    {
+        while (worker.alive && !pending.empty() &&
+               worker.held.size() < cfg.queueDepth) {
+            ShardLease lease = std::move(pending.front());
+            pending.pop_front();
+            sendLeaseLocked(worker, lease);
+        }
+    }
+
+    /**
+     * Work stealing, proactive half: an idle worker duplicates the
+     * oldest lease still outstanding on exactly one other worker. The
+     * first result for the index wins; the merge drops the loser.
+     */
+    void
+    stealForLocked(Worker &worker)
+    {
+        if (!worker.alive || !worker.held.empty() || !pending.empty())
+            return;
+        Clock::time_point now = Clock::now();
+        std::map<std::size_t, OutstandingLease>::iterator oldest =
+            outstanding.end();
+        for (auto it = outstanding.begin(); it != outstanding.end();
+             ++it) {
+            if (it->second.holders != 1)
+                continue;
+            if (batchResults.count(it->first))
+                continue;
+            double age = std::chrono::duration<double>(
+                             now - it->second.issuedAt)
+                             .count();
+            if (age < cfg.stealMinAgeSeconds)
+                continue;
+            if (oldest == outstanding.end() ||
+                it->second.issuedAt < oldest->second.issuedAt)
+                oldest = it;
+        }
+        if (oldest == outstanding.end())
+            return;
+        ++stats.releases;
+        sendLeaseLocked(worker, oldest->second.lease);
+    }
+
+    /**
+     * Work stealing, recovery half: a dead worker's outstanding leases
+     * go back to the pending queue (front, preserving index order as
+     * much as possible) for the next top-up.
+     */
+    void
+    markDeadLocked(Worker &worker)
+    {
+        if (!worker.alive)
+            return;
+        worker.alive = false;
+#if DRF_FLEET_HAVE_SOCKETS
+        ::shutdown(worker.fd, SHUT_RDWR);
+#endif
+        std::vector<ShardLease> returned;
+        for (std::size_t index : worker.held) {
+            auto it = outstanding.find(index);
+            if (it == outstanding.end() || batchResults.count(index))
+                continue;
+            if (--it->second.holders == 0) {
+                returned.push_back(it->second.lease);
+                outstanding.erase(it);
+                ++stats.releases;
+            }
+        }
+        worker.held.clear();
+        std::sort(returned.begin(), returned.end(),
+                  [](const ShardLease &a, const ShardLease &b) {
+                      return a.index < b.index;
+                  });
+        for (auto rit = returned.rbegin(); rit != returned.rend();
+             ++rit)
+            pending.push_front(std::move(*rit));
+    }
+
+    /** Reap workers silent past the heartbeat timeout. */
+    void
+    reapSilentLocked()
+    {
+        if (cfg.heartbeatTimeoutSeconds <= 0.0)
+            return;
+        Clock::time_point now = Clock::now();
+        for (auto &worker : workers) {
+            if (!worker->alive)
+                continue;
+            double silent = std::chrono::duration<double>(
+                                now - worker->lastSeen)
+                                .count();
+            if (silent > cfg.heartbeatTimeoutSeconds)
+                markDeadLocked(*worker);
+        }
+    }
+
+    /** Duplicate leases outstanding longer than the lease timeout. */
+    void
+    releaseOverdueLocked()
+    {
+        if (cfg.leaseTimeoutSeconds <= 0.0)
+            return;
+        Clock::time_point now = Clock::now();
+        for (auto &[index, ol] : outstanding) {
+            if (ol.holders != 1 || batchResults.count(index))
+                continue;
+            if (secondsSince(ol.issuedAt) < 0 ||
+                std::chrono::duration<double>(now - ol.issuedAt)
+                        .count() < cfg.leaseTimeoutSeconds)
+                continue;
+            Worker *target = nullptr;
+            for (auto &worker : workers) {
+                bool holds_it =
+                    std::find(worker->held.begin(),
+                              worker->held.end(),
+                              index) != worker->held.end();
+                if (!worker->alive || holds_it)
+                    continue;
+                if (!target ||
+                    worker->held.size() < target->held.size())
+                    target = worker.get();
+            }
+            if (!target)
+                continue;
+            ol.issuedAt = now; // restart the clock, avoid a storm
+            ++stats.releases;
+            sendLeaseLocked(*target, ol.lease);
+        }
+    }
+
+    void
+    topUpAllLocked()
+    {
+        for (auto &worker : workers) {
+            if (worker->alive)
+                topUpLocked(*worker);
+        }
+    }
+
+    bool
+    anyAliveLocked() const
+    {
+        for (const auto &worker : workers) {
+            if (worker->alive)
+                return true;
+        }
+        return false;
+    }
+
+    // ---- result intake ----------------------------------------------
+
+    /**
+     * The one funnel every executed shard passes through — socket
+     * Result frames, coordinator-local runs, and (minus the journal
+     * re-append) resume adoption. First result per index wins.
+     */
+    void
+    handleResultLineLocked(const std::string &line, Worker &from)
+    {
+        ShardOutcome out;
+        if (!parseShardOutcome(line, out))
+            return; // torn frame; the lease stays re-leasable
+        std::size_t index = out.index;
+
+        // Retire the lease wherever it is held.
+        auto it = outstanding.find(index);
+        if (it != outstanding.end()) {
+            outstanding.erase(it);
+            for (auto &worker : workers) {
+                auto held = std::find(worker->held.begin(),
+                                      worker->held.end(), index);
+                if (held != worker->held.end())
+                    worker->held.erase(held);
+            }
+        }
+        (void)from;
+
+        if (!batchIndices.count(index) || batchResults.count(index)) {
+            ++stats.duplicateResults;
+            return;
+        }
+        merge->offer(cloneOutcome(out), /*resumed=*/false);
+        batchResults.emplace(index,
+                             Arrived{std::move(out), line, false});
+    }
+
+    void
+    adoptResumedLocked(ShardOutcome &&out)
+    {
+        std::size_t index = out.index;
+        merge->offer(cloneOutcome(out), /*resumed=*/true);
+        batchResults.emplace(
+            index, Arrived{std::move(out), std::string(), true});
+        ++stats.shardsResumed;
+    }
+
+    bool
+    batchCompleteLocked() const
+    {
+        return batchResults.size() == batchIndices.size();
+    }
+
+    // ---- local execution (coordinator as worker of last resort) -----
+
+    /** Run one shard here, through the same serialize/parse funnel a
+     *  socket result takes, so every path yields identical records. */
+    void
+    runLocally(ShardSpec spec, std::size_t index)
+    {
+        if (!localRunner)
+            localRunner =
+                std::make_unique<ShardRunner>(runnerConfig());
+        ShardOutcome out = localRunner->run(std::move(spec), index);
+        std::string line = shardOutcomeToJson(out);
+        std::lock_guard<std::mutex> lock(mutex);
+        ++stats.localRuns;
+        Worker nobody;
+        handleResultLineLocked(line, nobody);
+        cv.notify_all();
+    }
+
+    /**
+     * Pop and execute pending leases while no worker can take them.
+     * Returns true if it ran anything.
+     */
+    bool
+    drainPendingLocally()
+    {
+        bool ran = false;
+        for (;;) {
+            ShardLease lease;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                bool no_fleet = cfg.expectedWorkers == 0 ||
+                                (cfg.localFallback &&
+                                 !anyAliveLocked());
+                if (!no_fleet || pending.empty())
+                    return ran;
+                lease = std::move(pending.front());
+                pending.pop_front();
+            }
+            runLocally(leaseToSpec(lease), lease.index);
+            ran = true;
+        }
+    }
+
+    // ---- shutdown ---------------------------------------------------
+
+    void
+    stopFleet()
+    {
+        shutdown.store(true, std::memory_order_release);
+#if DRF_FLEET_HAVE_SOCKETS
+        if (listenFd >= 0)
+            ::shutdown(listenFd, SHUT_RDWR);
+#endif
+        if (acceptThread.joinable())
+            acceptThread.join();
+
+        std::vector<std::shared_ptr<Worker>> snapshot;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            snapshot = workers;
+            for (auto &worker : snapshot) {
+                if (worker->alive)
+                    sendFrame(worker->fd, MsgType::Shutdown, "");
+#if DRF_FLEET_HAVE_SOCKETS
+                ::shutdown(worker->fd, SHUT_RD);
+#endif
+            }
+        }
+        for (auto &worker : snapshot) {
+            if (worker->reader.joinable())
+                worker->reader.join();
+#if DRF_FLEET_HAVE_SOCKETS
+            if (worker->fd >= 0) {
+                ::close(worker->fd);
+                worker->fd = -1;
+            }
+#endif
+        }
+#if DRF_FLEET_HAVE_SOCKETS
+        if (listenFd >= 0) {
+            ::close(listenFd);
+            listenFd = -1;
+        }
+#endif
+    }
+};
+
+FleetCoordinator::FleetCoordinator(ShardSource &source,
+                                   const CoordinatorConfig &cfg)
+    : _impl(std::make_unique<Impl>(source, cfg))
+{
+}
+
+FleetCoordinator::~FleetCoordinator()
+{
+    _impl->stopFleet();
+}
+
+bool
+FleetCoordinator::listen()
+{
+    if (_impl->cfg.expectedWorkers == 0)
+        return true; // degenerate fleet: no socket at all
+    return _impl->bindAndListen();
+}
+
+unsigned short
+FleetCoordinator::boundPort() const
+{
+    return _impl->portBound;
+}
+
+FleetResult
+FleetCoordinator::run()
+{
+    Impl &im = *_impl;
+    const CoordinatorConfig &cfg = im.cfg;
+
+    // The merge's campaign policy: stop decisions belong to the
+    // adaptive loop, so the merge itself never requests a stop.
+    CampaignConfig merge_cfg;
+    merge_cfg.jobs = std::max(1u, cfg.expectedWorkers);
+    merge_cfg.stopOnFailure = false;
+    merge_cfg.stopOnHostFailure = false;
+    merge_cfg.coverageTestType = cfg.campaign.coverageTestType;
+    im.merge = std::make_unique<StreamingShardMerge>(merge_cfg, 0);
+    im.merge->setJobs(std::max(1u, cfg.expectedWorkers));
+
+    // Resume pass: adoptable records, keyed by global shard index.
+    std::map<std::size_t, ShardOutcome> adoptable;
+    if (cfg.resume && !cfg.journalPath.empty()) {
+        std::vector<ShardOutcome> records;
+        if (loadJournal(cfg.journalPath, records)) {
+            for (ShardOutcome &rec : records) {
+                if (isHostFailureClass(rec.result.failureClass))
+                    continue;
+                std::size_t index = rec.index;
+                adoptable[index] = std::move(rec);
+            }
+        }
+    }
+
+    CampaignJournal journal(cfg.journalPath);
+    if (journal.ok()) {
+        JsonWriter header;
+        header.beginObject();
+        header.key("v").value(1);
+        header.key("kind").value("header");
+        header.key("fleet").value(true);
+        header.key("expected_workers").value(cfg.expectedWorkers);
+        header.key("resumable")
+            .value(static_cast<std::uint64_t>(adoptable.size()));
+        header.endObject();
+        journal.append(header.str());
+    }
+
+    if (cfg.expectedWorkers > 0 && im.listenFd >= 0) {
+        im.acceptThread = std::thread([&im] { im.acceptLoop(); });
+
+        // Give the fleet a chance to assemble; localFallback (or late
+        // joiners) covers a shortfall.
+        Clock::time_point wait_start = Clock::now();
+        std::unique_lock<std::mutex> lock(im.mutex);
+        im.cv.wait_for(
+            lock,
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(
+                    std::max(0.0, cfg.workerWaitSeconds))),
+            [&] {
+                return im.stats.workersSeen >= cfg.expectedWorkers ||
+                       secondsSince(wait_start) >=
+                           cfg.workerWaitSeconds;
+            });
+    }
+
+    FeedbackLoop loop(im.source, cfg.campaign);
+    Clock::time_point start = Clock::now();
+    std::size_t next_index = 0;
+    std::size_t rounds = 0;
+    bool source_drained = false;
+
+    for (;;) {
+        if (cfg.maxRounds != 0 && rounds >= cfg.maxRounds)
+            break;
+        std::vector<ShardSpec> batch = im.source.nextBatch();
+        if (batch.empty()) {
+            source_drained = true;
+            break;
+        }
+        loop.beginRound();
+        ++rounds;
+
+        // Stage the batch: adopt journaled shards, lease the rest.
+        std::vector<std::pair<ShardSpec, std::size_t>> local_only;
+        {
+            std::lock_guard<std::mutex> lock(im.mutex);
+            im.batchResults.clear();
+            im.batchIndices.clear();
+            for (ShardSpec &spec : batch) {
+                std::size_t index = next_index++;
+                im.batchIndices.insert(index);
+
+                auto adopt = adoptable.find(index);
+                if (adopt != adoptable.end() &&
+                    adopt->second.name == spec.name &&
+                    adopt->second.seed == spec.seed) {
+                    im.adoptResumedLocked(std::move(adopt->second));
+                    adoptable.erase(adopt);
+                    continue;
+                }
+
+                std::optional<ShardLease> lease =
+                    im.source.leaseForSeed(spec.seed);
+                if (!lease || lease->name != spec.name) {
+                    // Not describable on the wire: run it here.
+                    local_only.emplace_back(std::move(spec), index);
+                    continue;
+                }
+                lease->index = index;
+                im.pending.push_back(std::move(*lease));
+            }
+            im.topUpAllLocked();
+        }
+        for (auto &[spec, index] : local_only)
+            im.runLocally(std::move(spec), index);
+
+        // Barrier: every index of this batch must have a result.
+        for (;;) {
+            im.drainPendingLocally();
+            std::unique_lock<std::mutex> lock(im.mutex);
+            if (im.batchCompleteLocked())
+                break;
+            im.cv.wait_for(lock, std::chrono::milliseconds(100));
+            im.reapSilentLocked();
+            im.releaseOverdueLocked();
+            im.topUpAllLocked();
+            if (im.batchCompleteLocked())
+                break;
+        }
+
+        // Merge + journal + feedback, strictly in index order.
+        double wall = secondsSince(start);
+        im.merge->drainSorted(wall);
+        {
+            std::lock_guard<std::mutex> lock(im.mutex);
+            for (std::size_t index : im.batchIndices) {
+                const Impl::Arrived &arrived =
+                    im.batchResults.at(index);
+                if (!arrived.resumed && journal.ok())
+                    journal.append(arrived.line);
+            }
+        }
+        journal.flush(/*sync=*/true);
+        {
+            std::lock_guard<std::mutex> lock(im.mutex);
+            for (std::size_t index : im.batchIndices)
+                loop.onOutcome(im.batchResults.at(index).out, wall);
+        }
+        if (loop.stopRequested())
+            break;
+    }
+
+    im.stats.halted = !source_drained && cfg.maxRounds != 0 &&
+                      rounds >= cfg.maxRounds && !loop.stopRequested();
+    if (im.stats.halted)
+        im.merge->markInterrupted();
+
+    im.stopFleet();
+    journal.flush(/*sync=*/true);
+
+    double wall = secondsSince(start);
+    unsigned jobs = cfg.expectedWorkers == 0
+                        ? 1u
+                        : std::max(1u, im.stats.workersSeen);
+    FleetResult result = std::move(im.stats);
+    result.adaptive = loop.take(wall, jobs);
+    result.campaign = im.merge->take(wall);
+    return result;
+}
+
+} // namespace drf::fleet

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Fleet coordinator: shards one adaptive campaign across worker
+ * processes over TCP.
+ *
+ * The coordinator owns everything that must be centralized for the
+ * campaign to stay deterministic — the ShardSource (and so the guided
+ * scheduler's bandit state), the global shard index counter, the
+ * append-only journal, and the FeedbackLoop — and distributes the one
+ * thing that parallelizes perfectly: shard execution, which is a pure
+ * function of (genome, scale, seed).
+ *
+ * Scheduling is batch-synchronous: one source batch is leased out,
+ * executed fleet-wide, and fully merged (results drained in global
+ * shard-index order) before the source sees any feedback or issues the
+ * next batch. Results stream in over sockets in arbitrary order and
+ * land in a StreamingShardMerge immediately (incremental merge); the
+ * index-ordered drain at the batch barrier is what makes the guided
+ * scheduler's decision sequence — and every aggregate — a pure
+ * function of the master seed, whatever the worker count, arrival
+ * order, steal history, or resume state.
+ *
+ * Resilience: workers heartbeat; a worker that disconnects, dies, or
+ * goes silent past the heartbeat timeout has its outstanding leases
+ * returned to the pending queue and re-leased (work stealing's
+ * recovery half). An idle worker may request work (Steal frame) and be
+ * handed a duplicate of the oldest lease still outstanding elsewhere
+ * (the proactive half); the first result for an index wins and
+ * duplicates are dropped by the merge. With localFallback the
+ * coordinator executes stranded leases itself through the same
+ * ShardRunner a worker would use, so a campaign always completes even
+ * if every worker dies.
+ *
+ * expectedWorkers == 0 is the degenerate fleet: no socket is opened
+ * and every lease runs locally, in index order, through the identical
+ * lease → spec → ShardRunner → journal-line → merge path. That run is
+ * the bit-identity golden the distributed tests compare against.
+ */
+
+#ifndef DRF_FLEET_COORDINATOR_HH
+#define DRF_FLEET_COORDINATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "campaign/campaign.hh"
+#include "campaign/supervisor.hh"
+#include "guidance/adaptive_campaign.hh"
+
+namespace drf::fleet
+{
+
+/** Coordinator policy. */
+struct CoordinatorConfig
+{
+    /** Stop / coverage policy of the adaptive loop. */
+    AdaptiveCampaignConfig campaign;
+
+    // Supervision policy applied to every shard attempt, locally and
+    // (via the Welcome frame) on every worker.
+    bool forkIsolation = false;
+    double shardTimeoutSeconds = 0.0;
+    std::uint64_t shardEventBudget = 0;
+    unsigned maxRetries = 2;
+    unsigned retryBackoffMs = 10;
+
+    /** Listen address; 0.0.0.0 admits remote hosts. */
+    std::string bindAddress = "127.0.0.1";
+    /** Listen port; 0 picks an ephemeral port (see boundPort()). */
+    unsigned short port = 0;
+    /** Workers to wait for before the first batch; 0 = run locally. */
+    unsigned expectedWorkers = 0;
+    /** Max seconds to wait for expectedWorkers to connect. */
+    double workerWaitSeconds = 30.0;
+
+    /** Re-lease an outstanding lease after this long; 0 disables. */
+    double leaseTimeoutSeconds = 0.0;
+    /** A Steal request only duplicates leases outstanding at least
+     *  this long — younger ones are presumed healthily in progress. */
+    double stealMinAgeSeconds = 2.0;
+    /** Declare a silent worker dead after this long. */
+    double heartbeatTimeoutSeconds = 10.0;
+    /** Max leases a worker holds (running + queued). */
+    unsigned queueDepth = 2;
+    /** Heartbeat period shipped to workers. */
+    unsigned heartbeatMs = 500;
+
+    /** Append-only JSONL journal; empty disables checkpointing. */
+    std::string journalPath;
+    /** Adopt completed shards from journalPath before leasing. */
+    bool resume = false;
+
+    /** Execute stranded leases locally if the fleet empties. */
+    bool localFallback = true;
+
+    /** Stop after this many batches (testing: interrupted-fleet
+     *  resume); 0 = run the source to completion. */
+    std::size_t maxRounds = 0;
+};
+
+/** Everything one fleet campaign produced. */
+struct FleetResult
+{
+    AdaptiveCampaignResult adaptive;
+    /** The StreamingShardMerge's view (throughput, triage, unions). */
+    CampaignResult campaign;
+
+    unsigned workersSeen = 0;       ///< connections accepted
+    std::uint64_t leasesIssued = 0; ///< Lease frames sent
+    std::uint64_t releases = 0;     ///< re-leases (death + steal)
+    std::uint64_t duplicateResults = 0;
+    std::uint64_t localRuns = 0; ///< leases executed by the coordinator
+    std::size_t shardsResumed = 0;
+    bool halted = false; ///< stopped by maxRounds, source not drained
+};
+
+class FleetCoordinator
+{
+  public:
+    FleetCoordinator(ShardSource &source, const CoordinatorConfig &cfg);
+    ~FleetCoordinator();
+
+    FleetCoordinator(const FleetCoordinator &) = delete;
+    FleetCoordinator &operator=(const FleetCoordinator &) = delete;
+
+    /**
+     * Bind + listen (no-op when expectedWorkers == 0). Must be called
+     * before run(); returns false on a socket failure. After success
+     * boundPort() returns the actual port — bind workers to it.
+     */
+    bool listen();
+
+    /** Port actually bound (after listen(); 0 in local mode). */
+    unsigned short boundPort() const;
+
+    /** Run the campaign to completion or halt. Call once. */
+    FleetResult run();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+} // namespace drf::fleet
+
+#endif // DRF_FLEET_COORDINATOR_HH

@@ -1,0 +1,72 @@
+#include "fleet/fleet.hh"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DRF_FLEET_CAN_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define DRF_FLEET_CAN_FORK 0
+#endif
+
+#include "fleet/worker.hh"
+
+namespace drf::fleet
+{
+
+FleetResult
+runLocalFleet(ShardSource &source, const LocalFleetConfig &cfg,
+              bool *listen_ok)
+{
+    CoordinatorConfig coord_cfg = cfg.coordinator;
+#if !DRF_FLEET_CAN_FORK
+    // No fork(): degrade to the degenerate fleet, which needs neither
+    // sockets nor processes and produces the same aggregates.
+    coord_cfg.expectedWorkers = 0;
+#else
+    coord_cfg.expectedWorkers = cfg.workers;
+#endif
+
+    FleetCoordinator coordinator(source, coord_cfg);
+    bool bound = coordinator.listen();
+    if (listen_ok)
+        *listen_ok = bound;
+
+#if DRF_FLEET_CAN_FORK
+    std::vector<pid_t> children;
+    if (bound && coord_cfg.expectedWorkers > 0) {
+        unsigned short port = coordinator.boundPort();
+        for (unsigned i = 0; i < cfg.workers; ++i) {
+            pid_t pid = ::fork();
+            if (pid == 0) {
+                WorkerConfig wc;
+                wc.port = port;
+                wc.name = "local:" + std::to_string(::getpid());
+                if (i == 0)
+                    wc.dieOnResult = cfg.dieOnResult;
+                ::_exit(runWorker(wc));
+            }
+            if (pid < 0) {
+                std::perror("fleet: fork");
+                break;
+            }
+            children.push_back(pid);
+        }
+    }
+#endif
+
+    FleetResult result = coordinator.run();
+
+#if DRF_FLEET_CAN_FORK
+    for (pid_t pid : children) {
+        int status = 0;
+        (void)::waitpid(pid, &status, 0);
+    }
+#endif
+    return result;
+}
+
+} // namespace drf::fleet

@@ -1,0 +1,61 @@
+#include "fleet/wire.hh"
+
+#include "campaign/posix_io.hh"
+
+namespace drf::fleet
+{
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::Hello: return "hello";
+      case MsgType::Welcome: return "welcome";
+      case MsgType::Lease: return "lease";
+      case MsgType::Result: return "result";
+      case MsgType::Heartbeat: return "heartbeat";
+      case MsgType::Steal: return "steal";
+      case MsgType::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+bool
+sendFrame(int fd, MsgType type, const std::string &payload)
+{
+    if (payload.size() > kMaxFramePayload)
+        return false;
+    // One buffer, one writeAll: frames from concurrent senders must
+    // not interleave mid-frame (senders still serialize per-fd).
+    std::string frame;
+    frame.reserve(5 + payload.size());
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    frame.push_back(static_cast<char>(len & 0xff));
+    frame.push_back(static_cast<char>((len >> 8) & 0xff));
+    frame.push_back(static_cast<char>((len >> 16) & 0xff));
+    frame.push_back(static_cast<char>((len >> 24) & 0xff));
+    frame.push_back(static_cast<char>(type));
+    frame.append(payload);
+    return io::writeAll(fd, frame);
+}
+
+bool
+recvFrame(int fd, Frame &out)
+{
+    unsigned char head[5];
+    if (!io::readExact(fd, head, sizeof(head)))
+        return false;
+    std::uint32_t len = static_cast<std::uint32_t>(head[0]) |
+                        (static_cast<std::uint32_t>(head[1]) << 8) |
+                        (static_cast<std::uint32_t>(head[2]) << 16) |
+                        (static_cast<std::uint32_t>(head[3]) << 24);
+    if (len > kMaxFramePayload)
+        return false;
+    out.type = static_cast<MsgType>(head[4]);
+    out.payload.resize(len);
+    if (len != 0 && !io::readExact(fd, out.payload.data(), len))
+        return false;
+    return true;
+}
+
+} // namespace drf::fleet

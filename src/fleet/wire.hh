@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fleet wire framing: length-prefixed typed frames over a stream fd.
+ *
+ * One frame = u32 little-endian payload length, u8 message type, then
+ * the payload (UTF-8 JSON; Result frames carry a journal-format shard
+ * record verbatim). The framing is deliberately dumb: everything
+ * interesting lives in the JSON payloads (protocol.hh), and the
+ * framing layer only guarantees that a reader sees whole frames or a
+ * clean failure — a short read (peer died mid-frame) or an oversized
+ * length prefix (garbage or a protocol mismatch) both surface as a
+ * recv failure, never as a torn payload.
+ *
+ * All I/O goes through the shared POSIX helpers (campaign/posix_io.hh)
+ * for EINTR retry and full-write semantics; SIGPIPE is expected to be
+ * ignored process-wide (io::ignoreSigpipe) so a dead peer surfaces as
+ * EPIPE from write(), handled as a send failure.
+ */
+
+#ifndef DRF_FLEET_WIRE_HH
+#define DRF_FLEET_WIRE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace drf::fleet
+{
+
+/** Frame types of the coordinator/worker protocol (protocol.hh). */
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,     ///< worker -> coordinator: introduce + capacity
+    Welcome = 2,   ///< coordinator -> worker: supervision policy
+    Lease = 3,     ///< coordinator -> worker: run this shard
+    Result = 4,    ///< worker -> coordinator: journal record of a shard
+    Heartbeat = 5, ///< worker -> coordinator: liveness + progress
+    Steal = 6,     ///< worker -> coordinator: queue empty, send work
+    Shutdown = 7,  ///< coordinator -> worker: campaign over, exit
+};
+
+const char *msgTypeName(MsgType type);
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type = MsgType::Hello;
+    std::string payload;
+};
+
+/** Reject frames claiming more than this (corrupt length prefix). */
+constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+/** Write one frame; false on any write failure (peer gone, EPIPE). */
+bool sendFrame(int fd, MsgType type, const std::string &payload);
+
+/**
+ * Read one frame; false on EOF, short read, or an oversized length.
+ * Blocks until a full frame arrives.
+ */
+bool recvFrame(int fd, Frame &out);
+
+} // namespace drf::fleet
+
+#endif // DRF_FLEET_WIRE_HH

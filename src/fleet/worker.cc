@@ -1,0 +1,224 @@
+#include "fleet/worker.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DRF_FLEET_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define DRF_FLEET_HAVE_SOCKETS 0
+#endif
+
+#include "campaign/journal.hh"
+#include "campaign/posix_io.hh"
+#include "campaign/supervisor.hh"
+#include "fleet/protocol.hh"
+#include "fleet/wire.hh"
+
+namespace drf::fleet
+{
+
+#if DRF_FLEET_HAVE_SOCKETS
+
+namespace
+{
+
+int
+connectTo(const std::string &host, unsigned short port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace
+
+int
+runWorker(const WorkerConfig &cfg)
+{
+    io::ignoreSigpipe();
+
+    int fd = connectTo(cfg.host, cfg.port);
+    if (fd < 0) {
+        std::fprintf(stderr, "fleet worker: cannot connect to %s:%u\n",
+                      cfg.host.c_str(), unsigned(cfg.port));
+        return 2;
+    }
+
+    HelloMsg hello;
+    hello.worker = cfg.name.empty()
+                       ? "local:" + std::to_string(::getpid())
+                       : cfg.name;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    Frame welcome_frame;
+    WelcomeMsg welcome;
+    if (!sendFrame(fd, MsgType::Hello, serializeHello(hello)) ||
+        !recvFrame(fd, welcome_frame) ||
+        welcome_frame.type != MsgType::Welcome ||
+        !parseWelcome(welcome_frame.payload, welcome) ||
+        welcome.protocolVersion != kProtocolVersion) {
+        std::fprintf(stderr, "fleet worker: handshake failed\n");
+        ::close(fd);
+        return 2;
+    }
+
+    SupervisorConfig runner_cfg;
+    runner_cfg.forkIsolation = welcome.forkIsolation;
+    runner_cfg.shardTimeoutSeconds = welcome.shardTimeoutSeconds;
+    runner_cfg.shardEventBudget = welcome.shardEventBudget;
+    runner_cfg.maxRetries = welcome.maxRetries;
+    runner_cfg.retryBackoffMs = welcome.retryBackoffMs;
+    ShardRunner runner(runner_cfg);
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<ShardLease> queue; // depth enforced coordinator-side
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> inflight{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::mutex send_mutex; // Result and Heartbeat frames interleave
+
+    runner.setStopCheck(
+        [&done] { return done.load(std::memory_order_acquire); });
+
+    std::thread reader([&] {
+        for (;;) {
+            Frame frame;
+            if (!recvFrame(fd, frame))
+                break;
+            if (frame.type == MsgType::Shutdown)
+                break;
+            if (frame.type != MsgType::Lease)
+                continue;
+            ShardLease lease;
+            if (!parseLease(frame.payload, lease)) {
+                std::fprintf(stderr,
+                              "fleet worker: unparseable lease\n");
+                continue; // coordinator's timeout recovers it
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                queue.push_back(std::move(lease));
+            }
+            cv.notify_all();
+        }
+        done.store(true, std::memory_order_release);
+        cv.notify_all();
+    });
+
+    std::thread heartbeat([&] {
+        unsigned period = welcome.heartbeatMs == 0
+                              ? 500u
+                              : welcome.heartbeatMs;
+        while (!done.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(period));
+            if (done.load(std::memory_order_acquire))
+                break;
+            HeartbeatMsg hb;
+            hb.inflight = inflight.load(std::memory_order_relaxed);
+            hb.completed = completed.load(std::memory_order_relaxed);
+            bool idle;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                idle = queue.empty() && hb.inflight == 0;
+            }
+            std::lock_guard<std::mutex> send_lock(send_mutex);
+            if (!sendFrame(fd, MsgType::Heartbeat,
+                           serializeHeartbeat(hb)))
+                break;
+            if (idle)
+                sendFrame(fd, MsgType::Steal, "");
+        }
+    });
+
+    for (;;) {
+        ShardLease lease;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] {
+                return !queue.empty() ||
+                       done.load(std::memory_order_acquire);
+            });
+            if (queue.empty())
+                break; // done and drained
+            lease = std::move(queue.front());
+            queue.pop_front();
+        }
+        inflight.fetch_add(1, std::memory_order_relaxed);
+        ShardSpec spec = leaseToSpec(lease);
+        if (spec.name != lease.name) {
+            // The two ends disagree about genomeToPreset; running the
+            // wrong configuration would poison the campaign. Drop the
+            // lease; the coordinator re-leases it elsewhere.
+            std::fprintf(stderr,
+                          "fleet worker: lease name mismatch "
+                          "('%s' vs '%s'), refusing\n",
+                          lease.name.c_str(), spec.name.c_str());
+            inflight.fetch_sub(1, std::memory_order_relaxed);
+            continue;
+        }
+        ShardOutcome out = runner.run(std::move(spec), lease.index);
+        std::string line = shardOutcomeToJson(out);
+        std::uint64_t nth =
+            completed.load(std::memory_order_relaxed) + 1;
+        if (cfg.dieOnResult != 0 && nth >= cfg.dieOnResult) {
+            // Crash injection: die holding the result, never send it.
+            ::raise(SIGKILL);
+        }
+        {
+            std::lock_guard<std::mutex> send_lock(send_mutex);
+            if (!sendFrame(fd, MsgType::Result, line)) {
+                done.store(true, std::memory_order_release);
+                cv.notify_all();
+                break;
+            }
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+        inflight.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    done.store(true, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
+    cv.notify_all();
+    if (reader.joinable())
+        reader.join();
+    if (heartbeat.joinable())
+        heartbeat.join();
+    ::close(fd);
+    return 0;
+}
+
+#else // !DRF_FLEET_HAVE_SOCKETS
+
+int
+runWorker(const WorkerConfig &)
+{
+    std::fprintf(stderr,
+                  "fleet worker: sockets unavailable on this platform\n");
+    return 2;
+}
+
+#endif
+
+} // namespace drf::fleet

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fleet worker: connect, lease, execute, report — in one process.
+ *
+ * A worker is deliberately thin. All campaign policy lives on the
+ * coordinator and arrives in the Welcome frame; the worker's only job
+ * is to turn leases into journal-format result lines using the same
+ * ShardRunner a local supervised campaign uses, so a shard fails,
+ * retries, and times out identically wherever it runs.
+ *
+ * Protocol from the worker's side:
+ *   connect → Hello → Welcome → { Lease* → Result* | Steal |
+ *   Heartbeat }* → Shutdown/EOF → exit.
+ *
+ * The coordinator bounds the worker's queue (queueDepth leases
+ * outstanding); the worker additionally sends Steal when idle so
+ * stragglers elsewhere get duplicated onto it. A heartbeat thread keeps
+ * the connection visibly alive while a long shard runs.
+ */
+
+#ifndef DRF_FLEET_WORKER_HH
+#define DRF_FLEET_WORKER_HH
+
+#include <string>
+
+namespace drf::fleet
+{
+
+struct WorkerConfig
+{
+    std::string host = "127.0.0.1";
+    unsigned short port = 0;
+
+    /** Display name sent in Hello; empty derives "local:<pid>". */
+    std::string name;
+
+    /**
+     * Fault injection for fleet tests: when N > 0, the worker SIGKILLs
+     * itself *instead of sending* its Nth result — it completes N-1
+     * shards, computes the Nth, and dies holding that lease (plus
+     * anything queued), so the coordinator must re-lease to finish.
+     * 0 disables.
+     */
+    unsigned dieOnResult = 0;
+};
+
+/**
+ * Run one worker until the coordinator says Shutdown (or the
+ * connection drops). Returns a process exit code: 0 on a clean
+ * shutdown, nonzero on connect/handshake failure.
+ */
+int runWorker(const WorkerConfig &cfg);
+
+} // namespace drf::fleet
+
+#endif // DRF_FLEET_WORKER_HH

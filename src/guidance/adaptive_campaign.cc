@@ -39,21 +39,107 @@ combinedDigest(const CoverageAccumulator &l1,
 
 } // namespace
 
+FeedbackLoop::FeedbackLoop(ShardSource &source,
+                           const AdaptiveCampaignConfig &cfg)
+    : _source(source), _cfg(cfg)
+{
+    _res.strategy = source.strategy();
+}
+
+void
+FeedbackLoop::beginRound()
+{
+    ++_res.rounds;
+}
+
+void
+FeedbackLoop::onOutcome(const ShardOutcome &out, double wall_seconds)
+{
+    ShardFeedback fb;
+    fb.episodes = out.result.episodes;
+    fb.actions = out.result.loadsChecked + out.result.storesRetired +
+                 out.result.atomicsChecked;
+    if (out.l1)
+        fb.newL1Cells = _l1.add(*out.l1);
+    if (out.l2)
+        fb.newL2Cells = _l2.add(*out.l2);
+    fb.unionL1Active = _l1.activeCount(_cfg.coverageTestType);
+    fb.unionL2Active = _l2.activeCount(_cfg.coverageTestType);
+    fb.passed = out.result.passed;
+
+    ++_res.shardsRun;
+    _res.totalEpisodes += fb.episodes;
+    _res.totalActions += fb.actions;
+    _res.totalEvents += out.result.events;
+
+    CoveragePoint point;
+    point.shardsCompleted = _res.shardsRun;
+    point.l1Pct = _l1.coveragePct(_cfg.coverageTestType);
+    point.l2Pct = _l2.coveragePct(_cfg.coverageTestType);
+    point.cumulativeEvents = _res.totalEvents;
+    point.wallSeconds = wall_seconds;
+    point.shardName = out.name;
+    point.shardSeed = out.seed;
+    point.shardEpisodes = fb.episodes;
+    point.shardActions = fb.actions;
+    point.cumulativeEpisodes = _res.totalEpisodes;
+    point.cumulativeActions = _res.totalActions;
+    point.newCells = fb.newL1Cells + fb.newL2Cells;
+    _res.curve.push_back(std::move(point));
+
+    if (!out.result.passed && !_res.firstFailure) {
+        _res.firstFailure = ShardFailure{out.name, out.seed, out.index,
+                                         out.result.report};
+        _res.firstFailureClass = out.result.failureClass;
+        _res.failurePreset = _source.presetForSeed(out.seed);
+    }
+
+    _source.report(out, fb);
+}
+
+bool
+FeedbackLoop::stopRequested() const
+{
+    if (_res.firstFailure && _cfg.stopOnFailure)
+        return true;
+    if (_cfg.saturationPct > 0.0 && (!_l1.empty() || !_l2.empty()) &&
+        (_l1.empty() || _l1.coveragePct(_cfg.coverageTestType) >=
+                            _cfg.saturationPct) &&
+        (_l2.empty() || _l2.coveragePct(_cfg.coverageTestType) >=
+                            _cfg.saturationPct)) {
+        return true;
+    }
+    return false;
+}
+
+AdaptiveCampaignResult
+FeedbackLoop::take(double wall_seconds, unsigned jobs)
+{
+    _res.passed = !_res.firstFailure.has_value();
+    _res.wallSeconds = wall_seconds;
+    _res.jobs = jobs;
+    if (!_l1.empty())
+        _res.l1Union = _l1.grid();
+    if (!_l2.empty())
+        _res.l2Union = _l2.grid();
+    _res.unionDigest = combinedDigest(_l1, _l2);
+    if (auto *guided = dynamic_cast<GuidedSource *>(&_source))
+        _res.decisions = guided->decisions();
+    return std::move(_res);
+}
+
 AdaptiveCampaignResult
 runAdaptiveCampaign(ShardSource &source, const AdaptiveCampaignConfig &cfg)
 {
-    AdaptiveCampaignResult res;
-    res.strategy = source.strategy();
-
-    CoverageAccumulator l1;
-    CoverageAccumulator l2;
+    FeedbackLoop loop(source, cfg);
+    unsigned jobs = 0;
     Clock::time_point start = Clock::now();
 
     for (;;) {
         std::vector<ShardSpec> batch = source.nextBatch();
         if (batch.empty())
             break;
-        ++res.rounds;
+        loop.beginRound();
 
         CampaignConfig batch_cfg;
         batch_cfg.jobs = cfg.jobs;
@@ -62,76 +148,18 @@ runAdaptiveCampaign(ShardSource &source, const AdaptiveCampaignConfig &cfg)
         batch_cfg.keepOutcomes = true;
         CampaignResult batch_res =
             runCampaign(std::move(batch), batch_cfg);
-        res.jobs = batch_res.jobs;
+        jobs = batch_res.jobs;
 
         // Feedback strictly in shard-index order: outcomes is sorted,
         // so the source sees a thread-count-invariant stream.
-        for (ShardOutcome &out : batch_res.outcomes) {
-            ShardFeedback fb;
-            fb.episodes = out.result.episodes;
-            fb.actions = out.result.loadsChecked +
-                         out.result.storesRetired +
-                         out.result.atomicsChecked;
-            if (out.l1)
-                fb.newL1Cells = l1.add(*out.l1);
-            if (out.l2)
-                fb.newL2Cells = l2.add(*out.l2);
-            fb.unionL1Active = l1.activeCount(cfg.coverageTestType);
-            fb.unionL2Active = l2.activeCount(cfg.coverageTestType);
-            fb.passed = out.result.passed;
+        for (ShardOutcome &out : batch_res.outcomes)
+            loop.onOutcome(out, secondsSince(start));
 
-            ++res.shardsRun;
-            res.totalEpisodes += fb.episodes;
-            res.totalActions += fb.actions;
-            res.totalEvents += out.result.events;
-
-            CoveragePoint point;
-            point.shardsCompleted = res.shardsRun;
-            point.l1Pct = l1.coveragePct(cfg.coverageTestType);
-            point.l2Pct = l2.coveragePct(cfg.coverageTestType);
-            point.cumulativeEvents = res.totalEvents;
-            point.wallSeconds = secondsSince(start);
-            point.shardName = out.name;
-            point.shardSeed = out.seed;
-            point.shardEpisodes = fb.episodes;
-            point.shardActions = fb.actions;
-            point.cumulativeEpisodes = res.totalEpisodes;
-            point.cumulativeActions = res.totalActions;
-            point.newCells = fb.newL1Cells + fb.newL2Cells;
-            res.curve.push_back(std::move(point));
-
-            if (!out.result.passed && !res.firstFailure) {
-                res.firstFailure = ShardFailure{
-                    out.name, out.seed, out.index, out.result.report};
-                res.firstFailureClass = out.result.failureClass;
-                res.failurePreset = source.presetForSeed(out.seed);
-            }
-
-            source.report(out, fb);
-        }
-
-        if (res.firstFailure && cfg.stopOnFailure)
+        if (loop.stopRequested())
             break;
-        if (cfg.saturationPct > 0.0 && (!l1.empty() || !l2.empty()) &&
-            (l1.empty() ||
-             l1.coveragePct(cfg.coverageTestType) >= cfg.saturationPct) &&
-            (l2.empty() ||
-             l2.coveragePct(cfg.coverageTestType) >= cfg.saturationPct)) {
-            break;
-        }
     }
 
-    res.passed = !res.firstFailure.has_value();
-    res.wallSeconds = secondsSince(start);
-    if (!l1.empty())
-        res.l1Union = l1.grid();
-    if (!l2.empty())
-        res.l2Union = l2.grid();
-    res.unionDigest = combinedDigest(l1, l2);
-
-    if (auto *guided = dynamic_cast<GuidedSource *>(&source))
-        res.decisions = guided->decisions();
-    return res;
+    return loop.take(secondsSince(start), jobs);
 }
 
 namespace
@@ -186,9 +214,18 @@ guidanceDecisionsJson(const std::vector<GuidanceDecision> &decisions)
     return w.str();
 }
 
+namespace
+{
+
+/**
+ * Shared body of the two summary serializers. @p volatile_fields adds
+ * the per-run fields (worker count, wall clock) that the deterministic
+ * aggregate subset must exclude.
+ */
 std::string
-adaptiveCampaignToJson(const AdaptiveCampaignResult &result,
-                       const std::string &coverage_test_type)
+writeCampaignJson(const AdaptiveCampaignResult &result,
+                  const std::string &coverage_test_type,
+                  bool volatile_fields)
 {
     JsonWriter w;
     w.beginObject();
@@ -197,11 +234,13 @@ adaptiveCampaignToJson(const AdaptiveCampaignResult &result,
     w.key("rounds").value(static_cast<std::uint64_t>(result.rounds));
     w.key("shards_run")
         .value(static_cast<std::uint64_t>(result.shardsRun));
-    w.key("jobs").value(result.jobs);
+    if (volatile_fields)
+        w.key("jobs").value(result.jobs);
     w.key("total_episodes").value(result.totalEpisodes);
     w.key("total_actions").value(result.totalActions);
     w.key("total_events").value(result.totalEvents);
-    w.key("wall_seconds").value(result.wallSeconds);
+    if (volatile_fields)
+        w.key("wall_seconds").value(result.wallSeconds);
 
     w.key("l1_union_pct");
     if (result.l1Union)
@@ -270,6 +309,24 @@ adaptiveCampaignToJson(const AdaptiveCampaignResult &result,
 
     w.endObject();
     return w.str();
+}
+
+} // namespace
+
+std::string
+adaptiveCampaignToJson(const AdaptiveCampaignResult &result,
+                       const std::string &coverage_test_type)
+{
+    return writeCampaignJson(result, coverage_test_type,
+                             /*volatile_fields=*/true);
+}
+
+std::string
+adaptiveAggregatesJson(const AdaptiveCampaignResult &result,
+                       const std::string &coverage_test_type)
+{
+    return writeCampaignJson(result, coverage_test_type,
+                             /*volatile_fields=*/false);
 }
 
 } // namespace drf

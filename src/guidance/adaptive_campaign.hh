@@ -81,6 +81,49 @@ struct AdaptiveCampaignResult
     std::vector<GuidanceDecision> decisions;
 };
 
+/**
+ * The feedback half of the adaptive loop, factored out so the
+ * single-process runner (runAdaptiveCampaign) and the fleet
+ * coordinator (src/fleet) build their aggregates through literally the
+ * same code: cross-batch union accumulation, the per-shard curve,
+ * first-failure capture, and the index-ordered report() stream to the
+ * source. Feed outcomes strictly in shard-index order within each
+ * batch; because per-shard results are bit-exact functions of
+ * (configuration, seed), the resulting AdaptiveCampaignResult is then
+ * identical however the outcomes were actually computed — threads,
+ * worker processes, remote hosts, or a resume journal.
+ */
+class FeedbackLoop
+{
+  public:
+    FeedbackLoop(ShardSource &source, const AdaptiveCampaignConfig &cfg);
+
+    /** Account one non-empty batch pulled from the source. */
+    void beginRound();
+
+    /**
+     * Feed one completed shard, batch-local index order. @p
+     * wall_seconds stamps the curve point (a per-run field, excluded
+     * from the deterministic aggregate subset).
+     */
+    void onOutcome(const ShardOutcome &out, double wall_seconds);
+
+    /** True once failure/saturation policy says to stop pulling. */
+    bool stopRequested() const;
+
+    std::size_t shardsRun() const { return _res.shardsRun; }
+
+    /** Finalize: unions, digest, decision log. Call once. */
+    AdaptiveCampaignResult take(double wall_seconds, unsigned jobs);
+
+  private:
+    ShardSource &_source;
+    const AdaptiveCampaignConfig _cfg;
+    AdaptiveCampaignResult _res;
+    CoverageAccumulator _l1;
+    CoverageAccumulator _l2;
+};
+
 /** Drive @p source to completion under @p cfg. */
 AdaptiveCampaignResult
 runAdaptiveCampaign(ShardSource &source,
@@ -93,6 +136,18 @@ std::string guidanceDecisionsJson(
 /** Full adaptive campaign summary as one JSON object. */
 std::string adaptiveCampaignToJson(const AdaptiveCampaignResult &result,
                                    const std::string &coverage_test_type);
+
+/**
+ * The deterministic subset of the campaign summary: everything in
+ * adaptiveCampaignToJson except wall-clock fields and the worker
+ * count. Two runs of the same source configuration and master seed —
+ * whatever their thread count, worker fleet size, result arrival
+ * order, or resume history — must produce byte-identical output here;
+ * the fleet tests and CI compare these strings directly.
+ */
+std::string
+adaptiveAggregatesJson(const AdaptiveCampaignResult &result,
+                       const std::string &coverage_test_type);
 
 } // namespace drf
 

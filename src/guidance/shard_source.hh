@@ -48,6 +48,24 @@ enum class Strategy
 const char *strategyName(Strategy s);
 std::optional<Strategy> parseStrategy(const std::string &name);
 
+/**
+ * A wire-serializable shard description: everything a remote worker
+ * needs to execute one shard bit-identically to a local run. The
+ * genome is the one *as issued* (a guided probe's episode cap already
+ * applied), so genomeToPreset(genome, scale, seed) reconstructs the
+ * exact GpuTestPreset — including its name — that a local campaign
+ * would have run. The index is the shard's global position in the
+ * campaign (assigned by the driving loop, not the source).
+ */
+struct ShardLease
+{
+    std::size_t index = 0;
+    std::string name;
+    std::uint64_t seed = 0;
+    ConfigGenome genome;
+    GenomeScale scale;
+};
+
 /** What the adaptive runner reports back for one completed shard. */
 struct ShardFeedback
 {
@@ -88,6 +106,19 @@ class ShardSource
      */
     virtual std::optional<GpuTestPreset>
     presetForSeed(std::uint64_t seed) const
+    {
+        (void)seed;
+        return std::nullopt;
+    }
+
+    /**
+     * The wire-serializable description of a previously issued shard
+     * (fleet coordinator; lease.index is left for the caller to fill).
+     * Sources that cannot describe their shards as genomes return
+     * nullopt, which makes them local-only.
+     */
+    virtual std::optional<ShardLease>
+    leaseForSeed(std::uint64_t seed) const
     {
         (void)seed;
         return std::nullopt;

@@ -50,7 +50,21 @@ ArmSourceBase::presetForSeed(std::uint64_t seed) const
     auto it = _issued.find(seed);
     if (it == _issued.end())
         return std::nullopt;
-    return it->second;
+    return it->second.preset;
+}
+
+std::optional<ShardLease>
+ArmSourceBase::leaseForSeed(std::uint64_t seed) const
+{
+    auto it = _issued.find(seed);
+    if (it == _issued.end())
+        return std::nullopt;
+    ShardLease lease;
+    lease.name = it->second.preset.name;
+    lease.seed = seed;
+    lease.genome = it->second.genome;
+    lease.scale = _cfg.scale;
+    return lease;
 }
 
 ShardSpec
@@ -58,7 +72,7 @@ ArmSourceBase::makeShard(const ConfigGenome &genome)
 {
     std::uint64_t seed = _nextSeed++;
     GpuTestPreset preset = genomeToPreset(genome, _cfg.scale, seed);
-    _issued.emplace(seed, preset);
+    _issued.emplace(seed, Issued{preset, genome});
     ++_shardsIssued;
     return gpuShard(preset);
 }

@@ -53,6 +53,9 @@ class ArmSourceBase : public ShardSource
     std::optional<GpuTestPreset>
     presetForSeed(std::uint64_t seed) const override;
 
+    std::optional<ShardLease>
+    leaseForSeed(std::uint64_t seed) const override;
+
     std::size_t shardsIssued() const { return _shardsIssued; }
 
   protected:
@@ -63,8 +66,14 @@ class ArmSourceBase : public ShardSource
     std::size_t _shardsIssued = 0;
 
   private:
+    struct Issued
+    {
+        GpuTestPreset preset;
+        ConfigGenome genome; ///< as issued (probe cap applied)
+    };
+
     std::uint64_t _nextSeed;
-    std::map<std::uint64_t, GpuTestPreset> _issued;
+    std::map<std::uint64_t, Issued> _issued;
 };
 
 /** The status quo: the arm list in order, wrapping, maxShards total. */

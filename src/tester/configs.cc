@@ -14,6 +14,17 @@ cacheSizeClassName(CacheSizeClass c)
     return "?";
 }
 
+std::optional<CacheSizeClass>
+parseCacheSizeClass(const std::string &name)
+{
+    for (CacheSizeClass c : {CacheSizeClass::Small, CacheSizeClass::Large,
+                             CacheSizeClass::Mixed}) {
+        if (name == cacheSizeClassName(c))
+            return c;
+    }
+    return std::nullopt;
+}
+
 ApuSystemConfig
 makeGpuSystemConfig(CacheSizeClass cache_class, unsigned num_cus)
 {

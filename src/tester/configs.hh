@@ -18,6 +18,7 @@
 #ifndef DRF_TESTER_CONFIGS_HH
 #define DRF_TESTER_CONFIGS_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,10 @@ enum class CacheSizeClass
 };
 
 const char *cacheSizeClassName(CacheSizeClass c);
+
+/** Inverse of cacheSizeClassName (CLI flags, fleet wire payloads). */
+std::optional<CacheSizeClass>
+parseCacheSizeClass(const std::string &name);
 
 /** One fully specified GPU tester run. */
 struct GpuTestPreset

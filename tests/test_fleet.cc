@@ -1,0 +1,564 @@
+/**
+ * @file
+ * Fleet tests: wire framing, protocol payload round trips (including
+ * bit-exact double transport), StreamingShardMerge arrival-order
+ * invariance, and end-to-end coordinator/worker campaigns — the
+ * distributed aggregates must be byte-identical to the workers=0
+ * degenerate fleet, with workers killed mid-campaign, with proactive
+ * steals, and across a halt + resume.
+ *
+ * The end-to-end suite forks real worker processes (through
+ * runLocalFleet, which forks before the coordinator spawns any
+ * thread), so it exercises the actual sockets, the actual SIGKILL
+ * recovery path, and the actual journal file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <unistd.h>
+#define DRF_TEST_HAVE_SOCKETPAIR 1
+#else
+#define DRF_TEST_HAVE_SOCKETPAIR 0
+#endif
+
+#include "campaign/journal.hh"
+#include "campaign/merge_stream.hh"
+#include "fleet/fleet.hh"
+#include "fleet/protocol.hh"
+#include "fleet/wire.hh"
+#include "guidance/adaptive_campaign.hh"
+#include "guidance/genome.hh"
+#include "guidance/sources.hh"
+#include "proto/gpu_l1.hh"
+
+using namespace drf;
+using namespace drf::fleet;
+
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "drf_fleet_" + name;
+}
+
+/** Two tiny arms so fleet campaigns finish in seconds, not minutes. */
+SourceConfig
+tinySourceConfig(std::uint64_t master_seed, std::size_t max_shards,
+                 std::size_t batch)
+{
+    ConfigGenome a;
+    a.cacheClass = CacheSizeClass::Small;
+    a.actionsPerEpisode = 20;
+    a.episodesPerWf = 3;
+    a.atomicLocs = 10;
+    a.colocDensity = 0.37; // deliberately not exactly representable
+    a.numCus = 2;
+    ConfigGenome b = a;
+    b.actionsPerEpisode = 30;
+    b.colocDensity = 2.0;
+
+    SourceConfig cfg;
+    cfg.arms = {a, b};
+    cfg.scale.lanes = 4;
+    cfg.scale.wfsPerCu = 2;
+    cfg.scale.numNormalVars = 256;
+    cfg.masterSeed = master_seed;
+    cfg.batchSize = batch;
+    cfg.maxShards = max_shards;
+    return cfg;
+}
+
+/** Synthetic outcome for merge tests; no simulator involved. */
+ShardOutcome
+syntheticOutcome(std::size_t index, std::uint64_t events,
+                 bool passed = true, bool with_grid = false)
+{
+    ShardOutcome out;
+    out.name = "synthetic-" + std::to_string(index);
+    out.seed = 1000 + index;
+    out.index = index;
+    out.result.passed = passed;
+    out.result.ticks = 10 * (index + 1);
+    out.result.events = events;
+    out.result.episodes = 2;
+    if (!passed) {
+        out.result.report = "synthetic failure";
+        out.result.failureClass = FailureClass::ValueMismatch;
+    }
+    if (with_grid) {
+        out.l1 = std::make_unique<CoverageGrid>(GpuL1Cache::spec());
+        // A per-index cell pattern so unions depend on every shard.
+        out.l1->hit(index % out.l1->spec().numEvents(),
+                    index % out.l1->spec().numStates());
+        out.l1->hit(0, 0);
+    }
+    return out;
+}
+
+/** Fields of a CampaignResult that must be arrival-order invariant. */
+void
+expectEquivalent(const CampaignResult &a, const CampaignResult &b)
+{
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.shardsRun, b.shardsRun);
+    EXPECT_EQ(a.totalTicks, b.totalTicks);
+    EXPECT_EQ(a.totalEvents, b.totalEvents);
+    EXPECT_EQ(a.totalEpisodes, b.totalEpisodes);
+    ASSERT_EQ(a.firstFailure.has_value(), b.firstFailure.has_value());
+    if (a.firstFailure) {
+        EXPECT_EQ(a.firstFailure->index, b.firstFailure->index);
+        EXPECT_EQ(a.firstFailure->name, b.firstFailure->name);
+    }
+    ASSERT_EQ(a.l1Union.has_value(), b.l1Union.has_value());
+    if (a.l1Union) {
+        EXPECT_EQ(a.l1Union->activeDigest(), b.l1Union->activeDigest());
+        EXPECT_EQ(a.l1Union->totalHits(), b.l1Union->totalHits());
+    }
+    ASSERT_EQ(a.saturationCurve.size(), b.saturationCurve.size());
+    for (std::size_t i = 0; i < a.saturationCurve.size(); ++i) {
+        EXPECT_EQ(a.saturationCurve[i].shardName,
+                  b.saturationCurve[i].shardName)
+            << "curve position " << i;
+        EXPECT_EQ(a.saturationCurve[i].cumulativeEvents,
+                  b.saturationCurve[i].cumulativeEvents);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Wire framing.
+// ---------------------------------------------------------------------
+
+#if DRF_TEST_HAVE_SOCKETPAIR
+
+TEST(FleetWire, FrameRoundTrip)
+{
+    int fds[2];
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+
+    std::string binary("\x00\x01\xff{\"k\":1}\n", 10);
+    ASSERT_TRUE(sendFrame(fds[0], fleet::MsgType::Hello, "hello"));
+    ASSERT_TRUE(sendFrame(fds[0], fleet::MsgType::Result, binary));
+    ASSERT_TRUE(sendFrame(fds[0], fleet::MsgType::Steal, ""));
+
+    Frame f;
+    ASSERT_TRUE(recvFrame(fds[1], f));
+    EXPECT_EQ(fleet::MsgType::Hello, f.type);
+    EXPECT_EQ("hello", f.payload);
+    ASSERT_TRUE(recvFrame(fds[1], f));
+    EXPECT_EQ(fleet::MsgType::Result, f.type);
+    EXPECT_EQ(binary, f.payload);
+    ASSERT_TRUE(recvFrame(fds[1], f));
+    EXPECT_EQ(fleet::MsgType::Steal, f.type);
+    EXPECT_TRUE(f.payload.empty());
+
+    ::close(fds[0]);
+    EXPECT_FALSE(recvFrame(fds[1], f)) << "EOF must fail cleanly";
+    ::close(fds[1]);
+}
+
+TEST(FleetWire, RejectsOversizedLength)
+{
+    int fds[2];
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    // Hand-crafted header claiming a 4 GiB payload.
+    unsigned char head[5] = {0xff, 0xff, 0xff, 0xff,
+                             static_cast<unsigned char>(fleet::MsgType::Hello)};
+    ASSERT_EQ(ssize_t(sizeof(head)),
+              ::write(fds[0], head, sizeof(head)));
+    Frame f;
+    EXPECT_FALSE(recvFrame(fds[1], f));
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(FleetWire, TornHeaderFailsCleanly)
+{
+    int fds[2];
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    unsigned char partial[3] = {5, 0, 0};
+    ASSERT_EQ(ssize_t(sizeof(partial)),
+              ::write(fds[0], partial, sizeof(partial)));
+    ::close(fds[0]); // EOF mid-header
+    Frame f;
+    EXPECT_FALSE(recvFrame(fds[1], f));
+    ::close(fds[1]);
+}
+
+#endif // DRF_TEST_HAVE_SOCKETPAIR
+
+// ---------------------------------------------------------------------
+// Protocol payloads.
+// ---------------------------------------------------------------------
+
+TEST(FleetProtocol, HelloWelcomeHeartbeatRoundTrip)
+{
+    HelloMsg hello;
+    hello.worker = "host-7:1234";
+    hello.pid = 1234;
+    hello.slots = 3;
+    HelloMsg hello2;
+    ASSERT_TRUE(parseHello(serializeHello(hello), hello2));
+    EXPECT_EQ(hello.worker, hello2.worker);
+    EXPECT_EQ(hello.pid, hello2.pid);
+    EXPECT_EQ(hello.slots, hello2.slots);
+
+    WelcomeMsg welcome;
+    welcome.forkIsolation = true;
+    welcome.shardTimeoutSeconds = 0.1; // not exactly representable
+    welcome.shardEventBudget = 123456789;
+    welcome.maxRetries = 5;
+    welcome.retryBackoffMs = 7;
+    welcome.queueDepth = 4;
+    welcome.heartbeatMs = 250;
+    WelcomeMsg welcome2;
+    ASSERT_TRUE(parseWelcome(serializeWelcome(welcome), welcome2));
+    EXPECT_EQ(welcome.forkIsolation, welcome2.forkIsolation);
+    EXPECT_EQ(welcome.shardTimeoutSeconds, welcome2.shardTimeoutSeconds)
+        << "doubles must survive the wire bit-exactly";
+    EXPECT_EQ(welcome.shardEventBudget, welcome2.shardEventBudget);
+    EXPECT_EQ(welcome.queueDepth, welcome2.queueDepth);
+    EXPECT_EQ(welcome.heartbeatMs, welcome2.heartbeatMs);
+
+    HeartbeatMsg hb;
+    hb.inflight = 2;
+    hb.completed = 40;
+    HeartbeatMsg hb2;
+    ASSERT_TRUE(parseHeartbeat(serializeHeartbeat(hb), hb2));
+    EXPECT_EQ(hb.inflight, hb2.inflight);
+    EXPECT_EQ(hb.completed, hb2.completed);
+}
+
+TEST(FleetProtocol, LeaseRoundTripIsBitExact)
+{
+    ShardLease lease;
+    lease.index = 41;
+    lease.seed = 0xdeadbeefcafe;
+    lease.genome.cacheClass = CacheSizeClass::Mixed;
+    lease.genome.actionsPerEpisode = 123;
+    lease.genome.episodesPerWf = 7;
+    lease.genome.atomicLocs = 55;
+    lease.genome.colocDensity = 1.0 / 3.0; // worst case for %.6g
+    lease.genome.numCus = 6;
+    lease.scale.lanes = 8;
+    lease.scale.wfsPerCu = 3;
+    lease.scale.numNormalVars = 1024;
+    lease.scale.fault = FaultKind::None;
+    lease.scale.faultTriggerPct = 100;
+    lease.name = genomeName(lease.genome);
+
+    ShardLease lease2;
+    ASSERT_TRUE(parseLease(serializeLease(lease), lease2));
+    EXPECT_EQ(lease.index, lease2.index);
+    EXPECT_EQ(lease.name, lease2.name);
+    EXPECT_EQ(lease.seed, lease2.seed);
+    EXPECT_TRUE(lease.genome == lease2.genome)
+        << "genome (incl. coloc_density double) must round-trip "
+           "bit-exactly";
+    EXPECT_EQ(lease.scale.lanes, lease2.scale.lanes);
+    EXPECT_EQ(lease.scale.wfsPerCu, lease2.scale.wfsPerCu);
+    EXPECT_EQ(lease.scale.numNormalVars, lease2.scale.numNormalVars);
+    EXPECT_EQ(lease.scale.fault, lease2.scale.fault);
+}
+
+TEST(FleetProtocol, SourceLeaseReconstructsTheIssuedShard)
+{
+    SourceConfig cfg = tinySourceConfig(3, 4, 4);
+    SweepSource source(cfg);
+    std::vector<ShardSpec> batch = source.nextBatch();
+    ASSERT_FALSE(batch.empty());
+    for (const ShardSpec &spec : batch) {
+        std::optional<ShardLease> lease = source.leaseForSeed(spec.seed);
+        ASSERT_TRUE(lease.has_value());
+        EXPECT_EQ(spec.name, lease->name);
+        EXPECT_EQ(spec.seed, lease->seed);
+        // The wire-rebuilt spec must be the shard the source issued.
+        ShardLease parsed;
+        ASSERT_TRUE(parseLease(serializeLease(*lease), parsed));
+        ShardSpec rebuilt = leaseToSpec(parsed);
+        EXPECT_EQ(spec.name, rebuilt.name);
+        EXPECT_EQ(spec.seed, rebuilt.seed);
+    }
+}
+
+TEST(FleetProtocol, ParseRejectsMalformedPayloads)
+{
+    HelloMsg hello;
+    EXPECT_FALSE(parseHello("not json", hello));
+    EXPECT_FALSE(parseHello("{}", hello));
+    WelcomeMsg welcome;
+    EXPECT_FALSE(parseWelcome("{\"v\":1}", welcome));
+    ShardLease lease;
+    EXPECT_FALSE(parseLease("{}", lease));
+    EXPECT_FALSE(parseLease(
+        "{\"v\":1,\"index\":0,\"name\":\"x\",\"seed\":1,"
+        "\"genome\":{\"cache_class\":\"bogus\",\"actions_per_episode\":1,"
+        "\"episodes_per_wf\":1,\"atomic_locs\":1,\"coloc_density\":1,"
+        "\"num_cus\":1},\"scale\":{\"lanes\":1,\"wfs_per_cu\":1,"
+        "\"num_normal_vars\":1,\"fault\":\"none\","
+        "\"fault_trigger_pct\":100}}",
+        lease))
+        << "unknown cache class must be rejected, not defaulted";
+}
+
+// ---------------------------------------------------------------------
+// StreamingShardMerge: arrival order must not matter.
+// ---------------------------------------------------------------------
+
+TEST(StreamingMerge, ShuffledArrivalMatchesSortedMerge)
+{
+    constexpr std::size_t kShards = 9;
+    constexpr double kWall = 3.5;
+    CampaignConfig cfg;
+    cfg.stopOnFailure = false;
+
+    // Reference: plain ShardMerge fed in index order.
+    ShardMerge reference(cfg, kShards);
+    for (std::size_t i = 0; i < kShards; ++i)
+        reference.add(syntheticOutcome(i, 100 + i, /*passed=*/i != 4,
+                                       /*with_grid=*/true),
+                      kWall);
+    CampaignResult want = reference.take(kWall);
+
+    // Candidate: shuffled arrival + duplicate deliveries.
+    std::vector<std::size_t> order(kShards);
+    for (std::size_t i = 0; i < kShards; ++i)
+        order[i] = i;
+    std::mt19937 rng(12345);
+    std::shuffle(order.begin(), order.end(), rng);
+
+    StreamingShardMerge streaming(cfg, kShards);
+    for (std::size_t index : order) {
+        EXPECT_TRUE(streaming.offer(
+            syntheticOutcome(index, 100 + index, index != 4, true)));
+        // A stolen lease's second result: byte-identical duplicate.
+        if (index % 3 == 0) {
+            EXPECT_FALSE(streaming.offer(
+                syntheticOutcome(index, 100 + index, index != 4, true)));
+        }
+    }
+    EXPECT_EQ(kShards, streaming.drainSorted(kWall));
+    CampaignResult got = streaming.take(kWall);
+
+    expectEquivalent(want, got);
+}
+
+TEST(StreamingMerge, BufferedDuplicateLastRecordWins)
+{
+    CampaignConfig cfg;
+    cfg.stopOnFailure = false;
+    StreamingShardMerge streaming(cfg, 1);
+    EXPECT_TRUE(streaming.offer(syntheticOutcome(0, 10)));
+    // Journal-replay semantics: a later record for the same index
+    // (e.g. a re-run after a host-level outcome) supersedes.
+    EXPECT_FALSE(streaming.offer(syntheticOutcome(0, 99)));
+    EXPECT_EQ(1u, streaming.drainSorted(0.0));
+    CampaignResult res = streaming.take(0.0);
+    EXPECT_EQ(99u, res.totalEvents);
+    EXPECT_EQ(1u, res.shardsRun);
+}
+
+TEST(StreamingMerge, DrainedDuplicateIsDropped)
+{
+    CampaignConfig cfg;
+    cfg.stopOnFailure = false;
+    StreamingShardMerge streaming(cfg, 1);
+    EXPECT_TRUE(streaming.offer(syntheticOutcome(0, 10)));
+    EXPECT_EQ(1u, streaming.drainSorted(0.0));
+    // The straggler's copy lands after the drain: dropped, not merged.
+    EXPECT_FALSE(streaming.offer(syntheticOutcome(0, 99)));
+    EXPECT_EQ(0u, streaming.pending());
+    EXPECT_EQ(0u, streaming.drainSorted(0.0));
+    CampaignResult res = streaming.take(0.0);
+    EXPECT_EQ(10u, res.totalEvents);
+    EXPECT_EQ(1u, res.shardsRun);
+}
+
+TEST(StreamingMerge, JournalReplayWithTornTailMatchesSortedMerge)
+{
+    constexpr std::size_t kShards = 5;
+    constexpr double kWall = 1.0;
+    CampaignConfig cfg;
+    cfg.stopOnFailure = false;
+
+    ShardMerge reference(cfg, kShards);
+    for (std::size_t i = 0; i < kShards; ++i)
+        reference.add(syntheticOutcome(i, 50 + i, true, true), kWall);
+    CampaignResult want = reference.take(kWall);
+
+    // A journal written out of order, with a duplicate and a torn tail.
+    std::string path = tempPath("torn_tail.jsonl");
+    {
+        std::ofstream out(path, std::ios::trunc);
+        std::vector<std::size_t> order{3, 0, 4, 1, 0, 2};
+        for (std::size_t index : order)
+            out << shardOutcomeToJson(
+                       syntheticOutcome(index, 50 + index, true, true))
+                << "\n";
+        std::string torn =
+            shardOutcomeToJson(syntheticOutcome(0, 999, true, true));
+        out << torn.substr(0, torn.size() / 2); // crash mid-append
+    }
+
+    std::vector<ShardOutcome> records;
+    ASSERT_TRUE(loadJournal(path, records));
+    StreamingShardMerge streaming(cfg, kShards);
+    for (ShardOutcome &rec : records)
+        streaming.offer(std::move(rec), /*resumed=*/true);
+    EXPECT_EQ(kShards, streaming.drainSorted(kWall));
+    CampaignResult got = streaming.take(kWall);
+
+    expectEquivalent(want, got);
+    EXPECT_EQ(kShards, got.shardsResumed);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// End to end: distributed == local, byte for byte.
+// ---------------------------------------------------------------------
+
+#if DRF_TEST_HAVE_SOCKETPAIR
+
+namespace
+{
+
+struct FleetRun
+{
+    std::string aggregates;
+    FleetResult result;
+};
+
+/** Run one fleet campaign over the tiny source. */
+FleetRun
+runFleet(const std::string &strategy, std::uint64_t master_seed,
+         unsigned workers, unsigned die_on_result = 0,
+         const std::string &journal = "", bool resume = false,
+         std::size_t max_rounds = 0)
+{
+    SourceConfig src_cfg = tinySourceConfig(master_seed, 6, 3);
+    std::unique_ptr<ShardSource> source;
+    if (strategy == "guided")
+        source = std::make_unique<GuidedSource>(src_cfg);
+    else
+        source = std::make_unique<SweepSource>(src_cfg);
+
+    LocalFleetConfig cfg;
+    cfg.workers = workers;
+    cfg.dieOnResult = die_on_result;
+    cfg.coordinator.campaign.jobs = 1;
+    cfg.coordinator.journalPath = journal;
+    cfg.coordinator.resume = resume;
+    cfg.coordinator.maxRounds = max_rounds;
+    cfg.coordinator.workerWaitSeconds = 20.0;
+
+    FleetRun run;
+    run.result = runLocalFleet(*source, cfg);
+    run.aggregates =
+        adaptiveAggregatesJson(run.result.adaptive, "gpu_tester");
+    return run;
+}
+
+} // namespace
+
+TEST(Fleet, TwoWorkerSweepMatchesDegenerateFleetByteForByte)
+{
+    FleetRun golden = runFleet("sweep", 21, /*workers=*/0);
+    ASSERT_TRUE(golden.result.adaptive.passed);
+    EXPECT_EQ(6u, golden.result.adaptive.shardsRun);
+    EXPECT_EQ(6u, golden.result.localRuns);
+
+    FleetRun fleet = runFleet("sweep", 21, /*workers=*/2);
+    ASSERT_TRUE(fleet.result.adaptive.passed);
+    EXPECT_EQ(2u, fleet.result.workersSeen);
+    EXPECT_EQ(0u, fleet.result.localRuns)
+        << "with live workers every shard should go over the wire";
+    EXPECT_EQ(golden.aggregates, fleet.aggregates);
+}
+
+TEST(Fleet, TwoWorkerGuidedMatchesDegenerateFleetByteForByte)
+{
+    FleetRun golden = runFleet("guided", 33, /*workers=*/0);
+    ASSERT_TRUE(golden.result.adaptive.passed);
+    ASSERT_FALSE(golden.result.adaptive.decisions.empty());
+
+    FleetRun fleet = runFleet("guided", 33, /*workers=*/2);
+    ASSERT_TRUE(fleet.result.adaptive.passed);
+    EXPECT_EQ(golden.aggregates, fleet.aggregates)
+        << "guided decisions must be a pure function of the master "
+           "seed at any worker count";
+}
+
+TEST(Fleet, KilledWorkerIsReLeasedAndAggregatesStillMatch)
+{
+    FleetRun golden = runFleet("sweep", 21, /*workers=*/0);
+
+    // Worker 0 SIGKILLs itself instead of sending its first result, so
+    // at least one lease must be recovered for the campaign to finish.
+    FleetRun fleet =
+        runFleet("sweep", 21, /*workers=*/2, /*die_on_result=*/1);
+    ASSERT_TRUE(fleet.result.adaptive.passed);
+    EXPECT_EQ(6u, fleet.result.adaptive.shardsRun);
+    EXPECT_GE(fleet.result.releases, 1u);
+    EXPECT_EQ(golden.aggregates, fleet.aggregates);
+}
+
+TEST(Fleet, CoordinatorFallsBackLocallyWhenNoWorkerArrives)
+{
+    SourceConfig src_cfg = tinySourceConfig(21, 6, 3);
+    SweepSource source(src_cfg);
+    CoordinatorConfig cfg;
+    cfg.campaign.jobs = 1;
+    cfg.expectedWorkers = 1; // nobody will connect
+    cfg.workerWaitSeconds = 0.2;
+    FleetCoordinator coordinator(source, cfg);
+    ASSERT_TRUE(coordinator.listen());
+    FleetResult result = coordinator.run();
+    EXPECT_TRUE(result.adaptive.passed);
+    EXPECT_EQ(6u, result.adaptive.shardsRun);
+    EXPECT_EQ(6u, result.localRuns);
+
+    FleetRun golden = runFleet("sweep", 21, /*workers=*/0);
+    EXPECT_EQ(golden.aggregates,
+              adaptiveAggregatesJson(result.adaptive, "gpu_tester"));
+}
+
+TEST(Fleet, HaltedFleetResumesBitIdentically)
+{
+    std::string journal = tempPath("resume.jsonl");
+    std::remove(journal.c_str());
+
+    FleetRun golden = runFleet("guided", 33, /*workers=*/0);
+
+    // Phase 1: stop after one round, journaling.
+    FleetRun halted = runFleet("guided", 33, /*workers=*/0, 0, journal,
+                               /*resume=*/false, /*max_rounds=*/1);
+    EXPECT_TRUE(halted.result.halted);
+    EXPECT_EQ(3u, halted.result.adaptive.shardsRun);
+
+    // Phase 2: resume the same campaign — this time over two workers,
+    // so adoption and distribution compose.
+    FleetRun resumed = runFleet("guided", 33, /*workers=*/2, 0, journal,
+                                /*resume=*/true);
+    EXPECT_FALSE(resumed.result.halted);
+    EXPECT_EQ(3u, resumed.result.shardsResumed);
+    EXPECT_EQ(6u, resumed.result.adaptive.shardsRun);
+    EXPECT_EQ(golden.aggregates, resumed.aggregates)
+        << "resume + fleet must reproduce the uninterrupted campaign "
+           "byte for byte";
+    std::remove(journal.c_str());
+}
+
+#endif // DRF_TEST_HAVE_SOCKETPAIR

@@ -15,6 +15,11 @@ Compared metrics:
                         scaling_valid (hardware_concurrency >= 2*jobs);
                         on cramped hosts the speedup check is skipped
                         while the events/s checks still gate
+  fleet_scaling:        scaling[workers=0].events_per_sec (always), and
+                        best multi-worker speedup_vs_serial under the
+                        same scaling_valid rule as campaign_scaling
+                        (the bench itself exits nonzero if any fleet
+                        size diverges from the serial union digest)
   msg_path:             messages_per_sec
   hotpath:              stages.{episode_generation,controller_dispatch,
                         ref_check}.events_per_sec
@@ -63,23 +68,54 @@ def median_metric(samples, extract):
     return statistics.median(extract(s) for s in samples)
 
 
-def serial_events_per_sec(doc):
+class MissingBaselineKey(Exception):
+    """A baseline JSON lacks a key this gate needs."""
+
+    def __init__(self, baseline_name, key, regenerate_cmd):
+        self.baseline_name = baseline_name
+        self.key = key
+        self.regenerate_cmd = regenerate_cmd
+        super().__init__(key)
+
+    def advice(self):
+        return (
+            f"baseline {self.baseline_name} has no '{self.key}' key.\n"
+            f"The committed baseline predates this metric. Regenerate "
+            f"it on a quiet machine and commit the result:\n"
+            f"    {self.regenerate_cmd}"
+        )
+
+
+def baseline_key(doc, baseline_name, key, regenerate_cmd):
+    """doc[key], or a MissingBaselineKey with regeneration advice."""
+    node = doc
+    for part in key.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise MissingBaselineKey(baseline_name, key, regenerate_cmd)
+        node = node[part]
+    return node
+
+
+def serial_events_per_sec(doc, axis="jobs", serial_value=1):
     for point in doc["scaling"]:
-        if point["jobs"] == 1:
+        if point[axis] == serial_value:
             return point["events_per_sec"]
-    raise KeyError("no jobs=1 scaling point")
+    raise KeyError(f"no {axis}={serial_value} scaling point")
 
 
-def best_valid_speedup(doc):
-    """Best multi-job speedup among points the bench marked valid.
+def best_valid_speedup(doc, axis="jobs"):
+    """Best multi-worker speedup among points the bench marked valid.
 
-    Returns None when no multi-job point is scaling_valid (oversubscribed
-    host, or a baseline predating the field): the caller must then skip
-    the speedup gate rather than compare meaningless numbers.
+    Returns None when no multi-worker point is scaling_valid
+    (oversubscribed host, or a baseline predating the field): the caller
+    must then skip the speedup gate rather than compare meaningless
+    numbers.
     """
     best = None
     for point in doc["scaling"]:
-        if point["jobs"] <= 1 or not point.get("scaling_valid", False):
+        if point[axis] <= (1 if axis == "jobs" else 0):
+            continue
+        if not point.get("scaling_valid", False):
             continue
         speedup = point["speedup_vs_serial"]
         if best is None or speedup > best:
@@ -106,7 +142,14 @@ def main():
     msg_bin = args.build_dir / "bench" / "msg_path"
     guidance_bin = args.build_dir / "bench" / "guidance_convergence"
     hotpath_bin = args.build_dir / "bench" / "hotpath"
-    for binary in (campaign_bin, msg_bin, guidance_bin, hotpath_bin):
+    fleet_bin = args.build_dir / "bench" / "fleet_scaling"
+    for binary in (
+        campaign_bin,
+        msg_bin,
+        guidance_bin,
+        hotpath_bin,
+        fleet_bin,
+    ):
         if not binary.exists():
             print(f"missing bench binary: {binary}", file=sys.stderr)
             return 2
@@ -124,6 +167,9 @@ def main():
         baseline_hotpath = json.load(
             open(args.baseline_dir / "BENCH_hotpath.json")
         )
+        baseline_fleet = json.load(
+            open(args.baseline_dir / "BENCH_fleet.json")
+        )
     except (OSError, json.JSONDecodeError) as err:
         print(f"cannot read baseline: {err}", file=sys.stderr)
         return 2
@@ -133,6 +179,7 @@ def main():
         ("BENCH_msg_path.json", baseline_msg),
         ("BENCH_guidance.json", baseline_guidance),
         ("BENCH_hotpath.json", baseline_hotpath),
+        ("BENCH_fleet.json", baseline_fleet),
     ):
         print(
             f"baseline {name}: cpu_model={doc.get('cpu_model', '?')!r} "
@@ -179,6 +226,23 @@ def main():
             [guidance_bin, "--out", tmp / "guidance.json"],
             tmp / "guidance.json",
         )
+        # Also once: each fleet point forks real worker processes, and
+        # the bench aborts itself if any fleet size diverges from the
+        # serial union digest, so one run already carries the
+        # correctness signal.
+        print("fleet scaling ...", flush=True)
+        fleet_doc = run_bench(
+            [
+                fleet_bin,
+                "--shards",
+                8,
+                "--workers-list",
+                "0,2",
+                "--out",
+                tmp / "fleet.json",
+            ],
+            tmp / "fleet.json",
+        )
 
     base_speedup = best_valid_speedup(baseline_campaign)
     speedup_samples = [best_valid_speedup(s) for s in campaign_samples]
@@ -195,48 +259,129 @@ def main():
             "events/s checks below still gate)"
         )
 
-    checks = [
-        (
-            "event_queue.current_events_per_sec",
-            baseline_campaign["event_queue"]["current_events_per_sec"],
-            median_metric(
-                campaign_samples,
-                lambda d: d["event_queue"]["current_events_per_sec"],
-            ),
-        ),
-        (
-            "campaign.serial_events_per_sec",
-            serial_events_per_sec(baseline_campaign),
-            median_metric(campaign_samples, serial_events_per_sec),
-        ),
-        (
-            "msg_path.messages_per_sec",
-            baseline_msg["messages_per_sec"],
-            median_metric(msg_samples, lambda d: d["messages_per_sec"]),
-        ),
-        (
-            "guidance.median_reduction_pct",
-            baseline_guidance["median_reduction_pct"],
-            guidance_doc["median_reduction_pct"],
-        ),
-    ]
-    for stage in ("episode_generation", "controller_dispatch", "ref_check"):
-        checks.append(
+    fleet_regen = (
+        f"{args.build_dir}/bench/fleet_scaling --out BENCH_fleet.json"
+    )
+    try:
+        checks = [
             (
-                f"hotpath.{stage}.events_per_sec",
-                baseline_hotpath["stages"][stage]["events_per_sec"],
-                median_metric(
-                    hotpath_samples,
-                    lambda d, s=stage: d["stages"][s]["events_per_sec"],
+                "event_queue.current_events_per_sec",
+                baseline_key(
+                    baseline_campaign,
+                    "BENCH_campaign.json",
+                    "event_queue.current_events_per_sec",
+                    f"{args.build_dir}/bench/campaign_scaling "
+                    "--out BENCH_campaign.json",
                 ),
+                median_metric(
+                    campaign_samples,
+                    lambda d: d["event_queue"]["current_events_per_sec"],
+                ),
+            ),
+            (
+                "campaign.serial_events_per_sec",
+                serial_events_per_sec(baseline_campaign),
+                median_metric(campaign_samples, serial_events_per_sec),
+            ),
+            (
+                "msg_path.messages_per_sec",
+                baseline_key(
+                    baseline_msg,
+                    "BENCH_msg_path.json",
+                    "messages_per_sec",
+                    f"{args.build_dir}/bench/msg_path "
+                    "--out BENCH_msg_path.json",
+                ),
+                median_metric(
+                    msg_samples, lambda d: d["messages_per_sec"]
+                ),
+            ),
+            (
+                "guidance.median_reduction_pct",
+                baseline_key(
+                    baseline_guidance,
+                    "BENCH_guidance.json",
+                    "median_reduction_pct",
+                    f"{args.build_dir}/bench/guidance_convergence "
+                    "--out BENCH_guidance.json",
+                ),
+                guidance_doc["median_reduction_pct"],
+            ),
+            (
+                "fleet.serial_events_per_sec",
+                serial_events_per_sec(
+                    {
+                        "scaling": baseline_key(
+                            baseline_fleet,
+                            "BENCH_fleet.json",
+                            "scaling",
+                            fleet_regen,
+                        )
+                    },
+                    axis="workers",
+                    serial_value=0,
+                ),
+                serial_events_per_sec(
+                    fleet_doc, axis="workers", serial_value=0
+                ),
+            ),
+        ]
+        for stage in (
+            "episode_generation",
+            "controller_dispatch",
+            "ref_check",
+        ):
+            checks.append(
+                (
+                    f"hotpath.{stage}.events_per_sec",
+                    baseline_key(
+                        baseline_hotpath,
+                        "BENCH_hotpath.json",
+                        f"stages.{stage}.events_per_sec",
+                        f"{args.build_dir}/bench/hotpath "
+                        "--out BENCH_hotpath.json",
+                    ),
+                    median_metric(
+                        hotpath_samples,
+                        lambda d, s=stage: d["stages"][s][
+                            "events_per_sec"
+                        ],
+                    ),
+                )
             )
-        )
+    except MissingBaselineKey as err:
+        print(err.advice(), file=sys.stderr)
+        return 2
     if base_speedup is not None and cand_speedup is not None:
         checks.append(
             (
                 "campaign.best_valid_speedup",
                 base_speedup,
                 cand_speedup,
+            )
+        )
+
+    # Fleet speedup: gated only when both sides could measure it — the
+    # hardware check (scaling_valid) travels inside each point.
+    fleet_base_speedup = best_valid_speedup(
+        baseline_fleet, axis="workers"
+    )
+    fleet_cand_speedup = best_valid_speedup(fleet_doc, axis="workers")
+    if fleet_base_speedup is None or fleet_cand_speedup is None:
+        side = (
+            "baseline" if fleet_base_speedup is None else "candidate"
+        )
+        print(
+            "fleet.best_valid_speedup: skipped "
+            f"({side} has no scaling_valid multi-worker point; "
+            "fleet events/s check still gates)"
+        )
+    else:
+        checks.append(
+            (
+                "fleet.best_valid_speedup",
+                fleet_base_speedup,
+                fleet_cand_speedup,
             )
         )
 
