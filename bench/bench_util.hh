@@ -20,6 +20,7 @@
 #include "apps/app_suite.hh"
 #include "campaign/campaign.hh"
 #include "campaign/campaign_json.hh"
+#include "proto/protocol_kind.hh"
 #include "sim/build_info.hh"
 #include "system/apu_system.hh"
 #include "tester/configs.hh"
@@ -205,17 +206,20 @@ hostCpuModel()
 
 /**
  * Emit the provenance keys every bench JSON baseline must carry:
- * cpu_model, git_sha and build_type. Baselines are only comparable
- * between like machines and like builds; the CI regression gate and
- * humans reading a stale baseline both need to see what produced it.
- * Call inside an open JSON object.
+ * cpu_model, git_sha, build_type and the L1 protocol the workload ran
+ * (benches that expose a --protocol knob pass theirs; the rest measure
+ * the VIPER default). Baselines are only comparable between like
+ * machines, like builds, and like protocols; the CI regression gate
+ * keys its comparisons on these fields. Call inside an open JSON
+ * object.
  */
 inline void
-jsonProvenance(JsonWriter &w)
+jsonProvenance(JsonWriter &w, ProtocolKind protocol = ProtocolKind::Viper)
 {
     w.key("cpu_model").value(hostCpuModel());
     w.key("git_sha").value(buildGitSha());
     w.key("build_type").value(buildType());
+    w.key("protocol").value(protocolKindName(protocol));
 }
 
 /** Write @p content to @p path, reporting the outcome on stdout. */

@@ -19,10 +19,16 @@
  * Usage: campaign_scaling [--seeds N] [--out FILE]
  *                         [--actions N] [--episodes-per-wf N]
  *                         [--atomic-locs N] [--coloc-density D]
+ *                         [--protocol viper|lrcc]
+ *                         [--scope-mode none|scoped]
  *
  * The generator knobs override the scaling preset's episode shape
  * (defaults: 30 actions, 4 episodes/WF, 10 atomic locations, and the
  * fixed 16 KB address range unless a co-location density is given).
+ * --protocol selects the L1 coherence protocol variant and --scope-mode
+ * the episode synchronization-scope discipline, so the scaling numbers
+ * can be read per protocol/scope matrix cell; the emitted JSON records
+ * the protocol so the regression gate never compares across variants.
  */
 
 #include <algorithm>
@@ -30,6 +36,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,6 +45,7 @@
 #include "campaign/campaign.hh"
 #include "campaign/campaign_json.hh"
 #include "guidance/genome.hh"
+#include "mem/scope.hh"
 #include "sim/event_queue.hh"
 #include "sim/legacy_event_queue.hh"
 
@@ -106,6 +114,8 @@ struct GenKnobs
     unsigned episodesPerWf = 4;
     unsigned atomicLocs = 10;
     double colocDensity = 0.0; ///< 0 = keep the fixed 16 KB range
+    ProtocolKind protocol = ProtocolKind::Viper;
+    ScopeMode scopeMode = ScopeMode::None;
 };
 
 /** The 32-seed campaign workload: small caches, short episodes. */
@@ -116,9 +126,11 @@ scalingPreset(const GenKnobs &knobs)
     preset.name = "scaling";
     preset.cacheClass = CacheSizeClass::Small;
     preset.system = makeGpuSystemConfig(CacheSizeClass::Small, 4);
+    preset.system.l1.protocol = knobs.protocol;
     preset.tester = makeGpuTesterConfig(knobs.actions,
                                         knobs.episodesPerWf,
                                         knobs.atomicLocs, /*seed=*/1);
+    preset.tester.scopeMode = knobs.scopeMode;
     preset.tester.lanes = 8;
     preset.tester.episodeGen.lanes = 8;
     preset.tester.variables.numNormalVars = 512;
@@ -164,6 +176,17 @@ parseOut(int argc, char **argv)
     return "BENCH_campaign.json";
 }
 
+std::string
+parseArgS(int argc, char **argv, const std::string &flag,
+          const std::string &fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (argv[i] == flag)
+            return argv[i + 1];
+    }
+    return fallback;
+}
+
 } // namespace
 
 int
@@ -180,6 +203,21 @@ main(int argc, char **argv)
         parseArg(argc, argv, "--atomic-locs", knobs.atomicLocs));
     knobs.colocDensity =
         parseArgD(argc, argv, "--coloc-density", knobs.colocDensity);
+    if (std::optional<ProtocolKind> p = parseProtocolKind(
+            parseArgS(argc, argv, "--protocol", "viper"))) {
+        knobs.protocol = *p;
+    } else {
+        std::fprintf(stderr, "--protocol must be viper or lrcc\n");
+        return 2;
+    }
+    if (std::optional<ScopeMode> m = parseScopeMode(
+            parseArgS(argc, argv, "--scope-mode", "none"))) {
+        knobs.scopeMode = *m;
+    } else {
+        std::fprintf(stderr,
+                     "--scope-mode must be none, scoped or racy\n");
+        return 2;
+    }
     const unsigned hw = std::thread::hardware_concurrency();
     const std::string cpu_model = hostCpuModel();
 
@@ -278,7 +316,8 @@ main(int argc, char **argv)
     w.beginObject();
     w.key("bench").value("campaign_scaling");
     w.key("hardware_concurrency").value(hw);
-    jsonProvenance(w);
+    jsonProvenance(w, knobs.protocol);
+    w.key("scope_mode").value(scopeModeName(knobs.scopeMode));
     w.key("num_seeds").value(static_cast<std::uint64_t>(num_seeds));
 
     w.key("event_queue").beginObject();

@@ -28,14 +28,22 @@ namespace
 {
 
 /**
- * Level name -> live spec singleton. Campaign shards only ever carry
- * these three grids (gpuShard/cpuShard in campaign.cc).
+ * (level, spec name) -> live spec singleton. Campaign shards only ever
+ * carry these three grids (gpuShard/cpuShard in campaign.cc); the L1
+ * level has one spec per protocol variant, distinguished by name.
  */
 const TransitionSpec *
-specForLevel(const std::string &level)
+specForLevel(const std::string &level, const std::string &spec_name)
 {
-    if (level == "l1")
-        return &GpuL1Cache::spec();
+    if (level == "l1") {
+        for (ProtocolKind kind :
+             {ProtocolKind::Viper, ProtocolKind::Lrcc}) {
+            const TransitionSpec &spec = GpuL1Cache::specFor(kind);
+            if (spec.name() == spec_name)
+                return &spec;
+        }
+        return nullptr;
+    }
     if (level == "l2")
         return &GpuL2Cache::spec();
     if (level == "dir")
@@ -77,7 +85,8 @@ parseGrid(const JsonValue &v)
     if (!level || !spec_name || !cells ||
         cells->type != JsonValue::Type::Array)
         return nullptr;
-    const TransitionSpec *spec = specForLevel(level->string);
+    const TransitionSpec *spec =
+        specForLevel(level->string, spec_name->string);
     if (!spec || spec->name() != spec_name->string)
         return nullptr;
     auto grid = std::make_unique<CoverageGrid>(*spec);

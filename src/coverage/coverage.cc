@@ -286,30 +286,58 @@ CoverageGrid::renderHeatMap(std::ostream &os) const
 std::size_t
 CoverageAccumulator::add(const CoverageGrid &grid)
 {
-    if (!_union.has_value())
-        _union.emplace(grid.spec());
-    std::size_t fresh = _union->newlyCovered(grid);
-    _union->merge(grid);
+    for (CoverageGrid &u : _unions) {
+        if (u.spec().name() == grid.spec().name()) {
+            std::size_t fresh = u.newlyCovered(grid);
+            u.merge(grid);
+            return fresh;
+        }
+    }
+    _unions.emplace_back(grid.spec());
+    CoverageGrid &u = _unions.back();
+    std::size_t fresh = u.newlyCovered(grid);
+    u.merge(grid);
     return fresh;
 }
 
 const CoverageGrid &
 CoverageAccumulator::grid() const
 {
-    assert(_union.has_value() && "empty coverage accumulator");
-    return *_union;
+    assert(!_unions.empty() && "empty coverage accumulator");
+    return _unions.front();
+}
+
+const CoverageGrid *
+CoverageAccumulator::gridFor(const std::string &spec_name) const
+{
+    for (const CoverageGrid &u : _unions) {
+        if (u.spec().name() == spec_name)
+            return &u;
+    }
+    return nullptr;
 }
 
 double
 CoverageAccumulator::coveragePct(const std::string &test_type) const
 {
-    return _union.has_value() ? _union->coveragePct(test_type) : 0.0;
+    std::size_t active = 0, reachable = 0;
+    for (const CoverageGrid &u : _unions) {
+        active += u.activeCount(test_type);
+        reachable += u.spec().reachableCount(test_type);
+    }
+    if (reachable == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(active) /
+           static_cast<double>(reachable);
 }
 
 std::size_t
 CoverageAccumulator::activeCount(const std::string &test_type) const
 {
-    return _union.has_value() ? _union->activeCount(test_type) : 0;
+    std::size_t active = 0;
+    for (const CoverageGrid &u : _unions)
+        active += u.activeCount(test_type);
+    return active;
 }
 
 void

@@ -217,26 +217,45 @@ class CoverageAccumulator
     CoverageAccumulator() = default;
 
     /**
-     * Merge @p grid into the union (first call adopts its spec).
+     * Merge @p grid into the union of its spec. Grids over *different*
+     * specs (e.g. the VIPER and LRCC variants of the L1 in a
+     * mixed-protocol campaign) accumulate into separate per-spec
+     * unions, keyed by spec name, so merging never crosses protocol
+     * boundaries.
+     *
      * @return the number of cells @p grid newly covered — active in it
-     *         but not in the union before the merge.
+     *         but not in its spec's union before the merge.
      */
     std::size_t add(const CoverageGrid &grid);
 
     /** True until the first add(). */
-    bool empty() const { return !_union.has_value(); }
+    bool empty() const { return _unions.empty(); }
 
-    /** The accumulated union. @pre !empty() */
+    /**
+     * The primary accumulated union (the first spec seen). @pre
+     * !empty(). Single-protocol campaigns — the common case — only ever
+     * have this one.
+     */
     const CoverageGrid &grid() const;
 
-    /** Union coverage percentage; 0 while empty. */
+    /** Union for one spec name; nullptr if that spec was never added. */
+    const CoverageGrid *gridFor(const std::string &spec_name) const;
+
+    /** All per-spec unions, in first-adoption order. */
+    const std::vector<CoverageGrid> &grids() const { return _unions; }
+
+    /**
+     * Coverage percentage aggregated over every spec union (active
+     * cells over reachable cells, summed before dividing); 0 while
+     * empty.
+     */
     double coveragePct(const std::string &test_type = "") const;
 
-    /** Union active-cell count; 0 while empty. */
+    /** Active-cell count summed over every spec union; 0 while empty. */
     std::size_t activeCount(const std::string &test_type = "") const;
 
   private:
-    std::optional<CoverageGrid> _union;
+    std::vector<CoverageGrid> _unions;
 };
 
 } // namespace drf

@@ -170,6 +170,8 @@ serializeLease(const ShardLease &lease)
     w.key("coloc_density");
     w.raw(exactDouble(lease.genome.colocDensity));
     w.key("num_cus").value(lease.genome.numCus);
+    w.key("protocol").value(protocolKindName(lease.genome.protocol));
+    w.key("scope_mode").value(scopeModeName(lease.genome.scopeMode));
     w.endObject();
 
     w.key("scale").beginObject();
@@ -251,6 +253,22 @@ parseLease(const std::string &payload, ShardLease &out)
         static_cast<unsigned>(atomic_locs->asU64());
     lease.genome.colocDensity = density->asDouble();
     lease.genome.numCus = static_cast<unsigned>(num_cus->asU64());
+    // Protocol/scope keys arrived after the first wire revision; absent
+    // keys mean the defaults, so old coordinators keep working.
+    if (const JsonValue *protocol =
+            expect(*genome, "protocol", JsonValue::Type::String)) {
+        auto parsed = parseProtocolKind(protocol->string);
+        if (!parsed)
+            return false;
+        lease.genome.protocol = *parsed;
+    }
+    if (const JsonValue *scope_mode =
+            expect(*genome, "scope_mode", JsonValue::Type::String)) {
+        auto parsed = parseScopeMode(scope_mode->string);
+        if (!parsed)
+            return false;
+        lease.genome.scopeMode = *parsed;
+    }
     lease.scale.lanes = static_cast<unsigned>(lanes->asU64());
     lease.scale.wfsPerCu = static_cast<unsigned>(wfs->asU64());
     lease.scale.numNormalVars =

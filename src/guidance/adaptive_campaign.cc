@@ -175,6 +175,8 @@ writeGenome(JsonWriter &w, const ConfigGenome &g)
     w.key("atomic_locs").value(g.atomicLocs);
     w.key("coloc_density").value(g.colocDensity);
     w.key("num_cus").value(g.numCus);
+    w.key("protocol").value(protocolKindName(g.protocol));
+    w.key("scope_mode").value(scopeModeName(g.scopeMode));
     w.endObject();
 }
 

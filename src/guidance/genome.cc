@@ -43,7 +43,14 @@ genomeName(const ConfigGenome &g)
                   cacheSizeClassName(g.cacheClass), g.actionsPerEpisode,
                   g.episodesPerWf, g.atomicLocs, g.colocDensity,
                   g.numCus);
-    return buf;
+    // Protocol/scope tokens only appear when non-default, so unscoped
+    // VIPER names (journal keys, bandit arm ids) are unchanged.
+    std::string name = buf;
+    if (g.protocol != ProtocolKind::Viper)
+        name += std::string("/p-") + protocolKindName(g.protocol);
+    if (g.scopeMode != ScopeMode::None)
+        name += std::string("/sc-") + scopeModeName(g.scopeMode);
+    return name;
 }
 
 GpuTestPreset
@@ -53,11 +60,13 @@ genomeToPreset(const ConfigGenome &g, const GenomeScale &scale,
     GpuTestPreset preset;
     preset.cacheClass = g.cacheClass;
     preset.system = makeGpuSystemConfig(g.cacheClass, g.numCus);
+    preset.system.l1.protocol = g.protocol;
     preset.system.fault = scale.fault;
     preset.system.faultTriggerPct = scale.faultTriggerPct;
     preset.tester = makeGpuTesterConfig(g.actionsPerEpisode,
                                         g.episodesPerWf, g.atomicLocs,
                                         seed);
+    preset.tester.scopeMode = g.scopeMode;
     preset.tester.lanes = scale.lanes;
     preset.tester.episodeGen.lanes = scale.lanes;
     preset.tester.wfsPerCu = scale.wfsPerCu;
@@ -81,6 +90,8 @@ genomeFromPreset(const GpuTestPreset &preset)
     g.atomicLocs = preset.tester.variables.numSyncVars;
     g.colocDensity = colocDensityOf(preset.tester.variables);
     g.numCus = preset.system.numCus;
+    g.protocol = preset.system.l1.protocol;
+    g.scopeMode = preset.tester.scopeMode;
     return g;
 }
 
@@ -107,8 +118,27 @@ mutateGenome(const ConfigGenome &g, Random &rng,
              const GenomeBounds &bounds)
 {
     ConfigGenome m = g;
-    unsigned gene = static_cast<unsigned>(rng.below(6));
+    // The widened axes extend the gene range only when armed, so the
+    // default bounds reproduce the historic rng.below(6) draw sequence.
+    unsigned genes = 6;
+    unsigned protocol_gene = 0, scope_gene = 0;
+    if (bounds.searchProtocols)
+        protocol_gene = genes++;
+    if (bounds.searchScopes)
+        scope_gene = genes++;
+    unsigned gene = static_cast<unsigned>(rng.below(genes));
     bool up = rng.pct(50);
+    if (bounds.searchProtocols && gene == protocol_gene) {
+        m.protocol = g.protocol == ProtocolKind::Viper
+                         ? ProtocolKind::Lrcc
+                         : ProtocolKind::Viper;
+        return m;
+    }
+    if (bounds.searchScopes && gene == scope_gene) {
+        m.scopeMode = g.scopeMode == ScopeMode::None ? ScopeMode::Scoped
+                                                     : ScopeMode::None;
+        return m;
+    }
     switch (gene) {
       case 0: {
         // Rotate to one of the two other cache classes.

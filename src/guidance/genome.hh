@@ -23,7 +23,9 @@
 #include <cstdint>
 #include <string>
 
+#include "mem/scope.hh"
 #include "proto/fault.hh"
+#include "proto/protocol_kind.hh"
 #include "sim/random.hh"
 #include "tester/configs.hh"
 
@@ -46,13 +48,25 @@ struct ConfigGenome
 
     unsigned numCus = 8;
 
+    /** GPU L1 coherence protocol variant (a table pick, see src/proto). */
+    ProtocolKind protocol = ProtocolKind::Viper;
+
+    /**
+     * Scoped-synchronization mode of the generated episodes. Only None
+     * and Scoped appear in the search space (Racy is the deliberate
+     * negative arm, reserved for fuzzing — a racy genome would flood
+     * the campaign with expected failures).
+     */
+    ScopeMode scopeMode = ScopeMode::None;
+
     bool operator==(const ConfigGenome &o) const
     {
         return cacheClass == o.cacheClass &&
                actionsPerEpisode == o.actionsPerEpisode &&
                episodesPerWf == o.episodesPerWf &&
                atomicLocs == o.atomicLocs &&
-               colocDensity == o.colocDensity && numCus == o.numCus;
+               colocDensity == o.colocDensity && numCus == o.numCus &&
+               protocol == o.protocol && scopeMode == o.scopeMode;
     }
     bool operator!=(const ConfigGenome &o) const { return !(*this == o); }
 };
@@ -65,6 +79,14 @@ struct GenomeBounds
     unsigned minAtomicLocs = 4, maxAtomicLocs = 400;
     double minColocDensity = 0.25, maxColocDensity = 8.0;
     unsigned minCus = 2, maxCus = 16;
+
+    /**
+     * Widened-space opt-ins. Both default off so existing campaigns'
+     * mutation sequences (a pure function of the master seed) are
+     * unchanged; a protocol/scope campaign arms them explicitly.
+     */
+    bool searchProtocols = false; ///< mutate ConfigGenome::protocol
+    bool searchScopes = false;    ///< mutate None <-> Scoped
 };
 
 /** Campaign-wide knobs a genome does not search over. */

@@ -25,6 +25,7 @@
 #include <type_traits>
 
 #include "mem/line.hh"
+#include "mem/scope.hh"
 #include "sim/types.hh"
 
 namespace drf
@@ -113,6 +114,13 @@ struct Packet
 
     /** Release semantics (store-release / atomic-release). */
     bool release = false;
+
+    /**
+     * Synchronization scope of the acquire/release (None = unscoped,
+     * conservative GPU-wide semantics). Fits the padding hole after the
+     * flag pair, so the Packet layout is unchanged.
+     */
+    Scope scope = Scope::None;
 
     /** Fetch-add operand for atomics. */
     std::uint64_t atomicOperand = 0;

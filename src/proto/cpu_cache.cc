@@ -42,6 +42,54 @@ CpuCache::spec()
     return s;
 }
 
+const TransitionTable<CpuCache> &
+CpuCache::table()
+{
+    using T = TransitionTable<CpuCache>;
+    using CC = CpuCache;
+    static const T t = [] {
+        T t(spec());
+        t.on(EvLoad, StI, {&CC::actLoadMiss}, StIS)
+            .on(EvLoad, StS, {&CC::actLoadHit}, StS)
+            .on(EvLoad, StM, {&CC::actLoadHit}, StM)
+            .on(EvLoad, StIS, {&CC::actRecycle}, StIS)
+            .on(EvLoad, StIM, {&CC::actRecycle}, StIM)
+            .on(EvLoad, StSM, {&CC::actRecycle}, StSM)
+            .on(EvLoad, StMI, {&CC::actRecycle}, StMI)
+            .on(EvStore, StI, {&CC::actStoreMiss}, StIM)
+            .on(EvStore, StS, {&CC::actStoreUpgrade}, StSM)
+            .on(EvStore, StM, {&CC::actStoreHit}, StM)
+            .on(EvStore, StIS, {&CC::actRecycle}, StIS)
+            .on(EvStore, StIM, {&CC::actRecycle}, StIM)
+            .on(EvStore, StSM, {&CC::actRecycle}, StSM)
+            .on(EvStore, StMI, {&CC::actRecycle}, StMI)
+            .on(EvRepl, StS, {&CC::actReplaceClean}, StI)
+            .on(EvRepl, StM, {&CC::actReplaceDirty}, StMI)
+            .on(EvData, StIS, {&CC::actDataFillAlloc}, StS)
+            .on(EvData, StIM, {&CC::actDataFillAlloc}, StM)
+            .on(EvData, StSM, {&CC::actDataFillUpgrade}, StM)
+            .on(EvPrbInv, StI, {&CC::actProbeSend}, StI)
+            .on(EvPrbInv, StS,
+                {&CC::actProbeSharer, &CC::actProbeSend}, StI)
+            .on(EvPrbInv, StM,
+                {&CC::actProbeOwner, &CC::actProbeSend}, StI)
+            .on(EvPrbInv, StIS, {&CC::actProbeSend}, StIS)
+            .on(EvPrbInv, StIM, {&CC::actProbeSend}, StIM)
+            .on(EvPrbInv, StSM,
+                {&CC::actProbeUpgrade, &CC::actProbeSend}, StIM)
+            .on(EvPrbInv, StMI,
+                {&CC::actProbeWriteback, &CC::actProbeSend}, StMI)
+            .on(EvPrbDowngrade, StM,
+                {&CC::actProbeOwner, &CC::actProbeSend}, StS)
+            .on(EvPrbDowngrade, StMI,
+                {&CC::actProbeWriteback, &CC::actProbeSend}, StMI)
+            .on(EvWBAck, StMI, {&CC::actWriteBackAck}, StI)
+            .verifyComplete();
+        return t;
+    }();
+    return t;
+}
+
 CpuCache::CpuCache(std::string name, EventQueue &eq,
                    const CpuCacheConfig &cfg, Crossbar &xbar, int endpoint,
                    int dir_ep)
@@ -137,90 +185,98 @@ CpuCache::coreRequest(Packet pkt)
 void
 CpuCache::handleLoad(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    State st = lineState(line);
-    transition(EvLoad, st);
-
-    switch (st) {
-      case StS:
-      case StM: {
-        CacheEntry *entry = _array.findEntry(line);
-        _array.touch(*entry);
-        _cLoadHits->inc();
-        performLoad(*entry, pkt);
-        return;
-      }
-      case StI: {
-        _cLoadMisses->inc();
-        Tbe tbe;
-        tbe.transient = StIS;
-        tbe.corePkt = pkt;
-        _tbes.emplace(line, std::move(tbe));
-        Packet req;
-        req.type = MsgType::Gets;
-        req.addr = line;
-        req.id = _nextId++;
-        req.requestor = pkt.requestor;
-        req.issueTick = curTick();
-        _xbar.route(_endpoint, _dirEndpoint, std::move(req));
-        return;
-      }
-      default:
-        recycle(pkt);
-        return;
-    }
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    table().fire(*this, EvLoad, lineState(ctx.line), ctx);
 }
 
 void
 CpuCache::handleStore(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    State st = lineState(line);
-    transition(EvStore, st);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    table().fire(*this, EvStore, lineState(ctx.line), ctx);
+}
 
-    switch (st) {
-      case StM: {
-        CacheEntry *entry = _array.findEntry(line);
-        _array.touch(*entry);
-        _cStoreHits->inc();
-        performStore(*entry, pkt);
-        return;
-      }
-      case StS: {
-        // Upgrade: keep the S copy, request exclusivity.
-        _cUpgrades->inc();
-        Tbe tbe;
-        tbe.transient = StSM;
-        tbe.corePkt = pkt;
-        _tbes.emplace(line, std::move(tbe));
-        Packet req;
-        req.type = MsgType::Getx;
-        req.addr = line;
-        req.id = _nextId++;
-        req.requestor = pkt.requestor;
-        req.issueTick = curTick();
-        _xbar.route(_endpoint, _dirEndpoint, std::move(req));
-        return;
-      }
-      case StI: {
-        _cStoreMisses->inc();
-        Tbe tbe;
-        tbe.transient = StIM;
-        tbe.corePkt = pkt;
-        _tbes.emplace(line, std::move(tbe));
-        Packet req;
-        req.type = MsgType::Getx;
-        req.addr = line;
-        req.id = _nextId++;
-        req.requestor = pkt.requestor;
-        req.issueTick = curTick();
-        _xbar.route(_endpoint, _dirEndpoint, std::move(req));
-        return;
-      }
-      default:
-        recycle(pkt);
-        return;
-    }
+void
+CpuCache::actRecycle(TransCtx &ctx)
+{
+    recycle(*ctx.pkt);
+}
+
+void
+CpuCache::actLoadHit(TransCtx &ctx)
+{
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.touch(*entry);
+    _cLoadHits->inc();
+    performLoad(*entry, *ctx.pkt);
+}
+
+void
+CpuCache::actLoadMiss(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    _cLoadMisses->inc();
+    Tbe tbe;
+    tbe.transient = StIS;
+    tbe.corePkt = pkt;
+    _tbes.emplace(ctx.line, std::move(tbe));
+    Packet req;
+    req.type = MsgType::Gets;
+    req.addr = ctx.line;
+    req.id = _nextId++;
+    req.requestor = pkt.requestor;
+    req.issueTick = curTick();
+    _xbar.route(_endpoint, _dirEndpoint, std::move(req));
+}
+
+void
+CpuCache::actStoreHit(TransCtx &ctx)
+{
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.touch(*entry);
+    _cStoreHits->inc();
+    performStore(*entry, *ctx.pkt);
+}
+
+void
+CpuCache::actStoreUpgrade(TransCtx &ctx)
+{
+    // Upgrade: keep the S copy, request exclusivity.
+    Packet &pkt = *ctx.pkt;
+    _cUpgrades->inc();
+    Tbe tbe;
+    tbe.transient = StSM;
+    tbe.corePkt = pkt;
+    _tbes.emplace(ctx.line, std::move(tbe));
+    Packet req;
+    req.type = MsgType::Getx;
+    req.addr = ctx.line;
+    req.id = _nextId++;
+    req.requestor = pkt.requestor;
+    req.issueTick = curTick();
+    _xbar.route(_endpoint, _dirEndpoint, std::move(req));
+}
+
+void
+CpuCache::actStoreMiss(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    _cStoreMisses->inc();
+    Tbe tbe;
+    tbe.transient = StIM;
+    tbe.corePkt = pkt;
+    _tbes.emplace(ctx.line, std::move(tbe));
+    Packet req;
+    req.type = MsgType::Getx;
+    req.addr = ctx.line;
+    req.id = _nextId++;
+    req.requestor = pkt.requestor;
+    req.issueTick = curTick();
+    _xbar.route(_endpoint, _dirEndpoint, std::move(req));
 }
 
 bool
@@ -244,49 +300,53 @@ CpuCache::makeRoom(Addr line_addr)
     if (victim_ptr == nullptr)
         return false;
     CacheEntry &victim = *victim_ptr;
-    if (victim.state == LineM) {
-        transition(EvRepl, StM);
-        _cDirtyReplacements->inc();
-        Tbe tbe;
-        tbe.transient = StMI;
-        tbe.wbData = victim.data;
-        Addr victim_line = victim.lineAddr;
-        _tbes.emplace(victim_line, std::move(tbe));
-        Packet wb;
-        wb.type = MsgType::Putx;
-        wb.addr = victim_line;
-        wb.id = _nextId++;
-        wb.setLine(victim.data);
-        wb.issueTick = curTick();
-        _xbar.route(_endpoint, _dirEndpoint, std::move(wb));
-    } else {
-        // Clean copies are dropped silently; the directory's sharer list
-        // goes stale, which is what makes PrbInv-in-I reachable.
-        transition(EvRepl, StS);
-        _cCleanReplacements->inc();
-    }
-    _array.invalidate(victim);
+    TransCtx ctx;
+    ctx.entry = &victim;
+    ctx.line = victim.lineAddr;
+    table().fire(*this, EvRepl, victim.state == LineM ? StM : StS, ctx);
     return true;
+}
+
+void
+CpuCache::actReplaceDirty(TransCtx &ctx)
+{
+    CacheEntry &victim = *ctx.entry;
+    _cDirtyReplacements->inc();
+    Tbe tbe;
+    tbe.transient = StMI;
+    tbe.wbData = victim.data;
+    Addr victim_line = victim.lineAddr;
+    _tbes.emplace(victim_line, std::move(tbe));
+    Packet wb;
+    wb.type = MsgType::Putx;
+    wb.addr = victim_line;
+    wb.id = _nextId++;
+    wb.setLine(victim.data);
+    wb.issueTick = curTick();
+    _xbar.route(_endpoint, _dirEndpoint, std::move(wb));
+    _array.invalidate(victim);
+}
+
+void
+CpuCache::actReplaceClean(TransCtx &ctx)
+{
+    // Clean copies are dropped silently; the directory's sharer list
+    // goes stale, which is what makes PrbInv-in-I reachable.
+    _cCleanReplacements->inc();
+    _array.invalidate(*ctx.entry);
 }
 
 void
 CpuCache::handleData(Packet &pkt)
 {
     Addr line = pkt.addr;
-    Tbe *found = _tbes.find(line);
-    if (found == nullptr ||
-        (found->transient != StIS && found->transient != StIM &&
-         found->transient != StSM)) {
-        throw ProtocolError(name(), curTick(),
-                            "CpuData with no matching request: " +
-                                pkt.describe());
-    }
-    State st = found->transient;
+    State st = lineState(line);
 
-    if (st != StSM && _array.findEntry(line) == nullptr &&
-        !_array.hasFreeWay(line)) {
+    if ((st == StIS || st == StIM) &&
+        _array.findEntry(line) == nullptr && !_array.hasFreeWay(line)) {
         // Every way of the set is pinned by an MSHR; retry the fill once
-        // one of them resolves.
+        // one of them resolves. Checked before the transition is
+        // recorded, so a retried fill does not double-count coverage.
         bool can_fill = false;
         const CacheEntry *ways = _array.setWays(line);
         for (unsigned w = 0; w < _array.assoc(); ++w) {
@@ -305,107 +365,143 @@ CpuCache::handleData(Packet &pkt)
         }
     }
 
-    transition(EvData, st);
+    // With no matching request the line is outside IS/IM/SM, where no
+    // Data row is defined: the table raises the protocol error.
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = line;
+    table().fireWith(*this, EvData, st, ctx,
+                     [&pkt] { return pkt.describe(); });
+}
 
-    Tbe tbe = std::move(*found);
-    _tbes.erase(line);
-
-    CacheEntry *entry = _array.findEntry(line);
-    if (st == StSM) {
-        // We kept our S copy; refresh it with the granted data (another
-        // core may have modified the line while our upgrade waited).
-        assert(entry != nullptr);
-        entry->data = pkt.data;
-    } else {
-        [[maybe_unused]] bool ok = makeRoom(line);
-        assert(ok && "fill room was verified above");
-        entry = &_array.allocate(line);
-        entry->data = pkt.data;
-    }
-    _array.touch(*entry);
-
+void
+CpuCache::completeFill(CacheEntry &entry, const Tbe &tbe,
+                       const Packet &pkt)
+{
     if (tbe.corePkt.type == MsgType::LoadReq) {
         assert(pkt.grant >= 1);
-        entry->state = LineS;
-        performLoad(*entry, tbe.corePkt);
+        entry.state = LineS;
+        performLoad(entry, tbe.corePkt);
     } else {
         assert(pkt.grant == 2 && "store grant must be exclusive");
-        entry->state = LineM;
-        performStore(*entry, tbe.corePkt);
+        entry.state = LineM;
+        performStore(entry, tbe.corePkt);
     }
+}
+
+void
+CpuCache::actDataFillAlloc(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    Addr line = ctx.line;
+    Tbe tbe = std::move(*_tbes.find(line));
+    _tbes.erase(line);
+
+    [[maybe_unused]] bool ok = makeRoom(line);
+    assert(ok && "fill room was verified above");
+    CacheEntry &entry = _array.allocate(line);
+    entry.data = pkt.data;
+    _array.touch(entry);
+    completeFill(entry, tbe, pkt);
+}
+
+void
+CpuCache::actDataFillUpgrade(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    Addr line = ctx.line;
+    Tbe tbe = std::move(*_tbes.find(line));
+    _tbes.erase(line);
+
+    // We kept our S copy; refresh it with the granted data (another
+    // core may have modified the line while our upgrade waited).
+    CacheEntry *entry = _array.findEntry(line);
+    assert(entry != nullptr);
+    entry->data = pkt.data;
+    _array.touch(*entry);
+    completeFill(*entry, tbe, pkt);
 }
 
 void
 CpuCache::handleProbe(Packet &pkt, bool downgrade)
 {
-    Addr line = pkt.addr;
-    State st = lineState(line);
-    transition(downgrade ? EvPrbDowngrade : EvPrbInv, st);
-    _cProbes->inc();
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    ctx.downgrade = downgrade;
+    ctx.ack.type = MsgType::CpuInvAck;
+    ctx.ack.addr = ctx.line;
+    ctx.ack.id = pkt.id;
+    table().fire(*this, downgrade ? EvPrbDowngrade : EvPrbInv,
+                 lineState(ctx.line), ctx);
+}
 
-    Packet ack;
-    ack.type = MsgType::CpuInvAck;
-    ack.addr = line;
-    ack.id = pkt.id;
-
-    switch (st) {
-      case StM: {
-        CacheEntry *entry = _array.findEntry(line);
-        ack.setLine(entry->data);
-        if (downgrade) {
-            entry->state = LineS;
-            entry->clearDirty();
-        } else {
-            _array.invalidate(*entry);
-        }
-        break;
-      }
-      case StS: {
-        assert(!downgrade && "downgrade probe must target the owner");
-        CacheEntry *entry = _array.findEntry(line);
+void
+CpuCache::actProbeOwner(TransCtx &ctx)
+{
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    ctx.ack.setLine(entry->data);
+    if (ctx.downgrade) {
+        entry->state = LineS;
+        entry->clearDirty();
+    } else {
         _array.invalidate(*entry);
-        break;
-      }
-      case StMI: {
-        // The probe crossed our writeback; hand over the data now. The
-        // in-flight Putx will be acknowledged as stale.
-        ack.setLine(_tbes.find(line)->wbData);
-        break;
-      }
-      case StSM: {
-        assert(!downgrade);
-        // Our S copy dies; the pending upgrade becomes a plain store
-        // miss (the directory will grant M with fresh data).
-        CacheEntry *entry = _array.findEntry(line);
-        if (entry != nullptr)
-            _array.invalidate(*entry);
-        _tbes.find(line)->transient = StIM;
-        break;
-      }
-      case StI:
-      case StIS:
-      case StIM:
-        // Stale-sharer probe: nothing to invalidate.
-        break;
-      default:
-        break;
     }
+}
 
-    _xbar.route(_endpoint, _dirEndpoint, std::move(ack));
+void
+CpuCache::actProbeSharer(TransCtx &ctx)
+{
+    assert(!ctx.downgrade && "downgrade probe must target the owner");
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.invalidate(*entry);
+}
+
+void
+CpuCache::actProbeWriteback(TransCtx &ctx)
+{
+    // The probe crossed our writeback; hand over the data now. The
+    // in-flight Putx will be acknowledged as stale.
+    ctx.ack.setLine(_tbes.find(ctx.line)->wbData);
+}
+
+void
+CpuCache::actProbeUpgrade(TransCtx &ctx)
+{
+    assert(!ctx.downgrade);
+    // Our S copy dies; the pending upgrade becomes a plain store
+    // miss (the directory will grant M with fresh data).
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    if (entry != nullptr)
+        _array.invalidate(*entry);
+    _tbes.find(ctx.line)->transient = StIM;
+}
+
+void
+CpuCache::actProbeSend(TransCtx &ctx)
+{
+    // Stale-sharer probes (I/IS/IM) have nothing to invalidate; in every
+    // state the probe is acked.
+    _cProbes->inc();
+    _xbar.route(_endpoint, _dirEndpoint, std::move(ctx.ack));
 }
 
 void
 CpuCache::handleWBAck(Packet &pkt)
 {
-    Addr line = pkt.addr;
-    const Tbe *found = _tbes.find(line);
-    if (found == nullptr || found->transient != StMI) {
-        throw ProtocolError(name(), curTick(),
-                            "CpuWBAck with no writeback in flight: " +
-                                pkt.describe());
-    }
-    transition(EvWBAck, StMI);
-    _tbes.erase(line);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    // With no writeback in flight the line is outside MI, where no WBAck
+    // row is defined: the table raises the protocol error.
+    table().fireWith(*this, EvWBAck, lineState(ctx.line), ctx,
+                     [&pkt] { return pkt.describe(); });
+}
+
+void
+CpuCache::actWriteBackAck(TransCtx &ctx)
+{
+    _tbes.erase(ctx.line);
 }
 
 void

@@ -28,6 +28,7 @@
 #include "sim/flat_map.hh"
 #include "mem/msg.hh"
 #include "mem/network.hh"
+#include "proto/transition_table.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "trace/recorder.hh"
@@ -77,10 +78,23 @@ class CpuCache : public SimObject, public MsgReceiver
 
     using RespFunc = std::function<void(Packet &&)>;
 
+    /** Per-dispatch context handed to table actions. */
+    struct TransCtx
+    {
+        Packet *pkt = nullptr;       ///< triggering packet
+        Addr line = 0;               ///< aligned line address
+        CacheEntry *entry = nullptr; ///< victim entry for Repl rows
+        bool downgrade = false;      ///< probe flavor (PrbDowngrade)
+        Packet ack{};                ///< probe ack under construction
+    };
+
     CpuCache(std::string name, EventQueue &eq, const CpuCacheConfig &cfg,
              Crossbar &xbar, int endpoint, int dir_ep);
 
     static const TransitionSpec &spec();
+
+    /** The validated static transition table (shared by instances). */
+    static const TransitionTable<CpuCache> &table();
 
     void bindCoreResponse(RespFunc fn) { _respond = std::move(fn); }
 
@@ -99,6 +113,8 @@ class CpuCache : public SimObject, public MsgReceiver
     void setTrace(TraceRecorder *trace) { _trace = trace; }
 
   private:
+    friend class TransitionTable<CpuCache>;
+
     /** Entry.state values for stable lines in the array. */
     enum LineStable : int
     {
@@ -128,6 +144,27 @@ class CpuCache : public SimObject, public MsgReceiver
     void handleData(Packet &pkt);
     void handleProbe(Packet &pkt, bool downgrade);
     void handleWBAck(Packet &pkt);
+
+    // Table actions (see the static table builder in cpu_cache.cc).
+    void actRecycle(TransCtx &ctx);
+    void actLoadHit(TransCtx &ctx);
+    void actLoadMiss(TransCtx &ctx);
+    void actStoreHit(TransCtx &ctx);
+    void actStoreUpgrade(TransCtx &ctx);
+    void actStoreMiss(TransCtx &ctx);
+    void actReplaceDirty(TransCtx &ctx);
+    void actReplaceClean(TransCtx &ctx);
+    void actDataFillAlloc(TransCtx &ctx);
+    void actDataFillUpgrade(TransCtx &ctx);
+    void actProbeOwner(TransCtx &ctx);
+    void actProbeSharer(TransCtx &ctx);
+    void actProbeWriteback(TransCtx &ctx);
+    void actProbeUpgrade(TransCtx &ctx);
+    void actProbeSend(TransCtx &ctx);
+    void actWriteBackAck(TransCtx &ctx);
+
+    /** Complete a fill: hand the granted line to the waiting core op. */
+    void completeFill(CacheEntry &entry, const Tbe &tbe, const Packet &pkt);
 
     /**
      * Make room for a fill, writing back a dirty victim if needed.

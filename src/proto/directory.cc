@@ -74,6 +74,59 @@ Directory::spec()
     return s;
 }
 
+const TransitionTable<Directory> &
+Directory::table()
+{
+    using T = TransitionTable<Directory>;
+    using D = Directory;
+    static const T t = [] {
+        T t(spec());
+        t.on(EvGpuFetch, StU, {&D::actGpuFetchClean}, StB)
+            .on(EvGpuFetch, StCS, {&D::actGpuFetchClean}, StB)
+            .on(EvGpuFetch, StCM, {&D::actGpuFetchOwned}, StB)
+            .on(EvGpuFetch, StB, {&D::actRecycle}, StB)
+            .on(EvGpuWrMem, StU, {&D::actGpuWriteClean}, StB)
+            .on(EvGpuWrMem, StCS, {&D::actGpuWriteShared}, StB)
+            .on(EvGpuWrMem, StCM, {&D::actGpuWriteOwned}, StB)
+            .on(EvGpuWrMem, StB, {&D::actRecycle}, StB)
+            .on(EvGpuAtomic, StU, {&D::actGpuAtomicClean}, StB)
+            .on(EvGpuAtomic, StCS, {&D::actGpuAtomicShared}, StB)
+            .on(EvGpuAtomic, StCM, {&D::actGpuAtomicOwned}, StB)
+            .on(EvGpuAtomic, StB, {&D::actAtomicNack}, StB)
+            .on(EvCpuGets, StU, {&D::actCpuGetsClean}, StB)
+            .on(EvCpuGets, StCS, {&D::actCpuGetsClean}, StB)
+            .on(EvCpuGets, StCM, {&D::actCpuGetsOwned}, StB)
+            .on(EvCpuGets, StB, {&D::actRecycle}, StB)
+            // Getx and Putx branch on the owner's identity (an upgrade by
+            // the current owner degenerates to U; a Putx that lost to a
+            // probe is stale), which a (state, event) row cannot express:
+            // one action per stable state keeps that dynamic check.
+            .on(EvCpuGetx, StU, {&D::actCpuGetx}, StB)
+            .on(EvCpuGetx, StCS, {&D::actCpuGetx}, StB)
+            .on(EvCpuGetx, StCM, {&D::actCpuGetx}, StB)
+            .on(EvCpuGetx, StB, {&D::actRecycle}, StB)
+            .on(EvCpuPutx, StU, {&D::actCpuPutx})
+            .on(EvCpuPutx, StCS, {&D::actCpuPutx})
+            .on(EvCpuPutx, StCM, {&D::actCpuPutx})
+            .on(EvCpuPutx, StB, {&D::actRecycle}, StB)
+            .on(EvDmaRead, StU, {&D::actDmaReadClean}, StB)
+            .on(EvDmaRead, StCS, {&D::actDmaReadClean}, StB)
+            .on(EvDmaRead, StCM, {&D::actDmaReadOwned}, StB)
+            .on(EvDmaRead, StB, {&D::actRecycle}, StB)
+            .on(EvDmaWrite, StU, {&D::actDmaWriteClean}, StB)
+            .on(EvDmaWrite, StCS, {&D::actDmaWriteClean}, StB)
+            .on(EvDmaWrite, StCM, {&D::actDmaWriteOwned}, StB)
+            .on(EvDmaWrite, StB, {&D::actRecycle}, StB)
+            .on(EvMemData, StB, {&D::actMemData})
+            .on(EvMemWBAck, StB, {&D::actMemWBAck})
+            .on(EvCpuInvAck, StB, {&D::actInvAck}, StB)
+            .on(EvGpuInvAck, StB, {&D::actInvAck}, StB)
+            .verifyComplete();
+        return t;
+    }();
+    return t;
+}
+
 Directory::Directory(std::string name, EventQueue &eq,
                      const DirectoryConfig &cfg, Crossbar &xbar,
                      int endpoint, std::vector<int> gpu_l2_eps,
@@ -233,47 +286,56 @@ Directory::applyAtomic(LineData &buf, Addr addr, unsigned size,
 void
 Directory::handleGpuFetch(Packet &pkt)
 {
-    Addr la = pkt.addr;
-    Line &l = line(la);
-    State st = visibleState(l);
-    transition(EvGpuFetch, st);
-    if (st == StB) {
-        recycle(pkt);
-        return;
-    }
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    table().fire(*this, EvGpuFetch, visibleState(line(ctx.line)), ctx);
+}
 
-    Txn &t = startTxn(la, pkt);
+void
+Directory::actRecycle(TransCtx &ctx)
+{
+    recycle(*ctx.pkt);
+}
 
-    if (st == StCM) {
-        // Pull the dirty data out of the CPU owner first.
-        int owner = l.owner;
-        t.onAcks = [this, la] {
-            Line &l2 = line(la);
-            Txn &txn = *l2.txn;
-            assert(txn.haveProbeData);
-            writeMem(la, txn.probeData, fullLineMask);
-            txn.onMemWBAck = [this, la] {
-                Line &l3 = line(la);
-                Txn &txn3 = *l3.txn;
-                Packet resp;
-                resp.type = MsgType::DirData;
-                resp.addr = la;
-                resp.id = txn3.origin.id;
-                resp.setLine(txn3.probeData);
-                int dst = txn3.origin.srcEndpoint;
-                l3.sharers.insert(l3.owner);
-                l3.owner = -1;
-                l3.stable = StCS;
-                l3.gpuSharers.insert(dst);
-                finishTxn(la);
-                _xbar.route(_endpoint, dst, std::move(resp));
-            };
+void
+Directory::actGpuFetchOwned(TransCtx &ctx)
+{
+    // Pull the dirty data out of the CPU owner first.
+    Addr la = ctx.line;
+    Txn &t = startTxn(la, *ctx.pkt);
+    int owner = line(la).owner;
+    t.onAcks = [this, la] {
+        Line &l2 = line(la);
+        Txn &txn = *l2.txn;
+        assert(txn.haveProbeData);
+        writeMem(la, txn.probeData, fullLineMask);
+        txn.onMemWBAck = [this, la] {
+            Line &l3 = line(la);
+            Txn &txn3 = *l3.txn;
+            Packet resp;
+            resp.type = MsgType::DirData;
+            resp.addr = la;
+            resp.id = txn3.origin.id;
+            resp.setLine(txn3.probeData);
+            int dst = txn3.origin.srcEndpoint;
+            l3.sharers.insert(l3.owner);
+            l3.owner = -1;
+            l3.stable = StCS;
+            l3.gpuSharers.insert(dst);
+            finishTxn(la);
+            _xbar.route(_endpoint, dst, std::move(resp));
         };
-        sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
-        return;
-    }
+    };
+    sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
+}
 
+void
+Directory::actGpuFetchClean(TransCtx &ctx)
+{
     // U or CS: memory is current.
+    Addr la = ctx.line;
+    Txn &t = startTxn(la, *ctx.pkt);
     t.onMemData = [this, la](const LineData &data) {
         Line &l2 = line(la);
         Packet resp;
@@ -292,275 +354,323 @@ Directory::handleGpuFetch(Packet &pkt)
 void
 Directory::handleGpuWrMem(Packet &pkt)
 {
-    Addr la = pkt.addr;
-    Line &l = line(la);
-    State st = visibleState(l);
-    transition(EvGpuWrMem, st);
-    if (st == StB) {
-        recycle(pkt);
-        return;
-    }
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    table().fire(*this, EvGpuWrMem, visibleState(line(ctx.line)), ctx);
+}
 
-    int requester = pkt.srcEndpoint;
-    startTxn(la, std::move(pkt));
+void
+Directory::gpuWriteAndAck(Addr la, const LineData &data, ByteMask mask)
+{
+    line(la).txn->onMemWBAck = [this, la] {
+        Line &l3 = line(la);
+        Packet resp;
+        resp.type = MsgType::DirWBAck;
+        resp.addr = la;
+        resp.id = l3.txn->origin.id;
+        int dst = l3.txn->origin.srcEndpoint;
+        finishTxn(la);
+        _xbar.route(_endpoint, dst, std::move(resp));
+    };
+    writeMem(la, data, mask);
+}
+
+void
+Directory::actGpuWriteOwned(TransCtx &ctx)
+{
+    // Invalidate the CPU owner, merge the GPU bytes over its data.
+    Addr la = ctx.line;
+    int requester = ctx.pkt->srcEndpoint;
+    startTxn(la, std::move(*ctx.pkt));
     Txn &t = *line(la).txn;
+    int owner = line(la).owner;
+    t.onAcks = [this, la] {
+        Line &l2 = line(la);
+        Txn &txn = *l2.txn;
+        assert(txn.haveProbeData);
+        LineData buf = txn.probeData;
+        for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
+            if (maskTest(txn.origin.mask, i))
+                buf[i] = txn.origin.data[i];
+        }
+        l2.owner = -1;
+        l2.sharers.clear();
+        l2.stable = StU;
+        gpuWriteAndAck(la, buf, fullLineMask);
+    };
+    sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
+    sendGpuProbes(la, requester);
+}
 
-    auto do_write_and_ack =
-        [this, la](const LineData &data, ByteMask mask) {
-            Line &l2 = line(la);
-            l2.txn->onMemWBAck = [this, la] {
-                Line &l3 = line(la);
-                Packet resp;
-                resp.type = MsgType::DirWBAck;
-                resp.addr = la;
-                resp.id = l3.txn->origin.id;
-                int dst = l3.txn->origin.srcEndpoint;
-                finishTxn(la);
-                _xbar.route(_endpoint, dst, std::move(resp));
-            };
-            writeMem(la, data, mask);
-        };
+void
+Directory::actGpuWriteShared(TransCtx &ctx)
+{
+    // CPU shared copies would go stale: invalidate them first.
+    Addr la = ctx.line;
+    int requester = ctx.pkt->srcEndpoint;
+    startTxn(la, std::move(*ctx.pkt));
+    Txn &t = *line(la).txn;
+    std::vector<int> targets(line(la).sharers.begin(),
+                             line(la).sharers.end());
+    t.onAcks = [this, la] {
+        Line &l2 = line(la);
+        l2.sharers.clear();
+        l2.stable = StU;
+        gpuWriteAndAck(la, l2.txn->origin.data, l2.txn->origin.mask);
+    };
+    sendCpuProbes(la, targets, MsgType::CpuPrbInv);
+    sendGpuProbes(la, requester);
+}
 
-    if (st == StCM) {
-        // Invalidate the CPU owner, merge the GPU bytes over its data.
-        int owner = l.owner;
-        t.onAcks = [this, la, do_write_and_ack] {
-            Line &l2 = line(la);
-            Txn &txn = *l2.txn;
-            assert(txn.haveProbeData);
-            LineData buf = txn.probeData;
-            for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
-                if (maskTest(txn.origin.mask, i))
-                    buf[i] = txn.origin.data[i];
-            }
-            l2.owner = -1;
-            l2.sharers.clear();
-            l2.stable = StU;
-            do_write_and_ack(buf, fullLineMask);
-        };
-        sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
-        sendGpuProbes(la, requester);
-        return;
-    }
-
-    if (st == StCS) {
-        // CPU shared copies would go stale: invalidate them first.
-        std::vector<int> targets(l.sharers.begin(), l.sharers.end());
-        t.onAcks = [this, la, do_write_and_ack] {
-            Line &l2 = line(la);
-            l2.sharers.clear();
-            l2.stable = StU;
-            do_write_and_ack(l2.txn->origin.data, l2.txn->origin.mask);
-        };
-        sendCpuProbes(la, targets, MsgType::CpuPrbInv);
-        sendGpuProbes(la, requester);
-        return;
-    }
-
+void
+Directory::actGpuWriteClean(TransCtx &ctx)
+{
     // U: remote GPU L2s may still hold stale clean copies (multi-GPU
     // systems); invalidate them before the write becomes visible.
+    Addr la = ctx.line;
+    int requester = ctx.pkt->srcEndpoint;
+    startTxn(la, std::move(*ctx.pkt));
+    Txn &t = *line(la).txn;
     unsigned probes = sendGpuProbes(la, requester);
     if (probes > 0) {
-        t.onAcks = [this, la, do_write_and_ack] {
+        t.onAcks = [this, la] {
             Line &l2 = line(la);
-            do_write_and_ack(l2.txn->origin.data, l2.txn->origin.mask);
+            gpuWriteAndAck(la, l2.txn->origin.data, l2.txn->origin.mask);
         };
         return;
     }
-    do_write_and_ack(t.origin.data, t.origin.mask);
+    gpuWriteAndAck(la, t.origin.data, t.origin.mask);
 }
 
 void
 Directory::handleGpuAtomic(Packet &pkt)
 {
-    Addr la = lineAlign(pkt.addr, _cfg.lineBytes);
-    Line &l = line(la);
-    State st = visibleState(l);
-    transition(EvGpuAtomic, st);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    table().fire(*this, EvGpuAtomic, visibleState(line(ctx.line)), ctx);
+}
 
-    if (st == StB) {
-        // Atomics are not stalled; the L2 gets a retry nack.
-        Packet nack;
-        nack.type = MsgType::AtomicND;
-        nack.addr = pkt.addr;
-        nack.id = pkt.id;
-        _cAtomicNacks->inc();
-        _xbar.route(_endpoint, pkt.srcEndpoint, std::move(nack));
+void
+Directory::actAtomicNack(TransCtx &ctx)
+{
+    // Atomics are not stalled; the L2 gets a retry nack.
+    Packet &pkt = *ctx.pkt;
+    Packet nack;
+    nack.type = MsgType::AtomicND;
+    nack.addr = pkt.addr;
+    nack.id = pkt.id;
+    _cAtomicNacks->inc();
+    _xbar.route(_endpoint, pkt.srcEndpoint, std::move(nack));
+}
+
+void
+Directory::atomicRmw(Addr la, LineData buf)
+{
+    Line &l2 = line(la);
+    Txn &txn = *l2.txn;
+    std::uint64_t old = applyAtomic(buf, txn.origin.addr,
+                                    txn.origin.size,
+                                    txn.origin.atomicOperand);
+    _cAtomics->inc();
+
+    Packet resp;
+    resp.type = MsgType::AtomicD;
+    resp.addr = txn.origin.addr;
+    resp.id = txn.origin.id;
+    resp.atomicResult = old;
+    resp.setLine(buf);
+    int dst = txn.origin.srcEndpoint;
+
+    if (_fault != nullptr && _fault->fire(FaultKind::NonAtomicRmw)) {
+        // The read-modify-write loses its write: memory keeps the old
+        // value, so a racing atomic will observe a duplicate.
+        _stats.counter("injected_lost_atomics").inc();
+        l2.gpuSharers.insert(dst);
+        finishTxn(la);
+        _xbar.route(_endpoint, dst, std::move(resp));
         return;
     }
 
-    int requester = pkt.srcEndpoint;
-    // The requesting L2 dropped its own copy before forwarding.
-    l.gpuSharers.erase(requester);
-    startTxn(la, std::move(pkt));
-    Txn &t = *line(la).txn;
+    // Park the response on the Txn rather than in the capture: a
+    // Packet-sized capture would push this std::function off its
+    // small buffer and heap-allocate on the atomic hot path.
+    txn.pendingResp = resp;
+    txn.onMemWBAck = [this, la] {
+        Line &l3 = line(la);
+        Packet done = l3.txn->pendingResp;
+        int dst2 = l3.txn->origin.srcEndpoint;
+        l3.gpuSharers.insert(dst2); // the L2 caches the result line
+        finishTxn(la);
+        _xbar.route(_endpoint, dst2, std::move(done));
+    };
+    writeMem(la, buf, fullLineMask);
+}
 
-    auto rmw = [this, la](LineData buf) {
+void
+Directory::actGpuAtomicOwned(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    int requester = ctx.pkt->srcEndpoint;
+    // The requesting L2 dropped its own copy before forwarding.
+    line(la).gpuSharers.erase(requester);
+    startTxn(la, std::move(*ctx.pkt));
+    Txn &t = *line(la).txn;
+    int owner = line(la).owner;
+    t.onAcks = [this, la] {
         Line &l2 = line(la);
         Txn &txn = *l2.txn;
-        std::uint64_t old = applyAtomic(buf, txn.origin.addr,
-                                        txn.origin.size,
-                                        txn.origin.atomicOperand);
-        _cAtomics->inc();
-
-        Packet resp;
-        resp.type = MsgType::AtomicD;
-        resp.addr = txn.origin.addr;
-        resp.id = txn.origin.id;
-        resp.atomicResult = old;
-        resp.setLine(buf);
-        int dst = txn.origin.srcEndpoint;
-
-        if (_fault != nullptr && _fault->fire(FaultKind::NonAtomicRmw)) {
-            // The read-modify-write loses its write: memory keeps the old
-            // value, so a racing atomic will observe a duplicate.
-            _stats.counter("injected_lost_atomics").inc();
-            l2.gpuSharers.insert(dst);
-            finishTxn(la);
-            _xbar.route(_endpoint, dst, std::move(resp));
-            return;
-        }
-
-        // Park the response on the Txn rather than in the capture: a
-        // Packet-sized capture would push this std::function off its
-        // small buffer and heap-allocate on the atomic hot path.
-        txn.pendingResp = resp;
-        txn.onMemWBAck = [this, la] {
-            Line &l3 = line(la);
-            Packet done = l3.txn->pendingResp;
-            int dst2 = l3.txn->origin.srcEndpoint;
-            l3.gpuSharers.insert(dst2); // the L2 caches the result line
-            finishTxn(la);
-            _xbar.route(_endpoint, dst2, std::move(done));
-        };
-        writeMem(la, buf, fullLineMask);
+        assert(txn.haveProbeData);
+        l2.owner = -1;
+        l2.sharers.clear();
+        l2.stable = StU;
+        atomicRmw(la, txn.probeData);
     };
+    sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
+    sendGpuProbes(la, requester);
+}
 
-    if (st == StCM) {
-        int owner = l.owner;
-        t.onAcks = [this, la, rmw] {
-            Line &l2 = line(la);
-            Txn &txn = *l2.txn;
-            assert(txn.haveProbeData);
-            l2.owner = -1;
-            l2.sharers.clear();
-            l2.stable = StU;
-            rmw(txn.probeData);
+void
+Directory::actGpuAtomicShared(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    int requester = ctx.pkt->srcEndpoint;
+    line(la).gpuSharers.erase(requester);
+    startTxn(la, std::move(*ctx.pkt));
+    Txn &t = *line(la).txn;
+    std::vector<int> targets(line(la).sharers.begin(),
+                             line(la).sharers.end());
+    t.onAcks = [this, la] {
+        Line &l2 = line(la);
+        l2.sharers.clear();
+        l2.stable = StU;
+        l2.txn->onMemData = [this, la](const LineData &data) {
+            atomicRmw(la, data);
         };
-        sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
-        sendGpuProbes(la, requester);
-        return;
-    }
+        readMem(la);
+    };
+    sendCpuProbes(la, targets, MsgType::CpuPrbInv);
+    sendGpuProbes(la, requester);
+}
 
-    if (st == StCS) {
-        std::vector<int> targets(l.sharers.begin(), l.sharers.end());
-        t.onAcks = [this, la, rmw] {
-            Line &l2 = line(la);
-            l2.sharers.clear();
-            l2.stable = StU;
-            l2.txn->onMemData = rmw;
-            readMem(la);
-        };
-        sendCpuProbes(la, targets, MsgType::CpuPrbInv);
-        sendGpuProbes(la, requester);
-        return;
-    }
-
+void
+Directory::actGpuAtomicClean(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    int requester = ctx.pkt->srcEndpoint;
+    line(la).gpuSharers.erase(requester);
+    startTxn(la, std::move(*ctx.pkt));
+    Txn &t = *line(la).txn;
     unsigned probes = sendGpuProbes(la, requester);
     if (probes > 0) {
-        t.onAcks = [this, la, rmw] {
-            line(la).txn->onMemData = rmw;
+        t.onAcks = [this, la] {
+            line(la).txn->onMemData = [this, la](const LineData &data) {
+                atomicRmw(la, data);
+            };
             readMem(la);
         };
         return;
     }
-    t.onMemData = rmw;
+    t.onMemData = [this, la](const LineData &data) { atomicRmw(la, data); };
     readMem(la);
 }
 
 void
 Directory::handleCpuGets(Packet &pkt)
 {
-    Addr la = pkt.addr;
-    Line &l = line(la);
-    State st = visibleState(l);
-    transition(EvCpuGets, st);
-    if (st == StB) {
-        recycle(pkt);
-        return;
-    }
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    table().fire(*this, EvCpuGets, visibleState(line(ctx.line)), ctx);
+}
 
-    startTxn(la, std::move(pkt));
+void
+Directory::grantShared(Addr la, const LineData &data)
+{
+    Line &l2 = line(la);
+    Packet resp;
+    resp.type = MsgType::CpuData;
+    resp.addr = la;
+    resp.id = l2.txn->origin.id;
+    resp.grant = 1;
+    resp.setLine(data);
+    int dst = l2.txn->origin.srcEndpoint;
+    l2.sharers.insert(dst);
+    l2.stable = StCS;
+    finishTxn(la);
+    _xbar.route(_endpoint, dst, std::move(resp));
+}
+
+void
+Directory::actCpuGetsOwned(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    startTxn(la, std::move(*ctx.pkt));
     Txn &t = *line(la).txn;
-
-    auto grant_shared = [this, la](const LineData &data) {
+    int owner = line(la).owner;
+    t.onAcks = [this, la] {
         Line &l2 = line(la);
-        Packet resp;
-        resp.type = MsgType::CpuData;
-        resp.addr = la;
-        resp.id = l2.txn->origin.id;
-        resp.grant = 1;
-        resp.setLine(data);
-        int dst = l2.txn->origin.srcEndpoint;
-        l2.sharers.insert(dst);
-        l2.stable = StCS;
-        finishTxn(la);
-        _xbar.route(_endpoint, dst, std::move(resp));
+        Txn &txn = *l2.txn;
+        assert(txn.haveProbeData);
+        LineData data = txn.probeData;
+        l2.sharers.insert(l2.owner);
+        l2.owner = -1;
+        txn.onMemWBAck = [this, la, data] { grantShared(la, data); };
+        writeMem(la, data, fullLineMask);
     };
+    sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
+}
 
-    if (st == StCM) {
-        int owner = l.owner;
-        t.onAcks = [this, la, grant_shared] {
-            Line &l2 = line(la);
-            Txn &txn = *l2.txn;
-            assert(txn.haveProbeData);
-            LineData data = txn.probeData;
-            l2.sharers.insert(l2.owner);
-            l2.owner = -1;
-            txn.onMemWBAck = [grant_shared, data] {
-                grant_shared(data);
-            };
-            writeMem(la, data, fullLineMask);
-        };
-        sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
-        return;
-    }
-
-    t.onMemData = grant_shared;
+void
+Directory::actCpuGetsClean(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    startTxn(la, std::move(*ctx.pkt));
+    Txn &t = *line(la).txn;
+    t.onMemData = [this, la](const LineData &data) {
+        grantShared(la, data);
+    };
     readMem(la);
 }
 
 void
 Directory::handleCpuGetx(Packet &pkt)
 {
-    Addr la = pkt.addr;
-    Line &l = line(la);
-    State st = visibleState(l);
-    transition(EvCpuGetx, st);
-    if (st == StB) {
-        recycle(pkt);
-        return;
-    }
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    table().fire(*this, EvCpuGetx, visibleState(line(ctx.line)), ctx);
+}
 
+void
+Directory::grantExclusive(Addr la, const LineData &data)
+{
+    Line &l2 = line(la);
+    Packet resp;
+    resp.type = MsgType::CpuData;
+    resp.addr = la;
+    resp.id = l2.txn->origin.id;
+    resp.grant = 2;
+    resp.setLine(data);
+    int dst = l2.txn->origin.srcEndpoint;
+    l2.sharers.clear();
+    l2.owner = dst;
+    l2.stable = StCM;
+    finishTxn(la);
+    _xbar.route(_endpoint, dst, std::move(resp));
+}
+
+void
+Directory::actCpuGetx(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    Packet &pkt = *ctx.pkt;
+    State st = line(la).stable;
     int requester = pkt.srcEndpoint;
     startTxn(la, std::move(pkt));
     Txn &t = *line(la).txn;
-
-    auto grant_exclusive = [this, la](const LineData &data) {
-        Line &l2 = line(la);
-        Packet resp;
-        resp.type = MsgType::CpuData;
-        resp.addr = la;
-        resp.id = l2.txn->origin.id;
-        resp.grant = 2;
-        resp.setLine(data);
-        int dst = l2.txn->origin.srcEndpoint;
-        l2.sharers.clear();
-        l2.owner = dst;
-        l2.stable = StCM;
-        finishTxn(la);
-        _xbar.route(_endpoint, dst, std::move(resp));
-    };
+    Line &l = line(la);
 
     bool drop_gpu_probe =
         !l.gpuSharers.empty() && _fault != nullptr &&
@@ -573,11 +683,11 @@ Directory::handleCpuGetx(Packet &pkt)
 
     if (st == StCM && l.owner != requester) {
         int owner = l.owner;
-        t.onAcks = [this, la, grant_exclusive] {
+        t.onAcks = [this, la] {
             Line &l2 = line(la);
             Txn &txn = *l2.txn;
             assert(txn.haveProbeData);
-            grant_exclusive(txn.probeData);
+            grantExclusive(la, txn.probeData);
         };
         sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
         sendGpuProbes(la);
@@ -591,8 +701,10 @@ Directory::handleCpuGetx(Packet &pkt)
         if (sharer != requester)
             targets.push_back(sharer);
     }
-    t.onAcks = [this, la, grant_exclusive] {
-        line(la).txn->onMemData = grant_exclusive;
+    t.onAcks = [this, la] {
+        line(la).txn->onMemData = [this, la](const LineData &data) {
+            grantExclusive(la, data);
+        };
         readMem(la);
     };
     sendCpuProbes(la, targets, MsgType::CpuPrbInv);
@@ -604,16 +716,19 @@ Directory::handleCpuGetx(Packet &pkt)
 void
 Directory::handleCpuPutx(Packet &pkt)
 {
-    Addr la = pkt.addr;
-    Line &l = line(la);
-    State st = visibleState(l);
-    transition(EvCpuPutx, st);
-    if (st == StB) {
-        recycle(pkt);
-        return;
-    }
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    table().fire(*this, EvCpuPutx, visibleState(line(ctx.line)), ctx);
+}
 
-    if (st != StCM || l.owner != pkt.srcEndpoint) {
+void
+Directory::actCpuPutx(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    Packet &pkt = *ctx.pkt;
+    Line &l = line(la);
+    if (l.stable != StCM || l.owner != pkt.srcEndpoint) {
         // Stale writeback: a probe raced past it and took the data. Ack
         // without touching memory or state.
         _cStalePutx->inc();
@@ -645,109 +760,122 @@ Directory::handleCpuPutx(Packet &pkt)
 void
 Directory::handleDmaRead(Packet &pkt)
 {
-    Addr la = pkt.addr;
-    Line &l = line(la);
-    State st = visibleState(l);
-    transition(EvDmaRead, st);
-    if (st == StB) {
-        recycle(pkt);
-        return;
-    }
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    table().fire(*this, EvDmaRead, visibleState(line(ctx.line)), ctx);
+}
 
-    startTxn(la, std::move(pkt));
+void
+Directory::dmaReadRespond(Addr la, const LineData &data)
+{
+    Line &l2 = line(la);
+    Packet resp;
+    resp.type = MsgType::DmaReadResp;
+    resp.addr = la;
+    resp.id = l2.txn->origin.id;
+    resp.setLine(data);
+    int dst = l2.txn->origin.srcEndpoint;
+    finishTxn(la);
+    _xbar.route(_endpoint, dst, std::move(resp));
+}
+
+void
+Directory::actDmaReadOwned(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    startTxn(la, std::move(*ctx.pkt));
     Txn &t = *line(la).txn;
-
-    auto respond = [this, la](const LineData &data) {
+    int owner = line(la).owner;
+    t.onAcks = [this, la] {
         Line &l2 = line(la);
-        Packet resp;
-        resp.type = MsgType::DmaReadResp;
-        resp.addr = la;
-        resp.id = l2.txn->origin.id;
-        resp.setLine(data);
-        int dst = l2.txn->origin.srcEndpoint;
-        finishTxn(la);
-        _xbar.route(_endpoint, dst, std::move(resp));
+        Txn &txn = *l2.txn;
+        assert(txn.haveProbeData);
+        LineData data = txn.probeData;
+        l2.sharers.insert(l2.owner);
+        l2.owner = -1;
+        l2.stable = StCS;
+        txn.onMemWBAck = [this, la, data] { dmaReadRespond(la, data); };
+        writeMem(la, data, fullLineMask);
     };
+    sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
+}
 
-    if (st == StCM) {
-        int owner = l.owner;
-        t.onAcks = [this, la, respond] {
-            Line &l2 = line(la);
-            Txn &txn = *l2.txn;
-            assert(txn.haveProbeData);
-            LineData data = txn.probeData;
-            l2.sharers.insert(l2.owner);
-            l2.owner = -1;
-            l2.stable = StCS;
-            txn.onMemWBAck = [respond, data] { respond(data); };
-            writeMem(la, data, fullLineMask);
-        };
-        sendCpuProbes(la, {owner}, MsgType::CpuPrbDowngrade);
-        return;
-    }
-
-    t.onMemData = respond;
+void
+Directory::actDmaReadClean(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    startTxn(la, std::move(*ctx.pkt));
+    Txn &t = *line(la).txn;
+    t.onMemData = [this, la](const LineData &data) {
+        dmaReadRespond(la, data);
+    };
     readMem(la);
 }
 
 void
 Directory::handleDmaWrite(Packet &pkt)
 {
-    Addr la = pkt.addr;
-    Line &l = line(la);
-    State st = visibleState(l);
-    transition(EvDmaWrite, st);
-    if (st == StB) {
-        recycle(pkt);
-        return;
-    }
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    table().fire(*this, EvDmaWrite, visibleState(line(ctx.line)), ctx);
+}
 
-    startTxn(la, std::move(pkt));
+void
+Directory::dmaWriteAndRespond(Addr la, const LineData &data, ByteMask mask)
+{
+    line(la).txn->onMemWBAck = [this, la] {
+        Line &l3 = line(la);
+        Packet resp;
+        resp.type = MsgType::DmaWriteResp;
+        resp.addr = la;
+        resp.id = l3.txn->origin.id;
+        int dst = l3.txn->origin.srcEndpoint;
+        finishTxn(la);
+        _xbar.route(_endpoint, dst, std::move(resp));
+    };
+    writeMem(la, data, mask);
+}
+
+void
+Directory::actDmaWriteOwned(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    startTxn(la, std::move(*ctx.pkt));
     Txn &t = *line(la).txn;
+    int owner = line(la).owner;
+    t.onAcks = [this, la] {
+        Line &l2 = line(la);
+        Txn &txn = *l2.txn;
+        assert(txn.haveProbeData);
+        LineData buf = txn.probeData;
+        for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
+            if (maskTest(txn.origin.mask, i))
+                buf[i] = txn.origin.data[i];
+        }
+        l2.owner = -1;
+        l2.sharers.clear();
+        l2.stable = StU;
+        dmaWriteAndRespond(la, buf, fullLineMask);
+    };
+    sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
+    sendGpuProbes(la);
+}
 
-    auto write_and_respond =
-        [this, la](const LineData &data, ByteMask mask) {
-            Line &l2 = line(la);
-            l2.txn->onMemWBAck = [this, la] {
-                Line &l3 = line(la);
-                Packet resp;
-                resp.type = MsgType::DmaWriteResp;
-                resp.addr = la;
-                resp.id = l3.txn->origin.id;
-                int dst = l3.txn->origin.srcEndpoint;
-                finishTxn(la);
-                _xbar.route(_endpoint, dst, std::move(resp));
-            };
-            writeMem(la, data, mask);
-        };
-
-    if (st == StCM) {
-        int owner = l.owner;
-        t.onAcks = [this, la, write_and_respond] {
-            Line &l2 = line(la);
-            Txn &txn = *l2.txn;
-            assert(txn.haveProbeData);
-            LineData buf = txn.probeData;
-            for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
-                if (maskTest(txn.origin.mask, i))
-                    buf[i] = txn.origin.data[i];
-            }
-            l2.owner = -1;
-            l2.sharers.clear();
-            l2.stable = StU;
-            write_and_respond(buf, fullLineMask);
-        };
-        sendCpuProbes(la, {owner}, MsgType::CpuPrbInv);
-        sendGpuProbes(la);
-        return;
-    }
-
-    std::vector<int> targets(l.sharers.begin(), l.sharers.end());
-    t.onAcks = [this, la, write_and_respond] {
+void
+Directory::actDmaWriteClean(TransCtx &ctx)
+{
+    Addr la = ctx.line;
+    startTxn(la, std::move(*ctx.pkt));
+    Txn &t = *line(la).txn;
+    std::vector<int> targets(line(la).sharers.begin(),
+                             line(la).sharers.end());
+    t.onAcks = [this, la] {
         Line &l2 = line(la);
         l2.sharers.clear();
         l2.stable = StU;
-        write_and_respond(l2.txn->origin.data, l2.txn->origin.mask);
+        dmaWriteAndRespond(la, l2.txn->origin.data, l2.txn->origin.mask);
     };
     sendCpuProbes(la, targets, MsgType::CpuPrbInv);
     sendGpuProbes(la);
@@ -758,24 +886,17 @@ Directory::handleDmaWrite(Packet &pkt)
 void
 Directory::handleMemResp(Packet &pkt)
 {
-    Line &l = line(pkt.addr);
-    if (l.txn == nullptr) {
-        throw ProtocolError(name(), curTick(),
-                            "memory response with no transaction: " +
-                                pkt.describe());
-    }
+    // With no transaction in flight the line is stable, and MemData /
+    // MemWBAck rows exist only in B: the table raises the protocol error.
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
     if (pkt.type == MsgType::MemData) {
-        transition(EvMemData, StB);
-        assert(l.txn->onMemData && "unexpected MemData");
-        auto fn = std::move(l.txn->onMemData);
-        l.txn->onMemData = nullptr;
-        fn(pkt.data);
+        table().fireWith(*this, EvMemData, visibleState(line(ctx.line)),
+                         ctx, [&pkt] { return pkt.describe(); });
     } else if (pkt.type == MsgType::MemWBAck) {
-        transition(EvMemWBAck, StB);
-        assert(l.txn->onMemWBAck && "unexpected MemWBAck");
-        auto fn = std::move(l.txn->onMemWBAck);
-        l.txn->onMemWBAck = nullptr;
-        fn();
+        table().fireWith(*this, EvMemWBAck, visibleState(line(ctx.line)),
+                         ctx, [&pkt] { return pkt.describe(); });
     } else {
         throw ProtocolError(name(), curTick(),
                             "unexpected memory response: " +
@@ -784,16 +905,43 @@ Directory::handleMemResp(Packet &pkt)
 }
 
 void
+Directory::actMemData(TransCtx &ctx)
+{
+    Line &l = line(ctx.line);
+    assert(l.txn->onMemData && "unexpected MemData");
+    auto fn = std::move(l.txn->onMemData);
+    l.txn->onMemData = nullptr;
+    fn(ctx.pkt->data);
+}
+
+void
+Directory::actMemWBAck(TransCtx &ctx)
+{
+    Line &l = line(ctx.line);
+    assert(l.txn->onMemWBAck && "unexpected MemWBAck");
+    auto fn = std::move(l.txn->onMemWBAck);
+    l.txn->onMemWBAck = nullptr;
+    fn();
+}
+
+void
 Directory::handleInvAck(Packet &pkt, bool from_gpu)
 {
-    Line &l = line(pkt.addr);
-    if (l.txn == nullptr) {
-        throw ProtocolError(name(), curTick(),
-                            "probe ack with no transaction: " +
-                                pkt.describe());
-    }
-    transition(from_gpu ? EvGpuInvAck : EvCpuInvAck, StB);
-    Txn &t = *l.txn;
+    // A probe ack with no transaction finds the line stable, where no
+    // InvAck row is defined: the table raises the protocol error.
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = pkt.addr;
+    table().fireWith(*this, from_gpu ? EvGpuInvAck : EvCpuInvAck,
+                     visibleState(line(ctx.line)), ctx,
+                     [&pkt] { return pkt.describe(); });
+}
+
+void
+Directory::actInvAck(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    Txn &t = *line(ctx.line).txn;
     if (pkt.hasData()) {
         t.probeData = pkt.data;
         t.haveProbeData = true;

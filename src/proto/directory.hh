@@ -37,6 +37,7 @@
 #include "mem/network.hh"
 #include "mem/port.hh"
 #include "proto/fault.hh"
+#include "proto/transition_table.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 
@@ -97,11 +98,21 @@ class Directory : public SimObject, public MsgReceiver
      * @param mem    DRAM behind the directory.
      * @param fault  Optional fault injector.
      */
+    /** Per-dispatch context handed to table actions. */
+    struct TransCtx
+    {
+        Packet *pkt = nullptr; ///< triggering packet
+        Addr line = 0;         ///< aligned line address
+    };
+
     Directory(std::string name, EventQueue &eq, const DirectoryConfig &cfg,
               Crossbar &xbar, int endpoint, std::vector<int> gpu_l2_eps,
               SimpleMemory &mem, FaultInjector *fault = nullptr);
 
     static const TransitionSpec &spec();
+
+    /** The validated static transition table (shared by instances). */
+    static const TransitionTable<Directory> &table();
 
     void recvMsg(Packet &pkt) override;
 
@@ -113,6 +124,8 @@ class Directory : public SimObject, public MsgReceiver
     void setTrace(TraceRecorder *trace) { _trace = trace; }
 
   private:
+    friend class TransitionTable<Directory>;
+
     /** In-flight transaction on one line. */
     struct Txn
     {
@@ -184,6 +197,40 @@ class Directory : public SimObject, public MsgReceiver
     void handleDmaWrite(Packet &pkt);
     void handleMemResp(Packet &pkt);
     void handleInvAck(Packet &pkt, bool from_gpu);
+
+    // Table actions (see the static table builder in directory.cc).
+    void actRecycle(TransCtx &ctx);
+    void actGpuFetchClean(TransCtx &ctx);
+    void actGpuFetchOwned(TransCtx &ctx);
+    void actGpuWriteClean(TransCtx &ctx);
+    void actGpuWriteShared(TransCtx &ctx);
+    void actGpuWriteOwned(TransCtx &ctx);
+    void actAtomicNack(TransCtx &ctx);
+    void actGpuAtomicClean(TransCtx &ctx);
+    void actGpuAtomicShared(TransCtx &ctx);
+    void actGpuAtomicOwned(TransCtx &ctx);
+    void actCpuGetsClean(TransCtx &ctx);
+    void actCpuGetsOwned(TransCtx &ctx);
+    void actCpuGetx(TransCtx &ctx);
+    void actCpuPutx(TransCtx &ctx);
+    void actDmaReadClean(TransCtx &ctx);
+    void actDmaReadOwned(TransCtx &ctx);
+    void actDmaWriteClean(TransCtx &ctx);
+    void actDmaWriteOwned(TransCtx &ctx);
+    void actMemData(TransCtx &ctx);
+    void actMemWBAck(TransCtx &ctx);
+    void actInvAck(TransCtx &ctx);
+
+    // Transaction continuations shared by several actions. These were
+    // per-handler lambdas before the table migration; as members the
+    // hot-path onAcks/onMemData captures stay at [this, addr] size,
+    // inside std::function's small buffer.
+    void gpuWriteAndAck(Addr la, const LineData &data, ByteMask mask);
+    void atomicRmw(Addr la, LineData buf);
+    void grantShared(Addr la, const LineData &data);
+    void grantExclusive(Addr la, const LineData &data);
+    void dmaReadRespond(Addr la, const LineData &data);
+    void dmaWriteAndRespond(Addr la, const LineData &data, ByteMask mask);
 
     /** Perform the fetch-add on a line buffer; returns the old value. */
     std::uint64_t applyAtomic(LineData &buf, Addr addr, unsigned size,

@@ -45,12 +45,121 @@ GpuL1Cache::spec()
     return s;
 }
 
+const TransitionSpec &
+GpuL1Cache::lrccSpec()
+{
+    static TransitionSpec s = [] {
+        TransitionSpec spec(
+            "GPU-L1-LRCC", {"I", "V", "A", "O", "M"},
+            {"Load", "Store", "Atomic", "TCC_Ack", "TCC_AckWB", "Evict",
+             "Repl", "WB"});
+        for (State st : {StI, StV, StA, StO, StM}) {
+            spec.define(EvLoad, st);
+            spec.define(EvStoreThrough, st);
+            spec.define(EvAtomic, st);
+            spec.define(EvTccAckWB, st);
+            spec.define(EvEvict, st);
+        }
+        spec.define(EvTccAck, StA);
+        // Repl victimizes any stable resident line.
+        spec.define(EvRepl, StV);
+        spec.define(EvRepl, StO);
+        spec.define(EvRepl, StM);
+        // WB: release/acquire write-back demotes M to O.
+        spec.define(EvWB, StM);
+        return spec;
+    }();
+    return s;
+}
+
+const TransitionSpec &
+GpuL1Cache::specFor(ProtocolKind kind)
+{
+    return kind == ProtocolKind::Lrcc ? lrccSpec() : spec();
+}
+
+const TransitionTable<GpuL1Cache> &
+GpuL1Cache::tableFor(ProtocolKind kind)
+{
+    using T = TransitionTable<GpuL1Cache>;
+    using L1 = GpuL1Cache;
+    static const T viper = [] {
+        T t(spec());
+        t.on(EvLoad, StI, {&L1::actLoadMiss}, StA)
+            .on(EvLoad, StV, {&L1::actLoadHit}, StV)
+            .on(EvLoad, StA, {&L1::actStall}, StA)
+            .on(EvStoreThrough, StI, {&L1::actStoreThroughIssue}, StI)
+            .on(EvStoreThrough, StV,
+                {&L1::actStoreLocal, &L1::actStoreThroughIssue}, StV)
+            .on(EvStoreThrough, StA, {&L1::actStall}, StA)
+            .on(EvAtomic, StI, {&L1::actAtomicForward}, StA)
+            .on(EvAtomic, StV,
+                {&L1::actAtomicInvalidate, &L1::actAtomicForward}, StA)
+            .on(EvAtomic, StA, {&L1::actStall}, StA)
+            .on(EvTccAck, StA, {&L1::actFillOrComplete})
+            .on(EvTccAckWB, StI, {&L1::actCompleteWriteThrough}, StI)
+            .on(EvTccAckWB, StV, {&L1::actCompleteWriteThrough}, StV)
+            .on(EvTccAckWB, StA, {&L1::actCompleteWriteThrough}, StA)
+            .on(EvEvict, StI, {}, StI)
+            .on(EvEvict, StV, {&L1::actInvalidateEntry}, StI)
+            .on(EvEvict, StA, {}, StA)
+            .on(EvRepl, StV, {&L1::actReplaceVictim}, StI)
+            .verifyComplete();
+        return t;
+    }();
+    static const T lrcc = [] {
+        T t(lrccSpec());
+        t.on(EvLoad, StI, {&L1::actLoadMiss}, StA)
+            .on(EvLoad, StV, {&L1::actLoadHit}, StV)
+            .on(EvLoad, StO, {&L1::actLoadHit}, StO)
+            .on(EvLoad, StM, {&L1::actLoadHit}, StM)
+            .on(EvLoad, StA, {&L1::actStall}, StA)
+            .on(EvStoreThrough, StI, {&L1::actStoreAllocMiss}, StA)
+            .on(EvStoreThrough, StV, {&L1::actStoreLocalLrcc}, StM)
+            .on(EvStoreThrough, StO, {&L1::actStoreLocalLrcc}, StM)
+            .on(EvStoreThrough, StM, {&L1::actStoreLocalLrcc}, StM)
+            .on(EvStoreThrough, StA, {&L1::actStall}, StA)
+            .on(EvAtomic, StI, {&L1::actAtomicForward}, StA)
+            .on(EvAtomic, StV,
+                {&L1::actAtomicInvalidate, &L1::actAtomicForward}, StA)
+            .on(EvAtomic, StO,
+                {&L1::actAtomicInvalidate, &L1::actAtomicForward}, StA)
+            .on(EvAtomic, StM,
+                {&L1::actWritebackEntry, &L1::actAtomicInvalidate,
+                 &L1::actAtomicForward},
+                StA)
+            .on(EvAtomic, StA, {&L1::actStall}, StA)
+            .on(EvTccAck, StA, {&L1::actFillOrCompleteLrcc})
+            .on(EvTccAckWB, StI, {&L1::actCompleteWriteThrough}, StI)
+            .on(EvTccAckWB, StV, {&L1::actCompleteWriteThrough}, StV)
+            .on(EvTccAckWB, StA, {&L1::actCompleteWriteThrough}, StA)
+            .on(EvTccAckWB, StO, {&L1::actCompleteWriteThrough}, StO)
+            .on(EvTccAckWB, StM, {&L1::actCompleteWriteThrough}, StM)
+            .on(EvEvict, StI, {}, StI)
+            .on(EvEvict, StV, {&L1::actInvalidateEntry}, StI)
+            .on(EvEvict, StO, {&L1::actInvalidateEntry}, StI)
+            .on(EvEvict, StM,
+                {&L1::actWritebackEntry, &L1::actInvalidateEntry}, StI)
+            .on(EvEvict, StA, {}, StA)
+            .on(EvRepl, StV, {&L1::actReplaceVictim}, StI)
+            .on(EvRepl, StO, {&L1::actReplaceVictim}, StI)
+            .on(EvRepl, StM,
+                {&L1::actWritebackEntry, &L1::actReplaceVictim}, StI)
+            .on(EvWB, StM, {&L1::actWritebackToOwned}, StO)
+            .verifyComplete();
+        return t;
+    }();
+    return kind == ProtocolKind::Lrcc ? lrcc : viper;
+}
+
 GpuL1Cache::GpuL1Cache(std::string name, EventQueue &eq,
                        const GpuL1Config &cfg, Crossbar &xbar, int endpoint,
                        int l2_ep, FaultInjector *fault)
     : SimObject(std::move(name), eq), _cfg(cfg), _xbar(xbar),
       _endpoint(endpoint), _l2Endpoint(l2_ep), _fault(fault),
-      _array(cfg.sizeBytes, cfg.assoc, cfg.lineBytes), _coverage(spec()),
+      _table(&tableFor(cfg.protocol)),
+      _array(cfg.sizeBytes, cfg.assoc, cfg.lineBytes),
+      _coverage(specFor(cfg.protocol)),
       _stats(SimObject::name()),
       _cRecycles(&_stats.counter("recycles")),
       _cLoadHits(&_stats.counter("load_hits")),
@@ -70,9 +179,21 @@ GpuL1Cache::lineState(Addr line_addr) const
 {
     if (_tbes.contains(line_addr))
         return StA;
-    if (_array.findEntry(line_addr) != nullptr)
-        return StV;
+    if (const CacheEntry *entry = _array.findEntry(line_addr))
+        return entryState(*entry);
     return StI;
+}
+
+GpuL1Cache::State
+GpuL1Cache::entryState(const CacheEntry &entry) const
+{
+    if (_cfg.protocol == ProtocolKind::Viper)
+        return StV;
+    switch (entry.state) {
+      case kLineOwned: return StO;
+      case kLineDirty: return StM;
+      default: return StV;
+    }
 }
 
 void
@@ -97,17 +218,27 @@ GpuL1Cache::coreRequest(Packet pkt)
 {
     assert(_respond && "core response path not bound");
 
-    // Release semantics: hold the request until every outstanding
-    // write-through has been acknowledged.
-    if (pkt.release && _outstandingWT > 0) {
-        _releaseQueue.push_back(pkt);
-        return;
+    // Release semantics: make prior stores globally visible before the
+    // releasing access proceeds. A CTA-scope release stops at the
+    // CU-local L1 (the workgroup's coherence point): nothing to drain.
+    if (pkt.release && pkt.scope != Scope::Cta) {
+        if (_cfg.protocol == ProtocolKind::Lrcc)
+            writebackAllDirty();
+        if (_outstandingWT > 0) {
+            _releaseQueue.push_back(pkt);
+            return;
+        }
     }
 
-    // Acquire semantics: flash-invalidate before performing the access.
-    if (pkt.acquire) {
+    // Acquire semantics: flash-invalidate before performing the access
+    // (LRCC first preserves local dirty data by writing it back). A
+    // CTA-scope acquire keeps the CU-local contents — they are at least
+    // as fresh as the CTA's own synchronization requires.
+    if (pkt.acquire && pkt.scope != Scope::Cta) {
         if (_fault == nullptr ||
             !_fault->fire(FaultKind::DropAcquireInvalidate)) {
+            if (_cfg.protocol == ProtocolKind::Lrcc)
+                writebackAllDirty();
             flashInvalidate();
         }
     }
@@ -132,42 +263,69 @@ GpuL1Cache::coreRequest(Packet pkt)
 void
 GpuL1Cache::handleLoad(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    State st = lineState(line);
-    transition(EvLoad, st);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    _table->fire(*this, EvLoad, lineState(ctx.line), ctx);
+}
 
-    if (st == StA) {
-        // A miss or atomic is outstanding for this line: stall.
-        pkt.acquire = false; // the flash-invalidate already happened
-        recycle(pkt);
-        return;
-    }
+void
+GpuL1Cache::handleStore(Packet &pkt)
+{
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    _table->fire(*this, EvStoreThrough, lineState(ctx.line), ctx);
+}
 
-    if (st == StV) {
-        CacheEntry *entry = _array.findEntry(line);
-        _array.touch(*entry);
-        _cLoadHits->inc();
-        Packet resp = pkt;
-        resp.type = MsgType::LoadResp;
-        resp.setData(entry->data.data() +
-                         lineOffset(pkt.addr, _cfg.lineBytes),
-                     pkt.size);
-        scheduleAfter(_cfg.hitLatency, [this, resp]() mutable {
-            _respond(std::move(resp));
-        });
-        return;
-    }
+void
+GpuL1Cache::handleAtomic(Packet &pkt)
+{
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    _table->fire(*this, EvAtomic, lineState(ctx.line), ctx);
+}
 
+void
+GpuL1Cache::actStall(TransCtx &ctx)
+{
+    // A miss or atomic is outstanding for this line: stall.
+    ctx.pkt->acquire = false; // the flash-invalidate already happened
+    recycle(*ctx.pkt);
+}
+
+void
+GpuL1Cache::actLoadHit(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.touch(*entry);
+    _cLoadHits->inc();
+    Packet resp = pkt;
+    resp.type = MsgType::LoadResp;
+    resp.setData(entry->data.data() +
+                     lineOffset(pkt.addr, _cfg.lineBytes),
+                 pkt.size);
+    scheduleAfter(_cfg.hitLatency, [this, resp]() mutable {
+        _respond(std::move(resp));
+    });
+}
+
+void
+GpuL1Cache::actLoadMiss(TransCtx &ctx)
+{
     // Miss: allocate an MSHR and fetch from the L2.
+    Packet &pkt = *ctx.pkt;
     _cLoadMisses->inc();
     Tbe tbe;
     tbe.isAtomic = false;
     tbe.corePkt = pkt;
-    _tbes.emplace(line, std::move(tbe));
+    _tbes.emplace(ctx.line, std::move(tbe));
 
     Packet req;
     req.type = MsgType::RdBlk;
-    req.addr = line;
+    req.addr = ctx.line;
     req.id = _nextId++;
     req.requestor = pkt.requestor;
     req.issueTick = curTick();
@@ -175,38 +333,30 @@ GpuL1Cache::handleLoad(Packet &pkt)
 }
 
 void
-GpuL1Cache::handleStore(Packet &pkt)
+GpuL1Cache::actStoreLocal(TransCtx &ctx)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    State st = lineState(line);
-    transition(EvStoreThrough, st);
-
-    if (st == StA) {
-        // e.g. a store hitting a pending atomic: a rare corner the paper
-        // calls out; the controller stalls it.
-        pkt.acquire = false;
-        recycle(pkt);
-        return;
-    }
-
+    // Perform the store locally with per-byte dirty bits; the paired
+    // actStoreThroughIssue writes it through.
+    Packet &pkt = *ctx.pkt;
     assert(pkt.dataLen == pkt.size);
-
-    if (st == StV) {
-        // Perform the store locally with per-byte dirty bits, then write
-        // it through.
-        CacheEntry *entry = _array.findEntry(line);
-        _array.touch(*entry);
-        Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
-        for (unsigned i = 0; i < pkt.size; ++i) {
-            entry->data[off + i] = pkt.data[i];
-            entry->dirty |= maskBit(off + i);
-        }
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.touch(*entry);
+    Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
+    for (unsigned i = 0; i < pkt.size; ++i) {
+        entry->data[off + i] = pkt.data[i];
+        entry->dirty |= maskBit(off + i);
     }
+}
 
+void
+GpuL1Cache::actStoreThroughIssue(TransCtx &ctx)
+{
     // Build the line-granularity write-through message.
+    Packet &pkt = *ctx.pkt;
+    assert(pkt.dataLen == pkt.size);
     Packet wt;
     wt.type = MsgType::WrThrough;
-    wt.addr = line;
+    wt.addr = ctx.line;
     wt.id = _nextId++;
     wt.requestor = pkt.requestor;
     wt.issueTick = curTick();
@@ -224,28 +374,68 @@ GpuL1Cache::handleStore(Packet &pkt)
 }
 
 void
-GpuL1Cache::handleAtomic(Packet &pkt)
+GpuL1Cache::actStoreLocalLrcc(TransCtx &ctx)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    State st = lineState(line);
-    transition(EvAtomic, st);
-
-    if (st == StA) {
-        pkt.acquire = false;
-        recycle(pkt);
-        return;
+    // LRCC write-back store: dirty the line locally (M) and complete
+    // at the L1; visibility is deferred to the next release/acquire
+    // write-back.
+    Packet &pkt = *ctx.pkt;
+    assert(pkt.dataLen == pkt.size);
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.touch(*entry);
+    Addr off = lineOffset(pkt.addr, _cfg.lineBytes);
+    for (unsigned i = 0; i < pkt.size; ++i) {
+        entry->data[off + i] = pkt.data[i];
+        entry->dirty |= maskBit(off + i);
     }
+    entry->state = kLineDirty;
 
-    if (st == StV) {
-        // The atomic is performed below; the local copy becomes stale.
-        CacheEntry *entry = _array.findEntry(line);
-        _array.invalidate(*entry);
-    }
+    Packet resp = pkt;
+    resp.type = MsgType::StoreAck;
+    resp.clearData();
+    scheduleAfter(_cfg.hitLatency, [this, resp]() mutable {
+        _respond(std::move(resp));
+    });
+}
 
+void
+GpuL1Cache::actStoreAllocMiss(TransCtx &ctx)
+{
+    // LRCC write-allocate: fetch the line, then perform the store on
+    // fill (actFillOrCompleteLrcc).
+    Packet &pkt = *ctx.pkt;
+    assert(pkt.dataLen == pkt.size);
+    _cLoadMisses->inc();
+    Tbe tbe;
+    tbe.isAtomic = false;
+    tbe.corePkt = pkt;
+    _tbes.emplace(ctx.line, std::move(tbe));
+
+    Packet req;
+    req.type = MsgType::RdBlk;
+    req.addr = ctx.line;
+    req.id = _nextId++;
+    req.requestor = pkt.requestor;
+    req.issueTick = curTick();
+    _xbar.route(_endpoint, _l2Endpoint, std::move(req));
+}
+
+void
+GpuL1Cache::actAtomicInvalidate(TransCtx &ctx)
+{
+    // The atomic is performed below; the local copy becomes stale.
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.invalidate(*entry);
+}
+
+void
+GpuL1Cache::actAtomicForward(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
     Tbe tbe;
     tbe.isAtomic = true;
     tbe.corePkt = pkt;
-    _tbes.emplace(line, std::move(tbe));
+    _tbes.emplace(ctx.line, std::move(tbe));
     _cAtomics->inc();
 
     Packet req;
@@ -264,23 +454,101 @@ GpuL1Cache::flashInvalidate()
 {
     _cFlashInvalidates->inc();
     bool any = false;
+    TransCtx ctx;
     for (auto &entry : _array.entries()) {
         if (entry.valid) {
-            transition(EvEvict, StV);
-            _array.invalidate(entry);
+            ctx.entry = &entry;
+            ctx.line = entry.lineAddr;
+            _table->fire(*this, EvEvict, entryState(entry), ctx);
             any = true;
         }
     }
-    _tbes.forEach([&](Addr, const Tbe &) {
+    _tbes.forEach([&](Addr line, const Tbe &) {
         // In-flight fills are fetched from the L2 at or after the acquire
         // point, so they are left to complete.
-        transition(EvEvict, StA);
+        ctx.entry = nullptr;
+        ctx.line = line;
+        _table->fire(*this, EvEvict, StA, ctx);
         any = true;
     });
     if (!any) {
         // Flash invalidation of a cold cache: a defined no-op.
-        transition(EvEvict, StI);
+        ctx.entry = nullptr;
+        ctx.line = 0;
+        _table->fire(*this, EvEvict, StI, ctx);
     }
+}
+
+void
+GpuL1Cache::actInvalidateEntry(TransCtx &ctx)
+{
+    assert(ctx.entry != nullptr);
+    _array.invalidate(*ctx.entry);
+}
+
+void
+GpuL1Cache::actReplaceVictim(TransCtx &ctx)
+{
+    assert(ctx.entry != nullptr);
+    _cReplacements->inc();
+    _array.invalidate(*ctx.entry);
+}
+
+void
+GpuL1Cache::writebackAllDirty()
+{
+    TransCtx ctx;
+    for (auto &entry : _array.entries()) {
+        if (entry.valid && entry.state == kLineDirty) {
+            ctx.entry = &entry;
+            ctx.line = entry.lineAddr;
+            _table->fire(*this, EvWB, StM, ctx);
+        }
+    }
+}
+
+void
+GpuL1Cache::writebackEntry(CacheEntry &entry)
+{
+    if (entry.dirty == 0)
+        return;
+    Packet wt;
+    wt.type = MsgType::WrThrough;
+    wt.addr = entry.lineAddr;
+    wt.id = _nextId++;
+    wt.issueTick = curTick();
+    wt.dataLen = static_cast<std::uint16_t>(_cfg.lineBytes);
+    wt.data = entry.data;
+    wt.mask = entry.dirty;
+
+    // Internal write-back: the pending-WT marker keeps its WrThrough
+    // type, which actCompleteWriteThrough reads as "no core response".
+    Packet marker;
+    marker.type = MsgType::WrThrough;
+    marker.addr = entry.lineAddr;
+    marker.id = wt.id;
+    _pendingWT.emplace(wt.id, marker);
+    ++_outstandingWT;
+    _cWriteThroughs->inc();
+    entry.dirty = 0;
+    _xbar.route(_endpoint, _l2Endpoint, std::move(wt));
+}
+
+void
+GpuL1Cache::actWritebackEntry(TransCtx &ctx)
+{
+    CacheEntry *entry =
+        ctx.entry != nullptr ? ctx.entry : _array.findEntry(ctx.line);
+    assert(entry != nullptr);
+    writebackEntry(*entry);
+}
+
+void
+GpuL1Cache::actWritebackToOwned(TransCtx &ctx)
+{
+    assert(ctx.entry != nullptr);
+    writebackEntry(*ctx.entry);
+    ctx.entry->state = kLineOwned;
 }
 
 CacheEntry &
@@ -288,12 +556,14 @@ GpuL1Cache::fillLine(Addr line_addr, const LineData &data)
 {
     if (!_array.hasFreeWay(line_addr)) {
         CacheEntry &victim = _array.victim(line_addr);
-        transition(EvRepl, StV);
-        _cReplacements->inc();
-        _array.invalidate(victim);
+        TransCtx ctx;
+        ctx.entry = &victim;
+        ctx.line = victim.lineAddr;
+        _table->fire(*this, EvRepl, entryState(victim), ctx);
     }
     CacheEntry &entry = _array.allocate(line_addr);
     entry.data = data;
+    entry.state = kLineClean;
     return entry;
 }
 
@@ -301,16 +571,21 @@ void
 GpuL1Cache::handleTccAck(Packet &pkt)
 {
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    Tbe *found = _tbes.find(line);
-    if (found == nullptr) {
-        throw ProtocolError(name(), curTick(),
-                            "TCC_Ack with no matching MSHR: " +
-                                pkt.describe());
-    }
-    transition(EvTccAck, StA);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = line;
+    // With no matching MSHR the line is in I or V, neither of which
+    // defines a TCC_Ack row: the table raises the protocol error.
+    _table->fireWith(*this, EvTccAck, lineState(line), ctx,
+                     [&pkt] { return pkt.describe(); });
+}
 
-    Tbe tbe = std::move(*found);
-    _tbes.erase(line);
+void
+GpuL1Cache::actFillOrComplete(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    Tbe tbe = std::move(*_tbes.find(ctx.line));
+    _tbes.erase(ctx.line);
 
     Packet resp = tbe.corePkt;
     if (tbe.isAtomic) {
@@ -319,7 +594,42 @@ GpuL1Cache::handleTccAck(Packet &pkt)
         resp.atomicResult = pkt.atomicResult;
     } else {
         assert(pkt.dataLen == _cfg.lineBytes);
-        CacheEntry &entry = fillLine(line, pkt.data);
+        CacheEntry &entry = fillLine(ctx.line, pkt.data);
+        _array.touch(entry);
+        resp.type = MsgType::LoadResp;
+        Addr off = lineOffset(resp.addr, _cfg.lineBytes);
+        resp.setData(entry.data.data() + off, resp.size);
+    }
+    _respond(std::move(resp));
+}
+
+void
+GpuL1Cache::actFillOrCompleteLrcc(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    Tbe tbe = std::move(*_tbes.find(ctx.line));
+    _tbes.erase(ctx.line);
+
+    Packet resp = tbe.corePkt;
+    if (tbe.isAtomic) {
+        resp.type = MsgType::AtomicResp;
+        resp.atomicResult = pkt.atomicResult;
+    } else if (resp.type == MsgType::StoreReq) {
+        // Write-allocate completion: fill, perform the store, go M.
+        assert(pkt.dataLen == _cfg.lineBytes);
+        CacheEntry &entry = fillLine(ctx.line, pkt.data);
+        _array.touch(entry);
+        Addr off = lineOffset(resp.addr, _cfg.lineBytes);
+        for (unsigned i = 0; i < resp.size; ++i) {
+            entry.data[off + i] = resp.data[i];
+            entry.dirty |= maskBit(off + i);
+        }
+        entry.state = kLineDirty;
+        resp.type = MsgType::StoreAck;
+        resp.clearData();
+    } else {
+        assert(pkt.dataLen == _cfg.lineBytes);
+        CacheEntry &entry = fillLine(ctx.line, pkt.data);
         _array.touch(entry);
         resp.type = MsgType::LoadResp;
         Addr off = lineOffset(resp.addr, _cfg.lineBytes);
@@ -333,21 +643,35 @@ GpuL1Cache::handleTccAckWB(Packet &pkt)
 {
     Packet *found = _pendingWT.find(pkt.id);
     if (found == nullptr) {
+        // Keyed by packet id, not line state, so the table's row lookup
+        // cannot catch this: every state defines TCC_AckWB.
         throw ProtocolError(name(), curTick(),
                             "TCC_AckWB with no matching write-through: " +
                                 pkt.describe());
     }
     Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    transition(EvTccAckWB, lineState(line));
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = line;
+    ctx.pending = found;
+    _table->fire(*this, EvTccAckWB, lineState(line), ctx);
+}
 
-    Packet resp = *found;
-    _pendingWT.erase(pkt.id);
+void
+GpuL1Cache::actCompleteWriteThrough(TransCtx &ctx)
+{
+    Packet resp = *ctx.pending;
+    _pendingWT.erase(ctx.pkt->id);
     assert(_outstandingWT > 0);
     --_outstandingWT;
 
-    resp.type = MsgType::StoreAck;
-    resp.clearData();
-    _respond(std::move(resp));
+    // Internal LRCC write-backs carry a WrThrough marker: no core
+    // response is owed. Core-issued stores respond with a StoreAck.
+    if (resp.type != MsgType::WrThrough) {
+        resp.type = MsgType::StoreAck;
+        resp.clearData();
+        _respond(std::move(resp));
+    }
 
     tryDrainReleaseQueue();
 }

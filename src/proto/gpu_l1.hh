@@ -1,9 +1,11 @@
 /**
  * @file
- * VIPER GPU L1 data cache controller ("TCP").
+ * Table-driven GPU L1 data cache controller ("TCP").
  *
- * Write-through, no write-allocate, release-consistency semantics:
+ * One controller, two protocols (ProtocolKind), each expressed purely
+ * as a TransitionTable over the shared action set:
  *
+ * VIPER — write-through, no write-allocate, release consistency:
  *  - Stores are performed immediately using per-byte masks and written
  *    through to the L2; the L1 never holds the only copy of dirty data
  *    and never stalls for exclusive permission.
@@ -14,9 +16,23 @@
  *    before its atomic is issued, making prior stores globally visible.
  *  - Atomics are never performed in the L1; they are forwarded below.
  *
+ * LRCC — write-back, write-allocate ownership variant:
+ *  - Stores dirty the line locally (state M) and complete at the L1.
+ *  - A release writes every Modified line back (demoting it to Owned)
+ *    and waits for the write-backs to drain.
+ *  - An acquire writes dirty lines back, then flash-invalidates.
+ *  - Atomics first write back a Modified copy, then forward below.
+ *
+ * Scoped synchronization: a CTA-scope acquire skips the
+ * flash-invalidate and a CTA-scope release skips the write-back/drain —
+ * the CU-local L1 *is* the CTA's coherence point. Unscoped (Scope::None)
+ * packets keep the conservative GPU-wide semantics, bit-identical to
+ * the pre-scope implementation.
+ *
  * States: I (no copy), V (valid clean copy), A (miss/atomic outstanding
- * in an MSHR). Events are exactly Table I of the paper. The reconstructed
- * transition table is documented in DESIGN.md and printed by
+ * in an MSHR), plus O (owned, written back) and M (modified) for LRCC.
+ * VIPER events are exactly Table I of the paper. The reconstructed
+ * transition tables are documented in DESIGN.md and printed by
  * bench/fig4_tables.
  */
 
@@ -35,6 +51,8 @@
 #include "mem/network.hh"
 #include "mem/port.hh"
 #include "proto/fault.hh"
+#include "proto/protocol_kind.hh"
+#include "proto/transition_table.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "trace/recorder.hh"
@@ -50,15 +68,16 @@ struct GpuL1Config
     unsigned lineBytes = 64;
     Tick hitLatency = 4;       ///< core-visible hit latency
     Tick recycleLatency = 10;  ///< stall retry interval
+    ProtocolKind protocol = ProtocolKind::Viper;
 };
 
 /**
- * One per-CU VIPER L1 cache.
+ * One per-CU L1 cache running the configured protocol's table.
  */
 class GpuL1Cache : public SimObject, public MsgReceiver
 {
   public:
-    /** Coverage row indices (Table I order). */
+    /** Coverage row indices (Table I order; WB is LRCC-only). */
     enum Event : std::size_t
     {
         EvLoad = 0,
@@ -68,22 +87,34 @@ class GpuL1Cache : public SimObject, public MsgReceiver
         EvTccAckWB,
         EvEvict,
         EvRepl,
+        EvWB,      ///< LRCC release/acquire write-back of a dirty line
     };
 
-    /** Coverage column indices. */
+    /** Coverage column indices (O and M are LRCC-only). */
     enum State : std::size_t
     {
         StI = 0,
         StV,
         StA,
+        StO,
+        StM,
     };
 
     using RespFunc = std::function<void(Packet &&)>;
 
+    /** Per-dispatch context handed to table actions. */
+    struct TransCtx
+    {
+        Packet *pkt = nullptr;        ///< triggering packet (may be null)
+        Addr line = 0;                ///< aligned line address
+        CacheEntry *entry = nullptr;  ///< entry for evict/replace rows
+        Packet *pending = nullptr;    ///< matched pending write-through
+    };
+
     /**
      * @param name     Instance name.
      * @param eq       Event queue.
-     * @param cfg      Cache geometry and latencies.
+     * @param cfg      Cache geometry, latencies and protocol.
      * @param xbar     Crossbar toward the L2.
      * @param endpoint This cache's crossbar endpoint id.
      * @param l2_ep    The L2's endpoint id.
@@ -93,8 +124,17 @@ class GpuL1Cache : public SimObject, public MsgReceiver
                Crossbar &xbar, int endpoint, int l2_ep,
                FaultInjector *fault = nullptr);
 
-    /** The shared (event, state) spec for all GPU L1 instances. */
+    /** The shared (event, state) spec for VIPER GPU L1 instances. */
     static const TransitionSpec &spec();
+
+    /** The (event, state) spec of the LRCC ownership variant. */
+    static const TransitionSpec &lrccSpec();
+
+    /** The spec for a protocol kind. */
+    static const TransitionSpec &specFor(ProtocolKind kind);
+
+    /** The transition table for a protocol kind (validated, static). */
+    static const TransitionTable<GpuL1Cache> &tableFor(ProtocolKind kind);
 
     /** Bind the core-side response path. */
     void bindCoreResponse(RespFunc fn) { _respond = std::move(fn); }
@@ -102,14 +142,14 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     /**
      * Core-side request entry point. Accepts LoadReq, StoreReq and
      * AtomicReq packets; acquire/release flags carry the synchronization
-     * semantics.
+     * semantics and pkt.scope bounds them.
      */
     void coreRequest(Packet pkt);
 
     /** L2-side message delivery (TccAck / TccAckWB). */
     void recvMsg(Packet &pkt) override;
 
-    /** Write-throughs issued but not yet acknowledged. */
+    /** Write-throughs/write-backs issued but not yet acknowledged. */
     unsigned outstandingWriteThroughs() const { return _outstandingWT; }
 
     CoverageGrid &coverage() { return _coverage; }
@@ -121,7 +161,17 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     void setTrace(TraceRecorder *trace) { _trace = trace; }
 
   private:
-    /** MSHR entry for an outstanding load or atomic. */
+    friend class TransitionTable<GpuL1Cache>;
+
+    /** CacheEntry::state values used by the LRCC tables. */
+    enum LineOwnership : int
+    {
+        kLineClean = 0,  ///< V: valid, matches the L2
+        kLineOwned = 1,  ///< O: written back, still readable locally
+        kLineDirty = 2,  ///< M: locally modified, not yet written back
+    };
+
+    /** MSHR entry for an outstanding load, store-allocate or atomic. */
     struct Tbe
     {
         bool isAtomic = false;
@@ -130,6 +180,9 @@ class GpuL1Cache : public SimObject, public MsgReceiver
 
     /** Line state as seen by the transition table. */
     State lineState(Addr line_addr) const;
+
+    /** Stable state of a resident line (V under VIPER; V/O/M LRCC). */
+    State entryState(const CacheEntry &entry) const;
 
     /** Record one transition activation. */
     void transition(Event ev, State st);
@@ -143,8 +196,32 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     void handleTccAck(Packet &pkt);
     void handleTccAckWB(Packet &pkt);
 
+    // Table actions (see the static table builders in gpu_l1.cc).
+    void actStall(TransCtx &ctx);
+    void actLoadHit(TransCtx &ctx);
+    void actLoadMiss(TransCtx &ctx);
+    void actStoreLocal(TransCtx &ctx);
+    void actStoreThroughIssue(TransCtx &ctx);
+    void actStoreLocalLrcc(TransCtx &ctx);
+    void actStoreAllocMiss(TransCtx &ctx);
+    void actAtomicInvalidate(TransCtx &ctx);
+    void actAtomicForward(TransCtx &ctx);
+    void actFillOrComplete(TransCtx &ctx);
+    void actFillOrCompleteLrcc(TransCtx &ctx);
+    void actCompleteWriteThrough(TransCtx &ctx);
+    void actInvalidateEntry(TransCtx &ctx);
+    void actReplaceVictim(TransCtx &ctx);
+    void actWritebackEntry(TransCtx &ctx);
+    void actWritebackToOwned(TransCtx &ctx);
+
     /** Flash-invalidate all valid lines (acquire semantics). */
     void flashInvalidate();
+
+    /** LRCC: write every Modified line back (demoting it to Owned). */
+    void writebackAllDirty();
+
+    /** LRCC: issue a masked write-back of a dirty line. */
+    void writebackEntry(CacheEntry &entry);
 
     /** Fill a line after TCC_Ack, replacing a victim if needed. */
     CacheEntry &fillLine(Addr line_addr, const LineData &data);
@@ -157,6 +234,7 @@ class GpuL1Cache : public SimObject, public MsgReceiver
     int _endpoint;
     int _l2Endpoint;
     FaultInjector *_fault;
+    const TransitionTable<GpuL1Cache> *_table;
 
     CacheArray _array;
     FlatMap<Tbe> _tbes;             ///< keyed by line address

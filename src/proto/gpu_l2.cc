@@ -57,6 +57,45 @@ GpuL2Cache::spec()
     return s;
 }
 
+const TransitionTable<GpuL2Cache> &
+GpuL2Cache::table()
+{
+    using T = TransitionTable<GpuL2Cache>;
+    using L2 = GpuL2Cache;
+    static const T t = [] {
+        T t(spec());
+        t.on(EvRdBlk, StI, {&L2::actReadMiss}, StIV)
+            .on(EvRdBlk, StV, {&L2::actReadHit}, StV)
+            .on(EvRdBlk, StIV, {&L2::actRecycle}, StIV)
+            .on(EvRdBlk, StA, {&L2::actRecycle}, StA)
+            .on(EvWrVicBlk, StI, {&L2::actWriteThrough}, StI)
+            .on(EvWrVicBlk, StV, {&L2::actWriteThrough}, StV)
+            .on(EvWrVicBlk, StIV, {&L2::actRecycle}, StIV)
+            .on(EvWrVicBlk, StA, {&L2::actRecycle}, StA)
+            .on(EvAtomic, StI, {&L2::actAtomicStart}, StA)
+            .on(EvAtomic, StV,
+                {&L2::actAtomicInvalidate, &L2::actAtomicStart}, StA)
+            .on(EvAtomic, StIV, {&L2::actRecycle}, StIV)
+            .on(EvAtomic, StA, {&L2::actAtomicQueue}, StA)
+            .on(EvAtomicD, StA, {&L2::actAtomicDone})
+            .on(EvAtomicND, StA, {&L2::actAtomicRetry}, StA)
+            .on(EvData, StIV, {&L2::actDataFill}, StV)
+            .on(EvL2Repl, StV, {&L2::actReplaceVictim}, StI)
+            .on(EvPrbInv, StI, {&L2::actProbeAck}, StI)
+            .on(EvPrbInv, StV,
+                {&L2::actProbeInvalidate, &L2::actProbeAck}, StI)
+            .on(EvPrbInv, StIV, {&L2::actProbeAck}, StIV)
+            .on(EvPrbInv, StA, {&L2::actProbeAck}, StA)
+            .on(EvWBAck, StI, {&L2::actWriteBackAck}, StI)
+            .on(EvWBAck, StV, {&L2::actWriteBackAck}, StV)
+            .on(EvWBAck, StIV, {&L2::actWriteBackAck}, StIV)
+            .on(EvWBAck, StA, {&L2::actWriteBackAck}, StA)
+            .verifyComplete();
+        return t;
+    }();
+    return t;
+}
+
 GpuL2Cache::GpuL2Cache(std::string name, EventQueue &eq,
                        const GpuL2Config &cfg, Crossbar &xbar, int endpoint,
                        int dir_ep, FaultInjector *fault)
@@ -118,50 +157,58 @@ GpuL2Cache::respondData(const Packet &req, const CacheEntry &entry)
 void
 GpuL2Cache::handleRdBlk(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    State st = lineState(line);
-    transition(EvRdBlk, st);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    table().fire(*this, EvRdBlk, lineState(ctx.line), ctx);
+}
 
-    switch (st) {
-      case StV: {
-        CacheEntry *entry = _array.findEntry(line);
-        _array.touch(*entry);
-        _cReadHits->inc();
-        respondData(pkt, *entry);
-        break;
-      }
-      case StI: {
-        _cReadMisses->inc();
-        std::uint32_t idx = poolAlloc(_fetchPool, _fetchFree);
-        _fetchPool[idx].waiters.push_back(pkt);
-        _fetchTbes.emplace(line, idx);
-        Packet req;
-        req.type = MsgType::FetchBlk;
-        req.addr = line;
-        req.id = _nextId++;
-        req.requestor = pkt.requestor;
-        req.issueTick = curTick();
-        _xbar.route(_endpoint, _dirEndpoint, std::move(req));
-        break;
-      }
-      case StIV:
-      case StA:
-        recycle(pkt);
-        break;
-    }
+void
+GpuL2Cache::actRecycle(TransCtx &ctx)
+{
+    recycle(*ctx.pkt);
+}
+
+void
+GpuL2Cache::actReadHit(TransCtx &ctx)
+{
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.touch(*entry);
+    _cReadHits->inc();
+    respondData(*ctx.pkt, *entry);
+}
+
+void
+GpuL2Cache::actReadMiss(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    _cReadMisses->inc();
+    std::uint32_t idx = poolAlloc(_fetchPool, _fetchFree);
+    _fetchPool[idx].waiters.push_back(pkt);
+    _fetchTbes.emplace(ctx.line, idx);
+    Packet req;
+    req.type = MsgType::FetchBlk;
+    req.addr = ctx.line;
+    req.id = _nextId++;
+    req.requestor = pkt.requestor;
+    req.issueTick = curTick();
+    _xbar.route(_endpoint, _dirEndpoint, std::move(req));
 }
 
 void
 GpuL2Cache::handleWrThrough(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    State st = lineState(line);
-    transition(EvWrVicBlk, st);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    table().fire(*this, EvWrVicBlk, lineState(ctx.line), ctx);
+}
 
-    if (st == StIV || st == StA) {
-        recycle(pkt);
-        return;
-    }
+void
+GpuL2Cache::actWriteThrough(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    Addr line = ctx.line;
 
     // Case-study bug 1: two false-sharing write-throughs racing at this
     // controller are not serialized; the later one is acked but its bytes
@@ -180,9 +227,8 @@ GpuL2Cache::handleWrThrough(Packet &pkt)
         return;
     }
 
-    if (st == StV) {
+    if (CacheEntry *entry = _array.findEntry(line)) {
         // Merge the masked bytes into the local copy.
-        CacheEntry *entry = _array.findEntry(line);
         _array.touch(*entry);
         assert(pkt.dataLen == _cfg.lineBytes);
         for (unsigned i = 0; i < _cfg.lineBytes; ++i) {
@@ -231,47 +277,56 @@ GpuL2Cache::issueAtomic(Addr line_addr)
 void
 GpuL2Cache::handleAtomic(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    State st = lineState(line);
-    transition(EvAtomic, st);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    table().fire(*this, EvAtomic, lineState(ctx.line), ctx);
+}
 
-    switch (st) {
-      case StIV:
-        recycle(pkt);
-        return;
-      case StA:
-        // Serialize behind the atomic already in flight.
-        _atomicPool[*_atomicTbes.find(line)].queue.push_back(
-            std::move(pkt));
-        return;
-      case StV: {
-        // The directory-side atomic makes the local copy stale.
-        CacheEntry *entry = _array.findEntry(line);
-        _array.invalidate(*entry);
-        break;
-      }
-      case StI:
-        break;
-    }
+void
+GpuL2Cache::actAtomicQueue(TransCtx &ctx)
+{
+    // Serialize behind the atomic already in flight.
+    _atomicPool[*_atomicTbes.find(ctx.line)].queue.push_back(
+        std::move(*ctx.pkt));
+}
 
+void
+GpuL2Cache::actAtomicInvalidate(TransCtx &ctx)
+{
+    // The directory-side atomic makes the local copy stale.
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.invalidate(*entry);
+}
+
+void
+GpuL2Cache::actAtomicStart(TransCtx &ctx)
+{
     std::uint32_t idx = poolAlloc(_atomicPool, _atomicFree);
-    _atomicPool[idx].queue.push_back(std::move(pkt));
-    _atomicTbes.emplace(line, idx);
+    _atomicPool[idx].queue.push_back(std::move(*ctx.pkt));
+    _atomicTbes.emplace(ctx.line, idx);
     _cAtomics->inc();
-    issueAtomic(line);
+    issueAtomic(ctx.line);
 }
 
 void
 GpuL2Cache::handleAtomicD(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    // With no pending atomic the line is not in A, and only A defines
+    // an AtomicD row: the table raises the protocol error.
+    table().fireWith(*this, EvAtomicD, lineState(ctx.line), ctx,
+                     [&pkt] { return pkt.describe(); });
+}
+
+void
+GpuL2Cache::actAtomicDone(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    Addr line = ctx.line;
     std::uint32_t *idx = _atomicTbes.find(line);
-    if (idx == nullptr) {
-        throw ProtocolError(name(), curTick(),
-                            "AtomicD with no pending atomic: " +
-                                pkt.describe());
-    }
-    transition(EvAtomicD, StA);
 
     AtomicTbe &tbe = _atomicPool[*idx];
     Packet head = std::move(tbe.queueFront());
@@ -300,16 +355,27 @@ GpuL2Cache::handleAtomicD(Packet &pkt)
 void
 GpuL2Cache::handleAtomicND(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    if (!_atomicTbes.contains(line)) {
-        throw ProtocolError(name(), curTick(),
-                            "AtomicND with no pending atomic: " +
-                                pkt.describe());
-    }
-    transition(EvAtomicND, StA);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    table().fireWith(*this, EvAtomicND, lineState(ctx.line), ctx,
+                     [&pkt] { return pkt.describe(); });
+}
+
+void
+GpuL2Cache::actAtomicRetry(TransCtx &ctx)
+{
+    Addr line = ctx.line;
     _cAtomicRetries->inc();
     scheduleAfter(_cfg.recycleLatency,
                   [this, line] { issueAtomic(line); });
+}
+
+void
+GpuL2Cache::actReplaceVictim(TransCtx &ctx)
+{
+    _cReplacements->inc();
+    _array.invalidate(*ctx.entry);
 }
 
 CacheEntry &
@@ -322,9 +388,10 @@ GpuL2Cache::fillLine(Addr line_addr, const LineData &data)
     }
     if (!_array.hasFreeWay(line_addr)) {
         CacheEntry &victim = _array.victim(line_addr);
-        transition(EvL2Repl, StV);
-        _cReplacements->inc();
-        _array.invalidate(victim);
+        TransCtx ctx;
+        ctx.entry = &victim;
+        ctx.line = victim.lineAddr;
+        table().fire(*this, EvL2Repl, StV, ctx);
     }
     CacheEntry &entry = _array.allocate(line_addr);
     entry.data = data;
@@ -369,15 +436,21 @@ GpuL2Cache::fillLine(Addr line_addr, const LineData &data)
 void
 GpuL2Cache::handleDirData(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    std::uint32_t *found = _fetchTbes.find(line);
-    if (found == nullptr) {
-        throw ProtocolError(name(), curTick(),
-                            "Data with no refill MSHR: " + pkt.describe());
-    }
-    transition(EvData, StIV);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    // With no refill MSHR the line is not in IV, and only IV defines a
+    // Data row: the table raises the protocol error.
+    table().fireWith(*this, EvData, lineState(ctx.line), ctx,
+                     [&pkt] { return pkt.describe(); });
+}
 
-    const std::uint32_t idx = *found;
+void
+GpuL2Cache::actDataFill(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    Addr line = ctx.line;
+    const std::uint32_t idx = *_fetchTbes.find(line);
     _fetchTbes.erase(line);
 
     CacheEntry &entry = fillLine(line, pkt.data);
@@ -392,14 +465,24 @@ GpuL2Cache::handleDirWBAck(Packet &pkt)
 {
     PendingWB *found = _pendingWBs.find(pkt.id);
     if (found == nullptr) {
+        // Keyed by packet id, not line state: the table's row lookup
+        // cannot detect this, so it stays an explicit guard.
         throw ProtocolError(name(), curTick(),
                             "WBAck with no pending write: " +
                                 pkt.describe());
     }
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    transition(EvWBAck, lineState(line));
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    ctx.pending = found;
+    table().fire(*this, EvWBAck, lineState(ctx.line), ctx);
+}
 
-    Packet original = found->original;
+void
+GpuL2Cache::actWriteBackAck(TransCtx &ctx)
+{
+    Packet &pkt = *ctx.pkt;
+    Packet original = static_cast<PendingWB *>(ctx.pending)->original;
     _pendingWBs.erase(pkt.id);
 
     std::uint32_t *wbs = _wbLineCount.find(
@@ -426,14 +509,22 @@ GpuL2Cache::handleDirWBAck(Packet &pkt)
 void
 GpuL2Cache::handlePrbInv(Packet &pkt)
 {
-    Addr line = lineAlign(pkt.addr, _cfg.lineBytes);
-    State st = lineState(line);
-    transition(EvPrbInv, st);
+    TransCtx ctx;
+    ctx.pkt = &pkt;
+    ctx.line = lineAlign(pkt.addr, _cfg.lineBytes);
+    table().fire(*this, EvPrbInv, lineState(ctx.line), ctx);
+}
 
-    if (st == StV) {
-        CacheEntry *entry = _array.findEntry(line);
-        _array.invalidate(*entry);
-    }
+void
+GpuL2Cache::actProbeInvalidate(TransCtx &ctx)
+{
+    CacheEntry *entry = _array.findEntry(ctx.line);
+    _array.invalidate(*entry);
+}
+
+void
+GpuL2Cache::actProbeAck(TransCtx &ctx)
+{
     // In IV the refill completes later with data ordered before any
     // subsequent remote write (DRF programs order such accesses with
     // synchronization anyway); in A the local copy was dropped when the
@@ -442,8 +533,8 @@ GpuL2Cache::handlePrbInv(Packet &pkt)
 
     Packet ack;
     ack.type = MsgType::InvAck;
-    ack.addr = line;
-    ack.id = pkt.id;
+    ack.addr = ctx.line;
+    ack.id = ctx.pkt->id;
     _xbar.route(_endpoint, _dirEndpoint, std::move(ack));
 }
 

@@ -27,6 +27,7 @@
 #include "mem/msg.hh"
 #include "mem/network.hh"
 #include "proto/fault.hh"
+#include "proto/transition_table.hh"
 #include "sim/sim_object.hh"
 #include "sim/stats.hh"
 #include "trace/recorder.hh"
@@ -81,11 +82,23 @@ class GpuL2Cache : public SimObject, public MsgReceiver
      * @param dir_ep   The directory's endpoint id.
      * @param fault    Optional fault injector.
      */
+    /** Per-dispatch context handed to table actions. */
+    struct TransCtx
+    {
+        Packet *pkt = nullptr;       ///< triggering packet
+        Addr line = 0;               ///< aligned line address
+        CacheEntry *entry = nullptr; ///< entry for replace rows
+        void *pending = nullptr;     ///< matched PendingWB (WBAck rows)
+    };
+
     GpuL2Cache(std::string name, EventQueue &eq, const GpuL2Config &cfg,
                Crossbar &xbar, int endpoint, int dir_ep,
                FaultInjector *fault = nullptr);
 
     static const TransitionSpec &spec();
+
+    /** The validated static transition table (shared by instances). */
+    static const TransitionTable<GpuL2Cache> &table();
 
     void recvMsg(Packet &pkt) override;
 
@@ -98,6 +111,8 @@ class GpuL2Cache : public SimObject, public MsgReceiver
     void setTrace(TraceRecorder *trace) { _trace = trace; }
 
   private:
+    friend class TransitionTable<GpuL2Cache>;
+
     /**
      * Refill MSHR: requesters waiting for one line. Pooled — a recycled
      * entry keeps its waiters capacity, so steady-state misses allocate
@@ -150,6 +165,22 @@ class GpuL2Cache : public SimObject, public MsgReceiver
     void handleDirData(Packet &pkt);
     void handleDirWBAck(Packet &pkt);
     void handlePrbInv(Packet &pkt);
+
+    // Table actions (see the static table builder in gpu_l2.cc).
+    void actRecycle(TransCtx &ctx);
+    void actReadHit(TransCtx &ctx);
+    void actReadMiss(TransCtx &ctx);
+    void actWriteThrough(TransCtx &ctx);
+    void actAtomicQueue(TransCtx &ctx);
+    void actAtomicInvalidate(TransCtx &ctx);
+    void actAtomicStart(TransCtx &ctx);
+    void actAtomicDone(TransCtx &ctx);
+    void actAtomicRetry(TransCtx &ctx);
+    void actDataFill(TransCtx &ctx);
+    void actWriteBackAck(TransCtx &ctx);
+    void actProbeInvalidate(TransCtx &ctx);
+    void actProbeAck(TransCtx &ctx);
+    void actReplaceVictim(TransCtx &ctx);
 
     /** Issue the head of an atomic queue to the directory. */
     void issueAtomic(Addr line_addr);

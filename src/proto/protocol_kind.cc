@@ -1,0 +1,26 @@
+#include "proto/protocol_kind.hh"
+
+namespace drf
+{
+
+const char *
+protocolKindName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Viper: return "viper";
+      case ProtocolKind::Lrcc: return "lrcc";
+    }
+    return "?";
+}
+
+std::optional<ProtocolKind>
+parseProtocolKind(const std::string &name)
+{
+    for (ProtocolKind k : {ProtocolKind::Viper, ProtocolKind::Lrcc}) {
+        if (name == protocolKindName(k))
+            return k;
+    }
+    return std::nullopt;
+}
+
+} // namespace drf

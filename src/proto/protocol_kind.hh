@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The pluggable GPU L1 protocol family.
+ *
+ * Each kind names a complete transition table for the per-CU L1 (see
+ * src/proto/transition_table.hh and DESIGN.md §12). The kind is a
+ * searchable knob: ConfigGenome can mutate it, campaign JSON and
+ * DRFTRC01 headers record it, and the CI protocol matrix runs every
+ * kind × scope-mode cell.
+ */
+
+#ifndef DRF_PROTO_PROTOCOL_KIND_HH
+#define DRF_PROTO_PROTOCOL_KIND_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace drf
+{
+
+/** Selectable GPU L1 coherence protocol variants. */
+enum class ProtocolKind : std::uint8_t
+{
+    /**
+     * VIPER: write-through no-allocate, release waits for write-through
+     * drain, acquire flash-invalidates. The original protocol; the
+     * golden campaign digests are pinned against it.
+     */
+    Viper = 0,
+
+    /**
+     * LRCC-style ownership variant: write-back write-allocate with
+     * per-line Owned/Modified states. Stores dirty the line locally
+     * (Modified); a release writes every Modified line back (demoting
+     * it to Owned) before the releasing atomic is issued; an acquire
+     * writes back and then flash-invalidates. Expressed purely as a
+     * second transition table over the same controller actions.
+     */
+    Lrcc,
+};
+
+inline constexpr std::uint32_t protocolKindCount = 2;
+
+/** Printable protocol name ("viper" / "lrcc"). */
+const char *protocolKindName(ProtocolKind kind);
+
+/** Parse a protocol name; nullopt on unknown names. */
+std::optional<ProtocolKind> parseProtocolKind(const std::string &name);
+
+} // namespace drf
+
+#endif // DRF_PROTO_PROTOCOL_KIND_HH

@@ -69,7 +69,9 @@ CoverageGrid
 ApuSystem::l1CoverageUnion() const
 {
     CoverageAccumulator acc;
-    acc.add(CoverageGrid(GpuL1Cache::spec())); // spec even with 0 CUs
+    // Seed with the configured protocol's spec (even with 0 CUs) so the
+    // union is always that spec's grid — front() of the accumulator.
+    acc.add(CoverageGrid(GpuL1Cache::specFor(_cfg.l1.protocol)));
     for (const auto &l1 : _l1s)
         acc.add(l1->coverage());
     return acc.grid();

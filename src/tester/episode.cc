@@ -58,13 +58,17 @@ EpisodeGenerator::EpisodeGenerator(const VariableMap &vmap,
       _activeWriters(vmap.numVars(), 0),
       _epWriterLane(vmap.numVars(), -1),
       _epWriteIdx(vmap.numVars(), Episode::kNoWrite),
-      _epRead(vmap.numVars(), 0)
+      _epRead(vmap.numVars(), 0),
+      _lastWriterCu(vmap.numVars(), -1),
+      _ctaPendingOwner(vmap.numVars(), -1),
+      _ctaPendingStamp(vmap.numVars(), 0)
 {
     assert(vmap.numSyncVars() > 0 && vmap.numNormalVars() > 0);
+    assert(cfg.wfsPerCu > 0);
 }
 
 std::optional<VarId>
-EpisodeGenerator::pickStoreVar()
+EpisodeGenerator::pickStoreVar(unsigned cu)
 {
     for (unsigned attempt = 0; attempt < _cfg.pickAttempts; ++attempt) {
         VarId var = _vmap->normalVar(static_cast<std::uint32_t>(
@@ -76,13 +80,20 @@ EpisodeGenerator::pickStoreVar()
         // what any lane already read (lanes are unordered peers).
         if (_epWriterLane[var] >= 0 || _epRead[var])
             continue;
+        // Rule 4: another CU's CTA-pending writes are not globally
+        // visible yet; storing over them would race with the eventual
+        // flush.
+        if (_cfg.scopeMode == ScopeMode::Scoped &&
+            _ctaPendingOwner[var] >= 0 &&
+            _ctaPendingOwner[var] != static_cast<std::int32_t>(cu))
+            continue;
         return var;
     }
     return std::nullopt;
 }
 
 std::optional<VarId>
-EpisodeGenerator::pickLoadVar(unsigned lane)
+EpisodeGenerator::pickLoadVar(unsigned lane, unsigned cu, Scope scope)
 {
     for (unsigned attempt = 0; attempt < _cfg.pickAttempts; ++attempt) {
         VarId var = _vmap->normalVar(static_cast<std::uint32_t>(
@@ -95,6 +106,18 @@ EpisodeGenerator::pickLoadVar(unsigned lane)
         std::int32_t writer = _epWriterLane[var];
         if (writer >= 0 && static_cast<unsigned>(writer) != lane)
             continue;
+        if (_cfg.scopeMode == ScopeMode::Scoped) {
+            // Rule 4: another CU's CTA-pending value is not visible.
+            if (_ctaPendingOwner[var] >= 0 &&
+                _ctaPendingOwner[var] != static_cast<std::int32_t>(cu))
+                continue;
+            // Rule 3: a CTA-scoped acquire does not invalidate the L1,
+            // so another CU's last write may still be shadowed by a
+            // stale local copy.
+            if (scope == Scope::Cta && _lastWriterCu[var] >= 0 &&
+                _lastWriterCu[var] != static_cast<std::int32_t>(cu))
+                continue;
+        }
         return var;
     }
     return std::nullopt;
@@ -108,6 +131,14 @@ EpisodeGenerator::generateInto(Episode &episode, std::uint32_t wavefront_id)
     episode.wavefrontId = wavefront_id;
     episode.syncVar = _vmap->syncVar(static_cast<std::uint32_t>(
         _rng->below(_vmap->numSyncVars())));
+    // The scope draw only happens in scoped/racy modes: ScopeMode::None
+    // must consume exactly the pre-scope RNG sequence so unscoped runs
+    // stay bit-identical (pinned by the golden-digest tests).
+    if (_cfg.scopeMode != ScopeMode::None) {
+        episode.scope =
+            _rng->pct(_cfg.ctaScopePct) ? Scope::Cta : Scope::Gpu;
+    }
+    unsigned cu = wavefront_id / _cfg.wfsPerCu;
 
     for (unsigned a = 0; a < _cfg.actionsPerEpisode; ++a) {
         episode.addAction(_cfg.lanes);
@@ -116,7 +147,7 @@ EpisodeGenerator::generateInto(Episode &episode, std::uint32_t wavefront_id)
                 continue;
             bool is_store = _rng->pct(_cfg.storePct);
             if (is_store) {
-                auto var = pickStoreVar();
+                auto var = pickStoreVar(cu);
                 if (!var)
                     continue; // conflict space exhausted; skip the slot
                 std::uint32_t value = _nextStoreValue++;
@@ -125,7 +156,7 @@ EpisodeGenerator::generateInto(Episode &episode, std::uint32_t wavefront_id)
                 _epWriterLane[*var] = static_cast<std::int32_t>(lane);
                 _epWriteIdx[*var] = wi;
             } else {
-                auto var = pickLoadVar(lane);
+                auto var = pickLoadVar(lane, cu, episode.scope);
                 if (!var)
                     continue;
                 episode.setLoad(a, lane, *var,
@@ -169,6 +200,52 @@ EpisodeGenerator::retire(const Episode &episode)
     }
     assert(_activeCount > 0);
     --_activeCount;
+    if (_cfg.scopeMode == ScopeMode::Scoped)
+        retireScoped(episode);
+}
+
+void
+EpisodeGenerator::retireScoped(const Episode &episode)
+{
+    unsigned cu = episode.wavefrontId / _cfg.wfsPerCu;
+    auto cui = static_cast<std::int32_t>(cu);
+    for (const Episode::WriteEntry &w : episode.writes)
+        _lastWriterCu[w.var] = cui;
+
+    if (episode.scope == Scope::Cta) {
+        // The CTA-scoped release skipped the write-through drain (VIPER)
+        // or the dirty writeback (LRCC): the writes stay pending on this
+        // CU until a later GPU-scoped release from the same CU flushes
+        // them (rule 4).
+        if (_ctaPendingByCu.size() <= cu)
+            _ctaPendingByCu.resize(cu + 1);
+        for (const Episode::WriteEntry &w : episode.writes) {
+            if (_ctaPendingOwner[w.var] != cui)
+                _ctaPendingByCu[cu].push_back(w.var);
+            _ctaPendingOwner[w.var] = cui;
+            _ctaPendingStamp[w.var] = _nextEpisodeId;
+        }
+        return;
+    }
+
+    // GPU-scoped (or None) release: its writeback+drain flushed every
+    // CTA-pending write from this CU that predates this episode's
+    // generation. Entries stamped later may have dirtied lines after the
+    // release's sweep started, so they conservatively stay pending.
+    if (_ctaPendingByCu.size() <= cu)
+        return;
+    auto &pend = _ctaPendingByCu[cu];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < pend.size(); ++i) {
+        VarId var = pend[i];
+        if (_ctaPendingOwner[var] == cui &&
+            _ctaPendingStamp[var] <= episode.id) {
+            _ctaPendingOwner[var] = -1;
+            continue;
+        }
+        pend[keep++] = pend[i];
+    }
+    pend.resize(keep);
 }
 
 } // namespace drf

@@ -22,6 +22,25 @@
  * The only sanctioned read-after-write is a lane re-reading the variable
  * it wrote itself, which program order makes deterministic.
  *
+ * With scoped synchronization enabled (ScopeMode::Scoped) each episode
+ * additionally draws a synchronization scope: a CTA-scoped release skips
+ * the write-through drain (VIPER) or dirty writeback (LRCC), and a
+ * CTA-scoped acquire skips the flash invalidate, so CTA-scoped episodes
+ * are ordered only within their own CU (the L1 sharing domain stands in
+ * for the CTA). Two more rules keep such programs scoped-DRF:
+ *
+ *  3. a CTA-scoped episode only loads variables last written by its own
+ *     CU (or never written) — other CUs' values may be stale in the
+ *     un-invalidated L1, and
+ *  4. variables written by a retired CTA-scoped episode stay "pending"
+ *     on the writing CU — no other CU may load or store them — until a
+ *     later GPU-scoped release from that CU flushes them to the
+ *     globally visible level.
+ *
+ * ScopeMode::Racy draws scopes but skips rules 3/4, deliberately
+ * generating scoped races so the ScopeViolation failure class is
+ * reachable (the tester's negative arm).
+ *
  * Episode state is structure-of-arrays: instead of one
  * vector<optional<LaneOp>> per action, an episode keeps flat per-lane-op
  * planes (variable ids, store values, write links) plus active/store
@@ -39,6 +58,7 @@
 #include <optional>
 #include <vector>
 
+#include "mem/scope.hh"
 #include "sim/random.hh"
 #include "tester/variable_map.hh"
 
@@ -61,6 +81,13 @@ struct Episode
     std::uint64_t id = 0;
     std::uint32_t wavefrontId = 0;
     VarId syncVar = 0;
+
+    /**
+     * Synchronization scope of the episode's acquire/release pair.
+     * Scope::None (the default) is the conservative GPU-wide behavior
+     * of unscoped runs.
+     */
+    Scope scope = Scope::None;
 
     /** Final value written per variable, and the lane that wrote it. */
     struct WriteInfo
@@ -177,6 +204,7 @@ struct Episode
     void
     beginBuild()
     {
+        scope = Scope::None;
         _numActions = 0;
         _laneOffset.clear();
         _laneOffset.push_back(0);
@@ -284,6 +312,16 @@ struct EpisodeGenConfig
     unsigned storePct = 40;       ///< store probability per lane op
     unsigned laneActivePct = 75;  ///< probability a lane joins an action
     unsigned pickAttempts = 16;   ///< rule-satisfying variable search
+
+    /**
+     * Scoped-synchronization mode. ScopeMode::None draws no scopes (and
+     * performs zero extra RNG draws, keeping unscoped runs bit-identical
+     * to pre-scope builds); Scoped draws a scope per episode and
+     * enforces rules 3/4 above; Racy draws scopes without the rules.
+     */
+    ScopeMode scopeMode = ScopeMode::None;
+    unsigned ctaScopePct = 50; ///< CTA probability per scoped episode
+    unsigned wfsPerCu = 1;     ///< wavefronts per CU (CU = wfId / this)
 };
 
 /**
@@ -337,11 +375,15 @@ class EpisodeGenerator
     }
 
   private:
-    /** Try to pick a variable a store may legally target. */
-    std::optional<VarId> pickStoreVar();
+    /** Try to pick a variable a store by CU @p cu may legally target. */
+    std::optional<VarId> pickStoreVar(unsigned cu);
 
     /** Try to pick a variable a load on @p lane may legally target. */
-    std::optional<VarId> pickLoadVar(unsigned lane);
+    std::optional<VarId> pickLoadVar(unsigned lane, unsigned cu,
+                                     Scope scope);
+
+    /** Scoped-discipline bookkeeping at episode retirement (rule 4). */
+    void retireScoped(const Episode &episode);
 
     const VariableMap *_vmap;
     EpisodeGenConfig _cfg;
@@ -362,6 +404,20 @@ class EpisodeGenerator
     std::vector<std::int32_t> _epWriterLane;
     std::vector<std::uint32_t> _epWriteIdx;
     std::vector<std::uint8_t> _epRead;
+
+    /**
+     * Scoped-discipline planes (ScopeMode::Scoped only). Per variable:
+     * the CU of the last retired writer (-1 = never written), and the
+     * owner of not-yet-flushed CTA-scoped writes (-1 = none). The stamp
+     * records the episode-id horizon at which a CTA-pending entry was
+     * (re-)armed: a GPU-scoped episode only flushes entries stamped
+     * before its own generation, because its release's writeback/drain
+     * sweep predates anything dirtied afterwards.
+     */
+    std::vector<std::int32_t> _lastWriterCu;
+    std::vector<std::int32_t> _ctaPendingOwner;
+    std::vector<std::uint64_t> _ctaPendingStamp;
+    std::vector<std::vector<VarId>> _ctaPendingByCu;
 
     std::uint64_t _nextEpisodeId = 0;
     std::uint32_t _nextStoreValue = 1;

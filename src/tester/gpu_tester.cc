@@ -30,12 +30,17 @@ GpuTester::GpuTester(ApuSystem &sys, const GpuTesterConfig &cfg)
     assert(!(cfg.record != nullptr && cfg.replay != nullptr) &&
            "record and replay are mutually exclusive");
 
+    // The scope discipline lives in the generator; hand it the scope
+    // mode and the wavefront-to-CU divisor.
+    _cfg.episodeGen.scopeMode = _cfg.scopeMode;
+    _cfg.episodeGen.wfsPerCu = _cfg.wfsPerCu;
+
     // The variable map consumes the same RNG draws in record and replay
     // mode, so a replayed run sees the identical address mapping.
     _vmap = std::make_unique<VariableMap>(cfg.variables, _rng);
     _refMem = std::make_unique<RefMemory>(*_vmap);
     if (cfg.replay == nullptr) {
-        _gen = std::make_unique<EpisodeGenerator>(*_vmap, cfg.episodeGen,
+        _gen = std::make_unique<EpisodeGenerator>(*_vmap, _cfg.episodeGen,
                                                   _rng);
     }
 
@@ -170,6 +175,7 @@ GpuTester::issueAtomic(Wavefront &wf, bool acquire)
     pkt.atomicOperand = 1; // always grows: returned values are unique
     pkt.acquire = acquire;
     pkt.release = !acquire;
+    pkt.scope = wf.episode.scope;
     pkt.requestor = threadId(wf, 0);
     pkt.id = _nextPktId++;
     pkt.issueTick = _sys.eventq().curTick();
@@ -280,7 +286,25 @@ GpuTester::checkLoad(Wavefront &wf, unsigned lane, const Packet &pkt)
         os << "  Last Writer: "
            << (writer ? writer->describe() : std::string("<none>"))
            << "\n";
-        fail(FailureClass::ValueMismatch, "load value mismatch",
+        // With scoped synchronization the base generation rules are
+        // still race-free, so a mismatch against another CU's write is
+        // attributable to scope: stale data a CTA-scoped acquire did not
+        // invalidate, or an undrained CTA-scoped release. Same-CU
+        // mismatches remain plain ValueMismatch (the L1 is coherent
+        // within its own CU regardless of scope).
+        FailureClass cls = FailureClass::ValueMismatch;
+        if (_cfg.scopeMode != ScopeMode::None && writer &&
+            writer->threadGroupId / _cfg.wfsPerCu != wf.cu) {
+            os << "  reader episode scope: "
+               << scopeName(wf.episode.scope) << " (cu " << wf.cu
+               << "), writer cu "
+               << (writer->threadGroupId / _cfg.wfsPerCu) << "\n";
+            cls = FailureClass::ScopeViolation;
+        }
+        fail(cls,
+             cls == FailureClass::ScopeViolation
+                 ? "scoped-synchronization violation"
+                 : "load value mismatch",
              os.str());
     }
 

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/scope.hh"
 #include "sim/flat_map.hh"
 #include "sim/random.hh"
 #include "system/apu_system.hh"
@@ -59,6 +60,16 @@ struct GpuTesterConfig
     unsigned episodesPerWf = 10; ///< episodes each wavefront executes
     EpisodeGenConfig episodeGen;
     VariableMapConfig variables;
+
+    /**
+     * Scoped-synchronization mode, copied into episodeGen (together
+     * with wfsPerCu, which the scope discipline needs for the
+     * wavefront-to-CU mapping). None = unscoped, bit-identical to
+     * pre-scope builds; Scoped = draw scopes + enforce the scoped-DRF
+     * rules; Racy = draw scopes without the rules (expected to fail
+     * with FailureClass::ScopeViolation).
+     */
+    ScopeMode scopeMode = ScopeMode::None;
 
     std::uint64_t seed = 1;
 

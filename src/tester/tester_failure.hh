@@ -56,6 +56,11 @@ enum class FailureClass
                  ///< event budget exhausted (livelock/hang)
     ResourceExhausted, ///< transient host failure (fork/OOM/IO);
                        ///< the supervisor retries these
+
+    // Appended after the host group (not grouped with the other protocol
+    // verdicts) so the serialized numeric values in existing traces and
+    // journals stay stable.
+    ScopeViolation, ///< CTA-scoped synchronization observed across CTAs
 };
 
 /** Printable failure-class name. */
@@ -73,12 +78,13 @@ failureClassName(FailureClass c)
       case FailureClass::HostCrash: return "HostCrash";
       case FailureClass::HostTimeout: return "HostTimeout";
       case FailureClass::ResourceExhausted: return "ResourceExhausted";
+      case FailureClass::ScopeViolation: return "ScopeViolation";
     }
     return "?";
 }
 
 /** Number of FailureClass values (for serialization range checks). */
-inline constexpr std::uint32_t failureClassCount = 10;
+inline constexpr std::uint32_t failureClassCount = 11;
 
 /**
  * Inverse of failureClassName, for journal / trace-header round trips.

@@ -79,6 +79,7 @@ reproToJson(const ReproTrace &trace, const EpisodeSchedule &shrunk,
     w.key("fault_seed").value(trace.system.faultSeed);
 
     w.key("system").beginObject();
+    w.key("protocol").value(protocolKindName(trace.system.l1.protocol));
     w.key("num_cus").value(trace.system.numCus);
     w.key("num_gpu_l2s").value(trace.system.numGpuL2s);
     w.key("num_cpu_caches").value(trace.system.numCpuCaches);
@@ -90,6 +91,7 @@ reproToJson(const ReproTrace &trace, const EpisodeSchedule &shrunk,
     w.endObject();
 
     w.key("tester").beginObject();
+    w.key("scope_mode").value(scopeModeName(trace.tester.scopeMode));
     w.key("wfs_per_cu").value(trace.tester.wfsPerCu);
     w.key("lanes").value(trace.tester.lanes);
     w.key("episodes_per_wf").value(trace.tester.episodesPerWf);
@@ -121,6 +123,7 @@ reproToJson(const ReproTrace &trace, const EpisodeSchedule &shrunk,
         w.key("episode_id").value(e.id);
         w.key("wavefront").value(e.wavefrontId);
         w.key("sync_var").value(e.syncVar);
+        w.key("scope").value(scopeName(e.scope));
         w.key("actions").value(std::uint64_t(e.numActions()));
         // Sort by VarId so the report's ordering is not an artifact of
         // generation order.

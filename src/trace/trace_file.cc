@@ -28,8 +28,11 @@ namespace
 
 constexpr char kMagic[8] = {'D', 'R', 'F', 'T', 'R', 'C', '0', '1'};
 // v1: original layout. v2: + guidance JSON string after the preset
-// name. The loader accepts both; v1 files load with empty guidance.
-constexpr std::uint32_t kVersion = 2;
+// name. v3: + L1 protocol kind at the end of the system config, scope
+// mode + CTA-scope percentage at the end of the tester config, and a
+// per-episode scope byte in the schedule. The loader accepts all three;
+// older files load with the unscoped VIPER defaults.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 1;
 
 void
@@ -124,10 +127,12 @@ putSystemConfig(std::ostream &os, const ApuSystemConfig &c)
     putU32(os, static_cast<std::uint32_t>(c.fault));
     putU32(os, c.faultTriggerPct);
     putU64(os, c.faultSeed);
+    putU32(os, static_cast<std::uint32_t>(c.l1.protocol)); // v3
 }
 
 bool
-getSystemConfig(std::istream &is, ApuSystemConfig &c)
+getSystemConfig(std::istream &is, ApuSystemConfig &c,
+                std::uint32_t version)
 {
     std::uint32_t fault = 0;
     bool ok = getInt(is, c.numCus) && getInt(is, c.numGpuL2s) &&
@@ -155,6 +160,12 @@ getSystemConfig(std::istream &is, ApuSystemConfig &c)
     if (!ok || fault >= faultKindCount)
         return false;
     c.fault = static_cast<FaultKind>(fault);
+    if (version >= 3) {
+        std::uint32_t protocol = 0;
+        if (!getInt(is, protocol) || protocol >= protocolKindCount)
+            return false;
+        c.l1.protocol = static_cast<ProtocolKind>(protocol);
+    }
     return true;
 }
 
@@ -178,25 +189,39 @@ putTesterConfig(std::ostream &os, const GpuTesterConfig &c)
     putU64(os, c.deadlockThreshold);
     putU64(os, c.checkInterval);
     putU64(os, c.runLimit);
+    putU32(os, static_cast<std::uint32_t>(c.scopeMode)); // v3
+    putU32(os, c.episodeGen.ctaScopePct);                // v3
 }
 
 bool
-getTesterConfig(std::istream &is, GpuTesterConfig &c)
+getTesterConfig(std::istream &is, GpuTesterConfig &c,
+                std::uint32_t version)
 {
-    return getInt(is, c.wfsPerCu) && getInt(is, c.lanes) &&
-           getInt(is, c.episodesPerWf) &&
-           getInt(is, c.episodeGen.actionsPerEpisode) &&
-           getInt(is, c.episodeGen.lanes) &&
-           getInt(is, c.episodeGen.storePct) &&
-           getInt(is, c.episodeGen.laneActivePct) &&
-           getInt(is, c.episodeGen.pickAttempts) &&
-           getInt(is, c.variables.numSyncVars) &&
-           getInt(is, c.variables.numNormalVars) &&
-           getInt(is, c.variables.addrRangeBytes) &&
-           getInt(is, c.variables.lineBytes) &&
-           getInt(is, c.variables.varBytes) && getInt(is, c.seed) &&
-           getInt(is, c.deadlockThreshold) &&
-           getInt(is, c.checkInterval) && getInt(is, c.runLimit);
+    bool ok = getInt(is, c.wfsPerCu) && getInt(is, c.lanes) &&
+              getInt(is, c.episodesPerWf) &&
+              getInt(is, c.episodeGen.actionsPerEpisode) &&
+              getInt(is, c.episodeGen.lanes) &&
+              getInt(is, c.episodeGen.storePct) &&
+              getInt(is, c.episodeGen.laneActivePct) &&
+              getInt(is, c.episodeGen.pickAttempts) &&
+              getInt(is, c.variables.numSyncVars) &&
+              getInt(is, c.variables.numNormalVars) &&
+              getInt(is, c.variables.addrRangeBytes) &&
+              getInt(is, c.variables.lineBytes) &&
+              getInt(is, c.variables.varBytes) && getInt(is, c.seed) &&
+              getInt(is, c.deadlockThreshold) &&
+              getInt(is, c.checkInterval) && getInt(is, c.runLimit);
+    if (!ok)
+        return false;
+    if (version >= 3) {
+        std::uint32_t scope_mode = 0;
+        if (!getInt(is, scope_mode) || scope_mode >= scopeModeCount ||
+            !getInt(is, c.episodeGen.ctaScopePct)) {
+            return false;
+        }
+        c.scopeMode = static_cast<ScopeMode>(scope_mode);
+    }
+    return true;
 }
 
 void
@@ -238,6 +263,7 @@ putSchedule(std::ostream &os, const EpisodeSchedule &s)
         putU64(os, e.id);
         putU32(os, e.wavefrontId);
         putU32(os, e.syncVar);
+        putU8(os, static_cast<std::uint8_t>(e.scope)); // v3
         putU64(os, e.numActions());
         for (std::uint32_t a = 0; a < e.numActions(); ++a) {
             const std::uint32_t lanes = e.laneCount(a);
@@ -257,7 +283,7 @@ putSchedule(std::ostream &os, const EpisodeSchedule &s)
 }
 
 bool
-getSchedule(std::istream &is, EpisodeSchedule &s)
+getSchedule(std::istream &is, EpisodeSchedule &s, std::uint32_t version)
 {
     std::uint64_t count;
     if (!getU64(is, count) || count > (1ull << 32))
@@ -268,10 +294,17 @@ getSchedule(std::istream &is, EpisodeSchedule &s)
         Episode e;
         std::uint64_t num_actions;
         if (!getInt(is, e.id) || !getInt(is, e.wavefrontId) ||
-            !getInt(is, e.syncVar) || !getU64(is, num_actions) ||
-            num_actions > (1ull << 24)) {
+            !getInt(is, e.syncVar)) {
             return false;
         }
+        if (version >= 3) {
+            std::uint8_t scope = 0;
+            if (!getInt(is, scope) || scope >= scopeCount)
+                return false;
+            e.scope = static_cast<Scope>(scope);
+        }
+        if (!getU64(is, num_actions) || num_actions > (1ull << 24))
+            return false;
         for (std::uint64_t a = 0; a < num_actions; ++a) {
             std::uint64_t num_lanes;
             if (!getU64(is, num_lanes) || num_lanes > (1ull << 16))
@@ -390,10 +423,10 @@ loadTrace(std::istream &is, ReproTrace &trace)
     trace.guidance.clear();
     return getStr(is, trace.presetName) &&
            (version < 2 || getStr(is, trace.guidance)) &&
-           getSystemConfig(is, trace.system) &&
-           getTesterConfig(is, trace.tester) &&
+           getSystemConfig(is, trace.system, version) &&
+           getTesterConfig(is, trace.tester, version) &&
            getResult(is, trace.result) &&
-           getSchedule(is, trace.schedule) &&
+           getSchedule(is, trace.schedule, version) &&
            getEvents(is, trace.events);
 }
 

@@ -28,6 +28,11 @@ Compared metrics:
                         binary itself also exits nonzero if coverage
                         targets are missed or determinism breaks)
 
+Baselines are additionally keyed by the L1 protocol they measured
+(the 'protocol' key every emitter stamps): a candidate run over a
+different protocol variant is refused rather than compared, and a
+baseline predating the key gets regenerate-and-commit advice.
+
 Shared-runner CI boxes are noisy and differ from the machine that
 produced the baseline (the baseline records its cpu_model / git_sha /
 build_type for exactly this reason), so the default tolerance is a
@@ -174,18 +179,60 @@ def main():
         print(f"cannot read baseline: {err}", file=sys.stderr)
         return 2
 
-    for name, doc in (
-        ("BENCH_campaign.json", baseline_campaign),
-        ("BENCH_msg_path.json", baseline_msg),
-        ("BENCH_guidance.json", baseline_guidance),
-        ("BENCH_hotpath.json", baseline_hotpath),
-        ("BENCH_fleet.json", baseline_fleet),
-    ):
-        print(
-            f"baseline {name}: cpu_model={doc.get('cpu_model', '?')!r} "
-            f"git_sha={doc.get('git_sha', '?')} "
-            f"build_type={doc.get('build_type', '?')}"
-        )
+    # Baselines are keyed by the L1 protocol they measured: a VIPER
+    # baseline must never gate an LRCC run (the table shapes differ, so
+    # the rates are not comparable). Every emitter stamps 'protocol'
+    # into its JSON; a baseline predating the field gets the standard
+    # regenerate-and-commit advice.
+    regen_cmds = {
+        "BENCH_campaign.json": f"{args.build_dir}/bench/campaign_scaling"
+        " --out BENCH_campaign.json",
+        "BENCH_msg_path.json": f"{args.build_dir}/bench/msg_path"
+        " --out BENCH_msg_path.json",
+        "BENCH_guidance.json": f"{args.build_dir}/bench/"
+        "guidance_convergence --out BENCH_guidance.json",
+        "BENCH_hotpath.json": f"{args.build_dir}/bench/hotpath"
+        " --out BENCH_hotpath.json",
+        "BENCH_fleet.json": f"{args.build_dir}/bench/fleet_scaling"
+        " --out BENCH_fleet.json",
+    }
+    baseline_protocols = {}
+    try:
+        for name, doc in (
+            ("BENCH_campaign.json", baseline_campaign),
+            ("BENCH_msg_path.json", baseline_msg),
+            ("BENCH_guidance.json", baseline_guidance),
+            ("BENCH_hotpath.json", baseline_hotpath),
+            ("BENCH_fleet.json", baseline_fleet),
+        ):
+            baseline_protocols[name] = baseline_key(
+                doc, name, "protocol", regen_cmds[name]
+            )
+            print(
+                f"baseline {name}: "
+                f"cpu_model={doc.get('cpu_model', '?')!r} "
+                f"git_sha={doc.get('git_sha', '?')} "
+                f"build_type={doc.get('build_type', '?')} "
+                f"protocol={baseline_protocols[name]}"
+            )
+    except MissingBaselineKey as err:
+        print(err.advice(), file=sys.stderr)
+        return 2
+
+    def check_protocol(name, doc):
+        """Fail fast when a candidate ran a different protocol than
+        the baseline it would be compared against."""
+        measured = doc.get("protocol", "viper")
+        if measured != baseline_protocols[name]:
+            print(
+                f"{name} is keyed by protocol "
+                f"'{baseline_protocols[name]}' but the candidate "
+                f"measured '{measured}'; rerun without a --protocol "
+                f"override or regenerate the baseline:\n"
+                f"    {regen_cmds[name]}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
 
     campaign_samples = []
     msg_samples = []
@@ -218,6 +265,9 @@ def main():
                     tmp / "hotpath.json",
                 )
             )
+            check_protocol("BENCH_campaign.json", campaign_samples[-1])
+            check_protocol("BENCH_msg_path.json", msg_samples[-1])
+            check_protocol("BENCH_hotpath.json", hotpath_samples[-1])
         # Once, not per-run: the convergence bench medians over three
         # master seeds internally, and its own exit status already
         # enforces coverage targets and deterministic replay.
@@ -226,6 +276,7 @@ def main():
             [guidance_bin, "--out", tmp / "guidance.json"],
             tmp / "guidance.json",
         )
+        check_protocol("BENCH_guidance.json", guidance_doc)
         # Also once: each fleet point forks real worker processes, and
         # the bench aborts itself if any fleet size diverges from the
         # serial union digest, so one run already carries the
@@ -243,6 +294,7 @@ def main():
             ],
             tmp / "fleet.json",
         )
+        check_protocol("BENCH_fleet.json", fleet_doc)
 
     base_speedup = best_valid_speedup(baseline_campaign)
     speedup_samples = [best_valid_speedup(s) for s in campaign_samples]

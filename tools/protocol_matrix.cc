@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Protocol/scope matrix driver for CI.
+ *
+ * Runs one short coverage-guided campaign per {protocol} x {scope mode}
+ * cell — the same guided scheduler the real campaigns use, with the
+ * cell's protocol and scope pinned into every arm — and compares each
+ * cell's deterministic fingerprint (union-coverage digest, active-cell
+ * counts, shard/episode totals) against the committed goldens in
+ * MATRIX_goldens.json. The campaign aggregates and the rendered
+ * transition-coverage grids are written per cell so a red CI run ships
+ * the evidence as artifacts.
+ *
+ *   protocol_matrix [--cell viper-none] [--out-dir DIR]
+ *                   [--goldens FILE] [--update-goldens]
+ *                   [--max-shards N] [--jobs N] [--list]
+ *
+ * With no --cell, all four cells run: {viper,lrcc} x {none,scoped}
+ * (racy is the nightly fuzz arm, not a CI cell — it fails by design).
+ * --update-goldens rewrites the goldens file from this run; commit the
+ * result when a change to the protocol tables or the generator is
+ * intentional.
+ *
+ * Exit codes: 0 all cells match (or goldens updated), 1 divergence or
+ * campaign failure, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_json.hh"
+#include "campaign/json_value.hh"
+#include "guidance/adaptive_campaign.hh"
+#include "mem/scope.hh"
+#include "proto/protocol_kind.hh"
+
+using namespace drf;
+
+namespace
+{
+
+struct Cell
+{
+    ProtocolKind protocol = ProtocolKind::Viper;
+    ScopeMode scopeMode = ScopeMode::None;
+
+    std::string
+    key() const
+    {
+        return std::string(protocolKindName(protocol)) + "-" +
+               scopeModeName(scopeMode);
+    }
+};
+
+/** The CI matrix: every protocol crossed with the two passing modes. */
+std::vector<Cell>
+allCells()
+{
+    std::vector<Cell> cells;
+    for (ProtocolKind p : {ProtocolKind::Viper, ProtocolKind::Lrcc}) {
+        for (ScopeMode m : {ScopeMode::None, ScopeMode::Scoped})
+            cells.push_back({p, m});
+    }
+    return cells;
+}
+
+std::optional<Cell>
+parseCell(const std::string &key)
+{
+    std::size_t dash = key.find('-');
+    if (dash == std::string::npos)
+        return std::nullopt;
+    std::optional<ProtocolKind> p =
+        parseProtocolKind(key.substr(0, dash));
+    std::optional<ScopeMode> m = parseScopeMode(key.substr(dash + 1));
+    if (!p || !m)
+        return std::nullopt;
+    return Cell{*p, *m};
+}
+
+struct Args
+{
+    std::vector<std::string> cells;
+    std::string outDir = "matrix-artifacts";
+    std::string goldens = "MATRIX_goldens.json";
+    bool updateGoldens = false;
+    bool list = false;
+    std::size_t maxShards = 10;
+    unsigned jobs = 0;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--cell")
+            a.cells.push_back(need(i));
+        else if (flag == "--out-dir")
+            a.outDir = need(i);
+        else if (flag == "--goldens")
+            a.goldens = need(i);
+        else if (flag == "--update-goldens")
+            a.updateGoldens = true;
+        else if (flag == "--list")
+            a.list = true;
+        else if (flag == "--max-shards")
+            a.maxShards = std::strtoull(need(i), nullptr, 10);
+        else if (flag == "--jobs")
+            a.jobs = unsigned(std::strtoul(need(i), nullptr, 10));
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            std::exit(2);
+        }
+    }
+    return a;
+}
+
+/** The deterministic fingerprint one cell is pinned by. */
+struct CellResult
+{
+    std::string digest; ///< "0x..." union active-set digest
+    std::uint64_t l1Active = 0;
+    std::uint64_t l2Active = 0;
+    std::uint64_t shardsRun = 0;
+    std::uint64_t totalEpisodes = 0;
+    bool passed = false;
+};
+
+/**
+ * One short guided campaign with the cell pinned into every arm. The
+ * arm set mirrors the fuzz tool's neighborhood (base shape, more
+ * episodes, more actions) so the bandit has something to choose
+ * between; mutations inherit the pinned protocol/scope because the
+ * default GenomeBounds never mutates those genes.
+ */
+CellResult
+runCell(const Cell &cell, const Args &a)
+{
+    ConfigGenome base;
+    base.cacheClass = CacheSizeClass::Small;
+    base.actionsPerEpisode = 30;
+    base.episodesPerWf = 6;
+    base.atomicLocs = 10;
+    base.colocDensity = 2.0;
+    base.numCus = 4;
+    base.protocol = cell.protocol;
+    base.scopeMode = cell.scopeMode;
+
+    ConfigGenome more_episodes = base;
+    more_episodes.episodesPerWf = base.episodesPerWf * 2;
+    ConfigGenome more_actions = base;
+    more_actions.actionsPerEpisode = base.actionsPerEpisode * 2;
+
+    SourceConfig scfg;
+    scfg.arms = {base, more_episodes, more_actions};
+    scfg.scale.lanes = 8;
+    scfg.scale.wfsPerCu = 2;
+    scfg.scale.numNormalVars = 512;
+    scfg.masterSeed = 1;
+    scfg.batchSize = 2;
+    scfg.maxShards = a.maxShards;
+    GuidedSource source(scfg);
+
+    AdaptiveCampaignConfig ccfg;
+    ccfg.jobs = a.jobs;
+    AdaptiveCampaignResult res = runAdaptiveCampaign(source, ccfg);
+
+    CellResult out;
+    char digest[32];
+    std::snprintf(digest, sizeof(digest), "0x%016llx",
+                  static_cast<unsigned long long>(res.unionDigest));
+    out.digest = digest;
+    out.l1Active =
+        res.l1Union ? res.l1Union->activeCount("gpu_tester") : 0;
+    out.l2Active =
+        res.l2Union ? res.l2Union->activeCount("gpu_tester") : 0;
+    out.shardsRun = res.shardsRun;
+    out.totalEpisodes = res.totalEpisodes;
+    out.passed = res.passed;
+
+    // Artifacts: the deterministic campaign summary and the rendered
+    // transition-coverage grids.
+    std::string stem = a.outDir + "/" + cell.key();
+    {
+        std::ofstream f(stem + ".campaign.json");
+        f << adaptiveAggregatesJson(res, "gpu_tester") << "\n";
+    }
+    {
+        std::ofstream f(stem + ".coverage.txt");
+        if (res.l1Union) {
+            res.l1Union->renderClassMap(f, "gpu_tester");
+            f << "\n";
+            res.l1Union->renderHeatMap(f);
+            f << "\n";
+        }
+        if (res.l2Union) {
+            res.l2Union->renderClassMap(f, "gpu_tester");
+            f << "\n";
+            res.l2Union->renderHeatMap(f);
+        }
+    }
+
+    if (!res.passed && res.firstFailure) {
+        std::fprintf(stderr, "%s: campaign FAILED (%s, seed %llu): %s\n",
+                     cell.key().c_str(),
+                     failureClassName(res.firstFailureClass),
+                     (unsigned long long)res.firstFailure->seed,
+                     res.firstFailure->report.c_str());
+    }
+    return out;
+}
+
+bool
+loadGoldens(const std::string &path,
+            std::map<std::string, CellResult> &goldens)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    JsonValue root;
+    if (!parseJson(ss.str(), root) ||
+        root.type != JsonValue::Type::Object)
+        return false;
+    const JsonValue *cells = root.find("cells");
+    if (!cells || cells->type != JsonValue::Type::Object)
+        return false;
+    for (const auto &[key, value] : cells->object) {
+        const JsonValue *digest = value.find("union_digest");
+        const JsonValue *l1 = value.find("l1_union_active");
+        const JsonValue *l2 = value.find("l2_union_active");
+        const JsonValue *shards = value.find("shards_run");
+        const JsonValue *episodes = value.find("total_episodes");
+        if (!digest || !l1 || !l2 || !shards || !episodes)
+            return false;
+        CellResult r;
+        r.digest = digest->string;
+        r.l1Active = l1->asU64();
+        r.l2Active = l2->asU64();
+        r.shardsRun = shards->asU64();
+        r.totalEpisodes = episodes->asU64();
+        r.passed = true;
+        goldens[key] = r;
+    }
+    return true;
+}
+
+std::string
+goldensJson(const std::map<std::string, CellResult> &cells)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("v").value(1);
+    w.key("cells").beginObject();
+    for (const auto &[key, r] : cells) {
+        w.key(key).beginObject();
+        w.key("union_digest").value(r.digest);
+        w.key("l1_union_active").value(r.l1Active);
+        w.key("l2_union_active").value(r.l2Active);
+        w.key("shards_run").value(r.shardsRun);
+        w.key("total_episodes").value(r.totalEpisodes);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parseArgs(argc, argv);
+
+    if (a.list) {
+        for (const Cell &cell : allCells())
+            std::printf("%s\n", cell.key().c_str());
+        return 0;
+    }
+
+    std::vector<Cell> cells;
+    if (a.cells.empty()) {
+        cells = allCells();
+    } else {
+        for (const std::string &key : a.cells) {
+            std::optional<Cell> cell = parseCell(key);
+            if (!cell) {
+                std::fprintf(stderr,
+                             "unknown cell: %s (want "
+                             "<viper|lrcc>-<none|scoped|racy>)\n",
+                             key.c_str());
+                return 2;
+            }
+            cells.push_back(*cell);
+        }
+    }
+
+    std::map<std::string, CellResult> goldens;
+    bool have_goldens = loadGoldens(a.goldens, goldens);
+    if (!have_goldens && !a.updateGoldens) {
+        std::fprintf(stderr,
+                     "cannot read goldens %s (run with "
+                     "--update-goldens to create it)\n",
+                     a.goldens.c_str());
+        return 2;
+    }
+
+    bool ok = true;
+    std::map<std::string, CellResult> results = goldens;
+    std::printf("%-14s %-20s %10s %10s %8s %10s\n", "cell",
+                "union_digest", "l1_active", "l2_active", "shards",
+                "episodes");
+    for (const Cell &cell : cells) {
+        CellResult r = runCell(cell, a);
+        results[cell.key()] = r;
+        std::printf("%-14s %-20s %10llu %10llu %8llu %10llu%s\n",
+                    cell.key().c_str(), r.digest.c_str(),
+                    (unsigned long long)r.l1Active,
+                    (unsigned long long)r.l2Active,
+                    (unsigned long long)r.shardsRun,
+                    (unsigned long long)r.totalEpisodes,
+                    r.passed ? "" : "   <-- CAMPAIGN FAILED");
+        if (!r.passed) {
+            ok = false;
+            continue;
+        }
+        if (a.updateGoldens)
+            continue;
+        auto it = goldens.find(cell.key());
+        if (it == goldens.end()) {
+            std::fprintf(stderr,
+                         "%s: no committed golden (regenerate with "
+                         "--update-goldens and commit %s)\n",
+                         cell.key().c_str(), a.goldens.c_str());
+            ok = false;
+        } else if (it->second.digest != r.digest ||
+                   it->second.l1Active != r.l1Active ||
+                   it->second.l2Active != r.l2Active ||
+                   it->second.shardsRun != r.shardsRun ||
+                   it->second.totalEpisodes != r.totalEpisodes) {
+            std::fprintf(stderr,
+                         "%s: DIGEST DIVERGENCE vs %s (golden %s, got "
+                         "%s); if the change is intentional, "
+                         "regenerate with --update-goldens and commit\n",
+                         cell.key().c_str(), a.goldens.c_str(),
+                         it->second.digest.c_str(), r.digest.c_str());
+            ok = false;
+        }
+    }
+
+    if (a.updateGoldens && ok) {
+        std::ofstream out(a.goldens);
+        out << goldensJson(results) << "\n";
+        if (!out) {
+            std::fprintf(stderr, "failed to write %s\n",
+                         a.goldens.c_str());
+            return 1;
+        }
+        std::printf("wrote %s\n", a.goldens.c_str());
+    }
+
+    std::printf("protocol matrix: %s\n",
+                ok ? (a.updateGoldens ? "goldens updated"
+                                      : "all cells match goldens")
+                   : "FAILED");
+    return ok ? 0 : 1;
+}

@@ -38,6 +38,26 @@
  *       header. DropGpuProbe is exercised through the directed
  *       protocol scenario. Exit 0 only if every fault was caught and
  *       every shrink preserved the failure class.
+ *
+ *   scoped  --out-dir DIR [--protocol viper|lrcc] [--seeds N]
+ *           [generator knobs as for record]
+ *       The nightly scoped-synchronization arm. Two legs on the
+ *       selected protocol, no protocol fault armed:
+ *        - positive control: every seed generated under the scoped
+ *          discipline (ScopeMode::Scoped, random CTA/GPU scope per
+ *          episode) must pass — a correct protocol must never fail a
+ *          scoped-DRF-clean schedule;
+ *        - racy leg: seeds generated with the scope discipline
+ *          deliberately skipped (ScopeMode::Racy) until at least one
+ *          run fails with FailureClass::ScopeViolation; the failing
+ *          schedule is shrunk and written as DIR/<protocol>-racy
+ *          trace + minimized trace + JSON repro.
+ *       Exit 0 only if the control leg stayed green and the racy leg
+ *       found and shrank a scope violation.
+ *
+ * record and fuzz also accept --protocol (L1 protocol variant) and
+ * record accepts --scope-mode none|scoped|racy; both are stamped into
+ * the DRFTRC01 v3 header so replay and shrink reproduce them exactly.
  */
 
 #include <cstdio>
@@ -49,7 +69,9 @@
 
 #include "campaign/campaign_json.hh"
 #include "guidance/adaptive_campaign.hh"
+#include "mem/scope.hh"
 #include "proto/fault.hh"
+#include "proto/protocol_kind.hh"
 #include "tester/configs.hh"
 #include "tester/scenarios.hh"
 #include "tester/tester_failure.hh"
@@ -73,6 +95,8 @@ struct Args
     std::string cache = "small";
     std::string fault = "None";
     std::string strategy = "random";
+    std::string protocol = "viper";
+    std::string scopeMode = "none";
     std::uint64_t seed = 1;
     unsigned triggerPct = 100;
     unsigned episodes = 10;
@@ -130,6 +154,10 @@ parseArgs(int argc, char **argv)
             a.colocDensity = std::strtod(v->c_str(), nullptr);
         else if (auto v = argValue(argc, argv, i, "--strategy"))
             a.strategy = *v;
+        else if (auto v = argValue(argc, argv, i, "--protocol"))
+            a.protocol = *v;
+        else if (auto v = argValue(argc, argv, i, "--scope-mode"))
+            a.scopeMode = *v;
         else if (auto v = argValue(argc, argv, i, "--cus"))
             a.cus = unsigned(std::strtoul(v->c_str(), nullptr, 10));
         else if (auto v = argValue(argc, argv, i, "--seeds"))
@@ -165,6 +193,24 @@ parseFault(const std::string &name)
     if (std::optional<FaultKind> kind = parseFaultKind(name))
         return *kind;
     std::fprintf(stderr, "unknown fault kind: %s\n", name.c_str());
+    std::exit(2);
+}
+
+ProtocolKind
+parseProtocolArg(const std::string &name)
+{
+    if (std::optional<ProtocolKind> kind = parseProtocolKind(name))
+        return *kind;
+    std::fprintf(stderr, "unknown protocol: %s\n", name.c_str());
+    std::exit(2);
+}
+
+ScopeMode
+parseScopeModeArg(const std::string &name)
+{
+    if (std::optional<ScopeMode> mode = parseScopeMode(name))
+        return *mode;
+    std::fprintf(stderr, "unknown scope mode: %s\n", name.c_str());
     std::exit(2);
 }
 
@@ -231,10 +277,14 @@ cmdRecord(const Args &a)
     ApuSystemConfig sys = makeGpuSystemConfig(parseCache(a.cache), a.cus);
     sys.fault = parseFault(a.fault);
     sys.faultTriggerPct = a.triggerPct;
+    sys.l1.protocol = parseProtocolArg(a.protocol);
+
+    GpuTesterConfig tester = toolTesterConfig(a, a.seed);
+    tester.scopeMode = parseScopeModeArg(a.scopeMode);
 
     RecordOptions opts;
     opts.captureEvents = a.events;
-    ReproTrace trace = recordGpuRun(sys, toolTesterConfig(a, a.seed), opts);
+    ReproTrace trace = recordGpuRun(sys, tester, opts);
     trace.presetName = a.cache + "/seed" + std::to_string(a.seed) + "/" +
                        a.fault;
 
@@ -423,6 +473,7 @@ cmdFuzz(const Args &a)
             // campaign-wide, until a shard fails or the budget is out.
             ConfigGenome base;
             base.cacheClass = entry.cache;
+            base.protocol = parseProtocolArg(a.protocol);
             base.actionsPerEpisode = a.actions;
             base.episodesPerWf = a.episodes;
             base.atomicLocs = a.atomicLocs;
@@ -465,6 +516,7 @@ cmdFuzz(const Args &a)
                     makeGpuSystemConfig(entry.cache, a.cus);
                 sys.fault = entry.fault;
                 sys.faultTriggerPct = a.triggerPct;
+                sys.l1.protocol = parseProtocolArg(a.protocol);
                 ReproTrace trace =
                     recordGpuRun(sys, toolTesterConfig(a, seed));
                 if (trace.result.passed)
@@ -525,6 +577,118 @@ cmdFuzz(const Args &a)
     return all_ok ? 0 : 1;
 }
 
+/**
+ * The nightly scoped-synchronization arm: the scoped discipline must
+ * pass, breaking it must be caught as a ScopeViolation, and the racy
+ * repro must survive shrinking (see the file header).
+ */
+int
+cmdScoped(const Args &a)
+{
+    if (a.outDir.empty()) {
+        std::fprintf(stderr, "scoped: --out-dir is required\n");
+        return 2;
+    }
+    ProtocolKind protocol = parseProtocolArg(a.protocol);
+
+    auto scopedSystem = [&] {
+        // Large caches for the same reason DropAcquireInvalidate needs
+        // them: the racy leg's failure mode is a stale line surviving a
+        // skipped invalidate/write-back, and small L1s evict fast
+        // enough that natural replacement masks it.
+        ApuSystemConfig sys =
+            makeGpuSystemConfig(CacheSizeClass::Large, a.cus);
+        sys.l1.protocol = protocol;
+        return sys;
+    };
+
+    // Leg 1 — positive control: scoped-DRF-clean schedules (random
+    // CTA/GPU scope per episode, generator rules 3/4 enforced) must
+    // pass on a correct protocol, every seed.
+    bool control_green = true;
+    for (std::uint64_t seed = 1; seed <= a.seeds; ++seed) {
+        GpuTesterConfig tester = toolTesterConfig(a, seed);
+        tester.scopeMode = ScopeMode::Scoped;
+        ReproTrace trace = recordGpuRun(scopedSystem(), tester);
+        if (!trace.result.passed) {
+            control_green = false;
+            std::string base = a.outDir + "/" +
+                               std::string(protocolKindName(protocol)) +
+                               "-scoped-FALSEPOSITIVE";
+            if (saveTraceFile(base + ".trace", trace))
+                std::printf("wrote %s.trace\n", base.c_str());
+            std::fprintf(stderr,
+                         "scoped control seed %llu FAILED (%s): %s\n",
+                         (unsigned long long)seed,
+                         failureClassName(trace.result.failureClass),
+                         trace.result.report.c_str());
+        }
+    }
+
+    // Leg 2 — racy: skip the generation discipline, keep the scoped
+    // packets. A correct protocol must now be caught exhibiting the
+    // weaker CTA-scope semantics across CTAs: a ScopeViolation.
+    FuzzOutcome racy;
+    racy.fault = FaultKind::None;
+    for (std::uint64_t seed = 1; seed <= a.seeds && !racy.detected;
+         ++seed) {
+        GpuTesterConfig tester = toolTesterConfig(a, seed);
+        tester.scopeMode = ScopeMode::Racy;
+        ReproTrace trace = recordGpuRun(scopedSystem(), tester);
+        if (trace.result.passed ||
+            trace.result.failureClass != FailureClass::ScopeViolation)
+            continue;
+        racy.seed = seed;
+        trace.presetName = std::string(protocolKindName(protocol)) +
+                           "-racy/seed" + std::to_string(seed);
+        racy.detected = true;
+        racy.failureClass = trace.result.failureClass;
+        racy.originalEpisodes = trace.schedule.size();
+
+        ShrinkOptions opts;
+        opts.maxProbes = a.maxProbes;
+        ShrinkStats stats;
+        EpisodeSchedule shrunk = shrinkRepro(trace, opts, &stats);
+        TesterResult replayed = replayGpuRun(trace, shrunk);
+        racy.shrunk = !replayed.passed &&
+                      replayed.failureClass ==
+                          trace.result.failureClass;
+        racy.shrunkEpisodes = shrunk.size();
+
+        std::string base = a.outDir + "/" +
+                           std::string(protocolKindName(protocol)) +
+                           "-racy";
+        ReproTrace minimized = trace;
+        minimized.schedule = shrunk;
+        minimized.result = replayed;
+        if (saveTraceFile(base + ".trace", trace))
+            std::printf("wrote %s.trace\n", base.c_str());
+        if (saveTraceFile(base + ".min.trace", minimized))
+            std::printf("wrote %s.min.trace\n", base.c_str());
+        writeText(base + ".repro.json",
+                  reproToJson(trace, shrunk, replayed));
+    }
+
+    std::printf("\nscoped arm (%s):\n", protocolKindName(protocol));
+    std::printf("  control (scoped discipline): %s\n",
+                control_green ? "all seeds passed"
+                              : "FALSE POSITIVE (see artifacts)");
+    if (racy.detected) {
+        std::printf("  racy leg: ScopeViolation at seed %llu, "
+                    "%zu -> %zu episodes (%s)\n",
+                    (unsigned long long)racy.seed,
+                    racy.originalEpisodes, racy.shrunkEpisodes,
+                    racy.shrunk ? "shrunk" : "SHRINK FAILED");
+    } else {
+        std::printf("  racy leg: NO ScopeViolation in %u seeds\n",
+                    a.seeds);
+    }
+
+    bool ok = control_green && racy.detected && racy.shrunk;
+    std::printf("scoped arm: %s\n", ok ? "OK" : "FAILED");
+    return ok ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -533,7 +697,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: shrink_repro "
-                     "{record|replay|shrink|export|fuzz} [options]\n");
+                     "{record|replay|shrink|export|fuzz|scoped} "
+                     "[options]\n");
         return 2;
     }
     Args a = parseArgs(argc, argv);
@@ -548,6 +713,8 @@ main(int argc, char **argv)
         return cmdExport(a);
     if (cmd == "fuzz")
         return cmdFuzz(a);
+    if (cmd == "scoped")
+        return cmdScoped(a);
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
     return 2;
 }
