@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Throughput bench for the predictive race subsystem (src/predict/).
+ *
+ * Two stages, both over one recorded scoped-clean trace:
+ *
+ *  - hb_build: offline happens-before reconstruction (HbModel::build),
+ *    reporting trace events analyzed per second — the cost of turning a
+ *    recorded run into a queryable order relation;
+ *  - explore: the bounded stateless model checker (ExploreSource driven
+ *    through runAdaptiveCampaign), reporting perturbed-replay
+ *    interleavings per second — the end-to-end cost of one schedule
+ *    exploration step, replay included.
+ *
+ * The committed baseline is BENCH_predict.json; the CI gate
+ * (tools/check_bench_regression.py) compares both events_per_sec
+ * numbers against it.
+ *
+ * Usage: predict_throughput [--episodes N] [--actions N] [--seed S]
+ *        [--budget N] [--repeats N] [--out FILE]
+ * (defaults: 10 episodes, 30 actions, seed 1, budget 64, repeats
+ * sized so hb_build analyzes >= 2M events, BENCH_predict.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hh"
+#include "guidance/adaptive_campaign.hh"
+#include "predict/explore.hh"
+#include "predict/hb.hh"
+#include "tester/configs.hh"
+#include "trace/repro.hh"
+
+using namespace drf;
+using namespace drf::bench;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t
+parseArg(int argc, char **argv, const char *flag, std::uint64_t dflt)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    return dflt;
+}
+
+std::string
+parseOut(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0)
+            return argv[i + 1];
+    }
+    return "BENCH_predict.json";
+}
+
+/** The predict_sweep tool's configuration shape (2 CUs, 8 lanes). */
+GpuTestPreset
+benchPreset(std::uint64_t seed, unsigned episodes, unsigned actions)
+{
+    GpuTestPreset preset;
+    preset.cacheClass = CacheSizeClass::Large;
+    preset.system = makeGpuSystemConfig(CacheSizeClass::Large, 2);
+    preset.tester = makeGpuTesterConfig(actions, episodes, 10, seed);
+    preset.tester.lanes = 8;
+    preset.tester.episodeGen.lanes = 8;
+    preset.tester.wfsPerCu = 2;
+    preset.tester.variables.numNormalVars = 512;
+    preset.tester.variables.addrRangeBytes = 1 << 14;
+    // Scoped-clean: records pass, yet the schedule still carries real
+    // scope structure for the HB model and frontier to chew on.
+    preset.tester.scopeMode = ScopeMode::Scoped;
+    preset.name = "predict_bench/seed" + std::to_string(seed);
+    return preset;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned episodes =
+        unsigned(parseArg(argc, argv, "--episodes", 10));
+    const unsigned actions =
+        unsigned(parseArg(argc, argv, "--actions", 30));
+    const std::uint64_t seed = parseArg(argc, argv, "--seed", 1);
+    const std::size_t budget =
+        std::size_t(parseArg(argc, argv, "--budget", 64));
+
+    RecordOptions rec;
+    rec.captureEvents = true;
+    ReproTrace trace =
+        recordGpuRun(benchPreset(seed, episodes, actions), rec);
+    std::printf("Predict throughput bench: %zu episodes, %zu events "
+                "recorded (%s)\n\n",
+                trace.schedule.size(), trace.events.size(),
+                trace.result.passed
+                    ? "passed"
+                    : failureClassName(trace.result.failureClass));
+
+    // Stage 1: HB reconstruction. Repeat builds until >= 2M events are
+    // analyzed (or --repeats overrides), so the timer sees real work.
+    const std::uint64_t per_build = trace.events.size();
+    std::uint64_t repeats = parseArg(
+        argc, argv, "--repeats",
+        per_build == 0 ? 1 : (2'000'000 + per_build - 1) / per_build);
+    if (repeats == 0)
+        repeats = 1;
+    std::uint64_t hb_events = 0;
+    std::size_t hb_size = 0;
+    Clock::time_point start = Clock::now();
+    for (std::uint64_t i = 0; i < repeats; ++i) {
+        HbModel hb = HbModel::build(trace);
+        hb_events += hb.eventsAnalyzed();
+        hb_size = hb.size();
+    }
+    const double hb_seconds = secondsSince(start);
+    const double hb_rate =
+        hb_seconds > 0.0 ? double(hb_events) / hb_seconds : 0.0;
+    std::printf("  hb_build: %llu events in %.3fs over %llu builds "
+                "(%zu episodes each) -> %12.0f events/s\n",
+                (unsigned long long)hb_events, hb_seconds,
+                (unsigned long long)repeats, hb_size, hb_rate);
+
+    // Stage 2: schedule exploration, replays included. The predictive
+    // pass is skipped (runPredict=false): its witness replays are the
+    // same machinery the explorer times below. Several base seeds are
+    // explored so the timed region is long enough to gate on.
+    const std::uint64_t rounds =
+        parseArg(argc, argv, "--explore-rounds", 4);
+    ExploreOptions opts;
+    opts.budget = budget;
+    opts.maxFlipsPerTrace = 12;
+    opts.runPredict = false;
+    std::size_t interleavings = 0;
+    start = Clock::now();
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+        ExploreSource source(
+            benchPreset(seed + r, episodes, actions), opts);
+        AdaptiveCampaignConfig cfg;
+        cfg.jobs = 1;
+        cfg.stopOnFailure = false;
+        AdaptiveCampaignResult result = runAdaptiveCampaign(source, cfg);
+        interleavings += result.shardsRun;
+    }
+    const double ex_seconds = secondsSince(start);
+    const double ex_rate =
+        ex_seconds > 0.0 ? double(interleavings) / ex_seconds : 0.0;
+    std::printf("  explore:  %zu interleavings over %llu base runs in "
+                "%.3fs -> %12.2f interleavings/s\n",
+                interleavings, (unsigned long long)rounds, ex_seconds,
+                ex_rate);
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("bench").value("predict_throughput");
+    jsonProvenance(w);
+    w.key("episodes").value(episodes);
+    w.key("actions").value(actions);
+    w.key("budget").value(std::uint64_t(budget));
+    w.key("trace_events").value(std::uint64_t(trace.events.size()));
+    w.key("stages").beginObject();
+    w.key("hb_build").beginObject();
+    w.key("events").value(hb_events);
+    w.key("seconds").value(hb_seconds);
+    w.key("events_per_sec").value(hb_rate);
+    w.endObject();
+    w.key("explore").beginObject();
+    w.key("interleavings").value(std::uint64_t(interleavings));
+    w.key("seconds").value(ex_seconds);
+    w.key("events_per_sec").value(ex_rate);
+    w.endObject();
+    w.endObject();
+    w.endObject();
+
+    writeFileReport(parseOut(argc, argv), w.str());
+    return 0;
+}

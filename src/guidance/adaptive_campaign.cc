@@ -125,6 +125,7 @@ FeedbackLoop::take(double wall_seconds, unsigned jobs)
     _res.unionDigest = combinedDigest(_l1, _l2);
     if (auto *guided = dynamic_cast<GuidedSource *>(&_source))
         _res.decisions = guided->decisions();
+    _res.predictTriage = _source.predictTriage();
     return std::move(_res);
 }
 
@@ -308,6 +309,26 @@ writeCampaignJson(const AdaptiveCampaignResult &result,
         writeDecisions(w, result.decisions);
     else
         w.nullValue();
+
+    // Always present (zeros for strategies without a predictive pass)
+    // so aggregate strings stay structurally identical across
+    // strategies — the fleet byte-compare tests rely on that.
+    const PredictTriage triage =
+        result.predictTriage.value_or(PredictTriage{});
+    w.key("predicted_races").beginObject();
+    w.key("candidates")
+        .value(static_cast<std::uint64_t>(triage.candidates));
+    w.key("confirmed")
+        .value(static_cast<std::uint64_t>(triage.confirmed));
+    w.key("demoted").value(static_cast<std::uint64_t>(triage.demoted));
+    w.key("interleavings")
+        .value(static_cast<std::uint64_t>(triage.interleavings));
+    w.key("first_pair");
+    if (triage.firstPair.empty())
+        w.nullValue();
+    else
+        w.value(triage.firstPair);
+    w.endObject();
 
     w.endObject();
     return w.str();

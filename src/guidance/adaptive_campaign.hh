@@ -79,6 +79,14 @@ struct AdaptiveCampaignResult
 
     /** Guided mode only: the full decision log. */
     std::vector<GuidanceDecision> decisions;
+
+    /**
+     * Explore mode only: predictive-race triage from the source.
+     * nullopt when the strategy never ran the predictive pass; the
+     * campaign JSON renders that as an all-zero block, so aggregates
+     * stay byte-comparable across strategies and runs.
+     */
+    std::optional<PredictTriage> predictTriage;
 };
 
 /**

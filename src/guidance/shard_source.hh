@@ -43,10 +43,28 @@ enum class Strategy
     Random,
     Sweep,
     Guided,
+    Explore, ///< bounded schedule exploration (src/predict/explore.hh)
 };
 
 const char *strategyName(Strategy s);
 std::optional<Strategy> parseStrategy(const std::string &name);
+
+/**
+ * Triage summary of a predictive race pass (src/predict/). Lives here —
+ * not in src/predict/ — so the campaign JSON writer can always emit the
+ * block (zeros for strategies that never run the pass) without the
+ * guidance library depending on the predict library; sources that do
+ * run the pass override ShardSource::predictTriage().
+ */
+struct PredictTriage
+{
+    std::size_t candidates = 0; ///< HB-unordered conflicting pairs
+    std::size_t confirmed = 0;  ///< witness replay manifested a failure
+    std::size_t demoted = 0;    ///< survived every witness probe
+    std::size_t interleavings = 0; ///< witness/exploration replays run
+    /** First finding's access pair, human-readable; empty when none. */
+    std::string firstPair;
+};
 
 /**
  * A wire-serializable shard description: everything a remote worker
@@ -121,6 +139,16 @@ class ShardSource
     leaseForSeed(std::uint64_t seed) const
     {
         (void)seed;
+        return std::nullopt;
+    }
+
+    /**
+     * Predictive-race triage accumulated by this source, if it runs
+     * the predictive pass (Strategy::Explore). nullopt — rendered as a
+     * zero block in the campaign JSON — for strategies that don't.
+     */
+    virtual std::optional<PredictTriage> predictTriage() const
+    {
         return std::nullopt;
     }
 };

@@ -13,6 +13,7 @@ strategyName(Strategy s)
       case Strategy::Random: return "random";
       case Strategy::Sweep: return "sweep";
       case Strategy::Guided: return "guided";
+      case Strategy::Explore: return "explore";
     }
     return "?";
 }
@@ -20,8 +21,8 @@ strategyName(Strategy s)
 std::optional<Strategy>
 parseStrategy(const std::string &name)
 {
-    for (Strategy s :
-         {Strategy::Random, Strategy::Sweep, Strategy::Guided}) {
+    for (Strategy s : {Strategy::Random, Strategy::Sweep,
+                       Strategy::Guided, Strategy::Explore}) {
         if (name == strategyName(s))
             return s;
     }

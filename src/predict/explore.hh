@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Bounded stateless model checking: the `explore` campaign strategy.
+ *
+ * Where random/sweep/guided vary the *configuration*, ExploreSource
+ * varies the *schedule*: it records one base run of a single preset,
+ * then systematically re-executes the same episode schedule under
+ * issue-delay perturbations (trace/schedule.hh) that flip the order of
+ * dependent synchronization operations — a DPOR-flavored walk over the
+ * interleaving space, bounded by an explicit budget.
+ *
+ * From each executed interleaving the source derives the next frontier:
+ * every adjacent pair of acquires from different wavefronts whose
+ * episodes are dependent (conflict on a variable with at least one
+ * write, or contend on the same sync variable) yields a child
+ * perturbation that delays the earlier episode past the later one's
+ * acquire. A sleep set of already-scheduled flips (keyed by the episode
+ * pair) prunes re-exploration, and a per-trace flip cap keeps the
+ * branching factor bounded.
+ *
+ * Everything is deterministic at any worker count: shard bodies only
+ * replay (bit-exact) and stash their event streams in per-seed slots;
+ * all frontier expansion happens in report(), which the adaptive loop
+ * calls strictly in shard-index order. The source also runs the
+ * predictive pass (predict/predict.hh) on the base trace and publishes
+ * its triage through ShardSource::predictTriage(), so explore campaign
+ * JSON carries the predicted-race block.
+ */
+
+#ifndef DRF_PREDICT_EXPLORE_HH
+#define DRF_PREDICT_EXPLORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "guidance/shard_source.hh"
+#include "predict/predict.hh"
+#include "trace/repro.hh"
+
+namespace drf
+{
+
+/** Knobs for the explore strategy. */
+struct ExploreOptions
+{
+    /** Interleaving budget: max perturbed replays issued as shards. */
+    std::size_t budget = 64;
+    /** Shards per adaptive-campaign batch. */
+    std::size_t batchSize = 4;
+    /** Frontier expansions taken from any one executed interleaving. */
+    std::size_t maxFlipsPerTrace = 8;
+    /** Predictive pass run on the base trace (triage block). */
+    PredictOptions predict;
+    /** Skip the predictive pass (bench / frontier-only runs). */
+    bool runPredict = true;
+};
+
+/** Schedule-exploration shard source (see file header). */
+class ExploreSource : public ShardSource
+{
+  public:
+    ExploreSource(const GpuTestPreset &preset,
+                  const ExploreOptions &opts = {});
+
+    Strategy strategy() const override { return Strategy::Explore; }
+    std::vector<ShardSpec> nextBatch() override;
+    void report(const ShardOutcome &outcome,
+                const ShardFeedback &feedback) override;
+
+    std::optional<GpuTestPreset>
+    presetForSeed(std::uint64_t seed) const override;
+
+    std::optional<PredictTriage> predictTriage() const override;
+
+    /** The recorded base trace the exploration perturbs. */
+    const ReproTrace &baseTrace() const { return _base; }
+
+    /** Interleavings issued as shards so far. */
+    std::size_t issued() const { return _issued; }
+
+    /**
+     * Failure classes observed across the explored interleavings (the
+     * base run excluded). The explorer's product is this set — which
+     * failure modes are schedule-reachable from the recorded run — not
+     * just the lowest-index failure the campaign result keeps.
+     */
+    const std::map<FailureClass, std::size_t> &failuresByClass() const
+    {
+        return _failuresByClass;
+    }
+
+  private:
+    /** One scheduled (or executed) interleaving. */
+    struct Pending
+    {
+        SchedulePerturbation perturb;
+        std::vector<TraceEvent> events; ///< filled by the shard body
+    };
+
+    /**
+     * Expand the frontier with the flips visible in @p events, composed
+     * onto @p parent. Called from the ctor (base trace) and report()
+     * (executed children) only — never from shard bodies.
+     */
+    void expandFrontier(const std::vector<TraceEvent> &events,
+                        const SchedulePerturbation &parent);
+
+    GpuTestPreset _preset;
+    ExploreOptions _opts;
+    ReproTrace _base;
+    PredictReport _predict;
+
+    std::deque<SchedulePerturbation> _frontier;
+    std::set<std::pair<std::uint64_t, std::uint64_t>> _sleep;
+    std::map<std::uint64_t, Pending> _pending; ///< by shard seed
+    std::mutex _mutex; ///< guards _pending's event slots during a batch
+    std::size_t _issued = 0;
+    std::map<FailureClass, std::size_t> _failuresByClass;
+};
+
+} // namespace drf
+
+#endif // DRF_PREDICT_EXPLORE_HH

@@ -1,0 +1,250 @@
+#include "predict/hb.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+#include "mem/scope.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+/** Unscoped episodes carry conservative device-wide semantics. */
+Scope
+effectiveScope(Scope s)
+{
+    return s == Scope::None ? Scope::Gpu : s;
+}
+
+void
+joinClock(std::vector<std::uint32_t> &into,
+          const std::vector<std::uint32_t> &from)
+{
+    for (std::size_t i = 0; i < from.size(); ++i)
+        into[i] = std::max(into[i], from[i]);
+}
+
+/** One sync completion in observed order. */
+struct SyncOp
+{
+    std::size_t idx = 0; ///< schedule index
+    Tick tick = 0;
+    Scope scope = Scope::None;
+    bool acquire = false;
+};
+
+} // namespace
+
+const char *
+hbOrderSourceName(HbOrderSource source)
+{
+    switch (source) {
+      case HbOrderSource::SyncEvents: return "sync_events";
+      case HbOrderSource::EpisodeMarkers: return "episode_markers";
+      case HbOrderSource::ScheduleOrder: return "schedule_order";
+    }
+    return "?";
+}
+
+HbModel
+HbModel::build(const ReproTrace &trace)
+{
+    HbModel m;
+    const std::size_t n = trace.schedule.size();
+    m._sync.resize(n);
+    m._agent.resize(n);
+    m._cu.resize(n);
+    m._pos.resize(n);
+    m._eventsAnalyzed = trace.events.size();
+
+    const unsigned wfs_per_cu = std::max(1u, trace.tester.wfsPerCu);
+    std::unordered_map<std::uint64_t, std::size_t> by_id;
+    by_id.reserve(n);
+    std::uint32_t max_agent = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Episode &e = trace.schedule.episodes[i];
+        m._agent[i] = e.wavefrontId;
+        m._cu[i] = e.wavefrontId / wfs_per_cu;
+        max_agent = std::max(max_agent, e.wavefrontId);
+        by_id.emplace(e.id, i);
+    }
+    m._numAgents = n == 0 ? 0 : max_agent + 1;
+
+    // Per-wavefront program position: the schedule is generation order,
+    // which respects each wavefront's episode sequence.
+    std::vector<std::size_t> next_pos(m._numAgents, 0);
+    for (std::size_t i = 0; i < n; ++i)
+        m._pos[i] = next_pos[m._agent[i]]++;
+
+    // Extract the observed sync order, best source first.
+    std::vector<SyncOp> ops;
+    ops.reserve(2 * n);
+    for (const TraceEvent &ev : trace.events) {
+        if (ev.kind != TraceEventKind::SyncAcquire &&
+            ev.kind != TraceEventKind::SyncRelease) {
+            continue;
+        }
+        auto it = by_id.find(ev.a);
+        if (it == by_id.end())
+            continue;
+        SyncOp op;
+        op.idx = it->second;
+        op.tick = ev.tick;
+        op.scope = static_cast<Scope>(ev.u8);
+        op.acquire = ev.kind == TraceEventKind::SyncAcquire;
+        ops.push_back(op);
+    }
+    if (!ops.empty()) {
+        m._source = HbOrderSource::SyncEvents;
+    } else {
+        // Pre-v4 event streams: episode begin/end markers bracket the
+        // acquire and release, so their order is the sync order; scopes
+        // come from the schedule.
+        for (const TraceEvent &ev : trace.events) {
+            if (ev.kind != TraceEventKind::EpisodeIssue &&
+                ev.kind != TraceEventKind::EpisodeRetire) {
+                continue;
+            }
+            auto it = by_id.find(ev.a);
+            if (it == by_id.end())
+                continue;
+            SyncOp op;
+            op.idx = it->second;
+            op.tick = ev.tick;
+            op.scope = trace.schedule.episodes[it->second].scope;
+            op.acquire = ev.kind == TraceEventKind::EpisodeIssue;
+            ops.push_back(op);
+        }
+        m._source = ops.empty() ? HbOrderSource::ScheduleOrder
+                                : HbOrderSource::EpisodeMarkers;
+    }
+
+    // Vector-clock state. W_cu[c] is the "written clock" of CU c: the
+    // join of every release completed on that CU, i.e. the knowledge a
+    // same-CU acquire inherits through the shared L1. R_gpu is the
+    // globally drained knowledge: a GPU-scope release publishes its
+    // whole CU's written clock (the drain flushes CTA-pending lines
+    // too), and a GPU-scope acquire's flash invalidate subscribes to it.
+    const std::size_t num_cus =
+        n == 0 ? 0 : (max_agent / wfs_per_cu) + 1;
+    std::vector<std::vector<std::uint32_t>> clock(
+        m._numAgents, std::vector<std::uint32_t>(m._numAgents, 0));
+    std::vector<std::vector<std::uint32_t>> w_cu(
+        num_cus, std::vector<std::uint32_t>(m._numAgents, 0));
+    std::vector<std::uint32_t> r_gpu(m._numAgents, 0);
+    std::vector<bool> acquired(n, false), released(n, false);
+
+    auto do_acquire = [&](std::size_t idx, Tick tick, Scope s) {
+        const std::uint32_t a = m._agent[idx];
+        const unsigned c = m._cu[idx];
+        joinClock(clock[a], w_cu[c]);
+        if (effectiveScope(s) != Scope::Cta)
+            joinClock(clock[a], r_gpu);
+        m._sync[idx].acqClock = clock[a];
+        m._sync[idx].acqTick = tick;
+        acquired[idx] = true;
+    };
+    auto do_release = [&](std::size_t idx, Tick tick, Scope s) {
+        const std::uint32_t a = m._agent[idx];
+        const unsigned c = m._cu[idx];
+        m._sync[idx].relEpoch = ++clock[a][a];
+        joinClock(w_cu[c], clock[a]);
+        if (effectiveScope(s) != Scope::Cta)
+            joinClock(r_gpu, w_cu[c]);
+        m._sync[idx].relTick = tick;
+        released[idx] = true;
+    };
+
+    for (const SyncOp &op : ops) {
+        if (op.acquire) {
+            if (!acquired[op.idx])
+                do_acquire(op.idx, op.tick, op.scope);
+        } else if (!released[op.idx]) {
+            // An acquire marker may have been dropped by the recorder's
+            // event cap: synthesize it so the clocks stay well-formed.
+            if (!acquired[op.idx])
+                do_acquire(op.idx, op.tick, op.scope);
+            do_release(op.idx, op.tick, op.scope);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        m._sync[i].observed = acquired[i] && released[i];
+
+    // Episodes the event stream never covered (capped recorder, or no
+    // events at all) are processed in schedule order — the recorded
+    // generation order, which is a legal completion order.
+    for (std::size_t i = 0; i < n; ++i) {
+        const Scope s = trace.schedule.episodes[i].scope;
+        if (!acquired[i])
+            do_acquire(i, 0, s);
+        if (!released[i])
+            do_release(i, 0, s);
+    }
+    return m;
+}
+
+bool
+HbModel::orderedBefore(std::size_t a, std::size_t b) const
+{
+    assert(a < _sync.size() && b < _sync.size());
+    if (a == b)
+        return false;
+    if (_agent[a] == _agent[b])
+        return _pos[a] < _pos[b];
+    const EpisodeSync &rel = _sync[a];
+    const EpisodeSync &acq = _sync[b];
+    if (rel.relEpoch == 0 || acq.acqClock.size() <= _agent[a])
+        return false;
+    return acq.acqClock[_agent[a]] >= rel.relEpoch;
+}
+
+std::string
+HbModel::explainUnordered(std::size_t a, std::size_t b,
+                          const ReproTrace &trace) const
+{
+    const Episode &ea = trace.schedule.episodes[a];
+    const Episode &eb = trace.schedule.episodes[b];
+    const Scope sa = effectiveScope(ea.scope);
+    const Scope sb = effectiveScope(eb.scope);
+
+    std::ostringstream os;
+    os << "episode " << ea.id << " (wf " << ea.wavefrontId << ", cu "
+       << cuOf(a) << ", " << scopeName(ea.scope) << ") -> episode "
+       << eb.id << " (wf " << eb.wavefrontId << ", cu " << cuOf(b)
+       << ", " << scopeName(eb.scope) << "): ";
+
+    if (cuOf(a) == cuOf(b)) {
+        os << "same-CU pair, but the acquire (tick "
+           << _sync[b].acqTick << ") completed before the release (tick "
+           << _sync[a].relTick
+           << ") — ordered by timing, not by synchronization";
+        return os.str();
+    }
+    if (sa == Scope::Cta) {
+        os << "cta-scoped release on cu " << cuOf(a)
+           << " skipped the drain, and no later gpu-scoped release from"
+              " that CU published its writes before the acquire";
+        if (sb == Scope::Cta) {
+            os << "; the cta-scoped acquire on cu " << cuOf(b)
+               << " also skipped the flash invalidate";
+        }
+        return os.str();
+    }
+    if (sb == Scope::Cta) {
+        os << "cta-scoped acquire on cu " << cuOf(b)
+           << " skipped the flash invalidate, so the gpu-scoped drain"
+              " from cu "
+           << cuOf(a) << " was never observed";
+        return os.str();
+    }
+    os << "gpu-scoped pair, but the acquire (tick " << _sync[b].acqTick
+       << ") completed before the release (tick " << _sync[a].relTick
+       << ") — ordered by timing, not by synchronization";
+    return os.str();
+}
+
+} // namespace drf

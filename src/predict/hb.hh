@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Offline happens-before reconstruction over DRFTRC01 traces.
+ *
+ * One recorded run fixes one interleaving, but its synchronization
+ * skeleton constrains *every* legal reordering: per-wavefront program
+ * order plus the scope-aware release/acquire visibility edges the
+ * protocol actually guarantees. The HbModel rebuilds that skeleton with
+ * vector clocks — one component per wavefront (the agent) — processed
+ * over the observed order of sync completions (the v4
+ * SyncAcquire/SyncRelease markers; older traces fall back to the
+ * EpisodeIssue/EpisodeRetire markers, or to schedule order when no
+ * event stream was captured).
+ *
+ * Scope semantics follow the PR 8 implementation (see
+ * tester/episode.hh): releases and acquires are fence-like, not
+ * per-variable —
+ *
+ *  - every release makes the CU's completed writes visible to later
+ *    acquires *on the same CU* (the shared L1 is the CTA sharing
+ *    domain), regardless of scope;
+ *  - a GPU-scoped release drains the whole CU — everything completed on
+ *    that CU so far, CTA-scoped releases included — to the globally
+ *    visible level;
+ *  - a GPU-scoped acquire flash-invalidates its L1 and therefore
+ *    inherits everything any CU has drained so far;
+ *  - a CTA-scoped acquire inherits only its own CU's completed writes:
+ *    remote data may be stale in the un-invalidated L1 no matter what
+ *    remote CUs have drained.
+ *
+ * Scope::None (unscoped traces) is modeled as GPU scope, so clean
+ * unscoped and scoped-disciplined traces yield a fully ordered set of
+ * conflicting accesses — only schedules whose ordering relied on timing
+ * luck rather than synchronization produce HB-unordered conflicts
+ * (src/predict/predict.hh turns those into PredictedRace findings).
+ */
+
+#ifndef DRF_PREDICT_HB_HH
+#define DRF_PREDICT_HB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/repro.hh"
+
+namespace drf
+{
+
+/** How the observed sync order was obtained. */
+enum class HbOrderSource
+{
+    SyncEvents,     ///< v4 SyncAcquire/SyncRelease markers (exact)
+    EpisodeMarkers, ///< EpisodeIssue/EpisodeRetire fallback (exact order,
+                    ///< scopes looked up from the schedule)
+    ScheduleOrder,  ///< no event stream: generation order approximation
+};
+
+const char *hbOrderSourceName(HbOrderSource source);
+
+/** Happens-before model of one recorded trace (see file header). */
+class HbModel
+{
+  public:
+    /** Per-episode synchronization observation. */
+    struct EpisodeSync
+    {
+        std::vector<std::uint32_t> acqClock; ///< agent clock at acquire
+        std::uint32_t relEpoch = 0; ///< agent's release count at release
+        Tick acqTick = 0;           ///< observed acquire completion
+        Tick relTick = 0;           ///< observed release completion
+        bool observed = false;      ///< both sync ops seen in the stream
+    };
+
+    /** Build the model from @p trace (schedule + event stream). */
+    static HbModel build(const ReproTrace &trace);
+
+    /** Number of schedule episodes modeled. */
+    std::size_t size() const { return _sync.size(); }
+
+    HbOrderSource orderSource() const { return _source; }
+
+    /** Trace events consumed while building (throughput accounting). */
+    std::size_t eventsAnalyzed() const { return _eventsAnalyzed; }
+
+    /**
+     * True when episode @p a's release happens-before episode @p b's
+     * acquire (indices into the trace's schedule), or @p a precedes
+     * @p b in the same wavefront's program order.
+     */
+    bool orderedBefore(std::size_t a, std::size_t b) const;
+
+    /** Conflicting accesses in @p a and @p b are ordered either way. */
+    bool
+    ordered(std::size_t a, std::size_t b) const
+    {
+        return orderedBefore(a, b) || orderedBefore(b, a);
+    }
+
+    /** Sync observation of schedule episode @p idx. */
+    const EpisodeSync &sync(std::size_t idx) const { return _sync[idx]; }
+
+    /** Agent (wavefront id) of schedule episode @p idx. */
+    std::uint32_t agentOf(std::size_t idx) const { return _agent[idx]; }
+
+    /** CU of schedule episode @p idx. */
+    unsigned cuOf(std::size_t idx) const { return _cu[idx]; }
+
+    /** Position of episode @p idx within its wavefront's program. */
+    std::size_t programIndex(std::size_t idx) const { return _pos[idx]; }
+
+    /**
+     * Human-readable account of why @p a's release does not reach
+     * @p b's acquire — the sync path that failed to order them (scopes,
+     * CUs, and whether a GPU-scope drain/invalidate pair existed).
+     */
+    std::string explainUnordered(std::size_t a, std::size_t b,
+                                 const ReproTrace &trace) const;
+
+  private:
+    std::vector<EpisodeSync> _sync;      ///< by schedule index
+    std::vector<std::uint32_t> _agent;   ///< wavefront per episode
+    std::vector<unsigned> _cu;           ///< CU per episode
+    std::vector<std::size_t> _pos;       ///< per-wavefront program index
+    std::size_t _numAgents = 0;
+    std::size_t _eventsAnalyzed = 0;
+    HbOrderSource _source = HbOrderSource::ScheduleOrder;
+};
+
+} // namespace drf
+
+#endif // DRF_PREDICT_HB_HH

@@ -1,0 +1,274 @@
+#include "predict/predict.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "campaign/campaign_json.hh"
+
+namespace drf
+{
+
+namespace
+{
+
+/** All accesses to one variable, in schedule order. */
+struct VarAccess
+{
+    std::size_t idx;  ///< schedule index
+    bool isWrite;
+};
+
+AccessSite
+makeSite(const ReproTrace &trace, const HbModel &model, std::size_t idx,
+         VarId var, bool is_write)
+{
+    const Episode &e = trace.schedule.episodes[idx];
+    AccessSite site;
+    site.scheduleIndex = idx;
+    site.episodeId = e.id;
+    site.wavefront = e.wavefrontId;
+    site.cu = model.cuOf(idx);
+    site.scope = e.scope;
+    site.var = var;
+    site.isWrite = is_write;
+    return site;
+}
+
+void
+writeSite(JsonWriter &w, const AccessSite &s)
+{
+    w.beginObject();
+    w.key("episode_id").value(s.episodeId);
+    w.key("schedule_index").value(std::uint64_t(s.scheduleIndex));
+    w.key("wavefront").value(s.wavefront);
+    w.key("cu").value(s.cu);
+    w.key("scope").value(scopeName(s.scope));
+    w.key("var").value(std::uint64_t(s.var));
+    w.key("access").value(s.isWrite ? "write" : "read");
+    w.endObject();
+}
+
+/** Verify one candidate in place; returns replays executed. */
+std::size_t
+verifyRace(const ReproTrace &trace, PredictedRace &race,
+           const PredictOptions &opts)
+{
+    std::size_t replays = 0;
+    const EpisodeSchedule wit = witnessSchedule(trace, race);
+
+    // The pair-prefix may already fail on its own: dropping unrelated
+    // episodes changes the timing enough that no perturbation is even
+    // needed.
+    TraceRecorder rec;
+    TesterResult base = replayGpuRun(trace, wit, true, &rec);
+    ++replays;
+    race.verified = true;
+    if (base.failureClass != FailureClass::None) {
+        race.confirmed = true;
+        race.witnessClass = base.failureClass;
+        race.witnessDelay = 0;
+        race.witnessReport = base.report;
+        return replays;
+    }
+
+    // Delay ladder: push the earlier episode's acquire to (and then
+    // past) the later episode's acquire, in steps that stride across
+    // the later episode's span. All ticks come from the witness
+    // replay's own sync markers, so the probes track the subsequence's
+    // actual timing, not the full trace's.
+    Tick acq1 = 0, acq2 = 0, rel2 = 0;
+    for (const TraceEvent &ev : rec.events()) {
+        if (ev.kind == TraceEventKind::SyncAcquire) {
+            if (ev.a == race.first.episodeId)
+                acq1 = ev.tick;
+            else if (ev.a == race.second.episodeId)
+                acq2 = ev.tick;
+        } else if (ev.kind == TraceEventKind::SyncRelease &&
+                   ev.a == race.second.episodeId) {
+            rel2 = ev.tick;
+        }
+    }
+    const Tick span = rel2 > acq2 ? rel2 - acq2 : 0;
+    const Tick quantum =
+        std::max<Tick>(1, opts.maxProbes == 0
+                              ? span
+                              : span / opts.maxProbes);
+    const Tick base_delay = acq2 > acq1 ? acq2 - acq1 : 0;
+
+    for (unsigned k = 0; k < opts.maxProbes; ++k) {
+        const Tick delay = base_delay + k * quantum;
+        if (delay == 0)
+            continue;
+        SchedulePerturbation perturb;
+        perturb.add(race.first.episodeId, delay);
+        TesterResult r = replayGpuRun(trace, wit, true, nullptr, &perturb);
+        ++replays;
+        if (r.failureClass != FailureClass::None) {
+            race.confirmed = true;
+            race.witnessClass = r.failureClass;
+            race.witnessDelay = delay;
+            race.witnessReport = r.report;
+            return replays;
+        }
+    }
+    return replays;
+}
+
+} // namespace
+
+std::size_t
+PredictReport::confirmedCount() const
+{
+    std::size_t n = 0;
+    for (const PredictedRace &r : races)
+        n += r.confirmed ? 1 : 0;
+    return n;
+}
+
+std::size_t
+PredictReport::demotedCount() const
+{
+    std::size_t n = 0;
+    for (const PredictedRace &r : races)
+        n += (r.verified && !r.confirmed) ? 1 : 0;
+    return n;
+}
+
+EpisodeSchedule
+witnessSchedule(const ReproTrace &trace, const PredictedRace &race)
+{
+    std::vector<std::size_t> keep;
+    for (std::size_t i = 0; i < trace.schedule.size(); ++i) {
+        const Episode &e = trace.schedule.episodes[i];
+        if (e.wavefrontId == race.first.wavefront &&
+            i <= race.first.scheduleIndex) {
+            keep.push_back(i);
+        } else if (e.wavefrontId == race.second.wavefront &&
+                   i <= race.second.scheduleIndex) {
+            keep.push_back(i);
+        }
+    }
+    return trace.schedule.subset(keep);
+}
+
+PredictReport
+predictRaces(const ReproTrace &trace, const PredictOptions &opts)
+{
+    PredictReport report;
+    const HbModel model = HbModel::build(trace);
+    report.orderSource = model.orderSource();
+    report.eventsAnalyzed = model.eventsAnalyzed();
+
+    // Group accesses by variable, in schedule order.
+    std::map<VarId, std::vector<VarAccess>> by_var;
+    for (std::size_t i = 0; i < trace.schedule.size(); ++i) {
+        const Episode &e = trace.schedule.episodes[i];
+        for (const Episode::WriteEntry &w : e.writes)
+            by_var[w.var].push_back(VarAccess{i, true});
+        for (VarId v : e.reads) {
+            // A lane re-reading its own store is one access site, not
+            // a conflict with itself.
+            if (!e.writesVar(v))
+                by_var[v].push_back(VarAccess{i, false});
+        }
+    }
+
+    // Enumerate conflicting pairs; each episode pair is checked once
+    // (on its first conflicting variable in VarId order).
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    std::vector<PredictedRace> found;
+    for (const auto &[var, accesses] : by_var) {
+        for (std::size_t p = 0; p < accesses.size(); ++p) {
+            for (std::size_t q = p + 1; q < accesses.size(); ++q) {
+                const VarAccess &x = accesses[p];
+                const VarAccess &y = accesses[q];
+                if (!x.isWrite && !y.isWrite)
+                    continue;
+                if (model.agentOf(x.idx) == model.agentOf(y.idx))
+                    continue;
+                auto key = std::minmax(x.idx, y.idx);
+                if (!seen.insert({key.first, key.second}).second)
+                    continue;
+                ++report.pairsChecked;
+                if (model.ordered(x.idx, y.idx))
+                    continue;
+                ++report.candidates;
+                // Observed sync order decides which side the witness
+                // perturbation delays.
+                bool x_first =
+                    model.sync(x.idx).acqTick != model.sync(y.idx).acqTick
+                        ? model.sync(x.idx).acqTick <
+                              model.sync(y.idx).acqTick
+                        : x.idx < y.idx;
+                const VarAccess &a = x_first ? x : y;
+                const VarAccess &b = x_first ? y : x;
+                PredictedRace race;
+                race.first = makeSite(trace, model, a.idx, var, a.isWrite);
+                race.second =
+                    makeSite(trace, model, b.idx, var, b.isWrite);
+                race.syncPath =
+                    model.explainUnordered(a.idx, b.idx, trace);
+                found.push_back(std::move(race));
+            }
+        }
+    }
+
+    std::sort(found.begin(), found.end(),
+              [](const PredictedRace &l, const PredictedRace &r) {
+                  if (l.first.scheduleIndex != r.first.scheduleIndex)
+                      return l.first.scheduleIndex < r.first.scheduleIndex;
+                  return l.second.scheduleIndex < r.second.scheduleIndex;
+              });
+    if (found.size() > opts.maxCandidates)
+        found.resize(opts.maxCandidates);
+    report.races = std::move(found);
+
+    if (opts.verify) {
+        for (PredictedRace &race : report.races)
+            report.replays += verifyRace(trace, race, opts);
+    }
+    return report;
+}
+
+std::string
+predictReportJson(const ReproTrace &trace, const PredictReport &report)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("preset").value(trace.presetName);
+    w.key("seed").value(trace.tester.seed);
+    w.key("scope_mode").value(scopeModeName(trace.tester.scopeMode));
+    w.key("recorded_failure")
+        .value(failureClassName(trace.result.failureClass));
+    w.key("order_source").value(hbOrderSourceName(report.orderSource));
+    w.key("events_analyzed").value(std::uint64_t(report.eventsAnalyzed));
+    w.key("pairs_checked").value(std::uint64_t(report.pairsChecked));
+    w.key("candidates").value(std::uint64_t(report.candidates));
+    w.key("confirmed").value(std::uint64_t(report.confirmedCount()));
+    w.key("demoted").value(std::uint64_t(report.demotedCount()));
+    w.key("replays").value(std::uint64_t(report.replays));
+    w.key("races").beginArray();
+    for (const PredictedRace &r : report.races) {
+        w.beginObject();
+        w.key("first");
+        writeSite(w, r.first);
+        w.key("second");
+        writeSite(w, r.second);
+        w.key("sync_path").value(r.syncPath);
+        w.key("verified").value(r.verified);
+        w.key("confirmed").value(r.confirmed);
+        w.key("witness").beginObject();
+        w.key("failure_class").value(failureClassName(r.witnessClass));
+        w.key("delay_ticks").value(r.witnessDelay);
+        w.key("report").value(r.witnessReport);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace drf

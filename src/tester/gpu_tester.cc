@@ -106,6 +106,24 @@ GpuTester::traceEpisodeMark(bool issue, const Wavefront &wf) const
 }
 
 void
+GpuTester::traceSyncMark(bool acquire, const Wavefront &wf) const
+{
+    TraceRecorder *trace = _sys.trace();
+    if (trace == nullptr)
+        return;
+    TraceEvent ev;
+    ev.tick = _sys.eventq().curTick();
+    ev.kind = acquire ? TraceEventKind::SyncAcquire
+                      : TraceEventKind::SyncRelease;
+    ev.a = wf.episode.id;
+    ev.b = wf.episode.syncVar;
+    ev.src = static_cast<std::int32_t>(wf.cu);
+    ev.u8 = static_cast<std::uint8_t>(wf.episode.scope);
+    ev.u32 = wf.globalId;
+    trace->record(ev);
+}
+
+void
 GpuTester::traceOp(const OpTrace &op)
 {
     if (_recentOps.size() < historyDepth) {
@@ -161,6 +179,21 @@ GpuTester::startEpisode(Wavefront &wf)
     wf.actionIdx = 0;
     wf.pendingResponses = 0;
     wf.phase = Phase::Acquire;
+
+    // Perturbed replay: hold the acquire back by the configured delay.
+    // Marking pendingResponses first keeps the wavefront visibly busy
+    // (allDone stays false) while the deferred issue sits in the queue.
+    const Tick delay = _cfg.perturb == nullptr
+                           ? 0
+                           : _cfg.perturb->delayFor(wf.episode.id);
+    if (delay > 0) {
+        wf.pendingResponses = 1;
+        const std::uint32_t id = wf.globalId;
+        _sys.eventq().scheduleAfter(delay, [this, id] {
+            issueAtomic(_wfs[id], true);
+        });
+        return;
+    }
     issueAtomic(wf, true);
 }
 
@@ -398,6 +431,7 @@ GpuTester::onCoreResponse(unsigned cu, Packet &pkt)
       case MsgType::AtomicResp:
         assert(wf.phase == Phase::Acquire || wf.phase == Phase::Release);
         checkAtomic(wf, pkt);
+        traceSyncMark(wf.phase == Phase::Acquire, wf);
         break;
       default:
         fail(FailureClass::Other, "unexpected core response",

@@ -102,6 +102,15 @@ struct GpuTesterConfig
      * episodes, in schedule order. Mutually exclusive with record.
      */
     const EpisodeSchedule *replay = nullptr;
+
+    /**
+     * Optional deterministic schedule perturbation: per-episode issue
+     * delays applied where the episode would otherwise start. Used by
+     * the offline predictive/exploration passes (src/predict/) to steer
+     * a replay into a different legal interleaving; like record/replay
+     * it is not part of a preset's identity and is never serialized.
+     */
+    const SchedulePerturbation *perturb = nullptr;
 };
 
 /** Outcome of one tester run. */
@@ -217,6 +226,9 @@ class GpuTester
 
     /** Record an episode issue/retire marker into the system trace. */
     void traceEpisodeMark(bool issue, const Wavefront &wf) const;
+
+    /** Record a sync acquire/release completion (DRFTRC01 v4). */
+    void traceSyncMark(bool acquire, const Wavefront &wf) const;
 
     ApuSystem &_sys;
     GpuTesterConfig _cfg;

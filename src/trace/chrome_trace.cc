@@ -4,6 +4,7 @@
 
 #include "campaign/campaign_json.hh"
 #include "mem/msg.hh"
+#include "mem/scope.hh"
 #include "system/apu_system.hh"
 
 namespace drf
@@ -89,6 +90,22 @@ chromeTraceJson(const std::vector<TraceEvent> &events)
             w.key("pkt_id").value(ev.b);
             w.key("from").value(endpointName(ev.src));
             w.key("to").value(endpointName(ev.dst));
+            w.endObject();
+            w.endObject();
+            break;
+          }
+          case TraceEventKind::SyncAcquire:
+          case TraceEventKind::SyncRelease: {
+            bool acquire = ev.kind == TraceEventKind::SyncAcquire;
+            std::string name = std::string(acquire ? "acquire "
+                                                   : "release ") +
+                               "episode " + std::to_string(ev.a);
+            common(name.c_str(), "i", ev.tick, kEpisodePid, ev.u32);
+            w.key("s").value("t");
+            w.key("args").beginObject();
+            w.key("sync_var").value(ev.b);
+            w.key("cu").value(ev.src);
+            w.key("scope").value(scopeName(static_cast<Scope>(ev.u8)));
             w.endObject();
             w.endObject();
             break;

@@ -38,7 +38,19 @@ enum class TraceEventKind : std::uint8_t
     MsgSend,       ///< crossbar routed a message   (src/dst, a=addr, b=pktId)
     MsgDeliver,    ///< port delivered a message    (src/dst, a=addr, b=pktId)
     Transition,    ///< controller transition       (src=endpoint, u8=ev, u16=st)
+
+    // DRFTRC01 v4: synchronization completion markers, recorded when an
+    // episode's atomic acquire/release response reaches the tester.
+    // Together with the per-episode scope they are the input to the
+    // offline happens-before reconstruction (src/predict/hb.hh).
+    SyncAcquire,   ///< acquire completed (a=id, b=syncVar, src=cu,
+                   ///< u8=Scope, u32=wf)
+    SyncRelease,   ///< release completed (a=id, b=syncVar, src=cu,
+                   ///< u8=Scope, u32=wf)
 };
+
+/** Number of TraceEventKind values (for load-time validation). */
+constexpr std::uint8_t traceEventKindCount = 7;
 
 /** Printable kind name. */
 const char *traceEventKindName(TraceEventKind kind);

@@ -43,7 +43,8 @@ recordGpuRun(const GpuTestPreset &preset, const RecordOptions &opts)
 
 TesterResult
 replayGpuRun(const ReproTrace &trace, const EpisodeSchedule &schedule,
-             bool arm_fault, TraceRecorder *events)
+             bool arm_fault, TraceRecorder *events,
+             const SchedulePerturbation *perturb)
 {
     ApuSystemConfig sys_cfg = trace.system;
     if (!arm_fault)
@@ -56,6 +57,8 @@ replayGpuRun(const ReproTrace &trace, const EpisodeSchedule &schedule,
     GpuTesterConfig run_cfg = trace.tester;
     run_cfg.record = nullptr;
     run_cfg.replay = &schedule;
+    if (perturb != nullptr && !perturb->empty())
+        run_cfg.perturb = perturb;
     GpuTester tester(sys, run_cfg);
     return tester.run();
 }

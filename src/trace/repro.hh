@@ -79,11 +79,16 @@ ReproTrace recordGpuRun(const GpuTestPreset &preset,
  *                  reject subsequences that fail for unrelated
  *                  reasons).
  * @param events    Optional recorder for the replay's event trace.
+ * @param perturb   Optional deterministic schedule perturbation
+ *                  (per-episode issue delays; see
+ *                  trace/schedule.hh) steering the replay into a
+ *                  different legal interleaving of the same schedule.
  */
 TesterResult replayGpuRun(const ReproTrace &trace,
                           const EpisodeSchedule &schedule,
                           bool arm_fault = true,
-                          TraceRecorder *events = nullptr);
+                          TraceRecorder *events = nullptr,
+                          const SchedulePerturbation *perturb = nullptr);
 
 /** Replay the trace's own full schedule. */
 TesterResult replayGpuRun(const ReproTrace &trace);

@@ -59,6 +59,56 @@ struct EpisodeSchedule
 };
 
 /**
+ * A deterministic schedule perturbation: per-episode issue delays,
+ * applied by the tester when the episode would start (the recorded
+ * commit points). Delaying an episode's acquire shifts every one of its
+ * memory operations — and its wavefront's subsequent episodes — later
+ * relative to the other wavefronts, which is how the offline analyses
+ * (src/predict/) steer the deterministic replayer into *other* legal
+ * interleavings of the same recorded schedule: witness verification
+ * replays a predicted race with the rescuing episodes pushed aside, and
+ * the bounded DPOR explorer enumerates commit-point reorderings by
+ * composing flips. A perturbation changes timing only; the per-wavefront
+ * program order (and thus the schedule's legality) is untouched.
+ */
+struct SchedulePerturbation
+{
+    struct Delay
+    {
+        std::uint64_t episodeId = 0;
+        Tick ticks = 0;
+    };
+
+    std::vector<Delay> delays;
+
+    bool empty() const { return delays.empty(); }
+
+    /** Add @p ticks of issue delay for @p episode_id (accumulates). */
+    void
+    add(std::uint64_t episode_id, Tick ticks)
+    {
+        for (Delay &d : delays) {
+            if (d.episodeId == episode_id) {
+                d.ticks += ticks;
+                return;
+            }
+        }
+        delays.push_back({episode_id, ticks});
+    }
+
+    /** Issue delay for @p episode_id (0 when unperturbed). */
+    Tick
+    delayFor(std::uint64_t episode_id) const
+    {
+        for (const Delay &d : delays) {
+            if (d.episodeId == episode_id)
+                return d.ticks;
+        }
+        return 0;
+    }
+};
+
+/**
  * Rebuild an episode's derived writes/reads indexes from its op planes
  * (used after deserialization; the generator enforces one writer per
  * variable, so the reconstruction is exact).

@@ -19,6 +19,8 @@ traceEventKindName(TraceEventKind kind)
       case TraceEventKind::MsgSend: return "MsgSend";
       case TraceEventKind::MsgDeliver: return "MsgDeliver";
       case TraceEventKind::Transition: return "Transition";
+      case TraceEventKind::SyncAcquire: return "SyncAcquire";
+      case TraceEventKind::SyncRelease: return "SyncRelease";
     }
     return "?";
 }
@@ -30,9 +32,12 @@ constexpr char kMagic[8] = {'D', 'R', 'F', 'T', 'R', 'C', '0', '1'};
 // v1: original layout. v2: + guidance JSON string after the preset
 // name. v3: + L1 protocol kind at the end of the system config, scope
 // mode + CTA-scope percentage at the end of the tester config, and a
-// per-episode scope byte in the schedule. The loader accepts all three;
-// older files load with the unscoped VIPER defaults.
-constexpr std::uint32_t kVersion = 3;
+// per-episode scope byte in the schedule. v4: + SyncAcquire/SyncRelease
+// records (scope in u8) in the event stream — the raw material of the
+// offline happens-before reconstruction (src/predict/). The loader
+// accepts all four; older files load with the unscoped VIPER defaults
+// and no sync markers.
+constexpr std::uint32_t kVersion = 4;
 constexpr std::uint32_t kMinVersion = 1;
 
 void
@@ -99,7 +104,8 @@ getStr(std::istream &is, std::string &s)
 }
 
 void
-putSystemConfig(std::ostream &os, const ApuSystemConfig &c)
+putSystemConfig(std::ostream &os, const ApuSystemConfig &c,
+                std::uint32_t version)
 {
     putU32(os, c.numCus);
     putU32(os, c.numGpuL2s);
@@ -127,7 +133,8 @@ putSystemConfig(std::ostream &os, const ApuSystemConfig &c)
     putU32(os, static_cast<std::uint32_t>(c.fault));
     putU32(os, c.faultTriggerPct);
     putU64(os, c.faultSeed);
-    putU32(os, static_cast<std::uint32_t>(c.l1.protocol)); // v3
+    if (version >= 3)
+        putU32(os, static_cast<std::uint32_t>(c.l1.protocol));
 }
 
 bool
@@ -170,7 +177,8 @@ getSystemConfig(std::istream &is, ApuSystemConfig &c,
 }
 
 void
-putTesterConfig(std::ostream &os, const GpuTesterConfig &c)
+putTesterConfig(std::ostream &os, const GpuTesterConfig &c,
+                std::uint32_t version)
 {
     putU32(os, c.wfsPerCu);
     putU32(os, c.lanes);
@@ -189,8 +197,10 @@ putTesterConfig(std::ostream &os, const GpuTesterConfig &c)
     putU64(os, c.deadlockThreshold);
     putU64(os, c.checkInterval);
     putU64(os, c.runLimit);
-    putU32(os, static_cast<std::uint32_t>(c.scopeMode)); // v3
-    putU32(os, c.episodeGen.ctaScopePct);                // v3
+    if (version >= 3) {
+        putU32(os, static_cast<std::uint32_t>(c.scopeMode));
+        putU32(os, c.episodeGen.ctaScopePct);
+    }
 }
 
 bool
@@ -256,14 +266,16 @@ getResult(std::istream &is, TesterResult &r)
 }
 
 void
-putSchedule(std::ostream &os, const EpisodeSchedule &s)
+putSchedule(std::ostream &os, const EpisodeSchedule &s,
+            std::uint32_t version)
 {
     putU64(os, s.episodes.size());
     for (const Episode &e : s.episodes) {
         putU64(os, e.id);
         putU32(os, e.wavefrontId);
         putU32(os, e.syncVar);
-        putU8(os, static_cast<std::uint8_t>(e.scope)); // v3
+        if (version >= 3)
+            putU8(os, static_cast<std::uint8_t>(e.scope));
         putU64(os, e.numActions());
         for (std::uint32_t a = 0; a < e.numActions(); ++a) {
             const std::uint32_t lanes = e.laneCount(a);
@@ -341,11 +353,28 @@ getSchedule(std::istream &is, EpisodeSchedule &s, std::uint32_t version)
     return true;
 }
 
-void
-putEvents(std::ostream &os, const std::vector<TraceEvent> &events)
+bool
+isSyncEvent(TraceEventKind kind)
 {
-    putU64(os, events.size());
+    return kind == TraceEventKind::SyncAcquire ||
+           kind == TraceEventKind::SyncRelease;
+}
+
+void
+putEvents(std::ostream &os, const std::vector<TraceEvent> &events,
+          std::uint32_t version)
+{
+    // Pre-v4 formats have no sync markers; drop them rather than emit
+    // kinds an old reader never defined.
+    std::uint64_t count = 0;
     for (const TraceEvent &ev : events) {
+        if (version >= 4 || !isSyncEvent(ev.kind))
+            ++count;
+    }
+    putU64(os, count);
+    for (const TraceEvent &ev : events) {
+        if (version < 4 && isSyncEvent(ev.kind))
+            continue;
         putU64(os, ev.tick);
         putU64(os, ev.a);
         putU64(os, ev.b);
@@ -376,6 +405,8 @@ getEvents(std::istream &is, std::vector<TraceEvent> &events)
             !getInt(is, ev.u32)) {
             return false;
         }
+        if (kind >= traceEventKindCount)
+            return false;
         ev.kind = static_cast<TraceEventKind>(kind);
         events.push_back(ev);
     }
@@ -384,19 +415,47 @@ getEvents(std::istream &is, std::vector<TraceEvent> &events)
 
 } // namespace
 
+std::uint32_t
+traceFormatVersion()
+{
+    return kVersion;
+}
+
+const char *
+traceLoadStatusName(TraceLoadStatus status)
+{
+    switch (status) {
+      case TraceLoadStatus::Ok: return "Ok";
+      case TraceLoadStatus::Unreadable: return "Unreadable";
+      case TraceLoadStatus::BadMagic: return "BadMagic";
+      case TraceLoadStatus::FutureVersion: return "FutureVersion";
+      case TraceLoadStatus::Corrupt: return "Corrupt";
+    }
+    return "?";
+}
+
+bool
+saveTrace(std::ostream &os, const ReproTrace &trace,
+          std::uint32_t version)
+{
+    version = std::min(std::max(version, kMinVersion), kVersion);
+    os.write(kMagic, sizeof(kMagic));
+    putU32(os, version);
+    putStr(os, trace.presetName);
+    if (version >= 2)
+        putStr(os, trace.guidance);
+    putSystemConfig(os, trace.system, version);
+    putTesterConfig(os, trace.tester, version);
+    putResult(os, trace.result);
+    putSchedule(os, trace.schedule, version);
+    putEvents(os, trace.events, version);
+    return static_cast<bool>(os);
+}
+
 bool
 saveTrace(std::ostream &os, const ReproTrace &trace)
 {
-    os.write(kMagic, sizeof(kMagic));
-    putU32(os, kVersion);
-    putStr(os, trace.presetName);
-    putStr(os, trace.guidance);
-    putSystemConfig(os, trace.system);
-    putTesterConfig(os, trace.tester);
-    putResult(os, trace.result);
-    putSchedule(os, trace.schedule);
-    putEvents(os, trace.events);
-    return static_cast<bool>(os);
+    return saveTrace(os, trace, kVersion);
 }
 
 bool
@@ -406,28 +465,53 @@ saveTraceFile(const std::string &path, const ReproTrace &trace)
     return os && saveTrace(os, trace);
 }
 
-bool
-loadTrace(std::istream &is, ReproTrace &trace)
+TraceLoadStatus
+loadTraceStatus(std::istream &is, ReproTrace &trace,
+                std::uint32_t *found_version)
 {
     char magic[8];
     if (!is.read(magic, sizeof(magic)) ||
         !std::equal(std::begin(magic), std::end(magic),
                     std::begin(kMagic))) {
-        return false;
+        return TraceLoadStatus::BadMagic;
     }
     std::uint32_t version = 0;
-    if (!getInt(is, version) || version < kMinVersion ||
-        version > kVersion) {
-        return false;
-    }
+    if (!getInt(is, version))
+        return TraceLoadStatus::Corrupt;
+    if (found_version != nullptr)
+        *found_version = version;
+    // A version this build has never heard of is not corruption: the
+    // file is (presumably) fine, the reader is just too old. Report it
+    // distinctly so tools can say "upgrade" instead of "parse failure".
+    if (version > kVersion)
+        return TraceLoadStatus::FutureVersion;
+    if (version < kMinVersion)
+        return TraceLoadStatus::Corrupt;
     trace.guidance.clear();
-    return getStr(is, trace.presetName) &&
-           (version < 2 || getStr(is, trace.guidance)) &&
-           getSystemConfig(is, trace.system, version) &&
-           getTesterConfig(is, trace.tester, version) &&
-           getResult(is, trace.result) &&
-           getSchedule(is, trace.schedule, version) &&
-           getEvents(is, trace.events);
+    bool ok = getStr(is, trace.presetName) &&
+              (version < 2 || getStr(is, trace.guidance)) &&
+              getSystemConfig(is, trace.system, version) &&
+              getTesterConfig(is, trace.tester, version) &&
+              getResult(is, trace.result) &&
+              getSchedule(is, trace.schedule, version) &&
+              getEvents(is, trace.events);
+    return ok ? TraceLoadStatus::Ok : TraceLoadStatus::Corrupt;
+}
+
+TraceLoadStatus
+loadTraceFileStatus(const std::string &path, ReproTrace &trace,
+                    std::uint32_t *found_version)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return TraceLoadStatus::Unreadable;
+    return loadTraceStatus(is, trace, found_version);
+}
+
+bool
+loadTrace(std::istream &is, ReproTrace &trace)
+{
+    return loadTraceStatus(is, trace) == TraceLoadStatus::Ok;
 }
 
 bool

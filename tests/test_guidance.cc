@@ -61,8 +61,8 @@ tinySourceConfig(std::uint64_t master_seed, std::size_t max_shards)
 
 TEST(Strategy, NameParseRoundTrip)
 {
-    for (Strategy s :
-         {Strategy::Random, Strategy::Sweep, Strategy::Guided}) {
+    for (Strategy s : {Strategy::Random, Strategy::Sweep,
+                       Strategy::Guided, Strategy::Explore}) {
         auto parsed = parseStrategy(strategyName(s));
         ASSERT_TRUE(parsed.has_value());
         EXPECT_EQ(*parsed, s);
@@ -390,5 +390,25 @@ TEST(Guided, DecisionsJsonIsWellFormedArray)
           "\"guidance\":[", "\"curve\":[", "\"total_episodes\":"}) {
         EXPECT_NE(campaign_json.find(key), std::string::npos)
             << "missing " << key;
+    }
+}
+
+// Non-predict strategies still carry the predicted_races triage block —
+// always present, all zero, null pair — so downstream consumers can key
+// on it unconditionally.
+TEST(Guided, CampaignJsonHasZeroPredictedRacesBlock)
+{
+    GuidedSource source(tinySourceConfig(1, 6));
+    AdaptiveCampaignResult res = runAdaptiveCampaign(source);
+    EXPECT_FALSE(res.predictTriage.has_value());
+
+    const std::string zero_block =
+        "\"predicted_races\":{\"candidates\":0,\"confirmed\":0,"
+        "\"demoted\":0,\"interleavings\":0,\"first_pair\":null}";
+    for (const std::string &json :
+         {adaptiveCampaignToJson(res, "gpu_tester"),
+          adaptiveAggregatesJson(res, "gpu_tester")}) {
+        EXPECT_NE(json.find(zero_block), std::string::npos)
+            << "missing zero triage block in: " << json.substr(0, 400);
     }
 }

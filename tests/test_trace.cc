@@ -140,7 +140,7 @@ TEST(Trace, RecorderCapturesAllStreams)
     const std::vector<TraceEvent> &events = run.trace.events;
     ASSERT_FALSE(events.empty());
 
-    std::size_t counts[5] = {};
+    std::size_t counts[traceEventKindCount] = {};
     Tick prev = 0;
     for (const TraceEvent &ev : events) {
         ASSERT_LT(static_cast<std::size_t>(ev.kind), std::size(counts));
@@ -158,6 +158,12 @@ TEST(Trace, RecorderCapturesAllStreams)
     EXPECT_EQ(counts[size_t(TraceEventKind::EpisodeIssue)],
               counts[size_t(TraceEventKind::EpisodeRetire)]);
     EXPECT_EQ(counts[size_t(TraceEventKind::EpisodeIssue)],
+              run.trace.schedule.size());
+
+    // v4: every episode also completes one acquire and one release.
+    EXPECT_EQ(counts[size_t(TraceEventKind::SyncAcquire)],
+              run.trace.schedule.size());
+    EXPECT_EQ(counts[size_t(TraceEventKind::SyncRelease)],
               run.trace.schedule.size());
 }
 
@@ -285,4 +291,138 @@ TEST(Trace, ChromeTraceExport)
     EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
     EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
     EXPECT_NE(json.find("gpu.l1[0]"), std::string::npos);
+}
+
+namespace
+{
+
+std::size_t
+countSyncEvents(const std::vector<TraceEvent> &events)
+{
+    std::size_t n = 0;
+    for (const TraceEvent &ev : events) {
+        if (ev.kind == TraceEventKind::SyncAcquire ||
+            ev.kind == TraceEventKind::SyncRelease) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+// Load compatibility across the whole DRFTRC01 version history: a
+// trace saved at any version v1..current loads back with the
+// version-appropriate subset (guidance from v2, scope config from v3,
+// sync markers from v4) and still replays to the recorded outcome.
+TEST(Trace, VersionedSaveLoadCompat)
+{
+    RecordedRun run = recordGolden(CacheSizeClass::Small, 11,
+                                   FaultKind::LostWriteThrough);
+    run.trace.presetName = "compat";
+    run.trace.guidance = "[{\"round\":0}]";
+    const std::size_t sync_events = countSyncEvents(run.trace.events);
+    ASSERT_GT(sync_events, 0u);
+
+    for (std::uint32_t v = 1; v <= traceFormatVersion(); ++v) {
+        std::stringstream buf;
+        ASSERT_TRUE(saveTrace(buf, run.trace, v)) << "version " << v;
+
+        ReproTrace loaded;
+        std::uint32_t found = 0;
+        ASSERT_EQ(loadTraceStatus(buf, loaded, &found),
+                  TraceLoadStatus::Ok)
+            << "version " << v;
+        EXPECT_EQ(found, v);
+
+        ASSERT_EQ(loaded.schedule.size(), run.trace.schedule.size());
+        EXPECT_EQ(loaded.guidance,
+                  v >= 2 ? run.trace.guidance : std::string());
+        const std::size_t loaded_sync = countSyncEvents(loaded.events);
+        EXPECT_EQ(loaded_sync, v >= 4 ? sync_events : 0u)
+            << "version " << v;
+        // Non-sync streams survive every version.
+        EXPECT_EQ(loaded.events.size() - loaded_sync,
+                  run.trace.events.size() - sync_events);
+
+        TesterResult replayed = replayGpuRun(loaded);
+        EXPECT_EQ(replayed.failureClass, run.trace.result.failureClass)
+            << "version " << v;
+    }
+}
+
+// A file whose header claims a version newer than this build must be
+// rejected with the *distinct* FutureVersion status (reported with the
+// found version), not the generic corrupt/garbage failure.
+TEST(Trace, FutureVersionRejectedDistinctly)
+{
+    RecordedRun run = recordGolden(CacheSizeClass::Small, 7);
+    std::stringstream buf;
+    ASSERT_TRUE(saveTrace(buf, run.trace));
+
+    // The version field is the 8 bytes after the 8-byte magic.
+    std::string bytes = buf.str();
+    ASSERT_GT(bytes.size(), 16u);
+    const std::uint32_t future = traceFormatVersion() + 37;
+    for (int i = 0; i < 8; ++i)
+        bytes[8 + i] = static_cast<char>((std::uint64_t(future) >>
+                                          (8 * i)) & 0xff);
+
+    std::stringstream patched(bytes);
+    ReproTrace loaded;
+    std::uint32_t found = 0;
+    EXPECT_EQ(loadTraceStatus(patched, loaded, &found),
+              TraceLoadStatus::FutureVersion);
+    EXPECT_EQ(found, future);
+    EXPECT_STREQ(traceLoadStatusName(TraceLoadStatus::FutureVersion),
+                 "FutureVersion");
+
+    // The legacy bool API must still fail (it just can't say why).
+    std::stringstream again(bytes);
+    EXPECT_FALSE(loadTrace(again, loaded));
+}
+
+// The status API separates "not a trace" from "truncated trace".
+TEST(Trace, LoadStatusDistinguishesFailureModes)
+{
+    ReproTrace loaded;
+
+    std::stringstream garbage("definitely not a trace");
+    EXPECT_EQ(loadTraceStatus(garbage, loaded),
+              TraceLoadStatus::BadMagic);
+
+    RecordedRun run = recordGolden(CacheSizeClass::Small, 7);
+    std::stringstream buf;
+    ASSERT_TRUE(saveTrace(buf, run.trace));
+    std::string bytes = buf.str();
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    EXPECT_EQ(loadTraceStatus(truncated, loaded),
+              TraceLoadStatus::Corrupt);
+}
+
+// A perturbed replay is still deterministic: the same perturbation
+// twice gives bit-identical outcomes, and an empty perturbation is
+// byte-for-byte the unperturbed replay.
+TEST(Trace, PerturbedReplayDeterministic)
+{
+    RecordedRun run = recordGolden(CacheSizeClass::Small, 9);
+    ASSERT_TRUE(run.trace.result.passed);
+
+    SchedulePerturbation none;
+    TesterResult base =
+        replayGpuRun(run.trace, run.trace.schedule, true, nullptr,
+                     &none);
+    EXPECT_EQ(base.ticks, run.trace.result.ticks);
+
+    SchedulePerturbation delay;
+    delay.add(run.trace.schedule.episodes.front().id, 500);
+    TesterResult p1 = replayGpuRun(run.trace, run.trace.schedule, true,
+                                   nullptr, &delay);
+    TesterResult p2 = replayGpuRun(run.trace, run.trace.schedule, true,
+                                   nullptr, &delay);
+    EXPECT_EQ(p1.ticks, p2.ticks);
+    EXPECT_EQ(p1.failureClass, p2.failureClass);
+    EXPECT_EQ(p1.report, p2.report);
+    // The delay really steered the run into a different interleaving.
+    EXPECT_NE(p1.ticks, base.ticks);
 }

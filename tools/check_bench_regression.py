@@ -23,6 +23,9 @@ Compared metrics:
   msg_path:             messages_per_sec
   hotpath:              stages.{episode_generation,controller_dispatch,
                         ref_check}.events_per_sec
+  predict_throughput:   stages.{hb_build,explore}.events_per_sec
+                        (happens-before reconstruction and bounded
+                        schedule exploration; see src/predict/)
   guidance_convergence: median_reduction_pct (episode savings of the
                         guided scheduler vs the random baseline; the
                         binary itself also exits nonzero if coverage
@@ -148,12 +151,14 @@ def main():
     guidance_bin = args.build_dir / "bench" / "guidance_convergence"
     hotpath_bin = args.build_dir / "bench" / "hotpath"
     fleet_bin = args.build_dir / "bench" / "fleet_scaling"
+    predict_bin = args.build_dir / "bench" / "predict_throughput"
     for binary in (
         campaign_bin,
         msg_bin,
         guidance_bin,
         hotpath_bin,
         fleet_bin,
+        predict_bin,
     ):
         if not binary.exists():
             print(f"missing bench binary: {binary}", file=sys.stderr)
@@ -175,6 +180,9 @@ def main():
         baseline_fleet = json.load(
             open(args.baseline_dir / "BENCH_fleet.json")
         )
+        baseline_predict = json.load(
+            open(args.baseline_dir / "BENCH_predict.json")
+        )
     except (OSError, json.JSONDecodeError) as err:
         print(f"cannot read baseline: {err}", file=sys.stderr)
         return 2
@@ -195,6 +203,8 @@ def main():
         " --out BENCH_hotpath.json",
         "BENCH_fleet.json": f"{args.build_dir}/bench/fleet_scaling"
         " --out BENCH_fleet.json",
+        "BENCH_predict.json": f"{args.build_dir}/bench/"
+        "predict_throughput --out BENCH_predict.json",
     }
     baseline_protocols = {}
     try:
@@ -204,6 +214,7 @@ def main():
             ("BENCH_guidance.json", baseline_guidance),
             ("BENCH_hotpath.json", baseline_hotpath),
             ("BENCH_fleet.json", baseline_fleet),
+            ("BENCH_predict.json", baseline_predict),
         ):
             baseline_protocols[name] = baseline_key(
                 doc, name, "protocol", regen_cmds[name]
@@ -237,6 +248,7 @@ def main():
     campaign_samples = []
     msg_samples = []
     hotpath_samples = []
+    predict_samples = []
     with tempfile.TemporaryDirectory() as tmp:
         tmp = Path(tmp)
         for i in range(args.runs):
@@ -265,9 +277,16 @@ def main():
                     tmp / "hotpath.json",
                 )
             )
+            predict_samples.append(
+                run_bench(
+                    [predict_bin, "--out", tmp / "predict.json"],
+                    tmp / "predict.json",
+                )
+            )
             check_protocol("BENCH_campaign.json", campaign_samples[-1])
             check_protocol("BENCH_msg_path.json", msg_samples[-1])
             check_protocol("BENCH_hotpath.json", hotpath_samples[-1])
+            check_protocol("BENCH_predict.json", predict_samples[-1])
         # Once, not per-run: the convergence bench medians over three
         # master seeds internally, and its own exit status already
         # enforces coverage targets and deterministic replay.
@@ -395,6 +414,24 @@ def main():
                     ),
                     median_metric(
                         hotpath_samples,
+                        lambda d, s=stage: d["stages"][s][
+                            "events_per_sec"
+                        ],
+                    ),
+                )
+            )
+        for stage in ("hb_build", "explore"):
+            checks.append(
+                (
+                    f"predict.{stage}.events_per_sec",
+                    baseline_key(
+                        baseline_predict,
+                        "BENCH_predict.json",
+                        f"stages.{stage}.events_per_sec",
+                        regen_cmds["BENCH_predict.json"],
+                    ),
+                    median_metric(
+                        predict_samples,
                         lambda d, s=stage: d["stages"][s][
                             "events_per_sec"
                         ],

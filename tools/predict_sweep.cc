@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Predicted-vs-manifested sweep, and the explore-strategy driver.
+ *
+ * Default mode sweeps seeds of one configuration, recording a trace per
+ * seed and running the predictive race pass (src/predict/) on it. The
+ * output table answers the EXPERIMENTS.md question: of the races a
+ * schedule *could* hit, how many did the recorded run manifest on its
+ * own, and how many did only the predictive pass surface (passing run,
+ * confirmed prediction)?
+ *
+ * --explore instead drives the bounded stateless model checker
+ * (ExploreSource) as an adaptive campaign over one recorded base run:
+ * schedule perturbations only, fixed interleaving budget, deterministic
+ * at any worker count. --expect-failure-class gates CI on the explorer
+ * finding the reference failure within budget.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "guidance/adaptive_campaign.hh"
+#include "predict/explore.hh"
+#include "predict/predict.hh"
+#include "tester/configs.hh"
+#include "trace/repro.hh"
+
+using namespace drf;
+
+namespace
+{
+
+struct Args
+{
+    std::string protocol = "viper";
+    std::string scopeMode = "racy";
+    std::string outJson;
+    std::string outAggregates;
+    std::string expectFailureClass;
+    std::uint64_t seed = 1;
+    unsigned seeds = 8;
+    unsigned cus = 2;
+    unsigned episodes = 10;
+    unsigned actions = 30;
+    unsigned atomicLocs = 10;
+    unsigned jobs = 0;
+    unsigned predictProbes = 8;
+    std::size_t budget = 64;
+    std::size_t flips = 8;
+    bool explore = false;
+};
+
+std::optional<std::string>
+argValue(int argc, char **argv, int &i, const char *flag)
+{
+    if (std::strcmp(argv[i], flag) != 0)
+        return std::nullopt;
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+    }
+    return std::string(argv[++i]);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        if (auto v = argValue(argc, argv, i, "--protocol"))
+            a.protocol = *v;
+        else if (auto v = argValue(argc, argv, i, "--scope-mode"))
+            a.scopeMode = *v;
+        else if (auto v = argValue(argc, argv, i, "--out-json"))
+            a.outJson = *v;
+        else if (auto v = argValue(argc, argv, i, "--out-aggregates"))
+            a.outAggregates = *v;
+        else if (auto v =
+                     argValue(argc, argv, i, "--expect-failure-class"))
+            a.expectFailureClass = *v;
+        else if (auto v = argValue(argc, argv, i, "--seed"))
+            a.seed = std::strtoull(v->c_str(), nullptr, 10);
+        else if (auto v = argValue(argc, argv, i, "--seeds"))
+            a.seeds = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--cus"))
+            a.cus = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--episodes"))
+            a.episodes = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--actions"))
+            a.actions = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--atomic-locs"))
+            a.atomicLocs =
+                unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--jobs"))
+            a.jobs = unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--predict-probes"))
+            a.predictProbes =
+                unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v = argValue(argc, argv, i, "--budget"))
+            a.budget = std::strtoull(v->c_str(), nullptr, 10);
+        else if (auto v = argValue(argc, argv, i, "--flips"))
+            a.flips = std::strtoull(v->c_str(), nullptr, 10);
+        else if (std::strcmp(argv[i], "--explore") == 0)
+            a.explore = true;
+        else {
+            std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+            std::exit(2);
+        }
+    }
+    return a;
+}
+
+GpuTestPreset
+toolPreset(const Args &a, std::uint64_t seed)
+{
+    ProtocolKind protocol = ProtocolKind::Viper;
+    if (auto p = parseProtocolKind(a.protocol))
+        protocol = *p;
+    else {
+        std::fprintf(stderr, "unknown protocol: %s\n",
+                     a.protocol.c_str());
+        std::exit(2);
+    }
+    ScopeMode mode = ScopeMode::Racy;
+    if (auto m = parseScopeMode(a.scopeMode))
+        mode = *m;
+    else {
+        std::fprintf(stderr, "unknown scope mode: %s\n",
+                     a.scopeMode.c_str());
+        std::exit(2);
+    }
+
+    GpuTestPreset preset;
+    preset.cacheClass = CacheSizeClass::Large;
+    preset.system = makeGpuSystemConfig(CacheSizeClass::Large, a.cus);
+    preset.system.l1.protocol = protocol;
+    preset.tester = makeGpuTesterConfig(a.actions, a.episodes,
+                                        a.atomicLocs, seed);
+    preset.tester.lanes = 8;
+    preset.tester.episodeGen.lanes = 8;
+    preset.tester.wfsPerCu = 2;
+    preset.tester.variables.numNormalVars = 512;
+    preset.tester.variables.addrRangeBytes = 1 << 14;
+    preset.tester.scopeMode = mode;
+    preset.name = a.protocol + "-" + a.scopeMode + "/seed" +
+                  std::to_string(seed);
+    return preset;
+}
+
+bool
+writeText(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content << "\n";
+    if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+}
+
+int
+runExplore(const Args &a)
+{
+    // Explore perturbs the schedule of a *passing* run — if the base
+    // already fails, the bug is manifest and replay/shrink is the right
+    // tool — so scan seeds until a recording comes back green.
+    std::uint64_t base_seed = a.seed;
+    bool found = false;
+    for (; base_seed < a.seed + a.seeds; ++base_seed) {
+        ReproTrace probe = recordGpuRun(toolPreset(a, base_seed));
+        if (probe.result.passed) {
+            found = true;
+            break;
+        }
+        std::printf("explore: seed %llu fails at record time (%s), "
+                    "skipping\n",
+                    (unsigned long long)base_seed,
+                    failureClassName(probe.result.failureClass));
+    }
+    if (!found) {
+        std::fprintf(stderr,
+                     "explore: no passing base recording in %u seeds\n",
+                     a.seeds);
+        return 1;
+    }
+
+    ExploreOptions opts;
+    opts.budget = a.budget;
+    opts.maxFlipsPerTrace = a.flips;
+    opts.predict.maxProbes = a.predictProbes;
+    ExploreSource source(toolPreset(a, base_seed), opts);
+    std::printf("explore: base run %s (%zu episodes, %s)\n",
+                source.baseTrace().presetName.c_str(),
+                source.baseTrace().schedule.size(),
+                source.baseTrace().result.passed
+                    ? "passed"
+                    : failureClassName(
+                          source.baseTrace().result.failureClass));
+
+    AdaptiveCampaignConfig cfg;
+    cfg.jobs = a.jobs;
+    // Run the whole budget even past the first failure: the aggregate
+    // (and the determinism contract the tests byte-compare) then covers
+    // the full exploration, not a completion-order-dependent prefix.
+    cfg.stopOnFailure = false;
+    AdaptiveCampaignResult result = runAdaptiveCampaign(source, cfg);
+
+    std::printf("explore: %zu interleavings run, first failure: %s\n",
+                result.shardsRun,
+                result.firstFailure
+                    ? failureClassName(result.firstFailureClass)
+                    : "none");
+    for (const auto &[cls, count] : source.failuresByClass()) {
+        std::printf("  %s: %zu interleaving%s\n", failureClassName(cls),
+                    count, count == 1 ? "" : "s");
+    }
+    if (result.predictTriage) {
+        std::printf("predicted races: %zu candidates, %zu confirmed, "
+                    "%zu demoted\n",
+                    result.predictTriage->candidates,
+                    result.predictTriage->confirmed,
+                    result.predictTriage->demoted);
+    }
+
+    if (!a.outJson.empty() &&
+        !writeText(a.outJson,
+                   adaptiveCampaignToJson(result, "gpu_tester"))) {
+        return 1;
+    }
+    if (!a.outAggregates.empty() &&
+        !writeText(a.outAggregates,
+                   adaptiveAggregatesJson(result, "gpu_tester"))) {
+        return 1;
+    }
+
+    if (!a.expectFailureClass.empty()) {
+        bool hit = false;
+        for (const auto &[cls, count] : source.failuresByClass())
+            hit = hit || a.expectFailureClass == failureClassName(cls);
+        if (!hit) {
+            std::fprintf(stderr,
+                         "explore: expected some interleaving to fail "
+                         "with %s within budget %zu, none did\n",
+                         a.expectFailureClass.c_str(), a.budget);
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int
+runSweep(const Args &a)
+{
+    std::printf("%6s  %-16s  %10s  %9s  %7s  %7s\n", "seed",
+                "manifested", "candidates", "confirmed", "demoted",
+                "replays");
+    std::size_t manifested = 0, predicted_only = 0, clean = 0;
+    RecordOptions rec;
+    rec.captureEvents = true;
+    for (std::uint64_t seed = a.seed; seed < a.seed + a.seeds; ++seed) {
+        ReproTrace trace = recordGpuRun(toolPreset(a, seed), rec);
+        PredictOptions opts;
+        opts.maxProbes = a.predictProbes;
+        PredictReport report = predictRaces(trace, opts);
+
+        const bool failed = !trace.result.passed;
+        if (failed)
+            ++manifested;
+        else if (report.confirmedCount() > 0)
+            ++predicted_only;
+        else
+            ++clean;
+        std::printf("%6llu  %-16s  %10zu  %9zu  %7zu  %7zu\n",
+                    (unsigned long long)seed,
+                    failed
+                        ? failureClassName(trace.result.failureClass)
+                        : "passed",
+                    report.candidates, report.confirmedCount(),
+                    report.demotedCount(), report.replays);
+    }
+    std::printf("\n%u seeds: %zu manifested at record time, %zu "
+                "predicted-only (passing run, confirmed race), %zu "
+                "clean\n",
+                a.seeds, manifested, predicted_only, clean);
+
+    if (!a.outJson.empty()) {
+        std::ostringstream os;
+        os << "{\"seeds\": " << a.seeds
+           << ", \"manifested\": " << manifested
+           << ", \"predicted_only\": " << predicted_only
+           << ", \"clean\": " << clean << "}";
+        if (!writeText(a.outJson, os.str()))
+            return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parseArgs(argc, argv);
+    return a.explore ? runExplore(a) : runSweep(a);
+}

@@ -75,6 +75,7 @@
 #include "tester/configs.hh"
 #include "tester/scenarios.hh"
 #include "tester/tester_failure.hh"
+#include "predict/predict.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/repro.hh"
 #include "trace/shrink.hh"
@@ -107,6 +108,8 @@ struct Args
     unsigned seeds = 8;
     std::size_t maxProbes = 2000;
     bool events = false;
+    unsigned predictProbes = 8;      ///< delay-ladder depth (predict)
+    unsigned expectConfirmedMin = 0; ///< gate: min confirmed races
 };
 
 std::optional<std::string>
@@ -164,6 +167,13 @@ parseArgs(int argc, char **argv)
             a.seeds = unsigned(std::strtoul(v->c_str(), nullptr, 10));
         else if (auto v = argValue(argc, argv, i, "--max-probes"))
             a.maxProbes = std::strtoull(v->c_str(), nullptr, 10);
+        else if (auto v = argValue(argc, argv, i, "--predict-probes"))
+            a.predictProbes =
+                unsigned(std::strtoul(v->c_str(), nullptr, 10));
+        else if (auto v =
+                     argValue(argc, argv, i, "--expect-confirmed-min"))
+            a.expectConfirmedMin =
+                unsigned(std::strtoul(v->c_str(), nullptr, 10));
         else if (std::strcmp(argv[i], "--events") == 0)
             a.events = true;
         else {
@@ -247,11 +257,30 @@ loadOrDie(const std::string &path)
         std::fprintf(stderr, "--in is required\n");
         std::exit(2);
     }
-    if (!loadTraceFile(path, trace)) {
-        std::fprintf(stderr, "failed to load trace: %s\n", path.c_str());
-        std::exit(1);
+    std::uint32_t found = 0;
+    switch (loadTraceFileStatus(path, trace, &found)) {
+      case TraceLoadStatus::Ok:
+        return trace;
+      case TraceLoadStatus::Unreadable:
+        std::fprintf(stderr, "failed to open trace: %s\n", path.c_str());
+        break;
+      case TraceLoadStatus::BadMagic:
+        std::fprintf(stderr, "not a DRFTRC01 trace: %s\n", path.c_str());
+        break;
+      case TraceLoadStatus::FutureVersion:
+        std::fprintf(stderr,
+                     "trace %s has DRFTRC01 format version %u, newer "
+                     "than this build supports (max %u) — rerecord it "
+                     "or upgrade this tool\n",
+                     path.c_str(), found, traceFormatVersion());
+        break;
+      case TraceLoadStatus::Corrupt:
+        std::fprintf(stderr,
+                     "failed to load trace (corrupt or truncated): %s\n",
+                     path.c_str());
+        break;
     }
-    return trace;
+    std::exit(1);
 }
 
 bool
@@ -689,6 +718,125 @@ cmdScoped(const Args &a)
     return ok ? 0 : 1;
 }
 
+int
+cmdPredict(const Args &a)
+{
+    ReproTrace trace;
+    if (!a.in.empty()) {
+        trace = loadOrDie(a.in);
+        if (trace.events.empty()) {
+            std::fprintf(stderr,
+                         "note: trace has no event stream; sync order "
+                         "falls back to schedule order\n");
+        }
+    } else {
+        // No input trace: record one that *passes* — the predictive
+        // pass's whole point is finding the races a lucky schedule
+        // hid — scanning seeds until the run comes back green.
+        ScopeMode mode = parseScopeModeArg(a.scopeMode);
+        ApuSystemConfig sys =
+            makeGpuSystemConfig(CacheSizeClass::Large, a.cus);
+        sys.l1.protocol = parseProtocolArg(a.protocol);
+        RecordOptions rec;
+        rec.captureEvents = true;
+        bool found = false;
+        for (std::uint64_t seed = a.seed; seed < a.seed + a.seeds;
+             ++seed) {
+            GpuTesterConfig tester = toolTesterConfig(a, seed);
+            tester.scopeMode = mode;
+            trace = recordGpuRun(sys, tester, rec);
+            trace.presetName = std::string("predict/") +
+                               scopeModeName(mode) + "/seed" +
+                               std::to_string(seed);
+            if (trace.result.passed) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "predict: no passing recording in %u seeds "
+                         "(every run already failed; use replay/shrink "
+                         "on those instead)\n",
+                         a.seeds);
+            return 1;
+        }
+        std::printf("recorded passing trace %s (%zu episodes, %zu "
+                    "events)\n",
+                    trace.presetName.c_str(), trace.schedule.size(),
+                    trace.events.size());
+    }
+
+    PredictOptions opts;
+    opts.maxProbes = a.predictProbes;
+    PredictReport report = predictRaces(trace, opts);
+
+    std::printf("predict: order source %s, %zu events analyzed, %zu "
+                "pairs checked\n",
+                hbOrderSourceName(report.orderSource),
+                report.eventsAnalyzed, report.pairsChecked);
+    for (const PredictedRace &r : report.races) {
+        std::printf("  %s: ep %llu wf %u %s var %llu <-> ep %llu wf %u "
+                    "%s var %llu",
+                    r.confirmed ? "CONFIRMED" : "demoted",
+                    (unsigned long long)r.first.episodeId,
+                    r.first.wavefront,
+                    r.first.isWrite ? "write" : "read",
+                    (unsigned long long)r.first.var,
+                    (unsigned long long)r.second.episodeId,
+                    r.second.wavefront,
+                    r.second.isWrite ? "write" : "read",
+                    (unsigned long long)r.second.var);
+        if (r.confirmed) {
+            std::printf(" [%s, delay %llu]",
+                        failureClassName(r.witnessClass),
+                        (unsigned long long)r.witnessDelay);
+        }
+        std::printf("\n    sync: %s\n", r.syncPath.c_str());
+    }
+    std::printf("predict: %zu candidates, %zu confirmed, %zu demoted "
+                "(%zu witness replays)\n",
+                report.candidates, report.confirmedCount(),
+                report.demotedCount(), report.replays);
+
+    if (!a.outJson.empty() &&
+        !writeText(a.outJson, predictReportJson(trace, report))) {
+        return 1;
+    }
+
+    // Witness artifact: the first confirmed race's pair-prefix
+    // schedule, stamped with the failing replay's outcome. The
+    // perturbation itself is in the JSON report (delay_ticks); the
+    // trace documents the failing schedule and its Table V report.
+    if (!a.outTrace.empty()) {
+        for (const PredictedRace &r : report.races) {
+            if (!r.confirmed)
+                continue;
+            ReproTrace witness = trace;
+            witness.presetName = trace.presetName + "/witness";
+            witness.schedule = witnessSchedule(trace, r);
+            SchedulePerturbation perturb;
+            if (r.witnessDelay > 0)
+                perturb.add(r.first.episodeId, r.witnessDelay);
+            witness.events.clear();
+            witness.result = replayGpuRun(trace, witness.schedule, true,
+                                          nullptr, &perturb);
+            if (saveTraceFile(a.outTrace, witness))
+                std::printf("wrote %s\n", a.outTrace.c_str());
+            break;
+        }
+    }
+
+    if (report.confirmedCount() < a.expectConfirmedMin) {
+        std::fprintf(stderr,
+                     "predict: expected >= %u confirmed predicted "
+                     "races, got %zu\n",
+                     a.expectConfirmedMin, report.confirmedCount());
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -697,7 +845,7 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: shrink_repro "
-                     "{record|replay|shrink|export|fuzz|scoped} "
+                     "{record|replay|shrink|export|fuzz|scoped|predict} "
                      "[options]\n");
         return 2;
     }
@@ -715,6 +863,8 @@ main(int argc, char **argv)
         return cmdFuzz(a);
     if (cmd == "scoped")
         return cmdScoped(a);
+    if (cmd == "predict")
+        return cmdPredict(a);
     std::fprintf(stderr, "unknown subcommand: %s\n", cmd.c_str());
     return 2;
 }
