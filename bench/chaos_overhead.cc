@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Chaos layer overhead: what the integrity machinery costs on the
+ * paths it sits on. Not CI-gated — the numbers document that wire v2
+ * CRC framing, result digests, and journal record sealing are cheap
+ * relative to shard execution, so leaving them always-on is free.
+ *
+ * Reports, per payload size:
+ *   - crc32c + fnv1a64 throughput (GiB/s)
+ *   - frame encode (v2 header + CRC) vs a plain memcpy of the payload
+ *   - journal record seal + unseal round trips per second
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "campaign/journal.hh"
+#include "chaos/chaos.hh"
+#include "fleet/wire.hh"
+
+using namespace drf;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string
+makePayload(std::size_t size)
+{
+    std::string payload;
+    payload.reserve(size);
+    chaos::ChaosRng rng(size); // deterministic, incompressible-ish
+    while (payload.size() < size)
+        payload.push_back(static_cast<char>(rng.next() & 0xff));
+    return payload;
+}
+
+/** Run fn() until ~0.2 s elapse; returns (iterations, seconds). */
+template <typename Fn>
+std::pair<std::uint64_t, double>
+timeLoop(Fn &&fn)
+{
+    std::uint64_t iters = 0;
+    Clock::time_point start = Clock::now();
+    double elapsed = 0.0;
+    do {
+        for (int i = 0; i < 32; ++i)
+            fn();
+        iters += 32;
+        elapsed = seconds(start);
+    } while (elapsed < 0.2);
+    return {iters, elapsed};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# chaos / integrity overhead "
+                "(informational, not CI-gated)\n");
+    std::printf("%-10s %12s %12s %14s %14s\n", "payload", "crc GiB/s",
+                "fnv GiB/s", "encode Mfr/s", "seal kRT/s");
+
+    std::uint32_t sink32 = 0;
+    std::uint64_t sink64 = 0;
+    std::size_t sink_len = 0;
+
+    for (std::size_t size : {64u, 512u, 4096u, 65536u}) {
+        std::string payload = makePayload(size);
+
+        auto [crc_iters, crc_s] = timeLoop(
+            [&] { sink32 ^= chaos::crc32c(payload); });
+        double crc_gibs = double(size) * double(crc_iters) /
+                          crc_s / (1024.0 * 1024.0 * 1024.0);
+
+        auto [fnv_iters, fnv_s] = timeLoop(
+            [&] { sink64 ^= chaos::fnv1a64(payload); });
+        double fnv_gibs = double(size) * double(fnv_iters) /
+                          fnv_s / (1024.0 * 1024.0 * 1024.0);
+
+        auto [enc_iters, enc_s] = timeLoop([&] {
+            std::string wire =
+                fleet::encodeFrame(fleet::MsgType::Result, payload);
+            sink_len += wire.size();
+        });
+        double enc_mfps = double(enc_iters) / enc_s / 1e6;
+
+        auto [seal_iters, seal_s] = timeLoop([&] {
+            std::string sealed = sealJournalRecord(payload);
+            std::string inner;
+            if (unsealJournalRecord(sealed, inner) !=
+                JournalSeal::Ok)
+                std::abort();
+            sink_len += inner.size();
+        });
+        double seal_krts = double(seal_iters) / seal_s / 1e3;
+
+        std::printf("%-10zu %12.2f %12.2f %14.2f %14.1f\n", size,
+                    crc_gibs, fnv_gibs, enc_mfps, seal_krts);
+    }
+
+    // Keep the sinks observable so the loops can't be elided.
+    std::fprintf(stderr, "# sink %08x %016llx %zu\n", sink32,
+                 (unsigned long long)sink64, sink_len);
+    return 0;
+}

@@ -1,7 +1,12 @@
 #include "campaign/journal.hh"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <map>
+#include <thread>
 #include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -17,6 +22,7 @@
 #include "campaign/campaign_json.hh"
 #include "campaign/json_value.hh"
 #include "campaign/posix_io.hh"
+#include "chaos/chaos.hh"
 #include "proto/directory.hh"
 #include "proto/gpu_l1.hh"
 #include "proto/gpu_l2.hh"
@@ -216,31 +222,126 @@ parseShardOutcome(const std::string &line, ShardOutcome &out)
     return true;
 }
 
+std::string
+sealJournalRecord(const std::string &line)
+{
+    char head[32];
+    std::snprintf(head, sizeof(head), "{\"crc\":\"%08x\",\"data\":",
+                  chaos::crc32c(line));
+    std::string out;
+    out.reserve(line.size() + 28);
+    out.append(head);
+    out.append(line);
+    out.push_back('}');
+    return out;
+}
+
+JournalSeal
+unsealJournalRecord(const std::string &line, std::string &inner)
+{
+    // {"crc":"xxxxxxxx","data":<payload>}  — fixed-offset envelope; the
+    // payload is a JsonWriter line and so contains no raw newlines.
+    constexpr std::size_t kPrefix = 8; // {"crc":"
+    constexpr std::size_t kHex = 8;
+    constexpr std::size_t kMid = 9; // ","data":
+    if (line.size() < kPrefix + kHex + kMid + 1 ||
+        line.compare(0, kPrefix, "{\"crc\":\"") != 0)
+        return JournalSeal::Bare;
+    if (line.compare(kPrefix + kHex, kMid, "\",\"data\":") != 0 ||
+        line.back() != '}')
+        return JournalSeal::Bad;
+    std::uint32_t want = 0;
+    for (std::size_t i = kPrefix; i < kPrefix + kHex; ++i) {
+        char c = line[i];
+        unsigned digit = 0;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<unsigned>(c - 'a') + 10;
+        else
+            return JournalSeal::Bad;
+        want = (want << 4) | digit;
+    }
+    std::string payload =
+        line.substr(kPrefix + kHex + kMid,
+                    line.size() - (kPrefix + kHex + kMid) - 1);
+    if (chaos::crc32c(payload) != want)
+        return JournalSeal::Bad;
+    inner = std::move(payload);
+    return JournalSeal::Ok;
+}
+
+std::string
+journalStatusJson(const JournalStatus &status)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("enabled").value(status.enabled);
+    w.key("degraded").value(status.degraded);
+    w.key("records").value(status.records);
+    w.key("failed_writes").value(status.failedWrites);
+    w.key("fsync_failures").value(status.fsyncFailures);
+    w.key("retries").value(status.retries);
+    w.key("last_errno")
+        .value(static_cast<std::uint64_t>(
+            status.lastErrno < 0 ? 0 : status.lastErrno));
+    w.key("last_op").value(status.lastOp);
+    w.endObject();
+    return w.str();
+}
+
 bool
-loadJournal(const std::string &path, std::vector<ShardOutcome> &records)
+loadJournal(const std::string &path, std::vector<ShardOutcome> &records,
+            JournalLoadStats *stats)
 {
     std::ifstream in(path);
     if (!in.is_open())
         return false;
 
+    JournalLoadStats counted;
     std::map<std::size_t, ShardOutcome> latest; // last record wins
     std::string line;
+    std::string inner;
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
-        ShardOutcome out;
-        // Unparseable lines — the header, a line truncated by an
-        // interrupted write — are skipped, not fatal: a resumable
-        // journal beats a strict one here.
-        if (!parseShardOutcome(line, out))
+        ++counted.lines;
+        JournalSeal seal = unsealJournalRecord(line, inner);
+        if (seal == JournalSeal::Bad) {
+            // Detected damage: bit rot under the envelope, or a torn
+            // write spliced against a later append. Self-heal by
+            // skipping — the shard is simply re-run on resume.
+            ++counted.crcSkipped;
             continue;
-        latest[out.index] = std::move(out);
+        }
+        const std::string &payload =
+            seal == JournalSeal::Ok ? inner : line;
+        ShardOutcome out;
+        if (parseShardOutcome(payload, out)) {
+            ++counted.records;
+            latest[out.index] = std::move(out);
+            continue;
+        }
+        // Structured non-shard records (the campaign header) are
+        // expected; anything else unparseable is a torn line — the
+        // classic interrupted-write tail — skipped, not fatal: a
+        // resumable journal beats a strict one here.
+        JsonValue v;
+        if (parseJson(payload, v) &&
+            v.type == JsonValue::Type::Object) {
+            const JsonValue *kind = v.find("kind");
+            if (kind && kind->string != "shard")
+                continue;
+        }
+        ++counted.parseSkipped;
     }
 
     records.clear();
     records.reserve(latest.size());
     for (auto &[idx, out] : latest)
         records.push_back(std::move(out));
+    if (stats)
+        *stats = counted;
     return true;
 }
 
@@ -258,6 +359,18 @@ CampaignJournal::CampaignJournal(const std::string &path,
 #if DRF_JOURNAL_HAVE_FD
     _fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
 #endif
+    _status.enabled = _fd >= 0;
+    if (_fd < 0) {
+        _status.lastErrno = errno;
+        _status.lastOp = "open";
+    }
+}
+
+JournalStatus
+CampaignJournal::status()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _status;
 }
 
 CampaignJournal::~CampaignJournal()
@@ -278,9 +391,13 @@ CampaignJournal::append(const std::string &line)
     std::lock_guard<std::mutex> lock(_mutex);
     if (_fd < 0 || _failed)
         return;
-    _buffer.append(line);
+    if (_policy.crcRecords)
+        _buffer.append(sealJournalRecord(line));
+    else
+        _buffer.append(line);
     _buffer.push_back('\n');
     ++_recordsBuffered;
+    ++_status.records;
     if (_buffer.size() >= _policy.flushBytes) {
         bool sync = _policy.syncEveryRecords != 0 &&
                     _recordsSinceSync + _recordsBuffered >=
@@ -299,28 +416,112 @@ CampaignJournal::flush(bool sync)
 }
 
 void
+CampaignJournal::degradeLocked(int err, const char *op)
+{
+    // Ladder exhausted: stop persisting, let the campaign finish. The
+    // unwritten suffix is dropped — those shards are deterministic and
+    // simply re-run on resume; what must NOT happen is the campaign
+    // dying over a sick disk or the status pretending durability.
+    _failed = true;
+    _status.degraded = true;
+    _status.lastErrno = err;
+    _status.lastOp = op;
+    _buffer.clear();
+    _recordsBuffered = 0;
+}
+
+void
+CampaignJournal::backoffLocked(unsigned attempt)
+{
+    if (_policy.retryBackoffMs == 0)
+        return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<std::uint64_t>(_policy.retryBackoffMs)
+        << (attempt - 1)));
+}
+
+bool
+CampaignJournal::writeBufferLocked()
+{
+    // One write() per attempt for the whole batch; flushes always
+    // carry whole lines, so a crash can tear at most the final
+    // kernel-side write, which the loader tolerates. A short write —
+    // injected or real — persists its prefix and the retry resumes at
+    // the exact byte the kernel (or the fault plan) stopped at.
+    unsigned failures = 0;
+    while (!_buffer.empty()) {
+        std::size_t allow = _buffer.size();
+        int injected = 0;
+        if (_policy.writeFault) {
+            JournalWriteFate fate = _policy.writeFault(_buffer.size());
+            if (fate.allow < allow || fate.err != 0) {
+                allow = std::min(fate.allow, _buffer.size());
+                injected = fate.err != 0 ? fate.err : EIO;
+            }
+        }
+        int err = injected;
+        if (allow > 0) {
+            if (io::writeAll(_fd, _buffer.data(), allow))
+                _buffer.erase(0, allow);
+            else
+                err = errno != 0 ? errno : EIO;
+        }
+        if (err == 0)
+            continue; // full buffer out -> loop exits
+        ++_status.failedWrites;
+        _status.lastErrno = err;
+        _status.lastOp = "write";
+        ++failures;
+        if (failures > _policy.maxWriteRetries) {
+            degradeLocked(err, "write");
+            return false;
+        }
+        ++_status.retries;
+        backoffLocked(failures);
+    }
+    _recordsSinceSync += _recordsBuffered;
+    _recordsBuffered = 0;
+    return true;
+}
+
+bool
+CampaignJournal::syncLocked()
+{
+    unsigned failures = 0;
+    for (;;) {
+        int err = _policy.syncFault ? _policy.syncFault() : 0;
+        if (err == 0) {
+#if DRF_JOURNAL_HAVE_FD
+            if (::fsync(_fd) != 0)
+                err = errno != 0 ? errno : EIO;
+#endif
+        }
+        if (err == 0) {
+            _recordsSinceSync = 0;
+            return true;
+        }
+        ++_status.fsyncFailures;
+        _status.lastErrno = err;
+        _status.lastOp = "fsync";
+        ++failures;
+        if (failures > _policy.maxWriteRetries) {
+            degradeLocked(err, "fsync");
+            return false;
+        }
+        ++_status.retries;
+        backoffLocked(failures);
+    }
+}
+
+void
 CampaignJournal::flushLocked(bool sync)
 {
-    if (_failed)
+    if (_failed || _fd < 0)
         return;
-    if (!_buffer.empty()) {
-        // One write() for the whole batch; flushes always carry whole
-        // lines, so a crash can tear at most the final kernel-side
-        // write, which the loader tolerates.
-        if (!io::writeAll(_fd, _buffer)) {
-            _failed = true;
-            return;
-        }
-        _buffer.clear();
-        _recordsSinceSync += _recordsBuffered;
-        _recordsBuffered = 0;
-    }
-    if (sync) {
-#if DRF_JOURNAL_HAVE_FD
-        ::fsync(_fd);
-#endif
-        _recordsSinceSync = 0;
-    }
+    if (!_buffer.empty() && !writeBufferLocked())
+        return;
+    if (sync)
+        syncLocked();
 }
 
 } // namespace drf

@@ -26,6 +26,27 @@
  * SIGKILL/power loss) and takes the *last* record per shard index, so
  * a journal appended to across several resumed sessions stays valid.
  *
+ * On-disk integrity: by default each appended line is sealed in a
+ * CRC32C envelope — {"crc":"xxxxxxxx","data":<line>} — so the loader
+ * can tell a record that was *damaged* (bit rot, a torn write spliced
+ * against a later append) from one that is merely absent. Sealed and
+ * bare (pre-envelope) lines coexist in one file; damage is counted per
+ * category in JournalLoadStats, never silently absorbed as a parse
+ * miss.
+ *
+ * Failure behavior: the writer checks every write() and fsync(). A
+ * failed syscall is retried maxWriteRetries times with a small backoff
+ * (short writes pick up exactly where the kernel stopped); if the
+ * ladder is exhausted the journal *degrades* — it stops persisting,
+ * the campaign keeps running, and JournalStatus reports degraded=true
+ * with the errno and operation that caused it so the caller can
+ * surface "this run is not resumable past shard N" instead of either
+ * crashing the campaign or lying about durability. Fault-injection
+ * hooks (Policy::writeFault / syncFault) let tests and chaos drills
+ * drive this ladder deterministically: an injected short write
+ * actually writes the allowed prefix, producing genuine torn bytes on
+ * disk for the resume path to heal over.
+ *
  * The writer buffers: appended lines accumulate and are written with
  * one write() per flush batch instead of one syscall per record, and
  * flushes always end on record boundaries, so the on-disk tail is at
@@ -40,6 +61,9 @@
 #define DRF_CAMPAIGN_JOURNAL_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -59,19 +83,76 @@ std::string shardOutcomeToJson(const ShardOutcome &out);
  */
 bool parseShardOutcome(const std::string &line, ShardOutcome &out);
 
+/** Wrap one journal line in the CRC32C integrity envelope. */
+std::string sealJournalRecord(const std::string &line);
+
+/** How unsealing one journal line went. */
+enum class JournalSeal
+{
+    Bare, ///< no envelope (legacy line / header); inner = line
+    Ok,   ///< envelope present, checksum verified; inner = payload
+    Bad,  ///< envelope present but damaged (CRC mismatch / malformed)
+};
+
+/**
+ * Strip (and verify) the integrity envelope from one journal line.
+ * On Bare and Ok, @p inner receives the usable payload; on Bad it is
+ * left untouched and the line must be discarded as damaged.
+ */
+JournalSeal unsealJournalRecord(const std::string &line,
+                                std::string &inner);
+
+/** What loadJournal saw, for triage: damage is counted, not hidden. */
+struct JournalLoadStats
+{
+    std::uint64_t lines = 0;       ///< non-empty lines scanned
+    std::uint64_t records = 0;     ///< shard records accepted
+    std::uint64_t crcSkipped = 0;  ///< envelope damaged (CRC/format)
+    std::uint64_t parseSkipped = 0; ///< torn / unparseable payloads
+};
+
 /**
  * Load every shard record from @p path (see file comment for the
  * tolerance rules). Records are returned in ascending shard-index
- * order. Returns false only when the file cannot be opened.
+ * order. Returns false only when the file cannot be opened. When
+ * @p stats is non-null it receives the per-category skip counts.
  */
 bool loadJournal(const std::string &path,
-                 std::vector<ShardOutcome> &records);
+                 std::vector<ShardOutcome> &records,
+                 JournalLoadStats *stats = nullptr);
+
+/**
+ * Outcome of an injected journal write (Policy::writeFault): the
+ * kernel-visible prefix the write is allowed to persist, and the errno
+ * the remainder fails with. The default is "no fault".
+ */
+struct JournalWriteFate
+{
+    std::size_t allow = std::numeric_limits<std::size_t>::max();
+    int err = 0;
+};
+
+/** Writer health, for end-of-campaign triage output. */
+struct JournalStatus
+{
+    bool enabled = false;  ///< a path was given and open() succeeded
+    bool degraded = false; ///< retry ladder exhausted; no longer persisting
+    std::uint64_t records = 0;       ///< lines accepted via append()
+    std::uint64_t failedWrites = 0;  ///< write attempts that failed
+    std::uint64_t fsyncFailures = 0; ///< fsync attempts that failed
+    std::uint64_t retries = 0;       ///< backoff-and-retry rounds taken
+    int lastErrno = 0;               ///< errno of the latest failure
+    std::string lastOp;              ///< "write" or "fsync"
+};
+
+/** Render a JournalStatus as a JSON object (for triage reports). */
+std::string journalStatusJson(const JournalStatus &status);
 
 /** Append-only journal writer; thread-safe, batched (see file doc). */
 class CampaignJournal
 {
   public:
-    /** Durability / batching policy. */
+    /** Durability / batching / failure policy. */
     struct Policy
     {
         /** Flush once this many buffered bytes accumulate. */
@@ -80,6 +161,27 @@ class CampaignJournal
         /** fsync at the flush completing every Nth record; 0 = only on
          *  close. */
         unsigned syncEveryRecords = 8;
+
+        /** Retry rounds after a failed write()/fsync() before the
+         *  journal degrades (so up to 1 + maxWriteRetries attempts). */
+        unsigned maxWriteRetries = 3;
+
+        /** Backoff before retry r is retryBackoffMs << (r-1). */
+        unsigned retryBackoffMs = 2;
+
+        /** Seal each record in the CRC32C envelope. */
+        bool crcRecords = true;
+
+        /**
+         * Fault-injection seams (tests / chaos drills). writeFault is
+         * consulted once per write attempt with the bytes about to be
+         * written and may cap the persisted prefix and fail the rest;
+         * syncFault returns an errno to fail fsync with (0 = none).
+         * Both see the *retry* attempts too, so a seeded plan decides
+         * whether the ladder recovers or degrades.
+         */
+        std::function<JournalWriteFate(std::size_t)> writeFault;
+        std::function<int()> syncFault;
     };
 
     /**
@@ -97,6 +199,9 @@ class CampaignJournal
 
     bool ok() const { return _fd >= 0 && !_failed; }
 
+    /** Writer health snapshot (thread-safe). */
+    JournalStatus status();
+
     /** Append one line + '\n' to the flush buffer (see Policy). */
     void append(const std::string &line);
 
@@ -109,10 +214,15 @@ class CampaignJournal
 
   private:
     void flushLocked(bool sync);
+    bool writeBufferLocked();
+    bool syncLocked();
+    void degradeLocked(int err, const char *op);
+    void backoffLocked(unsigned attempt);
 
     std::mutex _mutex;
     std::string _buffer;
     Policy _policy;
+    JournalStatus _status;
     int _fd = -1;
     bool _failed = false;
     unsigned _recordsBuffered = 0;

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -29,6 +30,7 @@
 #include "campaign/journal.hh"
 #include "campaign/posix_io.hh"
 #include "campaign/thread_pool.hh"
+#include "chaos/chaos.hh"
 #include "trace/repro.hh"
 #include "trace/trace_file.hh"
 
@@ -521,9 +523,25 @@ struct ShardRunner::Impl
                              FailureClass::ResourceExhausted;
             if (transient && attempt <= cfg.maxRetries &&
                 !stopRequested()) {
-                std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::uint64_t base =
                     static_cast<std::uint64_t>(cfg.retryBackoffMs)
-                    << (attempt - 1)));
+                    << (attempt - 1);
+                // Deterministic jitter: hashed from (shard seed,
+                // attempt), so two workers retrying sibling shards
+                // after one ResourceExhausted burst don't hammer the
+                // host in lockstep, while the exact delay for a given
+                // shard stays reproducible.
+                std::uint64_t extra = 0;
+                if (cfg.retryJitterPct > 0 && base > 0) {
+                    std::uint64_t span =
+                        base * cfg.retryJitterPct / 100 + 1;
+                    char tag[32];
+                    std::snprintf(tag, sizeof(tag), "retry-%u",
+                                  attempt);
+                    extra = chaos::deriveSeed(spec.seed, tag) % span;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(base + extra));
                 ++attempt;
                 continue;
             }

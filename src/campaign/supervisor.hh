@@ -123,6 +123,15 @@ struct SupervisorConfig
     /** Backoff before retry N is retryBackoffMs << (N - 1). */
     unsigned retryBackoffMs = 10;
 
+    /**
+     * Jitter added to each retry backoff, as a percentage of the base
+     * delay (0 disables). Derived deterministically from the shard's
+     * seed and the attempt number — same shard, same delays — so the
+     * retry storm of a fleet of workers de-synchronizes without
+     * introducing real randomness into a reproducible campaign.
+     */
+    unsigned retryJitterPct = 50;
+
     /** Append-only JSONL journal path; empty disables checkpointing. */
     std::string journalPath;
 

@@ -1,0 +1,151 @@
+#include "chaos/chaos.hh"
+
+#include <array>
+
+namespace drf::chaos {
+
+namespace {
+
+std::array<std::uint32_t, 256> makeCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32cTable() {
+  static const std::array<std::uint32_t, 256> table = makeCrc32cTable();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto& table = crc32cTable();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed) {
+  return crc32c(data.data(), data.size(), seed);
+}
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {
+  std::uint64_t hash = seed;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint64_t deriveSeed(std::uint64_t master, std::string_view stream) {
+  std::uint64_t h = fnv1a64(stream);
+  // Mix the master seed in with one splitmix64 round so nearby master
+  // seeds do not produce correlated streams.
+  std::uint64_t z = master + 0x9E3779B97F4A7C15ull + h;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t ChaosRng::next() {
+  std::uint64_t z = (_state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t ChaosRng::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  return next() % bound;
+}
+
+bool ChaosRng::chancePct(double pct) {
+  if (pct <= 0.0) return false;
+  if (pct >= 100.0) return true;
+  // Per-mille resolution keeps fractional percentages meaningful while
+  // staying integer-deterministic across platforms.
+  const std::uint64_t permille = static_cast<std::uint64_t>(pct * 10.0);
+  return below(1000) < permille;
+}
+
+bool profileByName(std::string_view name, ChaosProfile& out) {
+  ChaosProfile p;
+  p.name = std::string(name);
+  if (name == "none") {
+    out = p;
+    return true;
+  }
+  if (name == "wire-flip") {
+    p.wire.flipPct = 8.0;
+    out = p;
+    return true;
+  }
+  if (name == "wire-drop") {
+    p.wire.dropPct = 6.0;
+    p.wire.dupPct = 4.0;
+    out = p;
+    return true;
+  }
+  if (name == "wire-torn") {
+    p.wire.truncPct = 3.0;
+    out = p;
+    return true;
+  }
+  if (name == "wire-storm") {
+    p.wire.dropPct = 4.0;
+    p.wire.dupPct = 4.0;
+    p.wire.flipPct = 6.0;
+    p.wire.truncPct = 2.0;
+    p.wire.delayPct = 10.0;
+    p.wire.delayMaxMs = 15;
+    out = p;
+    return true;
+  }
+  if (name == "disk-torn") {
+    p.disk.shortWritePct = 20.0;
+    out = p;
+    return true;
+  }
+  if (name == "disk-enospc") {
+    p.disk.enospcAfterBytes = 4096;
+    out = p;
+    return true;
+  }
+  if (name == "disk-fsync") {
+    p.disk.fsyncFailPct = 30.0;
+    p.disk.writeFailPct = 5.0;
+    out = p;
+    return true;
+  }
+  if (name == "full") {
+    p.wire.dropPct = 3.0;
+    p.wire.dupPct = 3.0;
+    p.wire.flipPct = 5.0;
+    p.wire.truncPct = 1.5;
+    p.wire.delayPct = 8.0;
+    p.wire.delayMaxMs = 10;
+    p.disk.shortWritePct = 10.0;
+    p.disk.fsyncFailPct = 10.0;
+    out = p;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> profileNames() {
+  return {"none",      "wire-flip",   "wire-drop",  "wire-torn", "wire-storm",
+          "disk-torn", "disk-enospc", "disk-fsync", "full"};
+}
+
+}  // namespace drf::chaos

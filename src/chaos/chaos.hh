@@ -1,0 +1,115 @@
+#pragma once
+// Deterministic fault-injection primitives shared by the wire and disk
+// chaos shims.  Everything here is a pure function of (seed, operation
+// index): the same profile + seed always yields the identical fault
+// sequence, which is what lets chaos drills assert byte-identical
+// aggregates against a clean golden run.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drf::chaos {
+
+// --- hashing -------------------------------------------------------------
+
+// CRC32C (Castagnoli).  Software table implementation; used for the wire
+// v2 frame checksum and the journal record checksum.
+std::uint32_t crc32c(const void* data, std::size_t len,
+                     std::uint32_t seed = 0);
+std::uint32_t crc32c(std::string_view data, std::uint32_t seed = 0);
+
+// FNV-1a 64-bit.  Used for result digests and seed derivation.
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 1469598103934665603ull);
+
+// Derive an independent chaos stream seed from a master seed and a
+// stream name ("wire:worker-1", "disk:journal", ...).
+std::uint64_t deriveSeed(std::uint64_t master, std::string_view stream);
+
+// --- RNG -----------------------------------------------------------------
+
+// splitmix64: tiny, fast, and stateless enough that a chaos schedule is
+// reproducible from (seed, op index) alone.
+class ChaosRng {
+ public:
+  explicit ChaosRng(std::uint64_t seed) : _state(seed) {}
+
+  std::uint64_t next();
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound);
+  // True with probability pct/100 (pct may be fractional via permille).
+  bool chancePct(double pct);
+
+ private:
+  std::uint64_t _state;
+};
+
+// --- fault profiles ------------------------------------------------------
+
+// All rates are percentages in [0, 100].
+struct WireRates {
+  double dropPct = 0.0;      // outbound frame silently discarded
+  double dupPct = 0.0;       // outbound frame sent twice
+  double flipPct = 0.0;      // one payload/crc byte flipped
+  double truncPct = 0.0;     // frame truncated mid-payload, channel dies
+  double delayPct = 0.0;     // outbound frame delayed
+  int delayMaxMs = 0;        // max injected delay per delayed frame
+
+  bool any() const {
+    return dropPct > 0 || dupPct > 0 || flipPct > 0 || truncPct > 0 ||
+           delayPct > 0;
+  }
+};
+
+struct DiskRates {
+  double shortWritePct = 0.0;   // write() consumes only part of the buffer
+  double writeFailPct = 0.0;    // write() fails with EIO
+  double fsyncFailPct = 0.0;    // fsync() fails with EIO
+  std::int64_t enospcAfterBytes = -1;  // ENOSPC once this many bytes land
+
+  bool any() const {
+    return shortWritePct > 0 || writeFailPct > 0 || fsyncFailPct > 0 ||
+           enospcAfterBytes >= 0;
+  }
+};
+
+struct ChaosProfile {
+  std::string name = "none";
+  WireRates wire;
+  DiskRates disk;
+
+  bool any() const { return wire.any() || disk.any(); }
+};
+
+// Look up a named profile.  Known names: none, wire-flip, wire-drop,
+// wire-torn, wire-storm, disk-torn, disk-enospc, disk-fsync, full.
+// Returns false (and leaves out untouched) for unknown names.
+bool profileByName(std::string_view name, ChaosProfile& out);
+std::vector<std::string> profileNames();
+
+// --- stats ---------------------------------------------------------------
+
+// Counters kept by the injection shims (what chaos *did*), as opposed to
+// the detection counters kept by the coordinator (what the stack *caught*).
+struct ChaosStats {
+  std::uint64_t framesDropped = 0;
+  std::uint64_t framesDuplicated = 0;
+  std::uint64_t framesFlipped = 0;
+  std::uint64_t framesTruncated = 0;
+  std::uint64_t framesDelayed = 0;
+  std::uint64_t shortWrites = 0;
+  std::uint64_t writeFailures = 0;
+  std::uint64_t fsyncFailures = 0;
+  std::uint64_t enospcHits = 0;
+
+  std::uint64_t totalInjected() const {
+    return framesDropped + framesDuplicated + framesFlipped +
+           framesTruncated + framesDelayed + shortWrites + writeFailures +
+           fsyncFailures + enospcHits;
+  }
+};
+
+}  // namespace drf::chaos

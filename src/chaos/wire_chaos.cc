@@ -1,0 +1,40 @@
+#include "chaos/wire_chaos.hh"
+
+namespace drf::chaos {
+
+FramePlan
+WireChaos::planFrame(std::size_t frameSize, std::size_t mutableOffset) {
+  ++_frames;
+  FramePlan plan;
+  if (frameSize == 0) return plan;
+
+  if (_rng.chancePct(_rates.dropPct)) {
+    plan.drop = true;
+    ++_stats.framesDropped;
+    return plan;
+  }
+  if (frameSize > 1 && _rng.chancePct(_rates.truncPct)) {
+    plan.truncateTo = 1 + static_cast<std::size_t>(
+                              _rng.below(frameSize - 1));
+    ++_stats.framesTruncated;
+    return plan;
+  }
+  if (frameSize > mutableOffset && _rng.chancePct(_rates.flipPct)) {
+    plan.flipOffset = static_cast<std::ptrdiff_t>(
+        mutableOffset + _rng.below(frameSize - mutableOffset));
+    plan.flipMask = static_cast<unsigned char>(1u << _rng.below(8));
+    ++_stats.framesFlipped;
+  }
+  if (_rng.chancePct(_rates.dupPct)) {
+    plan.copies = 2;
+    ++_stats.framesDuplicated;
+  }
+  if (_rates.delayMaxMs > 0 && _rng.chancePct(_rates.delayPct)) {
+    plan.delayMs = 1 + static_cast<int>(_rng.below(
+                           static_cast<std::uint64_t>(_rates.delayMaxMs)));
+    ++_stats.framesDelayed;
+  }
+  return plan;
+}
+
+}  // namespace drf::chaos

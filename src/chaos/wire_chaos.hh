@@ -1,0 +1,55 @@
+#pragma once
+// Wire fault planner: decides, deterministically per frame, which fault
+// (if any) to inject into an outbound frame.  The planner is pure byte
+// arithmetic — it never touches sockets or fleet types — so the fleet
+// layer can depend on chaos without a dependency cycle: the sender
+// encodes a frame, asks for a FramePlan, applies it, and ships the
+// result.
+//
+// Flips are constrained to offsets >= the caller's mutableOffset so the
+// length prefix is never corrupted: a flipped length field would desync
+// the stream into a silent stall instead of a detectable CRC failure,
+// and "detected, never absorbed" is the whole point.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chaos/chaos.hh"
+
+namespace drf::chaos {
+
+/** What to do with one outbound frame. */
+struct FramePlan {
+  bool drop = false;        // discard without sending (sender reports ok)
+  int delayMs = 0;          // sleep before sending
+  unsigned copies = 1;      // 2 = duplicate send
+  std::ptrdiff_t flipOffset = -1;  // byte to XOR with flipMask; -1 = none
+  unsigned char flipMask = 0;
+  std::size_t truncateTo = SIZE_MAX;  // < frame size: send prefix, poison
+};
+
+class WireChaos {
+ public:
+  WireChaos(std::uint64_t seed, const WireRates& rates)
+      : _rng(seed), _rates(rates) {}
+
+  /**
+   * Plan faults for the next outbound frame of @p frameSize bytes.
+   * @p mutableOffset is the first byte eligible for a flip (everything
+   * before it — the length prefix — must stay intact).  At most one
+   * destructive fault (drop / truncate / flip) fires per frame; delay
+   * and duplication can ride along.
+   */
+  FramePlan planFrame(std::size_t frameSize, std::size_t mutableOffset);
+
+  const ChaosStats& stats() const { return _stats; }
+  std::uint64_t framesPlanned() const { return _frames; }
+
+ private:
+  ChaosRng _rng;
+  WireRates _rates;
+  ChaosStats _stats;
+  std::uint64_t _frames = 0;
+};
+
+}  // namespace drf::chaos

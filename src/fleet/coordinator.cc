@@ -27,6 +27,8 @@
 #include "campaign/journal.hh"
 #include "campaign/merge_stream.hh"
 #include "campaign/posix_io.hh"
+#include "chaos/chaos.hh"
+#include "chaos/disk_chaos.hh"
 #include "fleet/protocol.hh"
 #include "fleet/wire.hh"
 
@@ -61,6 +63,64 @@ cloneOutcome(const ShardOutcome &src)
     if (src.dir)
         out.dir = std::make_unique<CoverageGrid>(*src.dir);
     return out;
+}
+
+/**
+ * Comparison key for cross-worker result equality: the record with its
+ * host-side nondeterminism (wall time, transient-retry count) zeroed.
+ * Two honest workers running the same shard produce byte-identical
+ * keys even though their verbatim lines differ in host_seconds — only
+ * a worker that computed (or reported) a different *outcome* diverges.
+ */
+std::string
+canonicalResultKey(const ShardOutcome &src)
+{
+    ShardOutcome c = cloneOutcome(src);
+    c.attempts = 1;
+    c.result.hostSeconds = 0.0;
+    return shardOutcomeToJson(c);
+}
+
+enum class DigestCheck
+{
+    Bare, ///< no digest prefix (legacy / local path)
+    Ok,   ///< prefix present, matches the line
+    Bad,  ///< prefix present, line digests differently
+};
+
+/**
+ * Split a Result payload into its record line, verifying the end-to-end
+ * digest when present ("%016llx <line>"). Bare lines are accepted: the
+ * local execution path and pre-digest peers produce them, and the frame
+ * CRC already covers transport damage — the digest's job is catching a
+ * worker whose *computation* went wrong.
+ */
+DigestCheck
+splitResultPayload(const std::string &payload, std::string &line)
+{
+    if (payload.size() > 17 && payload[16] == ' ') {
+        std::uint64_t want = 0;
+        bool hex = true;
+        for (int i = 0; i < 16; ++i) {
+            char c = payload[static_cast<std::size_t>(i)];
+            if (c >= '0' && c <= '9')
+                want = (want << 4) | static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                want = (want << 4) |
+                       (static_cast<unsigned>(c - 'a') + 10);
+            else {
+                hex = false;
+                break;
+            }
+        }
+        if (hex) {
+            line = payload.substr(17);
+            return chaos::fnv1a64(line) == want ? DigestCheck::Ok
+                                                : DigestCheck::Bad;
+        }
+    }
+    line = payload;
+    return DigestCheck::Bare;
 }
 
 } // namespace
@@ -99,7 +159,12 @@ struct FleetCoordinator::Impl
     {
         ShardOutcome out;
         std::string line; ///< verbatim journal record ("" if resumed)
+        std::string key; ///< canonicalResultKey ("" if resumed)
         bool resumed = false;
+        /** The lease this result answered, kept so a later divergence
+         *  can re-run the shard authoritatively. */
+        ShardLease lease;
+        bool hasLease = false;
     };
 
     std::mutex mutex;
@@ -109,6 +174,30 @@ struct FleetCoordinator::Impl
     std::map<std::size_t, OutstandingLease> outstanding;
     std::map<std::size_t, Arrived> batchResults;
     std::set<std::size_t> batchIndices;
+    /** Indices caught diverging: socket results are quarantined until
+     *  the local authoritative re-run lands. */
+    std::set<std::size_t> poisoned;
+    /** Indices already duplicated for quorum this batch. */
+    std::set<std::size_t> quorumIssued;
+    /** One in-flight cross-check: when it was issued and to whom. */
+    struct PendingCheck
+    {
+        Clock::time_point issuedAt;
+        const Worker *verifier = nullptr;
+    };
+    /** Sampled indices whose second answer hasn't arrived: the batch
+     *  barrier holds for these (else a lying primary result could
+     *  seal the batch before its cross-check lands and the straggler
+     *  verdict would be discarded). A check is abandoned when its
+     *  verifier dies or a generous deadline passes — never on the
+     *  lease timeout, which is transport-scale while the verifier is
+     *  legitimately busy draining its own queue first. */
+    std::map<std::size_t, PendingCheck> quorumPending;
+    /** Diverged leases awaiting their authoritative local re-run. */
+    std::deque<ShardLease> repairQueue;
+    /** Set at the batch barrier: late arrivals (straggler quorum
+     *  duplicates) must not reopen a batch being drained/journaled. */
+    bool batchSealed = false;
 
     std::unique_ptr<StreamingShardMerge> merge;
     std::unique_ptr<ShardRunner> localRunner;
@@ -227,26 +316,56 @@ struct FleetCoordinator::Impl
     {
         for (;;) {
             Frame frame;
-            if (!recvFrame(worker->fd, frame))
+            WireStatus status = recvFrameEx(worker->fd, frame);
+            if (status == WireStatus::Eof)
                 break;
-            std::lock_guard<std::mutex> lock(mutex);
-            worker->lastSeen = Clock::now();
-            switch (frame.type) {
-              case MsgType::Result:
-                ++worker->completed;
-                handleResultLineLocked(frame.payload, *worker);
-                topUpLocked(*worker);
+            if (status != WireStatus::Ok) {
+                // Checksum failure or insane length: the byte stream
+                // can no longer be framed. Structured recovery, not
+                // absorption: count it, kill the connection, and let
+                // the dead-worker path re-lease everything this worker
+                // held. The worker reconnects as a fresh peer.
+                std::lock_guard<std::mutex> lock(mutex);
+                ++stats.frameCorruptions;
+                markDeadLocked(*worker);
+                cv.notify_all();
                 break;
-              case MsgType::Steal:
-                topUpLocked(*worker);
-                stealForLocked(*worker);
-                break;
-              case MsgType::Heartbeat:
-                break; // lastSeen already refreshed
-              default:
-                break; // unknown frames are ignored, not fatal
             }
-            cv.notify_all();
+            bool poisoned_stream = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                worker->lastSeen = Clock::now();
+                switch (frame.type) {
+                  case MsgType::Result: {
+                    std::string line;
+                    if (splitResultPayload(frame.payload, line) ==
+                        DigestCheck::Bad) {
+                        // The frame survived the wire intact but the
+                        // worker's own digest disagrees with its line:
+                        // this peer's output cannot be trusted.
+                        ++stats.digestMismatches;
+                        markDeadLocked(*worker);
+                        poisoned_stream = true;
+                        break;
+                    }
+                    ++worker->completed;
+                    handleResultLineLocked(line, *worker);
+                    topUpLocked(*worker);
+                    break;
+                  }
+                  case MsgType::Steal:
+                    topUpLocked(*worker);
+                    stealForLocked(*worker);
+                    break;
+                  case MsgType::Heartbeat:
+                    break; // lastSeen already refreshed
+                  default:
+                    break; // unknown frames are ignored, not fatal
+                }
+                cv.notify_all();
+            }
+            if (poisoned_stream)
+                break;
         }
         std::lock_guard<std::mutex> lock(mutex);
         markDeadLocked(*worker);
@@ -413,6 +532,78 @@ struct FleetCoordinator::Impl
         }
     }
 
+    /**
+     * Opt-in result verification: duplicate every sampled outstanding
+     * lease (index % verifyQuorum == 0) onto a second worker so two
+     * independent processes answer the same shard. Runs under the same
+     * mutex hold as the staging top-up, so a sampled result cannot
+     * arrive before its duplicate is issued. Candidates are collected
+     * before any lease is sent: sendLeaseLocked can mark a worker dead
+     * and mutate `outstanding` mid-iteration.
+     */
+    void
+    enforceQuorumLocked()
+    {
+        if (cfg.verifyQuorum == 0)
+            return;
+        std::vector<std::size_t> candidates;
+        for (auto &[index, ol] : outstanding) {
+            if (index % cfg.verifyQuorum != 0 || ol.holders != 1)
+                continue;
+            if (batchResults.count(index) || poisoned.count(index) ||
+                quorumIssued.count(index))
+                continue;
+            candidates.push_back(index);
+        }
+        for (std::size_t index : candidates) {
+            auto it = outstanding.find(index);
+            if (it == outstanding.end())
+                continue;
+            Worker *target = nullptr;
+            for (auto &worker : workers) {
+                bool holds_it =
+                    std::find(worker->held.begin(),
+                              worker->held.end(),
+                              index) != worker->held.end();
+                if (!worker->alive || holds_it)
+                    continue;
+                if (!target ||
+                    worker->held.size() < target->held.size())
+                    target = worker.get();
+            }
+            if (!target)
+                continue; // single-worker fleet: nothing to compare
+            ShardLease lease = it->second.lease;
+            quorumIssued.insert(index);
+            ++stats.quorumLeases;
+            sendLeaseLocked(*target, lease);
+            if (target->alive)
+                quorumPending[index] =
+                    PendingCheck{Clock::now(), target};
+        }
+    }
+
+    /** Abandon cross-checks that can no longer resolve — the verifier
+     *  died, or a deadline sized for whole shard queues (not frames)
+     *  passed. Sampling is best-effort under churn, but the barrier
+     *  must always become passable. */
+    void
+    expireQuorumLocked()
+    {
+        double bound =
+            std::max({cfg.heartbeatTimeoutSeconds,
+                      2.0 * cfg.leaseTimeoutSeconds, 5.0});
+        for (auto it = quorumPending.begin();
+             it != quorumPending.end();) {
+            bool dead = it->second.verifier &&
+                        !it->second.verifier->alive;
+            if (dead || secondsSince(it->second.issuedAt) > bound)
+                it = quorumPending.erase(it);
+            else
+                ++it;
+        }
+    }
+
     bool
     anyAliveLocked() const
     {
@@ -438,9 +629,14 @@ struct FleetCoordinator::Impl
             return; // torn frame; the lease stays re-leasable
         std::size_t index = out.index;
 
-        // Retire the lease wherever it is held.
+        // Retire the lease wherever it is held (keeping a copy: a
+        // later divergence needs it to re-lease or re-run the shard).
+        ShardLease lease;
+        bool has_lease = false;
         auto it = outstanding.find(index);
         if (it != outstanding.end()) {
+            lease = it->second.lease;
+            has_lease = true;
             outstanding.erase(it);
             for (auto &worker : workers) {
                 auto held = std::find(worker->held.begin(),
@@ -451,13 +647,57 @@ struct FleetCoordinator::Impl
         }
         (void)from;
 
-        if (!batchIndices.count(index) || batchResults.count(index)) {
+        if (batchSealed) {
+            ++stats.duplicateResults;
+            return;
+        }
+
+        if (poisoned.count(index)) {
+            // Straggler answer for a shard already caught diverging:
+            // only the local authoritative re-run may settle it.
+            quorumPending.erase(index);
+            ++stats.duplicateResults;
+            return;
+        }
+
+        auto existing = batchResults.find(index);
+        if (existing != batchResults.end())
+            quorumPending.erase(index); // cross-check resolved
+        if (!batchIndices.count(index) ||
+            existing != batchResults.end()) {
+            if (existing != batchResults.end() &&
+                !existing->second.resumed &&
+                existing->second.key != canonicalResultKey(out)) {
+                // Two workers returned byte-different records for the
+                // same deterministic shard: one of them lied without
+                // tripping CRC or digest. Neither copy can be trusted
+                // — quarantine the index and queue the authoritative
+                // local tiebreak (which re-offers into the merge,
+                // last-wins, before the batch drains).
+                ++stats.quorumDivergences;
+                stats.divergedIndices.push_back(index);
+                ShardLease repair = existing->second.hasLease
+                                        ? existing->second.lease
+                                        : lease;
+                if (existing->second.hasLease || has_lease) {
+                    // Quarantined until the re-run lands; without a
+                    // lease to re-run from (shouldn't happen for
+                    // leased shards) the first answer has to stand.
+                    batchResults.erase(existing);
+                    poisoned.insert(index);
+                    repairQueue.push_back(std::move(repair));
+                }
+                return;
+            }
             ++stats.duplicateResults;
             return;
         }
         merge->offer(cloneOutcome(out), /*resumed=*/false);
+        std::string key = canonicalResultKey(out);
         batchResults.emplace(index,
-                             Arrived{std::move(out), line, false});
+                             Arrived{std::move(out), line,
+                                     std::move(key), false, lease,
+                                     has_lease});
     }
 
     void
@@ -465,15 +705,17 @@ struct FleetCoordinator::Impl
     {
         std::size_t index = out.index;
         merge->offer(cloneOutcome(out), /*resumed=*/true);
-        batchResults.emplace(
-            index, Arrived{std::move(out), std::string(), true});
+        batchResults.emplace(index, Arrived{std::move(out),
+                                            std::string(),
+                                            std::string(), true});
         ++stats.shardsResumed;
     }
 
     bool
     batchCompleteLocked() const
     {
-        return batchResults.size() == batchIndices.size();
+        return batchResults.size() == batchIndices.size() &&
+               quorumPending.empty();
     }
 
     // ---- local execution (coordinator as worker of last resort) -----
@@ -493,6 +735,49 @@ struct FleetCoordinator::Impl
         Worker nobody;
         handleResultLineLocked(line, nobody);
         cv.notify_all();
+    }
+
+    /**
+     * Settle diverged shards: re-run each quarantined lease here,
+     * through the deterministic local ShardRunner, and install that
+     * answer as authoritative. The merge still holds the first
+     * (untrusted) copy buffered; offering again before drainSorted
+     * replaces it (buffered-duplicate-last-wins), so the corrupt
+     * result never reaches the aggregates.
+     */
+    bool
+    drainRepairs()
+    {
+        bool ran = false;
+        for (;;) {
+            ShardLease lease;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (repairQueue.empty())
+                    return ran;
+                lease = std::move(repairQueue.front());
+                repairQueue.pop_front();
+            }
+            if (!localRunner)
+                localRunner =
+                    std::make_unique<ShardRunner>(runnerConfig());
+            ShardOutcome out =
+                localRunner->run(leaseToSpec(lease), lease.index);
+            std::string line = shardOutcomeToJson(out);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                ++stats.localRuns;
+                std::size_t index = lease.index;
+                poisoned.erase(index);
+                merge->offer(cloneOutcome(out), /*resumed=*/false);
+                std::string key = canonicalResultKey(out);
+                batchResults[index] = Arrived{
+                    std::move(out), std::move(line), std::move(key),
+                    false, lease, true};
+                cv.notify_all();
+            }
+            ran = true;
+        }
     }
 
     /**
@@ -606,10 +891,16 @@ FleetCoordinator::run()
     im.merge->setJobs(std::max(1u, cfg.expectedWorkers));
 
     // Resume pass: adoptable records, keyed by global shard index.
+    // Damaged records (CRC failure, torn tail) are self-healed by
+    // skipping: the counters surface how much was lost, the shards
+    // simply re-run.
     std::map<std::size_t, ShardOutcome> adoptable;
     if (cfg.resume && !cfg.journalPath.empty()) {
         std::vector<ShardOutcome> records;
-        if (loadJournal(cfg.journalPath, records)) {
+        JournalLoadStats load_stats;
+        if (loadJournal(cfg.journalPath, records, &load_stats)) {
+            im.stats.resumeCrcSkipped = load_stats.crcSkipped;
+            im.stats.resumeParseSkipped = load_stats.parseSkipped;
             for (ShardOutcome &rec : records) {
                 if (isHostFailureClass(rec.result.failureClass))
                     continue;
@@ -619,7 +910,24 @@ FleetCoordinator::run()
         }
     }
 
-    CampaignJournal journal(cfg.journalPath);
+    // Journal writer, optionally with injected disk faults underneath
+    // (chaos drills): the writer's own retry/degrade ladder is the
+    // code under test, so the faults go below it, not around it.
+    CampaignJournal::Policy journal_policy;
+    std::unique_ptr<chaos::DiskChaos> disk_chaos;
+    if (cfg.diskChaos.any()) {
+        disk_chaos = std::make_unique<chaos::DiskChaos>(
+            chaos::deriveSeed(cfg.chaosSeed, "disk:journal"),
+            cfg.diskChaos);
+        chaos::DiskChaos &dc = *disk_chaos;
+        journal_policy.writeFault =
+            [&dc](std::size_t len) -> JournalWriteFate {
+            chaos::DiskWriteFate fate = dc.writeFate(len);
+            return JournalWriteFate{fate.allow, fate.err};
+        };
+        journal_policy.syncFault = [&dc]() { return dc.syncFate(); };
+    }
+    CampaignJournal journal(cfg.journalPath, journal_policy);
     if (journal.ok()) {
         JsonWriter header;
         header.beginObject();
@@ -675,6 +983,10 @@ FleetCoordinator::run()
             std::lock_guard<std::mutex> lock(im.mutex);
             im.batchResults.clear();
             im.batchIndices.clear();
+            im.poisoned.clear();
+            im.quorumIssued.clear();
+            im.quorumPending.clear();
+            im.batchSealed = false;
             for (ShardSpec &spec : batch) {
                 std::size_t index = next_index++;
                 im.batchIndices.insert(index);
@@ -699,6 +1011,11 @@ FleetCoordinator::run()
                 im.pending.push_back(std::move(*lease));
             }
             im.topUpAllLocked();
+            // Quorum duplicates go out under this same mutex hold, so
+            // no sampled result can arrive before its duplicate lease
+            // exists (a result beating the duplicate would retire the
+            // lease and the comparison would silently never happen).
+            im.enforceQuorumLocked();
         }
         for (auto &[spec, index] : local_only)
             im.runLocally(std::move(spec), index);
@@ -706,15 +1023,22 @@ FleetCoordinator::run()
         // Barrier: every index of this batch must have a result.
         for (;;) {
             im.drainPendingLocally();
+            im.drainRepairs();
             std::unique_lock<std::mutex> lock(im.mutex);
-            if (im.batchCompleteLocked())
+            if (im.batchCompleteLocked()) {
+                im.batchSealed = true;
                 break;
+            }
             im.cv.wait_for(lock, std::chrono::milliseconds(100));
             im.reapSilentLocked();
             im.releaseOverdueLocked();
             im.topUpAllLocked();
-            if (im.batchCompleteLocked())
+            im.enforceQuorumLocked();
+            im.expireQuorumLocked();
+            if (im.batchCompleteLocked()) {
+                im.batchSealed = true;
                 break;
+            }
         }
 
         // Merge + journal + feedback, strictly in index order.
@@ -746,6 +1070,7 @@ FleetCoordinator::run()
 
     im.stopFleet();
     journal.flush(/*sync=*/true);
+    im.stats.journalStatus = journal.status();
 
     double wall = secondsSince(start);
     unsigned jobs = cfg.expectedWorkers == 0
@@ -755,6 +1080,39 @@ FleetCoordinator::run()
     result.adaptive = loop.take(wall, jobs);
     result.campaign = im.merge->take(wall);
     return result;
+}
+
+std::string
+fleetTriageJson(const FleetResult &result)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("workers_seen").value(result.workersSeen);
+    w.key("leases_issued").value(result.leasesIssued);
+    w.key("releases").value(result.releases);
+    w.key("duplicate_results").value(result.duplicateResults);
+    w.key("local_runs").value(result.localRuns);
+    w.key("shards_resumed")
+        .value(static_cast<std::uint64_t>(result.shardsResumed));
+    w.key("halted").value(result.halted);
+    w.key("frame_corruptions").value(result.frameCorruptions);
+    w.key("digest_mismatches").value(result.digestMismatches);
+    w.key("quorum_leases").value(result.quorumLeases);
+    w.key("quorum_divergences").value(result.quorumDivergences);
+    w.key("divergences").beginArray();
+    for (std::size_t index : result.divergedIndices) {
+        w.beginObject();
+        w.key("index").value(static_cast<std::uint64_t>(index));
+        w.key("class").value(
+            failureClassName(FailureClass::WorkerDivergence));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("resume_crc_skipped").value(result.resumeCrcSkipped);
+    w.key("resume_parse_skipped").value(result.resumeParseSkipped);
+    w.key("journal").raw(journalStatusJson(result.journalStatus));
+    w.endObject();
+    return w.str();
 }
 
 } // namespace drf::fleet

@@ -43,9 +43,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "campaign/campaign.hh"
+#include "campaign/journal.hh"
 #include "campaign/supervisor.hh"
+#include "chaos/chaos.hh"
 #include "guidance/adaptive_campaign.hh"
 
 namespace drf::fleet
@@ -97,6 +100,23 @@ struct CoordinatorConfig
     /** Stop after this many batches (testing: interrupted-fleet
      *  resume); 0 = run the source to completion. */
     std::size_t maxRounds = 0;
+
+    /**
+     * Result-level integrity quorum: every staged lease whose global
+     * index is a multiple of N is also duplicated to a second worker,
+     * and the two result lines are byte-compared. A mismatch means a
+     * worker computed (or reported) the wrong answer without tripping
+     * any transport check — the shard is re-run locally as the
+     * authoritative tiebreak and counted as a WorkerDivergence.
+     * 0 disables; 1 verifies every shard.
+     */
+    unsigned verifyQuorum = 0;
+
+    /** Disk fault rates injected under the coordinator's journal
+     *  writer; all-zero disables injection. */
+    chaos::DiskRates diskChaos;
+    /** Master seed for the coordinator's chaos streams. */
+    std::uint64_t chaosSeed = 0;
 };
 
 /** Everything one fleet campaign produced. */
@@ -113,7 +133,28 @@ struct FleetResult
     std::uint64_t localRuns = 0; ///< leases executed by the coordinator
     std::size_t shardsResumed = 0;
     bool halted = false; ///< stopped by maxRounds, source not drained
+
+    // Integrity detections (what the stack *caught* — every injected
+    // corruption must land in one of these, never in the aggregates).
+    std::uint64_t frameCorruptions = 0; ///< CRC/oversize stream kills
+    std::uint64_t digestMismatches = 0; ///< end-to-end digest failed
+    std::uint64_t quorumLeases = 0;     ///< verification duplicates sent
+    std::uint64_t quorumDivergences = 0; ///< byte-differing result pairs
+    std::vector<std::size_t> divergedIndices; ///< shards that diverged
+    std::uint64_t resumeCrcSkipped = 0;   ///< damaged journal records
+    std::uint64_t resumeParseSkipped = 0; ///< torn journal records
+
+    /** Journal writer health at campaign end (degraded = the campaign
+     *  completed but is not resumable past the degradation point). */
+    JournalStatus journalStatus;
 };
+
+/**
+ * Render the fleet's integrity/triage counters as JSON — everything
+ * that must NOT feed the deterministic aggregates (detection counts
+ * depend on timing and fault schedules; aggregates must not).
+ */
+std::string fleetTriageJson(const FleetResult &result);
 
 class FleetCoordinator
 {

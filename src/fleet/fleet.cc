@@ -1,5 +1,6 @@
 #include "fleet/fleet.hh"
 
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -45,8 +46,16 @@ runLocalFleet(ShardSource &source, const LocalFleetConfig &cfg,
                 WorkerConfig wc;
                 wc.port = port;
                 wc.name = "local:" + std::to_string(::getpid());
-                if (i == 0)
+                if (i == 0) {
                     wc.dieOnResult = cfg.dieOnResult;
+                    wc.corruptEveryN = cfg.corruptEveryN;
+                    wc.corruptSilently = cfg.corruptSilently;
+                }
+                wc.wireChaos = cfg.wireChaos;
+                wc.chaosSeed = chaos::deriveSeed(
+                    coord_cfg.chaosSeed,
+                    "wire:worker-" + std::to_string(i));
+                wc.maxReconnects = cfg.maxReconnects;
                 ::_exit(runWorker(wc));
             }
             if (pid < 0) {
@@ -61,6 +70,12 @@ runLocalFleet(ShardSource &source, const LocalFleetConfig &cfg,
     FleetResult result = coordinator.run();
 
 #if DRF_FLEET_CAN_FORK
+    // The campaign is over and every result is in. A worker whose
+    // stream was poisoned mid-campaign may still be walking its
+    // reconnect backoff against the now-closed port — don't wait out
+    // that loop, end it.
+    for (pid_t pid : children)
+        (void)::kill(pid, SIGTERM);
     for (pid_t pid : children) {
         int status = 0;
         (void)::waitpid(pid, &status, 0);

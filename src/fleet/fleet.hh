@@ -30,6 +30,23 @@ struct LocalFleetConfig
     /** Crash injection: worker 0 SIGKILLs itself instead of sending
      *  its Nth result (see WorkerConfig::dieOnResult); 0 disables. */
     unsigned dieOnResult = 0;
+
+    /**
+     * Wire fault rates applied to every forked worker's outbound
+     * frames. Each worker gets an independent deterministic fault
+     * stream derived from coordinator.chaosSeed and its worker slot
+     * (NOT its pid), so a fleet run's fault schedule reproduces.
+     */
+    chaos::WireRates wireChaos;
+
+    /** Result-corruption injection for worker 0 (see WorkerConfig). */
+    unsigned corruptEveryN = 0;
+    bool corruptSilently = false;
+
+    /** Reconnect budget for each forked worker; under heavy wire
+     *  chaos every corrupted frame costs the worker a session, so
+     *  drills raise this well above the WorkerConfig default. */
+    unsigned maxReconnects = 5;
 };
 
 /**

@@ -31,8 +31,14 @@
 namespace drf::fleet
 {
 
-/** Protocol revision; bumped on any frame/payload change. */
-constexpr unsigned kProtocolVersion = 1;
+/**
+ * Protocol revision; bumped on any frame/payload change.
+ * v2: CRC32C frame checksums (wire.hh) and digest-stamped Result
+ * payloads. v1 peers fail the frame checksum before they can even
+ * introduce themselves; a v2 peer speaking to a newer coordinator is
+ * rejected here, at the Hello handshake.
+ */
+constexpr unsigned kProtocolVersion = 2;
 
 /** Worker introduction (first frame on a new connection). */
 struct HelloMsg

@@ -6,6 +6,7 @@
 #include <csignal>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -22,6 +23,7 @@
 #include "campaign/journal.hh"
 #include "campaign/posix_io.hh"
 #include "campaign/supervisor.hh"
+#include "chaos/wire_chaos.hh"
 #include "fleet/protocol.hh"
 #include "fleet/wire.hh"
 
@@ -51,20 +53,85 @@ connectTo(const std::string &host, unsigned short port)
     return fd;
 }
 
-} // namespace
-
-int
-runWorker(const WorkerConfig &cfg)
+/**
+ * Send one frame through the wire-chaos plan (no-op plan when
+ * @p wc is null). Caller holds the per-fd send mutex. Returns false
+ * when the stream must be considered dead: a real send failure, or an
+ * injected truncation (the receiver is now mid-frame and can only
+ * resynchronize by reconnecting).
+ */
+bool
+chaosSend(int fd, chaos::WireChaos *wc, MsgType type,
+          const std::string &payload)
 {
-    io::ignoreSigpipe();
-
-    int fd = connectTo(cfg.host, cfg.port);
-    if (fd < 0) {
-        std::fprintf(stderr, "fleet worker: cannot connect to %s:%u\n",
-                      cfg.host.c_str(), unsigned(cfg.port));
-        return 2;
+    if (!wc)
+        return sendFrame(fd, type, payload);
+    std::string frame = encodeFrame(type, payload);
+    chaos::FramePlan plan =
+        wc->planFrame(frame.size(), kFrameMutableOffset);
+    if (plan.drop)
+        return true; // discarded in flight; sender can't tell
+    if (plan.delayMs > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(plan.delayMs));
+    if (plan.flipOffset >= 0 &&
+        static_cast<std::size_t>(plan.flipOffset) < frame.size())
+        frame[static_cast<std::size_t>(plan.flipOffset)] ^=
+            static_cast<char>(plan.flipMask);
+    if (plan.truncateTo < frame.size()) {
+        frame.resize(plan.truncateTo);
+        sendRawFrame(fd, frame);
+        return false; // poisoned the stream mid-frame
     }
+    for (unsigned i = 0; i < plan.copies; ++i) {
+        if (!sendRawFrame(fd, frame))
+            return false;
+    }
+    return true;
+}
 
+/**
+ * Simulate a worker that computes the wrong answer: bump the events
+ * counter in the serialized record. Any single-character change that
+ * keeps the line parseable works — the point is a well-formed record
+ * whose *content* diverges from the deterministic truth.
+ */
+void
+perturbLine(std::string &line)
+{
+    std::size_t pos = line.find("\"events\":");
+    if (pos == std::string::npos || pos + 9 >= line.size())
+        return;
+    char &digit = line[pos + 9];
+    if (digit >= '0' && digit <= '8')
+        ++digit;
+    else if (digit == '9')
+        digit = '8';
+}
+
+/** Stamp the end-to-end digest prefix onto a result line. */
+std::string
+stampDigest(const std::string &digest_over, const std::string &line)
+{
+    char head[20];
+    std::snprintf(head, sizeof(head), "%016llx ",
+                  static_cast<unsigned long long>(
+                      chaos::fnv1a64(digest_over)));
+    return head + line;
+}
+
+enum class SessionEnd
+{
+    CleanShutdown, ///< coordinator sent Shutdown: campaign over
+    Lost,          ///< EOF / send failure / poisoned stream
+    VersionReject, ///< handshake parsed but versions disagree
+};
+
+/** One connected session: handshake through Shutdown/loss. */
+SessionEnd
+runSession(int fd, const WorkerConfig &cfg, chaos::WireChaos *wc,
+           std::atomic<std::uint64_t> &completed)
+{
     HelloMsg hello;
     hello.worker = cfg.name.empty()
                        ? "local:" + std::to_string(::getpid())
@@ -72,15 +139,16 @@ runWorker(const WorkerConfig &cfg)
     hello.pid = static_cast<std::uint64_t>(::getpid());
     Frame welcome_frame;
     WelcomeMsg welcome;
+    // The handshake itself is never chaos-wrapped: fault injection
+    // models a flaky network *during* a campaign, and a drill that
+    // could lose its own enrollment would just measure connect retry.
     if (!sendFrame(fd, MsgType::Hello, serializeHello(hello)) ||
         !recvFrame(fd, welcome_frame) ||
         welcome_frame.type != MsgType::Welcome ||
-        !parseWelcome(welcome_frame.payload, welcome) ||
-        welcome.protocolVersion != kProtocolVersion) {
-        std::fprintf(stderr, "fleet worker: handshake failed\n");
-        ::close(fd);
-        return 2;
-    }
+        !parseWelcome(welcome_frame.payload, welcome))
+        return SessionEnd::Lost;
+    if (welcome.protocolVersion != kProtocolVersion)
+        return SessionEnd::VersionReject;
 
     SupervisorConfig runner_cfg;
     runner_cfg.forkIsolation = welcome.forkIsolation;
@@ -94,8 +162,8 @@ runWorker(const WorkerConfig &cfg)
     std::condition_variable cv;
     std::deque<ShardLease> queue; // depth enforced coordinator-side
     std::atomic<bool> done{false};
+    std::atomic<bool> got_shutdown{false};
     std::atomic<std::uint64_t> inflight{0};
-    std::atomic<std::uint64_t> completed{0};
     std::mutex send_mutex; // Result and Heartbeat frames interleave
 
     runner.setStopCheck(
@@ -106,8 +174,10 @@ runWorker(const WorkerConfig &cfg)
             Frame frame;
             if (!recvFrame(fd, frame))
                 break;
-            if (frame.type == MsgType::Shutdown)
+            if (frame.type == MsgType::Shutdown) {
+                got_shutdown.store(true, std::memory_order_release);
                 break;
+            }
             if (frame.type != MsgType::Lease)
                 continue;
             ShardLease lease;
@@ -144,11 +214,11 @@ runWorker(const WorkerConfig &cfg)
                 idle = queue.empty() && hb.inflight == 0;
             }
             std::lock_guard<std::mutex> send_lock(send_mutex);
-            if (!sendFrame(fd, MsgType::Heartbeat,
+            if (!chaosSend(fd, wc, MsgType::Heartbeat,
                            serializeHeartbeat(hb)))
                 break;
             if (idle)
-                sendFrame(fd, MsgType::Steal, "");
+                chaosSend(fd, wc, MsgType::Steal, "");
         }
     });
 
@@ -180,6 +250,16 @@ runWorker(const WorkerConfig &cfg)
         }
         ShardOutcome out = runner.run(std::move(spec), lease.index);
         std::string line = shardOutcomeToJson(out);
+        std::string wire_line = line;
+        if (cfg.corruptEveryN != 0 &&
+            lease.index % cfg.corruptEveryN == 0)
+            perturbLine(wire_line);
+        // Loud corruption digests the true line (the mismatch is the
+        // detection signal); silent corruption digests the lie and can
+        // only be caught by cross-worker quorum.
+        const std::string &digest_over =
+            cfg.corruptSilently ? wire_line : line;
+        std::string payload = stampDigest(digest_over, wire_line);
         std::uint64_t nth =
             completed.load(std::memory_order_relaxed) + 1;
         if (cfg.dieOnResult != 0 && nth >= cfg.dieOnResult) {
@@ -188,7 +268,7 @@ runWorker(const WorkerConfig &cfg)
         }
         {
             std::lock_guard<std::mutex> send_lock(send_mutex);
-            if (!sendFrame(fd, MsgType::Result, line)) {
+            if (!chaosSend(fd, wc, MsgType::Result, payload)) {
                 done.store(true, std::memory_order_release);
                 cv.notify_all();
                 break;
@@ -205,8 +285,62 @@ runWorker(const WorkerConfig &cfg)
         reader.join();
     if (heartbeat.joinable())
         heartbeat.join();
-    ::close(fd);
-    return 0;
+    return got_shutdown.load(std::memory_order_acquire)
+               ? SessionEnd::CleanShutdown
+               : SessionEnd::Lost;
+}
+
+} // namespace
+
+int
+runWorker(const WorkerConfig &cfg)
+{
+    io::ignoreSigpipe();
+
+    std::unique_ptr<chaos::WireChaos> wire_chaos;
+    if (cfg.wireChaos.any())
+        wire_chaos = std::make_unique<chaos::WireChaos>(cfg.chaosSeed,
+                                                        cfg.wireChaos);
+
+    std::atomic<std::uint64_t> completed{0};
+    bool ever_connected = false;
+    unsigned attempts = 0;
+    for (;;) {
+        int fd = connectTo(cfg.host, cfg.port);
+        if (fd >= 0) {
+            SessionEnd end =
+                runSession(fd, cfg, wire_chaos.get(), completed);
+            ::close(fd);
+            if (end == SessionEnd::CleanShutdown)
+                return 0;
+            if (end == SessionEnd::VersionReject) {
+                std::fprintf(stderr,
+                              "fleet worker: protocol version "
+                              "mismatch, refusing to serve\n");
+                return 2;
+            }
+            ever_connected = true;
+        } else if (!ever_connected) {
+            std::fprintf(stderr,
+                          "fleet worker: cannot connect to %s:%u\n",
+                          cfg.host.c_str(), unsigned(cfg.port));
+            return 2;
+        }
+        // Lost session (or lost coordinator): linear-backoff rejoin.
+        // The coordinator treats a reconnect as a brand-new worker and
+        // re-leases whatever this process was holding.
+        ++attempts;
+        if (attempts > cfg.maxReconnects) {
+            std::fprintf(stderr,
+                          "fleet worker: gave up after %u reconnect "
+                          "attempts\n",
+                          cfg.maxReconnects);
+            return 3;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<std::uint64_t>(cfg.reconnectBackoffMs) *
+            attempts));
+    }
 }
 
 #else // !DRF_FLEET_HAVE_SOCKETS

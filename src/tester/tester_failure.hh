@@ -61,6 +61,12 @@ enum class FailureClass
     // verdicts) so the serialized numeric values in existing traces and
     // journals stay stable.
     ScopeViolation, ///< CTA-scoped synchronization observed across CTAs
+
+    WorkerDivergence, ///< fleet quorum: two workers returned different
+                      ///< outcomes for the same shard — one of them is
+                      ///< lying (bad RAM, miscompiled binary, wire
+                      ///< corruption past the checksum); a host-side
+                      ///< integrity verdict, not a protocol bug
 };
 
 /** Printable failure-class name. */
@@ -79,12 +85,13 @@ failureClassName(FailureClass c)
       case FailureClass::HostTimeout: return "HostTimeout";
       case FailureClass::ResourceExhausted: return "ResourceExhausted";
       case FailureClass::ScopeViolation: return "ScopeViolation";
+      case FailureClass::WorkerDivergence: return "WorkerDivergence";
     }
     return "?";
 }
 
 /** Number of FailureClass values (for serialization range checks). */
-inline constexpr std::uint32_t failureClassCount = 11;
+inline constexpr std::uint32_t failureClassCount = 12;
 
 /**
  * Inverse of failureClassName, for journal / trace-header round trips.

@@ -174,13 +174,17 @@ TEST(FleetWire, RejectsOversizedLength)
 {
     int fds[2];
     ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
-    // Hand-crafted header claiming a 4 GiB payload.
-    unsigned char head[5] = {0xff, 0xff, 0xff, 0xff,
-                             static_cast<unsigned char>(fleet::MsgType::Hello)};
+    // Hand-crafted v2 header claiming a 4 GiB payload (CRC field is
+    // never reached: the length check rejects first).
+    unsigned char head[fleet::kFrameHeaderSize] = {
+        0xff, 0xff, 0xff, 0xff,
+        static_cast<unsigned char>(fleet::MsgType::Hello),
+        0, 0, 0, 0};
     ASSERT_EQ(ssize_t(sizeof(head)),
               ::write(fds[0], head, sizeof(head)));
     Frame f;
-    EXPECT_FALSE(recvFrame(fds[1], f));
+    EXPECT_EQ(fleet::WireStatus::Oversized,
+              fleet::recvFrameEx(fds[1], f));
     ::close(fds[0]);
     ::close(fds[1]);
 }
@@ -423,6 +427,91 @@ TEST(StreamingMerge, JournalReplayWithTornTailMatchesSortedMerge)
 
     expectEquivalent(want, got);
     EXPECT_EQ(kShards, got.shardsResumed);
+    std::remove(path.c_str());
+}
+
+TEST(StreamingMerge, MultiRecordPartialTailSkipsOnlyTheGarbage)
+{
+    // A crash can leave more than one damaged line: a torn record,
+    // then bytes of a *second* record appended by a dying writer that
+    // never reached its newline. Loading must skip exactly the
+    // damage and keep every whole record before and between.
+    std::string path = tempPath("multi_torn.jsonl");
+    std::string rec0 =
+        shardOutcomeToJson(syntheticOutcome(0, 50, true, true));
+    std::string rec1 =
+        shardOutcomeToJson(syntheticOutcome(1, 51, true, true));
+    std::string rec2 =
+        shardOutcomeToJson(syntheticOutcome(2, 52, true, true));
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << rec0 << "\n";
+        // Torn mid-record, no newline...
+        out << rec1.substr(0, rec1.size() / 3);
+        // ...with a second partial record fused onto the same line.
+        out << rec2.substr(rec2.size() / 2) << "\n";
+        out << rec2 << "\n"; // an intact copy after the damage
+    }
+    std::vector<ShardOutcome> records;
+    JournalLoadStats stats;
+    ASSERT_TRUE(loadJournal(path, records, &stats));
+    ASSERT_EQ(2u, records.size());
+    EXPECT_EQ(0u, records[0].index);
+    EXPECT_EQ(2u, records[1].index);
+    EXPECT_EQ(1u, stats.parseSkipped)
+        << "the fused partial lines are one unparseable line";
+    std::remove(path.c_str());
+}
+
+TEST(StreamingMerge, EmbeddedNewlinePayloadStaysOneJournalLine)
+{
+    // Shard names / reports may contain newlines; the JSON escaper
+    // must keep each record a single JSONL line or a resume would
+    // shear every following record.
+    std::string path = tempPath("newline_payload.jsonl");
+    ShardOutcome noisy = syntheticOutcome(0, 50, false, true);
+    noisy.name = "line1\nline2";
+    noisy.result.report = "assert failed:\n\texpected 1\n\tgot 2\n";
+    std::string line = shardOutcomeToJson(noisy);
+    EXPECT_EQ(std::string::npos, line.find('\n'))
+        << "embedded newlines must be escaped, not emitted";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << sealJournalRecord(line) << "\n";
+        out << shardOutcomeToJson(syntheticOutcome(1, 51, true, true))
+            << "\n";
+    }
+    std::vector<ShardOutcome> records;
+    JournalLoadStats stats;
+    ASSERT_TRUE(loadJournal(path, records, &stats));
+    ASSERT_EQ(2u, records.size());
+    EXPECT_EQ("line1\nline2", records[0].name);
+    EXPECT_EQ("assert failed:\n\texpected 1\n\tgot 2\n",
+              records[0].result.report);
+    EXPECT_EQ(0u, stats.crcSkipped + stats.parseSkipped);
+    std::remove(path.c_str());
+}
+
+TEST(StreamingMerge, SealedAndBareRecordsCoexistOnResume)
+{
+    // Journals written before the CRC envelope (or by a writer with
+    // crcRecords off) must stay loadable next to sealed records.
+    std::string path = tempPath("mixed_seal.jsonl");
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << shardOutcomeToJson(syntheticOutcome(0, 50, true, true))
+            << "\n";
+        out << sealJournalRecord(shardOutcomeToJson(
+                   syntheticOutcome(1, 51, true, true)))
+            << "\n";
+    }
+    std::vector<ShardOutcome> records;
+    JournalLoadStats stats;
+    ASSERT_TRUE(loadJournal(path, records, &stats));
+    ASSERT_EQ(2u, records.size());
+    EXPECT_EQ(0u, records[0].index);
+    EXPECT_EQ(1u, records[1].index);
+    EXPECT_EQ(0u, stats.crcSkipped + stats.parseSkipped);
     std::remove(path.c_str());
 }
 

@@ -94,6 +94,60 @@ class MissingBaselineKey(Exception):
         )
 
 
+class MissingBaselineFile(Exception):
+    """A committed baseline JSON is absent (or unreadable as JSON)."""
+
+    def __init__(self, baseline_name, path, regenerate_cmd, why):
+        self.baseline_name = baseline_name
+        self.path = path
+        self.regenerate_cmd = regenerate_cmd
+        self.why = why
+        super().__init__(baseline_name)
+
+    def advice(self):
+        return (
+            f"baseline {self.baseline_name} {self.why} "
+            f"(looked at {self.path}).\n"
+            f"Generate it on a quiet machine and commit the result:\n"
+            f"    {self.regenerate_cmd}"
+        )
+
+
+def regen_commands(build_dir):
+    """Per-baseline regenerate-and-commit command lines."""
+    return {
+        "BENCH_campaign.json": f"{build_dir}/bench/campaign_scaling"
+        " --out BENCH_campaign.json",
+        "BENCH_msg_path.json": f"{build_dir}/bench/msg_path"
+        " --out BENCH_msg_path.json",
+        "BENCH_guidance.json": f"{build_dir}/bench/"
+        "guidance_convergence --out BENCH_guidance.json",
+        "BENCH_hotpath.json": f"{build_dir}/bench/hotpath"
+        " --out BENCH_hotpath.json",
+        "BENCH_fleet.json": f"{build_dir}/bench/fleet_scaling"
+        " --out BENCH_fleet.json",
+        "BENCH_predict.json": f"{build_dir}/bench/"
+        "predict_throughput --out BENCH_predict.json",
+    }
+
+
+def load_baseline(baseline_dir, name, regen_cmds):
+    """Parse one committed baseline, or raise MissingBaselineFile with
+    regeneration advice instead of surfacing a bare traceback."""
+    path = Path(baseline_dir) / name
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise MissingBaselineFile(
+            name, path, regen_cmds[name], "does not exist"
+        ) from None
+    except json.JSONDecodeError as err:
+        raise MissingBaselineFile(
+            name, path, regen_cmds[name], f"is not valid JSON ({err})"
+        ) from None
+
+
 def baseline_key(doc, baseline_name, key, regenerate_cmd):
     """doc[key], or a MissingBaselineKey with regeneration advice."""
     node = doc
@@ -164,26 +218,30 @@ def main():
             print(f"missing bench binary: {binary}", file=sys.stderr)
             return 2
 
+    regen_cmds = regen_commands(args.build_dir)
     try:
-        baseline_campaign = json.load(
-            open(args.baseline_dir / "BENCH_campaign.json")
+        baseline_campaign = load_baseline(
+            args.baseline_dir, "BENCH_campaign.json", regen_cmds
         )
-        baseline_msg = json.load(
-            open(args.baseline_dir / "BENCH_msg_path.json")
+        baseline_msg = load_baseline(
+            args.baseline_dir, "BENCH_msg_path.json", regen_cmds
         )
-        baseline_guidance = json.load(
-            open(args.baseline_dir / "BENCH_guidance.json")
+        baseline_guidance = load_baseline(
+            args.baseline_dir, "BENCH_guidance.json", regen_cmds
         )
-        baseline_hotpath = json.load(
-            open(args.baseline_dir / "BENCH_hotpath.json")
+        baseline_hotpath = load_baseline(
+            args.baseline_dir, "BENCH_hotpath.json", regen_cmds
         )
-        baseline_fleet = json.load(
-            open(args.baseline_dir / "BENCH_fleet.json")
+        baseline_fleet = load_baseline(
+            args.baseline_dir, "BENCH_fleet.json", regen_cmds
         )
-        baseline_predict = json.load(
-            open(args.baseline_dir / "BENCH_predict.json")
+        baseline_predict = load_baseline(
+            args.baseline_dir, "BENCH_predict.json", regen_cmds
         )
-    except (OSError, json.JSONDecodeError) as err:
+    except MissingBaselineFile as err:
+        print(err.advice(), file=sys.stderr)
+        return 2
+    except OSError as err:
         print(f"cannot read baseline: {err}", file=sys.stderr)
         return 2
 
@@ -192,20 +250,6 @@ def main():
     # the rates are not comparable). Every emitter stamps 'protocol'
     # into its JSON; a baseline predating the field gets the standard
     # regenerate-and-commit advice.
-    regen_cmds = {
-        "BENCH_campaign.json": f"{args.build_dir}/bench/campaign_scaling"
-        " --out BENCH_campaign.json",
-        "BENCH_msg_path.json": f"{args.build_dir}/bench/msg_path"
-        " --out BENCH_msg_path.json",
-        "BENCH_guidance.json": f"{args.build_dir}/bench/"
-        "guidance_convergence --out BENCH_guidance.json",
-        "BENCH_hotpath.json": f"{args.build_dir}/bench/hotpath"
-        " --out BENCH_hotpath.json",
-        "BENCH_fleet.json": f"{args.build_dir}/bench/fleet_scaling"
-        " --out BENCH_fleet.json",
-        "BENCH_predict.json": f"{args.build_dir}/bench/"
-        "predict_throughput --out BENCH_predict.json",
-    }
     baseline_protocols = {}
     try:
         for name, doc in (

@@ -22,6 +22,17 @@
  * deterministic aggregate subset (adaptiveAggregatesJson) for byte
  * comparison across runs; --expect-complete and --expect-releases-min
  * turn invariants into exit codes.
+ *
+ * Chaos flags: --chaos PROFILE [--chaos-seed N] injects the named
+ * deterministic fault profile (chaos/chaos.hh) — wire faults into the
+ * workers' outbound frames, disk faults under the coordinator's
+ * journal. --verify-quorum N duplicate-leases every Nth shard for
+ * cross-worker result comparison; --corrupt-result N [--corrupt-silent]
+ * makes worker 0 lie about every Nth-indexed shard so the detection
+ * machinery has something to catch. --triage-out FILE dumps the
+ * integrity counters (what was injected vs what was caught) as JSON —
+ * kept apart from --aggregates-out, which must stay byte-identical to
+ * a clean run under any chaos profile.
  */
 
 #include <cstdio>
@@ -59,7 +70,14 @@ usage()
         "[--rounds N]\n"
         "        [--fork-isolation] [--timeout SEC] "
         "[--aggregates-out FILE]\n"
-        "        [--expect-complete] [--expect-releases-min N]\n");
+        "        [--expect-complete] [--expect-releases-min N]\n"
+        "        [--chaos PROFILE] [--chaos-seed N] "
+        "[--verify-quorum N]\n"
+        "        [--corrupt-result N] [--corrupt-silent] "
+        "[--triage-out FILE]\n"
+        "        [--lease-timeout SEC] [--steal-min-age SEC] "
+        "[--heartbeat-timeout SEC]\n"
+        "        [--retry-backoff MS]\n");
 }
 
 struct Options
@@ -90,6 +108,20 @@ struct Options
     std::string aggregatesOut;
     bool expectComplete = false;
     std::uint64_t expectReleasesMin = 0;
+
+    // Resilience knobs (defaults live in CoordinatorConfig).
+    double leaseTimeoutSeconds = -1.0;
+    double stealMinAgeSeconds = -1.0;
+    double heartbeatTimeoutSeconds = -1.0;
+    int retryBackoffMs = -1;
+
+    // Chaos / integrity.
+    std::string chaosProfile;
+    std::uint64_t chaosSeed = 0;
+    unsigned verifyQuorum = 0;
+    unsigned corruptEveryN = 0;
+    bool corruptSilently = false;
+    std::string triageOut;
 };
 
 bool
@@ -194,6 +226,56 @@ parseOptions(int argc, char **argv, int first, Options &opt)
             if (!v)
                 return false;
             opt.expectReleasesMin = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--lease-timeout") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.leaseTimeoutSeconds = std::strtod(v, nullptr);
+        } else if (flag == "--steal-min-age") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.stealMinAgeSeconds = std::strtod(v, nullptr);
+        } else if (flag == "--heartbeat-timeout") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.heartbeatTimeoutSeconds = std::strtod(v, nullptr);
+        } else if (flag == "--retry-backoff") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.retryBackoffMs =
+                static_cast<int>(std::strtol(v, nullptr, 10));
+        } else if (flag == "--chaos") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.chaosProfile = v;
+        } else if (flag == "--chaos-seed") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.chaosSeed = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--verify-quorum") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.verifyQuorum =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flag == "--corrupt-result") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.corruptEveryN =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flag == "--corrupt-silent") {
+            opt.corruptSilently = true;
+        } else if (flag == "--triage-out") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opt.triageOut = v;
         } else {
             std::fprintf(stderr, "fleet: unknown flag %s\n",
                           flag.c_str());
@@ -224,8 +306,25 @@ makeSource(const Options &opt)
     return nullptr;
 }
 
+/** Resolve --chaos; prints the known names on a miss. */
+bool
+resolveChaos(const Options &opt, chaos::ChaosProfile &profile)
+{
+    if (opt.chaosProfile.empty())
+        return true;
+    if (chaos::profileByName(opt.chaosProfile, profile))
+        return true;
+    std::fprintf(stderr, "fleet: unknown chaos profile '%s'; known:",
+                  opt.chaosProfile.c_str());
+    for (const std::string &name : chaos::profileNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
+    return false;
+}
+
 CoordinatorConfig
-makeCoordinatorConfig(const Options &opt)
+makeCoordinatorConfig(const Options &opt,
+                      const chaos::ChaosProfile &profile)
 {
     CoordinatorConfig cfg;
     cfg.campaign.jobs = 1;
@@ -238,6 +337,17 @@ makeCoordinatorConfig(const Options &opt)
     cfg.journalPath = opt.journal;
     cfg.resume = opt.resume;
     cfg.maxRounds = opt.rounds;
+    if (opt.leaseTimeoutSeconds >= 0.0)
+        cfg.leaseTimeoutSeconds = opt.leaseTimeoutSeconds;
+    if (opt.stealMinAgeSeconds >= 0.0)
+        cfg.stealMinAgeSeconds = opt.stealMinAgeSeconds;
+    if (opt.heartbeatTimeoutSeconds >= 0.0)
+        cfg.heartbeatTimeoutSeconds = opt.heartbeatTimeoutSeconds;
+    if (opt.retryBackoffMs >= 0)
+        cfg.retryBackoffMs = static_cast<unsigned>(opt.retryBackoffMs);
+    cfg.verifyQuorum = opt.verifyQuorum;
+    cfg.diskChaos = profile.disk;
+    cfg.chaosSeed = opt.chaosSeed;
     return cfg;
 }
 
@@ -273,6 +383,37 @@ report(const FleetResult &result, const Options &opt)
                     opt.aggregatesOut.c_str());
     }
 
+    if (result.frameCorruptions + result.digestMismatches +
+            result.quorumDivergences + result.resumeCrcSkipped +
+            result.resumeParseSkipped >
+        0)
+        std::printf("fleet: integrity: frame-crc %llu, digest %llu, "
+                    "divergence %llu, journal-skip %llu\n",
+                    (unsigned long long)result.frameCorruptions,
+                    (unsigned long long)result.digestMismatches,
+                    (unsigned long long)result.quorumDivergences,
+                    (unsigned long long)(result.resumeCrcSkipped +
+                                         result.resumeParseSkipped));
+    if (result.journalStatus.degraded)
+        std::fprintf(stderr,
+                      "fleet: WARNING: journal degraded (%s, errno "
+                      "%d) — campaign completed but is not resumable "
+                      "past the failure point\n",
+                      result.journalStatus.lastOp.c_str(),
+                      result.journalStatus.lastErrno);
+
+    if (!opt.triageOut.empty()) {
+        std::ofstream out(opt.triageOut,
+                          std::ios::binary | std::ios::trunc);
+        out << fleetTriageJson(result) << "\n";
+        if (!out) {
+            std::fprintf(stderr, "fleet: cannot write %s\n",
+                          opt.triageOut.c_str());
+            return 1;
+        }
+        std::printf("fleet: triage -> %s\n", opt.triageOut.c_str());
+    }
+
     if (opt.expectComplete &&
         (result.halted || !result.adaptive.passed)) {
         std::fprintf(stderr,
@@ -298,10 +439,16 @@ cmdRun(const Options &opt)
     std::unique_ptr<ShardSource> source = makeSource(opt);
     if (!source)
         return 2;
+    chaos::ChaosProfile profile;
+    if (!resolveChaos(opt, profile))
+        return 2;
     LocalFleetConfig cfg;
-    cfg.coordinator = makeCoordinatorConfig(opt);
+    cfg.coordinator = makeCoordinatorConfig(opt, profile);
     cfg.workers = opt.workers;
     cfg.dieOnResult = opt.dieOnResult;
+    cfg.wireChaos = profile.wire;
+    cfg.corruptEveryN = opt.corruptEveryN;
+    cfg.corruptSilently = opt.corruptSilently;
     bool listen_ok = false;
     FleetResult result = runLocalFleet(*source, cfg, &listen_ok);
     if (opt.workers > 0 && !listen_ok)
@@ -317,7 +464,11 @@ cmdCoordinator(const Options &opt)
     std::unique_ptr<ShardSource> source = makeSource(opt);
     if (!source)
         return 2;
-    FleetCoordinator coordinator(*source, makeCoordinatorConfig(opt));
+    chaos::ChaosProfile profile;
+    if (!resolveChaos(opt, profile))
+        return 2;
+    FleetCoordinator coordinator(*source,
+                                 makeCoordinatorConfig(opt, profile));
     if (!coordinator.listen()) {
         std::fprintf(stderr, "fleet: cannot bind %s:%u\n",
                       opt.bind.c_str(), unsigned(opt.port));
@@ -339,11 +490,24 @@ cmdWorker(const Options &opt)
         std::fprintf(stderr, "fleet worker: --port is required\n");
         return 2;
     }
+    chaos::ChaosProfile profile;
+    if (!resolveChaos(opt, profile))
+        return 2;
     WorkerConfig cfg;
     cfg.host = opt.host;
     cfg.port = opt.port;
     cfg.name = opt.name;
     cfg.dieOnResult = opt.dieOnResult;
+    cfg.wireChaos = profile.wire;
+    // Standalone workers derive their fault stream from their display
+    // name, so two workers started with the same --chaos-seed still
+    // see different (but each reproducible) fault schedules.
+    cfg.chaosSeed = chaos::deriveSeed(
+        opt.chaosSeed,
+        "wire:" + (opt.name.empty() ? std::string("worker")
+                                    : opt.name));
+    cfg.corruptEveryN = opt.corruptEveryN;
+    cfg.corruptSilently = opt.corruptSilently;
     return runWorker(cfg);
 }
 

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Tests for the bench regression gate's baseline handling.
+
+unittest-based (the CI image carries no pytest), but pytest-compatible:
+`python3 -m unittest` or `pytest` both discover it. Only the pure
+helpers and the setup-error paths are exercised — nothing here runs a
+bench binary.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent
+SCRIPT = TOOLS_DIR / "check_bench_regression.py"
+
+_spec = importlib.util.spec_from_file_location(
+    "check_bench_regression", SCRIPT
+)
+cbr = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(cbr)
+
+
+class LoadBaselineTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.baseline_dir = Path(self._tmp.name)
+        self.regen = cbr.regen_commands(Path("build"))
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_valid_baseline_loads(self):
+        doc = {"protocol": "viper", "messages_per_sec": 123.0}
+        (self.baseline_dir / "BENCH_msg_path.json").write_text(
+            json.dumps(doc)
+        )
+        loaded = cbr.load_baseline(
+            self.baseline_dir, "BENCH_msg_path.json", self.regen
+        )
+        self.assertEqual(doc, loaded)
+
+    def test_absent_file_raises_advice_not_traceback(self):
+        with self.assertRaises(cbr.MissingBaselineFile) as ctx:
+            cbr.load_baseline(
+                self.baseline_dir, "BENCH_fleet.json", self.regen
+            )
+        advice = ctx.exception.advice()
+        self.assertIn("BENCH_fleet.json", advice)
+        self.assertIn("does not exist", advice)
+        self.assertIn("fleet_scaling", advice)
+        self.assertIn("--out BENCH_fleet.json", advice)
+
+    def test_corrupt_json_raises_advice(self):
+        (self.baseline_dir / "BENCH_hotpath.json").write_text(
+            "{not json"
+        )
+        with self.assertRaises(cbr.MissingBaselineFile) as ctx:
+            cbr.load_baseline(
+                self.baseline_dir, "BENCH_hotpath.json", self.regen
+            )
+        advice = ctx.exception.advice()
+        self.assertIn("not valid JSON", advice)
+        self.assertIn("hotpath", advice)
+
+    def test_every_known_baseline_has_a_regen_command(self):
+        for name in (
+            "BENCH_campaign.json",
+            "BENCH_msg_path.json",
+            "BENCH_guidance.json",
+            "BENCH_hotpath.json",
+            "BENCH_fleet.json",
+            "BENCH_predict.json",
+        ):
+            self.assertIn(name, self.regen)
+            self.assertIn(f"--out {name}", self.regen[name])
+
+
+class MissingBaselineKeyTest(unittest.TestCase):
+    def test_nested_lookup_succeeds(self):
+        doc = {"stages": {"explore": {"events_per_sec": 5.0}}}
+        self.assertEqual(
+            5.0,
+            cbr.baseline_key(
+                doc, "B.json", "stages.explore.events_per_sec", "cmd"
+            ),
+        )
+
+    def test_missing_key_carries_regeneration_advice(self):
+        with self.assertRaises(cbr.MissingBaselineKey) as ctx:
+            cbr.baseline_key({}, "B.json", "protocol", "regen --now")
+        advice = ctx.exception.advice()
+        self.assertIn("'protocol'", advice)
+        self.assertIn("regen --now", advice)
+
+
+class MainSetupErrorTest(unittest.TestCase):
+    """End to end: absent baselines exit 2 with advice, no traceback."""
+
+    def test_absent_baseline_prints_advice(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            bench_dir = tmp / "build" / "bench"
+            bench_dir.mkdir(parents=True)
+            for binary in (
+                "campaign_scaling",
+                "msg_path",
+                "guidance_convergence",
+                "hotpath",
+                "fleet_scaling",
+                "predict_throughput",
+            ):
+                (bench_dir / binary).touch()
+            proc = subprocess.run(
+                [
+                    sys.executable,
+                    str(SCRIPT),
+                    "--build-dir",
+                    str(tmp / "build"),
+                    "--baseline-dir",
+                    str(tmp),
+                ],
+                capture_output=True,
+                text=True,
+            )
+        self.assertEqual(2, proc.returncode)
+        self.assertIn("BENCH_campaign.json", proc.stderr)
+        self.assertIn("does not exist", proc.stderr)
+        self.assertIn("commit the result", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
